@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks of the hot paths behind each figure:
+//!
+//! * `machine` — counter synthesis and congestion queries (every figure's
+//!   substrate; dominates campaign and experiment wall time).
+//! * `ml_train` / `ml_predict` — the classifier families of Fig. 3.
+//! * `telemetry` — window aggregation feeding the predictor (Figs. 4–11).
+//! * `scheduler` — a full small scheduling run (Figs. 5–11).
+//! * `probes` — the MPI probe model (Table I features).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rush_cluster::machine::{Machine, MachineConfig, SourceId, WorkloadIntensity};
+use rush_cluster::topology::NodeId;
+use rush_ml::dataset::Dataset;
+use rush_ml::model::{Classifier, ModelKind};
+use rush_sched::engine::{SchedulerConfig, SchedulerEngine};
+use rush_sched::predictor::NeverVaries;
+use rush_simkit::time::SimTime;
+use rush_telemetry::aggregate::aggregate_counters;
+use rush_telemetry::store::MetricStore;
+use rush_workloads::apps::AppId;
+use rush_workloads::jobgen::{generate_jobs, WorkloadSpec};
+use rush_workloads::probes::{run_probes, ProbeConfig};
+
+fn loaded_machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::experiment_pod(7));
+    for j in 0..20u64 {
+        let nodes: Vec<NodeId> = (j as u32 * 16..(j as u32 + 1) * 16).map(NodeId).collect();
+        m.register_load(SourceId(j), nodes, WorkloadIntensity::new(0.5, 0.7, 0.2));
+    }
+    m.enable_noise_job((480..512).map(NodeId).collect(), 18.0);
+    m.advance_to(SimTime::from_mins(5));
+    m
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    let mut m = loaded_machine();
+    let job_nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+    group.bench_function("congestion_16_nodes", |b| {
+        b.iter(|| std::hint::black_box(m.congestion(&job_nodes)))
+    });
+    group.bench_function("sample_counters_one_node", |b| {
+        b.iter(|| std::hint::black_box(m.sample_counters(NodeId(3))))
+    });
+    group.bench_function("advance_30s", |b| {
+        let mut t = m.now();
+        b.iter(|| {
+            t += rush_simkit::time::SimDuration::from_secs(30);
+            m.advance_to(t);
+        })
+    });
+    group.finish();
+}
+
+fn training_dataset(n: usize) -> Dataset {
+    let mut d = Dataset::new((0..40).map(|i| format!("f{i}")).collect());
+    for i in 0..n {
+        let label = u32::from(i % 7 == 0);
+        let row: Vec<f64> = (0..40)
+            .map(|j| ((i * 31 + j * 17) % 101) as f64 / 101.0 + label as f64 * (j == 3) as u64 as f64)
+            .collect();
+        d.push(row, label, (i % 7) as u32);
+    }
+    d
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let data = training_dataset(600);
+    let mut group = c.benchmark_group("ml_train");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(kind.train(&data, 42)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ml_predict");
+    for kind in ModelKind::ALL {
+        let model = kind.train(&data, 42);
+        let row = data.features[13].clone();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(model.predict(&row)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut store = MetricStore::new(64, 90);
+    let mut m = loaded_machine();
+    for s in 0..20u64 {
+        let at = SimTime::from_secs(s * 30);
+        for n in 0..64 {
+            let values = m.sample_counters(NodeId(n));
+            store.record(NodeId(n), at, &values);
+        }
+    }
+    let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+    c.bench_function("telemetry/aggregate_5min_16_nodes", |b| {
+        b.iter(|| {
+            std::hint::black_box(aggregate_counters(
+                &store,
+                &nodes,
+                SimTime::from_secs(300),
+                SimTime::from_secs(600),
+            ))
+        })
+    });
+}
+
+fn bench_probes(c: &mut Criterion) {
+    let mut m = loaded_machine();
+    let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+    let cfg = ProbeConfig::default();
+    let mut rng = SmallRng::seed_from_u64(5);
+    c.bench_function("probes/ring_plus_allreduce_16_nodes", |b| {
+        b.iter(|| std::hint::black_box(run_probes(&mut m, &nodes, &cfg, &mut rng)))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    group.bench_function("fcfs_easy_40_jobs_512_nodes", |b| {
+        b.iter_batched(
+            || {
+                let machine = Machine::new(MachineConfig::experiment_pod(3));
+                let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 40);
+                let mut rng = SmallRng::seed_from_u64(9);
+                let requests = generate_jobs(&spec, &mut rng);
+                let config = SchedulerConfig {
+                    sampling_interval: rush_simkit::time::SimDuration::from_days(365),
+                    ..SchedulerConfig::default()
+                };
+                (
+                    SchedulerEngine::new(machine, config, Box::new(NeverVaries), 11),
+                    requests,
+                )
+            },
+            |(mut engine, requests)| std::hint::black_box(engine.run(&requests)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_machine,
+    bench_ml,
+    bench_telemetry,
+    bench_probes,
+    bench_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 11: mean wait time per application, ADAA experiment, restricted to
+//! the 80% of jobs submitted after the start.
+//!
+//! Paper's findings this should reproduce: RUSH's wait times spread both
+//! ways; variation-prone applications (Laghos, sw4lite, LBANN) wait
+//! longer; differences stay within about a minute.
+
+use rush_bench::{campaign_cached, HarnessArgs};
+use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
+use rush_core::report::{fmt, wait_table};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
+    let settings = ExperimentSettings {
+        trials: args.trials,
+        job_count_override: args.jobs,
+        ..ExperimentSettings::default()
+    };
+    eprintln!("[fig11] running ADAA...");
+    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+
+    println!("# Fig. 11 — mean wait time of late-submitted jobs per app (ADAA)\n");
+    let table = wait_table(&comparison);
+    println!("{}", table.render());
+    println!("csv:\n{}", table.to_csv());
+
+    let mean_wait = |outs: &[rush_core::experiments::TrialOutcome]| {
+        outs.iter().map(|t| t.metrics.mean_wait_secs).sum::<f64>() / outs.len() as f64
+    };
+    println!(
+        "overall mean wait: FCFS+EASY {}s -> RUSH {}s",
+        fmt(mean_wait(&comparison.fcfs), 1),
+        fmt(mean_wait(&comparison.rush), 1)
+    );
+}

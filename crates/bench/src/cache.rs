@@ -1,0 +1,102 @@
+//! Campaign disk cache.
+//!
+//! Collecting a 60-day campaign takes real time; every figure binary needs
+//! the same one. The cache stores [`CampaignData`] as a line-based text
+//! file keyed by a hash of the campaign configuration, so the first binary
+//! collects and the rest reload.
+
+use rush_core::campaign_io::{decode, encode};
+use rush_core::collect::CampaignData;
+use rush_core::config::CampaignConfig;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The default cache directory: `<workspace>/target/rush-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    // CARGO_TARGET_DIR if set, else ./target relative to the working dir.
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target.join("rush-cache")
+}
+
+/// FNV-1a over the config's debug rendering — stable enough for a cache
+/// key within one build.
+fn config_key(config: &CampaignConfig) -> u64 {
+    let s = format!("{config:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Returns the campaign for `config`, loading from cache when possible and
+/// collecting + storing otherwise. `no_cache` forces recollection.
+pub fn campaign_cached(config: &CampaignConfig, no_cache: bool) -> CampaignData {
+    let dir = default_cache_dir();
+    let path = dir.join(format!("campaign-{:016x}.txt", config_key(config)));
+    if !no_cache {
+        if let Some(data) = try_load(&path, config) {
+            eprintln!("[cache] loaded campaign from {}", path.display());
+            return data;
+        }
+    }
+    eprintln!(
+        "[cache] collecting {}-day campaign (this is the slow step)...",
+        config.days
+    );
+    let data = rush_core::collect::run_campaign(config);
+    if let Err(e) = store(&path, &data) {
+        eprintln!("[cache] warning: could not store campaign: {e}");
+    } else {
+        eprintln!("[cache] stored campaign at {}", path.display());
+    }
+    data
+}
+
+fn try_load(path: &Path, config: &CampaignConfig) -> Option<CampaignData> {
+    let text = fs::read_to_string(path).ok()?;
+    match decode(&text, config) {
+        Ok(data) => Some(data),
+        Err(e) => {
+            eprintln!("[cache] ignoring corrupt cache {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn store(path: &Path, data: &CampaignData) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, encode(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_core::collect::run_campaign;
+
+    #[test]
+    fn store_and_reload_round_trips() {
+        let config = CampaignConfig::test_sized();
+        let data = run_campaign(&config);
+        let dir = std::env::temp_dir().join("rush-cache-test");
+        let path = dir.join("campaign.txt");
+        store(&path, &data).expect("store");
+        let back = try_load(&path, &config).expect("reload");
+        assert_eq!(back, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn config_keys_differ() {
+        let a = CampaignConfig::test_sized();
+        let mut b = a.clone();
+        b.seed += 1;
+        assert_ne!(config_key(&a), config_key(&b));
+        assert_eq!(config_key(&a), config_key(&a.clone()));
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal argument parsing shared by the figure binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--days N` — campaign length (default 60)
+//! * `--trials N` — trials per policy (default 5, the paper's count)
+//! * `--jobs N` — override the experiment job count (default: Table II)
+//! * `--seed N` — master seed (default 0xC0FFEE)
+//! * `--no-cache` — recollect the campaign even if a cache exists
+//! * `--quick` — smoke scale: 8 days, 1 trial, 24 jobs
+
+use rush_core::config::CampaignConfig;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Campaign days.
+    pub days: u32,
+    /// Trials per policy.
+    pub trials: usize,
+    /// Experiment job-count override.
+    pub jobs: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Skip the campaign cache.
+    pub no_cache: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            days: 60,
+            trials: 5,
+            jobs: None,
+            seed: 0xC0FFEE,
+            no_cache: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `args` (without the program name). Panics with a usage
+    /// message on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut grab = |what: &str| -> String {
+                iter.next()
+                    .unwrap_or_else(|| panic!("{what} requires a value"))
+            };
+            match arg.as_str() {
+                "--days" => out.days = grab("--days").parse().expect("--days: integer"),
+                "--trials" => out.trials = grab("--trials").parse().expect("--trials: integer"),
+                "--jobs" => out.jobs = Some(grab("--jobs").parse().expect("--jobs: integer")),
+                "--seed" => out.seed = grab("--seed").parse().expect("--seed: integer"),
+                "--no-cache" => out.no_cache = true,
+                "--quick" => {
+                    out.days = 8;
+                    out.trials = 1;
+                    out.jobs = Some(24);
+                }
+                other => panic!(
+                    "unknown argument '{other}'; supported: --days --trials --jobs --seed --no-cache --quick"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The campaign configuration these arguments select.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            days: self.days,
+            seed: self.seed,
+            storm_days: Some((self.days * 5 / 8, self.days * 3 / 4)),
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.days, 60);
+        assert_eq!(a.trials, 5);
+        assert_eq!(a.jobs, None);
+        assert!(!a.no_cache);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let a = parse(&["--days", "10", "--trials", "2", "--jobs", "50", "--seed", "9"]);
+        assert_eq!(a.days, 10);
+        assert_eq!(a.trials, 2);
+        assert_eq!(a.jobs, Some(50));
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn quick_mode() {
+        let a = parse(&["--quick"]);
+        assert_eq!(a.days, 8);
+        assert_eq!(a.trials, 1);
+        assert_eq!(a.jobs, Some(24));
+    }
+
+    #[test]
+    fn campaign_config_reflects_args() {
+        let a = parse(&["--days", "16"]);
+        let c = a.campaign_config();
+        assert_eq!(c.days, 16);
+        assert_eq!(c.storm_days, Some((10, 12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_rejected() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # rush-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper
+//! (`fig01_…` … `fig11_…`, `table1_…`, `table2_…`), plus criterion
+//! micro-benchmarks of the hot paths and ablation studies.
+//!
+//! Shared plumbing lives here: a disk cache for the (expensive) campaign,
+//! and argument parsing for `--days`, `--trials`, `--jobs`, `--seed`
+//! overrides so every figure can be regenerated at paper scale or smoke
+//! scale.
+
+pub mod cache;
+pub mod cli;
+
+pub use cache::{campaign_cached, default_cache_dir};
+pub use cli::HarnessArgs;

@@ -1,0 +1,40 @@
+//! # rush-cluster
+//!
+//! A discrete-event fat-tree HPC cluster model — the substrate that stands in
+//! for LLNL's Quartz system in this reproduction.
+//!
+//! The paper's variability comes from contention on shared resources: the
+//! Omni-Path fat-tree fabric and the Lustre parallel filesystem. This crate
+//! models exactly those mechanisms:
+//!
+//! * [`topology`] — a three-level fat tree (node → edge switch → aggregation
+//!   → core) with configurable arity; the experiments use one 512-node pod,
+//!   as in Section VI-A of the paper.
+//! * [`network`] — traffic sources (per-job communication plus an all-to-all
+//!   noise job) are folded into per-link loads; congestion for a node set is
+//!   derived from the utilization of the links its traffic traverses.
+//! * [`lustre`] — a shared-bandwidth filesystem model; I/O-intensive jobs and
+//!   background load drive its saturation.
+//! * [`noise`] — the processes that make the machine *vary*: a
+//!   regime-switching background-congestion Markov chain (calm/busy/storm), a
+//!   bounded-random-walk noise-job level, and per-job OS-noise jitter.
+//! * [`counters`] — synthesis of LDMS-style monitoring counters
+//!   (`sysclassib`, `opa_info`, `lustre_client`) from the hidden machine
+//!   state plus measurement noise, so the ML models face a realistic,
+//!   partially observed inference problem.
+//! * [`machine`] — the facade tying it all together; schedulers register and
+//!   remove traffic/I-O sources and query slowdowns, probes and counters.
+//! * [`placement`] — node allocation policies over the free pool.
+
+pub mod counters;
+pub mod lustre;
+pub mod machine;
+pub mod network;
+pub mod noise;
+pub mod placement;
+pub mod topology;
+
+pub use machine::{Machine, MachineConfig, SourceId, WorkloadIntensity};
+pub use network::{NetworkState, TrafficPattern, TrafficSource};
+pub use placement::{NodePool, PlacementPolicy};
+pub use topology::{FatTree, FatTreeConfig, LinkId, NodeId, SwitchId};

@@ -1,0 +1,579 @@
+//! The machine facade: topology + network + filesystem + noise in one
+//! object with a small, scheduler-facing API.
+//!
+//! A [`Machine`] is advanced explicitly (`advance_to`) and queried for the
+//! state jobs experience: network congestion over a node set, filesystem
+//! saturation, OS-noise draws, and per-node synthesized monitoring counters.
+//! Schedulers and workload models register the load of running jobs as
+//! sources; the experiment noise job and the background regime process are
+//! managed internally.
+
+use crate::counters::{synthesize_table, CounterTable, NodeObservation};
+use crate::lustre::{IoDemand, LustreConfig, LustreState};
+use crate::network::{BackgroundScope, NetworkState, TrafficPattern, TrafficSource};
+use crate::noise::{NoiseWalk, OsNoise, RegimeOverride, RegimeProcess};
+use crate::topology::{FatTree, FatTreeConfig, NodeId};
+use rand::rngs::SmallRng;
+use rush_simkit::rng::RngStreams;
+use rush_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a registered load source (usually a job id).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SourceId(pub u64);
+
+/// The noise-job source uses a reserved id far above any job id.
+const NOISE_SOURCE: u64 = u64::MAX;
+
+/// How much of each shared resource a workload stresses, on `[0, 1]`.
+///
+/// These are the same three intensity axes the paper one-hot encodes in its
+/// dataset (compute / network / I-O intensive); here they are continuous so
+/// proxy apps can mix them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadIntensity {
+    /// Fraction of time on the CPU (insensitive to shared resources).
+    pub compute: f64,
+    /// Network communication intensity.
+    pub network: f64,
+    /// Filesystem I/O intensity.
+    pub io: f64,
+}
+
+impl WorkloadIntensity {
+    /// A purely compute-bound workload.
+    pub const COMPUTE: WorkloadIntensity = WorkloadIntensity {
+        compute: 1.0,
+        network: 0.0,
+        io: 0.0,
+    };
+
+    /// Builds an intensity triple, clamping each axis to `[0, 1]`.
+    pub fn new(compute: f64, network: f64, io: f64) -> Self {
+        WorkloadIntensity {
+            compute: compute.clamp(0.0, 1.0),
+            network: network.clamp(0.0, 1.0),
+            io: io.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The dominant axis as a one-hot `[compute, network, io]` vector — the
+    /// encoding used by the dataset of Table I.
+    pub fn one_hot(&self) -> [f64; 3] {
+        let mut v = [0.0; 3];
+        let axes = [self.compute, self.network, self.io];
+        let max = axes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("intensities are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        v[max] = 1.0;
+        v
+    }
+}
+
+/// Per-job resource rates at full intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadScales {
+    /// Per-node injection at `network = 1.0`, GB/s.
+    pub net_gbps: f64,
+    /// Per-node read bandwidth at `io = 1.0`, GB/s.
+    pub read_gbps: f64,
+    /// Per-node write bandwidth at `io = 1.0`, GB/s.
+    pub write_gbps: f64,
+    /// Per-node metadata rate at `io = 1.0`, kOps/s.
+    pub meta_kops: f64,
+}
+
+impl Default for LoadScales {
+    fn default() -> Self {
+        LoadScales {
+            net_gbps: 1.0,
+            read_gbps: 0.15,
+            write_gbps: 0.25,
+            meta_kops: 0.5,
+        }
+    }
+}
+
+/// Machine construction parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Fat-tree shape.
+    pub tree: FatTreeConfig,
+    /// Filesystem pool.
+    pub lustre: LustreConfig,
+    /// Per-job resource rates at full intensity.
+    pub load_scales: LoadScales,
+    /// Interval between internal noise/regime updates.
+    pub noise_update: SimDuration,
+    /// OS-noise log-std.
+    pub os_noise_sigma: f64,
+    /// OS-noise factor cap.
+    pub os_noise_cap: f64,
+    /// Which links regime background traffic loads.
+    pub background_scope: BackgroundScope,
+    /// Master seed for all machine randomness.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The 512-node single-pod reservation used by the scheduling
+    /// experiments.
+    pub fn experiment_pod(seed: u64) -> Self {
+        // The reservation's aggregation fabric is modelled with deeper
+        // oversubscription than the campaign machine: the 512-node pod's
+        // schedulable jobs plus the noise job must actually contend, as
+        // they visibly do in the paper's experiments.
+        let mut tree = FatTreeConfig::single_pod();
+        tree.pod_fabric_gbps = 600.0;
+        MachineConfig {
+            tree,
+            lustre: LustreConfig::default(),
+            load_scales: LoadScales::default(),
+            noise_update: SimDuration::from_secs(30),
+            os_noise_sigma: 0.008,
+            os_noise_cap: 1.06,
+            background_scope: BackgroundScope::CoreOnly,
+            seed,
+        }
+    }
+
+    /// The full Quartz-like machine used for the data-collection campaign.
+    pub fn quartz_like(seed: u64) -> Self {
+        MachineConfig {
+            tree: FatTreeConfig::quartz_like(),
+            background_scope: BackgroundScope::AllLinks,
+            ..Self::experiment_pod(seed)
+        }
+    }
+
+    /// A tiny machine for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        MachineConfig {
+            tree: FatTreeConfig::tiny(),
+            lustre: LustreConfig {
+                aggregate_gbps: 10.0,
+                metadata_weight: 0.05,
+                ost_count: 4,
+                stripe_count: 2,
+            },
+            load_scales: LoadScales::default(),
+            noise_update: SimDuration::from_secs(10),
+            os_noise_sigma: 0.01,
+            os_noise_cap: 1.1,
+            background_scope: BackgroundScope::AllLinks,
+            seed,
+        }
+    }
+}
+
+/// A registered per-job load.
+#[derive(Debug, Clone)]
+struct RegisteredLoad {
+    nodes: Vec<NodeId>,
+    intensity: WorkloadIntensity,
+}
+
+/// Configuration of the experiment noise job.
+#[derive(Debug, Clone)]
+struct NoiseJob {
+    nodes: Vec<NodeId>,
+    max_gbps: f64,
+    walk: NoiseWalk,
+}
+
+/// The simulated machine.
+///
+/// ```
+/// use rush_cluster::machine::{Machine, MachineConfig, SourceId, WorkloadIntensity};
+/// use rush_cluster::topology::NodeId;
+///
+/// let mut machine = Machine::new(MachineConfig::tiny(7));
+/// let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+/// assert_eq!(machine.congestion(&nodes), 0.0);
+///
+/// machine.register_load(SourceId(1), nodes.clone(), WorkloadIntensity::new(0.2, 0.9, 0.1));
+/// assert!(machine.congestion(&nodes) > 0.0);
+/// assert!(machine.fs_saturation() > 0.0);
+///
+/// machine.remove_load(SourceId(1));
+/// assert_eq!(machine.congestion(&nodes), 0.0);
+/// ```
+pub struct Machine {
+    config: MachineConfig,
+    tree: FatTree,
+    net: NetworkState,
+    fs: LustreState,
+    regime: RegimeProcess,
+    noise_job: Option<NoiseJob>,
+    loads: HashMap<SourceId, RegisteredLoad>,
+    os_noise: OsNoise,
+    rng_regime: SmallRng,
+    rng_noise_job: SmallRng,
+    rng_counters: SmallRng,
+    rng_os: SmallRng,
+    now: SimTime,
+    last_noise_update: SimTime,
+}
+
+impl Machine {
+    /// Builds an idle machine at `t = 0`.
+    pub fn new(config: MachineConfig) -> Self {
+        let streams = RngStreams::new(config.seed);
+        let tree = FatTree::new(config.tree);
+        let fs = LustreState::new(config.lustre);
+        let os_noise = OsNoise::new(config.os_noise_sigma, config.os_noise_cap);
+        let mut rng_regime = streams.stream("machine/regime");
+        let regime = RegimeProcess::random_start(&mut rng_regime);
+        let mut net = NetworkState::new();
+        net.set_background_scope(config.background_scope);
+        Machine {
+            tree,
+            fs,
+            os_noise,
+            net,
+            regime,
+            noise_job: None,
+            loads: HashMap::new(),
+            rng_regime,
+            rng_noise_job: streams.stream("machine/noise-job"),
+            rng_counters: streams.stream("machine/counters"),
+            rng_os: streams.stream("machine/os-noise"),
+            now: SimTime::ZERO,
+            last_noise_update: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// The fat-tree topology.
+    pub fn tree(&self) -> &FatTree {
+        &self.tree
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current machine time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Pins the background regime inside a window (used to script the
+    /// Fig. 1 congestion spike).
+    pub fn add_regime_override(&mut self, ov: RegimeOverride) {
+        self.regime.add_override(ov);
+    }
+
+    /// Starts the experiment noise job: all-to-all traffic on `nodes` whose
+    /// level follows a bounded random walk up to `max_gbps` per node
+    /// (Section VI-A: "a noise job … that continuously sends variable
+    /// amounts of all-to-all traffic").
+    pub fn enable_noise_job(&mut self, nodes: Vec<NodeId>, max_gbps: f64) {
+        let walk = NoiseWalk::experiment_default().with_random_level(&mut self.rng_noise_job);
+        self.noise_job = Some(NoiseJob {
+            nodes,
+            max_gbps,
+            walk,
+        });
+        self.apply_noise_job();
+    }
+
+    /// Stops the noise job.
+    pub fn disable_noise_job(&mut self) {
+        self.noise_job = None;
+        self.net.remove_source(NOISE_SOURCE);
+    }
+
+    fn apply_noise_job(&mut self) {
+        if let Some(nj) = &self.noise_job {
+            self.net.add_source(
+                NOISE_SOURCE,
+                TrafficSource {
+                    nodes: nj.nodes.clone(),
+                    per_node_gbps: nj.walk.level() * nj.max_gbps,
+                    pattern: TrafficPattern::AllToAll,
+                },
+            );
+        }
+    }
+
+    /// Advances machine time to `t`, stepping the regime process and the
+    /// noise-job walk on the configured update interval.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t <= self.now {
+            self.now = self.now.max(t);
+            return;
+        }
+        let dt = self.config.noise_update;
+        while self.last_noise_update + dt <= t {
+            let step_at = self.last_noise_update + dt;
+            self.regime.step(step_at, dt, &mut self.rng_regime);
+            if let Some(nj) = &mut self.noise_job {
+                nj.walk.step(&mut self.rng_noise_job);
+            }
+            self.apply_noise_job();
+            self.last_noise_update = step_at;
+        }
+        // Push regime backgrounds into network and filesystem.
+        self.net
+            .set_background_util(self.regime.network_util(t));
+        self.fs.set_background_gbps(
+            self.regime.fs_fraction(t) * self.fs.config().aggregate_gbps,
+        );
+        self.now = t;
+    }
+
+    /// Registers the shared-resource load of a starting job.
+    pub fn register_load(
+        &mut self,
+        id: SourceId,
+        nodes: Vec<NodeId>,
+        intensity: WorkloadIntensity,
+    ) {
+        let s = &self.config.load_scales;
+        self.net.add_source(
+            id.0,
+            TrafficSource {
+                nodes: nodes.clone(),
+                per_node_gbps: intensity.network * s.net_gbps,
+                pattern: TrafficPattern::AllToAll,
+            },
+        );
+        let n = nodes.len() as f64;
+        self.fs.add_demand(
+            id.0,
+            IoDemand {
+                read_gbps: intensity.io * s.read_gbps * n,
+                write_gbps: intensity.io * s.write_gbps * n,
+                metadata_kops: intensity.io * s.meta_kops * n,
+            },
+        );
+        self.loads.insert(id, RegisteredLoad { nodes, intensity });
+    }
+
+    /// Removes a finished job's load; unknown ids are ignored.
+    pub fn remove_load(&mut self, id: SourceId) {
+        self.net.remove_source(id.0);
+        self.fs.remove_demand(id.0);
+        self.loads.remove(&id);
+    }
+
+    /// Number of registered job loads (noise job excluded).
+    pub fn load_count(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Network congestion index for `nodes` (see
+    /// [`NetworkState::congestion`]).
+    pub fn congestion(&mut self, nodes: &[NodeId]) -> f64 {
+        self.net.congestion(&self.tree, nodes)
+    }
+
+    /// Filesystem saturation (demand / capacity).
+    pub fn fs_saturation(&self) -> f64 {
+        self.fs.saturation()
+    }
+
+    /// Fraction of requested filesystem bandwidth actually delivered.
+    pub fn fs_delivered_fraction(&self) -> f64 {
+        self.fs.delivered_fraction()
+    }
+
+    /// Draws a per-run OS-noise slowdown factor (≥ 1).
+    pub fn draw_os_noise(&mut self) -> f64 {
+        self.os_noise.draw(&mut self.rng_os)
+    }
+
+    /// Assembles what `node` can observe right now; input to counter
+    /// synthesis.
+    pub fn observe(&mut self, node: NodeId) -> NodeObservation {
+        let xmit = self.net.node_access_load(&self.tree, node);
+        let edge_util = self.net.edge_uplink_util(&self.tree, node);
+        let pod_util = self.net.upper_fabric_util(&self.tree, node);
+        // Attribute I/O demand to the node through whichever job runs on it.
+        let (mut read, mut write, mut meta) = (0.0, 0.0, 0.0);
+        for load in self.loads.values() {
+            if load.nodes.contains(&node) {
+                let s = &self.config.load_scales;
+                read += load.intensity.io * s.read_gbps;
+                write += load.intensity.io * s.write_gbps;
+                meta += load.intensity.io * s.meta_kops;
+            }
+        }
+        let delivered = self.fs.delivered_fraction();
+        NodeObservation {
+            xmit_gbps: xmit,
+            recv_gbps: xmit, // symmetric patterns: every byte sent is received
+            edge_uplink_util: edge_util,
+            pod_uplink_util: pod_util,
+            read_gbps: read * delivered,
+            write_gbps: write * delivered,
+            meta_kops: meta * delivered,
+            fs_saturation: self.fs.saturation(),
+        }
+    }
+
+    /// Synthesizes the three counter tables for `node`, flattened in
+    /// Table-I order (`sysclassib` 22, `opa_info` 34, `lustre_client` 34).
+    pub fn sample_counters(&mut self, node: NodeId) -> Vec<f64> {
+        let obs = self.observe(node);
+        let mut out = Vec::with_capacity(90);
+        for table in CounterTable::ALL {
+            out.extend(synthesize_table(table, &obs, &mut self.rng_counters));
+        }
+        out
+    }
+
+    /// Current noise-job injection level in GB/s per node (0 when disabled).
+    pub fn noise_level_gbps(&self) -> f64 {
+        self.noise_job
+            .as_ref()
+            .map(|nj| nj.walk.level() * nj.max_gbps)
+            .unwrap_or(0.0)
+    }
+
+    /// Current background (regime) network utilization.
+    pub fn background_util(&self) -> f64 {
+        self.net.background_util()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(r: std::ops::Range<u32>) -> Vec<NodeId> {
+        r.map(NodeId).collect()
+    }
+
+    #[test]
+    fn idle_machine_is_calm() {
+        let mut m = Machine::new(MachineConfig::tiny(1));
+        assert_eq!(m.fs_saturation(), 0.0);
+        assert_eq!(m.congestion(&nodes(0..8)), 0.0);
+        assert_eq!(m.load_count(), 0);
+    }
+
+    #[test]
+    fn advancing_time_raises_background() {
+        let mut m = Machine::new(MachineConfig::tiny(1));
+        m.advance_to(SimTime::from_mins(10));
+        assert!(m.background_util() > 0.0, "regime background should apply");
+        assert!(m.fs_saturation() > 0.0);
+        assert_eq!(m.now(), SimTime::from_mins(10));
+    }
+
+    #[test]
+    fn advance_is_monotone_and_idempotent() {
+        let mut m = Machine::new(MachineConfig::tiny(1));
+        m.advance_to(SimTime::from_mins(5));
+        let bg = m.background_util();
+        m.advance_to(SimTime::from_mins(5));
+        assert_eq!(m.background_util(), bg);
+        m.advance_to(SimTime::from_mins(3)); // going backwards is a no-op
+        assert_eq!(m.now(), SimTime::from_mins(5));
+    }
+
+    #[test]
+    fn job_load_registers_and_clears() {
+        let mut m = Machine::new(MachineConfig::tiny(2));
+        let id = SourceId(1);
+        m.register_load(id, nodes(0..8), WorkloadIntensity::new(0.2, 0.9, 0.3));
+        assert!(m.congestion(&nodes(0..8)) > 0.0);
+        assert!(m.fs_saturation() > 0.0);
+        assert_eq!(m.load_count(), 1);
+        m.remove_load(id);
+        assert_eq!(m.congestion(&nodes(0..8)), 0.0);
+        assert_eq!(m.fs_saturation(), 0.0);
+        assert_eq!(m.load_count(), 0);
+    }
+
+    #[test]
+    fn noise_job_injects_traffic() {
+        let mut m = Machine::new(MachineConfig::tiny(3));
+        m.enable_noise_job(nodes(0..2), 8.0);
+        assert!(m.noise_level_gbps() > 0.0);
+        // The noise spans two nodes on the same edge switch -> access links
+        // carry it; a same-switch bystander set sees it via access? No —
+        // congestion only checks the bystander's own links, so check the
+        // noise nodes themselves.
+        assert!(m.congestion(&nodes(0..2)) > 0.0);
+        m.disable_noise_job();
+        assert_eq!(m.noise_level_gbps(), 0.0);
+        assert_eq!(m.congestion(&nodes(0..2)), 0.0);
+    }
+
+    #[test]
+    fn noise_level_varies_over_time() {
+        let mut m = Machine::new(MachineConfig::tiny(4));
+        m.enable_noise_job(nodes(0..4), 8.0);
+        let mut levels = Vec::new();
+        for i in 1..50 {
+            m.advance_to(SimTime::from_mins(i));
+            levels.push(m.noise_level_gbps());
+        }
+        let min = levels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = levels.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.5, "noise should wander: {min}..{max}");
+        assert!(max <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = |seed| {
+            let mut m = Machine::new(MachineConfig::tiny(seed));
+            m.enable_noise_job(nodes(0..4), 8.0);
+            let mut out = Vec::new();
+            for i in 1..30 {
+                m.advance_to(SimTime::from_mins(i));
+                out.push((m.background_util(), m.noise_level_gbps()));
+            }
+            out
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn observation_reflects_registered_io() {
+        let mut m = Machine::new(MachineConfig::tiny(5));
+        m.register_load(SourceId(1), nodes(0..4), WorkloadIntensity::new(0.0, 0.0, 1.0));
+        let on_job = m.observe(NodeId(0));
+        let off_job = m.observe(NodeId(9));
+        assert!(on_job.read_gbps > 0.0);
+        assert!(on_job.meta_kops > 0.0);
+        assert_eq!(off_job.read_gbps, 0.0);
+        // global saturation visible everywhere
+        assert!(off_job.fs_saturation > 0.0);
+    }
+
+    #[test]
+    fn sample_counters_has_ninety_values() {
+        let mut m = Machine::new(MachineConfig::tiny(6));
+        let v = m.sample_counters(NodeId(0));
+        assert_eq!(v.len(), 90);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn one_hot_picks_dominant_axis() {
+        assert_eq!(WorkloadIntensity::new(0.9, 0.2, 0.1).one_hot(), [1.0, 0.0, 0.0]);
+        assert_eq!(WorkloadIntensity::new(0.1, 0.8, 0.2).one_hot(), [0.0, 1.0, 0.0]);
+        assert_eq!(WorkloadIntensity::new(0.1, 0.2, 0.9).one_hot(), [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn intensities_clamp() {
+        let w = WorkloadIntensity::new(-1.0, 2.0, 0.5);
+        assert_eq!(w.compute, 0.0);
+        assert_eq!(w.network, 1.0);
+        assert_eq!(w.io, 0.5);
+    }
+}

@@ -1,0 +1,459 @@
+//! The processes that make the machine vary.
+//!
+//! Three mechanisms, mirroring Section VI-A of the paper:
+//!
+//! * [`RegimeProcess`] — a calm/busy/storm Markov chain standing in for the
+//!   rest of the production machine's shifting load. Regimes persist for
+//!   tens of minutes, which is what makes five-minute-old counters
+//!   predictive of near-future variability. A scheduled override lets the
+//!   data-collection campaign reproduce the mid-December congestion spike of
+//!   Fig. 1.
+//! * [`NoiseWalk`] — the level of the experiment's all-to-all noise job,
+//!   "variable amounts of all-to-all traffic": a bounded random walk with
+//!   occasional bursts.
+//! * [`OsNoise`] — small per-run multiplicative jitter from OS interference,
+//!   drawn once per job execution.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use rush_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Background-load regime of the wider machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regime {
+    /// Light background traffic; jobs run near their nominal time.
+    Calm,
+    /// Moderate contention; sensitive applications start to vary.
+    Busy,
+    /// Heavy contention; most applications vary (the Fig. 1 spike).
+    Storm,
+}
+
+impl Regime {
+    /// Baseline network utilization this regime adds to fabric uplinks.
+    pub fn network_util(self) -> f64 {
+        match self {
+            Regime::Calm => 0.04,
+            Regime::Busy => 0.28,
+            Regime::Storm => 0.90,
+        }
+    }
+
+    /// Baseline filesystem demand this regime adds, as a fraction of
+    /// filesystem capacity.
+    pub fn fs_fraction(self) -> f64 {
+        match self {
+            Regime::Calm => 0.05,
+            Regime::Busy => 0.25,
+            Regime::Storm => 0.80,
+        }
+    }
+
+    /// Mean dwell time before transitioning away.
+    pub fn mean_dwell(self) -> SimDuration {
+        match self {
+            Regime::Calm => SimDuration::from_mins(60),
+            Regime::Busy => SimDuration::from_mins(30),
+            Regime::Storm => SimDuration::from_mins(20),
+        }
+    }
+
+    /// Transition distribution when leaving this regime (`[calm, busy,
+    /// storm]` probabilities).
+    fn transition_probs(self) -> [f64; 3] {
+        match self {
+            Regime::Calm => [0.0, 0.90, 0.10],
+            Regime::Busy => [0.70, 0.0, 0.30],
+            Regime::Storm => [0.30, 0.70, 0.0],
+        }
+    }
+
+    fn from_index(i: usize) -> Regime {
+        match i {
+            0 => Regime::Calm,
+            1 => Regime::Busy,
+            _ => Regime::Storm,
+        }
+    }
+}
+
+/// A time window during which the regime is pinned (e.g. the mid-campaign
+/// storm of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegimeOverride {
+    /// Start of the pinned window (inclusive).
+    pub from: SimTime,
+    /// End of the pinned window (exclusive).
+    pub to: SimTime,
+    /// Regime forced inside the window.
+    pub regime: Regime,
+}
+
+/// Markov-modulated background load.
+#[derive(Debug, Clone)]
+pub struct RegimeProcess {
+    current: Regime,
+    overrides: Vec<RegimeOverride>,
+    /// Smoothly varying multiplier on the regime baselines so two samples in
+    /// the same regime still differ.
+    wobble: f64,
+}
+
+impl RegimeProcess {
+    /// Starts in the calm regime with no overrides.
+    pub fn new() -> Self {
+        RegimeProcess {
+            current: Regime::Calm,
+            overrides: Vec::new(),
+            wobble: 1.0,
+        }
+    }
+
+    /// Starts from a random stationary-ish state, so short simulations
+    /// (the 30–50 minute scheduling experiments) don't all begin calm.
+    pub fn random_start(rng: &mut SmallRng) -> Self {
+        let draw: f64 = rng.gen();
+        let current = if draw < 0.50 {
+            Regime::Calm
+        } else if draw < 0.85 {
+            Regime::Busy
+        } else {
+            Regime::Storm
+        };
+        RegimeProcess {
+            current,
+            overrides: Vec::new(),
+            wobble: rng.gen_range(0.8..1.2),
+        }
+    }
+
+    /// Adds a pinned window.
+    pub fn add_override(&mut self, ov: RegimeOverride) {
+        self.overrides.push(ov);
+    }
+
+    /// The regime in force at `now` (override-aware).
+    pub fn regime_at(&self, now: SimTime) -> Regime {
+        for ov in &self.overrides {
+            if now >= ov.from && now < ov.to {
+                return ov.regime;
+            }
+        }
+        self.current
+    }
+
+    /// Advances the chain by `dt`. Transition probability over the step is
+    /// `1 - exp(-dt / mean_dwell)`; the wobble multiplier follows a gentle
+    /// AR(1) walk.
+    pub fn step(&mut self, now: SimTime, dt: SimDuration, rng: &mut SmallRng) {
+        let dwell = self.current.mean_dwell().as_secs_f64();
+        let p_leave = 1.0 - (-dt.as_secs_f64() / dwell).exp();
+        if rng.gen::<f64>() < p_leave {
+            let probs = self.current.transition_probs();
+            let draw: f64 = rng.gen();
+            let mut acc = 0.0;
+            for (i, &p) in probs.iter().enumerate() {
+                acc += p;
+                if draw < acc {
+                    self.current = Regime::from_index(i);
+                    break;
+                }
+            }
+        }
+        // Slow AR(1) wobble around 1.0, clamped to [0.8, 1.2]. The decay
+        // constant (~1.5% per step, a ~30-minute time constant at the
+        // default 30 s step) keeps congestion levels persistent: this is
+        // what makes five-minute-old counters predictive of the next few
+        // minutes, the paper's core premise.
+        let shock: f64 = rng.gen_range(-0.02..0.02);
+        self.wobble = (0.985 * self.wobble + 0.015 + shock).clamp(0.8, 1.2);
+        let _ = now; // regime_at applies overrides; the chain itself is time-homogeneous
+    }
+
+    /// Background network utilization contributed at `now`.
+    pub fn network_util(&self, now: SimTime) -> f64 {
+        self.regime_at(now).network_util() * self.wobble
+    }
+
+    /// Background filesystem demand at `now`, as a fraction of capacity.
+    pub fn fs_fraction(&self, now: SimTime) -> f64 {
+        self.regime_at(now).fs_fraction() * self.wobble
+    }
+}
+
+impl Default for RegimeProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The level process of the experiment noise job: a slow random walk over
+/// a moderate base range plus occasional *bursts* that jump to the maximum
+/// and decay geometrically back toward the base.
+///
+/// The burst shape is the load-bearing choice: variation-causing
+/// congestion episodes last a couple of minutes — long enough for the
+/// counters and probes to see them and for RUSH to delay a job past them,
+/// short enough that the 10-skip starvation bound is rarely exhausted
+/// (the paper reports its threshold "was never met").
+#[derive(Debug, Clone)]
+pub struct NoiseWalk {
+    level: f64,
+    base: f64,
+    min: f64,
+    base_max: f64,
+    max: f64,
+    step: f64,
+    burst_prob: f64,
+    burst_decay: f64,
+}
+
+impl NoiseWalk {
+    /// A walk whose base wanders `[min, base_max]` with kicks of width
+    /// `step`; with probability `burst_prob` per update the level jumps to
+    /// `max`, then the excess above base decays by `burst_decay` per
+    /// update.
+    pub fn new(
+        min: f64,
+        base_max: f64,
+        max: f64,
+        step: f64,
+        burst_prob: f64,
+        burst_decay: f64,
+    ) -> Self {
+        assert!(min <= base_max && base_max <= max, "invalid noise ranges");
+        assert!((0.0..1.0).contains(&burst_decay), "decay must be in [0,1)");
+        NoiseWalk {
+            level: (min + base_max) / 2.0,
+            base: (min + base_max) / 2.0,
+            min,
+            base_max,
+            max,
+            step,
+            burst_prob,
+            burst_decay,
+        }
+    }
+
+    /// The default experiment noise: base level in `[0.05, 0.4]`, bursts to
+    /// 1.0 decaying with a ~3-minute half-life at the 30 s update cadence.
+    pub fn experiment_default() -> Self {
+        NoiseWalk::new(0.05, 0.4, 1.0, 0.04, 0.018, 0.9)
+    }
+
+    /// Randomizes the starting base level within the base range.
+    pub fn with_random_level(mut self, rng: &mut SmallRng) -> Self {
+        self.base = rng.gen_range(self.min..=self.base_max);
+        self.level = self.base;
+        self
+    }
+
+    /// Current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Current base (burst-free) level.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Advances the walk one update.
+    pub fn step(&mut self, rng: &mut SmallRng) -> f64 {
+        // Base walk: sum of two uniforms approximates a triangular kick.
+        let kick = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * self.step;
+        self.base = reflect(self.base + kick, self.min, self.base_max);
+        // Burst excess decays geometrically; a new burst refills it.
+        let excess = (self.level - self.base).max(0.0) * self.burst_decay;
+        self.level = if rng.gen::<f64>() < self.burst_prob {
+            self.max
+        } else {
+            (self.base + excess).min(self.max)
+        };
+        self.level
+    }
+}
+
+/// Reflects `x` into `[min, max]`.
+fn reflect(x: f64, min: f64, max: f64) -> f64 {
+    if max <= min {
+        return min;
+    }
+    let mut v = x;
+    loop {
+        if v < min {
+            v = 2.0 * min - v;
+        } else if v > max {
+            v = 2.0 * max - v;
+        } else {
+            return v;
+        }
+    }
+}
+
+/// Per-run OS-noise jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct OsNoise {
+    sigma: f64,
+    cap: f64,
+}
+
+impl OsNoise {
+    /// Lognormal jitter with log-std `sigma`, multiplicative factor capped
+    /// at `cap`.
+    pub fn new(sigma: f64, cap: f64) -> Self {
+        assert!(sigma >= 0.0 && cap >= 1.0, "invalid OS noise parameters");
+        OsNoise { sigma, cap }
+    }
+
+    /// Default: ~1% typical jitter, never more than 6%.
+    pub fn quartz_default() -> Self {
+        OsNoise::new(0.008, 1.06)
+    }
+
+    /// Draws a multiplicative slowdown factor ≥ 1.
+    pub fn draw(&self, rng: &mut SmallRng) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let ln = LogNormal::new(0.0, self.sigma).expect("sigma validated at construction");
+        // Fold below-1 draws back above 1: OS noise only ever slows you down.
+        let x: f64 = ln.sample(rng);
+        let factor = if x < 1.0 { 1.0 / x } else { x };
+        factor.min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn regime_process_visits_all_states() {
+        let mut rp = RegimeProcess::new();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_mins(5);
+        for _ in 0..2_000 {
+            rp.step(now, dt, &mut r);
+            seen.insert(rp.regime_at(now));
+            now += dt;
+        }
+        assert_eq!(seen.len(), 3, "all regimes should be visited: {seen:?}");
+    }
+
+    #[test]
+    fn storm_is_worse_than_calm() {
+        assert!(Regime::Storm.network_util() > Regime::Busy.network_util());
+        assert!(Regime::Busy.network_util() > Regime::Calm.network_util());
+        assert!(Regime::Storm.fs_fraction() > Regime::Calm.fs_fraction());
+    }
+
+    #[test]
+    fn overrides_pin_the_regime() {
+        let mut rp = RegimeProcess::new();
+        rp.add_override(RegimeOverride {
+            from: SimTime::from_secs(100),
+            to: SimTime::from_secs(200),
+            regime: Regime::Storm,
+        });
+        assert_eq!(rp.regime_at(SimTime::from_secs(50)), Regime::Calm);
+        assert_eq!(rp.regime_at(SimTime::from_secs(100)), Regime::Storm);
+        assert_eq!(rp.regime_at(SimTime::from_secs(199)), Regime::Storm);
+        assert_eq!(rp.regime_at(SimTime::from_secs(200)), Regime::Calm);
+    }
+
+    #[test]
+    fn regime_transitions_are_autocorrelated() {
+        // With a 1-second step, the chain should almost never transition.
+        let mut rp = RegimeProcess::new();
+        let mut r = rng();
+        let mut transitions = 0;
+        let mut prev = rp.regime_at(SimTime::ZERO);
+        for i in 0..600 {
+            let now = SimTime::from_secs(i);
+            rp.step(now, SimDuration::from_secs(1), &mut r);
+            let cur = rp.regime_at(now);
+            if cur != prev {
+                transitions += 1;
+            }
+            prev = cur;
+        }
+        assert!(transitions <= 3, "10 minutes of 1s steps: {transitions} transitions");
+    }
+
+    #[test]
+    fn noise_walk_stays_in_bounds() {
+        let mut w = NoiseWalk::experiment_default();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let l = w.step(&mut r);
+            assert!((0.05..=1.0).contains(&l), "level {l} out of bounds");
+            assert!((0.05..=0.4).contains(&w.base()), "base {} out of bounds", w.base());
+        }
+    }
+
+    #[test]
+    fn noise_walk_moves() {
+        let mut w = NoiseWalk::experiment_default();
+        let mut r = rng();
+        let first = w.level();
+        let levels: Vec<f64> = (0..100).map(|_| w.step(&mut r)).collect();
+        assert!(levels.iter().any(|&l| (l - first).abs() > 0.05));
+    }
+
+    #[test]
+    fn noise_bursts_spike_and_decay() {
+        let mut w = NoiseWalk::experiment_default();
+        let mut r = rng();
+        // Run long enough to see bursts (p = 2.5% per step).
+        let levels: Vec<f64> = (0..2_000).map(|_| w.step(&mut r)).collect();
+        let bursts = levels.iter().filter(|&&l| l == 1.0).count();
+        assert!(bursts > 10, "bursts should occur: {bursts}");
+        // High levels are transient: the fraction of time above 0.8 is
+        // small compared to the fraction below the base ceiling.
+        let high = levels.iter().filter(|&&l| l > 0.8).count() as f64 / levels.len() as f64;
+        let low = levels.iter().filter(|&&l| l <= 0.55).count() as f64 / levels.len() as f64;
+        assert!(high < 0.25, "high-noise time share {high}");
+        assert!(low > 0.5, "calm time share {low}");
+        // After a burst the level decays monotonically (absent re-bursts).
+        if let Some(i) = levels.iter().position(|&l| l == 1.0) {
+            if levels[i + 1] < 1.0 && levels[i + 2] < 1.0 {
+                assert!(levels[i + 1] > levels[i + 2] - 0.06, "decay after burst");
+            }
+        }
+    }
+
+    #[test]
+    fn reflect_handles_far_excursions() {
+        assert!((reflect(1.7, 0.0, 1.0) - 0.3).abs() < 1e-12);
+        assert!((reflect(-0.4, 0.0, 1.0) - 0.4).abs() < 1e-12);
+        assert_eq!(reflect(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(reflect(5.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn os_noise_is_bounded_slowdown() {
+        let noise = OsNoise::quartz_default();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let f = noise.draw(&mut r);
+            assert!((1.0..=1.15).contains(&f), "factor {f}");
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let noise = OsNoise::new(0.0, 1.5);
+        let mut r = rng();
+        assert_eq!(noise.draw(&mut r), 1.0);
+    }
+}

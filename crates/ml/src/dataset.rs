@@ -1,0 +1,266 @@
+//! Row-major datasets with labels and sample groups.
+//!
+//! A [`Dataset`] is the in-memory form of the paper's Pandas dataframe: one
+//! row per control-job run, 282 feature columns (Table I), an integer class
+//! label, and a *group* identifying which application produced the sample —
+//! the unit the leave-one-application-out cross-validation splits on
+//! (Section IV-A: "we split the data using six applications for training
+//! and one for validation").
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled, grouped feature matrix.
+///
+/// ```
+/// use rush_ml::dataset::Dataset;
+/// use rush_ml::model::{Classifier, ModelKind};
+///
+/// let mut data = Dataset::new(vec!["x".into()]);
+/// for i in 0..20 {
+///     data.push(vec![i as f64], u32::from(i >= 10), 0);
+/// }
+/// let model = ModelKind::DecisionForest.train(&data, 42);
+/// assert_eq!(model.predict(&[2.0]), 0);
+/// assert_eq!(model.predict(&[17.0]), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Dataset {
+    /// Feature names, one per column.
+    pub feature_names: Vec<String>,
+    /// Rows of features; all rows have `feature_names.len()` columns.
+    pub features: Vec<Vec<f64>>,
+    /// Class label per row.
+    pub labels: Vec<u32>,
+    /// Group (application index) per row.
+    pub groups: Vec<u32>,
+}
+
+impl Dataset {
+    /// An empty dataset with the given columns.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset {
+            feature_names,
+            features: Vec::new(),
+            labels: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    /// Panics if the row width doesn't match the schema.
+    pub fn push(&mut self, features: Vec<f64>, label: u32, group: u32) {
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "row width {} != schema width {}",
+            features.len(),
+            self.feature_names.len()
+        );
+        self.features.push(features);
+        self.labels.push(label);
+        self.groups.push(group);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of distinct classes (`max label + 1`; 0 when empty).
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().max().map(|&m| m as usize + 1).unwrap_or(0)
+    }
+
+    /// Count of samples per class, indexed by label.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// Distinct group ids, sorted.
+    pub fn group_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.groups.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// A new dataset containing the rows at `indices` (in that order).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            groups: indices.iter().map(|&i| self.groups[i]).collect(),
+        }
+    }
+
+    /// A new dataset keeping only the feature columns at `columns` (in that
+    /// order) — the output side of recursive feature elimination.
+    pub fn select_features(&self, columns: &[usize]) -> Dataset {
+        for &c in columns {
+            assert!(c < self.n_features(), "column {c} out of range");
+        }
+        Dataset {
+            feature_names: columns
+                .iter()
+                .map(|&c| self.feature_names[c].clone())
+                .collect(),
+            features: self
+                .features
+                .iter()
+                .map(|row| columns.iter().map(|&c| row[c]).collect())
+                .collect(),
+            labels: self.labels.clone(),
+            groups: self.groups.clone(),
+        }
+    }
+
+    /// Splits into `(kept, held_out)` by group membership: samples whose
+    /// group is in `held_out_groups` go to the second dataset.
+    pub fn split_by_groups(&self, held_out_groups: &[u32]) -> (Dataset, Dataset) {
+        let mut keep = Vec::new();
+        let mut hold = Vec::new();
+        for (i, &g) in self.groups.iter().enumerate() {
+            if held_out_groups.contains(&g) {
+                hold.push(i);
+            } else {
+                keep.push(i);
+            }
+        }
+        (self.subset(&keep), self.subset(&hold))
+    }
+
+    /// Relabels every sample through `f` (e.g. collapsing three classes to
+    /// binary for F1 evaluation).
+    pub fn map_labels(&self, f: impl Fn(u32) -> u32) -> Dataset {
+        Dataset {
+            labels: self.labels.iter().map(|&l| f(l)).collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Checks internal consistency (row widths, parallel array lengths,
+    /// finite features). Intended for `debug_assert!` at pipeline seams.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.labels.len() != self.features.len() || self.groups.len() != self.features.len() {
+            return Err(format!(
+                "parallel arrays disagree: {} features, {} labels, {} groups",
+                self.features.len(),
+                self.labels.len(),
+                self.groups.len()
+            ));
+        }
+        for (i, row) in self.features.iter().enumerate() {
+            if row.len() != self.feature_names.len() {
+                return Err(format!("row {i} has width {}", row.len()));
+            }
+            if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+                return Err(format!("row {i}, column {j} is not finite"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        d.push(vec![1.0, 2.0, 3.0], 0, 0);
+        d.push(vec![4.0, 5.0, 6.0], 1, 0);
+        d.push(vec![7.0, 8.0, 9.0], 1, 1);
+        d.push(vec![10.0, 11.0, 12.0], 2, 2);
+        d
+    }
+
+    #[test]
+    fn dimensions() {
+        let d = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.n_classes(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.class_counts(), vec![1, 2, 1]);
+        assert_eq!(d.group_ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let d = sample();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.features[0], vec![7.0, 8.0, 9.0]);
+        assert_eq!(s.labels, vec![1, 0]);
+        assert_eq!(s.groups, vec![1, 0]);
+    }
+
+    #[test]
+    fn select_features_reorders_columns() {
+        let d = sample();
+        let s = d.select_features(&[2, 0]);
+        assert_eq!(s.feature_names, vec!["c", "a"]);
+        assert_eq!(s.features[0], vec![3.0, 1.0]);
+        assert_eq!(s.labels, d.labels);
+    }
+
+    #[test]
+    fn split_by_groups_partitions() {
+        let d = sample();
+        let (train, test) = d.split_by_groups(&[0]);
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 2);
+        assert!(test.groups.iter().all(|&g| g == 0));
+        assert!(train.groups.iter().all(|&g| g != 0));
+    }
+
+    #[test]
+    fn map_labels_collapses_classes() {
+        let d = sample();
+        // 3-class -> binary: "variation" (2) vs rest
+        let b = d.map_labels(|l| u32::from(l == 2));
+        assert_eq!(b.labels, vec![0, 0, 0, 1]);
+        assert_eq!(b.n_classes(), 2);
+    }
+
+    #[test]
+    fn validate_catches_nan() {
+        let mut d = sample();
+        assert!(d.validate().is_ok());
+        d.features[1][2] = f64::NAN;
+        assert!(d.validate().unwrap_err().contains("not finite"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn push_rejects_wrong_width() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push(vec![1.0, 2.0], 0, 0);
+    }
+
+    #[test]
+    fn empty_dataset_edge_cases() {
+        let d = Dataset::new(vec!["a".into()]);
+        assert_eq!(d.n_classes(), 0);
+        assert!(d.class_counts().is_empty());
+        assert!(d.group_ids().is_empty());
+        assert!(d.validate().is_ok());
+    }
+}

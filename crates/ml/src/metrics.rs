@@ -1,0 +1,271 @@
+//! Classification metrics.
+//!
+//! The paper evaluates its (imbalanced) variability classification with the
+//! F-measure, defined in Section VI-B as
+//!
+//! ```text
+//! F1 = tp / (tp + ½ (fp + fn))
+//! ```
+//!
+//! with *variation* as the positive class. We provide that binary F1, the
+//! per-class and macro-averaged generalizations used for the 3-class model,
+//! plus accuracy, precision and recall.
+
+use serde::{Deserialize, Serialize};
+
+/// A `k × k` confusion matrix; `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel label slices.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or either slice is empty.
+    pub fn from_predictions(actual: &[u32], predicted: &[u32]) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+        assert!(!actual.is_empty(), "no predictions to score");
+        let k = actual
+            .iter()
+            .chain(predicted.iter())
+            .max()
+            .map(|&m| m as usize + 1)
+            .expect("non-empty");
+        let mut counts = vec![vec![0usize; k]; k];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            counts[a as usize][p as usize] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of `(actual, predicted)`.
+    pub fn count(&self, actual: u32, predicted: u32) -> usize {
+        self.counts[actual as usize][predicted as usize]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Fraction predicted correctly.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / self.total() as f64
+    }
+
+    /// True positives for `class`. Classes beyond the matrix (never seen,
+    /// never predicted) report zero rather than panicking — this happens in
+    /// cross-validation folds where the positive class is absent.
+    pub fn tp(&self, class: u32) -> usize {
+        let c = class as usize;
+        if c >= self.n_classes() {
+            return 0;
+        }
+        self.counts[c][c]
+    }
+
+    /// False positives for `class` (predicted class, actually something
+    /// else). Zero for classes beyond the matrix.
+    pub fn fp(&self, class: u32) -> usize {
+        let c = class as usize;
+        if c >= self.n_classes() {
+            return 0;
+        }
+        (0..self.n_classes())
+            .filter(|&a| a != c)
+            .map(|a| self.counts[a][c])
+            .sum()
+    }
+
+    /// False negatives for `class` (actually class, predicted something
+    /// else). Zero for classes beyond the matrix.
+    pub fn fn_(&self, class: u32) -> usize {
+        let c = class as usize;
+        if c >= self.n_classes() {
+            return 0;
+        }
+        (0..self.n_classes())
+            .filter(|&p| p != c)
+            .map(|p| self.counts[c][p])
+            .sum()
+    }
+
+    /// Precision for `class`; 0 when the class is never predicted.
+    pub fn precision(&self, class: u32) -> f64 {
+        let tp = self.tp(class);
+        let denom = tp + self.fp(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall for `class`; 0 when the class never occurs.
+    pub fn recall(&self, class: u32) -> f64 {
+        let tp = self.tp(class);
+        let denom = tp + self.fn_(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// The paper's F1 for `class`: `tp / (tp + ½(fp + fn))`; 0 when the
+    /// class neither occurs nor is predicted.
+    pub fn f1(&self, class: u32) -> f64 {
+        let tp = self.tp(class) as f64;
+        let denom = tp + 0.5 * (self.fp(class) + self.fn_(class)) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            tp / denom
+        }
+    }
+
+    /// Unweighted mean of per-class F1 over classes that occur.
+    pub fn macro_f1(&self) -> f64 {
+        let present: Vec<u32> = (0..self.n_classes() as u32)
+            .filter(|&c| self.tp(c) + self.fn_(c) > 0)
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f64>() / present.len() as f64
+    }
+}
+
+/// Binary F1 with class 1 ("variation") positive — the score the paper
+/// selects models by.
+pub fn f1_binary(actual: &[u32], predicted: &[u32]) -> f64 {
+    ConfusionMatrix::from_predictions(actual, predicted).f1(1)
+}
+
+/// Accuracy over parallel label slices.
+pub fn accuracy(actual: &[u32], predicted: &[u32]) -> f64 {
+    ConfusionMatrix::from_predictions(actual, predicted).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [0, 1, 1, 0, 1];
+        let cm = ConfusionMatrix::from_predictions(&y, &y);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.f1(1), 1.0);
+        assert_eq!(cm.precision(1), 1.0);
+        assert_eq!(cm.recall(1), 1.0);
+    }
+
+    #[test]
+    fn always_negative_classifier_has_zero_f1() {
+        // The degenerate classifier Section VI-B warns about: high accuracy
+        // on imbalanced data, F1 = 0.
+        let actual = [0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let predicted = [0; 10];
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted);
+        assert_eq!(cm.accuracy(), 0.9);
+        assert_eq!(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        // tp=2, fp=1, fn=1 -> F1 = 2 / (2 + 0.5*2) = 2/3
+        let actual = [1, 1, 1, 0, 0];
+        let predicted = [1, 1, 0, 1, 0];
+        assert!((f1_binary(&actual, &predicted) - 2.0 / 3.0).abs() < 1e-12);
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted);
+        assert_eq!(cm.tp(1), 2);
+        assert_eq!(cm.fp(1), 1);
+        assert_eq!(cm.fn_(1), 1);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_equals_harmonic_mean_of_precision_recall() {
+        let actual = [1, 1, 1, 1, 0, 0, 0, 1, 0, 1];
+        let predicted = [1, 0, 1, 1, 1, 0, 0, 0, 0, 1];
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted);
+        let p = cm.precision(1);
+        let r = cm.recall(1);
+        let harmonic = 2.0 * p * r / (p + r);
+        assert!((cm.f1(1) - harmonic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_class_confusion() {
+        let actual = [0, 1, 2, 2, 1, 0];
+        let predicted = [0, 2, 2, 1, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted);
+        assert_eq!(cm.n_classes(), 3);
+        assert_eq!(cm.count(1, 2), 1);
+        assert_eq!(cm.count(2, 1), 1);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!(cm.macro_f1() > 0.0 && cm.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_classes() {
+        // class 2 never occurs in actual; macro-F1 averages over 0 and 1.
+        let actual = [0, 1, 0, 1];
+        let predicted = [0, 1, 1, 1];
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted);
+        let expected = (cm.f1(0) + cm.f1(1)) / 2.0;
+        assert!((cm.macro_f1() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominator_cases() {
+        let actual = [0, 0];
+        let predicted = [0, 0];
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted);
+        assert_eq!(cm.precision(0), 1.0);
+        assert_eq!(cm.f1(0), 1.0);
+        // a never-seen, never-predicted class index would be out of range;
+        // within range with zero counts:
+        let actual2 = [0, 1];
+        let predicted2 = [1, 0];
+        let cm2 = ConfusionMatrix::from_predictions(&actual2, &predicted2);
+        assert_eq!(cm2.f1(0), 0.0);
+        assert_eq!(cm2.f1(1), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_class_queries_are_zero() {
+        // A fold where the positive class never appears: the matrix is 1×1
+        // and queries about class 1 must not panic.
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 0], &[0, 0, 0]);
+        assert_eq!(cm.n_classes(), 1);
+        assert_eq!(cm.tp(1), 0);
+        assert_eq!(cm.fp(1), 0);
+        assert_eq!(cm.fn_(1), 0);
+        assert_eq!(cm.f1(1), 0.0);
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_slices_rejected() {
+        ConfusionMatrix::from_predictions(&[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no predictions")]
+    fn empty_slices_rejected() {
+        ConfusionMatrix::from_predictions(&[], &[]);
+    }
+}

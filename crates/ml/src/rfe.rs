@@ -1,0 +1,252 @@
+//! Recursive feature elimination.
+//!
+//! Section IV-A: "Features are selected after model selection using
+//! recursive feature elimination. Features are eliminated recursively and
+//! the set with the highest F1 score are kept. For the Extra Trees and
+//! Decision Forest models, which have metrics for feature importance, the
+//! least important features are removed first."
+//!
+//! Each round trains the model on the surviving features, ranks them (model
+//! importances where the family defines them, otherwise permutation
+//! importance), drops the weakest `step_fraction`, and scores the survivor
+//! set with stratified-CV F1. The best-scoring set over all rounds wins.
+
+use crate::cv::{cross_validate, stratified_kfold};
+use crate::dataset::Dataset;
+use crate::model::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// RFE parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RfeConfig {
+    /// Fraction of surviving features dropped per round (at least one is
+    /// always dropped).
+    pub step_fraction: f64,
+    /// Stop once this few features remain.
+    pub min_features: usize,
+    /// Folds for the per-round CV score.
+    pub cv_folds: usize,
+    /// RNG seed for training and fold assignment.
+    pub seed: u64,
+}
+
+impl Default for RfeConfig {
+    fn default() -> Self {
+        RfeConfig {
+            step_fraction: 0.2,
+            min_features: 8,
+            cv_folds: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of an elimination run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RfeResult {
+    /// Indices (into the original dataset) of the winning feature set,
+    /// sorted ascending.
+    pub kept: Vec<usize>,
+    /// CV F1 of the winning set.
+    pub best_f1: f64,
+    /// `(surviving feature count, CV F1)` per round, in elimination order.
+    pub history: Vec<(usize, f64)>,
+}
+
+/// Runs recursive feature elimination for `kind` on `data`.
+///
+/// # Panics
+/// Panics if the dataset is empty or has no features.
+pub fn rfe(kind: ModelKind, data: &Dataset, config: &RfeConfig) -> RfeResult {
+    assert!(!data.is_empty(), "RFE needs samples");
+    assert!(data.n_features() > 0, "RFE needs features");
+
+    let mut surviving: Vec<usize> = (0..data.n_features()).collect();
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut history = Vec::new();
+
+    loop {
+        let view = data.select_features(&surviving);
+        let splits = stratified_kfold(&view.labels, config.cv_folds, config.seed);
+        let score = cross_validate(kind, &view, &splits, config.seed).mean_f1();
+        history.push((surviving.len(), score));
+        // `>=` so that on ties the smaller (later) feature set wins —
+        // elimination only proceeds while F1 holds up, so prefer parsimony.
+        if best.as_ref().map(|(_, b)| score >= *b).unwrap_or(true) {
+            best = Some((surviving.clone(), score));
+        }
+        if surviving.len() <= config.min_features {
+            break;
+        }
+
+        // Rank surviving features (higher = more important).
+        let ranks = feature_ranks(kind, &view, config.seed);
+        let drop_n = ((surviving.len() as f64 * config.step_fraction).floor() as usize)
+            .max(1)
+            .min(surviving.len() - config.min_features.max(1));
+        if drop_n == 0 {
+            break;
+        }
+        // Indices of the weakest `drop_n` features within the view.
+        let mut order: Vec<usize> = (0..ranks.len()).collect();
+        order.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).expect("finite ranks"));
+        let dropped: std::collections::HashSet<usize> = order[..drop_n].iter().copied().collect();
+        surviving = surviving
+            .iter()
+            .enumerate()
+            .filter(|(view_idx, _)| !dropped.contains(view_idx))
+            .map(|(_, &orig)| orig)
+            .collect();
+    }
+
+    let (kept, best_f1) = best.expect("at least one round ran");
+    RfeResult {
+        kept,
+        best_f1,
+        history,
+    }
+}
+
+/// Importance of each feature in `view` for `kind`: model importances where
+/// the family defines them, otherwise permutation importance
+/// ([`crate::importance`]) with a univariate-separation tiebreak added at
+/// small weight so all-zero permutation rounds still rank features.
+fn feature_ranks(kind: ModelKind, view: &Dataset, seed: u64) -> Vec<f64> {
+    let model = kind.train(view, seed);
+    if let Some(imp) = model.feature_importances() {
+        return imp;
+    }
+    let perm = crate::importance::permutation_importance(
+        &model,
+        view,
+        &crate::importance::PermutationConfig { repeats: 2, seed },
+    );
+    let uni = univariate_separation(view);
+    let uni_max = uni.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    perm.iter()
+        .zip(&uni)
+        .map(|(&p, &u)| p + 1e-3 * u / uni_max)
+        .collect()
+}
+
+/// |mean(class 1) − mean(class != 1)| / pooled std, per feature.
+fn univariate_separation(view: &Dataset) -> Vec<f64> {
+    let d = view.n_features();
+    let mut out = Vec::with_capacity(d);
+    for f in 0..d {
+        let pos: Vec<f64> = view
+            .features
+            .iter()
+            .zip(&view.labels)
+            .filter(|(_, &l)| l == 1)
+            .map(|(r, _)| r[f])
+            .collect();
+        let neg: Vec<f64> = view
+            .features
+            .iter()
+            .zip(&view.labels)
+            .filter(|(_, &l)| l != 1)
+            .map(|(r, _)| r[f])
+            .collect();
+        if pos.is_empty() || neg.is_empty() {
+            out.push(0.0);
+            continue;
+        }
+        let all: Vec<f64> = view.features.iter().map(|r| r[f]).collect();
+        let sd = rush_std(&all).max(1e-12);
+        out.push((mean(&pos) - mean(&neg)).abs() / sd);
+    }
+    out
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn rush_std(v: &[f64]) -> f64 {
+    let m = mean(v);
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 informative features among 10 noise columns.
+    fn spiked_dataset() -> Dataset {
+        let names: Vec<String> = (0..12).map(|i| format!("f{i}")).collect();
+        let mut d = Dataset::new(names);
+        for i in 0..80 {
+            let label = u32::from(i >= 40);
+            let mut row: Vec<f64> = (0..12)
+                .map(|j| (((i * 31 + j * 17) % 23) as f64) / 23.0)
+                .collect();
+            // features 3 and 7 carry the signal
+            row[3] = label as f64 * 2.0 + row[3] * 0.1;
+            row[7] = (1 - label) as f64 * 2.0 + row[7] * 0.1;
+            d.push(row, label, (i % 4) as u32);
+        }
+        d
+    }
+
+    #[test]
+    fn keeps_the_informative_features() {
+        let data = spiked_dataset();
+        let result = rfe(ModelKind::DecisionForest, &data, &RfeConfig::default());
+        assert!(result.kept.contains(&3), "kept {:?}", result.kept);
+        assert!(result.kept.contains(&7), "kept {:?}", result.kept);
+        assert!(result.kept.len() < 12, "should drop some noise");
+        assert!(result.best_f1 > 0.9, "best F1 {}", result.best_f1);
+    }
+
+    #[test]
+    fn history_shrinks_monotonically() {
+        let data = spiked_dataset();
+        let result = rfe(ModelKind::DecisionForest, &data, &RfeConfig::default());
+        for pair in result.history.windows(2) {
+            assert!(pair[1].0 < pair[0].0, "feature count must shrink");
+        }
+        assert_eq!(result.history[0].0, 12);
+        assert!(result.history.last().unwrap().0 >= 8);
+    }
+
+    #[test]
+    fn respects_min_features() {
+        let data = spiked_dataset();
+        let cfg = RfeConfig {
+            min_features: 2,
+            ..RfeConfig::default()
+        };
+        let result = rfe(ModelKind::DecisionForest, &data, &cfg);
+        assert!(result.kept.len() >= 2);
+        assert_eq!(result.history.last().unwrap().0, 2);
+    }
+
+    #[test]
+    fn knn_falls_back_to_univariate_ranking() {
+        let data = spiked_dataset();
+        let result = rfe(ModelKind::Knn, &data, &RfeConfig::default());
+        // univariate separation also identifies 3 and 7
+        assert!(result.kept.contains(&3), "kept {:?}", result.kept);
+        assert!(result.kept.contains(&7), "kept {:?}", result.kept);
+    }
+
+    #[test]
+    fn kept_indices_refer_to_original_columns() {
+        let data = spiked_dataset();
+        let result = rfe(ModelKind::DecisionForest, &data, &RfeConfig::default());
+        assert!(result.kept.iter().all(|&i| i < 12));
+        let mut sorted = result.kept.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), result.kept.len(), "no duplicates");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = spiked_dataset();
+        let a = rfe(ModelKind::DecisionForest, &data, &RfeConfig::default());
+        let b = rfe(ModelKind::DecisionForest, &data, &RfeConfig::default());
+        assert_eq!(a, b);
+    }
+}

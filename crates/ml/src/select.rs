@@ -1,0 +1,110 @@
+//! Model selection: the Fig.-3 comparison.
+//!
+//! "Instead of arbitrarily selecting an ML model we train a variety of
+//! models and use their F1 scores to compare their performance" (Section
+//! IV-A). All four families are evaluated under leave-one-application-out
+//! cross-validation; the best mean F1 wins and is what the pipeline exports
+//! for the scheduler.
+
+use crate::cv::{cross_validate, leave_one_group_out, CvScores};
+use crate::dataset::Dataset;
+use crate::model::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Fig.-3 style scores for one family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelScore {
+    /// Family evaluated.
+    pub kind: ModelKind,
+    /// Leave-one-application-out scores.
+    pub scores: CvScores,
+}
+
+impl ModelScore {
+    /// Mean cross-validated F1.
+    pub fn mean_f1(&self) -> f64 {
+        self.scores.mean_f1()
+    }
+
+    /// Mean cross-validated accuracy.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.scores.mean_accuracy()
+    }
+}
+
+/// Evaluates all four families with leave-one-group-out CV.
+pub fn compare_models(data: &Dataset, seed: u64) -> Vec<ModelScore> {
+    let splits = leave_one_group_out(&data.groups);
+    ModelKind::ALL
+        .into_iter()
+        .map(|kind| ModelScore {
+            kind,
+            scores: cross_validate(kind, data, &splits, seed),
+        })
+        .collect()
+}
+
+/// The family with the highest mean F1 (ties go to the earlier entry —
+/// Fig.-3 order).
+pub fn select_best(scores: &[ModelScore]) -> ModelKind {
+    assert!(!scores.is_empty(), "no scores to select from");
+    scores
+        .iter()
+        .max_by(|a, b| {
+            a.mean_f1()
+                .partial_cmp(&b.mean_f1())
+                .expect("finite scores")
+        })
+        .expect("non-empty")
+        .kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A grouped, learnable dataset: the signal generalizes across groups.
+    fn grouped_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["signal".into(), "noise".into()]);
+        for g in 0..7u32 {
+            for i in 0..20 {
+                let label = u32::from(i >= 10);
+                let signal = label as f64 * 3.0 + ((i * 13 % 7) as f64) / 7.0;
+                let noise = ((i * 31 + g as usize * 5) % 11) as f64;
+                d.push(vec![signal, noise], label, g);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn compares_all_four_families() {
+        let data = grouped_dataset();
+        let scores = compare_models(&data, 5);
+        assert_eq!(scores.len(), 4);
+        let kinds: Vec<ModelKind> = scores.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, ModelKind::ALL.to_vec());
+        // all families should learn this easy problem out-of-group
+        for s in &scores {
+            assert!(s.mean_f1() > 0.8, "{}: {}", s.kind, s.mean_f1());
+            assert_eq!(s.scores.fold_f1.len(), 7, "one fold per group");
+        }
+    }
+
+    #[test]
+    fn select_best_picks_max_f1() {
+        let data = grouped_dataset();
+        let scores = compare_models(&data, 5);
+        let best = select_best(&scores);
+        let best_score = scores.iter().find(|s| s.kind == best).unwrap().mean_f1();
+        for s in &scores {
+            assert!(best_score >= s.mean_f1());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no scores")]
+    fn empty_selection_rejected() {
+        select_best(&[]);
+    }
+}

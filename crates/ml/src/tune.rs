@@ -1,0 +1,227 @@
+//! Hyperparameter search by cross-validated grid evaluation.
+//!
+//! The paper selects among model *families* by F1; within a family the
+//! hyperparameters also matter (tree count, depth, k, learning rate).
+//! [`grid_search`] evaluates a small per-family grid under stratified CV
+//! and returns the best configuration — each candidate is a closure from
+//! a training set to a fitted model, so arbitrary hyperparameters compose.
+
+use crate::cv::{stratified_kfold, Split};
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::model::{Classifier, TrainedModel};
+use rayon::prelude::*;
+
+/// One grid candidate: a label plus a trainer.
+pub struct Candidate {
+    /// Human-readable parameter description, e.g. `"trees=100 depth=12"`.
+    pub label: String,
+    /// Trains a model on the given dataset.
+    #[allow(clippy::type_complexity)]
+    pub train: Box<dyn Fn(&Dataset) -> TrainedModel + Sync + Send>,
+}
+
+impl Candidate {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        train: impl Fn(&Dataset) -> TrainedModel + Sync + Send + 'static,
+    ) -> Self {
+        Candidate {
+            label: label.into(),
+            train: Box::new(train),
+        }
+    }
+}
+
+/// The outcome of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult {
+    /// Winning candidate's label.
+    pub best_label: String,
+    /// Winning candidate's mean CV F1.
+    pub best_f1: f64,
+    /// `(label, mean F1)` for every candidate, in input order.
+    pub scores: Vec<(String, f64)>,
+}
+
+/// Cross-validated F1 of one candidate over `splits`.
+fn score_candidate(candidate: &Candidate, data: &Dataset, splits: &[Split]) -> f64 {
+    let fold_scores: Vec<f64> = splits
+        .iter()
+        .filter(|s| !s.train.is_empty() && !s.test.is_empty())
+        .map(|split| {
+            let train = data.subset(&split.train);
+            let test = data.subset(&split.test);
+            let model = (candidate.train)(&train);
+            let preds = model.predict_batch(&test.features);
+            ConfusionMatrix::from_predictions(&test.labels, &preds).f1(1)
+        })
+        .collect();
+    if fold_scores.is_empty() {
+        0.0
+    } else {
+        fold_scores.iter().sum::<f64>() / fold_scores.len() as f64
+    }
+}
+
+/// Evaluates every candidate under `folds`-fold stratified CV (candidates
+/// in parallel) and returns the best by mean F1, ties to the earlier
+/// candidate.
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn grid_search(
+    candidates: &[Candidate],
+    data: &Dataset,
+    folds: usize,
+    seed: u64,
+) -> GridResult {
+    assert!(!candidates.is_empty(), "grid search needs candidates");
+    let splits = stratified_kfold(&data.labels, folds, seed);
+    let scores: Vec<(String, f64)> = candidates
+        .par_iter()
+        .map(|c| (c.label.clone(), score_candidate(c, data, &splits)))
+        .collect();
+    let (best_label, best_f1) = scores
+        .iter()
+        .cloned()
+        .reduce(|best, cur| if cur.1 > best.1 { cur } else { best })
+        .expect("non-empty scores");
+    GridResult {
+        best_label,
+        best_f1,
+        scores,
+    }
+}
+
+/// A ready-made grid for AdaBoost: estimators × depth × learning rate.
+pub fn adaboost_grid() -> Vec<Candidate> {
+    use crate::adaboost::{AdaBoost, AdaBoostConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut out = Vec::new();
+    for &n_estimators in &[25usize, 50, 100] {
+        for &max_depth in &[1usize, 2, 3] {
+            for &learning_rate in &[0.5, 1.0] {
+                out.push(Candidate::new(
+                    format!("estimators={n_estimators} depth={max_depth} lr={learning_rate}"),
+                    move |data: &Dataset| {
+                        let mut rng = SmallRng::seed_from_u64(17);
+                        TrainedModel::AdaBoost(AdaBoost::fit(
+                            &data.features,
+                            &data.labels,
+                            data.n_classes().max(2),
+                            &AdaBoostConfig {
+                                n_estimators,
+                                max_depth,
+                                learning_rate,
+                            },
+                            &mut rng,
+                        ))
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A ready-made grid for KNN: k.
+pub fn knn_grid() -> Vec<Candidate> {
+    use crate::knn::{Knn, KnnConfig};
+    [1usize, 3, 5, 9, 15]
+        .into_iter()
+        .map(|k| {
+            Candidate::new(format!("k={k}"), move |data: &Dataset| {
+                TrainedModel::Knn(Knn::fit(
+                    &data.features,
+                    &data.labels,
+                    data.n_classes().max(2),
+                    &KnnConfig { k },
+                ))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+
+    fn noisy_interval() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..120 {
+            // interval class with ~8% label noise
+            let noisy = i % 13 == 0;
+            let label = u32::from((40..80).contains(&i)) ^ u32::from(noisy);
+            d.push(vec![i as f64], label, 0);
+        }
+        d
+    }
+
+    #[test]
+    fn grid_scores_every_candidate() {
+        let data = noisy_interval();
+        let grid = knn_grid();
+        let result = grid_search(&grid, &data, 4, 1);
+        assert_eq!(result.scores.len(), 5);
+        assert!(result.scores.iter().any(|(l, _)| l == &result.best_label));
+        assert!((0.0..=1.0).contains(&result.best_f1));
+        let best_in_scores = result
+            .scores
+            .iter()
+            .map(|(_, f1)| *f1)
+            .fold(0.0f64, f64::max);
+        assert!((best_in_scores - result.best_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_k_beats_k1_under_label_noise() {
+        let data = noisy_interval();
+        let result = grid_search(&knn_grid(), &data, 4, 2);
+        let f1_of = |label: &str| {
+            result
+                .scores
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, f1)| *f1)
+                .unwrap()
+        };
+        assert!(
+            f1_of("k=5") >= f1_of("k=1"),
+            "smoothing should help with noisy labels: k5 {} vs k1 {}",
+            f1_of("k=5"),
+            f1_of("k=1")
+        );
+    }
+
+    #[test]
+    fn adaboost_grid_runs_and_picks_a_winner() {
+        let data = noisy_interval();
+        let grid = adaboost_grid();
+        assert_eq!(grid.len(), 18);
+        let result = grid_search(&grid, &data, 3, 3);
+        assert!(result.best_f1 > 0.6, "best {}", result.best_f1);
+    }
+
+    #[test]
+    fn custom_candidates_compose() {
+        let data = noisy_interval();
+        let candidates = vec![
+            Candidate::new("forest", |d: &Dataset| ModelKind::DecisionForest.train(d, 5)),
+            Candidate::new("logistic", |d: &Dataset| ModelKind::Logistic.train(d, 5)),
+        ];
+        let result = grid_search(&candidates, &data, 3, 4);
+        // Logistic cannot express an interval on one feature; the forest
+        // must win.
+        assert_eq!(result.best_label, "forest");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs candidates")]
+    fn empty_grid_rejected() {
+        grid_search(&[], &noisy_interval(), 3, 0);
+    }
+}

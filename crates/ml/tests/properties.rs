@@ -1,0 +1,141 @@
+//! Property-based tests for the ML substrate's invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rush_ml::adaboost::{AdaBoost, AdaBoostConfig};
+use rush_ml::dataset::Dataset;
+use rush_ml::knn::{Knn, KnnConfig};
+use rush_ml::metrics::ConfusionMatrix;
+use rush_ml::scale::Standardizer;
+use rush_ml::tree::{DecisionTree, TreeConfig};
+
+/// Strategy: a small labeled dataset with 1-3 features, 2 classes.
+fn labeled_data() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<u32>)> {
+    (2usize..=3, 4usize..=24).prop_flat_map(|(d, n)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, d), n),
+            proptest::collection::vec(0u32..2, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_probabilities_sum_to_one((x, y) in labeled_data()) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&x, &y, None, 2, &TreeConfig::default(), &mut rng);
+        for row in &x {
+            let p = tree.predict_proba(row);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "probs sum to {sum}");
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+            prop_assert!(tree.predict(row) < 2);
+        }
+    }
+
+    #[test]
+    fn tree_importances_are_a_distribution((x, y) in labeled_data()) {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tree = DecisionTree::fit(&x, &y, None, 2, &TreeConfig::default(), &mut rng);
+        let imp = tree.feature_importances();
+        prop_assert_eq!(imp.len(), x[0].len());
+        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+        let sum: f64 = imp.iter().sum();
+        // all-zero when no split improved purity; otherwise normalized
+        prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_always_returns_a_training_label((x, y) in labeled_data()) {
+        let knn = Knn::fit(&x, &y, 2, &KnnConfig { k: 3 });
+        for row in &x {
+            let p = knn.predict(row);
+            prop_assert!(y.contains(&p), "prediction {p} must be a seen label");
+        }
+    }
+
+    #[test]
+    fn adaboost_predicts_within_label_space((x, y) in labeled_data()) {
+        // Boosting needs both classes present.
+        prop_assume!(y.contains(&0) && y.contains(&1));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = AdaBoost::fit(&x, &y, 2, &AdaBoostConfig::default(), &mut rng);
+        for row in &x {
+            prop_assert!(model.predict(row) < 2);
+        }
+        let scores = model.decision_scores(&x[0]);
+        let sum: f64 = scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardizer_round_trips_statistics(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 3), 2..32)
+    ) {
+        let s = Standardizer::fit(&rows);
+        let t = s.transform_all(&rows);
+        let n = rows.len() as f64;
+        for col in 0..3 {
+            let mean: f64 = t.iter().map(|r| r[col]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "column {col} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn f1_is_bounded_and_symmetric_under_perfection(
+        labels in proptest::collection::vec(0u32..3, 1..64)
+    ) {
+        let cm = ConfusionMatrix::from_predictions(&labels, &labels);
+        prop_assert_eq!(cm.accuracy(), 1.0);
+        for class in 0..3 {
+            let f1 = cm.f1(class);
+            prop_assert!((0.0..=1.0).contains(&f1));
+            // a class that occurs and is perfectly predicted has F1 = 1
+            if labels.contains(&class) {
+                prop_assert_eq!(f1, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn f1_never_exceeds_one_on_arbitrary_predictions(
+        (actual, predicted) in (1usize..64).prop_flat_map(|n| (
+            proptest::collection::vec(0u32..3, n),
+            proptest::collection::vec(0u32..3, n),
+        ))
+    ) {
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted);
+        for class in 0..3 {
+            prop_assert!((0.0..=1.0).contains(&cm.f1(class)));
+            prop_assert!((0.0..=1.0).contains(&cm.precision(class)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(class)));
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+    }
+
+    #[test]
+    fn dataset_subset_and_select_commute(
+        (x, y) in labeled_data(),
+        keep_row in 0usize..4,
+        keep_col in 0usize..2,
+    ) {
+        let d = {
+            let mut d = Dataset::new((0..x[0].len()).map(|i| format!("f{i}")).collect());
+            for (row, &label) in x.iter().zip(&y) {
+                d.push(row.clone(), label, 0);
+            }
+            d
+        };
+        let rows: Vec<usize> = (0..d.len()).filter(|i| i % (keep_row + 1) == 0).collect();
+        let cols: Vec<usize> = (0..d.n_features()).filter(|c| c % (keep_col + 1) == 0).collect();
+        prop_assume!(!rows.is_empty() && !cols.is_empty());
+        let a = d.subset(&rows).select_features(&cols);
+        let b = d.select_features(&cols).subset(&rows);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,285 @@
+//! `rush` — the command-line face of the pipeline.
+//!
+//! The paper's deployment is a sequence of offline steps (collect counters,
+//! train, pickle the model, point the scheduler at it); this binary exposes
+//! the same steps over files:
+//!
+//! ```text
+//! rush collect  --days 30 --out campaign.txt        # run the control-job campaign
+//! rush evaluate --campaign campaign.txt             # Fig.-3 model comparison
+//! rush train    --campaign campaign.txt --out model.txt
+//! rush info     --model model.txt                   # inspect an exported model
+//! rush schedule --campaign campaign.txt --experiment ADAA --trials 3
+//! ```
+//!
+//! Every command is deterministic given `--seed`.
+
+use rush_core::campaign_io;
+use rush_core::collect::{run_campaign, CampaignData};
+use rush_core::config::CampaignConfig;
+use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
+use rush_core::labels::{build_dataset, LabelScheme, NodeScope};
+use rush_core::pipeline::train_final_with_scheme;
+use rush_core::report::{fmt, TextTable};
+use rush_ml::codec;
+use rush_ml::model::{Classifier, ModelKind};
+use rush_ml::select::{compare_models, select_best};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rush — resource-utilization-aware scheduling pipeline
+
+USAGE:
+    rush <command> [options]
+
+COMMANDS:
+    collect    run the control-job campaign and write it to a file
+               --days N (30)  --seed N  --out FILE (campaign.txt)
+    evaluate   compare the four model families on a campaign (Fig. 3)
+               --campaign FILE  --seed N
+    train      train and export the scheduler's model
+               --campaign FILE  --out FILE (model.txt)
+               --kind adaboost|decision-forest|extra-trees|knn
+               --scheme binary|three-class  --seed N
+    info       describe an exported model file
+               --model FILE
+    schedule   run a FCFS+EASY vs RUSH comparison on a campaign
+               --campaign FILE  --experiment ADAA|ADPA|PDPA|WS|SS
+               --trials N (3)  --jobs N  --seed N
+    help       print this message
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = match args.next() {
+        Some(c) => c,
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "collect" => cmd_collect(&options),
+        "evaluate" => cmd_evaluate(&options),
+        "train" => cmd_train(&options),
+        "info" => cmd_info(&options),
+        "schedule" => cmd_schedule(&options),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--key value` pairs.
+type Options = HashMap<String, String>;
+
+fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut out = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, found '{arg}'"))?;
+        let value = args
+            .next()
+            .ok_or_else(|| format!("--{key} requires a value"))?;
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn get_u64(options: &Options, key: &str, default: u64) -> Result<u64, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: expected integer, got '{v}'")),
+    }
+}
+
+fn load_campaign(options: &Options) -> Result<CampaignData, String> {
+    let path = options
+        .get("campaign")
+        .ok_or("--campaign FILE is required")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // The file carries its own run data; the attached config only matters
+    // for provenance, so reuse the default with the recorded day count
+    // unknowable — decode requires *a* config.
+    campaign_io::decode(&text, &CampaignConfig::default())
+}
+
+fn cmd_collect(options: &Options) -> Result<(), String> {
+    let days = get_u64(options, "days", 30)? as u32;
+    let seed = get_u64(options, "seed", 0xC0FFEE)?;
+    let out = options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "campaign.txt".to_string());
+    let config = CampaignConfig {
+        days,
+        seed,
+        storm_days: Some((days * 5 / 8, days * 3 / 4)),
+        ..CampaignConfig::default()
+    };
+    eprintln!("collecting {days}-day campaign (seed {seed:#x})...");
+    let data = run_campaign(&config);
+    std::fs::write(&out, campaign_io::encode(&data))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} control runs to {out}", data.runs.len());
+    let stats = data.runtime_stats();
+    let mut apps: Vec<_> = stats.iter().collect();
+    apps.sort_by_key(|(app, _)| app.index());
+    for (app, (mean, std)) in apps {
+        println!("  {app:8} mean {mean:7.1}s  std {std:6.1}s  rel {:.3}", std / mean);
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(options: &Options) -> Result<(), String> {
+    let campaign = load_campaign(options)?;
+    let seed = get_u64(options, "seed", 7)?;
+    println!(
+        "campaign: {} runs; evaluating with leave-one-application-out CV...",
+        campaign.runs.len()
+    );
+    let mut table = TextTable::new(["model", "f1_all_nodes", "f1_job_nodes"]);
+    let all = build_dataset(&campaign, NodeScope::AllNodes, LabelScheme::Binary);
+    let job = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::Binary);
+    let scores_all = compare_models(&all, seed);
+    let scores_job = compare_models(&job, seed);
+    for (a, j) in scores_all.iter().zip(&scores_job) {
+        table.row([
+            a.kind.name().to_string(),
+            fmt(a.mean_f1(), 3),
+            fmt(j.mean_f1(), 3),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("best (job scope): {}", select_best(&scores_job));
+    Ok(())
+}
+
+fn cmd_train(options: &Options) -> Result<(), String> {
+    let campaign = load_campaign(options)?;
+    let seed = get_u64(options, "seed", 7)?;
+    let out = options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "model.txt".to_string());
+    let kind = match options.get("kind").map(String::as_str) {
+        None => ModelKind::AdaBoost,
+        Some(name) => {
+            ModelKind::from_name(name).ok_or_else(|| format!("unknown model kind '{name}'"))?
+        }
+    };
+    let scheme = match options.get("scheme").map(String::as_str) {
+        None | Some("three-class") => LabelScheme::ThreeClass,
+        Some("binary") => LabelScheme::Binary,
+        Some(other) => return Err(format!("unknown scheme '{other}'")),
+    };
+    eprintln!("training {kind} ({scheme:?}) on {} runs...", campaign.runs.len());
+    let model = train_final_with_scheme(&campaign, None, kind, scheme, seed);
+    std::fs::write(&out, codec::encode(&model)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} model ({} features, {} classes) to {out}",
+        model.kind(),
+        model.n_features(),
+        model.n_classes()
+    );
+    Ok(())
+}
+
+fn cmd_info(options: &Options) -> Result<(), String> {
+    let path = options.get("model").ok_or("--model FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let model = codec::decode(&text).map_err(|e| e.to_string())?;
+    println!("kind:       {}", model.kind());
+    println!("features:   {}", model.n_features());
+    println!("classes:    {}", model.n_classes());
+    if let Some(imp) = model.feature_importances() {
+        let schema = rush_telemetry::schema::FeatureSchema::table_one();
+        let mut ranked: Vec<(usize, f64)> = imp.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        println!("top features by importance:");
+        for (idx, value) in ranked.into_iter().take(10) {
+            let name = if model.n_features() == schema.len() {
+                schema.names()[idx].clone()
+            } else {
+                format!("feature {idx}")
+            };
+            println!("  {name:32} {value:.4}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_schedule(options: &Options) -> Result<(), String> {
+    let campaign = load_campaign(options)?;
+    let seed = get_u64(options, "seed", 0xE0)?;
+    let trials = get_u64(options, "trials", 3)? as usize;
+    let jobs = options
+        .get("jobs")
+        .map(|v| v.parse::<usize>().map_err(|_| format!("--jobs: bad integer '{v}'")))
+        .transpose()?;
+    let experiment = match options
+        .get("experiment")
+        .map(String::as_str)
+        .unwrap_or("ADAA")
+        .to_ascii_uppercase()
+        .as_str()
+    {
+        "ADAA" => Experiment::Adaa,
+        "ADPA" => Experiment::Adpa,
+        "PDPA" => Experiment::Pdpa,
+        "WS" => Experiment::Ws,
+        "SS" => Experiment::Ss,
+        other => return Err(format!("unknown experiment '{other}'")),
+    };
+    let settings = ExperimentSettings {
+        trials,
+        base_seed: seed,
+        job_count_override: jobs,
+        ..ExperimentSettings::default()
+    };
+    eprintln!(
+        "running {experiment}: {} jobs x {trials} trials x 2 policies...",
+        jobs.unwrap_or(experiment.job_count())
+    );
+    let comparison = run_comparison(experiment, &campaign, &settings);
+
+    let (fv, rv) = comparison.mean_variation_runs();
+    let (fm, rm) = comparison.mean_makespan();
+    let mut table = TextTable::new(["metric", "fcfs_easy", "rush"]);
+    table.row(["variation runs".to_string(), fmt(fv, 1), fmt(rv, 1)]);
+    table.row(["makespan (s)".to_string(), fmt(fm, 0), fmt(rm, 0)]);
+    let wait = |outs: &[rush_core::experiments::TrialOutcome]| {
+        outs.iter().map(|t| t.metrics.mean_wait_secs).sum::<f64>() / outs.len() as f64
+    };
+    table.row([
+        "mean wait (s)".to_string(),
+        fmt(wait(&comparison.fcfs), 1),
+        fmt(wait(&comparison.rush), 1),
+    ]);
+    let skips = comparison.rush.iter().map(|t| t.total_skips).sum::<u64>() as f64
+        / comparison.rush.len() as f64;
+    table.row(["rush delays/trial".to_string(), "0".to_string(), fmt(skips, 1)]);
+    println!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Campaign (de)serialization — the on-disk form of [`CampaignData`].
+//!
+//! A line-based text format (like the model codec): human-inspectable,
+//! dependency-free, and exact — floats round-trip bit-for-bit through
+//! Rust's shortest `Display` representation. Used by the bench harness's
+//! campaign cache and by the `rush` CLI.
+
+use crate::collect::{CampaignData, ControlRun};
+use crate::config::CampaignConfig;
+use rush_simkit::time::SimTime;
+use rush_workloads::apps::AppId;
+
+/// Serializes campaign data to the cache format.
+pub fn encode(data: &CampaignData) -> String {
+    let mut out = String::from("RUSHCAMPAIGN v1\n");
+    out.push_str(&format!("runs {}\n", data.runs.len()));
+    for run in &data.runs {
+        out.push_str(&format!(
+            "run {} {} {}\n",
+            run.app.name(),
+            run.start.as_micros(),
+            run.runtime_secs
+        ));
+        push_floats(&mut out, "fall", &run.features_all);
+        push_floats(&mut out, "fjob", &run.features_job);
+        push_floats(&mut out, "probe", &run.probe_features);
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn push_floats(out: &mut String, tag: &str, values: &[f64]) {
+    out.push_str(tag);
+    for v in values {
+        out.push(' ');
+        out.push_str(&format!("{v}"));
+    }
+    out.push('\n');
+}
+
+/// Parses the cache format; the caller's `config` is attached to the
+/// result (the cache key already guaranteed it matches).
+pub fn decode(text: &str, config: &CampaignConfig) -> Result<CampaignData, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some("RUSHCAMPAIGN v1") {
+        return Err("bad header".into());
+    }
+    let runs_line = lines.next().ok_or("missing runs count")?;
+    let count: usize = runs_line
+        .strip_prefix("runs ")
+        .ok_or("bad runs line")?
+        .parse()
+        .map_err(|_| "bad runs count")?;
+    let mut runs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let head = lines.next().ok_or("truncated: run line")?;
+        let mut parts = head.split_whitespace();
+        if parts.next() != Some("run") {
+            return Err("expected run line".into());
+        }
+        let app_name = parts.next().ok_or("missing app")?;
+        let app = AppId::ALL
+            .into_iter()
+            .find(|a| a.name() == app_name)
+            .ok_or_else(|| format!("unknown app '{app_name}'"))?;
+        let start: u64 = parts
+            .next()
+            .ok_or("missing start")?
+            .parse()
+            .map_err(|_| "bad start")?;
+        let runtime_secs: f64 = parts
+            .next()
+            .ok_or("missing runtime")?
+            .parse()
+            .map_err(|_| "bad runtime")?;
+        let features_all = parse_floats(lines.next().ok_or("truncated: fall")?, "fall", 270)?;
+        let features_job = parse_floats(lines.next().ok_or("truncated: fjob")?, "fjob", 270)?;
+        let probe_vec = parse_floats(lines.next().ok_or("truncated: probe")?, "probe", 9)?;
+        let mut probe_features = [0.0; 9];
+        probe_features.copy_from_slice(&probe_vec);
+        runs.push(ControlRun {
+            app,
+            start: SimTime::from_micros(start),
+            runtime_secs,
+            features_all,
+            features_job,
+            probe_features,
+        });
+    }
+    if lines.next() != Some("end") {
+        return Err("missing end marker".into());
+    }
+    Ok(CampaignData {
+        config: config.clone(),
+        runs,
+    })
+}
+
+fn parse_floats(line: &str, tag: &str, expected: usize) -> Result<Vec<f64>, String> {
+    let rest = line
+        .strip_prefix(tag)
+        .ok_or_else(|| format!("expected '{tag}' line"))?;
+    let values: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
+    let values = values.map_err(|_| format!("bad float in {tag}"))?;
+    if values.len() != expected {
+        return Err(format!(
+            "{tag}: expected {expected} values, got {}",
+            values.len()
+        ));
+    }
+    Ok(values)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::run_campaign;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let config = CampaignConfig::test_sized();
+        let data = run_campaign(&config);
+        let text = encode(&data);
+        let back = decode(&text, &config).expect("decodes");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        let config = CampaignConfig::test_sized();
+        assert!(decode("garbage", &config).is_err());
+        assert!(decode("RUSHCAMPAIGN v1\nruns 1\nend\n", &config).is_err());
+        assert!(decode("RUSHCAMPAIGN v1\nruns zero\nend\n", &config).is_err());
+    }
+}

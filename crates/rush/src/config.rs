@@ -1,0 +1,121 @@
+//! Paper-matching defaults for the campaign and pipeline.
+
+use rush_cluster::machine::MachineConfig;
+use rush_simkit::time::{SimDuration, SimTime};
+use rush_workloads::apps::AppId;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the data-collection campaign (Section III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Campaign length in days (the paper collected August 2020 – February
+    /// 2021, ~180 days; 60 gives the models plenty of samples at a
+    /// fraction of the compute).
+    pub days: u32,
+    /// Control-job submissions per application per day (paper: 2–3; we
+    /// draw 2 or 3 per day uniformly).
+    pub min_runs_per_day: u32,
+    /// Upper bound of the daily draw.
+    pub max_runs_per_day: u32,
+    /// Applications to run.
+    pub apps: Vec<AppId>,
+    /// Nodes per control job (paper: 16 nodes / 512 cores).
+    pub job_nodes: u32,
+    /// Counter-aggregation window before each run (paper: 5 minutes).
+    pub window: SimDuration,
+    /// Sampling cadence within the window.
+    pub sample_interval: SimDuration,
+    /// How many machine-wide "monitor" nodes stand in for the all-nodes
+    /// aggregation (statistical sample of the full machine; see DESIGN.md).
+    pub monitor_nodes: u32,
+    /// Simulated machine seed.
+    pub seed: u64,
+    /// Optional scripted storm window reproducing the Fig.-1 mid-December
+    /// spike, as `(start_day, end_day)`.
+    pub storm_days: Option<(u32, u32)>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            days: 60,
+            min_runs_per_day: 2,
+            max_runs_per_day: 3,
+            apps: AppId::ALL.to_vec(),
+            job_nodes: 16,
+            window: SimDuration::from_mins(5),
+            sample_interval: SimDuration::from_secs(30),
+            monitor_nodes: 48,
+            seed: 0xC0FFEE,
+            storm_days: Some((35, 42)),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A small campaign for tests: 4 days, 3 apps.
+    pub fn test_sized() -> Self {
+        CampaignConfig {
+            days: 4,
+            apps: vec![AppId::Amg, AppId::Laghos, AppId::Lbann],
+            monitor_nodes: 16,
+            storm_days: Some((1, 2)),
+            ..Default::default()
+        }
+    }
+
+    /// The machine the campaign runs on (a Quartz-like full system).
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig::quartz_like(self.seed)
+    }
+
+    /// The scripted storm window as simulation times, if any.
+    pub fn storm_window(&self) -> Option<(SimTime, SimTime)> {
+        self.storm_days.map(|(a, b)| {
+            (
+                SimTime::from_days(u64::from(a)),
+                SimTime::from_days(u64::from(b)),
+            )
+        })
+    }
+
+    /// Total simulated duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_days(u64::from(self.days))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_shape() {
+        let c = CampaignConfig::default();
+        assert_eq!(c.apps.len(), 7);
+        assert_eq!(c.job_nodes, 16);
+        assert_eq!(c.window, SimDuration::from_mins(5));
+        assert!(c.min_runs_per_day <= c.max_runs_per_day);
+        assert_eq!(c.min_runs_per_day, 2);
+        assert_eq!(c.max_runs_per_day, 3);
+    }
+
+    #[test]
+    fn storm_window_converts_days() {
+        let c = CampaignConfig::default();
+        let (from, to) = c.storm_window().unwrap();
+        assert_eq!(from, SimTime::from_days(35));
+        assert_eq!(to, SimTime::from_days(42));
+        let mut no_storm = c;
+        no_storm.storm_days = None;
+        assert!(no_storm.storm_window().is_none());
+    }
+
+    #[test]
+    fn test_sized_is_small() {
+        let c = CampaignConfig::test_sized();
+        assert!(c.days <= 5);
+        assert!(c.apps.len() <= 3);
+        assert_eq!(c.duration(), SimDuration::from_days(4));
+    }
+}

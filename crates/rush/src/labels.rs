@@ -1,0 +1,172 @@
+//! Variability labels and dataset assembly (Sections III-D and IV-A).
+//!
+//! Run times are z-scored *per application* against that application's
+//! campaign history; the model trains on data from all applications:
+//!
+//! * **Binary** (model/feature selection): label 1 ("variation") when the
+//!   run time is more than 1.5 σ above the mean, else 0.
+//! * **Three-class** (the deployed model): `< 1.2 σ` → no variation,
+//!   `1.2–1.5 σ` → little variation, `≥ 1.5 σ` → variation.
+
+use crate::collect::CampaignData;
+use rush_ml::dataset::Dataset;
+use rush_telemetry::schema::FeatureSchema;
+use serde::{Deserialize, Serialize};
+
+/// Which label scheme a dataset carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelScheme {
+    /// 0 = no variation, 1 = variation (1.5 σ threshold).
+    Binary,
+    /// 0 = none (<1.2 σ), 1 = little (1.2–1.5 σ), 2 = variation (≥1.5 σ).
+    ThreeClass,
+}
+
+impl LabelScheme {
+    /// The σ thresholds of Section IV-A.
+    pub const LITTLE_SIGMA: f64 = 1.2;
+    /// The variation threshold.
+    pub const VARIATION_SIGMA: f64 = 1.5;
+
+    /// Maps a z-score to a label under this scheme.
+    pub fn label(self, z: f64) -> u32 {
+        match self {
+            LabelScheme::Binary => u32::from(z > Self::VARIATION_SIGMA),
+            LabelScheme::ThreeClass => {
+                if z >= Self::VARIATION_SIGMA {
+                    2
+                } else if z >= Self::LITTLE_SIGMA {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Number of classes this scheme produces.
+    pub fn n_classes(self) -> usize {
+        match self {
+            LabelScheme::Binary => 2,
+            LabelScheme::ThreeClass => 3,
+        }
+    }
+}
+
+/// Which counter aggregation scope feeds the feature vector (the Fig.-3
+/// "data exclusivity" comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeScope {
+    /// Counters pooled over the machine-wide monitor sample.
+    AllNodes,
+    /// Counters pooled over the job-exclusive nodes.
+    JobNodes,
+}
+
+impl NodeScope {
+    /// Display label used in Fig.-3 style reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeScope::AllNodes => "all-nodes",
+            NodeScope::JobNodes => "job-nodes",
+        }
+    }
+}
+
+/// Builds the Table-I dataset from campaign data.
+///
+/// Features: 270 counter aggregates (scope per `scope`), 9 probe features,
+/// 3 intensity one-hots = 282 columns. Labels per `scheme`; groups are
+/// application indices (the unit of leave-one-application-out CV).
+pub fn build_dataset(data: &CampaignData, scope: NodeScope, scheme: LabelScheme) -> Dataset {
+    let schema = FeatureSchema::table_one();
+    let mut dataset = Dataset::new(schema.names().to_vec());
+    let stats = data.runtime_stats();
+
+    for run in &data.runs {
+        let (mean, std) = stats[&run.app];
+        let z = if std <= f64::EPSILON {
+            0.0
+        } else {
+            (run.runtime_secs - mean) / std
+        };
+        let counter_features = match scope {
+            NodeScope::AllNodes => &run.features_all,
+            NodeScope::JobNodes => &run.features_job,
+        };
+        let one_hot = run.app.descriptor().one_hot();
+        let row = schema.assemble(counter_features, &run.probe_features, &one_hot);
+        dataset.push(row, scheme.label(z), run.app.index() as u32);
+    }
+    debug_assert!(dataset.validate().is_ok());
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CampaignConfig;
+
+    #[test]
+    fn binary_labels_threshold_at_one_point_five() {
+        let s = LabelScheme::Binary;
+        assert_eq!(s.label(0.0), 0);
+        assert_eq!(s.label(1.5), 0); // strictly greater
+        assert_eq!(s.label(1.51), 1);
+        assert_eq!(s.label(-3.0), 0); // fast runs are not "variation"
+        assert_eq!(s.n_classes(), 2);
+    }
+
+    #[test]
+    fn three_class_bands() {
+        let s = LabelScheme::ThreeClass;
+        assert_eq!(s.label(0.5), 0);
+        assert_eq!(s.label(1.19), 0);
+        assert_eq!(s.label(1.2), 1);
+        assert_eq!(s.label(1.49), 1);
+        assert_eq!(s.label(1.5), 2);
+        assert_eq!(s.label(4.0), 2);
+        assert_eq!(s.n_classes(), 3);
+    }
+
+    #[test]
+    fn dataset_has_table_one_shape() {
+        let data = crate::collect::run_campaign(&CampaignConfig::test_sized());
+        let ds = build_dataset(&data, NodeScope::JobNodes, LabelScheme::Binary);
+        assert_eq!(ds.n_features(), 282);
+        assert_eq!(ds.len(), data.runs.len());
+        assert!(ds.validate().is_ok());
+        // groups are app indices
+        let groups = ds.group_ids();
+        assert!(groups.len() <= 3);
+        // labels are binary
+        assert!(ds.labels.iter().all(|&l| l <= 1));
+    }
+
+    #[test]
+    fn scopes_produce_different_features() {
+        let data = crate::collect::run_campaign(&CampaignConfig::test_sized());
+        let all = build_dataset(&data, NodeScope::AllNodes, LabelScheme::Binary);
+        let job = build_dataset(&data, NodeScope::JobNodes, LabelScheme::Binary);
+        assert_ne!(all.features, job.features, "scopes must differ");
+        // but labels and groups are identical
+        assert_eq!(all.labels, job.labels);
+        assert_eq!(all.groups, job.groups);
+    }
+
+    #[test]
+    fn one_hots_match_apps() {
+        let data = crate::collect::run_campaign(&CampaignConfig::test_sized());
+        let ds = build_dataset(&data, NodeScope::JobNodes, LabelScheme::ThreeClass);
+        for (row, run) in ds.features.iter().zip(&data.runs) {
+            let one_hot = &row[279..282];
+            assert_eq!(one_hot, run.app.descriptor().one_hot());
+        }
+    }
+
+    #[test]
+    fn scope_labels() {
+        assert_eq!(NodeScope::AllNodes.label(), "all-nodes");
+        assert_eq!(NodeScope::JobNodes.label(), "job-nodes");
+    }
+}

@@ -1,0 +1,256 @@
+//! The ML-backed variability predictor (the paper's Python hook).
+//!
+//! Section V-B: when a job is about to run, "a Python script is first
+//! executed that runs the ML model with the next job as input. This Python
+//! script then reads the collected counter data, runs the ML models, and
+//! provides its prediction." [`MlPredictor`] is that hook: it aggregates
+//! the last five minutes of counters over the job's prospective nodes,
+//! times the MPI probes against the current fabric, assembles the Table-I
+//! feature vector, and asks the exported model for a class.
+
+use crate::labels::LabelScheme;
+use rush_ml::model::{Classifier, TrainedModel};
+use rush_sched::job::Job;
+use rush_sched::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
+use rush_cluster::topology::NodeId;
+use rush_simkit::time::SimDuration;
+use rush_telemetry::aggregate::{aggregate_counters, flatten_features};
+use rush_telemetry::schema::FeatureSchema;
+use rush_workloads::probes::{run_probes, ProbeConfig};
+
+/// A trained model wired into the scheduler's `Start()` decision.
+pub struct MlPredictor {
+    model: TrainedModel,
+    scheme: LabelScheme,
+    schema: FeatureSchema,
+    /// RFE-selected feature columns, if feature selection ran.
+    kept: Option<Vec<usize>>,
+    /// Counter aggregation window (paper: 5 minutes).
+    window: SimDuration,
+    probe_config: ProbeConfig,
+    calls: u64,
+}
+
+impl MlPredictor {
+    /// Wraps a trained model. `kept` must match the feature set the model
+    /// was trained on (`None` = all 282 features).
+    pub fn new(model: TrainedModel, scheme: LabelScheme, kept: Option<Vec<usize>>) -> Self {
+        let schema = FeatureSchema::table_one();
+        let expected = kept.as_ref().map(Vec::len).unwrap_or(schema.len());
+        assert_eq!(
+            model.n_features(),
+            expected,
+            "model expects {} features but the predictor will assemble {expected}",
+            model.n_features()
+        );
+        MlPredictor {
+            model,
+            scheme,
+            schema,
+            kept,
+            window: SimDuration::from_mins(5),
+            probe_config: ProbeConfig::default(),
+            calls: 0,
+        }
+    }
+
+    /// Overrides the aggregation window (ablation studies).
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Number of predictions served.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Assembles the feature row for a decision (public for tests and the
+    /// bench harness).
+    pub fn assemble_features(
+        &self,
+        job: &Job,
+        nodes: &[NodeId],
+        ctx: &mut PredictorCtx<'_>,
+    ) -> Vec<f64> {
+        let from = ctx.now.saturating_sub(self.window);
+        let aggs = aggregate_counters(ctx.store, nodes, from, ctx.now);
+        let counter_features = flatten_features(&aggs);
+        let probes = run_probes(ctx.machine, nodes, &self.probe_config, ctx.rng);
+        let one_hot = job.app.descriptor().one_hot();
+        let row = self
+            .schema
+            .assemble(&counter_features, &probes.features(), &one_hot);
+        match &self.kept {
+            Some(kept) => kept.iter().map(|&i| row[i]).collect(),
+            None => row,
+        }
+    }
+}
+
+impl VariabilityPredictor for MlPredictor {
+    fn predict(
+        &mut self,
+        job: &Job,
+        nodes: &[NodeId],
+        ctx: &mut PredictorCtx<'_>,
+    ) -> VariabilityClass {
+        self.calls += 1;
+        let row = self.assemble_features(job, nodes, ctx);
+        let label = self.model.predict(&row);
+        match self.scheme {
+            LabelScheme::Binary => {
+                if label == 1 {
+                    VariabilityClass::Variation
+                } else {
+                    VariabilityClass::NoVariation
+                }
+            }
+            LabelScheme::ThreeClass => VariabilityClass::from_index(label),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "rush-ml"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rush_cluster::machine::{Machine, MachineConfig};
+    use rush_ml::dataset::Dataset;
+    use rush_ml::model::ModelKind;
+    use rush_sched::job::JobId;
+    use rush_simkit::time::SimTime;
+    use rush_telemetry::store::MetricStore;
+    use rush_workloads::apps::AppId;
+    use rush_workloads::scaling::ScalingMode;
+
+    /// Trains a trivial 282-feature model whose decision follows feature 0.
+    fn toy_model(n_classes: u32) -> TrainedModel {
+        let schema = FeatureSchema::table_one();
+        let mut d = Dataset::new(schema.names().to_vec());
+        for i in 0..60 {
+            let mut row = vec![0.0; 282];
+            row[0] = i as f64;
+            let label = (i / (60 / n_classes as usize)) as u32;
+            d.push(row, label.min(n_classes - 1), 0);
+        }
+        ModelKind::DecisionForest.train(&d, 3)
+    }
+
+    fn job() -> Job {
+        Job {
+            id: JobId(0),
+            app: AppId::Laghos,
+            nodes_requested: 4,
+            submit_at: SimTime::ZERO,
+            scaling: ScalingMode::Reference,
+            est_runtime: SimDuration::from_secs(100),
+            skip_threshold: 10,
+        }
+    }
+
+    #[test]
+    fn assembles_282_features() {
+        let model = toy_model(2);
+        let predictor = MlPredictor::new(model, LabelScheme::Binary, None);
+        let mut machine = Machine::new(MachineConfig::tiny(1));
+        let store = MetricStore::new(16, 90);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx = PredictorCtx {
+            machine: &mut machine,
+            store: &store,
+            now: SimTime::from_mins(10),
+            rng: &mut rng,
+        };
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let row = predictor.assemble_features(&job(), &nodes, &mut ctx);
+        assert_eq!(row.len(), 282);
+        // one-hot for laghos = network intensive
+        assert_eq!(&row[279..282], &[0.0, 1.0, 0.0]);
+        // probe features are positive
+        assert!(row[270..279].iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn predicts_and_counts_calls() {
+        let model = toy_model(2);
+        let mut predictor = MlPredictor::new(model, LabelScheme::Binary, None);
+        let mut machine = Machine::new(MachineConfig::tiny(2));
+        let store = MetricStore::new(16, 90);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = PredictorCtx {
+            machine: &mut machine,
+            store: &store,
+            now: SimTime::from_mins(10),
+            rng: &mut rng,
+        };
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let class = predictor.predict(&job(), &nodes, &mut ctx);
+        // idle machine, feature 0 ~ 0 -> class 0 -> no variation
+        assert_eq!(class, VariabilityClass::NoVariation);
+        assert_eq!(predictor.calls(), 1);
+        assert_eq!(predictor.name(), "rush-ml");
+    }
+
+    #[test]
+    fn three_class_scheme_maps_directly() {
+        let model = toy_model(3);
+        let mut predictor = MlPredictor::new(model, LabelScheme::ThreeClass, None);
+        let mut machine = Machine::new(MachineConfig::tiny(3));
+        let store = MetricStore::new(16, 90);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ctx = PredictorCtx {
+            machine: &mut machine,
+            store: &store,
+            now: SimTime::from_mins(10),
+            rng: &mut rng,
+        };
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        // feature 0 near zero -> class 0
+        assert_eq!(
+            predictor.predict(&job(), &nodes, &mut ctx),
+            VariabilityClass::NoVariation
+        );
+    }
+
+    #[test]
+    fn kept_features_subset_the_row() {
+        // model trained on 2 features; predictor selects columns 0 and 281
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..20 {
+            d.push(vec![i as f64, 0.0], u32::from(i >= 10), 0);
+        }
+        let model = ModelKind::DecisionForest.train(&d, 1);
+        let predictor = MlPredictor::new(model, LabelScheme::Binary, Some(vec![0, 281]));
+        let mut machine = Machine::new(MachineConfig::tiny(4));
+        let store = MetricStore::new(16, 90);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = PredictorCtx {
+            machine: &mut machine,
+            store: &store,
+            now: SimTime::from_mins(10),
+            rng: &mut rng,
+        };
+        let nodes = vec![NodeId(0)];
+        let row = predictor.assemble_features(&job(), &nodes, &mut ctx);
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn width_mismatch_rejected() {
+        // 2-feature model with no kept subset: must panic at construction.
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..10 {
+            d.push(vec![i as f64, 0.0], u32::from(i >= 5), 0);
+        }
+        let model = ModelKind::Knn.train(&d, 1);
+        MlPredictor::new(model, LabelScheme::Binary, None);
+    }
+}

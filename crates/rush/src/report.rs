@@ -1,0 +1,338 @@
+//! Text rendering of experiment results — the harness's figure output.
+//!
+//! The bench binaries print each figure/table as an aligned text table plus
+//! a CSV block, so results can be eyeballed in the terminal and parsed by
+//! tooling.
+
+use crate::experiments::ExperimentComparison;
+use rush_sched::metrics::percent_improvement;
+use rush_workloads::apps::AppId;
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the width doesn't match the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            // Trim the trailing pad of the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — callers keep cells simple).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Renders the Fig.-5/4 style per-app variation-count comparison.
+pub fn variation_table(comparison: &ExperimentComparison) -> TextTable {
+    let mut table = TextTable::new(["app", "fcfs_easy_mean_variation_runs", "rush_mean_variation_runs"]);
+    for app in AppId::ALL {
+        let mean_for = |outcomes: &[crate::experiments::TrialOutcome]| -> Option<f64> {
+            let vals: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|t| t.metrics.app(app).map(|m| m.variation_runs as f64))
+                .collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        };
+        if let (Some(f), Some(r)) = (mean_for(&comparison.fcfs), mean_for(&comparison.rush)) {
+            table.row([app.name().to_string(), fmt(f, 2), fmt(r, 2)]);
+        }
+    }
+    table
+}
+
+/// Renders the Fig.-6/7 style per-app run-time distribution comparison.
+pub fn runtime_table(comparison: &ExperimentComparison) -> TextTable {
+    let mut table = TextTable::new([
+        "app", "policy", "min_s", "p25_s", "median_s", "p75_s", "max_s",
+    ]);
+    for app in AppId::ALL {
+        for (label, outcomes) in [
+            ("FCFS+EASY", &comparison.fcfs),
+            ("RUSH", &comparison.rush),
+        ] {
+            // Pool run times across trials.
+            let mut mins = Vec::new();
+            let mut p25 = Vec::new();
+            let mut med = Vec::new();
+            let mut p75 = Vec::new();
+            let mut maxs: Vec<f64> = Vec::new();
+            for t in outcomes.iter() {
+                if let Some(m) = t.metrics.app(app) {
+                    mins.push(m.runtime.min);
+                    p25.push(m.runtime.p25);
+                    med.push(m.runtime.p50);
+                    p75.push(m.runtime.p75);
+                    maxs.push(m.runtime.max);
+                }
+            }
+            if maxs.is_empty() {
+                continue;
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let max = maxs.iter().fold(0.0f64, |a, &b| a.max(b));
+            table.row([
+                app.name().to_string(),
+                label.to_string(),
+                fmt(mean(&mins), 1),
+                fmt(mean(&p25), 1),
+                fmt(mean(&med), 1),
+                fmt(mean(&p75), 1),
+                fmt(max, 1),
+            ]);
+        }
+    }
+    table
+}
+
+/// Renders the Fig.-9 style percent-improvement-in-max-run-time table.
+pub fn max_runtime_improvement_table(comparison: &ExperimentComparison) -> TextTable {
+    let mut table = TextTable::new(["app", "fcfs_max_s", "rush_max_s", "improvement_pct"]);
+    for app in AppId::ALL {
+        let max_of = |outcomes: &[crate::experiments::TrialOutcome]| -> Option<f64> {
+            let vals: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|t| t.metrics.app(app).map(|m| m.runtime.max))
+                .collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().fold(0.0f64, |a, &b| a.max(b)))
+            }
+        };
+        if let (Some(f), Some(r)) = (max_of(&comparison.fcfs), max_of(&comparison.rush)) {
+            table.row([
+                app.name().to_string(),
+                fmt(f, 1),
+                fmt(r, 1),
+                fmt(percent_improvement(f, r), 2),
+            ]);
+        }
+    }
+    table
+}
+
+/// Renders the Fig.-11 style per-app mean late-wait comparison.
+pub fn wait_table(comparison: &ExperimentComparison) -> TextTable {
+    let mut table =
+        TextTable::new(["app", "fcfs_mean_wait_s", "rush_mean_wait_s", "delta_s"]);
+    for app in AppId::ALL {
+        let wait_of = |outcomes: &[crate::experiments::TrialOutcome]| -> Option<f64> {
+            let vals: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|t| {
+                    t.metrics
+                        .app(app)
+                        .and_then(|m| m.late_wait.as_ref())
+                        .map(|w| w.mean)
+                })
+                .collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        };
+        if let (Some(f), Some(r)) = (wait_of(&comparison.fcfs), wait_of(&comparison.rush)) {
+            table.row([
+                app.name().to_string(),
+                fmt(f, 1),
+                fmt(r, 1),
+                fmt(r - f, 1),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Experiment, ExperimentComparison, TrialOutcome};
+    use rush_sched::job::{CompletedJob, Job, JobId};
+    use rush_sched::metrics::{RuntimeReference, ScheduleMetrics};
+    use rush_simkit::time::{SimDuration, SimTime};
+    use rush_workloads::apps::AppId;
+    use rush_workloads::scaling::ScalingMode;
+
+    /// Builds a one-trial-per-policy comparison with controlled runtimes.
+    fn synthetic_comparison(fcfs_secs: &[u64], rush_secs: &[u64]) -> ExperimentComparison {
+        let completed = |secs: &[u64]| -> Vec<CompletedJob> {
+            secs.iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let job = Job {
+                        id: JobId(i as u64),
+                        app: AppId::Laghos,
+                        nodes_requested: 16,
+                        submit_at: SimTime::from_secs(10),
+                        scaling: ScalingMode::Reference,
+                        est_runtime: SimDuration::from_secs(450),
+                        skip_threshold: 10,
+                    };
+                    CompletedJob {
+                        base_runtime: job.base_runtime(),
+                        job,
+                        start_at: SimTime::from_secs(20),
+                        end_at: SimTime::from_secs(20 + s),
+                        nodes: vec![],
+                        skips: 0,
+                        launch_prediction: None,
+                    }
+                })
+                .collect()
+        };
+        let mut reference = RuntimeReference::new();
+        reference.insert(AppId::Laghos, 16, ScalingMode::Reference, 300.0, 20.0);
+        let outcome = |secs: &[u64]| TrialOutcome {
+            trial: 0,
+            metrics: ScheduleMetrics::compute(&completed(secs), &reference, SimTime::ZERO),
+            total_skips: 0,
+        };
+        ExperimentComparison {
+            experiment: Experiment::Adaa,
+            fcfs: vec![outcome(fcfs_secs)],
+            rush: vec![outcome(rush_secs)],
+        }
+    }
+
+    #[test]
+    fn variation_table_counts_threshold_crossers() {
+        // reference mean 300 std 20 -> variation beyond 330s
+        let c = synthetic_comparison(&[300, 340, 350], &[300, 310, 320]);
+        let table = variation_table(&c);
+        let csv = table.to_csv();
+        assert!(csv.contains("laghos,2.00,0.00"), "{csv}");
+    }
+
+    #[test]
+    fn runtime_table_has_both_policies() {
+        let c = synthetic_comparison(&[280, 300, 320], &[290, 300, 310]);
+        let table = runtime_table(&c);
+        let text = table.render();
+        assert!(text.contains("FCFS+EASY"));
+        assert!(text.contains("RUSH"));
+        assert_eq!(table.row_count(), 2, "one app, two policies");
+    }
+
+    #[test]
+    fn improvement_table_computes_percent() {
+        let c = synthetic_comparison(&[400], &[380]);
+        let csv = max_runtime_improvement_table(&c).to_csv();
+        // (400 - 380) / 400 = 5%
+        assert!(csv.contains("laghos,400.0,380.0,5.00"), "{csv}");
+    }
+
+    #[test]
+    fn wait_table_reports_delta() {
+        let c = synthetic_comparison(&[300], &[300]);
+        let csv = wait_table(&c).to_csv();
+        // both wait 10s (submit 10, start 20): delta 0
+        assert!(csv.contains("laghos,10.0,10.0,0.0"), "{csv}");
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(["app", "value"]);
+        t.row(["kripke", "1.0"]);
+        t.row(["a", "123456.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[1].starts_with("---"));
+        // all rows have the value column starting at the same offset
+        let off = lines[2].find("1.0").unwrap();
+        assert_eq!(lines[3].find("123456.0").unwrap(), off);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn fmt_digits() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(2.0, 1), "2.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only"]);
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end tests of the `rush` CLI binary: collect → evaluate → train →
+//! info → schedule over real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rush() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rush"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rush-cli-{name}"));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = temp_dir("workflow");
+    let campaign = dir.join("campaign.txt");
+    let model = dir.join("model.txt");
+
+    // collect
+    let out = rush()
+        .args(["collect", "--days", "3", "--seed", "42"])
+        .args(["--out", campaign.to_str().unwrap()])
+        .output()
+        .expect("spawn rush collect");
+    assert!(out.status.success(), "collect failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("control runs"), "{stdout}");
+    assert!(campaign.exists());
+
+    // train
+    let out = rush()
+        .args(["train", "--campaign", campaign.to_str().unwrap()])
+        .args(["--out", model.to_str().unwrap(), "--kind", "decision-forest"])
+        .output()
+        .expect("spawn rush train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+    let text = std::fs::read_to_string(&model).unwrap();
+    assert!(text.starts_with("RUSHMODEL v1"));
+
+    // info
+    let out = rush()
+        .args(["info", "--model", model.to_str().unwrap()])
+        .output()
+        .expect("spawn rush info");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kind:       decision-forest"), "{stdout}");
+    assert!(stdout.contains("features:   282"), "{stdout}");
+
+    // schedule (tiny)
+    let out = rush()
+        .args(["schedule", "--campaign", campaign.to_str().unwrap()])
+        .args(["--jobs", "8", "--trials", "1", "--experiment", "ADPA"])
+        .output()
+        .expect("spawn rush schedule");
+    assert!(out.status.success(), "schedule failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("variation runs"), "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = rush().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = rush()
+        .args(["train", "--campaign", "/nonexistent/campaign.txt"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = rush().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["collect", "evaluate", "train", "info", "schedule"] {
+        assert!(stdout.contains(cmd), "usage must mention {cmd}");
+    }
+}
+
+#[test]
+fn bad_option_values_fail_cleanly() {
+    let out = rush()
+        .args(["collect", "--days", "many"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected integer"));
+}

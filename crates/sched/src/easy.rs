@@ -1,0 +1,161 @@
+//! The EASY reservation/backfill computation (Algorithm 1, lines 7–15).
+//!
+//! When the head-of-queue job cannot start, EASY reserves it at the
+//! earliest time enough nodes will be free (assuming running jobs end at
+//! their *user estimates*), then lets smaller jobs jump ahead if doing so
+//! cannot delay that reservation: a backfill candidate must either finish
+//! (by its own estimate) before the reservation's shadow time, or fit
+//! within the nodes the reserved job leaves unused.
+//!
+//! These are pure functions over snapshots so they can be tested without
+//! the event engine.
+
+use rush_simkit::time::SimTime;
+
+/// A running job's footprint for reservation planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningSnapshot {
+    /// When the scheduler expects it to finish (start + user estimate —
+    /// never the true finish time, which the scheduler cannot know).
+    pub est_end: SimTime,
+    /// Nodes it occupies.
+    pub nodes: u32,
+}
+
+/// The reservation for a head-of-queue job that cannot start now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Earliest time the reserved job is expected to have enough nodes
+    /// (the *shadow time*).
+    pub shadow_start: SimTime,
+    /// Nodes free at the shadow time beyond what the reserved job needs —
+    /// backfill jobs longer than the shadow window may still use these.
+    pub extra_nodes: u32,
+}
+
+/// Computes the EASY reservation for a job needing `needed` nodes, given
+/// `free_now` idle nodes and the running jobs.
+///
+/// Running jobs are replayed in estimated-end order, accumulating released
+/// nodes until `needed` fits. Returns `None` if the job can already start
+/// (callers should have checked) or can never fit (needs more nodes than
+/// the machine has even after everything ends).
+pub fn compute_reservation(
+    now: SimTime,
+    free_now: u32,
+    needed: u32,
+    running: &[RunningSnapshot],
+) -> Option<Reservation> {
+    if needed <= free_now {
+        return None; // job can start now; no reservation needed
+    }
+    let mut ends: Vec<RunningSnapshot> = running.to_vec();
+    ends.sort_by_key(|r| r.est_end);
+    let mut free = free_now;
+    for r in &ends {
+        free += r.nodes;
+        if free >= needed {
+            let shadow_start = r.est_end.max(now);
+            return Some(Reservation {
+                shadow_start,
+                extra_nodes: free - needed,
+            });
+        }
+    }
+    None // never enough nodes
+}
+
+/// Whether a backfill candidate may start now without delaying the
+/// reservation.
+///
+/// `candidate_nodes` must fit in `free_now` (the caller checks resource
+/// fit); this function checks only the no-delay condition:
+/// the candidate ends (by estimate) before the shadow time, **or** it uses
+/// only nodes the reserved job won't need at the shadow time.
+pub fn backfill_allowed(
+    now: SimTime,
+    candidate_est_end: SimTime,
+    candidate_nodes: u32,
+    reservation: &Reservation,
+) -> bool {
+    debug_assert!(candidate_est_end >= now, "estimate must be in the future");
+    candidate_est_end <= reservation.shadow_start || candidate_nodes <= reservation.extra_nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn no_reservation_when_job_fits() {
+        assert_eq!(compute_reservation(t(0), 10, 10, &[]), None);
+        assert_eq!(compute_reservation(t(0), 10, 5, &[]), None);
+    }
+
+    #[test]
+    fn reservation_at_first_sufficient_release() {
+        let running = vec![
+            RunningSnapshot { est_end: t(100), nodes: 4 },
+            RunningSnapshot { est_end: t(50), nodes: 2 },
+            RunningSnapshot { est_end: t(200), nodes: 8 },
+        ];
+        // free 2, need 8: after t=50 -> 4 free; after t=100 -> 8 free. Shadow = 100.
+        let r = compute_reservation(t(0), 2, 8, &running).unwrap();
+        assert_eq!(r.shadow_start, t(100));
+        assert_eq!(r.extra_nodes, 0);
+    }
+
+    #[test]
+    fn extra_nodes_counted() {
+        let running = vec![RunningSnapshot { est_end: t(60), nodes: 10 }];
+        // free 3, need 5: at t=60, free = 13; extra = 8.
+        let r = compute_reservation(t(0), 3, 5, &running).unwrap();
+        assert_eq!(r.shadow_start, t(60));
+        assert_eq!(r.extra_nodes, 8);
+    }
+
+    #[test]
+    fn impossible_reservation_is_none() {
+        let running = vec![RunningSnapshot { est_end: t(10), nodes: 2 }];
+        assert_eq!(compute_reservation(t(0), 1, 100, &running), None);
+    }
+
+    #[test]
+    fn shadow_never_before_now() {
+        // A running job whose estimate already expired (over-running its
+        // estimate): the shadow clamps to now.
+        let running = vec![RunningSnapshot { est_end: t(5), nodes: 8 }];
+        let r = compute_reservation(t(50), 0, 8, &running).unwrap();
+        assert_eq!(r.shadow_start, t(50));
+    }
+
+    #[test]
+    fn backfill_short_job_allowed() {
+        let res = Reservation { shadow_start: t(100), extra_nodes: 0 };
+        assert!(backfill_allowed(t(0), t(90), 16, &res));
+        assert!(backfill_allowed(t(0), t(100), 16, &res)); // exactly at shadow
+        assert!(!backfill_allowed(t(0), t(101), 16, &res));
+    }
+
+    #[test]
+    fn backfill_into_extra_nodes_allowed_even_if_long() {
+        let res = Reservation { shadow_start: t(100), extra_nodes: 8 };
+        assert!(backfill_allowed(t(0), t(500), 8, &res));
+        assert!(!backfill_allowed(t(0), t(500), 9, &res));
+    }
+
+    #[test]
+    fn ties_in_est_end_accumulate() {
+        let running = vec![
+            RunningSnapshot { est_end: t(30), nodes: 3 },
+            RunningSnapshot { est_end: t(30), nodes: 3 },
+        ];
+        let r = compute_reservation(t(0), 0, 6, &running).unwrap();
+        assert_eq!(r.shadow_start, t(30));
+        assert_eq!(r.extra_nodes, 0);
+    }
+}

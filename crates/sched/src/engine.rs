@@ -1,0 +1,1064 @@
+//! The discrete-event scheduler engine.
+//!
+//! Runs a job stream against a [`Machine`] under Algorithm 1 (queue policy
+//! R1 + EASY backfill with R2) with the RUSH `Start()` of Algorithm 2. Job
+//! progress is integrated piecewise: every state change (job start/finish,
+//! periodic tick) re-evaluates each running job's slowdown from the
+//! machine's *current* congestion and filesystem saturation, converts
+//! elapsed time into completed work, and reschedules its finish event. A
+//! job that runs through a congestion storm therefore takes longer even if
+//! the storm began mid-run — the mechanism behind the paper's variability.
+//!
+//! Event cancellation uses generation counters: each progress update bumps
+//! the job's generation, and finish events carry the generation they were
+//! scheduled under; stale events are ignored.
+
+use crate::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
+use crate::job::{CompletedJob, Job, JobId};
+use crate::profile::AvailabilityProfile;
+use crate::policy::QueueOrder;
+use crate::trace::{ScheduleTrace, TraceEvent};
+use crate::predictor::{PredictorCtx, VariabilityPredictor};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rush_cluster::machine::{Machine, SourceId};
+use rush_cluster::placement::{NodePool, PlacementPolicy};
+use rush_cluster::topology::NodeId;
+use rush_simkit::event::EventQueue;
+use rush_simkit::rng::RngStreams;
+use rush_simkit::time::{SimDuration, SimTime};
+use rush_telemetry::collector::Sampler;
+use rush_telemetry::store::MetricStore;
+use rush_workloads::jobgen::JobRequest;
+use std::collections::{HashMap, HashSet};
+
+/// Which backfilling discipline fills holes around blocked jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackfillPolicy {
+    /// No backfilling: strict queue order (head-of-line blocking).
+    None,
+    /// EASY: one reservation for the blocked head; anything that cannot
+    /// delay it may jump (Algorithm 1).
+    #[default]
+    Easy,
+    /// Conservative: every queued job holds a reservation; early starts can
+    /// delay nothing ahead of them.
+    Conservative,
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Main queue ordering policy (R1).
+    pub r1: QueueOrder,
+    /// Backfill ordering policy (R2).
+    pub r2: QueueOrder,
+    /// Backfilling discipline (paper: EASY).
+    pub backfill: BackfillPolicy,
+    /// RUSH skip limit per job (paper: 10). Zero disables delays entirely.
+    pub skip_threshold: u32,
+    /// User over-estimation factor: estimate = nominal × factor.
+    pub est_factor: f64,
+    /// Progress/telemetry re-evaluation cadence.
+    pub tick: SimDuration,
+    /// Counter sampling cadence (drives the predictor's feature window).
+    pub sampling_interval: SimDuration,
+    /// Minimum time between two RUSH evaluations of the same job. A
+    /// delayed job is simply passed over until the cooldown expires, so the
+    /// skip budget meters *time deferred* rather than scheduler-pass count
+    /// (the paper's Flux hook shells out to Python per decision, which
+    /// throttles re-evaluation the same way).
+    pub skip_cooldown: SimDuration,
+    /// How much counter history to retain (must exceed the feature window).
+    pub retention: SimDuration,
+    /// Node placement policy.
+    pub placement: PlacementPolicy,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            r1: QueueOrder::Fcfs,
+            r2: QueueOrder::Fcfs,
+            backfill: BackfillPolicy::Easy,
+            skip_threshold: 10,
+            est_factor: 1.5,
+            tick: SimDuration::from_secs(30),
+            sampling_interval: SimDuration::from_secs(30),
+            skip_cooldown: SimDuration::from_secs(45),
+            retention: SimDuration::from_mins(10),
+            placement: PlacementPolicy::LowestId,
+        }
+    }
+}
+
+/// A running job's execution state.
+#[derive(Debug, Clone)]
+struct RunningJob {
+    job: Job,
+    nodes: Vec<NodeId>,
+    start_at: SimTime,
+    launch_prediction: Option<crate::predictor::VariabilityClass>,
+    /// Total nominal work, seconds at speed 1 (for phase progress).
+    total_work: f64,
+    /// Remaining nominal work, in seconds at speed 1.
+    remaining_work: f64,
+    /// Current execution speed (1 / slowdown).
+    speed: f64,
+    last_update: SimTime,
+    generation: u64,
+    skips: u32,
+}
+
+/// Events driving the run loop.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The job at this index of the request list arrives.
+    Submit(usize),
+    /// A running job's finish fires (valid only at its generation).
+    Finish(JobId, u64),
+    /// Periodic progress + telemetry + scheduling re-evaluation.
+    Tick,
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// All finished jobs.
+    pub completed: Vec<CompletedJob>,
+    /// Total RUSH delays issued.
+    pub total_skips: u64,
+    /// Largest queue length observed.
+    pub max_queue_len: usize,
+    /// Name of the predictor that drove `Start()`.
+    pub predictor_name: String,
+    /// Earliest submission.
+    pub first_submit: SimTime,
+    /// Latest completion.
+    pub last_end: SimTime,
+    /// The recorded event timeline and load series.
+    pub trace: ScheduleTrace,
+}
+
+impl ScheduleResult {
+    /// Makespan: first submission to last completion (Section VI-C).
+    pub fn makespan(&self) -> SimDuration {
+        self.last_end.since(self.first_submit)
+    }
+
+    /// Mean queue wait across all jobs, seconds.
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed
+            .iter()
+            .map(|c| c.wait().as_secs_f64())
+            .sum::<f64>()
+            / self.completed.len() as f64
+    }
+}
+
+/// The discrete-event scheduler.
+pub struct SchedulerEngine {
+    machine: Machine,
+    pool: NodePool,
+    store: MetricStore,
+    sampler: Sampler,
+    config: SchedulerConfig,
+    predictor: Box<dyn VariabilityPredictor>,
+    queue: Vec<Job>,
+    running: HashMap<JobId, RunningJob>,
+    skip_table: HashMap<JobId, u32>,
+    delayed_until: HashMap<JobId, SimTime>,
+    completed: Vec<CompletedJob>,
+    events: EventQueue<Ev>,
+    rng_place: SmallRng,
+    rng_run: SmallRng,
+    rng_pred: SmallRng,
+    total_skips: u64,
+    max_queue_len: usize,
+    pending_submits: usize,
+    trace: ScheduleTrace,
+}
+
+impl SchedulerEngine {
+    /// Builds an engine over `machine` with the given predictor.
+    ///
+    /// `seed` controls placement, run-time noise and predictor randomness
+    /// independently of the machine's own seed.
+    pub fn new(
+        machine: Machine,
+        config: SchedulerConfig,
+        predictor: Box<dyn VariabilityPredictor>,
+        seed: u64,
+    ) -> Self {
+        let node_count = machine.tree().node_count();
+        let nodes_per_edge = machine.tree().config().nodes_per_edge;
+        let streams = RngStreams::new(seed);
+        let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
+        SchedulerEngine {
+            pool: NodePool::with_topology(node_count, nodes_per_edge, config.placement),
+            store: MetricStore::new(node_count, 90),
+            sampler: Sampler::new(nodes, config.sampling_interval),
+            machine,
+            config,
+            predictor,
+            queue: Vec::new(),
+            running: HashMap::new(),
+            skip_table: HashMap::new(),
+            delayed_until: HashMap::new(),
+            completed: Vec::new(),
+            events: EventQueue::new(),
+            rng_place: streams.stream("sched/place"),
+            rng_run: streams.stream("sched/run"),
+            rng_pred: streams.stream("sched/predict"),
+            total_skips: 0,
+            max_queue_len: 0,
+            pending_submits: 0,
+            trace: ScheduleTrace::new(),
+        }
+    }
+
+    /// Starts the experiment's noise job on `nodes` (removed from the
+    /// schedulable pool, per Section VI-A's 1/16th reservation).
+    pub fn with_noise_job(mut self, nodes: Vec<NodeId>, max_gbps: f64) -> Self {
+        self.pool.reserve_permanently(&nodes);
+        self.machine.enable_noise_job(nodes, max_gbps);
+        self
+    }
+
+    /// Immutable access to the machine (for tests and reports).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Runs the whole job stream to completion and returns the result.
+    pub fn run(&mut self, requests: &[JobRequest]) -> ScheduleResult {
+        assert!(!requests.is_empty(), "no jobs to schedule");
+        let capacity = self.pool.capacity() as u32;
+        for req in requests {
+            assert!(
+                req.nodes <= capacity,
+                "job {} wants {} nodes but the schedulable pool has {capacity}",
+                req.id,
+                req.nodes
+            );
+        }
+
+        let jobs: Vec<Job> = requests
+            .iter()
+            .map(|r| Job::from_request(r, self.config.est_factor, self.config.skip_threshold))
+            .collect();
+        let first_submit = jobs.iter().map(|j| j.submit_at).min().expect("non-empty");
+
+        for (i, job) in jobs.iter().enumerate() {
+            self.events.schedule(job.submit_at, Ev::Submit(i));
+        }
+        self.pending_submits = jobs.len();
+        self.events.schedule(SimTime::ZERO, Ev::Tick);
+
+        while let Some(entry) = self.events.pop() {
+            let now = entry.time;
+            match entry.event {
+                Ev::Submit(i) => {
+                    self.advance_world(now);
+                    self.pending_submits -= 1;
+                    self.record(now, TraceEvent::Submitted(jobs[i].id));
+                    self.queue.push(jobs[i].clone());
+                    self.max_queue_len = self.max_queue_len.max(self.queue.len());
+                    self.schedule_pass(now);
+                }
+                Ev::Finish(id, generation) => {
+                    let valid = self
+                        .running
+                        .get(&id)
+                        .map(|r| r.generation == generation)
+                        .unwrap_or(false);
+                    if !valid {
+                        continue; // superseded by a progress update
+                    }
+                    self.advance_world(now);
+                    self.finish_job(id, now);
+                    self.schedule_pass(now);
+                }
+                Ev::Tick => {
+                    self.advance_world(now);
+                    self.update_progress(now);
+                    self.schedule_pass(now);
+                    let work_remains = !self.queue.is_empty()
+                        || !self.running.is_empty()
+                        || self.pending_submits > 0;
+                    if work_remains {
+                        self.events.schedule(now + self.config.tick, Ev::Tick);
+                    }
+                }
+            }
+        }
+
+        assert!(
+            self.queue.is_empty() && self.running.is_empty(),
+            "run loop ended with unfinished jobs"
+        );
+        let last_end = self
+            .completed
+            .iter()
+            .map(|c| c.end_at)
+            .max()
+            .unwrap_or(first_submit);
+        ScheduleResult {
+            completed: std::mem::take(&mut self.completed),
+            total_skips: self.total_skips,
+            max_queue_len: self.max_queue_len,
+            predictor_name: self.predictor.name().to_string(),
+            first_submit,
+            last_end,
+            trace: std::mem::take(&mut self.trace),
+        }
+    }
+
+    /// Records a trace event with the current queue/busy snapshot.
+    fn record(&mut self, at: SimTime, event: TraceEvent) {
+        let busy = self.pool.busy_count();
+        self.trace.record(at, event, self.queue.len(), busy);
+    }
+
+    /// Advances machine time and telemetry sampling to `now`, then settles
+    /// running-job progress at the *new* machine state.
+    fn advance_world(&mut self, now: SimTime) {
+        self.sampler
+            .advance_to(now, &mut self.machine, &mut self.store);
+        self.machine.advance_to(now);
+        self.store
+            .retain_from(now.saturating_sub(self.config.retention));
+    }
+
+    /// Settles each running job's work at its previous speed over the
+    /// elapsed interval, recomputes speeds from current machine state, and
+    /// reschedules finish events.
+    fn update_progress(&mut self, now: SimTime) {
+        let ids: Vec<JobId> = self.running.keys().copied().collect();
+        for id in ids {
+            // Settle elapsed work.
+            let (nodes, app) = {
+                let r = self.running.get_mut(&id).expect("running job");
+                let elapsed = now.since(r.last_update).as_secs_f64();
+                r.remaining_work = (r.remaining_work - elapsed * r.speed).max(0.0);
+                r.last_update = now;
+                (r.nodes.clone(), r.job.app)
+            };
+            // Recompute speed under current contention, at the job's
+            // current phase.
+            let congestion = self.machine.congestion(&nodes);
+            let fs = self.machine.fs_saturation();
+            let r = self.running.get_mut(&id).expect("running job");
+            let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
+            let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
+            r.speed = 1.0 / slowdown;
+            r.generation += 1;
+            let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
+            self.events
+                .schedule(now + finish_in, Ev::Finish(id, r.generation));
+        }
+    }
+
+    /// Records a completed job and releases its resources.
+    fn finish_job(&mut self, id: JobId, now: SimTime) {
+        let mut r = self.running.remove(&id).expect("finishing unknown job");
+        // Settle any residual work at the last speed (should be ~zero).
+        let elapsed = now.since(r.last_update).as_secs_f64();
+        r.remaining_work = (r.remaining_work - elapsed * r.speed).max(0.0);
+        debug_assert!(
+            r.remaining_work < 1e-3,
+            "job {id} finished with {} nominal seconds left",
+            r.remaining_work
+        );
+        self.machine.remove_load(SourceId(id.0));
+        self.pool.release(&r.nodes);
+        self.record(now, TraceEvent::Finished(id));
+        self.completed.push(CompletedJob {
+            base_runtime: r.job.base_runtime(),
+            job: r.job,
+            start_at: r.start_at,
+            end_at: now,
+            nodes: r.nodes,
+            skips: r.skips,
+            launch_prediction: r.launch_prediction,
+        });
+    }
+
+    /// Algorithm 1: one scheduling pass over the queue.
+    fn schedule_pass(&mut self, now: SimTime) {
+        self.config.r1.clone().sort(&mut self.queue);
+        if self.config.backfill == BackfillPolicy::Conservative {
+            self.conservative_pass(now);
+            return;
+        }
+        let mut delayed_this_pass: HashSet<JobId> = HashSet::new();
+
+        let mut i = 0;
+        while i < self.queue.len() {
+            let job = &self.queue[i];
+            let cooling_down = self
+                .delayed_until
+                .get(&job.id)
+                .map(|&until| now < until)
+                .unwrap_or(false);
+            if delayed_this_pass.contains(&job.id) || cooling_down {
+                i += 1;
+                continue;
+            }
+            let needed = job.nodes_requested as usize;
+            if self.pool.can_allocate(needed) {
+                let job = self.queue.remove(i);
+                if !self.try_start(job, now, &mut delayed_this_pass) {
+                    // Delayed: restart the scan; the delayed set prevents
+                    // re-evaluating it within this pass.
+                    i = 0;
+                }
+            } else {
+                // Head-of-line blocking: reserve and backfill (lines 7–15).
+                if self.config.backfill == BackfillPolicy::Easy {
+                    self.backfill(i, now, &mut delayed_this_pass);
+                }
+                break;
+            }
+        }
+    }
+
+    /// Conservative backfilling: walk the queue in R1 order, give every job
+    /// a reservation on the availability profile, and start those whose
+    /// reservation is *now*. A RUSH-delayed job keeps its reservation, so
+    /// nothing can slide into its slot.
+    fn conservative_pass(&mut self, now: SimTime) {
+        let running: Vec<(SimTime, u32)> = self
+            .running
+            .values()
+            .map(|r| (r.start_at + r.job.est_runtime, r.job.nodes_requested))
+            .collect();
+        let mut profile =
+            AvailabilityProfile::new(now, self.pool.free_count() as u32, &running);
+        let mut delayed_this_pass: HashSet<JobId> = HashSet::new();
+
+        let snapshot: Vec<Job> = self.queue.clone();
+        for job in snapshot {
+            if profile.never_fits(job.nodes_requested) {
+                continue;
+            }
+            let start = profile.earliest_fit(job.nodes_requested, job.est_runtime);
+            profile.reserve(start, job.est_runtime, job.nodes_requested);
+            if start > now {
+                continue;
+            }
+            let cooling_down = self
+                .delayed_until
+                .get(&job.id)
+                .map(|&until| now < until)
+                .unwrap_or(false);
+            if cooling_down || delayed_this_pass.contains(&job.id) {
+                continue; // keeps its reservation; nothing may take the slot
+            }
+            if !self.pool.can_allocate(job.nodes_requested as usize) {
+                continue;
+            }
+            let pos = self
+                .queue
+                .iter()
+                .position(|j| j.id == job.id)
+                .expect("snapshot job still queued");
+            let job = self.queue.remove(pos);
+            self.try_start(job, now, &mut delayed_this_pass);
+        }
+    }
+
+    /// EASY backfill around the blocked job at queue position `blocked_idx`.
+    fn backfill(&mut self, blocked_idx: usize, now: SimTime, delayed: &mut HashSet<JobId>) {
+        let blocked = &self.queue[blocked_idx];
+        let snapshots: Vec<RunningSnapshot> = self
+            .running
+            .values()
+            .map(|r| RunningSnapshot {
+                est_end: r.start_at + r.job.est_runtime,
+                nodes: r.job.nodes_requested,
+            })
+            .collect();
+        let reservation = match compute_reservation(
+            now,
+            self.pool.free_count() as u32,
+            blocked.nodes_requested,
+            &snapshots,
+        ) {
+            Some(r) => r,
+            None => return, // cannot ever fit; nothing to protect
+        };
+        let blocked_id = blocked.id;
+
+        // Candidates: everything except the blocked job, in R2 order.
+        let mut candidates: Vec<Job> = self
+            .queue
+            .iter()
+            .filter(|j| j.id != blocked_id)
+            .cloned()
+            .collect();
+        self.config.r2.clone().sort(&mut candidates);
+
+        for cand in candidates {
+            let cooling_down = self
+                .delayed_until
+                .get(&cand.id)
+                .map(|&until| now < until)
+                .unwrap_or(false);
+            if delayed.contains(&cand.id) || cooling_down {
+                continue;
+            }
+            let needed = cand.nodes_requested as usize;
+            if !self.pool.can_allocate(needed) {
+                continue;
+            }
+            let est_end = now + cand.est_runtime;
+            if !backfill_allowed(now, est_end, cand.nodes_requested, &reservation) {
+                continue;
+            }
+            let pos = self
+                .queue
+                .iter()
+                .position(|j| j.id == cand.id)
+                .expect("candidate still queued");
+            let job = self.queue.remove(pos);
+            self.try_start(job, now, delayed);
+        }
+    }
+
+    /// Algorithm 2: the modified `Start()`. Returns `true` if the job
+    /// launched, `false` if it was delayed (and re-queued after the front).
+    fn try_start(&mut self, job: Job, now: SimTime, delayed: &mut HashSet<JobId>) -> bool {
+        let needed = job.nodes_requested as usize;
+        let nodes = self
+            .pool
+            .allocate(needed, &mut self.rng_place)
+            .expect("caller checked availability");
+
+        let skips = self.skip_table.get(&job.id).copied().unwrap_or(0);
+        // Line 1: `SkipTable[j] < j.skip_threshold and M(j, S) ∈ variation
+        // labels` — the threshold check short-circuits the model.
+        let mut launch_prediction = None;
+        let delay = skips < job.skip_threshold && {
+            let mut ctx = PredictorCtx {
+                machine: &mut self.machine,
+                store: &self.store,
+                now,
+                rng: &mut self.rng_pred,
+            };
+            let class = self.predictor.predict(&job, &nodes, &mut ctx);
+            launch_prediction = Some(class);
+            class.triggers_delay()
+        };
+
+        if delay {
+            // Lines 2–3: increment the skip count and push after the front.
+            self.pool.release(&nodes);
+            *self.skip_table.entry(job.id).or_insert(0) += 1;
+            self.total_skips += 1;
+            let skips = self.skip_table[&job.id];
+            self.record(now, TraceEvent::Delayed(job.id, skips));
+            self.delayed_until
+                .insert(job.id, now + self.config.skip_cooldown);
+            delayed.insert(job.id);
+            let pos = 1.min(self.queue.len());
+            self.queue.insert(pos, job);
+            return false;
+        }
+
+        // Line 5: launch.
+        let app = job.app.descriptor();
+        self.machine
+            .register_load(SourceId(job.id.0), nodes.clone(), app.intensity());
+
+        // Per-run static factor: OS noise × intrinsic application noise.
+        let os = self.machine.draw_os_noise();
+        let intrinsic = {
+            let z: f64 =
+                self.rng_run.gen::<f64>() + self.rng_run.gen::<f64>() + self.rng_run.gen::<f64>()
+                    - 1.5;
+            (app.intrinsic_noise * 2.0 * z).exp()
+        };
+        let base = job.base_runtime().as_secs_f64();
+        let work = base * os * intrinsic;
+
+        let congestion = self.machine.congestion(&nodes);
+        let fs = self.machine.fs_saturation();
+        let speed = 1.0 / app.slowdown_at(0.0, congestion, fs);
+
+        let id = job.id;
+        self.record(now, TraceEvent::Started(id));
+        let generation = 0;
+        let finish_in = SimDuration::from_secs_f64(work / speed);
+        self.events
+            .schedule(now + finish_in, Ev::Finish(id, generation));
+        self.running.insert(
+            id,
+            RunningJob {
+                job,
+                nodes,
+                start_at: now,
+                launch_prediction,
+                total_work: work,
+                remaining_work: work,
+                speed,
+                last_update: now,
+                generation,
+                skips: self.skip_table.get(&id).copied().unwrap_or(0),
+            },
+        );
+        // A job starting changes contention for everyone else.
+        self.update_progress_others(id, now);
+        true
+    }
+
+    /// Re-evaluates every running job except `except` (which was just
+    /// updated at start).
+    fn update_progress_others(&mut self, except: JobId, now: SimTime) {
+        let ids: Vec<JobId> = self
+            .running
+            .keys()
+            .copied()
+            .filter(|&id| id != except)
+            .collect();
+        for id in ids {
+            let (nodes, app) = {
+                let r = self.running.get_mut(&id).expect("running job");
+                let elapsed = now.since(r.last_update).as_secs_f64();
+                r.remaining_work = (r.remaining_work - elapsed * r.speed).max(0.0);
+                r.last_update = now;
+                (r.nodes.clone(), r.job.app)
+            };
+            let congestion = self.machine.congestion(&nodes);
+            let fs = self.machine.fs_saturation();
+            let r = self.running.get_mut(&id).expect("running job");
+            let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
+            let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
+            r.speed = 1.0 / slowdown;
+            r.generation += 1;
+            let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
+            self.events
+                .schedule(now + finish_in, Ev::Finish(id, r.generation));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{NeverVaries, Scripted, VariabilityClass};
+    use rush_cluster::machine::MachineConfig;
+    use rush_workloads::apps::AppId;
+    use rush_workloads::scaling::ScalingMode;
+
+    fn requests(n: u64, nodes: u32) -> Vec<JobRequest> {
+        (0..n)
+            .map(|i| JobRequest {
+                id: i,
+                app: AppId::Amg,
+                nodes,
+                submit_at: SimTime::from_secs(i),
+                scaling: ScalingMode::Reference,
+            })
+            .collect()
+    }
+
+    fn engine(predictor: Box<dyn VariabilityPredictor>) -> SchedulerEngine {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        SchedulerEngine::new(machine, SchedulerConfig::default(), predictor, 42)
+    }
+
+    #[test]
+    fn runs_all_jobs_to_completion() {
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&requests(6, 4));
+        assert_eq!(result.completed.len(), 6);
+        assert_eq!(result.total_skips, 0);
+        assert!(result.makespan() > SimDuration::ZERO);
+        // amg base runtime 180s: everything well over that
+        for c in &result.completed {
+            assert!(c.runtime().as_secs_f64() >= 170.0, "{}", c.runtime());
+        }
+    }
+
+    #[test]
+    fn respects_capacity() {
+        // tiny machine has 16 nodes; 4-node jobs -> at most 4 concurrent.
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&requests(8, 4));
+        // Check no overlap exceeds capacity: scan start/end ordering.
+        let mut points: Vec<(SimTime, i32)> = Vec::new();
+        for c in &result.completed {
+            points.push((c.start_at, 4));
+            points.push((c.end_at, -4));
+        }
+        points.sort_by_key(|&(t, delta)| (t, delta)); // ends before starts at same instant
+        let mut used = 0;
+        for (_, delta) in points {
+            used += delta;
+            assert!(used <= 16, "capacity exceeded: {used}");
+        }
+    }
+
+    #[test]
+    fn fcfs_order_preserved_for_equal_jobs() {
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&requests(8, 16)); // full-machine jobs serialize
+        let mut by_start = result.completed.clone();
+        by_start.sort_by_key(|c| c.start_at);
+        let ids: Vec<u64> = by_start.iter().map(|c| c.job.id.0).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>(), "FCFS must preserve order");
+    }
+
+    #[test]
+    fn delayed_job_eventually_runs() {
+        // Predict variation for the first 3 evaluations, then calm.
+        let script = Scripted::new(vec![
+            VariabilityClass::Variation,
+            VariabilityClass::Variation,
+            VariabilityClass::Variation,
+        ]);
+        let mut eng = engine(Box::new(script));
+        let result = eng.run(&requests(2, 4));
+        assert_eq!(result.completed.len(), 2);
+        assert!(result.total_skips >= 1, "the scripted delays must fire");
+        let delayed = result
+            .completed
+            .iter()
+            .find(|c| c.skips > 0)
+            .expect("some job was delayed");
+        assert!(delayed.wait() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn skip_threshold_bounds_delays() {
+        // A predictor that always says variation: every job must still run,
+        // each skipped exactly `skip_threshold` times.
+        struct AlwaysVaries;
+        impl VariabilityPredictor for AlwaysVaries {
+            fn predict(
+                &mut self,
+                _j: &Job,
+                _n: &[NodeId],
+                _c: &mut PredictorCtx<'_>,
+            ) -> VariabilityClass {
+                VariabilityClass::Variation
+            }
+            fn name(&self) -> &str {
+                "always-varies"
+            }
+        }
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            skip_threshold: 3,
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(AlwaysVaries), 42);
+        let result = eng.run(&requests(4, 4));
+        assert_eq!(result.completed.len(), 4, "starvation bound must hold");
+        for c in &result.completed {
+            assert_eq!(c.skips, 3, "each job skipped to its threshold");
+        }
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_jump() {
+        // Job 0 takes 12 of 16 nodes; job 1 (submitted next) wants the
+        // whole machine -> blocked, reserved. Job 2 is small and short:
+        // backfills into the 4 free nodes.
+        let reqs = vec![
+            JobRequest {
+                id: 0,
+                app: AppId::Amg,
+                nodes: 12,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 1,
+                app: AppId::Amg,
+                nodes: 16,
+                submit_at: SimTime::from_secs(1),
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 2,
+                app: AppId::Swfft, // 150s base < amg's remaining time
+                nodes: 4,
+                submit_at: SimTime::from_secs(2),
+                scaling: ScalingMode::Reference,
+            },
+        ];
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&reqs);
+        let start = |id: u64| {
+            result
+                .completed
+                .iter()
+                .find(|c| c.job.id.0 == id)
+                .unwrap()
+                .start_at
+        };
+        assert!(start(2) < start(1), "small job should backfill ahead of the blocked one");
+    }
+
+    #[test]
+    fn no_backfill_is_strict_fcfs() {
+        // Same shape as the backfill test, but with backfilling off the
+        // small job must NOT jump the blocked 16-node job.
+        let reqs = vec![
+            JobRequest {
+                id: 0,
+                app: AppId::Amg,
+                nodes: 12,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 1,
+                app: AppId::Amg,
+                nodes: 16,
+                submit_at: SimTime::from_secs(1),
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 2,
+                app: AppId::Swfft,
+                nodes: 4,
+                submit_at: SimTime::from_secs(2),
+                scaling: ScalingMode::Reference,
+            },
+        ];
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            backfill: BackfillPolicy::None,
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let result = eng.run(&reqs);
+        let find = |id: u64| result.completed.iter().find(|c| c.job.id.0 == id).unwrap();
+        assert!(
+            find(2).start_at >= find(1).start_at,
+            "strict FCFS must not let job 2 jump job 1"
+        );
+    }
+
+    #[test]
+    fn conservative_backfill_allows_harmless_jumps() {
+        // Head job on 12 nodes; 16-node job blocked; short 4-node job can
+        // run beside the head without delaying anyone's reservation.
+        let reqs = vec![
+            JobRequest {
+                id: 0,
+                app: AppId::Amg,
+                nodes: 12,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 1,
+                app: AppId::Amg,
+                nodes: 16,
+                submit_at: SimTime::from_secs(1),
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 2,
+                app: AppId::Swfft, // 150s est*1.5=225 < amg remaining
+                nodes: 4,
+                submit_at: SimTime::from_secs(2),
+                scaling: ScalingMode::Reference,
+            },
+        ];
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            backfill: BackfillPolicy::Conservative,
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let result = eng.run(&reqs);
+        let find = |id: u64| result.completed.iter().find(|c| c.job.id.0 == id).unwrap();
+        assert!(
+            find(2).start_at < find(1).start_at,
+            "harmless short job should backfill conservatively"
+        );
+        assert_eq!(result.completed.len(), 3);
+    }
+
+    #[test]
+    fn conservative_blocks_delaying_jumps() {
+        // The long 4-node job would push back the blocked 16-node job's
+        // reservation; conservative must hold it.
+        let reqs = vec![
+            JobRequest {
+                id: 0,
+                app: AppId::Swfft, // short head: ends soon
+                nodes: 12,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 1,
+                app: AppId::Amg,
+                nodes: 16,
+                submit_at: SimTime::from_secs(1),
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 2,
+                app: AppId::Lbann, // long
+                nodes: 4,
+                submit_at: SimTime::from_secs(2),
+                scaling: ScalingMode::Reference,
+            },
+        ];
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            backfill: BackfillPolicy::Conservative,
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let result = eng.run(&reqs);
+        let find = |id: u64| result.completed.iter().find(|c| c.job.id.0 == id).unwrap();
+        assert!(
+            find(2).start_at >= find(0).end_at,
+            "delaying jump must be blocked under conservative backfill"
+        );
+    }
+
+    #[test]
+    fn backfill_never_delays_the_reservation() {
+        // Same setup, but the small job is *long* (lbann 360s > the head
+        // job's remaining estimate) and would delay the blocked 16-node
+        // job: no backfill.
+        let reqs = vec![
+            JobRequest {
+                id: 0,
+                app: AppId::Swfft, // short head job: 150s
+                nodes: 12,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 1,
+                app: AppId::Amg,
+                nodes: 16,
+                submit_at: SimTime::from_secs(1),
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 2,
+                app: AppId::Lbann, // long: 360s
+                nodes: 4,
+                submit_at: SimTime::from_secs(2),
+                scaling: ScalingMode::Reference,
+            },
+        ];
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&reqs);
+        let find = |id: u64| result.completed.iter().find(|c| c.job.id.0 == id).unwrap();
+        assert!(
+            find(2).start_at >= find(0).end_at,
+            "long job must not backfill ahead of the reservation"
+        );
+        assert!(find(1).start_at >= find(0).end_at);
+    }
+
+    #[test]
+    fn contention_slows_concurrent_network_jobs() {
+        // Run two network-heavy jobs on overlapping switches vs one alone;
+        // with noise background the pair should take longer than solo.
+        let machine = Machine::new(MachineConfig::tiny(3));
+        let mut solo_eng =
+            SchedulerEngine::new(machine, SchedulerConfig::default(), Box::new(NeverVaries), 1);
+        let solo = solo_eng.run(&[JobRequest {
+            id: 0,
+            app: AppId::Laghos,
+            nodes: 8,
+            submit_at: SimTime::ZERO,
+            scaling: ScalingMode::Reference,
+        }]);
+
+        let machine2 = Machine::new(MachineConfig::tiny(3));
+        let mut pair_eng =
+            SchedulerEngine::new(machine2, SchedulerConfig::default(), Box::new(NeverVaries), 1);
+        let pair = pair_eng.run(&[
+            JobRequest {
+                id: 0,
+                app: AppId::Laghos,
+                nodes: 8,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 1,
+                app: AppId::Laghos,
+                nodes: 8,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+        ]);
+        let solo_rt = solo.completed[0].runtime().as_secs_f64();
+        let pair_rt = pair
+            .completed
+            .iter()
+            .map(|c| c.runtime().as_secs_f64())
+            .fold(0.0, f64::max);
+        assert!(
+            pair_rt > solo_rt,
+            "contention must slow the pair: solo {solo_rt}, pair {pair_rt}"
+        );
+    }
+
+    #[test]
+    fn noise_job_shrinks_the_pool() {
+        let machine = Machine::new(MachineConfig::tiny(5));
+        let noise_nodes: Vec<NodeId> = (0..1).map(NodeId).collect();
+        let mut eng =
+            SchedulerEngine::new(machine, SchedulerConfig::default(), Box::new(NeverVaries), 9)
+                .with_noise_job(noise_nodes, 6.0);
+        // 15 schedulable nodes now; a 16-node job must panic.
+        let result = eng.run(&requests(2, 15));
+        assert_eq!(result.completed.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedulable pool")]
+    fn oversized_job_rejected() {
+        let mut eng = engine(Box::new(NeverVaries));
+        eng.run(&requests(1, 17));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let run = || {
+            let machine = Machine::new(MachineConfig::tiny(11));
+            let mut eng = SchedulerEngine::new(
+                machine,
+                SchedulerConfig::default(),
+                Box::new(NeverVaries),
+                5,
+            );
+            let r = eng.run(&requests(6, 4));
+            r.completed
+                .iter()
+                .map(|c| (c.job.id, c.start_at, c.end_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wait_times_accumulate_under_load() {
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&requests(8, 16));
+        // serialized: later jobs wait longer
+        let mut by_id = result.completed.clone();
+        by_id.sort_by_key(|c| c.job.id);
+        assert!(by_id[7].wait() > by_id[1].wait());
+        assert!(result.mean_wait_secs() > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Jobs and their completion records.
+
+use crate::predictor::VariabilityClass;
+use rush_cluster::topology::NodeId;
+use rush_simkit::time::{SimDuration, SimTime};
+use rush_workloads::apps::AppId;
+use rush_workloads::jobgen::JobRequest;
+use rush_workloads::scaling::ScalingMode;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a job within one experiment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A job known to the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id.
+    pub id: JobId,
+    /// Which proxy application runs.
+    pub app: AppId,
+    /// Nodes requested.
+    pub nodes_requested: u32,
+    /// When the user submitted it.
+    pub submit_at: SimTime,
+    /// Input-deck scaling mode.
+    pub scaling: ScalingMode,
+    /// The user-provided run-time estimate the scheduler plans with (EASY
+    /// reservations). Users over-estimate, per the paper's Section I.
+    pub est_runtime: SimDuration,
+    /// Skip limit before the RUSH delay is overridden (paper: 10; the
+    /// paper notes it "could be extended to be per-job", which this is).
+    pub skip_threshold: u32,
+}
+
+impl Job {
+    /// Builds a scheduler job from a workload request.
+    ///
+    /// `est_factor` maps the nominal run time to the user's estimate
+    /// (over-estimation factor); `skip_threshold` is the RUSH starvation
+    /// bound.
+    pub fn from_request(req: &JobRequest, est_factor: f64, skip_threshold: u32) -> Job {
+        let base = req.app.descriptor().base_runtime(req.nodes, req.scaling);
+        Job {
+            id: JobId(req.id),
+            app: req.app,
+            nodes_requested: req.nodes,
+            submit_at: req.submit_at,
+            scaling: req.scaling,
+            est_runtime: base.mul_f64(est_factor),
+            skip_threshold,
+        }
+    }
+
+    /// Nominal (contention-free) run time of this job.
+    pub fn base_runtime(&self) -> SimDuration {
+        self.app
+            .descriptor()
+            .base_runtime(self.nodes_requested, self.scaling)
+    }
+}
+
+/// A finished job with everything the evaluation needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// The job as submitted.
+    pub job: Job,
+    /// When it started running.
+    pub start_at: SimTime,
+    /// When it finished.
+    pub end_at: SimTime,
+    /// The nodes it ran on.
+    pub nodes: Vec<NodeId>,
+    /// Times the RUSH policy skipped it (0 under the baseline).
+    pub skips: u32,
+    /// Nominal run time at its scale (denominator for slowdown).
+    pub base_runtime: SimDuration,
+    /// The predictor's class at the moment the job launched (the final
+    /// "go" decision) — `None` for the baseline's NeverVaries stub.
+    pub launch_prediction: Option<VariabilityClass>,
+}
+
+impl CompletedJob {
+    /// Observed run time.
+    pub fn runtime(&self) -> SimDuration {
+        self.end_at.since(self.start_at)
+    }
+
+    /// Time spent waiting in the queue.
+    pub fn wait(&self) -> SimDuration {
+        self.start_at.since(self.job.submit_at)
+    }
+
+    /// Observed over nominal run time (≥ ~1).
+    pub fn slowdown(&self) -> f64 {
+        let base = self.base_runtime.as_secs_f64();
+        if base <= 0.0 {
+            return 1.0;
+        }
+        self.runtime().as_secs_f64() / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> JobRequest {
+        JobRequest {
+            id: 3,
+            app: AppId::Laghos,
+            nodes: 16,
+            submit_at: SimTime::from_secs(10),
+            scaling: ScalingMode::Reference,
+        }
+    }
+
+    #[test]
+    fn from_request_maps_fields() {
+        let job = Job::from_request(&request(), 1.5, 10);
+        assert_eq!(job.id, JobId(3));
+        assert_eq!(job.app, AppId::Laghos);
+        assert_eq!(job.nodes_requested, 16);
+        assert_eq!(job.skip_threshold, 10);
+        // laghos base 300s -> estimate 450s
+        assert!((job.est_runtime.as_secs_f64() - 450.0).abs() < 1e-9);
+        assert!((job.base_runtime().as_secs_f64() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completed_job_derived_metrics() {
+        let job = Job::from_request(&request(), 1.5, 10);
+        let done = CompletedJob {
+            base_runtime: job.base_runtime(),
+            job,
+            start_at: SimTime::from_secs(40),
+            end_at: SimTime::from_secs(400),
+            nodes: vec![NodeId(0)],
+            skips: 2,
+            launch_prediction: Some(VariabilityClass::NoVariation),
+        };
+        assert_eq!(done.runtime(), SimDuration::from_secs(360));
+        assert_eq!(done.wait(), SimDuration::from_secs(30));
+        assert!((done.slowdown() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_base_runtime_slowdown_is_one() {
+        let mut job = Job::from_request(&request(), 1.0, 0);
+        job.scaling = ScalingMode::Reference;
+        let done = CompletedJob {
+            job,
+            start_at: SimTime::ZERO,
+            end_at: SimTime::from_secs(10),
+            nodes: vec![],
+            skips: 0,
+            base_runtime: SimDuration::ZERO,
+            launch_prediction: None,
+        };
+        assert_eq!(done.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn display_job_id() {
+        assert_eq!(JobId(7).to_string(), "job7");
+    }
+}

@@ -1,0 +1,45 @@
+//! # rush-sched
+//!
+//! The batch scheduler: FCFS/SJF queue ordering, EASY backfilling
+//! (Algorithm 1 of the paper) and the RUSH variability-aware `Start()`
+//! modification (Algorithm 2), driven by a discrete-event execution engine
+//! over the [`rush_cluster`] machine model.
+//!
+//! This crate is the Flux stand-in of Section V-B. The paper implements
+//! RUSH as a Flux queue-policy subclass (`queue_policy_rush_t` extending
+//! `queue_policy_fcfs_t`); here the same layering appears as a
+//! [`policy::QueueOrder`] for R1/R2 plus a [`predictor::VariabilityPredictor`]
+//! consulted in `Start()`:
+//!
+//! * [`job`] — job descriptions and completion records.
+//! * [`policy`] — the R1/R2 queue ordering policies (FCFS, SJF).
+//! * [`easy`] — the EASY reservation/backfill computation, pure and
+//!   unit-testable.
+//! * [`profile`] — future node-availability profiles, the planning
+//!   structure behind conservative backfilling.
+//! * [`predictor`] — the `M(j, S)` abstraction: never-varies (baseline),
+//!   a congestion-threshold oracle (for ablations), and — in `rush-core` —
+//!   the ML predictor trained by the pipeline.
+//! * [`engine`] — the discrete-event scheduler run loop with piecewise
+//!   job-progress integration: contention *during* a run determines its
+//!   run time, not just contention at its start.
+//! * [`metrics`] — makespan, wait times, and variation counts (the
+//!   quantities of Figs. 5–11).
+//! * [`trace`] — event timeline, queue/busy series, and a text Gantt
+//!   renderer.
+
+pub mod easy;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod policy;
+pub mod predictor;
+pub mod profile;
+pub mod trace;
+
+pub use engine::{ScheduleResult, SchedulerConfig, SchedulerEngine};
+pub use job::{CompletedJob, Job, JobId};
+pub use metrics::{RuntimeReference, ScheduleMetrics};
+pub use policy::QueueOrder;
+pub use predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
+pub use trace::{ScheduleTrace, TraceEvent};

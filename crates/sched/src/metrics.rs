@@ -1,0 +1,490 @@
+//! Schedule evaluation metrics (Section VI-C).
+//!
+//! Three families of quantities, matching the paper's figures:
+//!
+//! * **Variation counts** (Figs. 4–5): a run "experiences variation" when
+//!   its run time exceeds its application's historical mean by more than
+//!   1.5 standard deviations. The historical reference comes from the
+//!   data-collection campaign, exactly as the paper's labels do
+//!   (Section IV-A).
+//! * **Run-time distributions** (Figs. 6–9): per-application summaries of
+//!   observed run times, including the maximum (the paper's headline
+//!   improvement metric).
+//! * **Scheduler efficiency** (Figs. 10–11): makespan and per-application
+//!   mean wait times, the latter restricted to late-submitted jobs as in
+//!   Fig. 11.
+
+use crate::job::CompletedJob;
+use rush_simkit::stats::Summary;
+use rush_simkit::time::SimTime;
+use rush_workloads::apps::AppId;
+use rush_workloads::scaling::ScalingMode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The variation threshold in standard deviations (Section IV-A).
+pub const VARIATION_SIGMA: f64 = 1.5;
+
+/// Historical run-time statistics per `(application, nodes, scaling)`
+/// class — the reference distribution variation is measured against.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReference {
+    entries: HashMap<(AppId, u32, ScalingMode), (f64, f64)>,
+}
+
+impl RuntimeReference {
+    /// An empty reference.
+    pub fn new() -> Self {
+        RuntimeReference::default()
+    }
+
+    /// Registers the historical `(mean, std)` of run times (seconds) for a
+    /// class.
+    pub fn insert(&mut self, app: AppId, nodes: u32, scaling: ScalingMode, mean: f64, std: f64) {
+        self.entries.insert((app, nodes, scaling), (mean, std));
+    }
+
+    /// Looks up the reference for a class.
+    pub fn get(&self, app: AppId, nodes: u32, scaling: ScalingMode) -> Option<(f64, f64)> {
+        self.entries.get(&(app, nodes, scaling)).copied()
+    }
+
+    /// Number of classes registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A fallback reference derived from nominal run times: mean = nominal,
+    /// std = `rel_std × nominal`. Used when no campaign data exists.
+    pub fn from_nominal(rel_std: f64) -> Self {
+        let mut r = RuntimeReference::new();
+        for app in AppId::ALL {
+            for &nodes in &[8u32, 16, 32] {
+                for scaling in [ScalingMode::Reference, ScalingMode::Weak, ScalingMode::Strong] {
+                    let base = app
+                        .descriptor()
+                        .base_runtime(nodes, scaling)
+                        .as_secs_f64();
+                    r.insert(app, nodes, scaling, base, rel_std * base);
+                }
+            }
+        }
+        r
+    }
+
+    /// The z-score of an observed run time against its class reference;
+    /// `None` when the class is unknown.
+    pub fn z_score(&self, job: &CompletedJob) -> Option<f64> {
+        let (mean, std) = self.get(
+            job.job.app,
+            job.job.nodes_requested,
+            job.job.scaling,
+        )?;
+        if std <= f64::EPSILON {
+            return Some(0.0);
+        }
+        Some((job.runtime().as_secs_f64() - mean) / std)
+    }
+
+    /// Whether this run "experiences variation" (z > 1.5).
+    ///
+    /// Unknown classes count as varying — conservative, and loud in tests.
+    pub fn varies(&self, job: &CompletedJob) -> bool {
+        self.z_score(job).map(|z| z > VARIATION_SIGMA).unwrap_or(true)
+    }
+}
+
+/// Per-application aggregates of one schedule run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppMetrics {
+    /// The application.
+    pub app: AppId,
+    /// Jobs completed.
+    pub count: usize,
+    /// Runs with variation (z > 1.5 against the reference).
+    pub variation_runs: usize,
+    /// Run-time summary (seconds).
+    pub runtime: Summary,
+    /// Wait-time summary (seconds), late-submitted jobs only.
+    pub late_wait: Option<Summary>,
+}
+
+/// Full evaluation of one schedule run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Makespan in seconds (first submit → last end).
+    pub makespan_secs: f64,
+    /// Mean queue wait over all jobs, seconds.
+    pub mean_wait_secs: f64,
+    /// Total runs with variation.
+    pub total_variation_runs: usize,
+    /// Busy node-seconds across all jobs (the numerator of utilization).
+    pub node_seconds: f64,
+    /// Per-application breakdown, in [`AppId::ALL`] order (apps with no
+    /// jobs omitted).
+    pub per_app: Vec<AppMetrics>,
+    /// Per `(application, node count)` breakdown — the grouping of the
+    /// weak/strong scaling figures (Fig. 8), ordered by app then nodes.
+    pub per_app_scale: Vec<ScaleMetrics>,
+}
+
+/// Per `(application, node count)` aggregates of one schedule run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleMetrics {
+    /// The application.
+    pub app: AppId,
+    /// Node count of this group.
+    pub nodes: u32,
+    /// Jobs completed in this group.
+    pub count: usize,
+    /// Runs with variation in this group.
+    pub variation_runs: usize,
+    /// Run-time summary (seconds).
+    pub runtime: Summary,
+}
+
+impl ScheduleMetrics {
+    /// Computes metrics for `completed` against `reference`.
+    ///
+    /// `late_after` marks the submission cutoff for the Fig.-11 wait-time
+    /// population ("only … wait times for the 80% of applications that were
+    /// not placed in the queue at the start"): jobs submitted strictly
+    /// after it count as late. Pass `SimTime::ZERO` to include everything
+    /// submitted after t=0.
+    pub fn compute(
+        completed: &[CompletedJob],
+        reference: &RuntimeReference,
+        late_after: SimTime,
+    ) -> ScheduleMetrics {
+        assert!(!completed.is_empty(), "no completed jobs to evaluate");
+        let first_submit = completed
+            .iter()
+            .map(|c| c.job.submit_at)
+            .min()
+            .expect("non-empty");
+        let last_end = completed.iter().map(|c| c.end_at).max().expect("non-empty");
+        let makespan_secs = last_end.since(first_submit).as_secs_f64();
+        let mean_wait_secs = completed
+            .iter()
+            .map(|c| c.wait().as_secs_f64())
+            .sum::<f64>()
+            / completed.len() as f64;
+        let node_seconds = completed
+            .iter()
+            .map(|c| c.runtime().as_secs_f64() * c.job.nodes_requested as f64)
+            .sum::<f64>();
+
+        let mut per_app = Vec::new();
+        let mut per_app_scale = Vec::new();
+        let mut total_variation_runs = 0;
+        for app in AppId::ALL {
+            let jobs: Vec<&CompletedJob> =
+                completed.iter().filter(|c| c.job.app == app).collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            let runtimes: Vec<f64> = jobs.iter().map(|c| c.runtime().as_secs_f64()).collect();
+            let late_waits: Vec<f64> = jobs
+                .iter()
+                .filter(|c| c.job.submit_at > late_after)
+                .map(|c| c.wait().as_secs_f64())
+                .collect();
+            let variation_runs = jobs.iter().filter(|c| reference.varies(c)).count();
+            total_variation_runs += variation_runs;
+            per_app.push(AppMetrics {
+                app,
+                count: jobs.len(),
+                variation_runs,
+                runtime: Summary::of(&runtimes).expect("non-empty runtimes"),
+                late_wait: Summary::of(&late_waits),
+            });
+
+            let mut node_counts: Vec<u32> =
+                jobs.iter().map(|c| c.job.nodes_requested).collect();
+            node_counts.sort_unstable();
+            node_counts.dedup();
+            for nodes in node_counts {
+                let group: Vec<&&CompletedJob> = jobs
+                    .iter()
+                    .filter(|c| c.job.nodes_requested == nodes)
+                    .collect();
+                let runtimes: Vec<f64> =
+                    group.iter().map(|c| c.runtime().as_secs_f64()).collect();
+                per_app_scale.push(ScaleMetrics {
+                    app,
+                    nodes,
+                    count: group.len(),
+                    variation_runs: group.iter().filter(|c| reference.varies(c)).count(),
+                    runtime: Summary::of(&runtimes).expect("non-empty group"),
+                });
+            }
+        }
+
+        ScheduleMetrics {
+            makespan_secs,
+            mean_wait_secs,
+            total_variation_runs,
+            node_seconds,
+            per_app,
+            per_app_scale,
+        }
+    }
+
+    /// The per-`(app, nodes)` metrics for a group, if it ran.
+    pub fn app_at_scale(&self, app: AppId, nodes: u32) -> Option<&ScaleMetrics> {
+        self.per_app_scale
+            .iter()
+            .find(|m| m.app == app && m.nodes == nodes)
+    }
+
+    /// System utilization over the makespan for a pool of
+    /// `schedulable_nodes`: busy node-seconds / available node-seconds.
+    /// Lower run times (less variation) mean the same work finishes with
+    /// fewer node-seconds — the efficiency angle of Section VI-C.
+    pub fn utilization(&self, schedulable_nodes: u32) -> f64 {
+        if self.makespan_secs <= 0.0 || schedulable_nodes == 0 {
+            return 0.0;
+        }
+        self.node_seconds / (self.makespan_secs * schedulable_nodes as f64)
+    }
+
+    /// The per-app metrics for `app`, if it ran.
+    pub fn app(&self, app: AppId) -> Option<&AppMetrics> {
+        self.per_app.iter().find(|m| m.app == app)
+    }
+
+    /// Maximum observed run time across all apps, seconds.
+    pub fn max_runtime_secs(&self) -> f64 {
+        self.per_app
+            .iter()
+            .map(|m| m.runtime.max)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Online decision quality of the deployed predictor: the class predicted
+/// at each job's launch versus whether the run actually varied.
+///
+/// This is the number the offline CV F1 (Fig. 3) is a proxy for — the gap
+/// between them is distribution shift between the training campaign and
+/// the live experiment. Only jobs with a recorded launch prediction are
+/// evaluated (the baseline's stub predictor records none). Predictions are
+/// collapsed to binary: `Variation` vs not.
+pub fn online_confusion(
+    completed: &[CompletedJob],
+    reference: &RuntimeReference,
+) -> Option<rush_ml::metrics::ConfusionMatrix> {
+    let mut actual = Vec::new();
+    let mut predicted = Vec::new();
+    for job in completed {
+        let Some(class) = job.launch_prediction else {
+            continue;
+        };
+        predicted.push(u32::from(class.triggers_delay()));
+        actual.push(u32::from(reference.varies(job)));
+    }
+    if actual.is_empty() {
+        return None;
+    }
+    Some(rush_ml::metrics::ConfusionMatrix::from_predictions(
+        &actual, &predicted,
+    ))
+}
+
+/// Percent improvement of `b` over `a` (positive = b smaller/better).
+pub fn percent_improvement(a: f64, b: f64) -> f64 {
+    if a <= 0.0 {
+        return 0.0;
+    }
+    (a - b) / a * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobId};
+    use rush_cluster::topology::NodeId;
+    use rush_simkit::time::SimDuration;
+
+    fn completed(
+        id: u64,
+        app: AppId,
+        submit_s: u64,
+        start_s: u64,
+        end_s: u64,
+    ) -> CompletedJob {
+        let job = Job {
+            id: JobId(id),
+            app,
+            nodes_requested: 16,
+            submit_at: SimTime::from_secs(submit_s),
+            scaling: ScalingMode::Reference,
+            est_runtime: SimDuration::from_secs(400),
+            skip_threshold: 10,
+        };
+        CompletedJob {
+            base_runtime: job.base_runtime(),
+            job,
+            start_at: SimTime::from_secs(start_s),
+            end_at: SimTime::from_secs(end_s),
+            nodes: vec![NodeId(0)],
+            skips: 0,
+            launch_prediction: None,
+        }
+    }
+
+    fn reference() -> RuntimeReference {
+        // amg: mean 180, std 10 -> variation beyond 195s
+        let mut r = RuntimeReference::new();
+        r.insert(AppId::Amg, 16, ScalingMode::Reference, 180.0, 10.0);
+        r.insert(AppId::Laghos, 16, ScalingMode::Reference, 300.0, 20.0);
+        r
+    }
+
+    #[test]
+    fn variation_detection_uses_z_threshold() {
+        let r = reference();
+        // amg run of 190s: z = 1.0, no variation
+        assert!(!r.varies(&completed(0, AppId::Amg, 0, 0, 190)));
+        // amg run of 196s: z = 1.6, variation
+        assert!(r.varies(&completed(1, AppId::Amg, 0, 0, 196)));
+        // exactly 1.5 sigma is NOT variation (strictly greater)
+        assert!(!r.varies(&completed(2, AppId::Amg, 0, 0, 195)));
+    }
+
+    #[test]
+    fn unknown_class_counts_as_varying() {
+        let r = reference();
+        assert!(r.varies(&completed(0, AppId::Kripke, 0, 0, 100)));
+    }
+
+    #[test]
+    fn compute_aggregates_per_app() {
+        let r = reference();
+        let jobs = vec![
+            completed(0, AppId::Amg, 0, 0, 185),
+            completed(1, AppId::Amg, 0, 10, 230), // varies
+            completed(2, AppId::Laghos, 5, 20, 330),
+        ];
+        let m = ScheduleMetrics::compute(&jobs, &r, SimTime::ZERO);
+        assert_eq!(m.makespan_secs, 330.0);
+        assert_eq!(m.total_variation_runs, 1);
+        let amg = m.app(AppId::Amg).unwrap();
+        assert_eq!(amg.count, 2);
+        assert_eq!(amg.variation_runs, 1);
+        assert_eq!(amg.runtime.max, 220.0); // 230 - 10 start
+        assert!(m.app(AppId::Kripke).is_none());
+        assert!((m.max_runtime_secs() - 310.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_scale_breakdown_groups_by_node_count() {
+        let r = reference();
+        let mut j8 = completed(0, AppId::Amg, 0, 0, 100);
+        j8.job.nodes_requested = 8;
+        let jobs = vec![j8, completed(1, AppId::Amg, 0, 0, 150), completed(2, AppId::Amg, 0, 0, 160)];
+        let m = ScheduleMetrics::compute(&jobs, &r, SimTime::ZERO);
+        let g8 = m.app_at_scale(AppId::Amg, 8).unwrap();
+        assert_eq!(g8.count, 1);
+        assert_eq!(g8.runtime.max, 100.0);
+        let g16 = m.app_at_scale(AppId::Amg, 16).unwrap();
+        assert_eq!(g16.count, 2);
+        assert_eq!(g16.runtime.min, 150.0);
+        assert!(m.app_at_scale(AppId::Amg, 32).is_none());
+        assert!(m.app_at_scale(AppId::Kripke, 16).is_none());
+    }
+
+    #[test]
+    fn node_seconds_and_utilization() {
+        let r = reference();
+        let jobs = vec![
+            completed(0, AppId::Amg, 0, 0, 100),
+            completed(1, AppId::Amg, 0, 0, 100),
+        ];
+        let m = ScheduleMetrics::compute(&jobs, &r, SimTime::ZERO);
+        // two 16-node jobs of 100s each
+        assert!((m.node_seconds - 3200.0).abs() < 1e-9);
+        // 32 schedulable nodes over a 100s makespan -> fully utilized
+        assert!((m.utilization(32) - 1.0).abs() < 1e-9);
+        assert!((m.utilization(64) - 0.5).abs() < 1e-9);
+        assert_eq!(m.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn late_wait_excludes_upfront_jobs() {
+        let r = reference();
+        let jobs = vec![
+            completed(0, AppId::Amg, 0, 50, 250),  // upfront: excluded
+            completed(1, AppId::Amg, 10, 40, 260), // late: wait 30
+        ];
+        let m = ScheduleMetrics::compute(&jobs, &r, SimTime::ZERO);
+        let amg = m.app(AppId::Amg).unwrap();
+        let lw = amg.late_wait.expect("late jobs present");
+        assert_eq!(lw.count, 1);
+        assert_eq!(lw.mean, 30.0);
+        // mean wait over all jobs still counts both
+        assert_eq!(m.mean_wait_secs, 40.0);
+    }
+
+    #[test]
+    fn from_nominal_covers_all_classes() {
+        let r = RuntimeReference::from_nominal(0.05);
+        assert_eq!(r.len(), 7 * 3 * 3);
+        let (mean, std) = r.get(AppId::Kripke, 16, ScalingMode::Reference).unwrap();
+        assert!((mean - 210.0).abs() < 1e-9);
+        assert!((std - 10.5).abs() < 1e-9);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn constant_reference_gives_zero_z() {
+        let mut r = RuntimeReference::new();
+        r.insert(AppId::Amg, 16, ScalingMode::Reference, 180.0, 0.0);
+        let z = r.z_score(&completed(0, AppId::Amg, 0, 0, 999)).unwrap();
+        assert_eq!(z, 0.0);
+    }
+
+    #[test]
+    fn online_confusion_scores_launch_predictions() {
+        use crate::predictor::VariabilityClass;
+        let r = reference();
+        // amg reference: mean 180, std 10 -> varies beyond 195s.
+        let mut fast = completed(0, AppId::Amg, 0, 0, 185);
+        fast.launch_prediction = Some(VariabilityClass::NoVariation); // correct negative
+        let mut slow = completed(1, AppId::Amg, 0, 0, 240);
+        slow.launch_prediction = Some(VariabilityClass::Variation); // the job launched anyway (skip cap) and varied: correct positive
+        let mut missed = completed(2, AppId::Amg, 0, 0, 250);
+        missed.launch_prediction = Some(VariabilityClass::NoVariation); // false negative
+        let unpredicted = completed(3, AppId::Amg, 0, 0, 185); // baseline: no prediction
+        let cm = online_confusion(&[fast, slow, missed, unpredicted], &r).unwrap();
+        assert_eq!(cm.total(), 3, "unpredicted jobs are excluded");
+        assert_eq!(cm.tp(1), 1);
+        assert_eq!(cm.fn_(1), 1);
+        assert_eq!(cm.fp(1), 0);
+    }
+
+    #[test]
+    fn online_confusion_none_for_baseline() {
+        let r = reference();
+        let jobs = vec![completed(0, AppId::Amg, 0, 0, 185)];
+        assert!(online_confusion(&jobs, &r).is_none());
+    }
+
+    #[test]
+    fn percent_improvement_signs() {
+        assert!((percent_improvement(100.0, 94.2) - 5.8).abs() < 1e-9);
+        assert!(percent_improvement(100.0, 110.0) < 0.0);
+        assert_eq!(percent_improvement(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no completed jobs")]
+    fn empty_completed_rejected() {
+        ScheduleMetrics::compute(&[], &RuntimeReference::new(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,97 @@
+//! Queue ordering policies (the paper's R1 and R2).
+//!
+//! Section IV-B: "The main and backfilling policies can be replaced with
+//! other queue ordering policies. One common example is Shortest Job First
+//! or SJF. This allows RUSH to utilize the benefits from other optimal
+//! queue ordering policies assuming they work by statically re-ordering
+//! the queue."
+
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+
+/// A static queue-ordering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QueueOrder {
+    /// First-come first-served: by submission time, ties by id.
+    #[default]
+    Fcfs,
+    /// Shortest job first: by user run-time estimate, ties by submission.
+    Sjf,
+}
+
+impl QueueOrder {
+    /// Sorts `queue` in dispatch order under this policy.
+    pub fn sort(&self, queue: &mut [Job]) {
+        match self {
+            QueueOrder::Fcfs => queue.sort_by_key(|j| (j.submit_at, j.id)),
+            QueueOrder::Sjf => queue.sort_by_key(|j| (j.est_runtime, j.submit_at, j.id)),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueOrder::Fcfs => "fcfs",
+            QueueOrder::Sjf => "sjf",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use rush_simkit::time::{SimDuration, SimTime};
+    use rush_workloads::apps::AppId;
+    use rush_workloads::scaling::ScalingMode;
+
+    fn job(id: u64, submit_s: u64, est_s: u64) -> Job {
+        Job {
+            id: JobId(id),
+            app: AppId::Amg,
+            nodes_requested: 16,
+            submit_at: SimTime::from_secs(submit_s),
+            scaling: ScalingMode::Reference,
+            est_runtime: SimDuration::from_secs(est_s),
+            skip_threshold: 10,
+        }
+    }
+
+    #[test]
+    fn fcfs_orders_by_submit_time() {
+        let mut q = vec![job(1, 30, 100), job(2, 10, 500), job(3, 20, 50)];
+        QueueOrder::Fcfs.sort(&mut q);
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn fcfs_breaks_ties_by_id() {
+        let mut q = vec![job(5, 10, 1), job(2, 10, 2), job(9, 10, 3)];
+        QueueOrder::Fcfs.sort(&mut q);
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn sjf_orders_by_estimate() {
+        let mut q = vec![job(1, 10, 300), job(2, 20, 100), job(3, 30, 200)];
+        QueueOrder::Sjf.sort(&mut q);
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn sjf_ties_fall_back_to_submit_order() {
+        let mut q = vec![job(1, 30, 100), job(2, 10, 100)];
+        QueueOrder::Sjf.sort(&mut q);
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QueueOrder::Fcfs.label(), "fcfs");
+        assert_eq!(QueueOrder::Sjf.label(), "sjf");
+    }
+}

@@ -1,0 +1,305 @@
+//! The `M(j, S)` abstraction of Algorithm 2.
+//!
+//! A [`VariabilityPredictor`] is consulted just before a job launches, with
+//! the machine, the telemetry store, and the job's prospective nodes — the
+//! same inputs the paper's Python hook reads (Section V-B: "a Python script
+//! … reads the collected counter data, runs the ML models, and provides its
+//! prediction"). Three implementations live here; the ML-backed one lives
+//! in `rush-core` next to the feature pipeline it shares with training.
+
+use crate::job::Job;
+use rand::rngs::SmallRng;
+use rush_cluster::machine::Machine;
+use rush_cluster::topology::NodeId;
+use rush_simkit::time::SimTime;
+use rush_telemetry::store::MetricStore;
+use serde::{Deserialize, Serialize};
+
+/// The three output classes of the deployed model (Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VariabilityClass {
+    /// Run time expected within 1.2 σ of the application mean.
+    NoVariation,
+    /// Between 1.2 σ and 1.5 σ.
+    LittleVariation,
+    /// Beyond 1.5 σ — the class that triggers a delay.
+    Variation,
+}
+
+impl VariabilityClass {
+    /// Whether this class is in Algorithm 2's "variation labels", i.e.
+    /// causes the job to be pushed back.
+    pub fn triggers_delay(self) -> bool {
+        matches!(self, VariabilityClass::Variation)
+    }
+
+    /// Class index used when mapping to/from ML labels (0/1/2).
+    pub fn index(self) -> u32 {
+        match self {
+            VariabilityClass::NoVariation => 0,
+            VariabilityClass::LittleVariation => 1,
+            VariabilityClass::Variation => 2,
+        }
+    }
+
+    /// Inverse of [`VariabilityClass::index`]; out-of-range maps to
+    /// `Variation` (conservative).
+    pub fn from_index(i: u32) -> VariabilityClass {
+        match i {
+            0 => VariabilityClass::NoVariation,
+            1 => VariabilityClass::LittleVariation,
+            _ => VariabilityClass::Variation,
+        }
+    }
+}
+
+/// Everything a predictor may inspect at decision time.
+pub struct PredictorCtx<'a> {
+    /// The machine (mutable: probes inject traffic and consume RNG).
+    pub machine: &'a mut Machine,
+    /// The telemetry store with counter history.
+    pub store: &'a MetricStore,
+    /// Current time.
+    pub now: SimTime,
+    /// Decision-local randomness.
+    pub rng: &'a mut SmallRng,
+}
+
+/// A variability oracle consulted in `Start()`.
+///
+/// `Send` so whole engines can run on rayon workers (one per experiment
+/// trial).
+pub trait VariabilityPredictor: Send {
+    /// Predicts the variability class of launching `job` on `nodes` now.
+    fn predict(&mut self, job: &Job, nodes: &[NodeId], ctx: &mut PredictorCtx<'_>)
+        -> VariabilityClass;
+
+    /// Short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The baseline predictor: never predicts variation, reducing RUSH to
+/// plain FCFS+EASY.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverVaries;
+
+impl VariabilityPredictor for NeverVaries {
+    fn predict(
+        &mut self,
+        _job: &Job,
+        _nodes: &[NodeId],
+        _ctx: &mut PredictorCtx<'_>,
+    ) -> VariabilityClass {
+        VariabilityClass::NoVariation
+    }
+
+    fn name(&self) -> &str {
+        "never-varies"
+    }
+}
+
+/// An oracle that reads the *true* machine congestion — an upper bound on
+/// what any counter-based model can do, used for ablations and tests.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionOracle {
+    /// Congestion index above which `Variation` is predicted.
+    pub variation_threshold: f64,
+    /// Congestion index above which `LittleVariation` is predicted.
+    pub little_threshold: f64,
+}
+
+impl Default for CongestionOracle {
+    fn default() -> Self {
+        CongestionOracle {
+            variation_threshold: 0.75,
+            little_threshold: 0.55,
+        }
+    }
+}
+
+impl VariabilityPredictor for CongestionOracle {
+    fn predict(
+        &mut self,
+        job: &Job,
+        nodes: &[NodeId],
+        ctx: &mut PredictorCtx<'_>,
+    ) -> VariabilityClass {
+        let congestion = ctx.machine.congestion(nodes);
+        let fs = ctx.machine.fs_saturation();
+        // Weight the signals by what the application is sensitive to.
+        let app = job.app.descriptor();
+        let effective = congestion * app.network.max(0.2) + (fs - 0.75).max(0.0) * app.io;
+        if effective >= self.variation_threshold {
+            VariabilityClass::Variation
+        } else if effective >= self.little_threshold {
+            VariabilityClass::LittleVariation
+        } else {
+            VariabilityClass::NoVariation
+        }
+    }
+
+    fn name(&self) -> &str {
+        "congestion-oracle"
+    }
+}
+
+/// A scripted predictor returning a fixed sequence (testing aid).
+#[derive(Debug, Clone)]
+pub struct Scripted {
+    sequence: Vec<VariabilityClass>,
+    cursor: usize,
+}
+
+impl Scripted {
+    /// Returns each class in `sequence` once, then `NoVariation` forever.
+    pub fn new(sequence: Vec<VariabilityClass>) -> Self {
+        Scripted {
+            sequence,
+            cursor: 0,
+        }
+    }
+
+    /// Number of predictions served so far.
+    pub fn calls(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl VariabilityPredictor for Scripted {
+    fn predict(
+        &mut self,
+        _job: &Job,
+        _nodes: &[NodeId],
+        _ctx: &mut PredictorCtx<'_>,
+    ) -> VariabilityClass {
+        let class = self
+            .sequence
+            .get(self.cursor)
+            .copied()
+            .unwrap_or(VariabilityClass::NoVariation);
+        self.cursor += 1;
+        class
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use rand::SeedableRng;
+    use rush_cluster::machine::{MachineConfig, SourceId, WorkloadIntensity};
+    use rush_simkit::time::SimDuration;
+    use rush_workloads::apps::AppId;
+    use rush_workloads::scaling::ScalingMode;
+
+    fn job(app: AppId) -> Job {
+        Job {
+            id: JobId(1),
+            app,
+            nodes_requested: 4,
+            submit_at: SimTime::ZERO,
+            scaling: ScalingMode::Reference,
+            est_runtime: SimDuration::from_secs(100),
+            skip_threshold: 10,
+        }
+    }
+
+    fn ctx_parts() -> (Machine, MetricStore, SmallRng) {
+        let machine = Machine::new(MachineConfig::tiny(1));
+        let store = MetricStore::new(machine.tree().node_count(), 90);
+        (machine, store, SmallRng::seed_from_u64(4))
+    }
+
+    #[test]
+    fn class_properties() {
+        assert!(VariabilityClass::Variation.triggers_delay());
+        assert!(!VariabilityClass::LittleVariation.triggers_delay());
+        assert!(!VariabilityClass::NoVariation.triggers_delay());
+        for c in [
+            VariabilityClass::NoVariation,
+            VariabilityClass::LittleVariation,
+            VariabilityClass::Variation,
+        ] {
+            assert_eq!(VariabilityClass::from_index(c.index()), c);
+        }
+        assert_eq!(VariabilityClass::from_index(99), VariabilityClass::Variation);
+    }
+
+    #[test]
+    fn never_varies_is_constant() {
+        let (mut m, store, mut rng) = ctx_parts();
+        let mut ctx = PredictorCtx {
+            machine: &mut m,
+            store: &store,
+            now: SimTime::ZERO,
+            rng: &mut rng,
+        };
+        let mut p = NeverVaries;
+        let nodes = vec![NodeId(0), NodeId(1)];
+        assert_eq!(
+            p.predict(&job(AppId::Laghos), &nodes, &mut ctx),
+            VariabilityClass::NoVariation
+        );
+        assert_eq!(p.name(), "never-varies");
+    }
+
+    #[test]
+    fn oracle_reacts_to_congestion() {
+        let (mut m, store, mut rng) = ctx_parts();
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let mut p = CongestionOracle::default();
+        {
+            let mut ctx = PredictorCtx {
+                machine: &mut m,
+                store: &store,
+                now: SimTime::ZERO,
+                rng: &mut rng,
+            };
+            assert_eq!(
+                p.predict(&job(AppId::Laghos), &nodes, &mut ctx),
+                VariabilityClass::NoVariation
+            );
+        }
+        // Saturate the fabric: two machine-spanning all-to-all loads push
+        // the edge uplinks near full utilization.
+        let all_nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+        for id in 9..13 {
+            m.register_load(SourceId(id), all_nodes.clone(), WorkloadIntensity::new(0.0, 1.0, 0.0));
+        }
+        let mut ctx = PredictorCtx {
+            machine: &mut m,
+            store: &store,
+            now: SimTime::ZERO,
+            rng: &mut rng,
+        };
+        assert_eq!(
+            p.predict(&job(AppId::Laghos), &nodes, &mut ctx),
+            VariabilityClass::Variation
+        );
+    }
+
+    #[test]
+    fn scripted_replays_then_defaults() {
+        let (mut m, store, mut rng) = ctx_parts();
+        let mut ctx = PredictorCtx {
+            machine: &mut m,
+            store: &store,
+            now: SimTime::ZERO,
+            rng: &mut rng,
+        };
+        let mut p = Scripted::new(vec![
+            VariabilityClass::Variation,
+            VariabilityClass::LittleVariation,
+        ]);
+        let j = job(AppId::Amg);
+        let nodes = vec![NodeId(0)];
+        assert_eq!(p.predict(&j, &nodes, &mut ctx), VariabilityClass::Variation);
+        assert_eq!(p.predict(&j, &nodes, &mut ctx), VariabilityClass::LittleVariation);
+        assert_eq!(p.predict(&j, &nodes, &mut ctx), VariabilityClass::NoVariation);
+        assert_eq!(p.calls(), 3);
+    }
+}

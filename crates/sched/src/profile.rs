@@ -1,0 +1,202 @@
+//! Future node-availability profiles — the planning structure behind
+//! conservative backfilling.
+//!
+//! A profile is a step function `time → free nodes`, seeded from the
+//! currently free pool plus the estimated end times of running jobs.
+//! Reserving a job carves nodes out of an interval; `earliest_fit` finds
+//! the first time a job's node count fits for its whole estimated
+//! duration. Under *conservative* backfilling every queued job holds a
+//! reservation, so nothing that starts early can delay anything ahead of
+//! it — the strict cousin of EASY's single-reservation rule.
+
+use rush_simkit::time::{SimDuration, SimTime};
+
+/// A step function from time to free node count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityProfile {
+    /// `(start_time, free_from_here)`, sorted by time; the last entry
+    /// extends to infinity.
+    steps: Vec<(SimTime, u32)>,
+}
+
+impl AvailabilityProfile {
+    /// Builds the profile at `now`: `free_now` nodes free, each running job
+    /// returning its nodes at its estimated end.
+    pub fn new(now: SimTime, free_now: u32, running: &[(SimTime, u32)]) -> Self {
+        let mut releases: Vec<(SimTime, u32)> = running
+            .iter()
+            .map(|&(end, nodes)| (end.max(now), nodes))
+            .collect();
+        releases.sort_by_key(|&(t, _)| t);
+        let mut steps = vec![(now, free_now)];
+        let mut free = free_now;
+        for (t, nodes) in releases {
+            free += nodes;
+            let last = steps.last_mut().expect("non-empty");
+            if last.0 == t {
+                last.1 = free;
+            } else {
+                steps.push((t, free));
+            }
+        }
+        AvailabilityProfile { steps }
+    }
+
+    /// Free nodes at time `t` (clamped before the profile start).
+    pub fn free_at(&self, t: SimTime) -> u32 {
+        let idx = self.steps.partition_point(|&(st, _)| st <= t);
+        if idx == 0 {
+            self.steps[0].1
+        } else {
+            self.steps[idx - 1].1
+        }
+    }
+
+    /// The earliest time ≥ the profile start at which `nodes` stay
+    /// available for `duration`.
+    pub fn earliest_fit(&self, nodes: u32, duration: SimDuration) -> SimTime {
+        // Candidate starts are exactly the step boundaries.
+        'outer: for i in 0..self.steps.len() {
+            let (start, _) = self.steps[i];
+            let end = start + duration;
+            // Every step overlapping [start, end) must have enough nodes.
+            for &(st, free) in &self.steps[i..] {
+                if st >= end {
+                    break;
+                }
+                if free < nodes {
+                    continue 'outer;
+                }
+            }
+            // Also the step containing `start` itself (i is it by
+            // construction since steps are the only change points).
+            return start;
+        }
+        // Fits only after every release: the last step has maximal free
+        // nodes; if even that is insufficient the job can never fit.
+        self.steps.last().expect("non-empty").0
+    }
+
+    /// True if `nodes` can never fit (exceeds the profile's maximum).
+    pub fn never_fits(&self, nodes: u32) -> bool {
+        self.steps.iter().map(|&(_, f)| f).max().unwrap_or(0) < nodes
+    }
+
+    /// Removes `nodes` from every step in `[start, start + duration)`,
+    /// splitting steps at the boundaries.
+    ///
+    /// # Panics
+    /// Panics (debug) if any affected step lacks the nodes — callers must
+    /// only reserve what `earliest_fit` returned.
+    pub fn reserve(&mut self, start: SimTime, duration: SimDuration, nodes: u32) {
+        let end = start + duration;
+        self.split_at(start);
+        self.split_at(end);
+        for step in &mut self.steps {
+            if step.0 >= start && step.0 < end {
+                debug_assert!(step.1 >= nodes, "over-reservation at {}", step.0);
+                step.1 = step.1.saturating_sub(nodes);
+            }
+        }
+    }
+
+    /// Ensures a step boundary exists at `t` (no-op before profile start).
+    fn split_at(&mut self, t: SimTime) {
+        if t <= self.steps[0].0 {
+            return;
+        }
+        match self.steps.binary_search_by_key(&t, |&(st, _)| st) {
+            Ok(_) => {}
+            Err(idx) => {
+                let free = self.steps[idx - 1].1;
+                self.steps.insert(idx, (t, free));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn profile_steps_accumulate_releases() {
+        let p = AvailabilityProfile::new(t(0), 4, &[(t(10), 8), (t(20), 4)]);
+        assert_eq!(p.free_at(t(0)), 4);
+        assert_eq!(p.free_at(t(9)), 4);
+        assert_eq!(p.free_at(t(10)), 12);
+        assert_eq!(p.free_at(t(25)), 16);
+    }
+
+    #[test]
+    fn past_releases_clamp_to_now() {
+        let p = AvailabilityProfile::new(t(100), 2, &[(t(50), 6)]);
+        assert_eq!(p.free_at(t(100)), 8);
+    }
+
+    #[test]
+    fn earliest_fit_now_when_room() {
+        let p = AvailabilityProfile::new(t(0), 10, &[(t(10), 6)]);
+        assert_eq!(p.earliest_fit(10, d(100)), t(0));
+        assert_eq!(p.earliest_fit(1, d(1)), t(0));
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_release() {
+        let p = AvailabilityProfile::new(t(0), 4, &[(t(10), 8), (t(20), 4)]);
+        assert_eq!(p.earliest_fit(8, d(50)), t(10));
+        assert_eq!(p.earliest_fit(16, d(50)), t(20));
+    }
+
+    #[test]
+    fn earliest_fit_respects_reservation_dips() {
+        let mut p = AvailabilityProfile::new(t(0), 8, &[]);
+        // Reserve 6 nodes during [10, 20): a 4-node/15s job can't start at
+        // t=0..5 (would overlap the dip), can start at t=20 — or earlier if
+        // it fits beside the dip (8-6=2 < 4, so no).
+        p.reserve(t(10), d(10), 6);
+        assert_eq!(p.free_at(t(10)), 2);
+        assert_eq!(p.free_at(t(20)), 8);
+        assert_eq!(p.earliest_fit(4, d(15)), t(20));
+        // A 2-node job fits right through the dip.
+        assert_eq!(p.earliest_fit(2, d(15)), t(0));
+        // A 4-node job short enough to finish before the dip starts now.
+        assert_eq!(p.earliest_fit(4, d(10)), t(0));
+    }
+
+    #[test]
+    fn reserve_splits_boundaries_exactly() {
+        let mut p = AvailabilityProfile::new(t(0), 10, &[]);
+        p.reserve(t(5), d(5), 3);
+        assert_eq!(p.free_at(t(4)), 10);
+        assert_eq!(p.free_at(t(5)), 7);
+        assert_eq!(p.free_at(t(9)), 7);
+        assert_eq!(p.free_at(t(10)), 10);
+    }
+
+    #[test]
+    fn stacked_reservations_accumulate() {
+        let mut p = AvailabilityProfile::new(t(0), 10, &[]);
+        p.reserve(t(0), d(10), 4);
+        p.reserve(t(5), d(10), 4);
+        assert_eq!(p.free_at(t(0)), 6);
+        assert_eq!(p.free_at(t(5)), 2);
+        assert_eq!(p.free_at(t(10)), 6);
+        assert_eq!(p.free_at(t(15)), 10);
+    }
+
+    #[test]
+    fn never_fits_detects_oversize() {
+        let p = AvailabilityProfile::new(t(0), 4, &[(t(10), 8)]);
+        assert!(!p.never_fits(12));
+        assert!(p.never_fits(13));
+    }
+}

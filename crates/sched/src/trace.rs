@@ -1,0 +1,250 @@
+//! Schedule tracing: what happened, when.
+//!
+//! The engine records a [`ScheduleTrace`] as it runs: a timestamped event
+//! log (submissions, launches, RUSH delays, completions), the queue-length
+//! series, and the busy-node series. Traces power debugging, the
+//! utilization analyses of Section VI-C, and a text Gantt renderer for
+//! eyeballing schedules.
+
+use crate::job::{CompletedJob, JobId};
+use rush_simkit::series::TimeSeries;
+use rush_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job arrived in the queue.
+    Submitted(JobId),
+    /// A job began execution.
+    Started(JobId),
+    /// RUSH pushed a job back (its new skip count attached).
+    Delayed(JobId, u32),
+    /// A job completed.
+    Finished(JobId),
+}
+
+impl TraceEvent {
+    /// The job this event concerns.
+    pub fn job(&self) -> JobId {
+        match *self {
+            TraceEvent::Submitted(j)
+            | TraceEvent::Started(j)
+            | TraceEvent::Delayed(j, _)
+            | TraceEvent::Finished(j) => j,
+        }
+    }
+
+    /// Short label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::Submitted(_) => "submit",
+            TraceEvent::Started(_) => "start",
+            TraceEvent::Delayed(_, _) => "delay",
+            TraceEvent::Finished(_) => "finish",
+        }
+    }
+}
+
+/// The recorded history of one schedule run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    events: Vec<(SimTime, TraceEvent)>,
+    queue_len: TimeSeries,
+    busy_nodes: TimeSeries,
+}
+
+impl ScheduleTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ScheduleTrace::default()
+    }
+
+    /// Records one event plus the instantaneous queue/busy state.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent, queue_len: usize, busy_nodes: usize) {
+        self.events.push((at, event));
+        self.queue_len.push(at, queue_len as f64);
+        self.busy_nodes.push(at, busy_nodes as f64);
+    }
+
+    /// All events, in time order.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events concerning one job, in time order.
+    pub fn events_of(&self, job: JobId) -> Vec<(SimTime, TraceEvent)> {
+        self.events
+            .iter()
+            .filter(|(_, e)| e.job() == job)
+            .copied()
+            .collect()
+    }
+
+    /// Number of delay events recorded.
+    pub fn delay_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Delayed(_, _)))
+            .count()
+    }
+
+    /// The queue-length series sampled at every event.
+    pub fn queue_len_series(&self) -> &TimeSeries {
+        &self.queue_len
+    }
+
+    /// The busy-node series sampled at every event.
+    pub fn busy_nodes_series(&self) -> &TimeSeries {
+        &self.busy_nodes
+    }
+
+    /// Mean busy nodes over `[from, to)` — time-weighted would be exact;
+    /// this event-weighted mean is the standard quick estimate.
+    pub fn mean_busy_nodes(&self, from: SimTime, to: SimTime) -> f64 {
+        self.busy_nodes.aggregate(from, to).mean
+    }
+}
+
+/// Renders completed jobs as a text Gantt chart: one row per job (earliest
+/// start first, at most `max_rows`), `width` columns spanning the full
+/// schedule. `.` = queued, `#` = running.
+pub fn gantt(completed: &[CompletedJob], width: usize, max_rows: usize) -> String {
+    if completed.is_empty() || width == 0 {
+        return String::new();
+    }
+    let t0 = completed
+        .iter()
+        .map(|c| c.job.submit_at)
+        .min()
+        .expect("non-empty");
+    let t1 = completed.iter().map(|c| c.end_at).max().expect("non-empty");
+    let span = t1.since(t0).as_secs_f64().max(1e-9);
+    let col_of = |t: SimTime| -> usize {
+        let frac = t.since(t0).as_secs_f64() / span;
+        ((frac * width as f64) as usize).min(width - 1)
+    };
+
+    let mut rows: Vec<&CompletedJob> = completed.iter().collect();
+    rows.sort_by_key(|c| (c.start_at, c.job.id));
+    rows.truncate(max_rows);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "gantt: {} jobs over {}; '.' queued, '#' running\n",
+        completed.len(),
+        SimDuration::from_secs_f64(span)
+    ));
+    for c in rows {
+        let submit = col_of(c.job.submit_at);
+        let start = col_of(c.start_at);
+        let end = col_of(c.end_at);
+        let mut bar = vec![b' '; width];
+        for slot in bar.iter_mut().take(start).skip(submit) {
+            *slot = b'.';
+        }
+        for slot in bar.iter_mut().take(end + 1).skip(start) {
+            *slot = b'#';
+        }
+        out.push_str(&format!(
+            "{:>8} {:>7} |{}|\n",
+            c.job.id.to_string(),
+            c.job.app.name(),
+            String::from_utf8(bar).expect("ascii")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use rush_cluster::topology::NodeId;
+    use rush_workloads::apps::AppId;
+    use rush_workloads::scaling::ScalingMode;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn completed(id: u64, submit: u64, start: u64, end: u64) -> CompletedJob {
+        let job = Job {
+            id: JobId(id),
+            app: AppId::Amg,
+            nodes_requested: 4,
+            submit_at: t(submit),
+            scaling: ScalingMode::Reference,
+            est_runtime: SimDuration::from_secs(100),
+            skip_threshold: 10,
+        };
+        CompletedJob {
+            base_runtime: job.base_runtime(),
+            job,
+            start_at: t(start),
+            end_at: t(end),
+            nodes: vec![NodeId(0)],
+            skips: 0,
+            launch_prediction: None,
+        }
+    }
+
+    #[test]
+    fn trace_records_and_filters() {
+        let mut trace = ScheduleTrace::new();
+        trace.record(t(0), TraceEvent::Submitted(JobId(1)), 1, 0);
+        trace.record(t(5), TraceEvent::Delayed(JobId(1), 1), 1, 0);
+        trace.record(t(10), TraceEvent::Started(JobId(1)), 0, 4);
+        trace.record(t(20), TraceEvent::Finished(JobId(1)), 0, 0);
+        trace.record(t(25), TraceEvent::Submitted(JobId(2)), 1, 0);
+
+        assert_eq!(trace.events().len(), 5);
+        assert_eq!(trace.delay_count(), 1);
+        let of1 = trace.events_of(JobId(1));
+        assert_eq!(of1.len(), 4);
+        assert_eq!(of1[1].1, TraceEvent::Delayed(JobId(1), 1));
+        assert_eq!(of1[1].1.label(), "delay");
+        assert_eq!(of1[1].1.job(), JobId(1));
+    }
+
+    #[test]
+    fn series_follow_recorded_state() {
+        let mut trace = ScheduleTrace::new();
+        trace.record(t(0), TraceEvent::Submitted(JobId(1)), 3, 0);
+        trace.record(t(10), TraceEvent::Started(JobId(1)), 2, 8);
+        trace.record(t(20), TraceEvent::Finished(JobId(1)), 2, 4);
+        assert_eq!(trace.queue_len_series().len(), 3);
+        let mean = trace.mean_busy_nodes(t(0), t(30));
+        assert!((mean - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gantt_shapes_bars() {
+        let jobs = vec![completed(0, 0, 0, 50), completed(1, 0, 50, 100)];
+        let chart = gantt(&jobs, 20, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        // Job 0 runs in the first half.
+        assert!(lines[1].contains('#'));
+        // Job 1 queues (dots) then runs in the second half.
+        assert!(lines[2].contains('.'));
+        let hash_pos = lines[2].find('#').unwrap();
+        let dot_pos = lines[2].find('.').unwrap();
+        assert!(dot_pos < hash_pos, "queued before running");
+    }
+
+    #[test]
+    fn gantt_truncates_rows() {
+        let jobs: Vec<CompletedJob> =
+            (0..10).map(|i| completed(i, 0, i * 10, i * 10 + 5)).collect();
+        let chart = gantt(&jobs, 30, 4);
+        assert_eq!(chart.lines().count(), 5, "header + max_rows");
+        assert!(chart.starts_with("gantt: 10 jobs"));
+    }
+
+    #[test]
+    fn gantt_handles_empty() {
+        assert_eq!(gantt(&[], 20, 5), "");
+        assert_eq!(gantt(&[completed(0, 0, 0, 10)], 0, 5), "");
+    }
+}

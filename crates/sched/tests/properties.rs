@@ -1,0 +1,136 @@
+//! Property-based tests for scheduler invariants: EASY reservations and
+//! full engine runs on arbitrary (small) workloads.
+
+use proptest::prelude::*;
+use rush_cluster::machine::{Machine, MachineConfig};
+use rush_sched::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
+use rush_sched::engine::{SchedulerConfig, SchedulerEngine};
+use rush_sched::predictor::NeverVaries;
+use rush_simkit::time::SimTime;
+use rush_workloads::apps::AppId;
+use rush_workloads::jobgen::JobRequest;
+use rush_workloads::scaling::ScalingMode;
+
+fn snapshot() -> impl Strategy<Value = RunningSnapshot> {
+    (0u64..1000, 1u32..16).prop_map(|(end, nodes)| RunningSnapshot {
+        est_end: SimTime::from_secs(end),
+        nodes,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reservation_shadow_is_feasible(
+        free in 0u32..16,
+        needed in 1u32..32,
+        running in proptest::collection::vec(snapshot(), 0..8),
+    ) {
+        let now = SimTime::from_secs(10);
+        match compute_reservation(now, free, needed, &running) {
+            None => {
+                // Either it fits now, or it can never fit.
+                let total: u32 = free + running.iter().map(|r| r.nodes).sum::<u32>();
+                prop_assert!(needed <= free || needed > total);
+            }
+            Some(res) => {
+                prop_assert!(res.shadow_start >= now);
+                // At the shadow time, enough nodes are free by estimate:
+                // free + everything estimated to end by then >= needed.
+                let released: u32 = running
+                    .iter()
+                    .filter(|r| r.est_end.max(now) <= res.shadow_start)
+                    .map(|r| r.nodes)
+                    .sum();
+                prop_assert!(free + released >= needed);
+                prop_assert_eq!(res.extra_nodes, free + released - needed);
+            }
+        }
+    }
+
+    #[test]
+    fn backfill_decision_is_monotone_in_estimate(
+        free in 1u32..16,
+        needed in 1u32..32,
+        running in proptest::collection::vec(snapshot(), 1..8),
+        cand_nodes in 1u32..8,
+        short_end in 0u64..500,
+        extra in 1u64..500,
+    ) {
+        let now = SimTime::from_secs(0);
+        if let Some(res) = compute_reservation(now, free, needed, &running) {
+            let short = SimTime::from_secs(short_end);
+            let long = SimTime::from_secs(short_end + extra);
+            // If the longer job may backfill, the shorter one must too.
+            if backfill_allowed(now, long, cand_nodes, &res) {
+                prop_assert!(backfill_allowed(now, short, cand_nodes, &res));
+            }
+        }
+    }
+}
+
+proptest! {
+    // Full engine runs are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_completes_arbitrary_workloads(
+        jobs in proptest::collection::vec(
+            (0usize..7, 1u32..16, 0u64..300), 1..10),
+        seed in 0u64..1000,
+    ) {
+        let requests: Vec<JobRequest> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(app, nodes, submit))| JobRequest {
+                id: i as u64,
+                app: AppId::ALL[app],
+                nodes,
+                submit_at: SimTime::from_secs(submit),
+                scaling: ScalingMode::Reference,
+            })
+            .collect();
+        let machine = Machine::new(MachineConfig::tiny(seed));
+        let mut engine = SchedulerEngine::new(
+            machine,
+            SchedulerConfig::default(),
+            Box::new(NeverVaries),
+            seed,
+        );
+        let result = engine.run(&requests);
+
+        // Everything completes exactly once.
+        prop_assert_eq!(result.completed.len(), requests.len());
+        let mut ids: Vec<u64> = result.completed.iter().map(|c| c.job.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), requests.len());
+
+        for c in &result.completed {
+            // Causality.
+            prop_assert!(c.start_at >= c.job.submit_at);
+            prop_assert!(c.end_at > c.start_at);
+            // A job never finishes much faster than nominal: OS noise only
+            // slows, and the two-sided intrinsic noise is a few percent.
+            prop_assert!(
+                c.runtime().as_secs_f64() >= c.base_runtime.as_secs_f64() * 0.85,
+                "job ran implausibly fast"
+            );
+            prop_assert_eq!(c.nodes.len(), c.job.nodes_requested as usize);
+        }
+
+        // Capacity is never exceeded at any instant.
+        let mut points: Vec<(SimTime, i64)> = Vec::new();
+        for c in &result.completed {
+            points.push((c.start_at, c.job.nodes_requested as i64));
+            points.push((c.end_at, -(c.job.nodes_requested as i64)));
+        }
+        points.sort_by_key(|&(t, delta)| (t, delta));
+        let mut used = 0i64;
+        for (_, delta) in points {
+            used += delta;
+            prop_assert!(used <= 16);
+        }
+    }
+}

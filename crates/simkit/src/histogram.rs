@@ -1,0 +1,223 @@
+//! Log-bucketed histograms for latency-style quantities.
+//!
+//! [`Summary`](crate::stats::Summary) needs all samples in memory; a
+//! [`Histogram`] records in O(1) space with bounded relative error, which
+//! is what long simulations want for wait-time and run-time distributions.
+//! Buckets are logarithmic: each spans a fixed ratio, so relative error is
+//! uniform across the range (HDR-histogram style, simplified).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `(0, ∞)` with logarithmic buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of bucket 0.
+    min_value: f64,
+    /// log of the per-bucket growth ratio.
+    log_ratio: f64,
+    /// Bucket counts; index = floor(log(v / min_value) / log_ratio).
+    counts: Vec<u64>,
+    /// Values below `min_value`.
+    underflow: u64,
+    /// Total recorded values.
+    total: u64,
+    /// Exact running extrema.
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl Histogram {
+    /// A histogram covering `[min_value, min_value * ratio^buckets)` with
+    /// `buckets` buckets each spanning a factor of `ratio`.
+    ///
+    /// # Panics
+    /// Panics unless `min_value > 0`, `ratio > 1` and `buckets > 0`.
+    pub fn new(min_value: f64, ratio: f64, buckets: usize) -> Self {
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(ratio > 1.0, "ratio must exceed 1");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            min_value,
+            log_ratio: ratio.ln(),
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A default for second-scale durations: 1 ms to ~2.8 hours at 5%
+    /// relative resolution.
+    pub fn for_seconds() -> Self {
+        // 1e-3 * 1.05^330 ≈ 1e4 seconds
+        Histogram::new(1e-3, 1.05, 330)
+    }
+
+    /// Records one value; non-finite or non-positive values count as
+    /// underflow.
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value.is_finite() {
+            self.min_seen = self.min_seen.min(value);
+            self.max_seen = self.max_seen.max(value);
+        }
+        if !value.is_finite() || value < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((value / self.min_value).ln() / self.log_ratio) as usize;
+        let idx = idx.min(self.counts.len() - 1); // clamp overflow to last bucket
+        self.counts[idx] += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact minimum recorded; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.min_seen
+        }
+    }
+
+    /// Exact maximum recorded; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.max_seen
+        }
+    }
+
+    /// Approximate percentile (`p` in `[0, 100]`): the geometric midpoint
+    /// of the bucket containing the rank. `NaN` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = (p / 100.0 * self.total as f64).ceil().max(1.0) as u64;
+        if rank >= self.total {
+            return self.max_seen; // the top rank is tracked exactly
+        }
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return self.min_seen.min(self.min_value);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                let lo = self.min_value * (self.log_ratio * i as f64).exp();
+                let hi = lo * self.log_ratio.exp();
+                return (lo * hi).sqrt();
+            }
+        }
+        self.max_seen
+    }
+
+    /// Merges another histogram with identical bucketing.
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.min_value, other.min_value, "bucket layout mismatch");
+        assert_eq!(self.log_ratio, other.log_ratio, "bucket layout mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket layout mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::for_seconds();
+        for v in [0.5, 1.0, 2.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn percentiles_have_bounded_relative_error() {
+        let mut h = Histogram::for_seconds();
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let exact = crate::stats::percentile(&values, p);
+            let approx = h.percentile(p);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.06, "p{p}: approx {approx}, exact {exact}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let h = Histogram::for_seconds();
+        assert!(h.percentile(50.0).is_nan());
+        assert!(h.min().is_nan());
+        assert!(h.max().is_nan());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_absorbed() {
+        let mut h = Histogram::new(1.0, 2.0, 4); // covers [1, 16)
+        h.record(0.01); // underflow
+        h.record(1e9); // clamps to last bucket
+        h.record(f64::NAN); // counts as underflow
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 1e9);
+        // p100 returns the exact max
+        assert_eq!(h.percentile(100.0), 1e9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::for_seconds();
+        let mut b = Histogram::for_seconds();
+        for v in [1.0, 2.0] {
+            a.record(v);
+        }
+        for v in [4.0, 8.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 8.0);
+        assert_eq!(a.min(), 1.0);
+        let median = a.percentile(50.0);
+        assert!(median >= 1.8 && median <= 4.3, "median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn merge_rejects_different_layouts() {
+        let mut a = Histogram::new(1.0, 2.0, 4);
+        let b = Histogram::new(1.0, 2.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_min_rejected() {
+        Histogram::new(0.0, 2.0, 4);
+    }
+}

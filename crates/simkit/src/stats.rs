@@ -1,0 +1,359 @@
+//! Statistics helpers shared across the workspace.
+//!
+//! * [`OnlineStats`] — Welford's streaming mean/variance, used wherever we
+//!   need running statistics without storing samples (e.g. per-application
+//!   run-time history behind the z-score labels of Section IV-A).
+//! * [`Summary`] — batch summary (min/max/mean/std/percentiles) used by the
+//!   evaluation harness to report run-time distributions (Figs. 6–8).
+//! * Free functions for means, standard deviations, z-scores and percentiles
+//!   on slices.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// The z-score of `x` under the accumulated distribution; 0 when the
+    /// standard deviation is zero or there are fewer than two observations.
+    pub fn z_score(&self, x: f64) -> f64 {
+        let sd = self.std_dev();
+        if sd <= f64::EPSILON || self.n < 2 {
+            0.0
+        } else {
+            (x - self.mean()) / sd
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Batch summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased standard deviation.
+    pub std_dev: f64,
+    /// 25th percentile (linear interpolation).
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`; returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        Some(Summary {
+            count: values.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            p25: percentile_sorted(&sorted, 25.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p75: percentile_sorted(&sorted, 75.0),
+            p95: percentile_sorted(&sorted, 95.0),
+        })
+    }
+
+    /// The interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+
+    /// Full range (max - min), the spread metric Figs. 6–8 discuss.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased sample standard deviation; 0 with fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    (ss / (values.len() - 1) as f64).sqrt()
+}
+
+/// Z-scores of each value against the slice's own mean and standard
+/// deviation. All zeros when the standard deviation is zero.
+pub fn z_scores(values: &[f64]) -> Vec<f64> {
+    let m = mean(values);
+    let sd = std_dev(values);
+    if sd <= f64::EPSILON {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - m) / sd).collect()
+}
+
+/// Percentile with linear interpolation on an already-sorted slice.
+///
+/// `p` is in `[0, 100]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Percentile of an unsorted slice (copies and sorts).
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    percentile_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        assert!(close(o.mean(), mean(&xs)));
+        assert!(close(o.std_dev(), std_dev(&xs)));
+        assert_eq!(o.min(), 2.0);
+        assert_eq!(o.max(), 9.0);
+        assert_eq!(o.count(), 8);
+    }
+
+    #[test]
+    fn online_empty_is_safe() {
+        let o = OnlineStats::new();
+        assert_eq!(o.mean(), 0.0);
+        assert_eq!(o.variance(), 0.0);
+        assert!(o.min().is_nan());
+        assert_eq!(o.z_score(10.0), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!(close(left.mean(), whole.mean()));
+        assert!(close(left.variance(), whole.variance()));
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn z_score_basics() {
+        let mut o = OnlineStats::new();
+        for x in [10.0, 12.0, 8.0, 10.0] {
+            o.push(x);
+        }
+        assert!(o.z_score(10.0).abs() < 1e-9);
+        assert!(o.z_score(20.0) > 3.0);
+        // constant sample: sd = 0 -> z = 0
+        let mut c = OnlineStats::new();
+        c.push(5.0);
+        c.push(5.0);
+        assert_eq!(c.z_score(100.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(close(percentile(&xs, 0.0), 1.0));
+        assert!(close(percentile(&xs, 100.0), 4.0));
+        assert!(close(percentile(&xs, 50.0), 2.5));
+        assert!(close(percentile(&xs, 25.0), 1.75));
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!(close(s.mean, 3.0));
+        assert!(close(s.p50, 3.0));
+        assert!(close(s.range(), 4.0));
+        assert!(s.iqr() > 0.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn z_scores_slice() {
+        let z = z_scores(&[1.0, 2.0, 3.0]);
+        assert!(close(z[1], 0.0));
+        assert!(close(z[0], -z[2]));
+        // constant slice
+        assert_eq!(z_scores(&[4.0, 4.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use rush_simkit::histogram::Histogram;
+use rush_simkit::stats::{percentile, OnlineStats, Summary};
+use rush_simkit::time::{SimDuration, SimTime};
+use rush_simkit::EventQueue;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..10_000, 1..128)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, times[e.event]));
+        }
+        // times are non-decreasing, and each event fires at its own time
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+        for (at, orig) in &popped {
+            prop_assert_eq!(*at, SimTime::from_secs(*orig));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+    }
+
+    #[test]
+    fn online_stats_matches_batch(values in proptest::collection::vec(-1e6f64..1e6, 1..256)) {
+        let mut o = OnlineStats::new();
+        for &v in &values {
+            o.push(v);
+        }
+        let s = Summary::of(&values).unwrap();
+        prop_assert!((o.mean() - s.mean).abs() < 1e-6 * (1.0 + s.mean.abs()));
+        prop_assert!((o.std_dev() - s.std_dev).abs() < 1e-6 * (1.0 + s.std_dev));
+        prop_assert_eq!(o.min(), s.min);
+        prop_assert_eq!(o.max(), s.max);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone_and_in_range(
+        values in proptest::collection::vec(0.01f64..1e3, 8..256),
+        p_lo in 1.0f64..50.0,
+        p_hi in 50.0f64..99.0,
+    ) {
+        let mut h = Histogram::for_seconds();
+        for &v in &values {
+            h.record(v);
+        }
+        let lo = h.percentile(p_lo);
+        let hi = h.percentile(p_hi);
+        prop_assert!(lo <= hi + 1e-9, "monotone: p{p_lo}={lo} vs p{p_hi}={hi}");
+        // Bucket midpoints stay within a bucket's width of the data range.
+        prop_assert!(lo >= h.min() / 1.06 - 1e-9);
+        prop_assert!(hi <= h.max() * 1.06 + 1e-9);
+        // The exact-rank estimate agrees within a generous factor on the
+        // median of large-enough samples (nearest-rank vs interpolated
+        // definitions differ on small ones).
+        if values.len() >= 64 {
+            let exact = percentile(&values, 50.0);
+            let approx = h.percentile(50.0);
+            prop_assert!(approx <= exact * 1.2 && approx >= exact / 1.2,
+                "median: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        a in proptest::collection::vec(0.01f64..1e3, 1..64),
+        b in proptest::collection::vec(0.01f64..1e3, 1..64),
+    ) {
+        let mut ha = Histogram::for_seconds();
+        let mut hb = Histogram::for_seconds();
+        let mut hall = Histogram::for_seconds();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, hall);
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert_eq!((da + db).as_micros(), a + b);
+        prop_assert_eq!((da - db).as_micros(), a.saturating_sub(b));
+        let t = SimTime::from_micros(a) + db;
+        prop_assert_eq!(t.as_micros(), a + b);
+        prop_assert_eq!(t.since(SimTime::from_micros(a)), db);
+    }
+}

@@ -1,0 +1,163 @@
+//! Window × node-set aggregation.
+//!
+//! The paper reduces each counter over the five minutes before a job with
+//! min/max/mean, pooling samples across either *all* compute nodes or the
+//! *job-exclusive* nodes (Section III-A). [`aggregate_counters`] implements
+//! that pooled reduction; the choice of node set is the caller's, which is
+//! how the all-nodes vs job-nodes comparison of Fig. 3 is expressed.
+
+use crate::store::MetricStore;
+use rush_cluster::topology::NodeId;
+use rush_simkit::stats::OnlineStats;
+use rush_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The `(min, max, mean)` of one counter pooled over a window and node set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterAggregate {
+    /// Pooled sample count.
+    pub count: usize,
+    /// Pooled minimum (0 when no samples).
+    pub min: f64,
+    /// Pooled maximum (0 when no samples).
+    pub max: f64,
+    /// Pooled mean (0 when no samples).
+    pub mean: f64,
+}
+
+impl CounterAggregate {
+    /// The aggregate of an empty pool.
+    pub const EMPTY: CounterAggregate = CounterAggregate {
+        count: 0,
+        min: 0.0,
+        max: 0.0,
+        mean: 0.0,
+    };
+
+    /// Flattens to the `[min, max, mean]` feature triple of Table I.
+    pub fn features(&self) -> [f64; 3] {
+        [self.min, self.max, self.mean]
+    }
+}
+
+/// Pools every counter's samples over `[from, to)` across `nodes` and
+/// reduces each to min/max/mean. Returns one aggregate per counter, in
+/// store order.
+pub fn aggregate_counters(
+    store: &MetricStore,
+    nodes: &[NodeId],
+    from: SimTime,
+    to: SimTime,
+) -> Vec<CounterAggregate> {
+    let width = store.counter_count();
+    let mut out = Vec::with_capacity(width);
+    for counter in 0..width {
+        let mut stats = OnlineStats::new();
+        for &node in nodes {
+            for &v in store.window(node, counter, from, to) {
+                stats.push(v);
+            }
+        }
+        if stats.count() == 0 {
+            out.push(CounterAggregate::EMPTY);
+        } else {
+            out.push(CounterAggregate {
+                count: stats.count() as usize,
+                min: stats.min(),
+                max: stats.max(),
+                mean: stats.mean(),
+            });
+        }
+    }
+    out
+}
+
+/// Flattens per-counter aggregates into the feature layout of Table I:
+/// `[min_c0, max_c0, mean_c0, min_c1, ...]`.
+pub fn flatten_features(aggregates: &[CounterAggregate]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(aggregates.len() * 3);
+    for a in aggregates {
+        out.extend_from_slice(&a.features());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn store_with_data() -> MetricStore {
+        let mut store = MetricStore::new(3, 2);
+        // node 0: counter0 = 1, 2, 3 at t=0,10,20 ; counter1 = 10x
+        for (i, s) in [0u64, 10, 20].iter().enumerate() {
+            let v = (i + 1) as f64;
+            store.record(NodeId(0), t(*s), &[v, v * 10.0]);
+        }
+        // node 1: counter0 = 100 at t=10
+        store.record(NodeId(1), t(10), &[100.0, 0.5]);
+        store
+    }
+
+    #[test]
+    fn pools_across_time_and_nodes() {
+        let store = store_with_data();
+        let aggs = aggregate_counters(&store, &[NodeId(0), NodeId(1)], t(0), t(30));
+        assert_eq!(aggs[0].count, 4);
+        assert_eq!(aggs[0].min, 1.0);
+        assert_eq!(aggs[0].max, 100.0);
+        assert!((aggs[0].mean - 26.5).abs() < 1e-12);
+        assert_eq!(aggs[1].count, 4);
+        assert_eq!(aggs[1].min, 0.5);
+        assert_eq!(aggs[1].max, 30.0);
+    }
+
+    #[test]
+    fn node_subset_changes_the_answer() {
+        let store = store_with_data();
+        let only0 = aggregate_counters(&store, &[NodeId(0)], t(0), t(30));
+        assert_eq!(only0[0].max, 3.0);
+        let only1 = aggregate_counters(&store, &[NodeId(1)], t(0), t(30));
+        assert_eq!(only1[0].min, 100.0);
+        assert_eq!(only1[0].count, 1);
+    }
+
+    #[test]
+    fn window_bounds_apply() {
+        let store = store_with_data();
+        let aggs = aggregate_counters(&store, &[NodeId(0)], t(5), t(15));
+        assert_eq!(aggs[0].count, 1);
+        assert_eq!(aggs[0].mean, 2.0);
+    }
+
+    #[test]
+    fn empty_pool_is_zeroed() {
+        let store = store_with_data();
+        let aggs = aggregate_counters(&store, &[NodeId(2)], t(0), t(30));
+        assert_eq!(aggs[0], CounterAggregate::EMPTY);
+        let none = aggregate_counters(&store, &[], t(0), t(30));
+        assert_eq!(none[1], CounterAggregate::EMPTY);
+    }
+
+    #[test]
+    fn flatten_orders_min_max_mean() {
+        let aggs = vec![
+            CounterAggregate {
+                count: 2,
+                min: 1.0,
+                max: 2.0,
+                mean: 1.5,
+            },
+            CounterAggregate {
+                count: 1,
+                min: 7.0,
+                max: 7.0,
+                mean: 7.0,
+            },
+        ];
+        assert_eq!(flatten_features(&aggs), vec![1.0, 2.0, 1.5, 7.0, 7.0, 7.0]);
+    }
+}

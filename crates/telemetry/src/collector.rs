@@ -1,0 +1,194 @@
+//! Periodic counter sampling (the LDMS daemon stand-in).
+//!
+//! A [`Sampler`] walks a node list on a fixed interval, asks the
+//! [`Machine`] to synthesize each node's counter tables, and records the
+//! vectors into a [`MetricStore`]. Drivers call [`Sampler::advance_to`]
+//! whenever simulation time moves; the sampler catches up on every interval
+//! boundary it crossed, so sampling cadence is independent of the caller's
+//! event granularity.
+
+use crate::store::MetricStore;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rush_cluster::machine::Machine;
+use rush_cluster::topology::NodeId;
+use rush_simkit::time::{SimDuration, SimTime};
+
+/// Samples machine counters into a store on a fixed interval.
+#[derive(Debug)]
+pub struct Sampler {
+    nodes: Vec<NodeId>,
+    interval: SimDuration,
+    next_due: SimTime,
+    samples_taken: u64,
+    dropped: u64,
+    /// Per-node-sample loss probability (real LDMS collections have gaps:
+    /// daemon restarts, network hiccups, aggregation stalls).
+    dropout: f64,
+    rng: SmallRng,
+}
+
+impl Sampler {
+    /// Samples `nodes` every `interval`, starting at `t = 0`.
+    pub fn new(nodes: Vec<NodeId>, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        Sampler {
+            nodes,
+            interval,
+            next_due: SimTime::ZERO,
+            samples_taken: 0,
+            dropped: 0,
+            dropout: 0.0,
+            rng: SmallRng::seed_from_u64(0),
+        }
+    }
+
+    /// Drops each per-node sample independently with probability `prob`,
+    /// mimicking monitoring-pipeline gaps. The window aggregation already
+    /// pools whatever samples exist, so downstream features degrade
+    /// gracefully instead of breaking.
+    pub fn with_dropout(mut self, prob: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "dropout must be in [0, 1)");
+        self.dropout = prob;
+        self.rng = SmallRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Per-node samples lost to dropout so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Sampling rounds completed so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Time of the next scheduled sampling round.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Advances to `t`, taking every sampling round due in `(prev, t]`.
+    /// The machine is advanced to each round's timestamp first so counters
+    /// reflect the machine state *at* the sample time.
+    pub fn advance_to(&mut self, t: SimTime, machine: &mut Machine, store: &mut MetricStore) {
+        while self.next_due <= t {
+            let at = self.next_due;
+            machine.advance_to(at);
+            for &node in &self.nodes {
+                if self.dropout > 0.0 && self.rng.gen::<f64>() < self.dropout {
+                    self.dropped += 1;
+                    continue;
+                }
+                let values = machine.sample_counters(node);
+                store.record(node, at, &values);
+            }
+            self.samples_taken += 1;
+            self.next_due = at + self.interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_cluster::machine::MachineConfig;
+
+    fn setup() -> (Machine, MetricStore, Sampler) {
+        let machine = Machine::new(MachineConfig::tiny(11));
+        let node_count = machine.tree().node_count();
+        let store = MetricStore::new(node_count, 90);
+        let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
+        let sampler = Sampler::new(nodes, SimDuration::from_secs(30));
+        (machine, store, sampler)
+    }
+
+    #[test]
+    fn samples_on_interval_boundaries() {
+        let (mut machine, mut store, mut sampler) = setup();
+        sampler.advance_to(SimTime::from_secs(95), &mut machine, &mut store);
+        // rounds at t = 0, 30, 60, 90
+        assert_eq!(sampler.samples_taken(), 4);
+        assert_eq!(store.window(NodeId(0), 0, SimTime::ZERO, SimTime::from_secs(100)).len(), 4);
+        assert_eq!(sampler.next_due(), SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn catch_up_covers_skipped_intervals() {
+        let (mut machine, mut store, mut sampler) = setup();
+        sampler.advance_to(SimTime::from_secs(10), &mut machine, &mut store);
+        assert_eq!(sampler.samples_taken(), 1);
+        // jump far ahead in one call
+        sampler.advance_to(SimTime::from_mins(5), &mut machine, &mut store);
+        assert_eq!(sampler.samples_taken(), 11); // t=0..300 step 30
+    }
+
+    #[test]
+    fn no_duplicate_samples_on_repeat_calls() {
+        let (mut machine, mut store, mut sampler) = setup();
+        sampler.advance_to(SimTime::from_secs(60), &mut machine, &mut store);
+        let n = store.point_count();
+        sampler.advance_to(SimTime::from_secs(60), &mut machine, &mut store);
+        assert_eq!(store.point_count(), n);
+    }
+
+    #[test]
+    fn samples_have_store_width() {
+        let (mut machine, mut store, mut sampler) = setup();
+        sampler.advance_to(SimTime::ZERO, &mut machine, &mut store);
+        assert_eq!(store.window(NodeId(3), 89, SimTime::ZERO, SimTime::from_secs(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        Sampler::new(vec![], SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dropout_loses_samples_but_keeps_working() {
+        let (mut machine, mut store, _) = setup();
+        let node_count = machine.tree().node_count();
+        let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
+        let mut sampler =
+            Sampler::new(nodes, SimDuration::from_secs(30)).with_dropout(0.3, 7);
+        sampler.advance_to(SimTime::from_mins(5), &mut machine, &mut store);
+        let expected_full = 11 * node_count as u64; // rounds t=0..300
+        assert!(sampler.dropped() > 0, "30% dropout must lose something");
+        assert_eq!(
+            store.point_count() as u64 / 90 + sampler.dropped(),
+            expected_full,
+            "kept + dropped = scheduled"
+        );
+        // Aggregation still answers over the gappy data.
+        let aggs = rush_cluster::topology::NodeId(0);
+        let window = store.window(aggs, 0, SimTime::ZERO, SimTime::from_mins(5));
+        assert!(window.len() < 11, "node 0 should have gaps");
+    }
+
+    #[test]
+    fn dropout_is_deterministic() {
+        let run = |seed| {
+            let (mut machine, mut store, _) = setup();
+            let nodes: Vec<NodeId> = (0..machine.tree().node_count()).map(NodeId).collect();
+            let mut sampler =
+                Sampler::new(nodes, SimDuration::from_secs(30)).with_dropout(0.2, seed);
+            sampler.advance_to(SimTime::from_mins(3), &mut machine, &mut store);
+            (sampler.dropped(), store.point_count())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn full_dropout_rejected() {
+        Sampler::new(vec![], SimDuration::from_secs(1)).with_dropout(1.0, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal CSV export.
+//!
+//! The original pipeline pickles Pandas dataframes; we write plain CSV so
+//! datasets and result tables can be inspected with standard tools. This is
+//! a tiny writer, not a general CSV library: values are numbers or simple
+//! strings, and fields containing commas/quotes/newlines are quoted with
+//! doubled quotes per RFC 4180.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A rectangular table of string/number cells with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        CsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.header.len()
+    }
+
+    /// Appends a row of pre-rendered cells.
+    ///
+    /// # Panics
+    /// Panics if the width doesn't match the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a row of floats rendered with full precision.
+    pub fn push_floats(&mut self, row: &[f64]) {
+        self.push_row(row.iter().map(|v| format_float(*v)));
+    }
+
+    /// Renders the full CSV document.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        write_record(&mut out, &self.header);
+        for row in &self.rows {
+            write_record(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the CSV document to `path`.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+fn write_record(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            out.push('"');
+            for ch in cell.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
+/// Renders a float compactly but round-trippably.
+pub fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        let mut s = String::new();
+        let _ = write!(s, "{v:.1}");
+        s
+    } else {
+        let mut s = String::new();
+        let _ = write!(s, "{v}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_table_renders() {
+        let mut t = CsvTable::new(["app", "runtime"]);
+        t.push_row(["kripke", "41.5"]);
+        t.push_row(["amg", "38.2"]);
+        assert_eq!(t.to_csv(), "app,runtime\nkripke,41.5\namg,38.2\n");
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column_count(), 2);
+    }
+
+    #[test]
+    fn quoting_follows_rfc4180() {
+        let mut t = CsvTable::new(["a"]);
+        t.push_row(["has,comma"]);
+        t.push_row(["has\"quote"]);
+        t.push_row(["has\nnewline"]);
+        assert_eq!(
+            t.to_csv(),
+            "a\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n"
+        );
+    }
+
+    #[test]
+    fn float_rows_render() {
+        let mut t = CsvTable::new(["x", "y"]);
+        t.push_floats(&[1.0, 2.5]);
+        assert_eq!(t.to_csv(), "x,y\n1.0,2.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn write_to_disk_round_trips() {
+        let dir = std::env::temp_dir().join("rush_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let mut t = CsvTable::new(["v"]);
+        t.push_floats(&[0.125]);
+        t.write_to(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "v\n0.125\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn format_float_cases() {
+        assert_eq!(format_float(3.0), "3.0");
+        assert_eq!(format_float(0.1), "0.1");
+        assert_eq!(format_float(-2.0), "-2.0");
+    }
+}

@@ -1,0 +1,139 @@
+//! Time-indexed counter storage (the Cassandra/Sonar stand-in).
+//!
+//! One [`rush_simkit::TimeSeries`] per `(node, counter)` pair, laid out as a
+//! flat row-major vector so sampling a node is a contiguous write. The store
+//! knows nothing about counter semantics — it stores whatever vector the
+//! sampler hands it, as long as the width never changes.
+
+use rush_cluster::topology::NodeId;
+use rush_simkit::series::TimeSeries;
+use rush_simkit::time::SimTime;
+
+/// Per-node, per-counter sample storage.
+#[derive(Debug, Clone)]
+pub struct MetricStore {
+    node_count: u32,
+    counter_count: usize,
+    series: Vec<TimeSeries>,
+}
+
+impl MetricStore {
+    /// Creates storage for `node_count` nodes × `counter_count` counters.
+    pub fn new(node_count: u32, counter_count: usize) -> Self {
+        assert!(counter_count > 0, "store needs at least one counter");
+        MetricStore {
+            node_count,
+            counter_count,
+            series: vec![TimeSeries::new(); node_count as usize * counter_count],
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// Counters per node.
+    pub fn counter_count(&self) -> usize {
+        self.counter_count
+    }
+
+    fn index(&self, node: NodeId, counter: usize) -> usize {
+        debug_assert!(node.0 < self.node_count, "node {node:?} out of range");
+        debug_assert!(counter < self.counter_count, "counter {counter} out of range");
+        node.0 as usize * self.counter_count + counter
+    }
+
+    /// Records one full counter vector for `node` at time `at`.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the store's counter width.
+    pub fn record(&mut self, node: NodeId, at: SimTime, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.counter_count,
+            "sample width {} != store width {}",
+            values.len(),
+            self.counter_count
+        );
+        let base = self.index(node, 0);
+        for (i, &v) in values.iter().enumerate() {
+            self.series[base + i].push(at, v);
+        }
+    }
+
+    /// The series for one `(node, counter)` pair.
+    pub fn series(&self, node: NodeId, counter: usize) -> &TimeSeries {
+        &self.series[self.index(node, counter)]
+    }
+
+    /// Samples of `counter` on `node` within `[from, to)`.
+    pub fn window(&self, node: NodeId, counter: usize, from: SimTime, to: SimTime) -> &[f64] {
+        self.series(node, counter).window(from, to)
+    }
+
+    /// Total stored points across all series.
+    pub fn point_count(&self) -> usize {
+        self.series.iter().map(TimeSeries::len).sum()
+    }
+
+    /// Drops all samples before `cutoff` (memory bound for long campaigns).
+    pub fn retain_from(&mut self, cutoff: SimTime) {
+        for s in &mut self.series {
+            s.retain_from(cutoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn record_and_window_round_trip() {
+        let mut store = MetricStore::new(4, 3);
+        store.record(NodeId(1), t(10), &[1.0, 2.0, 3.0]);
+        store.record(NodeId(1), t(20), &[4.0, 5.0, 6.0]);
+        assert_eq!(store.window(NodeId(1), 0, t(0), t(30)), &[1.0, 4.0]);
+        assert_eq!(store.window(NodeId(1), 2, t(15), t(30)), &[6.0]);
+        assert_eq!(store.window(NodeId(0), 0, t(0), t(30)), &[] as &[f64]);
+        assert_eq!(store.point_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width")]
+    fn wrong_width_rejected() {
+        let mut store = MetricStore::new(2, 3);
+        store.record(NodeId(0), t(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn retain_from_prunes_all_series() {
+        let mut store = MetricStore::new(2, 2);
+        for s in 0..10 {
+            store.record(NodeId(0), t(s), &[s as f64, 0.0]);
+            store.record(NodeId(1), t(s), &[0.0, s as f64]);
+        }
+        assert_eq!(store.point_count(), 40);
+        store.retain_from(t(8));
+        assert_eq!(store.point_count(), 8);
+        assert_eq!(store.window(NodeId(0), 0, t(0), t(100)), &[8.0, 9.0]);
+    }
+
+    #[test]
+    fn dimensions_exposed() {
+        let store = MetricStore::new(7, 90);
+        assert_eq!(store.node_count(), 7);
+        assert_eq!(store.counter_count(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_width_rejected() {
+        MetricStore::new(1, 0);
+    }
+}

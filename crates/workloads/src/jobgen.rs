@@ -1,0 +1,238 @@
+//! Experiment job-stream generation (Section VI-A).
+//!
+//! "We setup a queue of jobs that takes between 30 and 50 minutes for all of
+//! them to run to completion. Each job runs on 16 nodes with 512 processes.
+//! At the beginning of the experiment we submit 20% of the jobs to the Flux
+//! queue immediately and submit the rest uniformly over 20 minutes."
+//!
+//! [`generate_jobs`] reproduces that arrival process for any application
+//! mix, job count and node-count list (the WS/SS experiments cycle through
+//! 8/16/32 nodes).
+
+use crate::apps::AppId;
+use crate::scaling::ScalingMode;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rush_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One job the experiment will submit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Dense id, unique within the experiment.
+    pub id: u64,
+    /// Which proxy application runs.
+    pub app: AppId,
+    /// Node count.
+    pub nodes: u32,
+    /// Submission time.
+    pub submit_at: SimTime,
+    /// Input-deck scaling for this node count.
+    pub scaling: ScalingMode,
+}
+
+/// Parameters of a job stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Applications to draw from (cycled, then shuffled).
+    pub apps: Vec<AppId>,
+    /// Total jobs.
+    pub total_jobs: usize,
+    /// Node counts to cycle through (single entry for fixed-size runs).
+    pub node_counts: Vec<u32>,
+    /// Scaling mode applied to non-reference node counts.
+    pub scaling: ScalingMode,
+    /// Fraction of jobs submitted at `t = 0` (paper: 0.2).
+    pub upfront_fraction: f64,
+    /// Window over which the remainder arrives uniformly (paper: 20 min).
+    pub submit_window: SimDuration,
+}
+
+impl WorkloadSpec {
+    /// The standard fixed-size experiment stream: every app on 16 nodes.
+    pub fn standard(apps: Vec<AppId>, total_jobs: usize) -> Self {
+        WorkloadSpec {
+            apps,
+            total_jobs,
+            node_counts: vec![16],
+            scaling: ScalingMode::Reference,
+            upfront_fraction: 0.2,
+            submit_window: SimDuration::from_mins(20),
+        }
+    }
+
+    /// The WS/SS streams: all apps cycled over 8/16/32 nodes.
+    pub fn scaled(apps: Vec<AppId>, total_jobs: usize, scaling: ScalingMode) -> Self {
+        WorkloadSpec {
+            node_counts: vec![8, 16, 32],
+            scaling,
+            ..Self::standard(apps, total_jobs)
+        }
+    }
+}
+
+/// Generates the job stream for `spec`.
+///
+/// Applications and node counts are cycled so counts are balanced, then the
+/// whole list is shuffled so arrival order is not periodic. The first
+/// `upfront_fraction` of jobs arrive at `t = 0`; the rest arrive at uniform
+/// random offsets within `submit_window`. Jobs are returned sorted by
+/// submission time.
+pub fn generate_jobs(spec: &WorkloadSpec, rng: &mut SmallRng) -> Vec<JobRequest> {
+    assert!(!spec.apps.is_empty(), "workload needs at least one app");
+    assert!(!spec.node_counts.is_empty(), "workload needs node counts");
+    assert!(
+        (0.0..=1.0).contains(&spec.upfront_fraction),
+        "upfront fraction must be a fraction"
+    );
+
+    // Balanced app × node-count assignment.
+    let mut combos: Vec<(AppId, u32)> = Vec::with_capacity(spec.total_jobs);
+    'outer: loop {
+        for &nodes in &spec.node_counts {
+            for &app in &spec.apps {
+                if combos.len() == spec.total_jobs {
+                    break 'outer;
+                }
+                combos.push((app, nodes));
+            }
+        }
+        if spec.total_jobs == 0 {
+            break;
+        }
+    }
+    combos.shuffle(rng);
+
+    let upfront = (spec.total_jobs as f64 * spec.upfront_fraction).round() as usize;
+    let mut jobs: Vec<JobRequest> = combos
+        .into_iter()
+        .enumerate()
+        .map(|(i, (app, nodes))| {
+            let submit_at = if i < upfront {
+                SimTime::ZERO
+            } else {
+                let off = rng.gen_range(0.0..spec.submit_window.as_secs_f64());
+                SimTime::from_secs_f64(off)
+            };
+            let scaling = if nodes == 16 && spec.scaling == ScalingMode::Reference {
+                ScalingMode::Reference
+            } else {
+                spec.scaling
+            };
+            JobRequest {
+                id: i as u64,
+                app,
+                nodes,
+                submit_at,
+                scaling,
+            }
+        })
+        .collect();
+    jobs.sort_by_key(|j| (j.submit_at, j.id));
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 190);
+        let jobs = generate_jobs(&spec, &mut rng());
+        assert_eq!(jobs.len(), 190);
+    }
+
+    #[test]
+    fn twenty_percent_arrive_upfront() {
+        let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 190);
+        let jobs = generate_jobs(&spec, &mut rng());
+        let upfront = jobs.iter().filter(|j| j.submit_at == SimTime::ZERO).count();
+        assert_eq!(upfront, 38); // 20% of 190
+        // the rest arrive inside the 20-minute window
+        for j in &jobs {
+            assert!(j.submit_at <= SimTime::from_mins(20));
+        }
+    }
+
+    #[test]
+    fn apps_are_balanced() {
+        let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 140);
+        let jobs = generate_jobs(&spec, &mut rng());
+        let mut counts: HashMap<AppId, usize> = HashMap::new();
+        for j in &jobs {
+            *counts.entry(j.app).or_insert(0) += 1;
+        }
+        for (&app, &n) in &counts {
+            assert_eq!(n, 20, "{app} should get 140/7 jobs");
+        }
+    }
+
+    #[test]
+    fn node_counts_cycle_for_scaling_experiments() {
+        let spec = WorkloadSpec::scaled(AppId::ALL.to_vec(), 190, ScalingMode::Weak);
+        let jobs = generate_jobs(&spec, &mut rng());
+        let mut by_nodes: HashMap<u32, usize> = HashMap::new();
+        for j in &jobs {
+            *by_nodes.entry(j.nodes).or_insert(0) += 1;
+            assert!(matches!(j.nodes, 8 | 16 | 32));
+            assert_eq!(j.scaling, ScalingMode::Weak);
+        }
+        assert_eq!(by_nodes.len(), 3);
+        // roughly balanced: 190/3 ± 7 (one app-cycle)
+        for (&n, &c) in &by_nodes {
+            assert!((56..=70).contains(&c), "{n} nodes got {c} jobs");
+        }
+    }
+
+    #[test]
+    fn fixed_size_jobs_use_reference_scaling() {
+        let spec = WorkloadSpec::standard(vec![AppId::Laghos], 10);
+        let jobs = generate_jobs(&spec, &mut rng());
+        assert!(jobs.iter().all(|j| j.scaling == ScalingMode::Reference));
+        assert!(jobs.iter().all(|j| j.nodes == 16));
+    }
+
+    #[test]
+    fn jobs_sorted_by_submit_time() {
+        let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 100);
+        let jobs = generate_jobs(&spec, &mut rng());
+        for pair in jobs.windows(2) {
+            assert!(pair[0].submit_at <= pair[1].submit_at);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 190);
+        let jobs = generate_jobs(&spec, &mut rng());
+        let mut ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 190);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 50);
+        let a = generate_jobs(&spec, &mut SmallRng::seed_from_u64(5));
+        let b = generate_jobs(&spec, &mut SmallRng::seed_from_u64(5));
+        let c = generate_jobs(&spec, &mut SmallRng::seed_from_u64(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one app")]
+    fn empty_app_list_rejected() {
+        let spec = WorkloadSpec::standard(vec![], 10);
+        generate_jobs(&spec, &mut rng());
+    }
+}

@@ -1,0 +1,33 @@
+//! # rush-workloads
+//!
+//! Models of the paper's seven proxy applications, the MPI probe benchmarks,
+//! and the job-stream generator behind the Table-II experiments.
+//!
+//! The proxy applications (Kripke, AMG, Laghos, SWFFT, PENNANT, sw4lite,
+//! LBANN — Section III-B) are represented by analytic run-time models: a
+//! base run time per node count plus sensitivity to the two shared resources
+//! the cluster model exposes (fabric congestion and filesystem saturation).
+//! The sensitivities are chosen so the *relative* variability ordering the
+//! paper reports emerges naturally: Laghos, LBANN and sw4lite are the most
+//! variation-prone, Kripke and AMG the least.
+//!
+//! * [`apps`] — the seven application descriptors and their slowdown model.
+//! * [`probes`] — the 100 MB ring and AllReduce probe benchmarks whose wait
+//!   times become nine dataset features (Section III-C).
+//! * [`jobgen`] — experiment job streams: 20% submitted at t=0, the rest
+//!   uniformly over 20 minutes (Section VI-A).
+//! * [`scaling`] — weak/strong scaling of base run times for the WS and SS
+//!   experiments.
+//! * [`swf`] — Standard Workload Format trace import, so archived
+//!   production traces can drive the scheduler comparison.
+
+pub mod apps;
+pub mod jobgen;
+pub mod probes;
+pub mod scaling;
+pub mod swf;
+
+pub use apps::{AppId, ProxyApp, APPS};
+pub use jobgen::{generate_jobs, JobRequest, WorkloadSpec};
+pub use probes::{run_probes, ProbeConfig};
+pub use scaling::ScalingMode;

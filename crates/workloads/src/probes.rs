@@ -1,0 +1,231 @@
+//! The MPI probe benchmarks (Section III-C).
+//!
+//! "Right as each job is scheduled we ran two MPI benchmarks with mpiP to
+//! gather information about the network health. The first benchmark is a
+//! simple ring routine with send/recv that passes around a 100 MB token for
+//! ten iterations. The second calls AllReduce on 100 MB of random data for
+//! five iterations. … Using mpiP we record the time spent waiting on the
+//! blocking Send, Recv, and AllReduce calls on each node. For the dataset we
+//! record the minimum, maximum, and mean of each of these values across used
+//! nodes. This becomes nine features in each data point."
+//!
+//! Our probe computes per-node wait times from the simulated fabric state:
+//! the base transfer time of the message volume, inflated by congestion on
+//! the nodes' paths, with per-node measurement noise.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rush_cluster::machine::Machine;
+use rush_cluster::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Probe benchmark parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    /// Token / buffer size, GB (paper: 100 MB = 0.1 GB).
+    pub message_gb: f64,
+    /// Ring iterations (paper: 10).
+    pub ring_iters: u32,
+    /// AllReduce iterations (paper: 5).
+    pub allreduce_iters: u32,
+    /// How strongly congestion inflates wait times.
+    pub congestion_gain: f64,
+    /// Log-std of per-node measurement noise.
+    pub node_noise: f64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            message_gb: 0.1,
+            ring_iters: 10,
+            allreduce_iters: 5,
+            congestion_gain: 2.5,
+            node_noise: 0.08,
+        }
+    }
+}
+
+/// Per-node wait times measured by one probe run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeMeasurement {
+    /// Blocking-Send wait per node, seconds.
+    pub send_wait: Vec<f64>,
+    /// Blocking-Recv wait per node, seconds.
+    pub recv_wait: Vec<f64>,
+    /// AllReduce wait per node, seconds.
+    pub allreduce_wait: Vec<f64>,
+}
+
+impl ProbeMeasurement {
+    /// The nine dataset features: min/max/mean of each wait across nodes,
+    /// in schema order (`ring_send_wait`, `ring_recv_wait`,
+    /// `allreduce_wait`).
+    pub fn features(&self) -> [f64; 9] {
+        let mut out = [0.0; 9];
+        for (i, waits) in [&self.send_wait, &self.recv_wait, &self.allreduce_wait]
+            .into_iter()
+            .enumerate()
+        {
+            let (min, max, sum) = waits.iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY, 0.0),
+                |(mn, mx, s), &v| (mn.min(v), mx.max(v), s + v),
+            );
+            let mean = if waits.is_empty() {
+                0.0
+            } else {
+                sum / waits.len() as f64
+            };
+            let (min, max) = if waits.is_empty() { (0.0, 0.0) } else { (min, max) };
+            out[i * 3] = min;
+            out[i * 3 + 1] = max;
+            out[i * 3 + 2] = mean;
+        }
+        out
+    }
+
+    /// Total probe wall time (the overhead charged to the job), seconds.
+    pub fn wall_time_secs(&self) -> f64 {
+        // The ring and allreduce run back to back; wall time is the worst
+        // node's combined wait.
+        let worst_ring = self
+            .send_wait
+            .iter()
+            .zip(&self.recv_wait)
+            .map(|(s, r)| s + r)
+            .fold(0.0f64, f64::max);
+        let worst_ar = self.allreduce_wait.iter().fold(0.0f64, |a, &b| a.max(b));
+        worst_ring + worst_ar
+    }
+}
+
+/// Runs both probe benchmarks on `nodes` against the machine's current
+/// fabric state.
+pub fn run_probes(
+    machine: &mut Machine,
+    nodes: &[NodeId],
+    config: &ProbeConfig,
+    rng: &mut SmallRng,
+) -> ProbeMeasurement {
+    assert!(!nodes.is_empty(), "probes need at least one node");
+    let congestion = machine.congestion(nodes);
+    let access_gbps = machine.tree().config().access_gbps;
+
+    // Base per-iteration transfer time of the token at full access
+    // bandwidth; congestion multiplies the effective wait.
+    let base_xfer = config.message_gb / access_gbps;
+    let inflation = 1.0 + config.congestion_gain * congestion.powf(1.5);
+
+    let ring_total = base_xfer * config.ring_iters as f64 * inflation;
+    // AllReduce moves ~2x the buffer per iteration (reduce-scatter +
+    // allgather) and synchronizes all nodes.
+    let ar_total = 2.0 * base_xfer * config.allreduce_iters as f64 * inflation;
+
+    let mut noisy = |base: f64| -> f64 {
+        let z: f64 = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5; // ~N(0, 0.5)
+        base * (config.node_noise * z * 2.0).exp()
+    };
+
+    let send_wait = nodes.iter().map(|_| noisy(ring_total * 0.5)).collect();
+    let recv_wait = nodes.iter().map(|_| noisy(ring_total * 0.5)).collect();
+    let allreduce_wait = nodes.iter().map(|_| noisy(ar_total)).collect();
+
+    ProbeMeasurement {
+        send_wait,
+        recv_wait,
+        allreduce_wait,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rush_cluster::machine::{MachineConfig, SourceId, WorkloadIntensity};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    fn nodes(r: std::ops::Range<u32>) -> Vec<NodeId> {
+        r.map(NodeId).collect()
+    }
+
+    #[test]
+    fn probe_produces_per_node_measurements() {
+        let mut m = Machine::new(MachineConfig::tiny(1));
+        let ns = nodes(0..8);
+        let meas = run_probes(&mut m, &ns, &ProbeConfig::default(), &mut rng());
+        assert_eq!(meas.send_wait.len(), 8);
+        assert_eq!(meas.recv_wait.len(), 8);
+        assert_eq!(meas.allreduce_wait.len(), 8);
+        assert!(meas.send_wait.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn congestion_inflates_waits() {
+        let mut m = Machine::new(MachineConfig::tiny(2));
+        let ns = nodes(0..8);
+        let calm = run_probes(&mut m, &ns, &ProbeConfig::default(), &mut rng());
+        // Load the fabric heavily with several machine-spanning sources.
+        for id in 1..6 {
+            m.register_load(SourceId(id), nodes(0..16), WorkloadIntensity::new(0.0, 1.0, 0.0));
+        }
+        let busy = run_probes(&mut m, &ns, &ProbeConfig::default(), &mut rng());
+        let calm_f = calm.features();
+        let busy_f = busy.features();
+        // mean allreduce wait (index 8) rises under load
+        assert!(
+            busy_f[8] > calm_f[8] * 1.2,
+            "busy {} vs calm {}",
+            busy_f[8],
+            calm_f[8]
+        );
+    }
+
+    #[test]
+    fn features_are_min_max_mean_triples() {
+        let meas = ProbeMeasurement {
+            send_wait: vec![1.0, 3.0],
+            recv_wait: vec![2.0, 2.0],
+            allreduce_wait: vec![5.0, 7.0],
+        };
+        let f = meas.features();
+        assert_eq!(f[0], 1.0); // min send
+        assert_eq!(f[1], 3.0); // max send
+        assert_eq!(f[2], 2.0); // mean send
+        assert_eq!(f[3], 2.0);
+        assert_eq!(f[4], 2.0);
+        assert_eq!(f[5], 2.0);
+        assert_eq!(f[6], 5.0);
+        assert_eq!(f[7], 7.0);
+        assert_eq!(f[8], 6.0);
+    }
+
+    #[test]
+    fn wall_time_is_worst_node_path() {
+        let meas = ProbeMeasurement {
+            send_wait: vec![1.0, 2.0],
+            recv_wait: vec![1.0, 3.0],
+            allreduce_wait: vec![4.0, 2.0],
+        };
+        // worst ring pair = 2+3 = 5; worst allreduce = 4
+        assert_eq!(meas.wall_time_secs(), 9.0);
+    }
+
+    #[test]
+    fn probe_wall_time_is_modest() {
+        // Section III-C: sizes picked so probes don't cause significant
+        // overhead — on a calm machine the probe should cost ~< 1 s.
+        let mut m = Machine::new(MachineConfig::tiny(4));
+        let meas = run_probes(&mut m, &nodes(0..8), &ProbeConfig::default(), &mut rng());
+        assert!(meas.wall_time_secs() < 2.0, "{}", meas.wall_time_secs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_node_set_rejected() {
+        let mut m = Machine::new(MachineConfig::tiny(5));
+        run_probes(&mut m, &[], &ProbeConfig::default(), &mut rng());
+    }
+}

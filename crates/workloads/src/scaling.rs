@@ -1,0 +1,125 @@
+//! Weak and strong scaling of base run times.
+//!
+//! The WS and SS experiments (Table II) run each application on 8, 16 and
+//! 32 nodes. Under strong scaling the problem size is fixed, so run time
+//! shrinks with node count at the application's parallel efficiency; under
+//! weak scaling the per-node problem size is fixed, so run time stays
+//! roughly flat but communication overhead grows with scale.
+
+use serde::{Deserialize, Serialize};
+
+/// Reference node count all base run times are calibrated at.
+pub const REFERENCE_NODES: u32 = 16;
+
+/// How a job's input deck is adjusted for its node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ScalingMode {
+    /// Run at the reference input regardless of node count (ADAA/ADPA/PDPA
+    /// always use 16 nodes, so this is exact for them).
+    #[default]
+    Reference,
+    /// Fixed total problem: more nodes → shorter runs, at imperfect
+    /// efficiency.
+    Strong,
+    /// Fixed per-node problem: run time ~flat, communication overhead grows.
+    Weak,
+}
+
+impl ScalingMode {
+    /// Scales the 16-node base run time (seconds) to `nodes`.
+    ///
+    /// * `strong_eff` — per-doubling parallel efficiency in `(0, 1]`.
+    /// * `weak_overhead` — fractional overhead added per doubling under
+    ///   weak scaling.
+    pub fn scaled_runtime(
+        self,
+        base_secs: f64,
+        nodes: u32,
+        strong_eff: f64,
+        weak_overhead: f64,
+    ) -> f64 {
+        assert!(nodes > 0, "job needs at least one node");
+        let doublings = (nodes as f64 / REFERENCE_NODES as f64).log2();
+        match self {
+            ScalingMode::Reference => base_secs,
+            ScalingMode::Strong => {
+                // Ideal speedup is 2^doublings; efficiency discounts it when
+                // scaling up and (symmetrically) rewards scaling down, where
+                // the smaller run communicates less.
+                let speedup = (2.0f64).powf(doublings) * strong_eff.powf(doublings);
+                base_secs / speedup
+            }
+            ScalingMode::Weak => base_secs * (1.0 + weak_overhead).powf(doublings),
+        }
+    }
+
+    /// Short label used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalingMode::Reference => "ref",
+            ScalingMode::Strong => "strong",
+            ScalingMode::Weak => "weak",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_ignores_node_count() {
+        for nodes in [8, 16, 32] {
+            assert_eq!(
+                ScalingMode::Reference.scaled_runtime(100.0, nodes, 0.8, 0.1),
+                100.0
+            );
+        }
+    }
+
+    #[test]
+    fn strong_scaling_shrinks_with_nodes() {
+        let at = |n| ScalingMode::Strong.scaled_runtime(100.0, n, 0.85, 0.0);
+        assert!(at(32) < at(16));
+        assert!(at(16) < at(8));
+        // 16 nodes is the calibration point
+        assert!((at(16) - 100.0).abs() < 1e-9);
+        // doubling with eff 0.85 gives speedup 1.7
+        assert!((at(32) - 100.0 / 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_scaling_down_is_slower_than_ideal_halving() {
+        // 8 nodes: ideal slowdown 2x; inefficiency makes it a bit less than
+        // 2x (the small-node run communicates less).
+        let t8 = ScalingMode::Strong.scaled_runtime(100.0, 8, 0.85, 0.0);
+        assert!(t8 > 150.0 && t8 < 200.0, "got {t8}");
+    }
+
+    #[test]
+    fn weak_scaling_grows_gently_with_nodes() {
+        let at = |n| ScalingMode::Weak.scaled_runtime(100.0, n, 1.0, 0.1);
+        assert!((at(16) - 100.0).abs() < 1e-9);
+        assert!((at(32) - 110.0).abs() < 1e-9);
+        assert!(at(8) < 100.0);
+    }
+
+    #[test]
+    fn perfect_efficiency_is_ideal_speedup() {
+        let t32 = ScalingMode::Strong.scaled_runtime(100.0, 32, 1.0, 0.0);
+        assert!((t32 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        ScalingMode::Strong.scaled_runtime(100.0, 0, 0.8, 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ScalingMode::Weak.label(), "weak");
+        assert_eq!(ScalingMode::Strong.label(), "strong");
+        assert_eq!(ScalingMode::Reference.label(), "ref");
+    }
+}

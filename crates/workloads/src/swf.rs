@@ -1,0 +1,231 @@
+//! Standard Workload Format (SWF) trace import.
+//!
+//! SWF is the lingua franca of batch-scheduler research (the Parallel
+//! Workloads Archive): one line per job, 18 whitespace-separated fields,
+//! `;` comment lines. This module parses the fields the simulator needs
+//! and maps trace jobs onto the proxy-application models so archived
+//! production traces can drive the RUSH-vs-FCFS comparison instead of the
+//! synthetic Table-II streams.
+//!
+//! Field mapping (1-based SWF columns):
+//!
+//! | field | meaning              | use                                  |
+//! |------:|----------------------|--------------------------------------|
+//! | 1     | job number           | id                                   |
+//! | 2     | submit time (s)      | `submit_at`                          |
+//! | 4     | run time (s)         | app-matching heuristic               |
+//! | 5     | allocated processors | node count (`ceil(procs / cores)`)   |
+//! | 8     | requested processors | fallback when field 5 is `-1`        |
+//!
+//! Each job is assigned the proxy application whose nominal run time is
+//! closest to the trace job's recorded run time — the trace supplies the
+//! arrival process and shape; the app model supplies contention behaviour.
+
+use crate::apps::AppId;
+use crate::jobgen::JobRequest;
+use crate::scaling::ScalingMode;
+use rush_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One parsed SWF job record (the fields we consume).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwfJob {
+    /// SWF job number.
+    pub id: u64,
+    /// Submission time, seconds since trace start.
+    pub submit_secs: u64,
+    /// Recorded run time, seconds (`-1` in the trace becomes `None`).
+    pub runtime_secs: Option<f64>,
+    /// Processors used (falls back to requested processors).
+    pub processors: u32,
+}
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parses SWF text. Comment (`;`) and blank lines are skipped; jobs with
+/// no usable processor count or non-positive run time are dropped (failed
+/// and cancelled jobs, per SWF conventions).
+pub fn parse(text: &str) -> Result<Vec<SwfJob>, SwfError> {
+    let mut jobs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 8 {
+            return Err(SwfError {
+                line: line_no,
+                message: format!("expected >= 8 fields, found {}", fields.len()),
+            });
+        }
+        let int = |i: usize, what: &str| -> Result<i64, SwfError> {
+            fields[i].parse().map_err(|_| SwfError {
+                line: line_no,
+                message: format!("bad {what} '{}'", fields[i]),
+            })
+        };
+        let id = int(0, "job number")? as u64;
+        let submit = int(1, "submit time")?;
+        let runtime = fields[3].parse::<f64>().map_err(|_| SwfError {
+            line: line_no,
+            message: format!("bad run time '{}'", fields[3]),
+        })?;
+        let alloc = int(4, "allocated processors")?;
+        let requested = int(7, "requested processors")?;
+
+        let processors = if alloc > 0 {
+            alloc
+        } else if requested > 0 {
+            requested
+        } else {
+            continue; // unusable record
+        } as u32;
+        if runtime <= 0.0 || submit < 0 {
+            continue; // failed/cancelled jobs carry -1
+        }
+        jobs.push(SwfJob {
+            id,
+            submit_secs: submit as u64,
+            runtime_secs: Some(runtime),
+            processors,
+        });
+    }
+    Ok(jobs)
+}
+
+/// The proxy application whose nominal 16-node run time is closest to
+/// `runtime_secs`.
+pub fn closest_app(runtime_secs: f64) -> AppId {
+    AppId::ALL
+        .into_iter()
+        .min_by(|a, b| {
+            let da = (a.descriptor().base_runtime_secs - runtime_secs).abs();
+            let db = (b.descriptor().base_runtime_secs - runtime_secs).abs();
+            da.partial_cmp(&db).expect("finite base runtimes")
+        })
+        .expect("apps exist")
+}
+
+/// Converts parsed SWF jobs into scheduler requests.
+///
+/// * node count = `ceil(processors / cores_per_node)`, clamped to
+///   `[1, max_nodes]`;
+/// * application = [`closest_app`] on the recorded run time (the mean app
+///   run time when the record lacks one);
+/// * ids are renumbered densely so they can seed the engine directly.
+pub fn to_requests(jobs: &[SwfJob], cores_per_node: u32, max_nodes: u32) -> Vec<JobRequest> {
+    assert!(cores_per_node > 0, "cores_per_node must be positive");
+    assert!(max_nodes > 0, "max_nodes must be positive");
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let nodes = job.processors.div_ceil(cores_per_node).clamp(1, max_nodes);
+            let runtime = job.runtime_secs.unwrap_or(250.0);
+            JobRequest {
+                id: i as u64,
+                app: closest_app(runtime),
+                nodes,
+                submit_at: SimTime::from_secs(job.submit_secs),
+                scaling: ScalingMode::Reference,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; SWF sample - comment lines start with semicolons
+; Computer: test
+1 0 5 180 32 -1 -1 32 3600 -1 1 1 1 1 -1 -1 -1 -1
+2 60 0 350 64 -1 -1 64 3600 -1 1 1 1 1 -1 -1 -1 -1
+
+3 120 0 -1 32 -1 -1 32 3600 -1 0 1 1 1 -1 -1 -1 -1
+4 180 0 150 -1 -1 -1 128 3600 -1 1 1 1 1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_jobs_and_skips_comments_and_failures() {
+        let jobs = parse(SAMPLE).unwrap();
+        // job 3 has runtime -1 (failed) and is dropped
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].id, 1);
+        assert_eq!(jobs[0].submit_secs, 0);
+        assert_eq!(jobs[0].runtime_secs, Some(180.0));
+        assert_eq!(jobs[0].processors, 32);
+        // job 4 falls back to requested processors
+        assert_eq!(jobs[2].processors, 128);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = parse("1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("fields"));
+        let err = parse("x 0 0 100 4 -1 -1 4\n").unwrap_err();
+        assert!(err.message.contains("job number"));
+        assert!(err.to_string().contains("SWF line 1"));
+    }
+
+    #[test]
+    fn closest_app_matches_runtime() {
+        // amg is 180s, lbann 360s
+        assert_eq!(closest_app(175.0), AppId::Amg);
+        assert_eq!(closest_app(1000.0), AppId::Lbann);
+        assert_eq!(closest_app(145.0), AppId::Swfft);
+    }
+
+    #[test]
+    fn requests_map_processors_to_nodes() {
+        let jobs = parse(SAMPLE).unwrap();
+        let requests = to_requests(&jobs, 32, 16);
+        assert_eq!(requests.len(), 3);
+        assert_eq!(requests[0].nodes, 1); // 32 procs / 32 cores
+        assert_eq!(requests[1].nodes, 2); // 64 procs
+        assert_eq!(requests[2].nodes, 4); // 128 procs
+        assert_eq!(requests[0].app, AppId::Amg); // 180s
+        assert_eq!(requests[1].app, AppId::Lbann); // 350s -> closest 360
+        // dense renumbering
+        let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // submits preserved
+        assert_eq!(requests[1].submit_at, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn node_counts_clamp_to_machine() {
+        let jobs = vec![SwfJob {
+            id: 1,
+            submit_secs: 0,
+            runtime_secs: Some(200.0),
+            processors: 100_000,
+        }];
+        let requests = to_requests(&jobs, 32, 16);
+        assert_eq!(requests[0].nodes, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores_per_node")]
+    fn zero_cores_rejected() {
+        to_requests(&[], 0, 16);
+    }
+}

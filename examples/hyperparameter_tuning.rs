@@ -1,0 +1,39 @@
+//! Within-family hyperparameter tuning on campaign data: the step between
+//! the paper's family selection (Fig. 3) and its deployed AdaBoost model.
+//!
+//! Run with `cargo run --release --example hyperparameter_tuning`.
+
+use rush_repro::core::collect::run_campaign;
+use rush_repro::core::config::CampaignConfig;
+use rush_repro::core::labels::{build_dataset, LabelScheme, NodeScope};
+use rush_repro::ml::tune::{adaboost_grid, grid_search, knn_grid};
+
+fn main() {
+    let config = CampaignConfig {
+        days: 15,
+        storm_days: Some((9, 11)),
+        ..CampaignConfig::default()
+    };
+    println!("collecting a {}-day campaign...", config.days);
+    let campaign = run_campaign(&config);
+    let data = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::Binary);
+    println!(
+        "dataset: {} samples, {} with variation\n",
+        data.len(),
+        data.class_counts().get(1).copied().unwrap_or(0)
+    );
+
+    println!("AdaBoost grid (stratified 4-fold CV F1):");
+    let result = grid_search(&adaboost_grid(), &data, 4, 7);
+    for (label, f1) in &result.scores {
+        let marker = if *label == result.best_label { "  <-- best" } else { "" };
+        println!("  {label:36} {f1:.3}{marker}");
+    }
+
+    println!("\nKNN grid:");
+    let result = grid_search(&knn_grid(), &data, 4, 7);
+    for (label, f1) in &result.scores {
+        let marker = if *label == result.best_label { "  <-- best" } else { "" };
+        println!("  {label:36} {f1:.3}{marker}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the whole RUSH loop in one file.
+//!
+//! 1. Collect a small control-job campaign on a simulated cluster.
+//! 2. Train the variability classifier on it.
+//! 3. Run the same job queue under FCFS+EASY and under RUSH.
+//! 4. Compare variation counts and makespan.
+//!
+//! Run with `cargo run --release --example quickstart`. This uses a short
+//! campaign and queue so it finishes in seconds; the bench binaries run
+//! the paper-scale versions.
+
+use rush_repro::core::config::CampaignConfig;
+use rush_repro::core::experiments::{run_comparison, Experiment, ExperimentSettings};
+use rush_repro::core::collect::run_campaign;
+use rush_repro::ml::model::ModelKind;
+
+fn main() {
+    // 1. A 10-day campaign (the paper ran ~6 months; see `--days`).
+    let campaign_config = CampaignConfig {
+        days: 10,
+        storm_days: Some((6, 8)),
+        ..CampaignConfig::default()
+    };
+    println!("collecting a {}-day campaign...", campaign_config.days);
+    let campaign = run_campaign(&campaign_config);
+    println!("  {} control runs collected", campaign.runs.len());
+
+    for (app, (mean, std)) in campaign.runtime_stats() {
+        println!("  {app:8}  mean {mean:6.1}s  std {std:5.1}s");
+    }
+
+    // 2 + 3. Train AdaBoost and run the ADAA comparison (3 trials per
+    // policy here; the paper uses 5 with 190 jobs).
+    let settings = ExperimentSettings {
+        trials: 3,
+        base_seed: 0xE4,
+        job_count_override: Some(120),
+        model_kind: ModelKind::AdaBoost,
+        ..ExperimentSettings::default()
+    };
+    println!("\nrunning ADAA: 120 jobs x 3 trials, FCFS+EASY vs RUSH...");
+    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+
+    // 4. Report.
+    let (fcfs_var, rush_var) = comparison.mean_variation_runs();
+    let (fcfs_mk, rush_mk) = comparison.mean_makespan();
+    println!("\n              FCFS+EASY    RUSH");
+    println!("variation     {fcfs_var:9.1}    {rush_var:4.1}");
+    println!("makespan (s)  {fcfs_mk:9.0}    {rush_mk:4.0}");
+    let delays: u64 = comparison.rush.iter().map(|t| t.total_skips).sum();
+    println!("RUSH delays issued: {delays}");
+}

@@ -1,0 +1,61 @@
+//! Replaying a Standard Workload Format (SWF) trace through the scheduler:
+//! the route for driving RUSH with archived production workloads instead of
+//! the synthetic Table-II streams.
+//!
+//! Run with `cargo run --release --example trace_replay`.
+
+use rush_repro::cluster::machine::{Machine, MachineConfig};
+use rush_repro::cluster::topology::NodeId;
+use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
+use rush_repro::sched::predictor::{CongestionOracle, NeverVaries};
+use rush_repro::simkit::time::SimDuration;
+use rush_repro::workloads::swf;
+
+/// A hand-written SWF snippet (in practice: a file from the Parallel
+/// Workloads Archive).
+const TRACE: &str = "\
+; Sample trace: 12 jobs, 36-core nodes
+1  0    0 180 576  -1 -1 576  3600 -1 1 1 1 1 -1 -1 -1 -1
+2  30   0 350 576  -1 -1 576  3600 -1 1 1 1 1 -1 -1 -1 -1
+3  65   0 200 288  -1 -1 288  3600 -1 1 1 1 1 -1 -1 -1 -1
+4  90   0 320 1152 -1 -1 1152 3600 -1 1 1 1 1 -1 -1 -1 -1
+5  140  0 150 576  -1 -1 576  3600 -1 1 1 1 1 -1 -1 -1 -1
+6  220  0 240 288  -1 -1 288  3600 -1 1 1 1 1 -1 -1 -1 -1
+7  300  0 400 576  -1 -1 576  3600 -1 1 1 1 1 -1 -1 -1 -1
+8  360  0 -1  576  -1 -1 576  3600 -1 0 1 1 1 -1 -1 -1 -1
+9  420  0 210 1152 -1 -1 1152 3600 -1 1 1 1 1 -1 -1 -1 -1
+10 480  0 180 576  -1 -1 576  3600 -1 1 1 1 1 -1 -1 -1 -1
+11 540  0 300 288  -1 -1 288  3600 -1 1 1 1 1 -1 -1 -1 -1
+12 600  0 360 576  -1 -1 576  3600 -1 1 1 1 1 -1 -1 -1 -1
+";
+
+fn main() {
+    let jobs = swf::parse(TRACE).expect("valid trace");
+    println!("parsed {} usable jobs from the trace", jobs.len());
+    let requests = swf::to_requests(&jobs, 36, 480);
+    for r in requests.iter().take(4) {
+        println!("  job{}: {} on {} nodes at {}", r.id, r.app, r.nodes, r.submit_at);
+    }
+
+    for (label, rush) in [("FCFS+EASY", false), ("RUSH(oracle)", true)] {
+        let machine = Machine::new(MachineConfig::experiment_pod(5));
+        let noise: Vec<NodeId> = (480..512).map(NodeId).collect();
+        let config = SchedulerConfig {
+            sampling_interval: SimDuration::from_days(365),
+            ..SchedulerConfig::default()
+        };
+        let mut engine = if rush {
+            SchedulerEngine::new(machine, config, Box::new(CongestionOracle::default()), 9)
+        } else {
+            SchedulerEngine::new(machine, config, Box::new(NeverVaries), 9)
+        }
+        .with_noise_job(noise, 22.0);
+        let result = engine.run(&requests);
+        println!(
+            "{label:13} makespan {:6.0}s  mean wait {:5.1}s  delays {}",
+            result.makespan().as_secs_f64(),
+            result.mean_wait_secs(),
+            result.total_skips
+        );
+    }
+}

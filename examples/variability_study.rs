@@ -1,0 +1,71 @@
+//! A variability study: the data-analyst half of the paper.
+//!
+//! Collects a campaign, labels it, compares the four classifier families
+//! under leave-one-application-out cross-validation (Fig. 3), runs
+//! recursive feature elimination, and prints which counters carry the
+//! signal.
+//!
+//! Run with `cargo run --release --example variability_study`.
+
+use rush_repro::core::collect::run_campaign;
+use rush_repro::core::config::CampaignConfig;
+use rush_repro::core::labels::{build_dataset, LabelScheme, NodeScope};
+use rush_repro::ml::rfe::{rfe, RfeConfig};
+use rush_repro::ml::select::{compare_models, select_best};
+
+fn main() {
+    let config = CampaignConfig {
+        days: 20,
+        storm_days: Some((12, 15)),
+        ..CampaignConfig::default()
+    };
+    println!("collecting a {}-day campaign...", config.days);
+    let campaign = run_campaign(&config);
+
+    // Label and assemble the Table-I dataset under both aggregation scopes.
+    let all_scope = build_dataset(&campaign, NodeScope::AllNodes, LabelScheme::Binary);
+    let job_scope = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::Binary);
+    let positives = job_scope.class_counts()[1];
+    println!(
+        "dataset: {} samples x {} features, {:.1}% variation",
+        job_scope.len(),
+        job_scope.n_features(),
+        100.0 * positives as f64 / job_scope.len() as f64
+    );
+
+    // Fig. 3: model comparison on both scopes.
+    println!("\nmodel                 F1(all-nodes)  F1(job-nodes)");
+    let scores_all = compare_models(&all_scope, 7);
+    let scores_job = compare_models(&job_scope, 7);
+    for (a, j) in scores_all.iter().zip(&scores_job) {
+        println!(
+            "{:20}  {:13.3}  {:13.3}",
+            a.kind.name(),
+            a.mean_f1(),
+            j.mean_f1()
+        );
+    }
+    let best = select_best(&scores_job);
+    println!("selected family: {best}");
+
+    // Feature selection: which of the 282 features carry the signal?
+    println!("\nrunning recursive feature elimination...");
+    let result = rfe(
+        best,
+        &job_scope,
+        &RfeConfig {
+            min_features: 8,
+            ..RfeConfig::default()
+        },
+    );
+    println!(
+        "best F1 {:.3} with {} of {} features",
+        result.best_f1,
+        result.kept.len(),
+        job_scope.n_features()
+    );
+    println!("top surviving features:");
+    for &idx in result.kept.iter().take(12) {
+        println!("  {}", job_scope.feature_names[idx]);
+    }
+}

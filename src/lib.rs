@@ -1,0 +1,17 @@
+//! # rush-repro
+//!
+//! Umbrella crate for the reproduction of *Resource Utilization Aware Job
+//! Scheduling to Mitigate Performance Variability* (IPDPS 2022). It
+//! re-exports the workspace crates under one roof so examples and
+//! integration tests can `use rush_repro::...` without naming each member
+//! crate, and so downstream users get a single dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use rush_cluster as cluster;
+pub use rush_core as core;
+pub use rush_ml as ml;
+pub use rush_sched as sched;
+pub use rush_simkit as simkit;
+pub use rush_telemetry as telemetry;
+pub use rush_workloads as workloads;

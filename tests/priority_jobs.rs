@@ -1,0 +1,80 @@
+//! The paper's per-job extension: "This parameter could be extended to be
+//! per-job and used to enforce priorities or even ignore the scheduling
+//! delay entirely for certain jobs" (Section IV-B). Jobs carry their own
+//! `skip_threshold`; a zero threshold means RUSH never delays them.
+
+use rush_repro::cluster::machine::{Machine, MachineConfig};
+use rush_repro::cluster::topology::NodeId;
+use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
+use rush_repro::sched::job::Job;
+use rush_repro::sched::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
+use rush_repro::simkit::time::SimTime;
+use rush_repro::workloads::apps::AppId;
+use rush_repro::workloads::jobgen::JobRequest;
+use rush_repro::workloads::scaling::ScalingMode;
+
+struct AlwaysVaries;
+impl VariabilityPredictor for AlwaysVaries {
+    fn predict(
+        &mut self,
+        _job: &Job,
+        _nodes: &[NodeId],
+        _ctx: &mut PredictorCtx<'_>,
+    ) -> VariabilityClass {
+        VariabilityClass::Variation
+    }
+    fn name(&self) -> &str {
+        "always-varies"
+    }
+}
+
+fn requests(n: u64) -> Vec<JobRequest> {
+    (0..n)
+        .map(|i| JobRequest {
+            id: i,
+            app: AppId::Amg,
+            nodes: 4,
+            submit_at: SimTime::from_secs(i),
+            scaling: ScalingMode::Reference,
+        })
+        .collect()
+}
+
+#[test]
+fn zero_threshold_jobs_are_never_delayed() {
+    // Engine-wide threshold 0: Algorithm 2's `SkipTable[j] <
+    // j.skip_threshold` is false immediately, so even an always-varies
+    // predictor cannot delay anything — RUSH degrades to the baseline.
+    let machine = Machine::new(MachineConfig::tiny(3));
+    let config = SchedulerConfig {
+        skip_threshold: 0,
+        ..SchedulerConfig::default()
+    };
+    let mut engine = SchedulerEngine::new(machine, config, Box::new(AlwaysVaries), 1);
+    let result = engine.run(&requests(4));
+    assert_eq!(result.total_skips, 0);
+    assert!(result.completed.iter().all(|c| c.skips == 0));
+}
+
+#[test]
+fn priority_jobs_overtake_delayed_ones() {
+    // With a positive threshold and an always-varies predictor, every job
+    // gets delayed up to its threshold — and high-threshold jobs wait
+    // longer than they would under the baseline.
+    let run_with_threshold = |threshold: u32| {
+        let machine = Machine::new(MachineConfig::tiny(3));
+        let config = SchedulerConfig {
+            skip_threshold: threshold,
+            ..SchedulerConfig::default()
+        };
+        let mut engine = SchedulerEngine::new(machine, config, Box::new(AlwaysVaries), 1);
+        engine.run(&requests(4))
+    };
+    let eager = run_with_threshold(0);
+    let delayed = run_with_threshold(6);
+    let first_start = |r: &rush_repro::sched::engine::ScheduleResult| {
+        r.completed.iter().map(|c| c.start_at).min().unwrap()
+    };
+    assert!(first_start(&delayed) > first_start(&eager));
+    assert!(delayed.completed.iter().all(|c| c.skips == 6));
+}

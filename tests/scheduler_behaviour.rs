@@ -1,0 +1,115 @@
+//! Cross-crate scheduler behaviour: RUSH with an oracle predictor against
+//! the FCFS+EASY baseline on identical machines — the Algorithm-1/2
+//! semantics without ML noise in the loop.
+
+use rush_repro::cluster::machine::{Machine, MachineConfig};
+use rush_repro::cluster::topology::NodeId;
+use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
+use rush_repro::sched::metrics::{RuntimeReference, ScheduleMetrics};
+use rush_repro::sched::predictor::{CongestionOracle, NeverVaries, VariabilityPredictor};
+use rush_repro::simkit::time::{SimDuration, SimTime};
+use rush_repro::workloads::apps::AppId;
+use rush_repro::workloads::jobgen::{generate_jobs, WorkloadSpec};
+use rand::SeedableRng;
+
+fn experiment_run(
+    predictor: Box<dyn VariabilityPredictor>,
+    machine_seed: u64,
+    jobs: usize,
+) -> rush_repro::sched::engine::ScheduleResult {
+    let machine = Machine::new(MachineConfig::experiment_pod(machine_seed));
+    let noise: Vec<NodeId> = (480..512).map(NodeId).collect();
+    let mut engine = SchedulerEngine::new(
+        machine,
+        SchedulerConfig {
+            sampling_interval: SimDuration::from_days(365),
+            ..SchedulerConfig::default()
+        },
+        predictor,
+        77,
+    )
+    .with_noise_job(noise, 22.0);
+
+    let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), jobs);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(machine_seed);
+    let requests = generate_jobs(&spec, &mut rng);
+    engine.run(&requests)
+}
+
+#[test]
+fn both_policies_complete_the_same_workload() {
+    let baseline = experiment_run(Box::new(NeverVaries), 5, 40);
+    let rush = experiment_run(Box::new(CongestionOracle::default()), 5, 40);
+    assert_eq!(baseline.completed.len(), 40);
+    assert_eq!(rush.completed.len(), 40);
+    assert_eq!(baseline.total_skips, 0);
+    // The same job ids complete under both.
+    let ids = |r: &rush_repro::sched::engine::ScheduleResult| {
+        let mut v: Vec<u64> = r.completed.iter().map(|c| c.job.id.0).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids(&baseline), ids(&rush));
+}
+
+#[test]
+fn oracle_rush_does_not_explode_wait_or_makespan() {
+    let baseline = experiment_run(Box::new(NeverVaries), 9, 40);
+    let rush = experiment_run(Box::new(CongestionOracle::default()), 9, 40);
+    let b = baseline.makespan().as_secs_f64();
+    let r = rush.makespan().as_secs_f64();
+    assert!(
+        r < b * 1.25,
+        "RUSH makespan {r} should stay near baseline {b}"
+    );
+    assert!(
+        rush.mean_wait_secs() < baseline.mean_wait_secs() + 300.0,
+        "mean wait should shift by far less than the paper's minute bound at this scale"
+    );
+}
+
+#[test]
+fn variation_accounting_is_consistent_between_policies() {
+    let reference = RuntimeReference::from_nominal(0.05);
+    let baseline = experiment_run(Box::new(NeverVaries), 13, 30);
+    let rush = experiment_run(Box::new(CongestionOracle::default()), 13, 30);
+    let mb = ScheduleMetrics::compute(&baseline.completed, &reference, SimTime::ZERO);
+    let mr = ScheduleMetrics::compute(&rush.completed, &reference, SimTime::ZERO);
+    // Same apps appear in both reports.
+    let apps = |m: &ScheduleMetrics| {
+        let mut v: Vec<&str> = m.per_app.iter().map(|a| a.app.name()).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(apps(&mb), apps(&mr));
+    // Counts are bounded by the number of runs.
+    for m in [&mb, &mr] {
+        for app in &m.per_app {
+            assert!(app.variation_runs <= app.count);
+        }
+    }
+}
+
+#[test]
+fn skips_recorded_on_completed_jobs_respect_threshold() {
+    struct AlwaysVaries;
+    impl VariabilityPredictor for AlwaysVaries {
+        fn predict(
+            &mut self,
+            _job: &rush_repro::sched::job::Job,
+            _nodes: &[NodeId],
+            _ctx: &mut rush_repro::sched::predictor::PredictorCtx<'_>,
+        ) -> rush_repro::sched::predictor::VariabilityClass {
+            rush_repro::sched::predictor::VariabilityClass::Variation
+        }
+        fn name(&self) -> &str {
+            "always"
+        }
+    }
+    let result = experiment_run(Box::new(AlwaysVaries), 21, 12);
+    assert_eq!(result.completed.len(), 12, "starvation bound must hold");
+    for job in &result.completed {
+        assert!(job.skips <= 10, "job skipped {} > threshold", job.skips);
+        assert!(job.skips > 0, "the always-varies predictor skips everyone");
+    }
+}

@@ -1,0 +1,84 @@
+//! Trace recording across a real engine run: the event log must be
+//! consistent with the completed-job records.
+
+use rush_repro::cluster::machine::{Machine, MachineConfig};
+use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
+use rush_repro::sched::predictor::{NeverVaries, Scripted, VariabilityClass};
+use rush_repro::sched::trace::{gantt, TraceEvent};
+use rush_repro::simkit::time::SimTime;
+use rush_repro::workloads::apps::AppId;
+use rush_repro::workloads::jobgen::JobRequest;
+use rush_repro::workloads::scaling::ScalingMode;
+
+fn requests(n: u64) -> Vec<JobRequest> {
+    (0..n)
+        .map(|i| JobRequest {
+            id: i,
+            app: AppId::ALL[(i % 7) as usize],
+            nodes: 4,
+            submit_at: SimTime::from_secs(i * 5),
+            scaling: ScalingMode::Reference,
+        })
+        .collect()
+}
+
+#[test]
+fn trace_is_consistent_with_completions() {
+    let machine = Machine::new(MachineConfig::tiny(19));
+    let mut engine = SchedulerEngine::new(
+        machine,
+        SchedulerConfig::default(),
+        Box::new(NeverVaries),
+        4,
+    );
+    let result = engine.run(&requests(8));
+
+    // Every job has exactly one submit, one start, one finish, in order.
+    for c in &result.completed {
+        let events = result.trace.events_of(c.job.id);
+        let labels: Vec<&str> = events.iter().map(|(_, e)| e.label()).collect();
+        assert_eq!(labels, vec!["submit", "start", "finish"], "{}", c.job.id);
+        assert_eq!(events[0].0, c.job.submit_at);
+        assert_eq!(events[1].0, c.start_at);
+        assert_eq!(events[2].0, c.end_at);
+    }
+    assert_eq!(result.trace.delay_count(), 0);
+
+    // The busy-node series peaks at the expected concurrency.
+    let peak = result
+        .trace
+        .busy_nodes_series()
+        .aggregate(SimTime::ZERO, result.last_end)
+        .max;
+    assert!(peak > 0.0 && peak <= 16.0, "peak busy {peak}");
+
+    // The gantt renders a row per job plus a header.
+    let chart = gantt(&result.completed, 60, 100);
+    assert_eq!(chart.lines().count(), 9);
+}
+
+#[test]
+fn delays_appear_in_the_trace() {
+    let machine = Machine::new(MachineConfig::tiny(23));
+    let script = Scripted::new(vec![
+        VariabilityClass::Variation,
+        VariabilityClass::Variation,
+    ]);
+    let mut engine =
+        SchedulerEngine::new(machine, SchedulerConfig::default(), Box::new(script), 4);
+    let result = engine.run(&requests(3));
+    assert_eq!(result.trace.delay_count() as u64, result.total_skips);
+    assert!(result.total_skips >= 1);
+    // Skip counts in delay events increase per job.
+    let delayed_job = result
+        .trace
+        .events()
+        .iter()
+        .find_map(|(_, e)| match e {
+            TraceEvent::Delayed(j, 1) => Some(*j),
+            _ => None,
+        })
+        .expect("a first delay exists");
+    let of_job = result.trace.events_of(delayed_job);
+    assert!(of_job.iter().any(|(_, e)| e.label() == "start"));
+}

@@ -1,0 +1,71 @@
+//! The headline behaviour as a regression test: with an oracle predictor
+//! (upper bound on the ML model) on the experiment pod, RUSH produces
+//! fewer variation runs than FCFS+EASY on the same machine trajectory.
+//!
+//! Seeds are pinned; the assertion is on the *paired sum* over three
+//! seeds, which is stable where single trials are noisy.
+
+use rush_repro::cluster::machine::{Machine, MachineConfig};
+use rush_repro::cluster::topology::NodeId;
+use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
+use rush_repro::sched::metrics::{RuntimeReference, ScheduleMetrics};
+use rush_repro::sched::predictor::{CongestionOracle, NeverVaries, VariabilityPredictor};
+use rush_repro::simkit::time::{SimDuration, SimTime};
+use rush_repro::workloads::apps::AppId;
+use rush_repro::workloads::jobgen::{generate_jobs, WorkloadSpec};
+use rand::SeedableRng;
+
+fn run(seed: u64, rush: bool) -> ScheduleMetrics {
+    let machine = Machine::new(MachineConfig::experiment_pod(seed));
+    let noise: Vec<NodeId> = (480..512).map(NodeId).collect();
+    let predictor: Box<dyn VariabilityPredictor> = if rush {
+        Box::new(CongestionOracle {
+            variation_threshold: 0.6,
+            little_threshold: 0.45,
+        })
+    } else {
+        Box::new(NeverVaries)
+    };
+    let mut engine = SchedulerEngine::new(
+        machine,
+        SchedulerConfig {
+            sampling_interval: SimDuration::from_days(365),
+            ..SchedulerConfig::default()
+        },
+        predictor,
+        seed,
+    )
+    .with_noise_job(noise, 22.0);
+
+    let spec = WorkloadSpec::standard(AppId::ALL.to_vec(), 90);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let requests = generate_jobs(&spec, &mut rng);
+    let result = engine.run(&requests);
+    // Nominal-based reference with the typical campaign-scale spread.
+    let reference = RuntimeReference::from_nominal(0.08);
+    ScheduleMetrics::compute(&result.completed, &reference, SimTime::ZERO)
+}
+
+#[test]
+fn oracle_rush_reduces_variation_over_paired_seeds() {
+    let seeds = [11u64, 12, 13];
+    let fcfs: usize = seeds.iter().map(|&s| run(s, false).total_variation_runs).sum();
+    let rush: usize = seeds.iter().map(|&s| run(s, true).total_variation_runs).sum();
+    assert!(
+        rush < fcfs,
+        "oracle RUSH must reduce variation: fcfs {fcfs}, rush {rush}"
+    );
+    // And not degenerately: most of the workload still completes on time.
+    assert!(fcfs > 0, "baseline should see some variation with the noise job");
+}
+
+#[test]
+fn oracle_rush_keeps_makespan_comparable() {
+    let seeds = [11u64, 12, 13];
+    let fcfs: f64 = seeds.iter().map(|&s| run(s, false).makespan_secs).sum();
+    let rush: f64 = seeds.iter().map(|&s| run(s, true).makespan_secs).sum();
+    assert!(
+        rush < fcfs * 1.15,
+        "RUSH makespan {rush} should stay within 15% of baseline {fcfs}"
+    );
+}
