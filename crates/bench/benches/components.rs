@@ -59,7 +59,9 @@ fn training_dataset(n: usize) -> Dataset {
     for i in 0..n {
         let label = u32::from(i % 7 == 0);
         let row: Vec<f64> = (0..40)
-            .map(|j| ((i * 31 + j * 17) % 101) as f64 / 101.0 + label as f64 * (j == 3) as u64 as f64)
+            .map(|j| {
+                ((i * 31 + j * 17) % 101) as f64 / 101.0 + label as f64 * (j == 3) as u64 as f64
+            })
             .collect();
         d.push(row, label, (i % 7) as u32);
     }

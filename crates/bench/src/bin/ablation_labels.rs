@@ -7,7 +7,9 @@
 //! costing less makespan/wait.
 
 use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentComparison, ExperimentSettings};
+use rush_core::experiments::{
+    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
+};
 use rush_core::labels::LabelScheme;
 use rush_core::report::{fmt, TextTable};
 

@@ -7,7 +7,9 @@
 //! the modification is policy-agnostic.
 
 use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentComparison, ExperimentSettings};
+use rush_core::experiments::{
+    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
+};
 use rush_core::report::{fmt, TextTable};
 use rush_sched::policy::QueueOrder;
 

@@ -6,7 +6,9 @@
 //! (episodes end before the budget does) without runaway wait times.
 
 use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentComparison, ExperimentSettings};
+use rush_core::experiments::{
+    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
+};
 use rush_core::report::{fmt, TextTable};
 
 fn main() {
@@ -32,10 +34,8 @@ fn main() {
         let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
         let (_, var) = comparison.mean_variation_runs();
         let (_, mk) = comparison.mean_makespan();
-        let wait =
-            ExperimentComparison::mean_of(&comparison.rush, |t| t.metrics.mean_wait_secs);
-        let delays =
-            ExperimentComparison::mean_of(&comparison.rush, |t| t.total_skips as f64);
+        let wait = ExperimentComparison::mean_of(&comparison.rush, |t| t.metrics.mean_wait_secs);
+        let delays = ExperimentComparison::mean_of(&comparison.rush, |t| t.total_skips as f64);
         table.row([
             threshold.to_string(),
             fmt(var, 1),

@@ -35,9 +35,18 @@ data contracts verified against the code:
     );
     println!("  counters per node:            {counters} (sysclassib 22 + opa_info 34 + lustre_client 34)");
     println!("  features in the model input:  {} (Table I)", schema.len());
-    println!("  counter aggregates:           {:?}", rush_telemetry::schema::AGG_PREFIXES);
-    println!("  probe features:               {:?}", rush_telemetry::schema::MPI_BENCH_NAMES);
-    println!("  intensity one-hots:           {:?}", rush_telemetry::schema::INTENSITY_NAMES);
+    println!(
+        "  counter aggregates:           {:?}",
+        rush_telemetry::schema::AGG_PREFIXES
+    );
+    println!(
+        "  probe features:               {:?}",
+        rush_telemetry::schema::MPI_BENCH_NAMES
+    );
+    println!(
+        "  intensity one-hots:           {:?}",
+        rush_telemetry::schema::INTENSITY_NAMES
+    );
     assert_eq!(counters, 90);
     assert_eq!(schema.len(), 282);
     println!("\nall shapes match the paper.");

@@ -20,7 +20,13 @@ fn main() {
         campaign.config.days
     );
 
-    let mut table = TextTable::new(["model", "f1_all_nodes", "f1_job_nodes", "acc_all", "acc_job"]);
+    let mut table = TextTable::new([
+        "model",
+        "f1_all_nodes",
+        "f1_job_nodes",
+        "acc_all",
+        "acc_job",
+    ]);
     let all = build_dataset(&campaign, NodeScope::AllNodes, LabelScheme::Binary);
     let job = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::Binary);
     let positives = job.class_counts().get(1).copied().unwrap_or(0);

@@ -31,10 +31,22 @@ fn main() {
     println!("csv:\n{}", table.to_csv());
 
     let (f, r) = comparison.mean_variation_runs();
-    println!("total variation runs: FCFS+EASY {} -> RUSH {}", fmt(f, 1), fmt(r, 1));
-    let skips: f64 = comparison.rush.iter().map(|t| t.total_skips as f64).sum::<f64>()
+    println!(
+        "total variation runs: FCFS+EASY {} -> RUSH {}",
+        fmt(f, 1),
+        fmt(r, 1)
+    );
+    let skips: f64 = comparison
+        .rush
+        .iter()
+        .map(|t| t.total_skips as f64)
+        .sum::<f64>()
         / comparison.rush.len() as f64;
     println!("mean RUSH delays per trial: {}", fmt(skips, 1));
     let (fm, rm) = comparison.mean_makespan();
-    println!("mean makespan: FCFS+EASY {}s -> RUSH {}s", fmt(fm, 0), fmt(rm, 0));
+    println!(
+        "mean makespan: FCFS+EASY {}s -> RUSH {}s",
+        fmt(fm, 0),
+        fmt(rm, 0)
+    );
 }

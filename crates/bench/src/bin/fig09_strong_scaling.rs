@@ -23,5 +23,9 @@ fn main() {
     println!("{}", table.render());
     println!("csv:\n{}", table.to_csv());
     let (f, r) = comparison.mean_variation_runs();
-    println!("total variation runs: FCFS+EASY {} -> RUSH {}", fmt(f, 1), fmt(r, 1));
+    println!(
+        "total variation runs: FCFS+EASY {} -> RUSH {}",
+        fmt(f, 1),
+        fmt(r, 1)
+    );
 }

@@ -18,7 +18,13 @@ fn main() {
     };
 
     println!("# Fig. 10 — mean makespan per experiment (seconds)\n");
-    let mut table = TextTable::new(["experiment", "fcfs_easy_s", "rush_s", "delta_s", "delta_pct"]);
+    let mut table = TextTable::new([
+        "experiment",
+        "fcfs_easy_s",
+        "rush_s",
+        "delta_s",
+        "delta_pct",
+    ]);
     for exp in Experiment::ALL {
         eprintln!("[fig10] running {exp}...");
         let comparison = run_comparison(exp, &campaign, &settings);

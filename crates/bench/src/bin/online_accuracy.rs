@@ -25,7 +25,12 @@ fn main() {
 
     println!("# Online decision quality of the deployed model (ADAA, RUSH trials)\n");
     let mut table = TextTable::new([
-        "trial", "decisions", "precision", "recall", "f1", "accuracy",
+        "trial",
+        "decisions",
+        "precision",
+        "recall",
+        "f1",
+        "accuracy",
     ]);
     let mut all_completed = Vec::new();
     for trial in 0..settings.trials {

@@ -28,8 +28,18 @@ fn main() {
             },
         ]);
     }
-    table.row(["mpi_benchmarks".into(), "3".into(), "9".into(), "ring/AllReduce wait times".to_string()]);
-    table.row(["proxy_applications".into(), "-".into(), "3".into(), "compute/network/io one-hot".to_string()]);
+    table.row([
+        "mpi_benchmarks".into(),
+        "3".into(),
+        "9".into(),
+        "ring/AllReduce wait times".to_string(),
+    ]);
+    table.row([
+        "proxy_applications".into(),
+        "-".into(),
+        "3".into(),
+        "compute/network/io one-hot".to_string(),
+    ]);
     println!("{}", table.render());
 
     let schema = FeatureSchema::table_one();

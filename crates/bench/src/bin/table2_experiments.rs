@@ -17,11 +17,7 @@ fn main() {
         let apps: Vec<&str> = exp.run_apps().iter().map(|a| a.name()).collect();
         let train = match exp.train_apps() {
             None => "all applications".to_string(),
-            Some(apps) => apps
-                .iter()
-                .map(|a| a.name())
-                .collect::<Vec<_>>()
-                .join("+"),
+            Some(apps) => apps.iter().map(|a| a.name()).collect::<Vec<_>>().join("+"),
         };
         let nodes: Vec<String> = exp.node_counts().iter().map(|n| n.to_string()).collect();
         table.row([

@@ -103,7 +103,9 @@ mod tests {
 
     #[test]
     fn explicit_values() {
-        let a = parse(&["--days", "10", "--trials", "2", "--jobs", "50", "--seed", "9"]);
+        let a = parse(&[
+            "--days", "10", "--trials", "2", "--jobs", "50", "--seed", "9",
+        ]);
         assert_eq!(a.days, 10);
         assert_eq!(a.trials, 2);
         assert_eq!(a.jobs, Some(50));

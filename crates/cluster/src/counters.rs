@@ -153,12 +153,22 @@ pub static SYSCLASSIB: [CounterSpec; 22] = [
     c("symbol_error", Basis::ErrorEvents, 0.5, 0.5),
     c("link_error_recovery", Basis::ErrorEvents, 0.1, 0.5),
     c("link_downed", Basis::ErrorEvents, 0.01, 0.5),
-    c("port_rcv_remote_physical_errors", Basis::ErrorEvents, 0.2, 0.5),
+    c(
+        "port_rcv_remote_physical_errors",
+        Basis::ErrorEvents,
+        0.2,
+        0.5,
+    ),
     c("port_rcv_switch_relay_errors", Basis::ErrorEvents, 0.3, 0.5),
     c("port_rcv_constraint_errors", Basis::ErrorEvents, 0.05, 0.5),
     c("port_xmit_constraint_errors", Basis::ErrorEvents, 0.05, 0.5),
     c("local_link_integrity_errors", Basis::ErrorEvents, 0.02, 0.5),
-    c("excessive_buffer_overrun_errors", Basis::ErrorEvents, 0.8, 0.45),
+    c(
+        "excessive_buffer_overrun_errors",
+        Basis::ErrorEvents,
+        0.8,
+        0.45,
+    ),
     c("vl15_dropped", Basis::ErrorEvents, 0.3, 0.5),
     c("link_rate", Basis::Constant, 100.0, 0.0),
 ];
@@ -172,7 +182,12 @@ pub static OPA_INFO: [CounterSpec; 34] = [
     c("opa_mcast_xmit_pkts", Basis::XmitPkts, 0.015, 0.3),
     c("opa_mcast_rcv_pkts", Basis::RcvPkts, 0.015, 0.3),
     c("opa_xmit_wait", Basis::CongestionWait, 8.0e5, 0.12),
-    c("opa_congestion_discards", Basis::CongestionNotif, 2.0e3, 0.2),
+    c(
+        "opa_congestion_discards",
+        Basis::CongestionNotif,
+        2.0e3,
+        0.2,
+    ),
     c("opa_rcv_fecn", Basis::CongestionNotif, 5.0e3, 0.2),
     c("opa_rcv_becn", Basis::CongestionNotif, 3.0e3, 0.2),
     c("opa_mark_fecn", Basis::CongestionNotif, 2.5e3, 0.2),
@@ -190,7 +205,12 @@ pub static OPA_INFO: [CounterSpec; 34] = [
     c("opa_xmit_discards", Basis::ErrorEvents, 3.0, 0.4),
     c("opa_xmit_constraint_errors", Basis::ErrorEvents, 0.05, 0.5),
     c("opa_local_link_integrity", Basis::ErrorEvents, 0.02, 0.5),
-    c("opa_excessive_buffer_overrun", Basis::ErrorEvents, 0.6, 0.45),
+    c(
+        "opa_excessive_buffer_overrun",
+        Basis::ErrorEvents,
+        0.6,
+        0.45,
+    ),
     c("opa_fm_config_errors", Basis::ErrorEvents, 0.01, 0.5),
     c("opa_uncorrectable_errors", Basis::ErrorEvents, 0.005, 0.5),
     c("opa_sw_portion_bw", Basis::XmitBytes, 0.5e9, 0.1),
@@ -418,7 +438,10 @@ mod tests {
             .collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         assert!((mean - 10.0).abs() < 0.5, "noisy mean {mean} should be ~10");
-        assert!(vals.iter().any(|&v| (v - 10.0).abs() > 0.1), "noise should vary");
+        assert!(
+            vals.iter().any(|&v| (v - 10.0).abs() > 0.1),
+            "noise should vary"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod noise;
 pub mod placement;
 pub mod topology;
 
-pub use machine::{Machine, MachineConfig, SourceId, WorkloadIntensity};
+pub use machine::{Machine, MachineConfig, NodeHealth, SourceId, WorkloadIntensity};
 pub use network::{NetworkState, TrafficPattern, TrafficSource};
 pub use placement::{NodePool, PlacementPolicy};
 pub use topology::{FatTree, FatTreeConfig, LinkId, NodeId, SwitchId};

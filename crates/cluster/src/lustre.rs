@@ -357,8 +357,22 @@ mod tests {
     fn ost_demand_sums_to_total() {
         let mut fs = fs();
         fs.set_background_gbps(10.0);
-        fs.add_demand(1, IoDemand { read_gbps: 20.0, write_gbps: 0.0, metadata_kops: 0.0 });
-        fs.add_demand(2, IoDemand { read_gbps: 0.0, write_gbps: 15.0, metadata_kops: 0.0 });
+        fs.add_demand(
+            1,
+            IoDemand {
+                read_gbps: 20.0,
+                write_gbps: 0.0,
+                metadata_kops: 0.0,
+            },
+        );
+        fs.add_demand(
+            2,
+            IoDemand {
+                read_gbps: 0.0,
+                write_gbps: 15.0,
+                metadata_kops: 0.0,
+            },
+        );
         let per_ost: f64 = (0..10).map(|o| fs.ost_demand_gbps(o)).sum();
         assert!((per_ost - fs.total_demand_gbps()).abs() < 1e-9);
     }
@@ -368,7 +382,14 @@ mod tests {
         let mut fs = fs();
         // One narrow stream hammering its 2 stripes: global 40/100 = 0.4,
         // but each of its OSTs carries 20 GB/s against 10 GB/s capacity.
-        fs.add_demand(7, IoDemand { read_gbps: 40.0, write_gbps: 0.0, metadata_kops: 0.0 });
+        fs.add_demand(
+            7,
+            IoDemand {
+                read_gbps: 40.0,
+                write_gbps: 0.0,
+                metadata_kops: 0.0,
+            },
+        );
         assert!((fs.saturation() - 0.4).abs() < 1e-12);
         assert!((fs.max_ost_saturation() - 2.0).abs() < 1e-12);
         // The stream itself is throttled by its own hotspot.
@@ -378,7 +399,14 @@ mod tests {
         let cold_id = (0..100u64)
             .find(|&id| fs.stripe_osts(id).iter().all(|o| !hot.contains(o)))
             .expect("some disjoint stripe exists");
-        fs.add_demand(cold_id, IoDemand { read_gbps: 1.0, write_gbps: 0.0, metadata_kops: 0.0 });
+        fs.add_demand(
+            cold_id,
+            IoDemand {
+                read_gbps: 1.0,
+                write_gbps: 0.0,
+                metadata_kops: 0.0,
+            },
+        );
         assert_eq!(fs.stream_delivered_fraction(cold_id), 1.0);
     }
 

@@ -172,6 +172,19 @@ impl MachineConfig {
     }
 }
 
+/// Health of one compute node, as the resource manager sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// In service.
+    #[default]
+    Up,
+    /// Crashed: no job runs on it, no counters come from it.
+    Down,
+    /// Repaired but on probation: monitored again, still quarantined from
+    /// placement until the probation ends.
+    Suspect,
+}
+
 /// A registered per-job load.
 #[derive(Debug, Clone)]
 struct RegisteredLoad {
@@ -212,6 +225,7 @@ pub struct Machine {
     regime: RegimeProcess,
     noise_job: Option<NoiseJob>,
     loads: HashMap<SourceId, RegisteredLoad>,
+    health: Vec<NodeHealth>,
     os_noise: OsNoise,
     rng_regime: SmallRng,
     rng_noise_job: SmallRng,
@@ -226,6 +240,7 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         let streams = RngStreams::new(config.seed);
         let tree = FatTree::new(config.tree);
+        let tree_nodes = tree.node_count();
         let fs = LustreState::new(config.lustre);
         let os_noise = OsNoise::new(config.os_noise_sigma, config.os_noise_cap);
         let mut rng_regime = streams.stream("machine/regime");
@@ -240,6 +255,7 @@ impl Machine {
             regime,
             noise_job: None,
             loads: HashMap::new(),
+            health: vec![NodeHealth::Up; tree_nodes as usize],
             rng_regime,
             rng_noise_job: streams.stream("machine/noise-job"),
             rng_counters: streams.stream("machine/counters"),
@@ -322,11 +338,9 @@ impl Machine {
             self.last_noise_update = step_at;
         }
         // Push regime backgrounds into network and filesystem.
-        self.net
-            .set_background_util(self.regime.network_util(t));
-        self.fs.set_background_gbps(
-            self.regime.fs_fraction(t) * self.fs.config().aggregate_gbps,
-        );
+        self.net.set_background_util(self.regime.network_util(t));
+        self.fs
+            .set_background_gbps(self.regime.fs_fraction(t) * self.fs.config().aggregate_gbps);
         self.now = t;
     }
 
@@ -443,6 +457,36 @@ impl Machine {
     pub fn background_util(&self) -> f64 {
         self.net.background_util()
     }
+
+    /// Health of one node.
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.health[node.0 as usize]
+    }
+
+    /// Marks a node crashed. Loads registered across it keep flowing until
+    /// their jobs are killed and removed — the driver owns that cleanup.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.health[node.0 as usize] = NodeHealth::Down;
+    }
+
+    /// Marks a repaired node `Suspect`: it reports counters again but the
+    /// driver should keep it out of placement until [`Machine::trust_node`].
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.health[node.0 as usize] = NodeHealth::Suspect;
+    }
+
+    /// Returns a node to full service after its probation.
+    pub fn trust_node(&mut self, node: NodeId) {
+        self.health[node.0 as usize] = NodeHealth::Up;
+    }
+
+    /// Number of nodes currently crashed.
+    pub fn down_node_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| **h == NodeHealth::Down)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -544,7 +588,11 @@ mod tests {
     #[test]
     fn observation_reflects_registered_io() {
         let mut m = Machine::new(MachineConfig::tiny(5));
-        m.register_load(SourceId(1), nodes(0..4), WorkloadIntensity::new(0.0, 0.0, 1.0));
+        m.register_load(
+            SourceId(1),
+            nodes(0..4),
+            WorkloadIntensity::new(0.0, 0.0, 1.0),
+        );
         let on_job = m.observe(NodeId(0));
         let off_job = m.observe(NodeId(9));
         assert!(on_job.read_gbps > 0.0);
@@ -564,9 +612,18 @@ mod tests {
 
     #[test]
     fn one_hot_picks_dominant_axis() {
-        assert_eq!(WorkloadIntensity::new(0.9, 0.2, 0.1).one_hot(), [1.0, 0.0, 0.0]);
-        assert_eq!(WorkloadIntensity::new(0.1, 0.8, 0.2).one_hot(), [0.0, 1.0, 0.0]);
-        assert_eq!(WorkloadIntensity::new(0.1, 0.2, 0.9).one_hot(), [0.0, 0.0, 1.0]);
+        assert_eq!(
+            WorkloadIntensity::new(0.9, 0.2, 0.1).one_hot(),
+            [1.0, 0.0, 0.0]
+        );
+        assert_eq!(
+            WorkloadIntensity::new(0.1, 0.8, 0.2).one_hot(),
+            [0.0, 1.0, 0.0]
+        );
+        assert_eq!(
+            WorkloadIntensity::new(0.1, 0.2, 0.9).one_hot(),
+            [0.0, 0.0, 1.0]
+        );
     }
 
     #[test]

@@ -387,7 +387,10 @@ mod tests {
             }
             prev = cur;
         }
-        assert!(transitions <= 3, "10 minutes of 1s steps: {transitions} transitions");
+        assert!(
+            transitions <= 3,
+            "10 minutes of 1s steps: {transitions} transitions"
+        );
     }
 
     #[test]
@@ -397,7 +400,11 @@ mod tests {
         for _ in 0..10_000 {
             let l = w.step(&mut r);
             assert!((0.05..=1.0).contains(&l), "level {l} out of bounds");
-            assert!((0.05..=0.4).contains(&w.base()), "base {} out of bounds", w.base());
+            assert!(
+                (0.05..=0.4).contains(&w.base()),
+                "base {} out of bounds",
+                w.base()
+            );
         }
     }
 

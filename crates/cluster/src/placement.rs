@@ -6,6 +6,11 @@
 //! lowest-id-first policy (which yields contiguous, locality-friendly
 //! allocations like Flux's default) and a random policy for contrast
 //! experiments.
+//!
+//! The pool also carries the fault-injection quarantine list: a node marked
+//! down ([`NodePool::mark_down`]) is excluded from every allocation until
+//! [`NodePool::mark_up`] readmits it, whether it was free or mid-job when
+//! it failed.
 
 use crate::topology::NodeId;
 use rand::rngs::SmallRng;
@@ -29,10 +34,22 @@ pub enum PlacementPolicy {
     Compact,
 }
 
+/// Allocation state of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Available for allocation.
+    Free,
+    /// Held by a job (or permanently reserved).
+    Busy,
+    /// Quarantined after a failure. `held` is true while a killed job's
+    /// allocation still covers the node (its release is pending).
+    Down { held: bool },
+}
+
 /// Tracks which nodes are free and hands out allocations.
 #[derive(Debug, Clone)]
 pub struct NodePool {
-    free: Vec<bool>,
+    slots: Vec<Slot>,
     free_count: usize,
     policy: PlacementPolicy,
     /// Edge-switch width for [`PlacementPolicy::Compact`]; `None` means
@@ -44,7 +61,7 @@ impl NodePool {
     /// A pool of `node_count` free nodes with no topology information.
     pub fn new(node_count: u32, policy: PlacementPolicy) -> Self {
         NodePool {
-            free: vec![true; node_count as usize],
+            slots: vec![Slot::Free; node_count as usize],
             free_count: node_count as usize,
             policy,
             nodes_per_edge: None,
@@ -63,7 +80,7 @@ impl NodePool {
 
     /// Total nodes managed.
     pub fn capacity(&self) -> usize {
-        self.free.len()
+        self.slots.len()
     }
 
     /// Nodes currently free.
@@ -71,9 +88,32 @@ impl NodePool {
         self.free_count
     }
 
-    /// Nodes currently allocated.
+    /// Nodes currently allocated (quarantined nodes are not "busy").
     pub fn busy_count(&self) -> usize {
-        self.capacity() - self.free_count
+        self.slots.iter().filter(|s| **s == Slot::Busy).count()
+    }
+
+    /// Nodes currently quarantined.
+    pub fn down_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Down { .. }))
+            .count()
+    }
+
+    /// Whether `node` is quarantined.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        matches!(self.slots[node.0 as usize], Slot::Down { .. })
+    }
+
+    /// The quarantine list, ascending.
+    pub fn quarantined(&self) -> Vec<NodeId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Down { .. }))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
     }
 
     /// True if an allocation of `n` nodes could be satisfied right now.
@@ -81,69 +121,86 @@ impl NodePool {
         n <= self.free_count
     }
 
+    fn is_free(&self, idx: usize) -> bool {
+        self.slots[idx] == Slot::Free
+    }
+
+    /// Takes a known-free slot.
+    fn take(&mut self, idx: usize, chosen: &mut Vec<NodeId>) {
+        debug_assert_eq!(self.slots[idx], Slot::Free);
+        self.slots[idx] = Slot::Busy;
+        chosen.push(NodeId(idx as u32));
+    }
+
     /// Permanently removes `nodes` from the pool (e.g. the noise job's
     /// 1/16th of the reservation, which the scheduler must never use).
     pub fn reserve_permanently(&mut self, nodes: &[NodeId]) {
         for &n in nodes {
             let idx = n.0 as usize;
-            assert!(idx < self.free.len(), "node {n:?} outside pool");
-            if self.free[idx] {
-                self.free[idx] = false;
+            assert!(idx < self.slots.len(), "node {n:?} outside pool");
+            if self.is_free(idx) {
+                self.slots[idx] = Slot::Busy;
                 self.free_count -= 1;
             }
         }
     }
 
+    /// Quarantines a node after a failure. A free node leaves the free
+    /// pool; a busy node is flagged so its eventual release does not re-free
+    /// it. Idempotent.
+    pub fn mark_down(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        assert!(idx < self.slots.len(), "node {node:?} outside pool");
+        match self.slots[idx] {
+            Slot::Free => {
+                self.slots[idx] = Slot::Down { held: false };
+                self.free_count -= 1;
+            }
+            Slot::Busy => self.slots[idx] = Slot::Down { held: true },
+            Slot::Down { .. } => {}
+        }
+    }
+
+    /// Readmits a quarantined node. If a (killed) job's allocation still
+    /// holds it, the node returns to busy and its pending release will free
+    /// it; otherwise it is free immediately. No-op for non-quarantined
+    /// nodes.
+    pub fn mark_up(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        assert!(idx < self.slots.len(), "node {node:?} outside pool");
+        match self.slots[idx] {
+            Slot::Down { held: false } => {
+                self.slots[idx] = Slot::Free;
+                self.free_count += 1;
+            }
+            Slot::Down { held: true } => self.slots[idx] = Slot::Busy,
+            Slot::Free | Slot::Busy => {}
+        }
+    }
+
     /// Allocates `n` nodes according to the policy; `None` if not enough
     /// are free. `rng` is only consulted by [`PlacementPolicy::Random`].
+    /// Quarantined nodes are never chosen.
     pub fn allocate(&mut self, n: usize, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
         if !self.can_allocate(n) {
             return None;
         }
         let mut chosen = Vec::with_capacity(n);
         match self.policy {
-            PlacementPolicy::Compact => {
-                match self.nodes_per_edge {
-                    Some(width) => {
-                        chosen = self.allocate_compact(n, width);
-                    }
-                    None => {
-                        // No topology: same as LowestId.
-                        for (i, f) in self.free.iter_mut().enumerate() {
-                            if *f {
-                                *f = false;
-                                chosen.push(NodeId(i as u32));
-                                if chosen.len() == n {
-                                    break;
-                                }
-                            }
-                        }
-                    }
+            PlacementPolicy::Compact => match self.nodes_per_edge {
+                Some(width) => {
+                    chosen = self.allocate_compact(n, width);
                 }
-            }
-            PlacementPolicy::LowestId => {
-                for (i, f) in self.free.iter_mut().enumerate() {
-                    if *f {
-                        *f = false;
-                        chosen.push(NodeId(i as u32));
-                        if chosen.len() == n {
-                            break;
-                        }
-                    }
-                }
-            }
+                None => self.allocate_lowest(n, &mut chosen),
+            },
+            PlacementPolicy::LowestId => self.allocate_lowest(n, &mut chosen),
             PlacementPolicy::Random => {
-                let mut candidates: Vec<usize> = self
-                    .free
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, f)| **f)
-                    .map(|(i, _)| i)
-                    .collect();
+                let mut candidates: Vec<usize> =
+                    (0..self.slots.len()).filter(|&i| self.is_free(i)).collect();
                 candidates.shuffle(rng);
-                for i in candidates.into_iter().take(n) {
-                    self.free[i] = false;
-                    chosen.push(NodeId(i as u32));
+                candidates.truncate(n);
+                for i in candidates {
+                    self.take(i, &mut chosen);
                 }
                 chosen.sort_unstable();
             }
@@ -152,17 +209,28 @@ impl NodePool {
         Some(chosen)
     }
 
+    fn allocate_lowest(&mut self, n: usize, chosen: &mut Vec<NodeId>) {
+        for i in 0..self.slots.len() {
+            if chosen.len() == n {
+                break;
+            }
+            if self.is_free(i) {
+                self.take(i, chosen);
+            }
+        }
+    }
+
     /// Greedy fewest-switches allocation: take the fullest-free switches
     /// whole, then the tightest-fitting switch for the remainder.
     fn allocate_compact(&mut self, n: usize, width: u32) -> Vec<NodeId> {
         let width = width as usize;
-        let switch_count = self.free.len().div_ceil(width);
+        let switch_count = self.slots.len().div_ceil(width);
         // Free nodes per switch.
         let mut switches: Vec<(usize, usize)> = (0..switch_count)
             .map(|s| {
                 let lo = s * width;
-                let hi = ((s + 1) * width).min(self.free.len());
-                (s, (lo..hi).filter(|&i| self.free[i]).count())
+                let hi = ((s + 1) * width).min(self.slots.len());
+                (s, (lo..hi).filter(|&i| self.is_free(i)).count())
             })
             .filter(|&(_, free)| free > 0)
             .collect();
@@ -195,13 +263,12 @@ impl NodePool {
                 remaining -= self.take_from_switch(s, width, remaining, &mut chosen);
             } else {
                 // Scattered fallback: lowest free ids.
-                for i in 0..self.free.len() {
+                for i in 0..self.slots.len() {
                     if remaining == 0 {
                         break;
                     }
-                    if self.free[i] {
-                        self.free[i] = false;
-                        chosen.push(NodeId(i as u32));
+                    if self.is_free(i) {
+                        self.take(i, &mut chosen);
                         remaining -= 1;
                     }
                 }
@@ -220,32 +287,40 @@ impl NodePool {
         chosen: &mut Vec<NodeId>,
     ) -> usize {
         let lo = switch * width;
-        let hi = ((switch + 1) * width).min(self.free.len());
+        let hi = ((switch + 1) * width).min(self.slots.len());
         let mut taken = 0;
         for i in lo..hi {
             if taken == count {
                 break;
             }
-            if self.free[i] {
-                self.free[i] = false;
-                chosen.push(NodeId(i as u32));
+            if self.is_free(i) {
+                self.take(i, chosen);
                 taken += 1;
             }
         }
         taken
     }
 
-    /// Returns `nodes` to the pool.
+    /// Returns `nodes` to the pool. A quarantined node stays quarantined —
+    /// its pending-release flag is cleared so [`NodePool::mark_up`] can
+    /// free it later.
     ///
     /// # Panics
     /// Panics if a node is already free (double release) or out of range.
     pub fn release(&mut self, nodes: &[NodeId]) {
         for &n in nodes {
             let idx = n.0 as usize;
-            assert!(idx < self.free.len(), "node {n:?} outside pool");
-            assert!(!self.free[idx], "double release of node {n:?}");
-            self.free[idx] = true;
-            self.free_count += 1;
+            assert!(idx < self.slots.len(), "node {n:?} outside pool");
+            match self.slots[idx] {
+                Slot::Busy => {
+                    self.slots[idx] = Slot::Free;
+                    self.free_count += 1;
+                }
+                Slot::Down { held: true } => self.slots[idx] = Slot::Down { held: false },
+                Slot::Free | Slot::Down { held: false } => {
+                    panic!("double release of node {n:?}")
+                }
+            }
         }
     }
 }
@@ -325,8 +400,10 @@ mod tests {
         let a = pool.allocate(6, &mut rng()).unwrap();
         let switches: std::collections::HashSet<u32> = a.iter().map(|n| n.0 / 4).collect();
         assert_eq!(switches.len(), 2, "6 nodes should span 2 switches: {a:?}");
-        assert!(a.contains(&NodeId(2)) && a.contains(&NodeId(3)),
-            "remainder should use the tight half-free switch: {a:?}");
+        assert!(
+            a.contains(&NodeId(2)) && a.contains(&NodeId(3)),
+            "remainder should use the tight half-free switch: {a:?}"
+        );
     }
 
     #[test]
@@ -347,10 +424,18 @@ mod tests {
         // Free nodes: one per switch -> no switch can host the remainder.
         let mut pool = NodePool::with_topology(16, 4, PlacementPolicy::Compact);
         pool.reserve_permanently(&[
-            NodeId(1), NodeId(2), NodeId(3),
-            NodeId(5), NodeId(6), NodeId(7),
-            NodeId(9), NodeId(10), NodeId(11),
-            NodeId(13), NodeId(14), NodeId(15),
+            NodeId(1),
+            NodeId(2),
+            NodeId(3),
+            NodeId(5),
+            NodeId(6),
+            NodeId(7),
+            NodeId(9),
+            NodeId(10),
+            NodeId(11),
+            NodeId(13),
+            NodeId(14),
+            NodeId(15),
         ]);
         let a = pool.allocate(3, &mut rng()).unwrap();
         assert_eq!(a.len(), 3);
@@ -374,5 +459,64 @@ mod tests {
         // reserving twice is idempotent
         pool.reserve_permanently(&[NodeId(0)]);
         assert_eq!(pool.free_count(), 12);
+    }
+
+    #[test]
+    fn down_free_node_leaves_pool_until_marked_up() {
+        let mut pool = NodePool::new(8, PlacementPolicy::LowestId);
+        pool.mark_down(NodeId(0));
+        assert_eq!(pool.free_count(), 7);
+        assert_eq!(pool.down_count(), 1);
+        assert!(pool.is_down(NodeId(0)));
+        assert_eq!(pool.quarantined(), vec![NodeId(0)]);
+        // Allocation skips the quarantined node.
+        let a = pool.allocate(3, &mut rng()).unwrap();
+        assert_eq!(a, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        pool.mark_up(NodeId(0));
+        assert_eq!(pool.free_count(), 5);
+        let b = pool.allocate(1, &mut rng()).unwrap();
+        assert_eq!(b, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn down_busy_node_survives_release_in_quarantine() {
+        let mut pool = NodePool::new(4, PlacementPolicy::LowestId);
+        let a = pool.allocate(2, &mut rng()).unwrap();
+        pool.mark_down(NodeId(0));
+        assert_eq!(pool.down_count(), 1);
+        // Releasing the killed job's allocation frees node 1 but keeps
+        // node 0 quarantined.
+        pool.release(&a);
+        assert_eq!(pool.free_count(), 3);
+        assert!(pool.is_down(NodeId(0)));
+        let b = pool.allocate(3, &mut rng()).unwrap();
+        assert_eq!(b, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        // Recovery frees it.
+        pool.mark_up(NodeId(0));
+        assert_eq!(pool.free_count(), 1);
+        assert_eq!(pool.down_count(), 0);
+    }
+
+    #[test]
+    fn mark_up_before_release_restores_busy() {
+        let mut pool = NodePool::new(4, PlacementPolicy::LowestId);
+        let a = pool.allocate(2, &mut rng()).unwrap();
+        pool.mark_down(NodeId(1));
+        pool.mark_up(NodeId(1));
+        // The allocation still holds both nodes; releasing frees both.
+        pool.release(&a);
+        assert_eq!(pool.free_count(), 4);
+    }
+
+    #[test]
+    fn mark_down_is_idempotent() {
+        let mut pool = NodePool::new(4, PlacementPolicy::LowestId);
+        pool.mark_down(NodeId(2));
+        pool.mark_down(NodeId(2));
+        assert_eq!(pool.free_count(), 3);
+        assert_eq!(pool.down_count(), 1);
+        pool.mark_up(NodeId(2));
+        pool.mark_up(NodeId(2));
+        assert_eq!(pool.free_count(), 4);
     }
 }

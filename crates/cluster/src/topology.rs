@@ -124,8 +124,14 @@ impl FatTree {
     /// Panics if any dimension is zero.
     pub fn new(config: FatTreeConfig) -> Self {
         assert!(config.pods > 0, "fat tree needs at least one pod");
-        assert!(config.edge_per_pod > 0, "pod needs at least one edge switch");
-        assert!(config.nodes_per_edge > 0, "edge switch needs at least one node");
+        assert!(
+            config.edge_per_pod > 0,
+            "pod needs at least one edge switch"
+        );
+        assert!(
+            config.nodes_per_edge > 0,
+            "edge switch needs at least one node"
+        );
         assert!(config.cores_per_node > 0, "node needs at least one core");
         FatTree { config }
     }

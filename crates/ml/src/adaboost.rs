@@ -232,7 +232,11 @@ mod tests {
             ..AdaBoostConfig::default()
         };
         let model = AdaBoost::fit(&x, &y, 2, &cfg, &mut rng());
-        let correct = x.iter().zip(&y).filter(|(r, &l)| model.predict(r) == l).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| model.predict(r) == l)
+            .count();
         assert!(correct >= 57, "boosted stumps got {correct}/60");
         assert!(model.n_learners() > 1, "needs more than one stump");
     }

@@ -205,7 +205,9 @@ fn encode_tree(tree: &DecisionTree, out: &mut String) {
                 left,
                 right,
             } => {
-                out.push_str(&format!("node split {feature} {threshold} {left} {right}\n"));
+                out.push_str(&format!(
+                    "node split {feature} {threshold} {left} {right}\n"
+                ));
             }
         }
     }
@@ -255,7 +257,10 @@ impl<'a> Reader<'a> {
                 "line {}: expected '{tag}', found '{t}'",
                 self.line_no
             )),
-            None => err(format!("line {}: expected '{tag}', found blank", self.line_no)),
+            None => err(format!(
+                "line {}: expected '{tag}', found blank",
+                self.line_no
+            )),
         }
     }
 }
@@ -278,7 +283,9 @@ pub fn decode(text: &str) -> Result<TrainedModel, CodecError> {
         return err(format!("bad header '{header}'"));
     }
     let kind = r.expect_tagged("kind")?;
-    let kind = *kind.first().ok_or_else(|| CodecError("missing kind".into()))?;
+    let kind = *kind
+        .first()
+        .ok_or_else(|| CodecError("missing kind".into()))?;
     let model = match kind {
         "forest" => decode_forest(&mut r)?,
         "adaboost" => decode_adaboost(&mut r)?,

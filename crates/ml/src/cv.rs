@@ -177,7 +177,10 @@ mod tests {
             all.sort_unstable();
             assert_eq!(all, (0..y.len()).collect::<Vec<_>>());
         }
-        assert!(seen.iter().all(|&c| c == 1), "each sample tests exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each sample tests exactly once"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl Dataset {
 
     /// Number of distinct classes (`max label + 1`; 0 when empty).
     pub fn n_classes(&self) -> usize {
-        self.labels.iter().max().map(|&m| m as usize + 1).unwrap_or(0)
+        self.labels
+            .iter()
+            .max()
+            .map(|&m| m as usize + 1)
+            .unwrap_or(0)
     }
 
     /// Count of samples per class, indexed by label.

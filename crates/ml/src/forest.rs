@@ -89,13 +89,19 @@ impl Forest {
             .map(|seed| {
                 let mut tree_rng = SmallRng::seed_from_u64(seed);
                 if config.bootstrap {
-                    let idx: Vec<usize> =
-                        (0..n).map(|_| tree_rng.gen_range(0..n)).collect();
+                    let idx: Vec<usize> = (0..n).map(|_| tree_rng.gen_range(0..n)).collect();
                     let bx: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
                     let by: Vec<u32> = idx.iter().map(|&i| labels[i]).collect();
                     DecisionTree::fit(&bx, &by, None, n_classes, &config.tree, &mut tree_rng)
                 } else {
-                    DecisionTree::fit(features, labels, None, n_classes, &config.tree, &mut tree_rng)
+                    DecisionTree::fit(
+                        features,
+                        labels,
+                        None,
+                        n_classes,
+                        &config.tree,
+                        &mut tree_rng,
+                    )
                 }
             })
             .collect();

@@ -25,12 +25,15 @@ pub struct PermutationConfig {
 
 impl Default for PermutationConfig {
     fn default() -> Self {
-        PermutationConfig { repeats: 3, seed: 0 }
+        PermutationConfig {
+            repeats: 3,
+            seed: 0,
+        }
     }
 }
 
-/// Returns one importance per feature: the mean drop in F1 (positive class
-/// 1) when that feature's column is shuffled. Negative drops (shuffling
+/// Returns one importance per feature: the mean drop in F1 (positive
+/// class 1) when that feature's column is shuffled. Negative drops (shuffling
 /// helped — pure noise features) are clamped to zero.
 ///
 /// # Panics
@@ -90,7 +93,10 @@ mod tests {
         for i in 0..60 {
             let label = u32::from(i >= 30);
             d.push(
-                vec![label as f64 * 5.0 + (i % 5) as f64 * 0.1, ((i * 37) % 11) as f64],
+                vec![
+                    label as f64 * 5.0 + (i % 5) as f64 * 0.1,
+                    ((i * 37) % 11) as f64,
+                ],
                 label,
                 0,
             );
@@ -110,7 +116,11 @@ mod tests {
             imp[0],
             imp[1]
         );
-        assert!(imp[1] < 0.15, "noise feature should be near zero: {}", imp[1]);
+        assert!(
+            imp[1] < 0.15,
+            "noise feature should be near zero: {}",
+            imp[1]
+        );
     }
 
     #[test]
@@ -136,7 +146,10 @@ mod tests {
     fn deterministic_given_seed() {
         let data = spiked();
         let model = ModelKind::Knn.train(&data, 4);
-        let cfg = PermutationConfig { repeats: 2, seed: 9 };
+        let cfg = PermutationConfig {
+            repeats: 2,
+            seed: 9,
+        };
         let a = permutation_importance(&model, &data, &cfg);
         let b = permutation_importance(&model, &data, &cfg);
         assert_eq!(a, b);

@@ -37,7 +37,12 @@ impl Knn {
     ///
     /// # Panics
     /// Panics on empty input or `k == 0`.
-    pub fn fit(features: &[Vec<f64>], labels: &[u32], n_classes: usize, config: &KnnConfig) -> Self {
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[u32],
+        n_classes: usize,
+        config: &KnnConfig,
+    ) -> Self {
         assert!(!features.is_empty(), "cannot fit KNN on no samples");
         assert!(config.k > 0, "k must be positive");
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");

@@ -175,7 +175,10 @@ mod tests {
         let mut y = Vec::new();
         for i in 0..40 {
             let cls = u32::from(i >= 20);
-            x.push(vec![cls as f64 * 4.0 + (i % 5) as f64 * 0.2, (i % 3) as f64]);
+            x.push(vec![
+                cls as f64 * 4.0 + (i % 5) as f64 * 0.2,
+                (i % 3) as f64,
+            ]);
             y.push(cls);
         }
         (x, y)
@@ -185,7 +188,11 @@ mod tests {
     fn learns_separable_data() {
         let (x, y) = separable();
         let model = Logistic::fit(&x, &y, 2, &LogisticConfig::default());
-        let correct = x.iter().zip(&y).filter(|(r, &l)| model.predict(r) == l).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| model.predict(r) == l)
+            .count();
         assert!(correct >= 38, "{correct}/40");
         assert_eq!(model.n_classes(), 2);
         assert_eq!(model.n_features(), 2);

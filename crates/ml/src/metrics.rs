@@ -25,7 +25,11 @@ impl ConfusionMatrix {
     /// # Panics
     /// Panics if lengths differ or either slice is empty.
     pub fn from_predictions(actual: &[u32], predicted: &[u32]) -> Self {
-        assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+        assert_eq!(
+            actual.len(),
+            predicted.len(),
+            "label slices differ in length"
+        );
         assert!(!actual.is_empty(), "no predictions to score");
         let k = actual
             .iter()

@@ -239,11 +239,26 @@ mod tests {
     #[test]
     fn importances_defined_for_all_but_knn() {
         let data = toy_dataset();
-        assert!(ModelKind::ExtraTrees.train(&data, 1).feature_importances().is_some());
-        assert!(ModelKind::DecisionForest.train(&data, 1).feature_importances().is_some());
-        assert!(ModelKind::AdaBoost.train(&data, 1).feature_importances().is_some());
-        assert!(ModelKind::Logistic.train(&data, 1).feature_importances().is_some());
-        assert!(ModelKind::Knn.train(&data, 1).feature_importances().is_none());
+        assert!(ModelKind::ExtraTrees
+            .train(&data, 1)
+            .feature_importances()
+            .is_some());
+        assert!(ModelKind::DecisionForest
+            .train(&data, 1)
+            .feature_importances()
+            .is_some());
+        assert!(ModelKind::AdaBoost
+            .train(&data, 1)
+            .feature_importances()
+            .is_some());
+        assert!(ModelKind::Logistic
+            .train(&data, 1)
+            .feature_importances()
+            .is_some());
+        assert!(ModelKind::Knn
+            .train(&data, 1)
+            .feature_importances()
+            .is_none());
     }
 
     #[test]

@@ -121,7 +121,11 @@ impl DecisionTree {
         rng: &mut SmallRng,
     ) -> Self {
         assert!(!features.is_empty(), "cannot fit a tree on no samples");
-        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features/labels length mismatch"
+        );
         if let Some(w) = weights {
             assert_eq!(w.len(), labels.len(), "weights length mismatch");
         }
@@ -169,7 +173,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -344,8 +352,7 @@ impl<'a> Builder<'a> {
         let (left, right): (Vec<usize>, Vec<usize>) = indices
             .iter()
             .partition(|&&i| self.features[i][feature] <= threshold);
-        if left.len() < self.config.min_samples_leaf || right.len() < self.config.min_samples_leaf
-        {
+        if left.len() < self.config.min_samples_leaf || right.len() < self.config.min_samples_leaf {
             return None;
         }
         Some(BestSplit {
@@ -539,7 +546,10 @@ mod tests {
     fn max_depth_limits_growth() {
         let (x, y) = separable();
         // xor-ish labels force depth if allowed
-        let y2: Vec<u32> = x.iter().map(|r| u32::from((r[0] as i64) % 2 == 0)).collect();
+        let y2: Vec<u32> = x
+            .iter()
+            .map(|r| u32::from((r[0] as i64) % 2 == 0))
+            .collect();
         let cfg = TreeConfig {
             max_depth: 1,
             ..TreeConfig::default()

@@ -210,7 +210,9 @@ mod tests {
     fn custom_candidates_compose() {
         let data = noisy_interval();
         let candidates = vec![
-            Candidate::new("forest", |d: &Dataset| ModelKind::DecisionForest.train(d, 5)),
+            Candidate::new("forest", |d: &Dataset| {
+                ModelKind::DecisionForest.train(d, 5)
+            }),
             Candidate::new("logistic", |d: &Dataset| ModelKind::Logistic.train(d, 5)),
         ];
         let result = grid_search(&candidates, &data, 3, 4);

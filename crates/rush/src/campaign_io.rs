@@ -111,7 +111,6 @@ fn parse_floats(line: &str, tag: &str, expected: usize) -> Result<Vec<f64>, Stri
     Ok(values)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

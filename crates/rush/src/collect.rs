@@ -191,8 +191,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignData {
             let n = rng_sched.gen_range(config.min_runs_per_day..=config.max_runs_per_day);
             for _ in 0..n {
                 let offset = rng_sched.gen_range(config.window.as_secs_f64()..86_400.0);
-                let at = SimTime::from_days(u64::from(day))
-                    + SimDuration::from_secs_f64(offset);
+                let at = SimTime::from_days(u64::from(day)) + SimDuration::from_secs_f64(offset);
                 planned.push((at, app));
             }
         }
@@ -408,7 +407,10 @@ mod tests {
             assert_eq!(run.features_job.len(), 270);
             assert!(run.features_all.iter().all(|v| v.is_finite()));
             assert!(run.features_job.iter().all(|v| v.is_finite()));
-            assert!(run.probe_features.iter().all(|v| v.is_finite() && *v >= 0.0));
+            assert!(run
+                .probe_features
+                .iter()
+                .all(|v| v.is_finite() && *v >= 0.0));
             // min <= mean <= max for each counter triple
             for c in 0..90 {
                 let (mn, mx, mean) = (
@@ -447,10 +449,7 @@ mod tests {
         let stats = data.runtime_stats();
         // The storm window plus regime noise must make at least one app
         // vary by more than 2% relative std.
-        let max_rel = stats
-            .values()
-            .map(|(m, s)| s / m)
-            .fold(0.0f64, f64::max);
+        let max_rel = stats.values().map(|(m, s)| s / m).fold(0.0f64, f64::max);
         assert!(max_rel > 0.02, "campaign too calm: rel std {max_rel}");
     }
 

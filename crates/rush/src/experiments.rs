@@ -25,6 +25,7 @@ use rush_sched::engine::{BackfillPolicy, SchedulerConfig, SchedulerEngine};
 use rush_sched::metrics::{RuntimeReference, ScheduleMetrics};
 use rush_sched::policy::QueueOrder;
 use rush_sched::predictor::{NeverVaries, VariabilityPredictor};
+use rush_simkit::fault::FaultConfig;
 use rush_simkit::time::{SimDuration, SimTime};
 use rush_workloads::apps::AppId;
 use rush_workloads::jobgen::{generate_jobs, WorkloadSpec};
@@ -177,6 +178,15 @@ pub struct TrialOutcome {
     pub metrics: ScheduleMetrics,
     /// Total RUSH delays issued (0 for the baseline).
     pub total_skips: u64,
+    /// Jobs that exhausted their retry budget (0 without fault injection).
+    pub failed_jobs: usize,
+    /// Times a killed job re-entered the queue.
+    pub requeues: u64,
+    /// Start decisions where degraded telemetry or a predictor error made
+    /// the engine fall back to plain EASY.
+    pub fallback_decisions: u64,
+    /// Node crashes injected during the trial.
+    pub node_failures: u64,
 }
 
 /// Both policies' trials for one experiment.
@@ -241,6 +251,10 @@ pub struct ExperimentSettings {
     pub placement: rush_cluster::placement::PlacementPolicy,
     /// Backfilling discipline (paper: EASY).
     pub backfill: BackfillPolicy,
+    /// Fault-injection processes (default: inert). Trial `k` offsets the
+    /// fault seed by `k` so paired policies face the *same* fault timeline
+    /// while distinct trials face distinct ones.
+    pub faults: FaultConfig,
 }
 
 impl Default for ExperimentSettings {
@@ -256,6 +270,7 @@ impl Default for ExperimentSettings {
             r1: QueueOrder::Fcfs,
             placement: rush_cluster::placement::PlacementPolicy::LowestId,
             backfill: BackfillPolicy::Easy,
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -312,15 +327,29 @@ pub fn run_trial_raw(
     };
 
     let config = SchedulerConfig {
-        // The baseline never reads counters; skip the sampling cost.
+        // The baseline never reads counters; skip the sampling cost (and
+        // widen the telemetry-quality gate to match, so the baseline's
+        // NeverVaries calls don't all count as degradation fallbacks).
         sampling_interval: match policy {
             PolicyKind::FcfsEasy => SimDuration::from_days(365),
             PolicyKind::Rush => SimDuration::from_secs(30),
+        },
+        predictor_window: match policy {
+            PolicyKind::FcfsEasy => SimDuration::from_days(365),
+            PolicyKind::Rush => settings.predictor_window,
+        },
+        retention: match policy {
+            PolicyKind::FcfsEasy => SimDuration::from_days(400),
+            PolicyKind::Rush => SchedulerConfig::default().retention,
         },
         skip_threshold: settings.skip_threshold,
         r1: settings.r1,
         placement: settings.placement,
         backfill: settings.backfill,
+        faults: FaultConfig {
+            seed: settings.faults.seed.wrapping_add(trial as u64),
+            ..settings.faults
+        },
         ..SchedulerConfig::default()
     };
     let mut engine = SchedulerEngine::new(machine, config, predictor, seed)
@@ -331,6 +360,10 @@ pub fn run_trial_raw(
         trial,
         metrics,
         total_skips: result.total_skips,
+        failed_jobs: result.failed.len(),
+        requeues: result.requeues,
+        fallback_decisions: result.fallback_decisions,
+        node_failures: result.node_failures,
     };
     (result, outcome)
 }
@@ -434,10 +467,7 @@ mod tests {
         assert_eq!(comparison.fcfs.len(), 1);
         assert_eq!(comparison.rush.len(), 1);
         for t in comparison.fcfs.iter().chain(&comparison.rush) {
-            assert_eq!(
-                t.metrics.per_app.iter().map(|a| a.count).sum::<usize>(),
-                12
-            );
+            assert_eq!(t.metrics.per_app.iter().map(|a| a.count).sum::<usize>(), 12);
             assert!(t.metrics.makespan_secs > 0.0);
         }
         // Baseline never skips.

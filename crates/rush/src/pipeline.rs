@@ -113,7 +113,14 @@ pub fn train_final(
     kept: Option<&[usize]>,
     seed: u64,
 ) -> TrainedModel {
-    train_final_full(campaign, train_apps, kind, LabelScheme::ThreeClass, kept, seed)
+    train_final_full(
+        campaign,
+        train_apps,
+        kind,
+        LabelScheme::ThreeClass,
+        kept,
+        seed,
+    )
 }
 
 /// [`train_final`] with an explicit label scheme (the binary-vs-three-class
@@ -146,7 +153,10 @@ fn train_final_full(
                 .filter(|(_, &g)| apps.iter().any(|a| a.index() as u32 == g))
                 .map(|(i, _)| i)
                 .collect();
-            assert!(!indices.is_empty(), "no campaign runs for the training apps");
+            assert!(
+                !indices.is_empty(),
+                "no campaign runs for the training apps"
+            );
             full.subset(&indices)
         }
         None => full,
@@ -173,7 +183,11 @@ pub fn build_reference(campaign: &CampaignData) -> RuntimeReference {
             .base_runtime(16, ScalingMode::Reference)
             .as_secs_f64();
         for &nodes in &[8u32, 16, 32] {
-            for scaling in [ScalingMode::Reference, ScalingMode::Weak, ScalingMode::Strong] {
+            for scaling in [
+                ScalingMode::Reference,
+                ScalingMode::Weak,
+                ScalingMode::Strong,
+            ] {
                 let base = app.descriptor().base_runtime(nodes, scaling).as_secs_f64();
                 let ratio = base / base16;
                 reference.insert(app, nodes, scaling, mean16 * ratio, std16 * ratio);
@@ -235,7 +249,10 @@ mod tests {
         // train only on laghos+lbann runs
         let model = train_final(
             &out.campaign,
-            Some(&[rush_workloads::apps::AppId::Laghos, rush_workloads::apps::AppId::Lbann]),
+            Some(&[
+                rush_workloads::apps::AppId::Laghos,
+                rush_workloads::apps::AppId::Lbann,
+            ]),
             ModelKind::AdaBoost,
             None,
             1,

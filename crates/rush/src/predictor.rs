@@ -9,10 +9,10 @@
 //! feature vector, and asks the exported model for a class.
 
 use crate::labels::LabelScheme;
+use rush_cluster::topology::NodeId;
 use rush_ml::model::{Classifier, TrainedModel};
 use rush_sched::job::Job;
-use rush_sched::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
-use rush_cluster::topology::NodeId;
+use rush_sched::predictor::{PredictError, PredictorCtx, VariabilityClass, VariabilityPredictor};
 use rush_simkit::time::SimDuration;
 use rush_telemetry::aggregate::{aggregate_counters, flatten_features};
 use rush_telemetry::schema::FeatureSchema;
@@ -95,11 +95,19 @@ impl VariabilityPredictor for MlPredictor {
         job: &Job,
         nodes: &[NodeId],
         ctx: &mut PredictorCtx<'_>,
-    ) -> VariabilityClass {
+    ) -> Result<VariabilityClass, PredictError> {
         self.calls += 1;
         let row = self.assemble_features(job, nodes, ctx);
+        // Corrupted or hollow telemetry windows surface as non-finite
+        // aggregates; refuse to classify garbage rather than emitting an
+        // arbitrary class. The engine falls back to plain EASY.
+        if let Some(bad) = row.iter().position(|v| !v.is_finite()) {
+            return Err(PredictError::ModelFailure(format!(
+                "non-finite feature at column {bad}"
+            )));
+        }
         let label = self.model.predict(&row);
-        match self.scheme {
+        Ok(match self.scheme {
             LabelScheme::Binary => {
                 if label == 1 {
                     VariabilityClass::Variation
@@ -108,7 +116,7 @@ impl VariabilityPredictor for MlPredictor {
                 }
             }
             LabelScheme::ThreeClass => VariabilityClass::from_index(label),
-        }
+        })
     }
 
     fn name(&self) -> &str {
@@ -193,7 +201,7 @@ mod tests {
         let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
         let class = predictor.predict(&job(), &nodes, &mut ctx);
         // idle machine, feature 0 ~ 0 -> class 0 -> no variation
-        assert_eq!(class, VariabilityClass::NoVariation);
+        assert_eq!(class, Ok(VariabilityClass::NoVariation));
         assert_eq!(predictor.calls(), 1);
         assert_eq!(predictor.name(), "rush-ml");
     }
@@ -215,7 +223,7 @@ mod tests {
         // feature 0 near zero -> class 0
         assert_eq!(
             predictor.predict(&job(), &nodes, &mut ctx),
-            VariabilityClass::NoVariation
+            Ok(VariabilityClass::NoVariation)
         );
     }
 

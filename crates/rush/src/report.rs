@@ -90,7 +90,11 @@ pub fn fmt(v: f64, digits: usize) -> String {
 
 /// Renders the Fig.-5/4 style per-app variation-count comparison.
 pub fn variation_table(comparison: &ExperimentComparison) -> TextTable {
-    let mut table = TextTable::new(["app", "fcfs_easy_mean_variation_runs", "rush_mean_variation_runs"]);
+    let mut table = TextTable::new([
+        "app",
+        "fcfs_easy_mean_variation_runs",
+        "rush_mean_variation_runs",
+    ]);
     for app in AppId::ALL {
         let mean_for = |outcomes: &[crate::experiments::TrialOutcome]| -> Option<f64> {
             let vals: Vec<f64> = outcomes
@@ -116,10 +120,7 @@ pub fn runtime_table(comparison: &ExperimentComparison) -> TextTable {
         "app", "policy", "min_s", "p25_s", "median_s", "p75_s", "max_s",
     ]);
     for app in AppId::ALL {
-        for (label, outcomes) in [
-            ("FCFS+EASY", &comparison.fcfs),
-            ("RUSH", &comparison.rush),
-        ] {
+        for (label, outcomes) in [("FCFS+EASY", &comparison.fcfs), ("RUSH", &comparison.rush)] {
             // Pool run times across trials.
             let mut mins = Vec::new();
             let mut p25 = Vec::new();
@@ -183,8 +184,7 @@ pub fn max_runtime_improvement_table(comparison: &ExperimentComparison) -> TextT
 
 /// Renders the Fig.-11 style per-app mean late-wait comparison.
 pub fn wait_table(comparison: &ExperimentComparison) -> TextTable {
-    let mut table =
-        TextTable::new(["app", "fcfs_mean_wait_s", "rush_mean_wait_s", "delta_s"]);
+    let mut table = TextTable::new(["app", "fcfs_mean_wait_s", "rush_mean_wait_s", "delta_s"]);
     for app in AppId::ALL {
         let wait_of = |outcomes: &[crate::experiments::TrialOutcome]| -> Option<f64> {
             let vals: Vec<f64> = outcomes
@@ -203,13 +203,46 @@ pub fn wait_table(comparison: &ExperimentComparison) -> TextTable {
             }
         };
         if let (Some(f), Some(r)) = (wait_of(&comparison.fcfs), wait_of(&comparison.rush)) {
-            table.row([
-                app.name().to_string(),
-                fmt(f, 1),
-                fmt(r, 1),
-                fmt(r - f, 1),
-            ]);
+            table.row([app.name().to_string(), fmt(f, 1), fmt(r, 1), fmt(r - f, 1)]);
         }
+    }
+    table
+}
+
+/// Renders the fault-robustness summary: per-policy means over trials of
+/// injected node crashes, kill/requeue churn, jobs lost to exhausted retry
+/// budgets, and predictor-fallback decisions.
+pub fn robustness_table(comparison: &ExperimentComparison) -> TextTable {
+    let mut table = TextTable::new([
+        "policy",
+        "mean_node_failures",
+        "mean_requeues",
+        "mean_failed_jobs",
+        "mean_fallback_decisions",
+    ]);
+    for (label, outcomes) in [("FCFS+EASY", &comparison.fcfs), ("RUSH", &comparison.rush)] {
+        if outcomes.is_empty() {
+            continue;
+        }
+        table.row([
+            label.to_string(),
+            fmt(
+                ExperimentComparison::mean_of(outcomes, |t| t.node_failures as f64),
+                2,
+            ),
+            fmt(
+                ExperimentComparison::mean_of(outcomes, |t| t.requeues as f64),
+                2,
+            ),
+            fmt(
+                ExperimentComparison::mean_of(outcomes, |t| t.failed_jobs as f64),
+                2,
+            ),
+            fmt(
+                ExperimentComparison::mean_of(outcomes, |t| t.fallback_decisions as f64),
+                2,
+            ),
+        ]);
     }
     table
 }
@@ -257,6 +290,10 @@ mod tests {
             trial: 0,
             metrics: ScheduleMetrics::compute(&completed(secs), &reference, SimTime::ZERO),
             total_skips: 0,
+            failed_jobs: 0,
+            requeues: 0,
+            fallback_decisions: 0,
+            node_failures: 0,
         };
         ExperimentComparison {
             experiment: Experiment::Adaa,
@@ -298,6 +335,18 @@ mod tests {
         let csv = wait_table(&c).to_csv();
         // both wait 10s (submit 10, start 20): delta 0
         assert!(csv.contains("laghos,10.0,10.0,0.0"), "{csv}");
+    }
+
+    #[test]
+    fn robustness_table_reports_both_policies() {
+        let mut c = synthetic_comparison(&[300], &[300]);
+        c.rush[0].requeues = 3;
+        c.rush[0].failed_jobs = 1;
+        c.rush[0].fallback_decisions = 7;
+        c.rush[0].node_failures = 2;
+        let csv = robustness_table(&c).to_csv();
+        assert!(csv.contains("FCFS+EASY,0.00,0.00,0.00,0.00"), "{csv}");
+        assert!(csv.contains("RUSH,2.00,3.00,1.00,7.00"), "{csv}");
     }
 
     #[test]

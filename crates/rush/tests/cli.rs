@@ -26,7 +26,11 @@ fn full_cli_workflow() {
         .args(["--out", campaign.to_str().unwrap()])
         .output()
         .expect("spawn rush collect");
-    assert!(out.status.success(), "collect failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "collect failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("control runs"), "{stdout}");
     assert!(campaign.exists());
@@ -34,10 +38,19 @@ fn full_cli_workflow() {
     // train
     let out = rush()
         .args(["train", "--campaign", campaign.to_str().unwrap()])
-        .args(["--out", model.to_str().unwrap(), "--kind", "decision-forest"])
+        .args([
+            "--out",
+            model.to_str().unwrap(),
+            "--kind",
+            "decision-forest",
+        ])
         .output()
         .expect("spawn rush train");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
     let text = std::fs::read_to_string(&model).unwrap();
     assert!(text.starts_with("RUSHMODEL v1"));
@@ -58,7 +71,11 @@ fn full_cli_workflow() {
         .args(["--jobs", "8", "--trials", "1", "--experiment", "ADPA"])
         .output()
         .expect("spawn rush schedule");
-    assert!(out.status.success(), "schedule failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "schedule failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("variation runs"), "{stdout}");
     assert!(stdout.contains("makespan"), "{stdout}");

@@ -56,9 +56,18 @@ pub fn compute_reservation(
         free += r.nodes;
         if free >= needed {
             let shadow_start = r.est_end.max(now);
+            // Every job estimated to end by the (clamped) shadow instant is
+            // free then, including ties at the same timestamp and jobs
+            // already past their estimates — count them all, or backfill
+            // underuses the shadow capacity.
+            let released: u32 = ends
+                .iter()
+                .filter(|s| s.est_end.max(now) <= shadow_start)
+                .map(|s| s.nodes)
+                .sum();
             return Some(Reservation {
                 shadow_start,
-                extra_nodes: free - needed,
+                extra_nodes: free_now + released - needed,
             });
         }
     }
@@ -99,9 +108,18 @@ mod tests {
     #[test]
     fn reservation_at_first_sufficient_release() {
         let running = vec![
-            RunningSnapshot { est_end: t(100), nodes: 4 },
-            RunningSnapshot { est_end: t(50), nodes: 2 },
-            RunningSnapshot { est_end: t(200), nodes: 8 },
+            RunningSnapshot {
+                est_end: t(100),
+                nodes: 4,
+            },
+            RunningSnapshot {
+                est_end: t(50),
+                nodes: 2,
+            },
+            RunningSnapshot {
+                est_end: t(200),
+                nodes: 8,
+            },
         ];
         // free 2, need 8: after t=50 -> 4 free; after t=100 -> 8 free. Shadow = 100.
         let r = compute_reservation(t(0), 2, 8, &running).unwrap();
@@ -111,7 +129,10 @@ mod tests {
 
     #[test]
     fn extra_nodes_counted() {
-        let running = vec![RunningSnapshot { est_end: t(60), nodes: 10 }];
+        let running = vec![RunningSnapshot {
+            est_end: t(60),
+            nodes: 10,
+        }];
         // free 3, need 5: at t=60, free = 13; extra = 8.
         let r = compute_reservation(t(0), 3, 5, &running).unwrap();
         assert_eq!(r.shadow_start, t(60));
@@ -120,7 +141,10 @@ mod tests {
 
     #[test]
     fn impossible_reservation_is_none() {
-        let running = vec![RunningSnapshot { est_end: t(10), nodes: 2 }];
+        let running = vec![RunningSnapshot {
+            est_end: t(10),
+            nodes: 2,
+        }];
         assert_eq!(compute_reservation(t(0), 1, 100, &running), None);
     }
 
@@ -128,14 +152,20 @@ mod tests {
     fn shadow_never_before_now() {
         // A running job whose estimate already expired (over-running its
         // estimate): the shadow clamps to now.
-        let running = vec![RunningSnapshot { est_end: t(5), nodes: 8 }];
+        let running = vec![RunningSnapshot {
+            est_end: t(5),
+            nodes: 8,
+        }];
         let r = compute_reservation(t(50), 0, 8, &running).unwrap();
         assert_eq!(r.shadow_start, t(50));
     }
 
     #[test]
     fn backfill_short_job_allowed() {
-        let res = Reservation { shadow_start: t(100), extra_nodes: 0 };
+        let res = Reservation {
+            shadow_start: t(100),
+            extra_nodes: 0,
+        };
         assert!(backfill_allowed(t(0), t(90), 16, &res));
         assert!(backfill_allowed(t(0), t(100), 16, &res)); // exactly at shadow
         assert!(!backfill_allowed(t(0), t(101), 16, &res));
@@ -143,7 +173,10 @@ mod tests {
 
     #[test]
     fn backfill_into_extra_nodes_allowed_even_if_long() {
-        let res = Reservation { shadow_start: t(100), extra_nodes: 8 };
+        let res = Reservation {
+            shadow_start: t(100),
+            extra_nodes: 8,
+        };
         assert!(backfill_allowed(t(0), t(500), 8, &res));
         assert!(!backfill_allowed(t(0), t(500), 9, &res));
     }
@@ -151,8 +184,14 @@ mod tests {
     #[test]
     fn ties_in_est_end_accumulate() {
         let running = vec![
-            RunningSnapshot { est_end: t(30), nodes: 3 },
-            RunningSnapshot { est_end: t(30), nodes: 3 },
+            RunningSnapshot {
+                est_end: t(30),
+                nodes: 3,
+            },
+            RunningSnapshot {
+                est_end: t(30),
+                nodes: 3,
+            },
         ];
         let r = compute_reservation(t(0), 0, 6, &running).unwrap();
         assert_eq!(r.shadow_start, t(30));

@@ -14,19 +14,22 @@
 //! scheduled under; stale events are ignored.
 
 use crate::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
-use crate::job::{CompletedJob, Job, JobId};
-use crate::profile::AvailabilityProfile;
+use crate::job::{CompletedJob, FailedJob, Job, JobId};
 use crate::policy::QueueOrder;
-use crate::trace::{ScheduleTrace, TraceEvent};
 use crate::predictor::{PredictorCtx, VariabilityPredictor};
+use crate::profile::AvailabilityProfile;
+use crate::retry::RetryPolicy;
+use crate::trace::{ScheduleTrace, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use rush_cluster::machine::{Machine, SourceId};
+use rush_cluster::machine::{Machine, NodeHealth, SourceId};
 use rush_cluster::placement::{NodePool, PlacementPolicy};
 use rush_cluster::topology::NodeId;
 use rush_simkit::event::EventQueue;
+use rush_simkit::fault::{FaultConfig, FaultKind, FaultSchedule};
 use rush_simkit::rng::RngStreams;
 use rush_simkit::time::{SimDuration, SimTime};
+use rush_telemetry::aggregate::window_quality;
 use rush_telemetry::collector::Sampler;
 use rush_telemetry::store::MetricStore;
 use rush_workloads::jobgen::JobRequest;
@@ -73,6 +76,16 @@ pub struct SchedulerConfig {
     pub retention: SimDuration,
     /// Node placement policy.
     pub placement: PlacementPolicy,
+    /// Retry discipline for jobs killed by node failures.
+    pub retry: RetryPolicy,
+    /// Fault timeline parameters (the default injects nothing).
+    pub faults: FaultConfig,
+    /// Telemetry window the coverage gate inspects before trusting the
+    /// predictor (the paper's five-minute feature window).
+    pub predictor_window: SimDuration,
+    /// Minimum coverage fraction of the predictor window below which the
+    /// engine skips prediction and falls back to plain EASY.
+    pub min_telemetry_coverage: f64,
 }
 
 impl Default for SchedulerConfig {
@@ -88,6 +101,10 @@ impl Default for SchedulerConfig {
             skip_cooldown: SimDuration::from_secs(45),
             retention: SimDuration::from_mins(10),
             placement: PlacementPolicy::LowestId,
+            retry: RetryPolicy::default(),
+            faults: FaultConfig::none(),
+            predictor_window: SimDuration::from_mins(5),
+            min_telemetry_coverage: 0.5,
         }
     }
 }
@@ -119,6 +136,12 @@ enum Ev {
     Finish(JobId, u64),
     /// Periodic progress + telemetry + scheduling re-evaluation.
     Tick,
+    /// An injected infrastructure fault fires.
+    Fault(FaultKind),
+    /// A killed job's retry backoff expires; try to schedule again.
+    Retry(JobId),
+    /// A repaired node's Suspect probation ends; readmit it.
+    Trust(u32),
 }
 
 /// The outcome of one experiment run.
@@ -126,6 +149,10 @@ enum Ev {
 pub struct ScheduleResult {
     /// All finished jobs.
     pub completed: Vec<CompletedJob>,
+    /// Jobs killed by node failures that exhausted their retry budget.
+    /// `completed.len() + failed.len()` always equals the submitted count —
+    /// no job is ever lost.
+    pub failed: Vec<FailedJob>,
     /// Total RUSH delays issued.
     pub total_skips: u64,
     /// Largest queue length observed.
@@ -136,6 +163,14 @@ pub struct ScheduleResult {
     pub first_submit: SimTime,
     /// Latest completion.
     pub last_end: SimTime,
+    /// Start decisions where the engine bypassed the predictor (telemetry
+    /// coverage below threshold or predictor error) and fell back to plain
+    /// EASY.
+    pub fallback_decisions: u64,
+    /// Times a killed job re-entered the queue.
+    pub requeues: u64,
+    /// Node crashes that fired during the run.
+    pub node_failures: u64,
     /// The recorded event timeline and load series.
     pub trace: ScheduleTrace,
 }
@@ -171,7 +206,10 @@ pub struct SchedulerEngine {
     running: HashMap<JobId, RunningJob>,
     skip_table: HashMap<JobId, u32>,
     delayed_until: HashMap<JobId, SimTime>,
+    /// Kill count per job (node-failure retries).
+    attempts: HashMap<JobId, u32>,
     completed: Vec<CompletedJob>,
+    failed: Vec<FailedJob>,
     events: EventQueue<Ev>,
     rng_place: SmallRng,
     rng_run: SmallRng,
@@ -179,6 +217,13 @@ pub struct SchedulerEngine {
     total_skips: u64,
     max_queue_len: usize,
     pending_submits: usize,
+    fallback_decisions: u64,
+    requeues: u64,
+    node_failures: u64,
+    /// Globally unique finish-event generation counter. Never reused, so a
+    /// stale finish event from before a kill can never match a restarted
+    /// job's fresh generation.
+    next_gen: u64,
     trace: ScheduleTrace,
 }
 
@@ -200,7 +245,8 @@ impl SchedulerEngine {
         SchedulerEngine {
             pool: NodePool::with_topology(node_count, nodes_per_edge, config.placement),
             store: MetricStore::new(node_count, 90),
-            sampler: Sampler::new(nodes, config.sampling_interval),
+            sampler: Sampler::new(nodes, config.sampling_interval)
+                .with_corruption_prob(config.faults.corruption_prob),
             machine,
             config,
             predictor,
@@ -208,7 +254,9 @@ impl SchedulerEngine {
             running: HashMap::new(),
             skip_table: HashMap::new(),
             delayed_until: HashMap::new(),
+            attempts: HashMap::new(),
             completed: Vec::new(),
+            failed: Vec::new(),
             events: EventQueue::new(),
             rng_place: streams.stream("sched/place"),
             rng_run: streams.stream("sched/run"),
@@ -216,6 +264,10 @@ impl SchedulerEngine {
             total_skips: 0,
             max_queue_len: 0,
             pending_submits: 0,
+            fallback_decisions: 0,
+            requeues: 0,
+            node_failures: 0,
+            next_gen: 0,
             trace: ScheduleTrace::new(),
         }
     }
@@ -258,6 +310,15 @@ impl SchedulerEngine {
         self.pending_submits = jobs.len();
         self.events.schedule(SimTime::ZERO, Ev::Tick);
 
+        // Inject the reproducible fault timeline. The schedule is a pure
+        // function of (fault config, node count), so the whole faulty run
+        // remains a deterministic function of its seeds.
+        let fault_schedule =
+            FaultSchedule::generate(&self.config.faults, self.machine.tree().node_count());
+        for fault in fault_schedule.events() {
+            self.events.schedule(fault.at, Ev::Fault(fault.kind));
+        }
+
         while let Some(entry) = self.events.pop() {
             let now = entry.time;
             match entry.event {
@@ -293,12 +354,41 @@ impl SchedulerEngine {
                         self.events.schedule(now + self.config.tick, Ev::Tick);
                     }
                 }
+                Ev::Fault(kind) => {
+                    self.advance_world(now);
+                    self.handle_fault(kind, now);
+                }
+                Ev::Retry(id) => {
+                    // The job's backoff expired; it is already queued, so
+                    // one scheduling pass is all a retry needs.
+                    if self.queue.iter().any(|j| j.id == id) {
+                        self.advance_world(now);
+                        self.schedule_pass(now);
+                    }
+                }
+                Ev::Trust(node) => {
+                    // Probation over — unless the node crashed again while
+                    // suspect, in which case its next NodeUp restarts the
+                    // cycle and this event is stale.
+                    let node = NodeId(node);
+                    if self.machine.node_health(node) == NodeHealth::Suspect {
+                        self.advance_world(now);
+                        self.machine.trust_node(node);
+                        self.pool.mark_up(node);
+                        self.schedule_pass(now);
+                    }
+                }
             }
         }
 
         assert!(
             self.queue.is_empty() && self.running.is_empty(),
             "run loop ended with unfinished jobs"
+        );
+        assert_eq!(
+            self.completed.len() + self.failed.len(),
+            requests.len(),
+            "every submitted job must end completed or failed"
         );
         let last_end = self
             .completed
@@ -308,13 +398,90 @@ impl SchedulerEngine {
             .unwrap_or(first_submit);
         ScheduleResult {
             completed: std::mem::take(&mut self.completed),
+            failed: std::mem::take(&mut self.failed),
             total_skips: self.total_skips,
             max_queue_len: self.max_queue_len,
             predictor_name: self.predictor.name().to_string(),
             first_submit,
             last_end,
+            fallback_decisions: self.fallback_decisions,
+            requeues: self.requeues,
+            node_failures: self.node_failures,
             trace: std::mem::take(&mut self.trace),
         }
+    }
+
+    /// Applies one injected fault at `now`.
+    fn handle_fault(&mut self, kind: FaultKind, now: SimTime) {
+        match kind {
+            FaultKind::NodeDown(n) => {
+                let node = NodeId(n);
+                self.node_failures += 1;
+                self.machine.fail_node(node);
+                self.pool.mark_down(node);
+                self.record(now, TraceEvent::NodeDown(n));
+                // Kill everything running on the crashed node.
+                let victims: Vec<JobId> = self
+                    .running
+                    .iter()
+                    .filter(|(_, r)| r.nodes.contains(&node))
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in victims {
+                    self.kill_job(id, now);
+                }
+                // Freed survivor-side capacity may admit queued work.
+                self.schedule_pass(now);
+            }
+            FaultKind::NodeUp(n) => {
+                let node = NodeId(n);
+                // Repair done: telemetry resumes (Suspect), but placement
+                // stays quarantined until the probation ends.
+                self.machine.recover_node(node);
+                self.record(now, TraceEvent::NodeUp(n));
+                self.events
+                    .schedule(now + self.config.faults.suspect_probation, Ev::Trust(n));
+            }
+            FaultKind::BlackoutStart => self.sampler.set_blackout(true),
+            FaultKind::BlackoutEnd => self.sampler.set_blackout(false),
+            FaultKind::CorruptionStart => self.sampler.set_corruption(true),
+            FaultKind::CorruptionEnd => self.sampler.set_corruption(false),
+        }
+    }
+
+    /// Kills a running job after a node failure: releases its resources and
+    /// either requeues it with backoff or, past the retry budget, reports
+    /// it failed. Either way the job is accounted for — never lost.
+    fn kill_job(&mut self, id: JobId, now: SimTime) {
+        let r = self.running.remove(&id).expect("killing unknown job");
+        self.machine.remove_load(SourceId(id.0));
+        // Release returns healthy nodes to the pool; the crashed node stays
+        // quarantined (Down with its pending-release flag cleared).
+        self.pool.release(&r.nodes);
+        self.record(now, TraceEvent::Killed(id));
+
+        let attempts = self.attempts.entry(id).or_insert(0);
+        *attempts += 1;
+        let attempts = *attempts;
+        if self.config.retry.exhausted(attempts) {
+            self.delayed_until.remove(&id);
+            self.record(now, TraceEvent::Failed(id));
+            self.failed.push(FailedJob {
+                job: r.job,
+                attempts,
+                last_killed_at: now,
+            });
+            return;
+        }
+        let backoff = self.config.retry.backoff_for(attempts);
+        self.requeues += 1;
+        self.record(now, TraceEvent::Requeued(id, attempts));
+        self.delayed_until.insert(id, now + backoff);
+        // FCFS re-sorts by original submit time, so the retried job regains
+        // its place at the front of the queue once the backoff expires.
+        self.queue.push(r.job);
+        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        self.events.schedule(now + backoff, Ev::Retry(id));
     }
 
     /// Records a trace event with the current queue/busy snapshot.
@@ -351,14 +518,15 @@ impl SchedulerEngine {
             // current phase.
             let congestion = self.machine.congestion(&nodes);
             let fs = self.machine.fs_saturation();
+            let gen = self.next_gen;
+            self.next_gen += 1;
             let r = self.running.get_mut(&id).expect("running job");
             let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
             let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
             r.speed = 1.0 / slowdown;
-            r.generation += 1;
+            r.generation = gen;
             let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
-            self.events
-                .schedule(now + finish_in, Ev::Finish(id, r.generation));
+            self.events.schedule(now + finish_in, Ev::Finish(id, gen));
         }
     }
 
@@ -436,8 +604,7 @@ impl SchedulerEngine {
             .values()
             .map(|r| (r.start_at + r.job.est_runtime, r.job.nodes_requested))
             .collect();
-        let mut profile =
-            AvailabilityProfile::new(now, self.pool.free_count() as u32, &running);
+        let mut profile = AvailabilityProfile::new(now, self.pool.free_count() as u32, &running);
         let mut delayed_this_pass: HashSet<JobId> = HashSet::new();
 
         let snapshot: Vec<Job> = self.queue.clone();
@@ -533,26 +700,56 @@ impl SchedulerEngine {
     /// launched, `false` if it was delayed (and re-queued after the front).
     fn try_start(&mut self, job: Job, now: SimTime, delayed: &mut HashSet<JobId>) -> bool {
         let needed = job.nodes_requested as usize;
-        let nodes = self
-            .pool
-            .allocate(needed, &mut self.rng_place)
-            .expect("caller checked availability");
+        // Callers check can_allocate first, so this only fails if that
+        // invariant breaks; requeue rather than crash the whole run.
+        let nodes = match self.pool.allocate(needed, &mut self.rng_place) {
+            Some(nodes) => nodes,
+            None => {
+                debug_assert!(false, "caller checked availability");
+                self.queue.insert(0, job);
+                return false;
+            }
+        };
 
         let skips = self.skip_table.get(&job.id).copied().unwrap_or(0);
         // Line 1: `SkipTable[j] < j.skip_threshold and M(j, S) ∈ variation
-        // labels` — the threshold check short-circuits the model.
+        // labels` — the threshold check short-circuits the model. Before
+        // consulting the model at all, gate on telemetry quality: a window
+        // hollowed out by blackouts/corruption (or a failing predictor)
+        // must degrade RUSH to plain EASY, not poison its decisions.
         let mut launch_prediction = None;
+        let mut fallback = false;
         let delay = skips < job.skip_threshold && {
-            let mut ctx = PredictorCtx {
-                machine: &mut self.machine,
-                store: &self.store,
-                now,
-                rng: &mut self.rng_pred,
-            };
-            let class = self.predictor.predict(&job, &nodes, &mut ctx);
-            launch_prediction = Some(class);
-            class.triggers_delay()
+            let window_start = now.saturating_sub(self.config.predictor_window);
+            let quality = window_quality(&self.store, &nodes, window_start, now);
+            if !quality.is_usable(
+                self.config.min_telemetry_coverage,
+                self.config.predictor_window,
+            ) {
+                fallback = true;
+                false
+            } else {
+                let mut ctx = PredictorCtx {
+                    machine: &mut self.machine,
+                    store: &self.store,
+                    now,
+                    rng: &mut self.rng_pred,
+                };
+                match self.predictor.predict(&job, &nodes, &mut ctx) {
+                    Ok(class) => {
+                        launch_prediction = Some(class);
+                        class.triggers_delay()
+                    }
+                    Err(_) => {
+                        fallback = true;
+                        false
+                    }
+                }
+            }
         };
+        if fallback {
+            self.fallback_decisions += 1;
+        }
 
         if delay {
             // Lines 2–3: increment the skip count and push after the front.
@@ -591,7 +788,8 @@ impl SchedulerEngine {
 
         let id = job.id;
         self.record(now, TraceEvent::Started(id));
-        let generation = 0;
+        let generation = self.next_gen;
+        self.next_gen += 1;
         let finish_in = SimDuration::from_secs_f64(work / speed);
         self.events
             .schedule(now + finish_in, Ev::Finish(id, generation));
@@ -634,14 +832,15 @@ impl SchedulerEngine {
             };
             let congestion = self.machine.congestion(&nodes);
             let fs = self.machine.fs_saturation();
+            let gen = self.next_gen;
+            self.next_gen += 1;
             let r = self.running.get_mut(&id).expect("running job");
             let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
             let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
             r.speed = 1.0 / slowdown;
-            r.generation += 1;
+            r.generation = gen;
             let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
-            self.events
-                .schedule(now + finish_in, Ev::Finish(id, r.generation));
+            self.events.schedule(now + finish_in, Ev::Finish(id, gen));
         }
     }
 }
@@ -744,8 +943,8 @@ mod tests {
                 _j: &Job,
                 _n: &[NodeId],
                 _c: &mut PredictorCtx<'_>,
-            ) -> VariabilityClass {
-                VariabilityClass::Variation
+            ) -> Result<VariabilityClass, crate::predictor::PredictError> {
+                Ok(VariabilityClass::Variation)
             }
             fn name(&self) -> &str {
                 "always-varies"
@@ -802,7 +1001,10 @@ mod tests {
                 .unwrap()
                 .start_at
         };
-        assert!(start(2) < start(1), "small job should backfill ahead of the blocked one");
+        assert!(
+            start(2) < start(1),
+            "small job should backfill ahead of the blocked one"
+        );
     }
 
     #[test]
@@ -967,13 +1169,37 @@ mod tests {
         assert!(find(1).start_at >= find(0).end_at);
     }
 
+    /// A 16-node single-pod tree with an oversubscribed aggregation fabric:
+    /// two 8-node jobs each span two edge switches and meet in the pod
+    /// fabric, which one job alone cannot push past the congestion knee.
+    fn oversubscribed_single_pod(seed: u64) -> MachineConfig {
+        let mut cfg = MachineConfig::tiny(seed);
+        cfg.tree = rush_cluster::topology::FatTreeConfig {
+            pods: 1,
+            edge_per_pod: 4,
+            nodes_per_edge: 4,
+            cores_per_node: 4,
+            access_gbps: 10.0,
+            edge_uplink_gbps: 20.0,
+            pod_fabric_gbps: 12.0,
+            pod_uplink_gbps: 40.0,
+        };
+        cfg
+    }
+
     #[test]
     fn contention_slows_concurrent_network_jobs() {
-        // Run two network-heavy jobs on overlapping switches vs one alone;
-        // with noise background the pair should take longer than solo.
-        let machine = Machine::new(MachineConfig::tiny(3));
-        let mut solo_eng =
-            SchedulerEngine::new(machine, SchedulerConfig::default(), Box::new(NeverVaries), 1);
+        // Run two network-heavy jobs on overlapping fabric vs one alone;
+        // the pair's shared pod fabric crosses the congestion knee, so the
+        // pair should take longer than solo. (`tiny` puts 8-node jobs in
+        // disjoint pods, so this needs the oversubscribed single-pod tree.)
+        let machine = Machine::new(oversubscribed_single_pod(3));
+        let mut solo_eng = SchedulerEngine::new(
+            machine,
+            SchedulerConfig::default(),
+            Box::new(NeverVaries),
+            1,
+        );
         let solo = solo_eng.run(&[JobRequest {
             id: 0,
             app: AppId::Laghos,
@@ -982,9 +1208,13 @@ mod tests {
             scaling: ScalingMode::Reference,
         }]);
 
-        let machine2 = Machine::new(MachineConfig::tiny(3));
-        let mut pair_eng =
-            SchedulerEngine::new(machine2, SchedulerConfig::default(), Box::new(NeverVaries), 1);
+        let machine2 = Machine::new(oversubscribed_single_pod(3));
+        let mut pair_eng = SchedulerEngine::new(
+            machine2,
+            SchedulerConfig::default(),
+            Box::new(NeverVaries),
+            1,
+        );
         let pair = pair_eng.run(&[
             JobRequest {
                 id: 0,
@@ -1017,9 +1247,13 @@ mod tests {
     fn noise_job_shrinks_the_pool() {
         let machine = Machine::new(MachineConfig::tiny(5));
         let noise_nodes: Vec<NodeId> = (0..1).map(NodeId).collect();
-        let mut eng =
-            SchedulerEngine::new(machine, SchedulerConfig::default(), Box::new(NeverVaries), 9)
-                .with_noise_job(noise_nodes, 6.0);
+        let mut eng = SchedulerEngine::new(
+            machine,
+            SchedulerConfig::default(),
+            Box::new(NeverVaries),
+            9,
+        )
+        .with_noise_job(noise_nodes, 6.0);
         // 15 schedulable nodes now; a 16-node job must panic.
         let result = eng.run(&requests(2, 15));
         assert_eq!(result.completed.len(), 2);
@@ -1060,5 +1294,229 @@ mod tests {
         by_id.sort_by_key(|c| c.job.id);
         assert!(by_id[7].wait() > by_id[1].wait());
         assert!(result.mean_wait_secs() > 0.0);
+    }
+
+    /// Node crashes aggressive enough that some running job dies.
+    fn crashy_config(seed: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            faults: FaultConfig {
+                seed,
+                horizon: SimDuration::from_hours(2),
+                node_mtbf: Some(SimDuration::from_mins(20)),
+                node_mttr: SimDuration::from_mins(3),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn node_failures_kill_requeue_and_still_finish_everything() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let mut eng = SchedulerEngine::new(machine, crashy_config(13), Box::new(NeverVaries), 42);
+        let result = eng.run(&requests(8, 4));
+        assert!(result.node_failures > 0, "the crash process must fire");
+        assert!(
+            result.requeues > 0,
+            "some running job must have been killed"
+        );
+        assert_eq!(
+            result.completed.len() + result.failed.len(),
+            8,
+            "no job may be lost to a fault"
+        );
+        // Every kill is followed by either a requeue or a failure record.
+        let kills = result
+            .trace
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Killed(_)))
+            .count();
+        let requeues = result
+            .trace
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Requeued(_, _)))
+            .count();
+        let fails = result
+            .trace
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::Failed(_)))
+            .count();
+        assert_eq!(kills, requeues + fails);
+    }
+
+    #[test]
+    fn requeued_job_restarts_after_backoff() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let mut eng = SchedulerEngine::new(machine, crashy_config(13), Box::new(NeverVaries), 42);
+        let result = eng.run(&requests(8, 4));
+        // Find a job that was killed and later completed: its restart must
+        // come no earlier than kill time + the first backoff step.
+        let backoff = RetryPolicy::default().base_backoff;
+        let mut checked = 0;
+        for c in &result.completed {
+            let events = result.trace.events_of(c.job.id);
+            let Some(&(killed_at, _)) = events
+                .iter()
+                .find(|(_, e)| matches!(e, TraceEvent::Killed(_)))
+            else {
+                continue;
+            };
+            let restart = events
+                .iter()
+                .filter(|&&(at, e)| matches!(e, TraceEvent::Started(_)) && at > killed_at)
+                .map(|&(at, _)| at)
+                .min()
+                .expect("killed-then-completed job must restart");
+            assert!(
+                restart >= killed_at + backoff,
+                "restart at {restart} before backoff from kill at {killed_at}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "at least one killed job must complete");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reports_failed_jobs() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            retry: RetryPolicy {
+                max_retries: 0, // first kill is final
+                ..RetryPolicy::default()
+            },
+            faults: FaultConfig {
+                seed: 13,
+                horizon: SimDuration::from_hours(2),
+                node_mtbf: Some(SimDuration::from_mins(20)),
+                node_mttr: SimDuration::from_mins(3),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let result = eng.run(&requests(8, 4));
+        assert!(result.requeues == 0, "zero budget never requeues");
+        assert!(!result.failed.is_empty(), "some kill must become a failure");
+        assert_eq!(result.completed.len() + result.failed.len(), 8);
+        for f in &result.failed {
+            assert_eq!(f.attempts, 1, "failed on the first kill");
+        }
+    }
+
+    #[test]
+    fn same_fault_seed_same_result() {
+        let run = || {
+            let machine = Machine::new(MachineConfig::tiny(7));
+            let mut eng =
+                SchedulerEngine::new(machine, crashy_config(13), Box::new(NeverVaries), 42);
+            let r = eng.run(&requests(8, 4));
+            (
+                r.completed
+                    .iter()
+                    .map(|c| (c.job.id, c.start_at, c.end_at, c.nodes.clone()))
+                    .collect::<Vec<_>>(),
+                r.failed
+                    .iter()
+                    .map(|f| (f.job.id, f.attempts, f.last_killed_at))
+                    .collect::<Vec<_>>(),
+                r.requeues,
+                r.node_failures,
+                r.fallback_decisions,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn blackout_degrades_rush_to_plain_easy() {
+        // A near-permanent machine-wide blackout: by the time jobs arrive
+        // the predictor window is hollow, so every Start() decision must
+        // bypass the predictor and count as a fallback.
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            faults: FaultConfig {
+                seed: 3,
+                horizon: SimDuration::from_hours(2),
+                blackout_mtbf: Some(SimDuration::from_mins(1)),
+                blackout_duration: SimDuration::from_hours(2),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let reqs: Vec<JobRequest> = (0..4)
+            .map(|i| JobRequest {
+                id: i,
+                app: AppId::Amg,
+                nodes: 4,
+                // Arrive well after the blackout started.
+                submit_at: SimTime::from_mins(20) + SimDuration::from_secs(i),
+                scaling: ScalingMode::Reference,
+            })
+            .collect();
+        let result = eng.run(&reqs);
+        assert_eq!(result.completed.len(), 4);
+        assert!(
+            result.fallback_decisions >= 4,
+            "every launch under blackout must fall back (got {})",
+            result.fallback_decisions
+        );
+        assert_eq!(result.total_skips, 0, "plain EASY issues no RUSH delays");
+    }
+
+    #[test]
+    fn predictor_error_falls_back_instead_of_crashing() {
+        let mut eng = engine(Box::new(crate::predictor::AlwaysFails));
+        let result = eng.run(&requests(4, 4));
+        assert_eq!(result.completed.len(), 4);
+        assert!(result.fallback_decisions >= 4);
+        assert_eq!(result.total_skips, 0);
+        for c in &result.completed {
+            assert_eq!(c.launch_prediction, None, "no prediction on fallback");
+        }
+    }
+
+    #[test]
+    fn quarantined_nodes_host_no_jobs() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let mut eng = SchedulerEngine::new(machine, crashy_config(13), Box::new(NeverVaries), 42);
+        let result = eng.run(&requests(8, 4));
+        // Replay the trace: between NodeDown(n) and the Trust readmission
+        // (which is not traced, but NodeUp + probation bounds it from
+        // below), no job may *start* on node n.
+        let mut down_since: HashMap<u32, SimTime> = HashMap::new();
+        let mut up_at: HashMap<u32, SimTime> = HashMap::new();
+        for &(at, e) in result.trace.events() {
+            match e {
+                TraceEvent::NodeDown(n) => {
+                    down_since.insert(n, at);
+                    up_at.remove(&n);
+                }
+                TraceEvent::NodeUp(n) => {
+                    up_at.insert(n, at);
+                }
+                _ => {}
+            }
+        }
+        let probation = crashy_config(13).faults.suspect_probation;
+        for c in &result.completed {
+            for node in &c.nodes {
+                if let Some(&down) = down_since.get(&(node.0)) {
+                    if c.start_at >= down {
+                        // Started after the crash: must be after repair and
+                        // the full probation.
+                        let up = up_at.get(&(node.0)).copied();
+                        assert!(
+                            up.is_some_and(|u| c.start_at >= u + probation),
+                            "{} started on quarantined node {node:?}",
+                            c.job.id
+                        );
+                    }
+                }
+            }
+        }
     }
 }

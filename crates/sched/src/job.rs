@@ -88,6 +88,20 @@ pub struct CompletedJob {
     pub launch_prediction: Option<VariabilityClass>,
 }
 
+/// A job that exhausted its retry budget after repeated node-failure kills.
+///
+/// Failed jobs are first-class results, not silent drops: every submitted
+/// job ends the run as exactly one [`CompletedJob`] or one [`FailedJob`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedJob {
+    /// The job as submitted.
+    pub job: Job,
+    /// How many times it was killed (the final kill included).
+    pub attempts: u32,
+    /// When the final kill happened.
+    pub last_killed_at: SimTime,
+}
+
 impl CompletedJob {
     /// Observed run time.
     pub fn runtime(&self) -> SimDuration {

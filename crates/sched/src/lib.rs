@@ -23,6 +23,8 @@
 //! * [`engine`] — the discrete-event scheduler run loop with piecewise
 //!   job-progress integration: contention *during* a run determines its
 //!   run time, not just contention at its start.
+//! * [`retry`] — the requeue policy for jobs killed by node failures:
+//!   capped exponential backoff and a bounded retry budget.
 //! * [`metrics`] — makespan, wait times, and variation counts (the
 //!   quantities of Figs. 5–11).
 //! * [`trace`] — event timeline, queue/busy series, and a text Gantt
@@ -35,11 +37,13 @@ pub mod metrics;
 pub mod policy;
 pub mod predictor;
 pub mod profile;
+pub mod retry;
 pub mod trace;
 
 pub use engine::{ScheduleResult, SchedulerConfig, SchedulerEngine};
-pub use job::{CompletedJob, Job, JobId};
+pub use job::{CompletedJob, FailedJob, Job, JobId};
 pub use metrics::{RuntimeReference, ScheduleMetrics};
 pub use policy::QueueOrder;
-pub use predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
+pub use predictor::{PredictError, PredictorCtx, VariabilityClass, VariabilityPredictor};
+pub use retry::RetryPolicy;
 pub use trace::{ScheduleTrace, TraceEvent};

@@ -53,6 +53,40 @@ impl VariabilityClass {
     }
 }
 
+/// Why a predictor could not produce a class.
+///
+/// Errors are not fatal to scheduling: the engine falls back to plain EASY
+/// backfill (no RUSH delay) and counts the fallback, so a broken model
+/// degrades the schedule's quality but never its liveness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// The telemetry window is too sparse or stale to trust; carries the
+    /// observed coverage fraction.
+    InsufficientTelemetry {
+        /// Fraction of scheduled samples actually present in the window.
+        coverage: f64,
+    },
+    /// The model itself failed (missing weights, feature mismatch, …).
+    ModelFailure(String),
+}
+
+// Eq is fine here: the coverage f64 comes from a ratio of counts and is
+// only compared against values produced the same way.
+impl Eq for PredictError {}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::InsufficientTelemetry { coverage } => {
+                write!(f, "insufficient telemetry (coverage {coverage:.2})")
+            }
+            PredictError::ModelFailure(why) => write!(f, "model failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
 /// Everything a predictor may inspect at decision time.
 pub struct PredictorCtx<'a> {
     /// The machine (mutable: probes inject traffic and consume RNG).
@@ -71,8 +105,16 @@ pub struct PredictorCtx<'a> {
 /// trial).
 pub trait VariabilityPredictor: Send {
     /// Predicts the variability class of launching `job` on `nodes` now.
-    fn predict(&mut self, job: &Job, nodes: &[NodeId], ctx: &mut PredictorCtx<'_>)
-        -> VariabilityClass;
+    ///
+    /// An `Err` tells the engine the prediction cannot be trusted; the
+    /// engine then schedules the job as plain EASY would (graceful
+    /// degradation) instead of delaying it.
+    fn predict(
+        &mut self,
+        job: &Job,
+        nodes: &[NodeId],
+        ctx: &mut PredictorCtx<'_>,
+    ) -> Result<VariabilityClass, PredictError>;
 
     /// Short name for reports.
     fn name(&self) -> &str;
@@ -89,12 +131,32 @@ impl VariabilityPredictor for NeverVaries {
         _job: &Job,
         _nodes: &[NodeId],
         _ctx: &mut PredictorCtx<'_>,
-    ) -> VariabilityClass {
-        VariabilityClass::NoVariation
+    ) -> Result<VariabilityClass, PredictError> {
+        Ok(VariabilityClass::NoVariation)
     }
 
     fn name(&self) -> &str {
         "never-varies"
+    }
+}
+
+/// A predictor that always errors — exercises the engine's graceful
+/// degradation path (tests and fault-injection demos).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysFails;
+
+impl VariabilityPredictor for AlwaysFails {
+    fn predict(
+        &mut self,
+        _job: &Job,
+        _nodes: &[NodeId],
+        _ctx: &mut PredictorCtx<'_>,
+    ) -> Result<VariabilityClass, PredictError> {
+        Err(PredictError::ModelFailure("scripted failure".into()))
+    }
+
+    fn name(&self) -> &str {
+        "always-fails"
     }
 }
 
@@ -123,19 +185,19 @@ impl VariabilityPredictor for CongestionOracle {
         job: &Job,
         nodes: &[NodeId],
         ctx: &mut PredictorCtx<'_>,
-    ) -> VariabilityClass {
+    ) -> Result<VariabilityClass, PredictError> {
         let congestion = ctx.machine.congestion(nodes);
         let fs = ctx.machine.fs_saturation();
         // Weight the signals by what the application is sensitive to.
         let app = job.app.descriptor();
         let effective = congestion * app.network.max(0.2) + (fs - 0.75).max(0.0) * app.io;
-        if effective >= self.variation_threshold {
+        Ok(if effective >= self.variation_threshold {
             VariabilityClass::Variation
         } else if effective >= self.little_threshold {
             VariabilityClass::LittleVariation
         } else {
             VariabilityClass::NoVariation
-        }
+        })
     }
 
     fn name(&self) -> &str {
@@ -171,14 +233,14 @@ impl VariabilityPredictor for Scripted {
         _job: &Job,
         _nodes: &[NodeId],
         _ctx: &mut PredictorCtx<'_>,
-    ) -> VariabilityClass {
+    ) -> Result<VariabilityClass, PredictError> {
         let class = self
             .sequence
             .get(self.cursor)
             .copied()
             .unwrap_or(VariabilityClass::NoVariation);
         self.cursor += 1;
-        class
+        Ok(class)
     }
 
     fn name(&self) -> &str {
@@ -226,7 +288,10 @@ mod tests {
         ] {
             assert_eq!(VariabilityClass::from_index(c.index()), c);
         }
-        assert_eq!(VariabilityClass::from_index(99), VariabilityClass::Variation);
+        assert_eq!(
+            VariabilityClass::from_index(99),
+            VariabilityClass::Variation
+        );
     }
 
     #[test]
@@ -242,9 +307,33 @@ mod tests {
         let nodes = vec![NodeId(0), NodeId(1)];
         assert_eq!(
             p.predict(&job(AppId::Laghos), &nodes, &mut ctx),
-            VariabilityClass::NoVariation
+            Ok(VariabilityClass::NoVariation)
         );
         assert_eq!(p.name(), "never-varies");
+    }
+
+    #[test]
+    fn always_fails_errors_every_call() {
+        let (mut m, store, mut rng) = ctx_parts();
+        let mut ctx = PredictorCtx {
+            machine: &mut m,
+            store: &store,
+            now: SimTime::ZERO,
+            rng: &mut rng,
+        };
+        let mut p = AlwaysFails;
+        let err = p
+            .predict(&job(AppId::Amg), &[NodeId(0)], &mut ctx)
+            .unwrap_err();
+        assert!(matches!(err, PredictError::ModelFailure(_)));
+        assert!(err.to_string().contains("model failure"));
+        assert_eq!(p.name(), "always-fails");
+    }
+
+    #[test]
+    fn predict_error_displays_coverage() {
+        let err = PredictError::InsufficientTelemetry { coverage: 0.25 };
+        assert_eq!(err.to_string(), "insufficient telemetry (coverage 0.25)");
     }
 
     #[test]
@@ -261,14 +350,18 @@ mod tests {
             };
             assert_eq!(
                 p.predict(&job(AppId::Laghos), &nodes, &mut ctx),
-                VariabilityClass::NoVariation
+                Ok(VariabilityClass::NoVariation)
             );
         }
         // Saturate the fabric: two machine-spanning all-to-all loads push
         // the edge uplinks near full utilization.
         let all_nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
         for id in 9..13 {
-            m.register_load(SourceId(id), all_nodes.clone(), WorkloadIntensity::new(0.0, 1.0, 0.0));
+            m.register_load(
+                SourceId(id),
+                all_nodes.clone(),
+                WorkloadIntensity::new(0.0, 1.0, 0.0),
+            );
         }
         let mut ctx = PredictorCtx {
             machine: &mut m,
@@ -278,7 +371,7 @@ mod tests {
         };
         assert_eq!(
             p.predict(&job(AppId::Laghos), &nodes, &mut ctx),
-            VariabilityClass::Variation
+            Ok(VariabilityClass::Variation)
         );
     }
 
@@ -297,9 +390,18 @@ mod tests {
         ]);
         let j = job(AppId::Amg);
         let nodes = vec![NodeId(0)];
-        assert_eq!(p.predict(&j, &nodes, &mut ctx), VariabilityClass::Variation);
-        assert_eq!(p.predict(&j, &nodes, &mut ctx), VariabilityClass::LittleVariation);
-        assert_eq!(p.predict(&j, &nodes, &mut ctx), VariabilityClass::NoVariation);
+        assert_eq!(
+            p.predict(&j, &nodes, &mut ctx),
+            Ok(VariabilityClass::Variation)
+        );
+        assert_eq!(
+            p.predict(&j, &nodes, &mut ctx),
+            Ok(VariabilityClass::LittleVariation)
+        );
+        assert_eq!(
+            p.predict(&j, &nodes, &mut ctx),
+            Ok(VariabilityClass::NoVariation)
+        );
         assert_eq!(p.calls(), 3);
     }
 }

@@ -1,0 +1,104 @@
+//! Retry policy for jobs killed by node failures.
+//!
+//! When fault injection takes a node down, every job running on it dies and
+//! the scheduler must decide whether to requeue it. The [`RetryPolicy`]
+//! bounds how often (a retry budget) and how eagerly (capped exponential
+//! backoff) a killed job may come back, so a flapping node cannot trap a
+//! job in a tight kill/restart loop and a repeatedly unlucky job is
+//! eventually reported failed rather than retried forever. Jobs are never
+//! silently lost: each one ends as either a completion or an explicit
+//! failure record.
+
+use rush_simkit::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How killed jobs are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// How many times a killed job is requeued before being reported
+    /// failed. Zero means a single kill fails the job.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each subsequent attempt.
+    pub base_backoff: SimDuration,
+    /// Ceiling on the backoff, whatever the attempt count.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::from_secs(30),
+            max_backoff: SimDuration::from_mins(8),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): `base × 2^(attempt-1)`,
+    /// capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        let attempt = attempt.max(1);
+        let micros = self.base_backoff.as_micros();
+        // Saturate the shift rather than overflow for absurd attempt counts.
+        let scaled = if attempt >= 64 {
+            u64::MAX
+        } else {
+            micros.saturating_mul(1u64 << (attempt - 1))
+        };
+        SimDuration::from_micros(scaled.min(self.max_backoff.as_micros()))
+    }
+
+    /// True once `attempts` kills exhaust the retry budget.
+    pub fn exhausted(&self, attempts: u32) -> bool {
+        attempts > self.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_backoff: SimDuration::from_secs(30),
+            max_backoff: SimDuration::from_secs(100),
+        };
+        assert_eq!(policy.backoff_for(1), SimDuration::from_secs(30));
+        assert_eq!(policy.backoff_for(2), SimDuration::from_secs(60));
+        assert_eq!(policy.backoff_for(3), SimDuration::from_secs(100), "capped");
+        assert_eq!(policy.backoff_for(4), SimDuration::from_secs(100));
+        // attempt 0 is treated as the first attempt
+        assert_eq!(policy.backoff_for(0), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_for(200), policy.max_backoff);
+        assert_eq!(policy.backoff_for(64), policy.max_backoff);
+    }
+
+    #[test]
+    fn exhaustion_is_strictly_past_the_budget() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        assert!(!policy.exhausted(0));
+        assert!(!policy.exhausted(1));
+        assert!(!policy.exhausted(2));
+        assert!(policy.exhausted(3));
+    }
+
+    #[test]
+    fn zero_retries_fails_on_first_kill() {
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(policy.exhausted(1));
+    }
+}

@@ -22,16 +22,30 @@ pub enum TraceEvent {
     Delayed(JobId, u32),
     /// A job completed.
     Finished(JobId),
+    /// A node failure killed the job mid-run.
+    Killed(JobId),
+    /// A killed job re-entered the queue (its attempt count attached).
+    Requeued(JobId, u32),
+    /// A killed job exhausted its retry budget and was reported failed.
+    Failed(JobId),
+    /// A node crashed (fault injection).
+    NodeDown(u32),
+    /// A node finished its post-repair probation and rejoined the pool.
+    NodeUp(u32),
 }
 
 impl TraceEvent {
-    /// The job this event concerns.
-    pub fn job(&self) -> JobId {
+    /// The job this event concerns; `None` for node-level events.
+    pub fn job(&self) -> Option<JobId> {
         match *self {
             TraceEvent::Submitted(j)
             | TraceEvent::Started(j)
             | TraceEvent::Delayed(j, _)
-            | TraceEvent::Finished(j) => j,
+            | TraceEvent::Finished(j)
+            | TraceEvent::Killed(j)
+            | TraceEvent::Requeued(j, _)
+            | TraceEvent::Failed(j) => Some(j),
+            TraceEvent::NodeDown(_) | TraceEvent::NodeUp(_) => None,
         }
     }
 
@@ -42,6 +56,11 @@ impl TraceEvent {
             TraceEvent::Started(_) => "start",
             TraceEvent::Delayed(_, _) => "delay",
             TraceEvent::Finished(_) => "finish",
+            TraceEvent::Killed(_) => "kill",
+            TraceEvent::Requeued(_, _) => "requeue",
+            TraceEvent::Failed(_) => "fail",
+            TraceEvent::NodeDown(_) => "node-down",
+            TraceEvent::NodeUp(_) => "node-up",
         }
     }
 }
@@ -76,7 +95,7 @@ impl ScheduleTrace {
     pub fn events_of(&self, job: JobId) -> Vec<(SimTime, TraceEvent)> {
         self.events
             .iter()
-            .filter(|(_, e)| e.job() == job)
+            .filter(|(_, e)| e.job() == Some(job))
             .copied()
             .collect()
     }
@@ -204,7 +223,10 @@ mod tests {
         assert_eq!(of1.len(), 4);
         assert_eq!(of1[1].1, TraceEvent::Delayed(JobId(1), 1));
         assert_eq!(of1[1].1.label(), "delay");
-        assert_eq!(of1[1].1.job(), JobId(1));
+        assert_eq!(of1[1].1.job(), Some(JobId(1)));
+        assert_eq!(TraceEvent::NodeDown(3).job(), None);
+        assert_eq!(TraceEvent::NodeUp(3).label(), "node-up");
+        assert_eq!(TraceEvent::Killed(JobId(1)).job(), Some(JobId(1)));
     }
 
     #[test]
@@ -235,8 +257,9 @@ mod tests {
 
     #[test]
     fn gantt_truncates_rows() {
-        let jobs: Vec<CompletedJob> =
-            (0..10).map(|i| completed(i, 0, i * 10, i * 10 + 5)).collect();
+        let jobs: Vec<CompletedJob> = (0..10)
+            .map(|i| completed(i, 0, i * 10, i * 10 + 5))
+            .collect();
         let chart = gantt(&jobs, 30, 4);
         assert_eq!(chart.lines().count(), 5, "header + max_rows");
         assert!(chart.starts_with("gantt: 10 jobs"));

@@ -6,7 +6,10 @@ use rush_cluster::machine::{Machine, MachineConfig};
 use rush_sched::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
 use rush_sched::engine::{SchedulerConfig, SchedulerEngine};
 use rush_sched::predictor::NeverVaries;
-use rush_simkit::time::SimTime;
+use rush_sched::trace::TraceEvent;
+use rush_sched::RetryPolicy;
+use rush_simkit::fault::FaultConfig;
+use rush_simkit::time::{SimDuration, SimTime};
 use rush_workloads::apps::AppId;
 use rush_workloads::jobgen::JobRequest;
 use rush_workloads::scaling::ScalingMode;
@@ -131,6 +134,78 @@ proptest! {
         for (_, delta) in points {
             used += delta;
             prop_assert!(used <= 16);
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_lose_no_jobs(
+        fault_seed in 0u64..1000,
+        mtbf_mins in 10u64..60,
+        max_retries in 0u32..4,
+        job_count in 2u64..8,
+    ) {
+        let config = SchedulerConfig {
+            retry: RetryPolicy {
+                max_retries,
+                ..RetryPolicy::default()
+            },
+            faults: FaultConfig {
+                seed: fault_seed,
+                horizon: SimDuration::from_hours(2),
+                node_mtbf: Some(SimDuration::from_mins(mtbf_mins)),
+                node_mttr: SimDuration::from_mins(3),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let requests: Vec<JobRequest> = (0..job_count)
+            .map(|i| JobRequest {
+                id: i,
+                app: AppId::Amg,
+                nodes: 4,
+                submit_at: SimTime::from_secs(i),
+                scaling: ScalingMode::Reference,
+            })
+            .collect();
+        let run = || {
+            let machine = Machine::new(MachineConfig::tiny(5));
+            let mut engine =
+                SchedulerEngine::new(machine, config, Box::new(NeverVaries), 17);
+            engine.run(&requests)
+        };
+        let a = run();
+        let b = run();
+
+        // Same fault seed, same everything.
+        let key = |r: &rush_sched::ScheduleResult| {
+            (
+                r.completed
+                    .iter()
+                    .map(|c| (c.job.id, c.start_at, c.end_at, c.nodes.clone()))
+                    .collect::<Vec<_>>(),
+                r.failed
+                    .iter()
+                    .map(|f| (f.job.id, f.attempts, f.last_killed_at))
+                    .collect::<Vec<_>>(),
+                r.requeues,
+                r.node_failures,
+                r.fallback_decisions,
+            )
+        };
+        prop_assert_eq!(key(&a), key(&b));
+
+        // Faults never lose a job: completed + failed == submitted.
+        prop_assert_eq!(a.completed.len() + a.failed.len(), requests.len());
+
+        // Requeue counts never exceed the retry budget, and a failed job
+        // records exactly max_retries + 1 kills.
+        for (_, event) in a.trace.events() {
+            if let TraceEvent::Requeued(_, attempt) = event {
+                prop_assert!(*attempt <= max_retries);
+            }
+        }
+        for f in &a.failed {
+            prop_assert_eq!(f.attempts, max_retries + 1);
         }
     }
 }

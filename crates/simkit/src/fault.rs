@@ -1,0 +1,351 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultSchedule`] is a reproducible timeline of infrastructure faults
+//! — node crashes and recoveries, telemetry blackout windows, and counter
+//! corruption windows — generated up front from a [`FaultConfig`] and a
+//! seed. Schedules are pure functions of `(config, node_count)`: two
+//! schedules built from the same inputs are identical event for event,
+//! which is what lets a faulty simulation stay a deterministic function of
+//! its seed (the crate's core contract).
+//!
+//! The generator knows nothing about schedulers or telemetry: it emits a
+//! sorted event list and the consumer (the scheduler engine) decides what a
+//! crash or blackout *means*. Node identities are plain `u32` indices so
+//! this module does not depend on any topology type.
+
+use crate::rng::RngStreams;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// What kind of fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node crashes: running work on it dies, placement must avoid it.
+    NodeDown(u32),
+    /// The node finishes repair and may re-enter service (possibly via a
+    /// probation period — the consumer's choice).
+    NodeUp(u32),
+    /// Telemetry collection goes dark machine-wide.
+    BlackoutStart,
+    /// Telemetry collection resumes.
+    BlackoutEnd,
+    /// Counter samples start being corrupted with the configured
+    /// probability.
+    CorruptionStart,
+    /// Counter corruption subsides.
+    CorruptionEnd,
+}
+
+/// One timestamped fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters of the fault processes. All processes are optional; the
+/// default config injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the fault timeline (independent of every other stream).
+    pub seed: u64,
+    /// Faults are generated on `[0, horizon)`; recoveries/window ends may
+    /// land past the horizon so every Down has its Up and every Start its
+    /// End.
+    pub horizon: SimDuration,
+    /// Mean time between failures of one node (exponential inter-arrival).
+    /// `None` disables node crashes.
+    pub node_mtbf: Option<SimDuration>,
+    /// Repair time of a crashed node (fixed).
+    pub node_mttr: SimDuration,
+    /// Probation after repair during which a node is `Suspect`: monitored
+    /// again but still quarantined from placement.
+    pub suspect_probation: SimDuration,
+    /// Mean time between telemetry blackouts (exponential inter-arrival).
+    /// `None` disables blackouts.
+    pub blackout_mtbf: Option<SimDuration>,
+    /// Length of one blackout window (fixed).
+    pub blackout_duration: SimDuration,
+    /// Mean time between counter-corruption windows. `None` disables
+    /// corruption.
+    pub corruption_mtbf: Option<SimDuration>,
+    /// Length of one corruption window (fixed).
+    pub corruption_duration: SimDuration,
+    /// Per-node-sample corruption probability inside a corruption window.
+    pub corruption_prob: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            horizon: SimDuration::from_hours(2),
+            node_mtbf: None,
+            node_mttr: SimDuration::from_mins(5),
+            suspect_probation: SimDuration::from_mins(2),
+            blackout_mtbf: None,
+            blackout_duration: SimDuration::from_mins(3),
+            corruption_mtbf: None,
+            corruption_duration: SimDuration::from_mins(2),
+            corruption_prob: 0.5,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that injects nothing (the default).
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// True if no fault process is enabled.
+    pub fn is_inert(&self) -> bool {
+        self.node_mtbf.is_none() && self.blackout_mtbf.is_none() && self.corruption_mtbf.is_none()
+    }
+}
+
+/// Draws an exponential inter-arrival time with the given mean.
+fn exp_interval(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.gen::<f64>();
+    // 1 - u is in (0, 1]; ln of it is finite and <= 0.
+    SimDuration::from_secs_f64(-(1.0 - u).ln() * mean.as_secs_f64())
+}
+
+/// A reproducible, time-sorted fault timeline.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    config: FaultConfig,
+}
+
+impl FaultSchedule {
+    /// Generates the timeline for a machine of `node_count` nodes.
+    ///
+    /// Each fault process draws from its own named RNG stream derived from
+    /// `config.seed` (per-node crash processes use indexed streams), so
+    /// enabling one process never perturbs another.
+    pub fn generate(config: &FaultConfig, node_count: u32) -> Self {
+        let streams = RngStreams::new(config.seed);
+        let mut events = Vec::new();
+
+        if let Some(mtbf) = config.node_mtbf {
+            assert!(!mtbf.is_zero(), "node MTBF must be positive");
+            for node in 0..node_count {
+                let mut rng = streams.indexed_stream("fault/node", u64::from(node));
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += exp_interval(&mut rng, mtbf);
+                    if t.since(SimTime::ZERO) >= config.horizon {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        at: t,
+                        kind: FaultKind::NodeDown(node),
+                    });
+                    t += config.node_mttr;
+                    events.push(FaultEvent {
+                        at: t,
+                        kind: FaultKind::NodeUp(node),
+                    });
+                }
+            }
+        }
+
+        let windows = |mtbf: SimDuration,
+                       duration: SimDuration,
+                       stream: &str,
+                       start: fn() -> FaultKind,
+                       end: fn() -> FaultKind,
+                       events: &mut Vec<FaultEvent>| {
+            assert!(!mtbf.is_zero(), "window MTBF must be positive");
+            let mut rng = streams.stream(stream);
+            let mut t = SimTime::ZERO;
+            loop {
+                t += exp_interval(&mut rng, mtbf);
+                if t.since(SimTime::ZERO) >= config.horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: t,
+                    kind: start(),
+                });
+                t += duration;
+                events.push(FaultEvent { at: t, kind: end() });
+            }
+        };
+        if let Some(mtbf) = config.blackout_mtbf {
+            windows(
+                mtbf,
+                config.blackout_duration,
+                "fault/blackout",
+                || FaultKind::BlackoutStart,
+                || FaultKind::BlackoutEnd,
+                &mut events,
+            );
+        }
+        if let Some(mtbf) = config.corruption_mtbf {
+            windows(
+                mtbf,
+                config.corruption_duration,
+                "fault/corruption",
+                || FaultKind::CorruptionStart,
+                || FaultKind::CorruptionEnd,
+                &mut events,
+            );
+        }
+
+        // Stable order: by time, ties broken by a deterministic kind/node
+        // key so the schedule is identical across runs and platforms.
+        events.sort_by_key(|e| (e.at, sort_key(e.kind)));
+        FaultSchedule {
+            events,
+            config: *config,
+        }
+    }
+
+    /// The sorted fault timeline.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The config this schedule was generated from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Number of node crashes in the timeline.
+    pub fn node_failure_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeDown(_)))
+            .count()
+    }
+
+    /// Number of blackout windows in the timeline.
+    pub fn blackout_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::BlackoutStart))
+            .count()
+    }
+}
+
+/// Deterministic tie-break ordering: ends before starts at equal times so a
+/// zero-length window never leaves a consumer stuck "inside" it, then by
+/// node id.
+fn sort_key(kind: FaultKind) -> (u8, u32) {
+    match kind {
+        FaultKind::NodeUp(n) => (0, n),
+        FaultKind::BlackoutEnd => (1, 0),
+        FaultKind::CorruptionEnd => (2, 0),
+        FaultKind::NodeDown(n) => (3, n),
+        FaultKind::BlackoutStart => (4, 0),
+        FaultKind::CorruptionStart => (5, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn faulty_config(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            horizon: SimDuration::from_hours(1),
+            node_mtbf: Some(SimDuration::from_mins(20)),
+            node_mttr: SimDuration::from_mins(4),
+            blackout_mtbf: Some(SimDuration::from_mins(15)),
+            blackout_duration: SimDuration::from_mins(3),
+            corruption_mtbf: Some(SimDuration::from_mins(25)),
+            corruption_duration: SimDuration::from_mins(2),
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_is_inert() {
+        let schedule = FaultSchedule::generate(&FaultConfig::none(), 64);
+        assert!(FaultConfig::none().is_inert());
+        assert!(schedule.events().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let a = FaultSchedule::generate(&faulty_config(9), 32);
+        let b = FaultSchedule::generate(&faulty_config(9), 32);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.events().is_empty(), "an hour at these rates must fault");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultSchedule::generate(&faulty_config(1), 32);
+        let b = FaultSchedule::generate(&faulty_config(2), 32);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn every_down_has_its_up() {
+        let schedule = FaultSchedule::generate(&faulty_config(7), 16);
+        let mut down: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+        for e in schedule.events() {
+            match e.kind {
+                FaultKind::NodeDown(n) => *down.entry(n).or_insert(0) += 1,
+                FaultKind::NodeUp(n) => *down.entry(n).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        assert!(down.values().all(|&v| v == 0), "unbalanced: {down:?}");
+        assert_eq!(
+            schedule.blackout_count() * 2,
+            schedule
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::BlackoutStart | FaultKind::BlackoutEnd))
+                .count()
+        );
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let schedule = FaultSchedule::generate(&faulty_config(3), 48);
+        let times: Vec<SimTime> = schedule.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn crashes_start_inside_horizon() {
+        let schedule = FaultSchedule::generate(&faulty_config(5), 16);
+        let horizon = SimTime::ZERO + faulty_config(5).horizon;
+        for e in schedule.events() {
+            if matches!(
+                e.kind,
+                FaultKind::NodeDown(_) | FaultKind::BlackoutStart | FaultKind::CorruptionStart
+            ) {
+                assert!(e.at < horizon, "fault {e:?} starts past the horizon");
+            }
+        }
+    }
+
+    #[test]
+    fn node_processes_are_independent() {
+        // Adding nodes must not change existing nodes' crash times.
+        let small = FaultSchedule::generate(&faulty_config(11), 4);
+        let large = FaultSchedule::generate(&faulty_config(11), 8);
+        let crashes = |s: &FaultSchedule, node: u32| -> Vec<SimTime> {
+            s.events()
+                .iter()
+                .filter(|e| e.kind == FaultKind::NodeDown(node))
+                .map(|e| e.at)
+                .collect()
+        };
+        for node in 0..4 {
+            assert_eq!(crashes(&small, node), crashes(&large, node));
+        }
+    }
+}

@@ -127,7 +127,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.min_value, other.min_value, "bucket layout mismatch");
         assert_eq!(self.log_ratio, other.log_ratio, "bucket layout mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket layout mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket layout mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -164,7 +168,10 @@ mod tests {
             let exact = crate::stats::percentile(&values, p);
             let approx = h.percentile(p);
             let rel = (approx - exact).abs() / exact;
-            assert!(rel < 0.06, "p{p}: approx {approx}, exact {exact}, rel {rel}");
+            assert!(
+                rel < 0.06,
+                "p{p}: approx {approx}, exact {exact}, rel {rel}"
+            );
         }
     }
 
@@ -204,7 +211,7 @@ mod tests {
         assert_eq!(a.max(), 8.0);
         assert_eq!(a.min(), 1.0);
         let median = a.percentile(50.0);
-        assert!(median >= 1.8 && median <= 4.3, "median {median}");
+        assert!((1.8..=4.3).contains(&median), "median {median}");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod histogram;
 pub mod rng;
 pub mod series;
@@ -46,6 +47,7 @@ pub mod time;
 
 pub use engine::{Engine, EventHandler, StepOutcome};
 pub use event::{EventEntry, EventQueue};
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};
 pub use histogram::Histogram;
 pub use rng::RngStreams;
 pub use series::TimeSeries;

@@ -40,7 +40,9 @@ impl RngStreams {
     /// stream per node or per trial.
     pub fn indexed_stream(&self, name: &str, index: u64) -> SmallRng {
         let base = derive_seed(self.master, name);
-        SmallRng::seed_from_u64(splitmix64(base ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
+        SmallRng::seed_from_u64(splitmix64(
+            base ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ))
     }
 }
 
@@ -72,8 +74,16 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let streams = RngStreams::new(42);
-        let a: Vec<u64> = streams.stream("noise").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = streams.stream("noise").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = streams
+            .stream("noise")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = streams
+            .stream("noise")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -183,7 +183,10 @@ mod tests {
     fn empty_window_aggregates_to_zero() {
         let ts = sample_series();
         assert_eq!(ts.aggregate(t(50), t(60)), WindowAggregate::EMPTY);
-        assert_eq!(TimeSeries::new().aggregate(t(0), t(10)), WindowAggregate::EMPTY);
+        assert_eq!(
+            TimeSeries::new().aggregate(t(0), t(10)),
+            WindowAggregate::EMPTY
+        );
     }
 
     #[test]

@@ -228,15 +228,24 @@ mod tests {
     fn negative_and_nan_clamp_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-2.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn arithmetic_saturates() {
         let d = SimDuration::from_secs(10);
         assert_eq!(SimTime::MAX + d, SimTime::MAX);
-        assert_eq!(SimTime::from_secs(1).since(SimTime::from_secs(5)), SimDuration::ZERO);
-        assert_eq!(SimTime::from_secs(5).since(SimTime::from_secs(1)), SimDuration::from_secs(4));
+        assert_eq!(
+            SimTime::from_secs(1).since(SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::from_secs(5).since(SimTime::from_secs(1)),
+            SimDuration::from_secs(4)
+        );
         assert_eq!(d - SimDuration::from_secs(20), SimDuration::ZERO);
     }
 

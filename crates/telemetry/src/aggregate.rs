@@ -9,7 +9,7 @@
 use crate::store::MetricStore;
 use rush_cluster::topology::NodeId;
 use rush_simkit::stats::OnlineStats;
-use rush_simkit::time::SimTime;
+use rush_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// The `(min, max, mean)` of one counter pooled over a window and node set.
@@ -70,6 +70,46 @@ pub fn aggregate_counters(
         }
     }
     out
+}
+
+/// How trustworthy an aggregation window is under telemetry faults.
+///
+/// Coverage is the fraction of scheduled samples that actually arrived;
+/// staleness is the age of the freshest sample relative to the window end.
+/// A predictor should refuse to predict from a window whose coverage is too
+/// low or whose data is too stale — that is the graceful-degradation signal
+/// the scheduler keys off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowQuality {
+    /// `kept / (kept + lost)` over the window and node set; 1.0 when
+    /// nothing was scheduled.
+    pub coverage: f64,
+    /// Age of the most recent sample at the window end; `None` when the
+    /// node set has no samples at all (maximally stale).
+    pub staleness: Option<SimDuration>,
+}
+
+impl WindowQuality {
+    /// True when the window meets a minimum coverage fraction *and* has at
+    /// least one sample inside it.
+    pub fn is_usable(&self, min_coverage: f64, window: SimDuration) -> bool {
+        self.coverage >= min_coverage && self.staleness.is_some_and(|age| age <= window)
+    }
+}
+
+/// Measures coverage and staleness of `[from, to)` across `nodes`.
+pub fn window_quality(
+    store: &MetricStore,
+    nodes: &[NodeId],
+    from: SimTime,
+    to: SimTime,
+) -> WindowQuality {
+    WindowQuality {
+        coverage: store.coverage(nodes, from, to),
+        staleness: store
+            .latest_sample_at(nodes, to)
+            .map(|latest| to.since(latest)),
+    }
 }
 
 /// Flattens per-counter aggregates into the feature layout of Table I:
@@ -140,6 +180,36 @@ mod tests {
         assert_eq!(aggs[0], CounterAggregate::EMPTY);
         let none = aggregate_counters(&store, &[], t(0), t(30));
         assert_eq!(none[1], CounterAggregate::EMPTY);
+    }
+
+    #[test]
+    fn window_quality_reports_coverage_and_staleness() {
+        let mut store = MetricStore::new(2, 1);
+        store.record(NodeId(0), t(0), &[1.0]);
+        store.record(NodeId(0), t(10), &[1.0]);
+        store.record_gap(NodeId(0), t(20), crate::store::GapReason::Blackout);
+        store.record_gap(NodeId(0), t(30), crate::store::GapReason::Blackout);
+        let q = window_quality(&store, &[NodeId(0)], t(0), t(40));
+        assert!((q.coverage - 0.5).abs() < 1e-12);
+        assert_eq!(q.staleness, Some(SimDuration::from_secs(30)));
+        assert!(q.is_usable(0.5, SimDuration::from_secs(40)));
+        assert!(
+            !q.is_usable(0.75, SimDuration::from_secs(40)),
+            "coverage gate"
+        );
+        assert!(
+            !q.is_usable(0.5, SimDuration::from_secs(10)),
+            "staleness gate"
+        );
+    }
+
+    #[test]
+    fn window_quality_with_no_samples_is_maximally_stale() {
+        let store = MetricStore::new(1, 1);
+        let q = window_quality(&store, &[NodeId(0)], t(0), t(300));
+        assert_eq!(q.coverage, 1.0, "nothing scheduled, nothing lost");
+        assert_eq!(q.staleness, None);
+        assert!(!q.is_usable(0.0, SimDuration::from_secs(300)));
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! boundary it crossed, so sampling cadence is independent of the caller's
 //! event granularity.
 
-use crate::store::MetricStore;
+use crate::store::{GapReason, MetricStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rush_cluster::machine::Machine;
+use rush_cluster::machine::{Machine, NodeHealth};
 use rush_cluster::topology::NodeId;
 use rush_simkit::time::{SimDuration, SimTime};
 
@@ -25,6 +25,15 @@ pub struct Sampler {
     /// Per-node-sample loss probability (real LDMS collections have gaps:
     /// daemon restarts, network hiccups, aggregation stalls).
     dropout: f64,
+    /// While set, every scheduled sample is lost as a
+    /// [`GapReason::Blackout`] gap (fault injection: collection pipeline
+    /// dark machine-wide).
+    blackout: bool,
+    /// While set, each drawn sample is discarded with `corruption_prob` as
+    /// a [`GapReason::Corrupt`] gap (fault injection: garbage counters).
+    corruption: bool,
+    corruption_prob: f64,
+    corrupted: u64,
     rng: SmallRng,
 }
 
@@ -39,6 +48,10 @@ impl Sampler {
             samples_taken: 0,
             dropped: 0,
             dropout: 0.0,
+            blackout: false,
+            corruption: false,
+            corruption_prob: 0.5,
+            corrupted: 0,
             rng: SmallRng::seed_from_u64(0),
         }
     }
@@ -54,9 +67,44 @@ impl Sampler {
         self
     }
 
+    /// Sets the per-sample discard probability used while corruption is
+    /// active (see [`Sampler::set_corruption`]).
+    pub fn with_corruption_prob(mut self, prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "corruption prob must be in [0, 1]"
+        );
+        self.corruption_prob = prob;
+        self
+    }
+
+    /// Switches the machine-wide telemetry blackout on or off. While on,
+    /// every scheduled sample becomes an explicit [`GapReason::Blackout`]
+    /// gap in the store.
+    pub fn set_blackout(&mut self, active: bool) {
+        self.blackout = active;
+    }
+
+    /// Switches counter corruption on or off. While on, each drawn sample
+    /// is discarded with the configured probability as a
+    /// [`GapReason::Corrupt`] gap.
+    pub fn set_corruption(&mut self, active: bool) {
+        self.corruption = active;
+    }
+
+    /// Whether a blackout is currently active.
+    pub fn blackout_active(&self) -> bool {
+        self.blackout
+    }
+
     /// Per-node samples lost to dropout so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Per-node samples discarded as corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
     }
 
     /// The sampling interval.
@@ -82,8 +130,25 @@ impl Sampler {
             let at = self.next_due;
             machine.advance_to(at);
             for &node in &self.nodes {
+                // Every lost sample leaves an explicit gap record so
+                // downstream coverage queries see *why* data is missing,
+                // not just that it is.
+                if self.blackout {
+                    store.record_gap(node, at, GapReason::Blackout);
+                    continue;
+                }
+                if machine.node_health(node) == NodeHealth::Down {
+                    store.record_gap(node, at, GapReason::NodeDown);
+                    continue;
+                }
                 if self.dropout > 0.0 && self.rng.gen::<f64>() < self.dropout {
                     self.dropped += 1;
+                    store.record_gap(node, at, GapReason::Dropout);
+                    continue;
+                }
+                if self.corruption && self.rng.gen::<f64>() < self.corruption_prob {
+                    self.corrupted += 1;
+                    store.record_gap(node, at, GapReason::Corrupt);
                     continue;
                 }
                 let values = machine.sample_counters(node);
@@ -115,7 +180,12 @@ mod tests {
         sampler.advance_to(SimTime::from_secs(95), &mut machine, &mut store);
         // rounds at t = 0, 30, 60, 90
         assert_eq!(sampler.samples_taken(), 4);
-        assert_eq!(store.window(NodeId(0), 0, SimTime::ZERO, SimTime::from_secs(100)).len(), 4);
+        assert_eq!(
+            store
+                .window(NodeId(0), 0, SimTime::ZERO, SimTime::from_secs(100))
+                .len(),
+            4
+        );
         assert_eq!(sampler.next_due(), SimTime::from_secs(120));
     }
 
@@ -142,7 +212,12 @@ mod tests {
     fn samples_have_store_width() {
         let (mut machine, mut store, mut sampler) = setup();
         sampler.advance_to(SimTime::ZERO, &mut machine, &mut store);
-        assert_eq!(store.window(NodeId(3), 89, SimTime::ZERO, SimTime::from_secs(1)).len(), 1);
+        assert_eq!(
+            store
+                .window(NodeId(3), 89, SimTime::ZERO, SimTime::from_secs(1))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -156,8 +231,7 @@ mod tests {
         let (mut machine, mut store, _) = setup();
         let node_count = machine.tree().node_count();
         let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
-        let mut sampler =
-            Sampler::new(nodes, SimDuration::from_secs(30)).with_dropout(0.3, 7);
+        let mut sampler = Sampler::new(nodes, SimDuration::from_secs(30)).with_dropout(0.3, 7);
         sampler.advance_to(SimTime::from_mins(5), &mut machine, &mut store);
         let expected_full = 11 * node_count as u64; // rounds t=0..300
         assert!(sampler.dropped() > 0, "30% dropout must lose something");
@@ -190,5 +264,99 @@ mod tests {
     #[should_panic(expected = "dropout")]
     fn full_dropout_rejected() {
         Sampler::new(vec![], SimDuration::from_secs(1)).with_dropout(1.0, 0);
+    }
+
+    #[test]
+    fn dropout_losses_become_explicit_gaps() {
+        let (mut machine, mut store, _) = setup();
+        let node_count = machine.tree().node_count();
+        let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
+        let mut sampler =
+            Sampler::new(nodes.clone(), SimDuration::from_secs(30)).with_dropout(0.3, 7);
+        sampler.advance_to(SimTime::from_mins(5), &mut machine, &mut store);
+        assert_eq!(
+            store.gap_count() as u64,
+            sampler.dropped(),
+            "every dropped sample must leave a gap record"
+        );
+        assert!(store
+            .gaps(NodeId(0))
+            .iter()
+            .all(|g| g.reason == crate::store::GapReason::Dropout));
+        let cov = store.coverage(&nodes, SimTime::ZERO, SimTime::from_mins(6));
+        assert!(cov < 1.0 && cov > 0.4, "~30% dropout coverage, got {cov}");
+    }
+
+    #[test]
+    fn blackout_window_leaves_only_gaps() {
+        let (mut machine, mut store, mut sampler) = setup();
+        let nodes: Vec<NodeId> = (0..machine.tree().node_count()).map(NodeId).collect();
+        sampler.advance_to(SimTime::from_secs(30), &mut machine, &mut store);
+        let before = store.point_count();
+        sampler.set_blackout(true);
+        assert!(sampler.blackout_active());
+        sampler.advance_to(SimTime::from_secs(90), &mut machine, &mut store);
+        assert_eq!(store.point_count(), before, "no data during blackout");
+        // Rounds at t=60 and t=90 missed for every node.
+        assert_eq!(store.gap_count(), 2 * nodes.len());
+        sampler.set_blackout(false);
+        sampler.advance_to(SimTime::from_secs(120), &mut machine, &mut store);
+        assert!(
+            store.point_count() > before,
+            "sampling resumes after blackout"
+        );
+        // Coverage over the blackout stretch is zero.
+        let cov = store.coverage(&nodes, SimTime::from_secs(60), SimTime::from_secs(91));
+        assert_eq!(cov, 0.0);
+    }
+
+    #[test]
+    fn corruption_discards_with_configured_probability() {
+        let (mut machine, mut store, _) = setup();
+        let nodes: Vec<NodeId> = (0..machine.tree().node_count()).map(NodeId).collect();
+        let mut sampler = Sampler::new(nodes, SimDuration::from_secs(30))
+            .with_dropout(0.0, 3)
+            .with_corruption_prob(1.0);
+        sampler.set_corruption(true);
+        sampler.advance_to(SimTime::from_secs(60), &mut machine, &mut store);
+        assert_eq!(store.point_count(), 0, "prob 1.0 corrupts everything");
+        assert!(sampler.corrupted() > 0);
+        assert!(store
+            .gaps(NodeId(0))
+            .iter()
+            .all(|g| g.reason == crate::store::GapReason::Corrupt));
+        sampler.set_corruption(false);
+        sampler.advance_to(SimTime::from_secs(120), &mut machine, &mut store);
+        assert!(store.point_count() > 0, "clean samples after the window");
+    }
+
+    #[test]
+    fn down_node_leaves_node_down_gaps() {
+        let (mut machine, mut store, mut sampler) = setup();
+        machine.fail_node(NodeId(2));
+        sampler.advance_to(SimTime::from_secs(30), &mut machine, &mut store);
+        assert_eq!(store.gaps(NodeId(2)).len(), 2, "rounds at t=0 and t=30");
+        assert!(store
+            .gaps(NodeId(2))
+            .iter()
+            .all(|g| g.reason == crate::store::GapReason::NodeDown));
+        // Healthy nodes unaffected.
+        assert!(store.gaps(NodeId(0)).is_empty());
+        assert_eq!(
+            store
+                .window(NodeId(0), 0, SimTime::ZERO, SimTime::from_secs(31))
+                .len(),
+            2
+        );
+        // A recovered (Suspect) node is monitored again.
+        machine.recover_node(NodeId(2));
+        sampler.advance_to(SimTime::from_secs(60), &mut machine, &mut store);
+        assert_eq!(
+            store
+                .window(NodeId(2), 0, SimTime::ZERO, SimTime::from_secs(61))
+                .len(),
+            1,
+            "suspect node samples again"
+        );
     }
 }

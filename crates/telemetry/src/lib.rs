@@ -27,7 +27,7 @@ pub mod export;
 pub mod schema;
 pub mod store;
 
-pub use aggregate::{aggregate_counters, CounterAggregate};
+pub use aggregate::{aggregate_counters, window_quality, CounterAggregate, WindowQuality};
 pub use collector::Sampler;
 pub use schema::FeatureSchema;
-pub use store::MetricStore;
+pub use store::{Gap, GapReason, MetricStore};

@@ -8,6 +8,34 @@
 use rush_cluster::topology::NodeId;
 use rush_simkit::series::TimeSeries;
 use rush_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Why a scheduled sample never made it into the store.
+///
+/// Real monitoring pipelines lose data for distinguishable reasons, and the
+/// fault-injection layer reproduces them as *explicit* gap records rather
+/// than silence: downstream consumers can then compute coverage and decide
+/// whether a window is trustworthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GapReason {
+    /// Random monitoring-pipeline loss (daemon restart, network hiccup).
+    Dropout,
+    /// A machine-wide telemetry blackout window was active.
+    Blackout,
+    /// The sample was drawn but corrupted and had to be discarded.
+    Corrupt,
+    /// The node was down; nothing to sample.
+    NodeDown,
+}
+
+/// One missing sample: when it was due and why it is missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gap {
+    /// The sampling-round timestamp the sample was due at.
+    pub at: SimTime,
+    /// Why it is missing.
+    pub reason: GapReason,
+}
 
 /// Per-node, per-counter sample storage.
 #[derive(Debug, Clone)]
@@ -15,6 +43,8 @@ pub struct MetricStore {
     node_count: u32,
     counter_count: usize,
     series: Vec<TimeSeries>,
+    /// Missing-sample records per node, append-only in time order.
+    gaps: Vec<Vec<Gap>>,
 }
 
 impl MetricStore {
@@ -25,6 +55,7 @@ impl MetricStore {
             node_count,
             counter_count,
             series: vec![TimeSeries::new(); node_count as usize * counter_count],
+            gaps: vec![Vec::new(); node_count as usize],
         }
     }
 
@@ -40,7 +71,10 @@ impl MetricStore {
 
     fn index(&self, node: NodeId, counter: usize) -> usize {
         debug_assert!(node.0 < self.node_count, "node {node:?} out of range");
-        debug_assert!(counter < self.counter_count, "counter {counter} out of range");
+        debug_assert!(
+            counter < self.counter_count,
+            "counter {counter} out of range"
+        );
         node.0 as usize * self.counter_count + counter
     }
 
@@ -62,6 +96,62 @@ impl MetricStore {
         }
     }
 
+    /// Records that `node`'s sample due at `at` was lost, and why.
+    pub fn record_gap(&mut self, node: NodeId, at: SimTime, reason: GapReason) {
+        debug_assert!(node.0 < self.node_count, "node {node:?} out of range");
+        self.gaps[node.0 as usize].push(Gap { at, reason });
+    }
+
+    /// The missing-sample records for `node`, in time order.
+    pub fn gaps(&self, node: NodeId) -> &[Gap] {
+        &self.gaps[node.0 as usize]
+    }
+
+    /// Total gap records across all nodes.
+    pub fn gap_count(&self) -> usize {
+        self.gaps.iter().map(Vec::len).sum()
+    }
+
+    /// Fraction of scheduled samples in `[from, to)` across `nodes` that
+    /// actually made it into the store: `kept / (kept + lost)`.
+    ///
+    /// Returns 1.0 when nothing was scheduled in the window — an empty
+    /// window is "fully covered", not suspicious; staleness is the signal
+    /// for that case (see [`crate::aggregate::window_quality`]).
+    pub fn coverage(&self, nodes: &[NodeId], from: SimTime, to: SimTime) -> f64 {
+        let mut kept = 0usize;
+        let mut lost = 0usize;
+        for &node in nodes {
+            kept += self.window(node, 0, from, to).len();
+            lost += self.gaps[node.0 as usize]
+                .iter()
+                .filter(|g| g.at >= from && g.at < to)
+                .count();
+        }
+        if kept + lost == 0 {
+            1.0
+        } else {
+            kept as f64 / (kept + lost) as f64
+        }
+    }
+
+    /// Timestamp of the most recent stored sample at or before `t` across
+    /// `nodes`; `None` if no node has any sample by then.
+    pub fn latest_sample_at(&self, nodes: &[NodeId], t: SimTime) -> Option<SimTime> {
+        let mut latest = None;
+        for &node in nodes {
+            // All counters of a node share timestamps, so counter 0 is
+            // representative.
+            for (at, _) in self.series(node, 0).iter() {
+                if at > t {
+                    break;
+                }
+                latest = latest.max(Some(at));
+            }
+        }
+        latest
+    }
+
     /// The series for one `(node, counter)` pair.
     pub fn series(&self, node: NodeId, counter: usize) -> &TimeSeries {
         &self.series[self.index(node, counter)]
@@ -77,10 +167,17 @@ impl MetricStore {
         self.series.iter().map(TimeSeries::len).sum()
     }
 
-    /// Drops all samples before `cutoff` (memory bound for long campaigns).
+    /// Drops all samples and gap records before `cutoff` (memory bound for
+    /// long campaigns).
     pub fn retain_from(&mut self, cutoff: SimTime) {
         for s in &mut self.series {
             s.retain_from(cutoff);
+        }
+        for g in &mut self.gaps {
+            let lo = g.partition_point(|gap| gap.at < cutoff);
+            if lo > 0 {
+                g.drain(..lo);
+            }
         }
     }
 }
@@ -135,5 +232,69 @@ mod tests {
     #[should_panic(expected = "at least one counter")]
     fn zero_width_rejected() {
         MetricStore::new(1, 0);
+    }
+
+    #[test]
+    fn gaps_recorded_and_counted() {
+        let mut store = MetricStore::new(2, 1);
+        store.record(NodeId(0), t(0), &[1.0]);
+        store.record_gap(NodeId(0), t(10), GapReason::Dropout);
+        store.record_gap(NodeId(1), t(10), GapReason::Blackout);
+        assert_eq!(store.gap_count(), 2);
+        assert_eq!(store.gaps(NodeId(0)).len(), 1);
+        assert_eq!(store.gaps(NodeId(0))[0].reason, GapReason::Dropout);
+        assert_eq!(store.gaps(NodeId(1))[0].at, t(10));
+    }
+
+    #[test]
+    fn coverage_is_kept_over_scheduled() {
+        let mut store = MetricStore::new(2, 1);
+        // node 0: 3 kept, 1 lost; node 1: 2 kept, 2 lost
+        store.record(NodeId(0), t(0), &[1.0]);
+        store.record(NodeId(0), t(10), &[1.0]);
+        store.record(NodeId(0), t(20), &[1.0]);
+        store.record_gap(NodeId(0), t(30), GapReason::Dropout);
+        store.record(NodeId(1), t(0), &[1.0]);
+        store.record_gap(NodeId(1), t(10), GapReason::NodeDown);
+        store.record_gap(NodeId(1), t(20), GapReason::Corrupt);
+        store.record(NodeId(1), t(30), &[1.0]);
+        let both = [NodeId(0), NodeId(1)];
+        // 5 kept of 8 scheduled over the full window
+        assert!((store.coverage(&both, t(0), t(40)) - 5.0 / 8.0).abs() < 1e-12);
+        // Window bounds apply: at [10, 30) node 0 keeps 2/2, node 1 0/2.
+        assert!((store.coverage(&both, t(10), t(30)) - 0.5).abs() < 1e-12);
+        // Only node 0 over the same window is fully covered.
+        assert_eq!(store.coverage(&[NodeId(0)], t(10), t(30)), 1.0);
+    }
+
+    #[test]
+    fn empty_window_coverage_is_full() {
+        let store = MetricStore::new(2, 1);
+        assert_eq!(store.coverage(&[NodeId(0)], t(0), t(100)), 1.0);
+    }
+
+    #[test]
+    fn latest_sample_tracks_staleness_source() {
+        let mut store = MetricStore::new(2, 2);
+        assert_eq!(store.latest_sample_at(&[NodeId(0)], t(100)), None);
+        store.record(NodeId(0), t(10), &[1.0, 2.0]);
+        store.record(NodeId(1), t(25), &[1.0, 2.0]);
+        let both = [NodeId(0), NodeId(1)];
+        assert_eq!(store.latest_sample_at(&both, t(100)), Some(t(25)));
+        assert_eq!(store.latest_sample_at(&both, t(20)), Some(t(10)));
+        // inclusive upper bound
+        assert_eq!(store.latest_sample_at(&both, t(25)), Some(t(25)));
+        assert_eq!(store.latest_sample_at(&both, t(5)), None);
+    }
+
+    #[test]
+    fn retain_from_prunes_gaps_too() {
+        let mut store = MetricStore::new(1, 1);
+        for s in 0..10 {
+            store.record_gap(NodeId(0), t(s), GapReason::Dropout);
+        }
+        store.retain_from(t(7));
+        assert_eq!(store.gap_count(), 3);
+        assert_eq!(store.gaps(NodeId(0))[0].at, t(7));
     }
 }

@@ -31,8 +31,7 @@ pub const STARTUP_WEIGHT: f64 = 2.5;
 /// Penalty multiplier after startup, chosen so a constant-congestion run
 /// has the same total slowdown as the unweighted model:
 /// `STARTUP_FRACTION·STARTUP_WEIGHT + (1−STARTUP_FRACTION)·TAIL_WEIGHT = 1`.
-pub const TAIL_WEIGHT: f64 =
-    (1.0 - STARTUP_FRACTION * STARTUP_WEIGHT) / (1.0 - STARTUP_FRACTION);
+pub const TAIL_WEIGHT: f64 = (1.0 - STARTUP_FRACTION * STARTUP_WEIGHT) / (1.0 - STARTUP_FRACTION);
 
 /// Identifies one of the seven proxy applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -364,7 +363,11 @@ mod tests {
             let idx = oh.iter().position(|&v| v == 1.0).unwrap();
             seen[idx] = true;
         }
-        assert_eq!(seen, [true, true, true], "need compute, network and io apps");
+        assert_eq!(
+            seen,
+            [true, true, true],
+            "need compute, network and io apps"
+        );
     }
 
     #[test]

@@ -156,7 +156,7 @@ mod tests {
         let jobs = generate_jobs(&spec, &mut rng());
         let upfront = jobs.iter().filter(|j| j.submit_at == SimTime::ZERO).count();
         assert_eq!(upfront, 38); // 20% of 190
-        // the rest arrive inside the 20-minute window
+                                 // the rest arrive inside the 20-minute window
         for j in &jobs {
             assert!(j.submit_at <= SimTime::from_mins(20));
         }

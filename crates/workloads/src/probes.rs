@@ -76,7 +76,11 @@ impl ProbeMeasurement {
             } else {
                 sum / waits.len() as f64
             };
-            let (min, max) = if waits.is_empty() { (0.0, 0.0) } else { (min, max) };
+            let (min, max) = if waits.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (min, max)
+            };
             out[i * 3] = min;
             out[i * 3 + 1] = max;
             out[i * 3 + 2] = mean;
@@ -169,7 +173,11 @@ mod tests {
         let calm = run_probes(&mut m, &ns, &ProbeConfig::default(), &mut rng());
         // Load the fabric heavily with several machine-spanning sources.
         for id in 1..6 {
-            m.register_load(SourceId(id), nodes(0..16), WorkloadIntensity::new(0.0, 1.0, 0.0));
+            m.register_load(
+                SourceId(id),
+                nodes(0..16),
+                WorkloadIntensity::new(0.0, 1.0, 0.0),
+            );
         }
         let busy = run_probes(&mut m, &ns, &ProbeConfig::default(), &mut rng());
         let calm_f = calm.features();

@@ -204,7 +204,7 @@ mod tests {
         assert_eq!(requests[2].nodes, 4); // 128 procs
         assert_eq!(requests[0].app, AppId::Amg); // 180s
         assert_eq!(requests[1].app, AppId::Lbann); // 350s -> closest 360
-        // dense renumbering
+                                                   // dense renumbering
         let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
         // submits preserved

@@ -26,14 +26,22 @@ fn main() {
     println!("AdaBoost grid (stratified 4-fold CV F1):");
     let result = grid_search(&adaboost_grid(), &data, 4, 7);
     for (label, f1) in &result.scores {
-        let marker = if *label == result.best_label { "  <-- best" } else { "" };
+        let marker = if *label == result.best_label {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("  {label:36} {f1:.3}{marker}");
     }
 
     println!("\nKNN grid:");
     let result = grid_search(&knn_grid(), &data, 4, 7);
     for (label, f1) in &result.scores {
-        let marker = if *label == result.best_label { "  <-- best" } else { "" };
+        let marker = if *label == result.best_label {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("  {label:36} {f1:.3}{marker}");
     }
 }

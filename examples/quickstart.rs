@@ -9,9 +9,9 @@
 //! campaign and queue so it finishes in seconds; the bench binaries run
 //! the paper-scale versions.
 
+use rush_repro::core::collect::run_campaign;
 use rush_repro::core::config::CampaignConfig;
 use rush_repro::core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_repro::core::collect::run_campaign;
 use rush_repro::ml::model::ModelKind;
 
 fn main() {

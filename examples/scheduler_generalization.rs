@@ -32,8 +32,14 @@ fn main() {
         let comparison = run_comparison(exp, &campaign, &settings);
         let (fcfs_var, rush_var) = comparison.mean_variation_runs();
         let (fcfs_mk, rush_mk) = comparison.mean_makespan();
-        println!("{:10}  FCFS+EASY  {fcfs_var:9.1}  {fcfs_mk:10.0}", exp.code());
-        println!("{:10}  RUSH       {rush_var:9.1}  {rush_mk:10.0}", exp.code());
+        println!(
+            "{:10}  FCFS+EASY  {fcfs_var:9.1}  {fcfs_mk:10.0}",
+            exp.code()
+        );
+        println!(
+            "{:10}  RUSH       {rush_var:9.1}  {rush_mk:10.0}",
+            exp.code()
+        );
     }
     println!(
         "\nIf PDPA's RUSH row resembles ADPA's, the model generalizes to\n\

@@ -34,7 +34,10 @@ fn main() {
     println!("parsed {} usable jobs from the trace", jobs.len());
     let requests = swf::to_requests(&jobs, 36, 480);
     for r in requests.iter().take(4) {
-        println!("  job{}: {} on {} nodes at {}", r.id, r.app, r.nodes, r.submit_at);
+        println!(
+            "  job{}: {} on {} nodes at {}",
+            r.id, r.app, r.nodes, r.submit_at
+        );
     }
 
     for (label, rush) in [("FCFS+EASY", false), ("RUSH(oracle)", true)] {

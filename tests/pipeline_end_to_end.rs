@@ -3,9 +3,7 @@
 
 use rush_repro::core::collect::{run_campaign, CampaignData};
 use rush_repro::core::config::CampaignConfig;
-use rush_repro::core::experiments::{
-    run_comparison, Experiment, ExperimentSettings, PolicyKind,
-};
+use rush_repro::core::experiments::{run_comparison, Experiment, ExperimentSettings, PolicyKind};
 use rush_repro::core::labels::{build_dataset, LabelScheme, NodeScope};
 use rush_repro::core::pipeline::{build_reference, Pipeline};
 use rush_repro::ml::model::{Classifier, ModelKind};

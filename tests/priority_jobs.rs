@@ -7,7 +7,9 @@ use rush_repro::cluster::machine::{Machine, MachineConfig};
 use rush_repro::cluster::topology::NodeId;
 use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
 use rush_repro::sched::job::Job;
-use rush_repro::sched::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
+use rush_repro::sched::predictor::{
+    PredictError, PredictorCtx, VariabilityClass, VariabilityPredictor,
+};
 use rush_repro::simkit::time::SimTime;
 use rush_repro::workloads::apps::AppId;
 use rush_repro::workloads::jobgen::JobRequest;
@@ -20,8 +22,8 @@ impl VariabilityPredictor for AlwaysVaries {
         _job: &Job,
         _nodes: &[NodeId],
         _ctx: &mut PredictorCtx<'_>,
-    ) -> VariabilityClass {
-        VariabilityClass::Variation
+    ) -> Result<VariabilityClass, PredictError> {
+        Ok(VariabilityClass::Variation)
     }
     fn name(&self) -> &str {
         "always-varies"

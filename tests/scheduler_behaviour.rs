@@ -2,6 +2,7 @@
 //! the FCFS+EASY baseline on identical machines — the Algorithm-1/2
 //! semantics without ML noise in the loop.
 
+use rand::SeedableRng;
 use rush_repro::cluster::machine::{Machine, MachineConfig};
 use rush_repro::cluster::topology::NodeId;
 use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
@@ -10,7 +11,6 @@ use rush_repro::sched::predictor::{CongestionOracle, NeverVaries, VariabilityPre
 use rush_repro::simkit::time::{SimDuration, SimTime};
 use rush_repro::workloads::apps::AppId;
 use rush_repro::workloads::jobgen::{generate_jobs, WorkloadSpec};
-use rand::SeedableRng;
 
 fn experiment_run(
     predictor: Box<dyn VariabilityPredictor>,
@@ -22,7 +22,13 @@ fn experiment_run(
     let mut engine = SchedulerEngine::new(
         machine,
         SchedulerConfig {
+            // Sampling is effectively off for these oracle tests (they need
+            // no counter features); widen the quality gate's window and the
+            // store retention to match or the engine would fall back to
+            // plain EASY on staleness.
             sampling_interval: SimDuration::from_days(365),
+            predictor_window: SimDuration::from_days(365),
+            retention: SimDuration::from_days(400),
             ..SchedulerConfig::default()
         },
         predictor,
@@ -99,8 +105,11 @@ fn skips_recorded_on_completed_jobs_respect_threshold() {
             _job: &rush_repro::sched::job::Job,
             _nodes: &[NodeId],
             _ctx: &mut rush_repro::sched::predictor::PredictorCtx<'_>,
-        ) -> rush_repro::sched::predictor::VariabilityClass {
-            rush_repro::sched::predictor::VariabilityClass::Variation
+        ) -> Result<
+            rush_repro::sched::predictor::VariabilityClass,
+            rush_repro::sched::predictor::PredictError,
+        > {
+            Ok(rush_repro::sched::predictor::VariabilityClass::Variation)
         }
         fn name(&self) -> &str {
             "always"

@@ -64,8 +64,7 @@ fn delays_appear_in_the_trace() {
         VariabilityClass::Variation,
         VariabilityClass::Variation,
     ]);
-    let mut engine =
-        SchedulerEngine::new(machine, SchedulerConfig::default(), Box::new(script), 4);
+    let mut engine = SchedulerEngine::new(machine, SchedulerConfig::default(), Box::new(script), 4);
     let result = engine.run(&requests(3));
     assert_eq!(result.trace.delay_count() as u64, result.total_skips);
     assert!(result.total_skips >= 1);

@@ -1,0 +1,129 @@
+//! Offline stub of `criterion`.
+//!
+//! Benchmarks compile and run, timing each routine over a handful of
+//! iterations with `std::time::Instant` and printing one line per
+//! benchmark. No statistics, no reports — enough to exercise benchmark
+//! code paths and eyeball regressions when the real crate is unavailable.
+
+use std::time::Instant;
+
+/// How batched inputs are sized (ignored by the stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            iters: 10,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count hint; the stub maps it to iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(1, 100);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: u64, f: &mut F) {
+    let mut b = Bencher {
+        iters,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed_ns / iters.max(1);
+    println!("  {name}: ~{per_iter} ns/iter ({iters} iters)");
+}
+
+/// Times closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as u64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = 0u64;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_nanos() as u64;
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! `any::<T>()` for primitives.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// The strategy behind [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A full-range strategy for a primitive type.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range; avoids NaN/inf which
+        // real `any::<f64>()` only produces for specialised configs.
+        let mag = rng.unit_f64() * 1e9;
+        if rng.next_u64() & 1 == 1 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}

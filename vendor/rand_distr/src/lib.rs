@@ -1,0 +1,99 @@
+//! Offline stub of `rand_distr`: the distributions this workspace draws
+//! from (`LogNormal`, via the re-exported [`Distribution`] trait).
+
+pub use rand::distributions::Distribution;
+use rand::distributions::Standard;
+use rand::RngCore;
+
+/// Errors constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A shape parameter was non-finite or out of range.
+    BadParam,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A standard normal draw via Box–Muller (two unit uniforms per pair; the
+/// spare is discarded for simplicity — throughput is irrelevant here).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = Standard.sample(rng);
+        if u1 > f64::EPSILON {
+            let u2: f64 = Standard.sample(rng);
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// The normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Builds `N(mean, std²)`; `std` must be finite and non-negative.
+    pub fn new(mean: f64, std: f64) -> Result<Normal, Error> {
+        if !mean.is_finite() || !std.is_finite() || std < 0.0 {
+            return Err(Error::BadParam);
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Builds from the underlying normal's location and scale.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng, SmallRng};
+
+    #[test]
+    fn lognormal_is_positive_and_centred() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let ln = LogNormal::new(0.0, 0.25).unwrap();
+        let draws: Vec<f64> = (0..4000).map(|_| rng.sample(ln)).collect();
+        assert!(draws.iter().all(|&x| x > 0.0));
+        let mean_log = draws.iter().map(|x| x.ln()).sum::<f64>() / draws.len() as f64;
+        assert!(mean_log.abs() < 0.03, "log-mean should be ~0: {mean_log}");
+    }
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stub of `rayon`.
+//!
+//! `par_iter()`/`into_par_iter()` return ordinary sequential iterators, so
+//! every downstream `.map(...).collect()` chain compiles and runs
+//! unchanged — single-threaded. Results are identical to the parallel
+//! versions because the workspace only uses order-preserving adapters.
+
+pub mod prelude {
+    /// `into_par_iter()` for any owned collection.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for borrowed collections.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (a reference).
+        type Item: 'data;
+
+        /// Sequential stand-in for rayon's parallel borrow iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        type Item = <&'data I as IntoIterator>::Item;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

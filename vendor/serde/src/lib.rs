@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (for forward
+//! compatibility with a real exporter); nothing actually serializes
+//! through serde — all on-disk formats are hand-rolled text codecs. The
+//! stub therefore ships marker traits plus no-op derive macros, which is
+//! exactly enough for `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Serialize, Deserialize}` to compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! Deriving a trait is allowed to expand to nothing; since no code in the
+//! workspace bounds on `Serialize`/`Deserialize`, an empty expansion
+//! satisfies every `#[derive(...)]` site regardless of generics.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
