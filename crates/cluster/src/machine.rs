@@ -14,6 +14,7 @@ use crate::network::{BackgroundScope, NetworkState, TrafficPattern, TrafficSourc
 use crate::noise::{NoiseWalk, OsNoise, RegimeOverride, RegimeProcess};
 use crate::topology::{FatTree, FatTreeConfig, NodeId};
 use rand::rngs::SmallRng;
+use rush_obs::MetricsRegistry;
 use rush_simkit::rng::RngStreams;
 use rush_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -185,6 +186,18 @@ pub enum NodeHealth {
     Suspect,
 }
 
+/// Cumulative node health-transition counts (edge-triggered: a transition
+/// is counted only when the health actually changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthStats {
+    /// `Up`/`Suspect` → `Down` transitions.
+    pub failures: u64,
+    /// `Down` → `Suspect` transitions.
+    pub recoveries: u64,
+    /// `Down`/`Suspect` → `Up` transitions.
+    pub trusts: u64,
+}
+
 /// A registered per-job load.
 #[derive(Debug, Clone)]
 struct RegisteredLoad {
@@ -226,6 +239,7 @@ pub struct Machine {
     noise_job: Option<NoiseJob>,
     loads: HashMap<SourceId, RegisteredLoad>,
     health: Vec<NodeHealth>,
+    health_stats: HealthStats,
     os_noise: OsNoise,
     rng_regime: SmallRng,
     rng_noise_job: SmallRng,
@@ -256,6 +270,7 @@ impl Machine {
             noise_job: None,
             loads: HashMap::new(),
             health: vec![NodeHealth::Up; tree_nodes as usize],
+            health_stats: HealthStats::default(),
             rng_regime,
             rng_noise_job: streams.stream("machine/noise-job"),
             rng_counters: streams.stream("machine/counters"),
@@ -466,17 +481,26 @@ impl Machine {
     /// Marks a node crashed. Loads registered across it keep flowing until
     /// their jobs are killed and removed — the driver owns that cleanup.
     pub fn fail_node(&mut self, node: NodeId) {
+        if self.health[node.0 as usize] != NodeHealth::Down {
+            self.health_stats.failures += 1;
+        }
         self.health[node.0 as usize] = NodeHealth::Down;
     }
 
     /// Marks a repaired node `Suspect`: it reports counters again but the
     /// driver should keep it out of placement until [`Machine::trust_node`].
     pub fn recover_node(&mut self, node: NodeId) {
+        if self.health[node.0 as usize] == NodeHealth::Down {
+            self.health_stats.recoveries += 1;
+        }
         self.health[node.0 as usize] = NodeHealth::Suspect;
     }
 
     /// Returns a node to full service after its probation.
     pub fn trust_node(&mut self, node: NodeId) {
+        if self.health[node.0 as usize] != NodeHealth::Up {
+            self.health_stats.trusts += 1;
+        }
         self.health[node.0 as usize] = NodeHealth::Up;
     }
 
@@ -486,6 +510,34 @@ impl Machine {
             .iter()
             .filter(|h| **h == NodeHealth::Down)
             .count()
+    }
+
+    /// Cumulative health-transition counts since construction.
+    pub fn health_stats(&self) -> HealthStats {
+        self.health_stats
+    }
+
+    /// Registers (or updates) this machine's health-transition counters in
+    /// `reg` under the `cluster.*` namespace, plus a gauge of currently
+    /// crashed nodes. Idempotent: re-exporting overwrites.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        for (name, value) in [
+            ("cluster.node_failures", self.health_stats.failures),
+            ("cluster.node_recoveries", self.health_stats.recoveries),
+            ("cluster.nodes_trusted", self.health_stats.trusts),
+        ] {
+            match reg.counter_id(name) {
+                Some(id) => reg.set_counter(id, value),
+                None => {
+                    let id = reg.register_counter(name);
+                    reg.set_counter(id, value);
+                }
+            }
+        }
+        let gauge = reg
+            .gauge_id("cluster.nodes_down")
+            .unwrap_or_else(|| reg.register_gauge("cluster.nodes_down"));
+        reg.set_gauge(gauge, self.down_node_count() as f64);
     }
 }
 
@@ -632,5 +684,33 @@ mod tests {
         assert_eq!(w.compute, 0.0);
         assert_eq!(w.network, 1.0);
         assert_eq!(w.io, 0.5);
+    }
+
+    #[test]
+    fn health_transitions_are_edge_counted_and_exported() {
+        let mut m = Machine::new(MachineConfig::tiny(3));
+        m.fail_node(NodeId(1));
+        m.fail_node(NodeId(1)); // already down: not a transition
+        m.fail_node(NodeId(2));
+        m.recover_node(NodeId(1));
+        m.trust_node(NodeId(1));
+        m.trust_node(NodeId(1)); // already up: not a transition
+        let stats = m.health_stats();
+        assert_eq!(stats.failures, 2);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.trusts, 1);
+        assert_eq!(m.down_node_count(), 1);
+
+        let mut reg = MetricsRegistry::new();
+        m.export_metrics(&mut reg);
+        assert_eq!(reg.counter_by_name("cluster.node_failures"), Some(2));
+        assert_eq!(reg.counter_by_name("cluster.node_recoveries"), Some(1));
+        assert_eq!(reg.counter_by_name("cluster.nodes_trusted"), Some(1));
+        assert_eq!(reg.gauge_by_name("cluster.nodes_down"), Some(1.0));
+        // Re-export after more transitions overwrites, not accumulates.
+        m.recover_node(NodeId(2));
+        m.export_metrics(&mut reg);
+        assert_eq!(reg.counter_by_name("cluster.node_recoveries"), Some(2));
+        assert_eq!(reg.gauge_by_name("cluster.nodes_down"), Some(0.0));
     }
 }

@@ -1,0 +1,309 @@
+//! The structured event schema.
+//!
+//! Every decision point in the scheduler and ML pipeline emits exactly one
+//! [`ObsEvent`] describing *what was decided*, stamped with simulation
+//! time and a monotone sequence number. Payloads are integers and enums
+//! only — no floats derived from wall time, no hash-ordered collections —
+//! so a trace is a pure function of the run's seeds and serializes to
+//! byte-identical JSONL across runs and platforms.
+
+use crate::json::JsonObject;
+use rush_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Why a `Start()` decision bypassed the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FallbackReason {
+    /// Telemetry coverage of the feature window was below the quality
+    /// gate's threshold; the predictor was never consulted.
+    TelemetryGap,
+    /// The predictor was consulted and returned an error.
+    ModelError,
+}
+
+impl FallbackReason {
+    /// Stable label used in trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackReason::TelemetryGap => "telemetry_gap",
+            FallbackReason::ModelError => "model_error",
+        }
+    }
+}
+
+/// One structured observability event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// A job arrived in the queue.
+    JobSubmitted {
+        /// Job id.
+        job: u64,
+    },
+    /// A job began execution on `nodes` nodes after `skips` RUSH delays.
+    JobStarted {
+        /// Job id.
+        job: u64,
+        /// Allocated node count.
+        nodes: u32,
+        /// RUSH delays the job absorbed before launching.
+        skips: u32,
+    },
+    /// RUSH pushed a job back; `skips` is its new skip count.
+    JobSkipped {
+        /// Job id.
+        job: u64,
+        /// Skip count after this delay.
+        skips: u32,
+    },
+    /// A node failure killed the job mid-run.
+    JobKilled {
+        /// Job id.
+        job: u64,
+    },
+    /// A killed job re-entered the queue for attempt `attempt`.
+    JobRequeued {
+        /// Job id.
+        job: u64,
+        /// Kill count so far.
+        attempt: u32,
+    },
+    /// A killed job exhausted its retry budget.
+    JobFailed {
+        /// Job id.
+        job: u64,
+        /// Total kills absorbed.
+        attempts: u32,
+    },
+    /// A job completed.
+    JobFinished {
+        /// Job id.
+        job: u64,
+    },
+    /// The predictor produced a class for a prospective launch.
+    PredictorVerdict {
+        /// Job id.
+        job: u64,
+        /// `VariabilityClass::index()` of the verdict (0/1/2).
+        class: u32,
+    },
+    /// The engine bypassed the predictor and scheduled as plain EASY.
+    PredictorFallback {
+        /// Job id.
+        job: u64,
+        /// Why the predictor was bypassed.
+        reason: FallbackReason,
+    },
+    /// EASY computed a reservation for the blocked head-of-queue job.
+    BackfillReservation {
+        /// The blocked job holding the reservation.
+        job: u64,
+        /// Shadow start time, microseconds.
+        shadow_start_us: u64,
+        /// Extra nodes available to long backfill candidates.
+        extra_nodes: u32,
+    },
+    /// A node crashed.
+    NodeDown {
+        /// Node index.
+        node: u32,
+    },
+    /// A node was repaired (telemetry resumes; placement still quarantined).
+    NodeUp {
+        /// Node index.
+        node: u32,
+    },
+    /// A repaired node finished probation and rejoined the placement pool.
+    NodeTrusted {
+        /// Node index.
+        node: u32,
+    },
+}
+
+impl ObsEvent {
+    /// Stable `kind` label used in trace output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::JobSubmitted { .. } => "job_submitted",
+            ObsEvent::JobStarted { .. } => "job_started",
+            ObsEvent::JobSkipped { .. } => "job_skipped",
+            ObsEvent::JobKilled { .. } => "job_killed",
+            ObsEvent::JobRequeued { .. } => "job_requeued",
+            ObsEvent::JobFailed { .. } => "job_failed",
+            ObsEvent::JobFinished { .. } => "job_finished",
+            ObsEvent::PredictorVerdict { .. } => "predictor_verdict",
+            ObsEvent::PredictorFallback { .. } => "predictor_fallback",
+            ObsEvent::BackfillReservation { .. } => "backfill_reservation",
+            ObsEvent::NodeDown { .. } => "node_down",
+            ObsEvent::NodeUp { .. } => "node_up",
+            ObsEvent::NodeTrusted { .. } => "node_trusted",
+        }
+    }
+
+    /// The job this event concerns; `None` for node-level events.
+    pub fn job(&self) -> Option<u64> {
+        match *self {
+            ObsEvent::JobSubmitted { job }
+            | ObsEvent::JobStarted { job, .. }
+            | ObsEvent::JobSkipped { job, .. }
+            | ObsEvent::JobKilled { job }
+            | ObsEvent::JobRequeued { job, .. }
+            | ObsEvent::JobFailed { job, .. }
+            | ObsEvent::JobFinished { job }
+            | ObsEvent::PredictorVerdict { job, .. }
+            | ObsEvent::PredictorFallback { job, .. }
+            | ObsEvent::BackfillReservation { job, .. } => Some(job),
+            ObsEvent::NodeDown { .. } | ObsEvent::NodeUp { .. } | ObsEvent::NodeTrusted { .. } => {
+                None
+            }
+        }
+    }
+}
+
+/// A traced event: sequence number, simulation timestamp, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotone per-trace sequence number (0-based; gaps never occur —
+    /// ring-buffer eviction drops from the *front*).
+    pub seq: u64,
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: ObsEvent,
+}
+
+impl EventRecord {
+    /// Renders the record as one canonical JSON line (no trailing newline).
+    ///
+    /// Key order is fixed: `seq`, `t_us`, `kind`, then payload fields in
+    /// declaration order.
+    pub fn to_json_line(&self) -> String {
+        let base = JsonObject::new()
+            .u64("seq", self.seq)
+            .u64("t_us", self.at.as_micros())
+            .str("kind", self.event.kind());
+        let obj = match self.event {
+            ObsEvent::JobSubmitted { job }
+            | ObsEvent::JobKilled { job }
+            | ObsEvent::JobFinished { job } => base.u64("job", job),
+            ObsEvent::JobStarted { job, nodes, skips } => base
+                .u64("job", job)
+                .u64("nodes", nodes as u64)
+                .u64("skips", skips as u64),
+            ObsEvent::JobSkipped { job, skips } => base.u64("job", job).u64("skips", skips as u64),
+            ObsEvent::JobRequeued { job, attempt } => {
+                base.u64("job", job).u64("attempt", attempt as u64)
+            }
+            ObsEvent::JobFailed { job, attempts } => {
+                base.u64("job", job).u64("attempts", attempts as u64)
+            }
+            ObsEvent::PredictorVerdict { job, class } => {
+                base.u64("job", job).u64("class", class as u64)
+            }
+            ObsEvent::PredictorFallback { job, reason } => {
+                base.u64("job", job).str("reason", reason.label())
+            }
+            ObsEvent::BackfillReservation {
+                job,
+                shadow_start_us,
+                extra_nodes,
+            } => base
+                .u64("job", job)
+                .u64("shadow_start_us", shadow_start_us)
+                .u64("extra_nodes", extra_nodes as u64),
+            ObsEvent::NodeDown { node }
+            | ObsEvent::NodeUp { node }
+            | ObsEvent::NodeTrusted { node } => base.u64("node", node as u64),
+        };
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(event: ObsEvent) -> EventRecord {
+        EventRecord {
+            seq: 7,
+            at: SimTime::from_secs(2),
+            event,
+        }
+    }
+
+    #[test]
+    fn kinds_and_jobs() {
+        assert_eq!(ObsEvent::JobSubmitted { job: 1 }.kind(), "job_submitted");
+        assert_eq!(ObsEvent::JobSubmitted { job: 1 }.job(), Some(1));
+        assert_eq!(ObsEvent::NodeDown { node: 3 }.job(), None);
+        assert_eq!(ObsEvent::NodeTrusted { node: 3 }.kind(), "node_trusted");
+        assert_eq!(FallbackReason::TelemetryGap.label(), "telemetry_gap");
+        assert_eq!(FallbackReason::ModelError.label(), "model_error");
+    }
+
+    #[test]
+    fn json_lines_have_fixed_key_order() {
+        let line = record(ObsEvent::JobStarted {
+            job: 4,
+            nodes: 16,
+            skips: 2,
+        })
+        .to_json_line();
+        assert_eq!(
+            line,
+            "{\"seq\":7,\"t_us\":2000000,\"kind\":\"job_started\",\"job\":4,\"nodes\":16,\"skips\":2}"
+        );
+    }
+
+    #[test]
+    fn fallback_line_carries_reason() {
+        let line = record(ObsEvent::PredictorFallback {
+            job: 9,
+            reason: FallbackReason::ModelError,
+        })
+        .to_json_line();
+        assert!(
+            line.ends_with("\"job\":9,\"reason\":\"model_error\"}"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn every_variant_renders_its_kind() {
+        let variants = [
+            ObsEvent::JobSubmitted { job: 0 },
+            ObsEvent::JobStarted {
+                job: 0,
+                nodes: 1,
+                skips: 0,
+            },
+            ObsEvent::JobSkipped { job: 0, skips: 1 },
+            ObsEvent::JobKilled { job: 0 },
+            ObsEvent::JobRequeued { job: 0, attempt: 1 },
+            ObsEvent::JobFailed {
+                job: 0,
+                attempts: 2,
+            },
+            ObsEvent::JobFinished { job: 0 },
+            ObsEvent::PredictorVerdict { job: 0, class: 2 },
+            ObsEvent::PredictorFallback {
+                job: 0,
+                reason: FallbackReason::TelemetryGap,
+            },
+            ObsEvent::BackfillReservation {
+                job: 0,
+                shadow_start_us: 5,
+                extra_nodes: 3,
+            },
+            ObsEvent::NodeDown { node: 0 },
+            ObsEvent::NodeUp { node: 0 },
+            ObsEvent::NodeTrusted { node: 0 },
+        ];
+        for e in variants {
+            let line = record(e).to_json_line();
+            assert!(
+                line.contains(&format!("\"kind\":\"{}\"", e.kind())),
+                "{line}"
+            );
+        }
+    }
+}

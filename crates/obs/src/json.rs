@@ -1,0 +1,137 @@
+//! Minimal canonical JSON encoding.
+//!
+//! The vendored `serde` is a no-op stub (see `vendor/README.md`), so the
+//! observability exports hand-roll their JSON. Canonical here means: no
+//! whitespace, fixed key order chosen by the caller, integers rendered in
+//! decimal, floats via Rust's shortest-roundtrip formatter — so the same
+//! data always produces the same bytes, which is what the golden-trace
+//! tests and the CI determinism job assert.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 and wraps it in double quotes.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float deterministically: shortest roundtrip form, with
+/// non-finite values mapped to `null` (JSON has no NaN/Infinity).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental `{...}` object writer with caller-fixed key order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&escape_str(name));
+        self.buf.push(':');
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(&escape_str(value));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(mut self, name: &str, value: u64) -> Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a float field (`null` when non-finite).
+    pub fn f64(mut self, name: &str, value: f64) -> Self {
+        self.key(name);
+        self.buf.push_str(&fmt_f64(value));
+        self
+    }
+
+    /// Appends a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape_str("plain"), "\"plain\"");
+        assert_eq!(escape_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape_str("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(escape_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let json = JsonObject::new()
+            .u64("seq", 3)
+            .str("kind", "job_started")
+            .f64("x", 2.25)
+            .raw("arr", "[1,2]")
+            .finish();
+        assert_eq!(
+            json,
+            "{\"seq\":3,\"kind\":\"job_started\",\"x\":2.25,\"arr\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

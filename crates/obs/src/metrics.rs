@@ -1,0 +1,398 @@
+//! The metrics registry.
+//!
+//! Subsystems register named instruments up front and then update them
+//! through cheap typed handles ([`CounterId`], [`GaugeId`],
+//! [`HistogramId`]) — plain `Vec` indices, so updates are a bounds check
+//! and an add. Names follow `subsystem.metric_name`
+//! (`sched.jobs_started`, `telemetry.gaps_blackout`, …) and exports are
+//! sorted by name so JSON/CSV output is deterministic regardless of
+//! registration order.
+
+use crate::json::{fmt_f64, JsonObject};
+use rush_simkit::histogram::Histogram;
+
+/// Handle to a registered counter (monotone `u64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (last-set `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(usize);
+
+#[derive(Debug, Clone)]
+struct Named<T> {
+    name: String,
+    value: T,
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Named<u64>>,
+    gauges: Vec<Named<f64>>,
+    histograms: Vec<Named<Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn check_name(&self, name: &str) {
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_'),
+            "metric name {name:?} must be non-empty [a-z0-9._]"
+        );
+        let taken = self.counters.iter().any(|n| n.name == name)
+            || self.gauges.iter().any(|n| n.name == name)
+            || self.histograms.iter().any(|n| n.name == name);
+        assert!(!taken, "metric name {name:?} already registered");
+    }
+
+    /// Registers a counter starting at zero.
+    ///
+    /// # Panics
+    /// Panics if `name` is malformed or already taken.
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        self.check_name(name);
+        self.counters.push(Named {
+            name: name.to_string(),
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge starting at zero.
+    ///
+    /// # Panics
+    /// Panics if `name` is malformed or already taken.
+    pub fn register_gauge(&mut self, name: &str) -> GaugeId {
+        self.check_name(name);
+        self.gauges.push(Named {
+            name: name.to_string(),
+            value: 0.0,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram with the given bucket layout.
+    ///
+    /// # Panics
+    /// Panics if `name` is malformed or already taken.
+    pub fn register_histogram(&mut self, name: &str, hist: Histogram) -> HistogramId {
+        self.check_name(name);
+        self.histograms.push(Named {
+            name: name.to_string(),
+            value: hist,
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].value += 1;
+    }
+
+    /// Increments a counter by `delta`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0].value += delta;
+    }
+
+    /// Overwrites a counter (for mirroring an externally maintained tally).
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, value: u64) {
+        self.counters[id.0].value = value;
+    }
+
+    /// Sets a gauge to `value`.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Records one sample into a histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].value.record(value);
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].value
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].value
+    }
+
+    /// Looks up a counter's handle by name.
+    pub fn counter_id(&self, name: &str) -> Option<CounterId> {
+        self.counters
+            .iter()
+            .position(|n| n.name == name)
+            .map(CounterId)
+    }
+
+    /// Looks up a counter's value by name.
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|n| n.name == name)
+            .map(|n| n.value)
+    }
+
+    /// Looks up a gauge's handle by name.
+    pub fn gauge_id(&self, name: &str) -> Option<GaugeId> {
+        self.gauges.iter().position(|n| n.name == name).map(GaugeId)
+    }
+
+    /// Looks up a gauge's value by name.
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|n| n.name == name).map(|n| n.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|n| n.name == name)
+            .map(|n| &n.value)
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counters_sorted(&self) -> Vec<(&str, u64)> {
+        let mut out: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .map(|n| (n.name.as_str(), n.value))
+            .collect();
+        out.sort_by_key(|(name, _)| *name);
+        out
+    }
+
+    /// All gauges as `(name, value)`, sorted by name.
+    pub fn gauges_sorted(&self) -> Vec<(&str, f64)> {
+        let mut out: Vec<(&str, f64)> = self
+            .gauges
+            .iter()
+            .map(|n| (n.name.as_str(), n.value))
+            .collect();
+        out.sort_by_key(|(name, _)| *name);
+        out
+    }
+
+    /// Merges another registry's counters into this one by name,
+    /// registering any names not yet present. Gauges are overwritten
+    /// (last writer wins); histograms are skipped unless the layouts
+    /// match, in which case they merge.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for n in &other.counters {
+            match self.counters.iter_mut().find(|m| m.name == n.name) {
+                Some(m) => m.value += n.value,
+                None => self.counters.push(n.clone()),
+            }
+        }
+        for n in &other.gauges {
+            match self.gauges.iter_mut().find(|m| m.name == n.name) {
+                Some(m) => m.value = n.value,
+                None => self.gauges.push(n.clone()),
+            }
+        }
+        for n in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == n.name) {
+                Some(m) => m.value.merge(&n.value),
+                None => self.histograms.push(n.clone()),
+            }
+        }
+    }
+
+    /// Exports the registry as one canonical JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, every
+    /// section sorted by metric name. Histograms export count/min/max and
+    /// the p50/p90/p99 quantiles.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (name, v) in self.counters_sorted() {
+            counters = counters.u64(name, v);
+        }
+        let mut gauges = JsonObject::new();
+        for (name, v) in self.gauges_sorted() {
+            gauges = gauges.f64(name, v);
+        }
+        let mut hist_names: Vec<&Named<Histogram>> = self.histograms.iter().collect();
+        hist_names.sort_by_key(|n| n.name.as_str());
+        let mut hists = JsonObject::new();
+        for n in hist_names {
+            let h = &n.value;
+            let body = JsonObject::new()
+                .u64("count", h.count())
+                .f64("min", h.min())
+                .f64("max", h.max())
+                .f64("p50", h.percentile(50.0))
+                .f64("p90", h.percentile(90.0))
+                .f64("p99", h.percentile(99.0))
+                .finish();
+            hists = hists.raw(&n.name, &body);
+        }
+        JsonObject::new()
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &hists.finish())
+            .finish()
+    }
+
+    /// Exports the registry as CSV with header `metric,kind,field,value`,
+    /// rows sorted by metric name (histograms expand to one row per
+    /// exported field).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,field,value\n");
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (name, v) in self.counters_sorted() {
+            rows.push((name.to_string(), format!("{name},counter,value,{v}\n")));
+        }
+        for (name, v) in self.gauges_sorted() {
+            rows.push((
+                name.to_string(),
+                format!("{name},gauge,value,{}\n", fmt_f64(v)),
+            ));
+        }
+        for n in &self.histograms {
+            let h = &n.value;
+            let mut block = String::new();
+            block.push_str(&format!("{},histogram,count,{}\n", n.name, h.count()));
+            for (field, v) in [
+                ("min", h.min()),
+                ("max", h.max()),
+                ("p50", h.percentile(50.0)),
+                ("p90", h.percentile(90.0)),
+                ("p99", h.percentile(99.0)),
+            ] {
+                block.push_str(&format!("{},histogram,{field},{}\n", n.name, fmt_f64(v)));
+            }
+            rows.push((n.name.clone(), block));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, row) in rows {
+            out.push_str(&row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_increment_through_handles() {
+        let mut reg = MetricsRegistry::new();
+        let started = reg.register_counter("sched.jobs_started");
+        let skips = reg.register_counter("sched.skips");
+        reg.inc(started);
+        reg.inc(started);
+        reg.add(skips, 5);
+        assert_eq!(reg.counter(started), 2);
+        assert_eq!(reg.counter(skips), 5);
+        assert_eq!(reg.counter_by_name("sched.jobs_started"), Some(2));
+        assert_eq!(reg.counter_by_name("missing"), None);
+    }
+
+    #[test]
+    fn gauges_and_histograms() {
+        let mut reg = MetricsRegistry::new();
+        let depth = reg.register_gauge("sched.queue_depth");
+        let wait = reg.register_histogram("sched.wait_s", Histogram::for_seconds());
+        reg.set_gauge(depth, 12.0);
+        reg.record(wait, 1.0);
+        reg.record(wait, 4.0);
+        assert_eq!(reg.gauge(depth), 12.0);
+        assert_eq!(reg.histogram(wait).count(), 2);
+        assert_eq!(reg.histogram_by_name("sched.wait_s").unwrap().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_rejected() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_counter("a.b");
+        reg.register_gauge("a.b");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn malformed_names_rejected() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_counter("has space");
+    }
+
+    #[test]
+    fn json_export_is_sorted_and_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        let b = reg.register_counter("z.later");
+        let a = reg.register_counter("a.first");
+        reg.inc(a);
+        reg.add(b, 3);
+        let json = reg.to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.first\":1,\"z.later\":3},\"gauges\":{},\"histograms\":{}}"
+        );
+        // Same contents registered in the other order export identically.
+        let mut reg2 = MetricsRegistry::new();
+        let a2 = reg2.register_counter("a.first");
+        let b2 = reg2.register_counter("z.later");
+        reg2.inc(a2);
+        reg2.add(b2, 3);
+        assert_eq!(reg2.to_json(), json);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.register_counter("sched.jobs_started");
+        reg.inc(c);
+        let g = reg.register_gauge("sched.util");
+        reg.set_gauge(g, 0.5);
+        let h = reg.register_histogram("sched.wait_s", Histogram::for_seconds());
+        reg.record(h, 2.0);
+        let csv = reg.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,kind,field,value");
+        assert!(lines.contains(&"sched.jobs_started,counter,value,1"));
+        assert!(lines.contains(&"sched.util,gauge,value,0.5"));
+        assert!(lines.contains(&"sched.wait_s,histogram,count,1"));
+        // 1 header + 1 counter + 1 gauge + 6 histogram rows
+        assert_eq!(lines.len(), 9);
+    }
+
+    #[test]
+    fn absorb_merges_by_name() {
+        let mut a = MetricsRegistry::new();
+        let ca = a.register_counter("sched.skips");
+        a.add(ca, 2);
+        let mut b = MetricsRegistry::new();
+        let cb = b.register_counter("sched.skips");
+        b.add(cb, 3);
+        let other = b.register_counter("sched.other");
+        b.inc(other);
+        a.absorb(&b);
+        assert_eq!(a.counter_by_name("sched.skips"), Some(5));
+        assert_eq!(a.counter_by_name("sched.other"), Some(1));
+    }
+}

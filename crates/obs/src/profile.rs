@@ -1,0 +1,257 @@
+//! Lightweight scoped profiling.
+//!
+//! A fixed set of [`ProfileScope`]s covers the hot paths (engine ticks,
+//! the scheduling pass, predictor evaluation, featurization, forest
+//! training, telemetry sampling). The profiler is process-global and
+//! disabled by default: entering a scope costs one relaxed atomic load.
+//! When enabled (`--profile` on the CLI), each scope accumulates call
+//! count and total wall nanoseconds into atomics, summarized by
+//! [`report`].
+//!
+//! Wall-clock numbers are inherently nondeterministic, so profiling data
+//! is **never** written into traces or metric exports — [`report`]
+//! renders to a plain string the CLI prints to stderr.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The instrumented code regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileScope {
+    /// One `SchedulerEngine` event dispatch.
+    EngineTick,
+    /// One backfill scheduling pass over the queue.
+    SchedulePass,
+    /// One predictor consultation (quality gate + predict).
+    PredictorEval,
+    /// Feature-vector assembly from the metric store.
+    Featurize,
+    /// Random-forest training.
+    Train,
+    /// Telemetry sampler advance.
+    TelemetrySample,
+}
+
+const SCOPE_COUNT: usize = 6;
+
+const ALL_SCOPES: [ProfileScope; SCOPE_COUNT] = [
+    ProfileScope::EngineTick,
+    ProfileScope::SchedulePass,
+    ProfileScope::PredictorEval,
+    ProfileScope::Featurize,
+    ProfileScope::Train,
+    ProfileScope::TelemetrySample,
+];
+
+impl ProfileScope {
+    fn index(self) -> usize {
+        match self {
+            ProfileScope::EngineTick => 0,
+            ProfileScope::SchedulePass => 1,
+            ProfileScope::PredictorEval => 2,
+            ProfileScope::Featurize => 3,
+            ProfileScope::Train => 4,
+            ProfileScope::TelemetrySample => 5,
+        }
+    }
+
+    /// Stable label used in the profile report.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfileScope::EngineTick => "engine_tick",
+            ProfileScope::SchedulePass => "schedule_pass",
+            ProfileScope::PredictorEval => "predictor_eval",
+            ProfileScope::Featurize => "featurize",
+            ProfileScope::Train => "train",
+            ProfileScope::TelemetrySample => "telemetry_sample",
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct ScopeCell {
+    calls: AtomicU64,
+    nanos: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_CELL: ScopeCell = ScopeCell {
+    calls: AtomicU64::new(0),
+    nanos: AtomicU64::new(0),
+};
+
+static CELLS: [ScopeCell; SCOPE_COUNT] = [ZERO_CELL; SCOPE_COUNT];
+
+/// Turns profiling on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether profiling is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes all accumulated counts and times.
+pub fn reset() {
+    for cell in &CELLS {
+        cell.calls.store(0, Ordering::Relaxed);
+        cell.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Enters `scope`; time from now until the returned guard drops is
+/// attributed to it. Returns a no-op guard when profiling is off.
+#[inline]
+pub fn scope(scope: ProfileScope) -> ScopeGuard {
+    if is_enabled() {
+        ScopeGuard {
+            scope: Some((scope, Instant::now())),
+        }
+    } else {
+        ScopeGuard { scope: None }
+    }
+}
+
+/// RAII guard returned by [`scope`].
+#[must_use = "the scope ends when the guard drops"]
+pub struct ScopeGuard {
+    scope: Option<(ProfileScope, Instant)>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some((scope, start)) = self.scope.take() {
+            let cell = &CELLS[scope.index()];
+            cell.calls.fetch_add(1, Ordering::Relaxed);
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            cell.nanos.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Adds one externally-timed sample to `scope`. This bridges layers that
+/// cannot depend on this crate (e.g. `rush_simkit::engine`'s generic step
+/// observer) into the profiler. No-op when profiling is off.
+pub fn record_external(scope: ProfileScope, nanos: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let cell = &CELLS[scope.index()];
+    cell.calls.fetch_add(1, Ordering::Relaxed);
+    cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// Accumulated totals for one scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeTotals {
+    /// Which scope.
+    pub scope: ProfileScope,
+    /// Times the scope was entered.
+    pub calls: u64,
+    /// Total wall nanoseconds inside the scope.
+    pub nanos: u64,
+}
+
+/// Snapshot of every scope's totals, in fixed scope order.
+pub fn snapshot() -> Vec<ScopeTotals> {
+    ALL_SCOPES
+        .iter()
+        .map(|&scope| {
+            let cell = &CELLS[scope.index()];
+            ScopeTotals {
+                scope,
+                calls: cell.calls.load(Ordering::Relaxed),
+                nanos: cell.nanos.load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+/// Renders a human-readable table of per-scope totals (scopes that were
+/// never entered are omitted; all-idle yields a one-line note).
+pub fn report() -> String {
+    let rows: Vec<ScopeTotals> = snapshot().into_iter().filter(|t| t.calls > 0).collect();
+    if rows.is_empty() {
+        return "profile: no instrumented scopes were entered\n".to_string();
+    }
+    let mut out = String::from("profile (wall time per scope):\n");
+    out.push_str(&format!(
+        "  {:<18} {:>10} {:>14} {:>12}\n",
+        "scope", "calls", "total_ms", "avg_us"
+    ));
+    for t in rows {
+        let total_ms = t.nanos as f64 / 1e6;
+        let avg_us = t.nanos as f64 / 1e3 / t.calls as f64;
+        out.push_str(&format!(
+            "  {:<18} {:>10} {:>14.3} {:>12.3}\n",
+            t.scope.label(),
+            t.calls,
+            total_ms,
+            avg_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The profiler is process-global, so the tests below share state;
+    // they run under a lock to avoid cross-test interference.
+    use std::sync::Mutex;
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        {
+            let _s = scope(ProfileScope::EngineTick);
+        }
+        let snap = snapshot();
+        assert!(snap.iter().all(|t| t.calls == 0 && t.nanos == 0));
+        assert!(report().contains("no instrumented scopes"));
+    }
+
+    #[test]
+    fn enabled_scopes_accumulate() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _s = scope(ProfileScope::Featurize);
+        }
+        {
+            let _s = scope(ProfileScope::Train);
+        }
+        let snap = snapshot();
+        let feat = snap
+            .iter()
+            .find(|t| t.scope == ProfileScope::Featurize)
+            .unwrap();
+        assert_eq!(feat.calls, 3);
+        let train = snap
+            .iter()
+            .find(|t| t.scope == ProfileScope::Train)
+            .unwrap();
+        assert_eq!(train.calls, 1);
+        let rep = report();
+        assert!(rep.contains("featurize"), "{rep}");
+        assert!(rep.contains("train"), "{rep}");
+        assert!(!rep.contains("engine_tick"), "idle scopes omitted: {rep}");
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ProfileScope::EngineTick.label(), "engine_tick");
+        assert_eq!(ProfileScope::SchedulePass.label(), "schedule_pass");
+        assert_eq!(ProfileScope::PredictorEval.label(), "predictor_eval");
+        assert_eq!(ProfileScope::TelemetrySample.label(), "telemetry_sample");
+    }
+}

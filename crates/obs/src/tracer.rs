@@ -1,0 +1,210 @@
+//! The ring-buffered event tracer.
+//!
+//! An [`EventTracer`] is either disabled — the default, in which case
+//! [`EventTracer::emit`] is a single branch and allocates nothing — or
+//! enabled with a bounded capacity. When the buffer fills, the *oldest*
+//! records are evicted (a crashed run wants its tail, not its head) and
+//! the eviction count is reported so exports never silently pretend to be
+//! complete.
+
+use crate::event::{EventRecord, ObsEvent};
+use rush_simkit::time::SimTime;
+use std::collections::VecDeque;
+
+/// Default ring capacity: generous for experiment-sized runs (a 200-job
+/// faulty schedule emits a few thousand events) while bounding memory on
+/// pathological ones.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Collects [`EventRecord`]s in simulation order.
+#[derive(Debug, Clone)]
+pub struct EventTracer {
+    enabled: bool,
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+    buf: VecDeque<EventRecord>,
+}
+
+impl Default for EventTracer {
+    fn default() -> Self {
+        EventTracer::disabled()
+    }
+}
+
+impl EventTracer {
+    /// A tracer that records nothing (the zero-cost default).
+    pub fn disabled() -> Self {
+        EventTracer {
+            enabled: false,
+            capacity: 0,
+            next_seq: 0,
+            evicted: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// A recording tracer holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        EventTracer {
+            enabled: true,
+            capacity,
+            next_seq: 0,
+            evicted: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at `at`. No-op when disabled.
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, event: ObsEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(EventRecord {
+            seq: self.next_seq,
+            at,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &EventRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever emitted (including evicted ones).
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drains the buffer into an owned vector (oldest first), leaving the
+    /// tracer empty but still enabled and with its sequence intact.
+    pub fn take_records(&mut self) -> Vec<EventRecord> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Renders all buffered records as JSON Lines (one `\n`-terminated
+    /// object per event). Byte-deterministic for identical event streams.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.buf {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an arbitrary record slice as JSON Lines (for records already
+/// taken out of a tracer, e.g. those carried in a `ScheduleResult`).
+pub fn records_to_jsonl(records: &[EventRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut tr = EventTracer::disabled();
+        tr.emit(t(0), ObsEvent::JobSubmitted { job: 1 });
+        assert!(!tr.is_enabled());
+        assert!(tr.is_empty());
+        assert_eq!(tr.emitted(), 0);
+        assert_eq!(tr.to_jsonl(), "");
+    }
+
+    #[test]
+    fn records_in_order_with_monotone_seq() {
+        let mut tr = EventTracer::enabled(16);
+        tr.emit(t(0), ObsEvent::JobSubmitted { job: 1 });
+        tr.emit(
+            t(5),
+            ObsEvent::JobStarted {
+                job: 1,
+                nodes: 4,
+                skips: 0,
+            },
+        );
+        tr.emit(t(9), ObsEvent::JobFinished { job: 1 });
+        let seqs: Vec<u64> = tr.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(tr.len(), 3);
+        let jsonl = tr.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut tr = EventTracer::enabled(2);
+        for i in 0..5 {
+            tr.emit(t(i), ObsEvent::JobSubmitted { job: i });
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.evicted(), 3);
+        assert_eq!(tr.emitted(), 5);
+        let jobs: Vec<u64> = tr.records().filter_map(|r| r.event.job()).collect();
+        assert_eq!(jobs, vec![3, 4], "oldest events evicted first");
+        // Sequence numbers keep counting across evictions.
+        assert_eq!(tr.records().next().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn take_records_drains_but_keeps_sequence() {
+        let mut tr = EventTracer::enabled(8);
+        tr.emit(t(0), ObsEvent::JobSubmitted { job: 0 });
+        let first = tr.take_records();
+        assert_eq!(first.len(), 1);
+        assert!(tr.is_empty());
+        tr.emit(t(1), ObsEvent::JobFinished { job: 0 });
+        assert_eq!(tr.records().next().unwrap().seq, 1);
+        assert_eq!(records_to_jsonl(&first).lines().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        EventTracer::enabled(0);
+    }
+}

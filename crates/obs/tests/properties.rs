@@ -1,0 +1,163 @@
+//! Property-based tests for the observability layer: tracer ring
+//! invariants, JSONL determinism, and registry export stability.
+
+use proptest::prelude::*;
+use rush_obs::tracer::records_to_jsonl;
+use rush_obs::{EventTracer, MetricsRegistry, ObsEvent};
+use rush_simkit::time::SimTime;
+
+fn arb_event() -> impl Strategy<Value = ObsEvent> {
+    prop_oneof![
+        (0u64..100).prop_map(|job| ObsEvent::JobSubmitted { job }),
+        (0u64..100, 1u32..64, 0u32..8).prop_map(|(job, nodes, skips)| ObsEvent::JobStarted {
+            job,
+            nodes,
+            skips
+        }),
+        (0u64..100, 1u32..8).prop_map(|(job, skips)| ObsEvent::JobSkipped { job, skips }),
+        (0u64..100).prop_map(|job| ObsEvent::JobKilled { job }),
+        (0u64..100, 1u32..4).prop_map(|(job, attempt)| ObsEvent::JobRequeued { job, attempt }),
+        (0u64..100).prop_map(|job| ObsEvent::JobFinished { job }),
+        (0u64..100, 0u32..3).prop_map(|(job, class)| ObsEvent::PredictorVerdict { job, class }),
+        (0u32..64).prop_map(|node| ObsEvent::NodeDown { node }),
+        (0u32..64).prop_map(|node| ObsEvent::NodeUp { node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tracer_preserves_order_and_sequences(
+        events in proptest::collection::vec((0u64..10_000, arb_event()), 0..200),
+        cap in 1usize..64,
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+
+        let mut tr = EventTracer::enabled(cap);
+        for &(t, e) in &sorted {
+            tr.emit(SimTime::from_secs(t), e);
+        }
+
+        // Emitted = evicted + held; the ring never exceeds its capacity.
+        prop_assert_eq!(tr.emitted(), sorted.len() as u64);
+        prop_assert_eq!(tr.evicted() + tr.len() as u64, tr.emitted());
+        prop_assert!(tr.len() <= cap);
+
+        // Sequence numbers are contiguous and end at emitted - 1; event
+        // timestamps are monotone in sequence order (sim-time ordering).
+        let recs: Vec<_> = tr.records().collect();
+        for pair in recs.windows(2) {
+            prop_assert_eq!(pair[1].seq, pair[0].seq + 1);
+            prop_assert!(pair[1].at >= pair[0].at);
+        }
+        if let Some(last) = recs.last() {
+            prop_assert_eq!(last.seq, tr.emitted() - 1);
+        }
+
+        // The held suffix is exactly the tail of what was emitted.
+        let tail = &sorted[sorted.len() - tr.len()..];
+        for (rec, &(t, e)) in recs.iter().zip(tail) {
+            prop_assert_eq!(rec.at, SimTime::from_secs(t));
+            prop_assert_eq!(rec.event, e);
+        }
+    }
+
+    #[test]
+    fn identical_streams_serialize_to_identical_bytes(
+        events in proptest::collection::vec((0u64..10_000, arb_event()), 0..100),
+    ) {
+        let run = || {
+            let mut tr = EventTracer::enabled(1 << 16);
+            for &(t, e) in &events {
+                tr.emit(SimTime::from_secs(t), e);
+            }
+            tr.to_jsonl()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        // take_records + records_to_jsonl is the same serialization path.
+        let mut tr = EventTracer::enabled(1 << 16);
+        for &(t, e) in &events {
+            tr.emit(SimTime::from_secs(t), e);
+        }
+        prop_assert_eq!(records_to_jsonl(&tr.take_records()), a);
+    }
+
+    #[test]
+    fn jsonl_lines_are_parseable_shape(
+        events in proptest::collection::vec((0u64..10_000, arb_event()), 1..50),
+    ) {
+        let mut tr = EventTracer::enabled(1 << 16);
+        for &(t, e) in &events {
+            tr.emit(SimTime::from_secs(t), e);
+        }
+        for line in tr.to_jsonl().lines() {
+            prop_assert!(line.starts_with("{\"seq\":"), "{}", line);
+            prop_assert!(line.ends_with('}'), "{}", line);
+            prop_assert!(line.contains("\"t_us\":"), "{}", line);
+            prop_assert!(line.contains("\"kind\":\""), "{}", line);
+        }
+    }
+
+    #[test]
+    fn registry_counter_sums_match_event_stream(
+        events in proptest::collection::vec(arb_event(), 0..200),
+    ) {
+        // Counting through the registry must agree with counting the raw
+        // stream — the invariant the scheduler integration relies on.
+        let mut reg = MetricsRegistry::new();
+        let submitted = reg.register_counter("sched.jobs_submitted");
+        let started = reg.register_counter("sched.jobs_started");
+        let finished = reg.register_counter("sched.jobs_finished");
+        for e in &events {
+            match e {
+                ObsEvent::JobSubmitted { .. } => reg.inc(submitted),
+                ObsEvent::JobStarted { .. } => reg.inc(started),
+                ObsEvent::JobFinished { .. } => reg.inc(finished),
+                _ => {}
+            }
+        }
+        let count = |pred: fn(&ObsEvent) -> bool| events.iter().filter(|e| pred(e)).count() as u64;
+        prop_assert_eq!(
+            reg.counter(submitted),
+            count(|e| matches!(e, ObsEvent::JobSubmitted { .. }))
+        );
+        prop_assert_eq!(
+            reg.counter(started),
+            count(|e| matches!(e, ObsEvent::JobStarted { .. }))
+        );
+        prop_assert_eq!(
+            reg.counter(finished),
+            count(|e| matches!(e, ObsEvent::JobFinished { .. }))
+        );
+    }
+
+    #[test]
+    fn registry_export_is_registration_order_independent(
+        values in proptest::collection::vec(0u64..1_000, 2..10),
+    ) {
+        let names: Vec<String> = (0..values.len())
+            .map(|i| format!("prop.metric_{i}"))
+            .collect();
+        let forward = {
+            let mut reg = MetricsRegistry::new();
+            for (name, &v) in names.iter().zip(&values) {
+                let id = reg.register_counter(name);
+                reg.add(id, v);
+            }
+            (reg.to_json(), reg.to_csv())
+        };
+        let backward = {
+            let mut reg = MetricsRegistry::new();
+            for (name, &v) in names.iter().zip(&values).rev() {
+                let id = reg.register_counter(name);
+                reg.add(id, v);
+            }
+            (reg.to_json(), reg.to_csv())
+        };
+        prop_assert_eq!(forward, backward);
+    }
+}

@@ -17,9 +17,11 @@
 use rush_core::campaign_io;
 use rush_core::collect::{run_campaign, CampaignData};
 use rush_core::config::CampaignConfig;
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
+use rush_core::experiments::{
+    run_comparison, run_trial_raw, Experiment, ExperimentSettings, PolicyKind,
+};
 use rush_core::labels::{build_dataset, LabelScheme, NodeScope};
-use rush_core::pipeline::train_final_with_scheme;
+use rush_core::pipeline::{build_reference, train_final_with_scheme};
 use rush_core::report::{fmt, robustness_table, TextTable};
 use rush_ml::codec;
 use rush_ml::model::{Classifier, ModelKind};
@@ -56,8 +58,20 @@ COMMANDS:
                --node-mttr MINS (5)      repair time of a crashed node
                --telemetry-blackout MINS enable telemetry blackouts, mean
                                          time between windows
+               observability (off unless enabled):
+               --trace-out FILE          write the RUSH trial-0 structured
+                                         event trace as JSON lines; byte-
+                                         identical for identical seeds
+               --metrics-out FILE        write the trial-0 metrics registry
+                                         (a .csv extension selects CSV,
+                                         anything else JSON)
+               --profile                 print per-scope wall-time totals
+                                         to stderr after the run
     help       print this message
 ";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["profile"];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -107,6 +121,10 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
         let key = arg
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, found '{arg}'"))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = args
             .next()
             .ok_or_else(|| format!("--{key} requires a value"))?;
@@ -292,11 +310,19 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
     if let Some(mttr) = get_mins(options, "node-mttr")? {
         faults.node_mttr = mttr;
     }
+    let profile = options.contains_key("profile");
+    if profile {
+        rush_obs::profile::set_enabled(true);
+    }
+    let trace_out = options.get("trace-out");
+    let metrics_out = options.get("metrics-out");
     let settings = ExperimentSettings {
         trials,
         base_seed: seed,
         job_count_override: jobs,
         faults,
+        trace_capacity: (trace_out.is_some() || metrics_out.is_some())
+            .then_some(rush_obs::tracer::DEFAULT_CAPACITY),
         ..ExperimentSettings::default()
     };
     eprintln!(
@@ -329,6 +355,38 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
     if !settings.faults.is_inert() {
         println!("fault robustness (means over trials):");
         println!("{}", robustness_table(&comparison).render());
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        // A dedicated single-threaded re-run of trial 0 under the RUSH
+        // policy: the comparison above runs trials on rayon workers and
+        // discards per-trial traces, while this run is a pure function of
+        // the seed — identical seeds yield byte-identical exports.
+        let reference = build_reference(&campaign);
+        let (result, _) = run_trial_raw(
+            experiment,
+            PolicyKind::Rush,
+            &campaign,
+            &reference,
+            &settings,
+            0,
+        );
+        if let Some(path) = trace_out {
+            let body = rush_obs::tracer::records_to_jsonl(&result.events);
+            std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {} trace events to {path}", result.events.len());
+        }
+        if let Some(path) = metrics_out {
+            let body = if path.ends_with(".csv") {
+                result.metrics.to_csv()
+            } else {
+                result.metrics.to_json()
+            };
+            std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote metrics registry to {path}");
+        }
+    }
+    if profile {
+        eprint!("{}", rush_obs::profile::report());
     }
     Ok(())
 }

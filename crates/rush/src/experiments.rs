@@ -255,6 +255,10 @@ pub struct ExperimentSettings {
     /// fault seed by `k` so paired policies face the *same* fault timeline
     /// while distinct trials face distinct ones.
     pub faults: FaultConfig,
+    /// Structured-event ring capacity. `None` (the default) leaves tracing
+    /// off; `Some(cap)` makes each trial's `ScheduleResult.events` carry up
+    /// to `cap` records for `--trace-out`-style exports.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for ExperimentSettings {
@@ -271,6 +275,7 @@ impl Default for ExperimentSettings {
             placement: rush_cluster::placement::PlacementPolicy::LowestId,
             backfill: BackfillPolicy::Easy,
             faults: FaultConfig::none(),
+            trace_capacity: None,
         }
     }
 }
@@ -354,6 +359,9 @@ pub fn run_trial_raw(
     };
     let mut engine = SchedulerEngine::new(machine, config, predictor, seed)
         .with_noise_job(noise, NOISE_MAX_GBPS);
+    if let Some(cap) = settings.trace_capacity {
+        engine = engine.with_tracing(cap);
+    }
     let result = engine.run(&requests);
     let metrics = ScheduleMetrics::compute(&result.completed, reference, SimTime::ZERO);
     let outcome = TrialOutcome {

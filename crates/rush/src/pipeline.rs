@@ -143,6 +143,7 @@ fn train_final_full(
     kept: Option<&[usize]>,
     seed: u64,
 ) -> TrainedModel {
+    let _scope = rush_obs::profile::scope(rush_obs::ProfileScope::Train);
     let full = build_dataset(campaign, NodeScope::JobNodes, scheme);
     let restricted = match train_apps {
         Some(apps) => {

@@ -11,6 +11,8 @@
 use crate::labels::LabelScheme;
 use rush_cluster::topology::NodeId;
 use rush_ml::model::{Classifier, TrainedModel};
+use rush_obs::profile as obs_profile;
+use rush_obs::ProfileScope;
 use rush_sched::job::Job;
 use rush_sched::predictor::{PredictError, PredictorCtx, VariabilityClass, VariabilityPredictor};
 use rush_simkit::time::SimDuration;
@@ -74,6 +76,7 @@ impl MlPredictor {
         nodes: &[NodeId],
         ctx: &mut PredictorCtx<'_>,
     ) -> Vec<f64> {
+        let _scope = obs_profile::scope(ProfileScope::Featurize);
         let from = ctx.now.saturating_sub(self.window);
         let aggs = aggregate_counters(ctx.store, nodes, from, ctx.now);
         let counter_features = flatten_features(&aggs);

@@ -25,8 +25,12 @@ use rand::Rng;
 use rush_cluster::machine::{Machine, NodeHealth, SourceId};
 use rush_cluster::placement::{NodePool, PlacementPolicy};
 use rush_cluster::topology::NodeId;
+use rush_obs::metrics::{CounterId, GaugeId, HistogramId};
+use rush_obs::profile as obs_profile;
+use rush_obs::{EventRecord, EventTracer, FallbackReason, MetricsRegistry, ObsEvent, ProfileScope};
 use rush_simkit::event::EventQueue;
 use rush_simkit::fault::{FaultConfig, FaultKind, FaultSchedule};
+use rush_simkit::histogram::Histogram;
 use rush_simkit::rng::RngStreams;
 use rush_simkit::time::{SimDuration, SimTime};
 use rush_telemetry::aggregate::window_quality;
@@ -109,6 +113,72 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// Registry handles for every scheduler instrument. All names follow the
+/// `sched.*` convention; registering them once up front makes updates a
+/// plain `Vec` index.
+#[derive(Debug, Clone, Copy)]
+struct SchedCounters {
+    jobs_submitted: CounterId,
+    jobs_started: CounterId,
+    jobs_finished: CounterId,
+    jobs_killed: CounterId,
+    jobs_failed: CounterId,
+    requeues: CounterId,
+    skips: CounterId,
+    predictor_verdicts: CounterId,
+    fallback_telemetry_gap: CounterId,
+    fallback_model_error: CounterId,
+    backfill_reservations: CounterId,
+    node_failures: CounterId,
+    node_recoveries: CounterId,
+    nodes_trusted: CounterId,
+    max_queue_len: GaugeId,
+    wait_s: HistogramId,
+    run_s: HistogramId,
+    retry_backoff_s: HistogramId,
+}
+
+impl SchedCounters {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        SchedCounters {
+            jobs_submitted: reg.register_counter("sched.jobs_submitted"),
+            jobs_started: reg.register_counter("sched.jobs_started"),
+            jobs_finished: reg.register_counter("sched.jobs_finished"),
+            jobs_killed: reg.register_counter("sched.jobs_killed"),
+            jobs_failed: reg.register_counter("sched.jobs_failed"),
+            requeues: reg.register_counter("sched.requeues"),
+            skips: reg.register_counter("sched.skips"),
+            predictor_verdicts: reg.register_counter("sched.predictor_verdicts"),
+            fallback_telemetry_gap: reg.register_counter("sched.fallback_telemetry_gap"),
+            fallback_model_error: reg.register_counter("sched.fallback_model_error"),
+            backfill_reservations: reg.register_counter("sched.backfill_reservations"),
+            node_failures: reg.register_counter("sched.node_failures"),
+            node_recoveries: reg.register_counter("sched.node_recoveries"),
+            nodes_trusted: reg.register_counter("sched.nodes_trusted"),
+            max_queue_len: reg.register_gauge("sched.max_queue_len"),
+            wait_s: reg.register_histogram("sched.wait_s", Histogram::for_seconds()),
+            run_s: reg.register_histogram("sched.run_s", Histogram::for_seconds()),
+            retry_backoff_s: reg
+                .register_histogram("sched.retry_backoff_s", Histogram::for_seconds()),
+        }
+    }
+}
+
+/// The single outcome of one `Start()` predictor consultation. Exactly one
+/// variant is produced per decision, so a consultation can never be counted
+/// both as a fallback *and* as a verdict-driven skip — the double-counting
+/// bug this replaces arose from tracking `fallback` and `delay` as two
+/// independent booleans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StartConsult {
+    /// Skip budget exhausted: launch unconditionally, predictor untouched.
+    BudgetExhausted,
+    /// The predictor produced a class (which may or may not trigger delay).
+    Verdict(crate::predictor::VariabilityClass),
+    /// The predictor was bypassed; schedule as plain EASY.
+    Fallback(FallbackReason),
+}
+
 /// A running job's execution state.
 #[derive(Debug, Clone)]
 struct RunningJob {
@@ -173,6 +243,11 @@ pub struct ScheduleResult {
     pub node_failures: u64,
     /// The recorded event timeline and load series.
     pub trace: ScheduleTrace,
+    /// Structured observability events, in emission order. Empty unless
+    /// the engine was built with tracing enabled ([`SchedulerEngine::with_tracing`]).
+    pub events: Vec<EventRecord>,
+    /// Registry-backed metrics for this run (`sched.*` namespace).
+    pub metrics: MetricsRegistry,
 }
 
 impl ScheduleResult {
@@ -214,17 +289,16 @@ pub struct SchedulerEngine {
     rng_place: SmallRng,
     rng_run: SmallRng,
     rng_pred: SmallRng,
-    total_skips: u64,
     max_queue_len: usize,
     pending_submits: usize,
-    fallback_decisions: u64,
-    requeues: u64,
-    node_failures: u64,
     /// Globally unique finish-event generation counter. Never reused, so a
     /// stale finish event from before a kill can never match a restarted
     /// job's fresh generation.
     next_gen: u64,
     trace: ScheduleTrace,
+    tracer: EventTracer,
+    registry: MetricsRegistry,
+    counters: SchedCounters,
 }
 
 impl SchedulerEngine {
@@ -242,6 +316,8 @@ impl SchedulerEngine {
         let nodes_per_edge = machine.tree().config().nodes_per_edge;
         let streams = RngStreams::new(seed);
         let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
+        let mut registry = MetricsRegistry::new();
+        let counters = SchedCounters::register(&mut registry);
         SchedulerEngine {
             pool: NodePool::with_topology(node_count, nodes_per_edge, config.placement),
             store: MetricStore::new(node_count, 90),
@@ -261,15 +337,21 @@ impl SchedulerEngine {
             rng_place: streams.stream("sched/place"),
             rng_run: streams.stream("sched/run"),
             rng_pred: streams.stream("sched/predict"),
-            total_skips: 0,
             max_queue_len: 0,
             pending_submits: 0,
-            fallback_decisions: 0,
-            requeues: 0,
-            node_failures: 0,
             next_gen: 0,
             trace: ScheduleTrace::new(),
+            tracer: EventTracer::disabled(),
+            registry,
+            counters,
         }
+    }
+
+    /// Enables structured event tracing with a ring of `capacity` records.
+    /// Disabled by default; when disabled every emission is a single branch.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.tracer = EventTracer::enabled(capacity);
+        self
     }
 
     /// Starts the experiment's noise job on `nodes` (removed from the
@@ -320,12 +402,16 @@ impl SchedulerEngine {
         }
 
         while let Some(entry) = self.events.pop() {
+            let _tick_scope = obs_profile::scope(ProfileScope::EngineTick);
             let now = entry.time;
             match entry.event {
                 Ev::Submit(i) => {
                     self.advance_world(now);
                     self.pending_submits -= 1;
                     self.record(now, TraceEvent::Submitted(jobs[i].id));
+                    self.registry.inc(self.counters.jobs_submitted);
+                    self.tracer
+                        .emit(now, ObsEvent::JobSubmitted { job: jobs[i].id.0 });
                     self.queue.push(jobs[i].clone());
                     self.max_queue_len = self.max_queue_len.max(self.queue.len());
                     self.schedule_pass(now);
@@ -375,6 +461,9 @@ impl SchedulerEngine {
                         self.advance_world(now);
                         self.machine.trust_node(node);
                         self.pool.mark_up(node);
+                        self.registry.inc(self.counters.nodes_trusted);
+                        self.tracer
+                            .emit(now, ObsEvent::NodeTrusted { node: node.0 });
                         self.schedule_pass(now);
                     }
                 }
@@ -396,18 +485,28 @@ impl SchedulerEngine {
             .map(|c| c.end_at)
             .max()
             .unwrap_or(first_submit);
+        self.registry
+            .set_gauge(self.counters.max_queue_len, self.max_queue_len as f64);
+        self.sampler.export_metrics(&mut self.registry);
+        self.machine.export_metrics(&mut self.registry);
+        // The legacy scalar fields are views over the registry now — one
+        // source of truth, two access paths.
+        let fallback_decisions = self.registry.counter(self.counters.fallback_telemetry_gap)
+            + self.registry.counter(self.counters.fallback_model_error);
         ScheduleResult {
             completed: std::mem::take(&mut self.completed),
             failed: std::mem::take(&mut self.failed),
-            total_skips: self.total_skips,
+            total_skips: self.registry.counter(self.counters.skips),
             max_queue_len: self.max_queue_len,
             predictor_name: self.predictor.name().to_string(),
             first_submit,
             last_end,
-            fallback_decisions: self.fallback_decisions,
-            requeues: self.requeues,
-            node_failures: self.node_failures,
+            fallback_decisions,
+            requeues: self.registry.counter(self.counters.requeues),
+            node_failures: self.registry.counter(self.counters.node_failures),
             trace: std::mem::take(&mut self.trace),
+            events: self.tracer.take_records(),
+            metrics: self.registry.clone(),
         }
     }
 
@@ -416,10 +515,11 @@ impl SchedulerEngine {
         match kind {
             FaultKind::NodeDown(n) => {
                 let node = NodeId(n);
-                self.node_failures += 1;
+                self.registry.inc(self.counters.node_failures);
                 self.machine.fail_node(node);
                 self.pool.mark_down(node);
                 self.record(now, TraceEvent::NodeDown(n));
+                self.tracer.emit(now, ObsEvent::NodeDown { node: n });
                 // Kill everything running on the crashed node.
                 let victims: Vec<JobId> = self
                     .running
@@ -438,7 +538,9 @@ impl SchedulerEngine {
                 // Repair done: telemetry resumes (Suspect), but placement
                 // stays quarantined until the probation ends.
                 self.machine.recover_node(node);
+                self.registry.inc(self.counters.node_recoveries);
                 self.record(now, TraceEvent::NodeUp(n));
+                self.tracer.emit(now, ObsEvent::NodeUp { node: n });
                 self.events
                     .schedule(now + self.config.faults.suspect_probation, Ev::Trust(n));
             }
@@ -459,6 +561,8 @@ impl SchedulerEngine {
         // quarantined (Down with its pending-release flag cleared).
         self.pool.release(&r.nodes);
         self.record(now, TraceEvent::Killed(id));
+        self.registry.inc(self.counters.jobs_killed);
+        self.tracer.emit(now, ObsEvent::JobKilled { job: id.0 });
 
         let attempts = self.attempts.entry(id).or_insert(0);
         *attempts += 1;
@@ -466,6 +570,14 @@ impl SchedulerEngine {
         if self.config.retry.exhausted(attempts) {
             self.delayed_until.remove(&id);
             self.record(now, TraceEvent::Failed(id));
+            self.registry.inc(self.counters.jobs_failed);
+            self.tracer.emit(
+                now,
+                ObsEvent::JobFailed {
+                    job: id.0,
+                    attempts,
+                },
+            );
             self.failed.push(FailedJob {
                 job: r.job,
                 attempts,
@@ -474,8 +586,17 @@ impl SchedulerEngine {
             return;
         }
         let backoff = self.config.retry.backoff_for(attempts);
-        self.requeues += 1;
+        self.registry.inc(self.counters.requeues);
+        self.registry
+            .record(self.counters.retry_backoff_s, backoff.as_secs_f64());
         self.record(now, TraceEvent::Requeued(id, attempts));
+        self.tracer.emit(
+            now,
+            ObsEvent::JobRequeued {
+                job: id.0,
+                attempt: attempts,
+            },
+        );
         self.delayed_until.insert(id, now + backoff);
         // FCFS re-sorts by original submit time, so the retried job regains
         // its place at the front of the queue once the backoff expires.
@@ -544,6 +665,10 @@ impl SchedulerEngine {
         self.machine.remove_load(SourceId(id.0));
         self.pool.release(&r.nodes);
         self.record(now, TraceEvent::Finished(id));
+        self.registry.inc(self.counters.jobs_finished);
+        self.registry
+            .record(self.counters.run_s, now.since(r.start_at).as_secs_f64());
+        self.tracer.emit(now, ObsEvent::JobFinished { job: id.0 });
         self.completed.push(CompletedJob {
             base_runtime: r.job.base_runtime(),
             job: r.job,
@@ -557,6 +682,7 @@ impl SchedulerEngine {
 
     /// Algorithm 1: one scheduling pass over the queue.
     fn schedule_pass(&mut self, now: SimTime) {
+        let _scope = obs_profile::scope(ProfileScope::SchedulePass);
         self.config.r1.clone().sort(&mut self.queue);
         if self.config.backfill == BackfillPolicy::Conservative {
             self.conservative_pass(now);
@@ -659,6 +785,15 @@ impl SchedulerEngine {
             None => return, // cannot ever fit; nothing to protect
         };
         let blocked_id = blocked.id;
+        self.registry.inc(self.counters.backfill_reservations);
+        self.tracer.emit(
+            now,
+            ObsEvent::BackfillReservation {
+                job: blocked_id.0,
+                shadow_start_us: reservation.shadow_start.as_micros(),
+                extra_nodes: reservation.extra_nodes,
+            },
+        );
 
         // Candidates: everything except the blocked job, in R2 order.
         let mut candidates: Vec<Job> = self
@@ -696,6 +831,38 @@ impl SchedulerEngine {
         }
     }
 
+    /// Resolves one `Start()` consultation into its single outcome.
+    ///
+    /// The skip-budget check short-circuits the model; before consulting
+    /// the model at all the telemetry window is gated on quality — a window
+    /// hollowed out by blackouts/corruption (or a failing predictor) must
+    /// degrade RUSH to plain EASY, not poison its decisions.
+    fn consult_predictor(&mut self, job: &Job, nodes: &[NodeId], now: SimTime) -> StartConsult {
+        let skips = self.skip_table.get(&job.id).copied().unwrap_or(0);
+        if skips >= job.skip_threshold {
+            return StartConsult::BudgetExhausted;
+        }
+        let _scope = obs_profile::scope(ProfileScope::PredictorEval);
+        let window_start = now.saturating_sub(self.config.predictor_window);
+        let quality = window_quality(&self.store, nodes, window_start, now);
+        if !quality.is_usable(
+            self.config.min_telemetry_coverage,
+            self.config.predictor_window,
+        ) {
+            return StartConsult::Fallback(FallbackReason::TelemetryGap);
+        }
+        let mut ctx = PredictorCtx {
+            machine: &mut self.machine,
+            store: &self.store,
+            now,
+            rng: &mut self.rng_pred,
+        };
+        match self.predictor.predict(job, nodes, &mut ctx) {
+            Ok(class) => StartConsult::Verdict(class),
+            Err(_) => StartConsult::Fallback(FallbackReason::ModelError),
+        }
+    }
+
     /// Algorithm 2: the modified `Start()`. Returns `true` if the job
     /// launched, `false` if it was delayed (and re-queued after the front).
     fn try_start(&mut self, job: Job, now: SimTime, delayed: &mut HashSet<JobId>) -> bool {
@@ -711,53 +878,55 @@ impl SchedulerEngine {
             }
         };
 
-        let skips = self.skip_table.get(&job.id).copied().unwrap_or(0);
         // Line 1: `SkipTable[j] < j.skip_threshold and M(j, S) ∈ variation
-        // labels` — the threshold check short-circuits the model. Before
-        // consulting the model at all, gate on telemetry quality: a window
-        // hollowed out by blackouts/corruption (or a failing predictor)
-        // must degrade RUSH to plain EASY, not poison its decisions.
+        // labels` — resolved into exactly one `StartConsult` outcome, so
+        // every decision is counted exactly once (a fallback launch can
+        // never also record a skip, and vice versa).
+        let consult = self.consult_predictor(&job, &nodes, now);
         let mut launch_prediction = None;
-        let mut fallback = false;
-        let delay = skips < job.skip_threshold && {
-            let window_start = now.saturating_sub(self.config.predictor_window);
-            let quality = window_quality(&self.store, &nodes, window_start, now);
-            if !quality.is_usable(
-                self.config.min_telemetry_coverage,
-                self.config.predictor_window,
-            ) {
-                fallback = true;
-                false
-            } else {
-                let mut ctx = PredictorCtx {
-                    machine: &mut self.machine,
-                    store: &self.store,
+        match consult {
+            StartConsult::BudgetExhausted => {}
+            StartConsult::Verdict(class) => {
+                launch_prediction = Some(class);
+                self.registry.inc(self.counters.predictor_verdicts);
+                self.tracer.emit(
                     now,
-                    rng: &mut self.rng_pred,
-                };
-                match self.predictor.predict(&job, &nodes, &mut ctx) {
-                    Ok(class) => {
-                        launch_prediction = Some(class);
-                        class.triggers_delay()
-                    }
-                    Err(_) => {
-                        fallback = true;
-                        false
-                    }
-                }
+                    ObsEvent::PredictorVerdict {
+                        job: job.id.0,
+                        class: class.index(),
+                    },
+                );
             }
-        };
-        if fallback {
-            self.fallback_decisions += 1;
+            StartConsult::Fallback(reason) => {
+                let counter = match reason {
+                    FallbackReason::TelemetryGap => self.counters.fallback_telemetry_gap,
+                    FallbackReason::ModelError => self.counters.fallback_model_error,
+                };
+                self.registry.inc(counter);
+                self.tracer.emit(
+                    now,
+                    ObsEvent::PredictorFallback {
+                        job: job.id.0,
+                        reason,
+                    },
+                );
+            }
         }
 
-        if delay {
+        if matches!(consult, StartConsult::Verdict(class) if class.triggers_delay()) {
             // Lines 2–3: increment the skip count and push after the front.
             self.pool.release(&nodes);
             *self.skip_table.entry(job.id).or_insert(0) += 1;
-            self.total_skips += 1;
             let skips = self.skip_table[&job.id];
+            self.registry.inc(self.counters.skips);
             self.record(now, TraceEvent::Delayed(job.id, skips));
+            self.tracer.emit(
+                now,
+                ObsEvent::JobSkipped {
+                    job: job.id.0,
+                    skips,
+                },
+            );
             self.delayed_until
                 .insert(job.id, now + self.config.skip_cooldown);
             delayed.insert(job.id);
@@ -787,7 +956,19 @@ impl SchedulerEngine {
         let speed = 1.0 / app.slowdown_at(0.0, congestion, fs);
 
         let id = job.id;
+        let skips = self.skip_table.get(&id).copied().unwrap_or(0);
         self.record(now, TraceEvent::Started(id));
+        self.registry.inc(self.counters.jobs_started);
+        self.registry
+            .record(self.counters.wait_s, now.since(job.submit_at).as_secs_f64());
+        self.tracer.emit(
+            now,
+            ObsEvent::JobStarted {
+                job: id.0,
+                nodes: job.nodes_requested,
+                skips,
+            },
+        );
         let generation = self.next_gen;
         self.next_gen += 1;
         let finish_in = SimDuration::from_secs_f64(work / speed);

@@ -1,11 +1,13 @@
-//! Property-based tests for scheduler invariants: EASY reservations and
-//! full engine runs on arbitrary (small) workloads.
+//! Property-based tests for scheduler invariants: EASY reservations, full
+//! engine runs on arbitrary (small) workloads, and the structured event
+//! stream / metrics registry the engine exports.
 
 use proptest::prelude::*;
 use rush_cluster::machine::{Machine, MachineConfig};
+use rush_obs::{EventRecord, ObsEvent};
 use rush_sched::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
-use rush_sched::engine::{SchedulerConfig, SchedulerEngine};
-use rush_sched::predictor::NeverVaries;
+use rush_sched::engine::{ScheduleResult, SchedulerConfig, SchedulerEngine};
+use rush_sched::predictor::{AlwaysFails, CongestionOracle, NeverVaries};
 use rush_sched::trace::TraceEvent;
 use rush_sched::RetryPolicy;
 use rush_simkit::fault::FaultConfig;
@@ -13,6 +15,19 @@ use rush_simkit::time::{SimDuration, SimTime};
 use rush_workloads::apps::AppId;
 use rush_workloads::jobgen::JobRequest;
 use rush_workloads::scaling::ScalingMode;
+
+/// Number of events in the stream matching `pred`.
+fn count_events(events: &[EventRecord], pred: impl Fn(&ObsEvent) -> bool) -> u64 {
+    events.iter().filter(|r| pred(&r.event)).count() as u64
+}
+
+/// Reads a registry counter that must exist on every traced run.
+fn counter(result: &ScheduleResult, name: &str) -> u64 {
+    result
+        .metrics
+        .counter_by_name(name)
+        .unwrap_or_else(|| panic!("registry must carry {name}"))
+}
 
 fn snapshot() -> impl Strategy<Value = RunningSnapshot> {
     (0u64..1000, 1u32..16).prop_map(|(end, nodes)| RunningSnapshot {
@@ -208,4 +223,249 @@ proptest! {
             prop_assert_eq!(f.attempts, max_retries + 1);
         }
     }
+
+    /// The structured event stream and the metrics registry must agree with
+    /// each other, with the legacy trace, and with the schedule outcome on
+    /// arbitrary faulty workloads.
+    #[test]
+    fn event_stream_and_registry_agree_with_the_schedule(
+        fault_seed in 0u64..500,
+        mtbf_mins in 15u64..90,
+        job_count in 3u64..10,
+        seed in 0u64..500,
+    ) {
+        let config = SchedulerConfig {
+            faults: FaultConfig {
+                seed: fault_seed,
+                horizon: SimDuration::from_hours(2),
+                node_mtbf: Some(SimDuration::from_mins(mtbf_mins)),
+                node_mttr: SimDuration::from_mins(3),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let requests: Vec<JobRequest> = (0..job_count)
+            .map(|i| JobRequest {
+                id: i,
+                app: AppId::ALL[(i % 7) as usize],
+                nodes: 4,
+                submit_at: SimTime::from_secs(i * 30),
+                scaling: ScalingMode::Reference,
+            })
+            .collect();
+        let machine = Machine::new(MachineConfig::tiny(seed));
+        let mut engine = SchedulerEngine::new(
+            machine,
+            config,
+            Box::new(CongestionOracle::default()),
+            seed,
+        )
+        .with_noise_job((12..16).map(rush_cluster::topology::NodeId).collect(), 8.0)
+        .with_tracing(1 << 16);
+        let result = engine.run(&requests);
+        let events = &result.events;
+
+        // Sequence numbers are contiguous from zero and timestamps are
+        // monotone in simulation time.
+        for (i, r) in events.iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64);
+        }
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at, "event time went backwards");
+        }
+
+        // Every kill is eventually resolved: a later requeue or failure of
+        // the same job.
+        for (i, r) in events.iter().enumerate() {
+            if let ObsEvent::JobKilled { job } = r.event {
+                let resolved = events[i + 1..].iter().any(|later| matches!(
+                    later.event,
+                    ObsEvent::JobRequeued { job: j, .. } | ObsEvent::JobFailed { job: j, .. }
+                        if j == job
+                ));
+                prop_assert!(resolved, "kill of job {} never resolved", job);
+            }
+        }
+
+        // Conservation re-asserted through the event stream: every
+        // submission ends as exactly one finish or failure.
+        let submitted = count_events(events, |e| matches!(e, ObsEvent::JobSubmitted { .. }));
+        let finished = count_events(events, |e| matches!(e, ObsEvent::JobFinished { .. }));
+        let failed = count_events(events, |e| matches!(e, ObsEvent::JobFailed { .. }));
+        prop_assert_eq!(submitted, job_count);
+        prop_assert_eq!(finished + failed, submitted);
+        prop_assert_eq!(finished, result.completed.len() as u64);
+        prop_assert_eq!(failed, result.failed.len() as u64);
+
+        // Registry counters equal event-stream counts for every family the
+        // engine emits.
+        let pairs: [(&str, u64); 9] = [
+            ("sched.jobs_submitted", submitted),
+            ("sched.jobs_finished", finished),
+            ("sched.jobs_failed", failed),
+            ("sched.jobs_started",
+             count_events(events, |e| matches!(e, ObsEvent::JobStarted { .. }))),
+            ("sched.jobs_killed",
+             count_events(events, |e| matches!(e, ObsEvent::JobKilled { .. }))),
+            ("sched.requeues",
+             count_events(events, |e| matches!(e, ObsEvent::JobRequeued { .. }))),
+            ("sched.skips",
+             count_events(events, |e| matches!(e, ObsEvent::JobSkipped { .. }))),
+            ("sched.backfill_reservations",
+             count_events(events, |e| matches!(e, ObsEvent::BackfillReservation { .. }))),
+            ("sched.node_failures",
+             count_events(events, |e| matches!(e, ObsEvent::NodeDown { .. }))),
+        ];
+        for (name, expected) in pairs {
+            prop_assert_eq!(counter(&result, name), expected, "{} disagrees", name);
+        }
+
+        // The legacy result fields are registry-backed views of the same
+        // totals, and the legacy trace agrees on delays.
+        prop_assert_eq!(result.total_skips, counter(&result, "sched.skips"));
+        prop_assert_eq!(result.requeues, counter(&result, "sched.requeues"));
+        prop_assert_eq!(result.node_failures, counter(&result, "sched.node_failures"));
+        prop_assert_eq!(
+            result.trace.delay_count() as u64,
+            count_events(events, |e| matches!(e, ObsEvent::JobSkipped { .. }))
+        );
+
+        // Exactly one consultation outcome per Start() decision: fallbacks
+        // and verdicts partition the consultations, and only a Variation
+        // verdict may skip.
+        let fallbacks =
+            count_events(events, |e| matches!(e, ObsEvent::PredictorFallback { .. }));
+        prop_assert_eq!(result.fallback_decisions, fallbacks);
+        prop_assert_eq!(
+            counter(&result, "sched.predictor_verdicts"),
+            count_events(events, |e| matches!(e, ObsEvent::PredictorVerdict { .. }))
+        );
+        prop_assert_eq!(
+            counter(&result, "sched.fallback_telemetry_gap")
+                + counter(&result, "sched.fallback_model_error"),
+            fallbacks
+        );
+        prop_assert_eq!(
+            count_events(events, |e| matches!(e, ObsEvent::JobSkipped { .. })),
+            count_events(
+                events,
+                |e| matches!(e, ObsEvent::PredictorVerdict { class: 2, .. })
+            ),
+            "every skip must come from a Variation verdict and vice versa"
+        );
+    }
+}
+
+/// Regression for the PR-1 double-count bug: a `Start()` consultation that
+/// falls back to plain EASY (predictor error) must count as a fallback and
+/// never *also* as a RUSH skip, in both the legacy trace and the tracer.
+#[test]
+fn fallback_starts_never_count_as_skips() {
+    let requests: Vec<JobRequest> = (0..6)
+        .map(|i| JobRequest {
+            id: i,
+            app: AppId::Amg,
+            nodes: 4,
+            submit_at: SimTime::from_secs(i * 60),
+            scaling: ScalingMode::Reference,
+        })
+        .collect();
+    let machine = Machine::new(MachineConfig::tiny(9));
+    let mut engine = SchedulerEngine::new(
+        machine,
+        SchedulerConfig::default(),
+        Box::new(AlwaysFails),
+        9,
+    )
+    .with_tracing(1 << 16);
+    let result = engine.run(&requests);
+
+    let fallbacks = count_events(&result.events, |e| {
+        matches!(e, ObsEvent::PredictorFallback { .. })
+    });
+    let started = count_events(&result.events, |e| matches!(e, ObsEvent::JobStarted { .. }));
+    assert_eq!(started, 6, "every job launches under graceful degradation");
+    assert_eq!(fallbacks, started, "one fallback per launch, none double");
+    assert_eq!(result.fallback_decisions, fallbacks);
+    assert_eq!(counter(&result, "sched.fallback_model_error"), fallbacks);
+    assert_eq!(counter(&result, "sched.fallback_telemetry_gap"), 0);
+    // No skip is recorded anywhere: tracer, registry, legacy trace.
+    assert_eq!(
+        count_events(&result.events, |e| matches!(e, ObsEvent::JobSkipped { .. })),
+        0
+    );
+    assert_eq!(result.total_skips, 0);
+    assert_eq!(counter(&result, "sched.skips"), 0);
+    assert_eq!(result.trace.delay_count(), 0);
+}
+
+/// Same regression from the telemetry side: blackout windows degrade the
+/// counter coverage mid-run, those consultations fall back with reason
+/// `telemetry_gap`, and the skip accounting stays consistent throughout.
+#[test]
+fn telemetry_gap_fallbacks_do_not_double_count_skips() {
+    let requests: Vec<JobRequest> = (0..20)
+        .map(|i| JobRequest {
+            id: i,
+            app: AppId::ALL[(i % 7) as usize],
+            nodes: 4,
+            submit_at: SimTime::from_mins(i * 5),
+            scaling: ScalingMode::Reference,
+        })
+        .collect();
+    let machine = Machine::new(MachineConfig::tiny(3));
+    let mut engine = SchedulerEngine::new(
+        machine,
+        SchedulerConfig {
+            faults: FaultConfig {
+                seed: 7,
+                horizon: SimDuration::from_hours(4),
+                blackout_mtbf: Some(SimDuration::from_mins(15)),
+                blackout_duration: SimDuration::from_mins(6),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        },
+        Box::new(CongestionOracle::default()),
+        3,
+    )
+    .with_tracing(1 << 16);
+    let result = engine.run(&requests);
+
+    let gap_fallbacks = count_events(&result.events, |e| {
+        matches!(
+            e,
+            ObsEvent::PredictorFallback {
+                reason: rush_obs::FallbackReason::TelemetryGap,
+                ..
+            }
+        )
+    });
+    assert!(
+        gap_fallbacks > 0,
+        "scenario must exercise the mid-window degradation path"
+    );
+    assert_eq!(
+        counter(&result, "sched.fallback_telemetry_gap"),
+        gap_fallbacks
+    );
+    // Each consultation produced exactly one outcome: fallbacks plus
+    // verdicts, with skips drawn only from Variation verdicts.
+    let verdicts = count_events(&result.events, |e| {
+        matches!(e, ObsEvent::PredictorVerdict { .. })
+    });
+    let all_fallbacks = count_events(&result.events, |e| {
+        matches!(e, ObsEvent::PredictorFallback { .. })
+    });
+    assert_eq!(result.fallback_decisions, all_fallbacks);
+    assert_eq!(counter(&result, "sched.predictor_verdicts"), verdicts);
+    let skipped = count_events(&result.events, |e| matches!(e, ObsEvent::JobSkipped { .. }));
+    assert_eq!(
+        skipped,
+        count_events(&result.events, |e| {
+            matches!(e, ObsEvent::PredictorVerdict { class: 2, .. })
+        })
+    );
+    assert_eq!(result.total_skips, skipped);
+    assert_eq!(result.trace.delay_count() as u64, skipped);
 }

@@ -69,10 +69,18 @@ pub enum RunEnd {
     Horizon,
 }
 
+/// Per-step instrumentation callback: invoked after each delivered event
+/// with the event's simulation timestamp and the wall nanoseconds the
+/// handler took. `simkit` cannot depend on the observability crate (the
+/// dependency points the other way), so profilers hook in through this
+/// generic observer instead.
+pub type StepObserver = Box<dyn FnMut(SimTime, u64) + Send>;
+
 /// A discrete-event simulation engine.
 pub struct Engine<E> {
     queue: EventQueue<E>,
     steps: u64,
+    observer: Option<StepObserver>,
 }
 
 impl<E> Default for Engine<E> {
@@ -87,7 +95,15 @@ impl<E> Engine<E> {
         Engine {
             queue: EventQueue::new(),
             steps: 0,
+            observer: None,
         }
+    }
+
+    /// Installs (or clears) the per-step observer. While an observer is
+    /// set, each handler invocation is timed with the wall clock; with no
+    /// observer the run loop does no timing at all.
+    pub fn set_step_observer(&mut self, observer: Option<StepObserver>) {
+        self.observer = observer;
     }
 
     /// Current simulation time.
@@ -131,7 +147,13 @@ impl<E> Engine<E> {
             let mut sched = Scheduler {
                 queue: &mut self.queue,
             };
-            if handler.handle(entry.time, entry.event, &mut sched) == StepOutcome::Halt {
+            let started = self.observer.as_ref().map(|_| std::time::Instant::now());
+            let outcome = handler.handle(entry.time, entry.event, &mut sched);
+            if let (Some(observer), Some(started)) = (self.observer.as_mut(), started) {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                observer(entry.time, nanos);
+            }
+            if outcome == StepOutcome::Halt {
                 return RunEnd::Halted;
             }
         }
@@ -190,6 +212,36 @@ mod tests {
         });
         assert_eq!(end, RunEnd::Halted);
         assert_eq!(engine.pending(), 6);
+    }
+
+    #[test]
+    fn step_observer_sees_every_delivered_event() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let calls = Arc::new(AtomicU64::new(0));
+        let last_t = Arc::new(AtomicU64::new(u64::MAX));
+        let mut engine = Engine::new();
+        for i in 0..4 {
+            engine.schedule(SimTime::from_secs(i), i);
+        }
+        let (c, t) = (Arc::clone(&calls), Arc::clone(&last_t));
+        engine.set_step_observer(Some(Box::new(move |now, _nanos| {
+            c.fetch_add(1, Ordering::Relaxed);
+            t.store(now.as_micros(), Ordering::Relaxed);
+        })));
+        engine.run(&mut |_n, _ev: u64, _s: &mut Scheduler<'_, u64>| StepOutcome::Continue);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(
+            last_t.load(Ordering::Relaxed),
+            SimTime::from_secs(3).as_micros()
+        );
+
+        // Clearing the observer stops the callbacks.
+        engine.set_step_observer(None);
+        engine.schedule(SimTime::from_secs(9), 9);
+        engine.run(&mut |_n, _ev: u64, _s: &mut Scheduler<'_, u64>| StepOutcome::Continue);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rush_cluster::machine::{Machine, NodeHealth};
 use rush_cluster::topology::NodeId;
+use rush_obs::profile as obs_profile;
+use rush_obs::{MetricsRegistry, ProfileScope};
 use rush_simkit::time::{SimDuration, SimTime};
 
 /// Samples machine counters into a store on a fixed interval.
@@ -34,6 +36,10 @@ pub struct Sampler {
     corruption: bool,
     corruption_prob: f64,
     corrupted: u64,
+    /// Per-node samples lost to machine-wide blackout windows.
+    gaps_blackout: u64,
+    /// Per-node samples lost because the node was down.
+    gaps_node_down: u64,
     rng: SmallRng,
 }
 
@@ -52,6 +58,8 @@ impl Sampler {
             corruption: false,
             corruption_prob: 0.5,
             corrupted: 0,
+            gaps_blackout: 0,
+            gaps_node_down: 0,
             rng: SmallRng::seed_from_u64(0),
         }
     }
@@ -107,6 +115,38 @@ impl Sampler {
         self.corrupted
     }
 
+    /// Per-node samples lost to blackout windows so far.
+    pub fn blackout_gaps(&self) -> u64 {
+        self.gaps_blackout
+    }
+
+    /// Per-node samples lost to down nodes so far.
+    pub fn node_down_gaps(&self) -> u64 {
+        self.gaps_node_down
+    }
+
+    /// Registers (or updates) this sampler's counters in `reg` under the
+    /// `telemetry.*` namespace. Idempotent: names already present are
+    /// overwritten with current values, so calling at end-of-run exports a
+    /// consistent snapshot.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        for (name, value) in [
+            ("telemetry.sampling_rounds", self.samples_taken),
+            ("telemetry.gaps_dropout", self.dropped),
+            ("telemetry.gaps_corrupt", self.corrupted),
+            ("telemetry.gaps_blackout", self.gaps_blackout),
+            ("telemetry.gaps_node_down", self.gaps_node_down),
+        ] {
+            match reg.counter_id(name) {
+                Some(id) => reg.set_counter(id, value),
+                None => {
+                    let id = reg.register_counter(name);
+                    reg.set_counter(id, value);
+                }
+            }
+        }
+    }
+
     /// The sampling interval.
     pub fn interval(&self) -> SimDuration {
         self.interval
@@ -126,6 +166,10 @@ impl Sampler {
     /// The machine is advanced to each round's timestamp first so counters
     /// reflect the machine state *at* the sample time.
     pub fn advance_to(&mut self, t: SimTime, machine: &mut Machine, store: &mut MetricStore) {
+        if self.next_due > t {
+            return;
+        }
+        let _scope = obs_profile::scope(ProfileScope::TelemetrySample);
         while self.next_due <= t {
             let at = self.next_due;
             machine.advance_to(at);
@@ -134,10 +178,12 @@ impl Sampler {
                 // downstream coverage queries see *why* data is missing,
                 // not just that it is.
                 if self.blackout {
+                    self.gaps_blackout += 1;
                     store.record_gap(node, at, GapReason::Blackout);
                     continue;
                 }
                 if machine.node_health(node) == NodeHealth::Down {
+                    self.gaps_node_down += 1;
                     store.record_gap(node, at, GapReason::NodeDown);
                     continue;
                 }
@@ -328,6 +374,39 @@ mod tests {
         sampler.set_corruption(false);
         sampler.advance_to(SimTime::from_secs(120), &mut machine, &mut store);
         assert!(store.point_count() > 0, "clean samples after the window");
+    }
+
+    #[test]
+    fn per_reason_gap_counters_and_export() {
+        let (mut machine, mut store, mut sampler) = setup();
+        machine.fail_node(NodeId(2));
+        sampler.set_blackout(true);
+        sampler.advance_to(SimTime::from_secs(30), &mut machine, &mut store);
+        sampler.set_blackout(false);
+        sampler.advance_to(SimTime::from_secs(60), &mut machine, &mut store);
+        let node_count = machine.tree().node_count() as u64;
+        // Blackout covered rounds t=0 and t=30 for every node; at t=60 only
+        // the downed node gaps.
+        assert_eq!(sampler.blackout_gaps(), 2 * node_count);
+        assert_eq!(sampler.node_down_gaps(), 1);
+        assert_eq!(
+            sampler.blackout_gaps() + sampler.node_down_gaps(),
+            store.gap_count() as u64
+        );
+
+        let mut reg = MetricsRegistry::new();
+        sampler.export_metrics(&mut reg);
+        assert_eq!(reg.counter_by_name("telemetry.sampling_rounds"), Some(3));
+        assert_eq!(
+            reg.counter_by_name("telemetry.gaps_blackout"),
+            Some(2 * node_count)
+        );
+        assert_eq!(reg.counter_by_name("telemetry.gaps_node_down"), Some(1));
+        assert_eq!(reg.counter_by_name("telemetry.gaps_dropout"), Some(0));
+        // Re-export overwrites rather than double-counting.
+        sampler.advance_to(SimTime::from_secs(90), &mut machine, &mut store);
+        sampler.export_metrics(&mut reg);
+        assert_eq!(reg.counter_by_name("telemetry.sampling_rounds"), Some(4));
     }
 
     #[test]

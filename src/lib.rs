@@ -11,6 +11,7 @@
 pub use rush_cluster as cluster;
 pub use rush_core as core;
 pub use rush_ml as ml;
+pub use rush_obs as obs;
 pub use rush_sched as sched;
 pub use rush_simkit as simkit;
 pub use rush_telemetry as telemetry;
