@@ -1,0 +1,279 @@
+//! Scheduler hot-path benchmark: A/Bs the optimized engine (event-heap
+//! compaction, congestion caching, incremental queue) against the same
+//! engine with every optimization disabled ([`EngineTuning::legacy`]) on
+//! identical seeded workloads, and asserts the two produce byte-identical
+//! schedule outcomes while reporting how much work each did.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rush-bench --bin bench_sched -- [--quick] \
+//!     [--seed N] [--out PATH]
+//! ```
+//!
+//! * `--quick` — run only the smallest (64-node / 200-job) config.
+//! * `--seed N` — workload + engine master seed (default 2026).
+//! * `--trials N` — wall-clock trials per side; the minimum is reported
+//!   (default 2; the simulation is deterministic, so extra trials only
+//!   sharpen the timing).
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_sched.json`).
+//!
+//! The report schema is documented in the README ("Scheduler hot-path
+//! bench"). Exits non-zero if any config's legacy and optimized outcomes
+//! diverge — the optimizations must be pure speedups.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rush_cluster::machine::{Machine, MachineConfig};
+use rush_cluster::topology::FatTreeConfig;
+use rush_obs::json::JsonObject;
+use rush_obs::profile as obs_profile;
+use rush_obs::ProfileScope;
+use rush_sched::engine::{EngineTuning, ScheduleResult, SchedulerConfig, SchedulerEngine};
+use rush_sched::predictor::NeverVaries;
+use rush_simkit::time::SimDuration;
+use rush_workloads::apps::AppId;
+use rush_workloads::jobgen::{generate_jobs, JobRequest, WorkloadSpec};
+use std::time::Instant;
+
+/// One benchmark scale: machine shape × job count.
+struct BenchConfig {
+    name: &'static str,
+    nodes: u32,
+    jobs: usize,
+}
+
+const CONFIGS: [BenchConfig; 3] = [
+    BenchConfig {
+        name: "64n_200j",
+        nodes: 64,
+        jobs: 200,
+    },
+    BenchConfig {
+        name: "256n_1000j",
+        nodes: 256,
+        jobs: 1000,
+    },
+    BenchConfig {
+        name: "512n_5000j",
+        nodes: 512,
+        jobs: 5000,
+    },
+];
+
+fn machine_for(nodes: u32, seed: u64) -> Machine {
+    let config = match nodes {
+        64 => MachineConfig {
+            tree: FatTreeConfig {
+                pods: 1,
+                edge_per_pod: 4,
+                nodes_per_edge: 16,
+                ..FatTreeConfig::tiny()
+            },
+            ..MachineConfig::tiny(seed)
+        },
+        256 => MachineConfig {
+            tree: FatTreeConfig {
+                pods: 1,
+                edge_per_pod: 16,
+                nodes_per_edge: 16,
+                ..FatTreeConfig::tiny()
+            },
+            ..MachineConfig::tiny(seed)
+        },
+        512 => MachineConfig::experiment_pod(seed),
+        other => panic!("no machine shape for {other} nodes"),
+    };
+    Machine::new(config)
+}
+
+fn workload_for(cfg: &BenchConfig, seed: u64) -> Vec<JobRequest> {
+    let spec = WorkloadSpec {
+        node_counts: vec![4, 8, 16, 32],
+        // Spread arrivals so the queue both backs up (sorting and backfill
+        // under pressure) and drains (event-heap churn at every scale).
+        submit_window: SimDuration::from_mins(cfg.jobs as u64 / 10),
+        ..WorkloadSpec::standard(AppId::ALL.to_vec(), cfg.jobs)
+    };
+    let mut rng = SmallRng::seed_from_u64(seed ^ cfg.jobs as u64);
+    generate_jobs(&spec, &mut rng)
+}
+
+/// Everything measured for one (config, tuning) run.
+struct RunMeasurement {
+    wall_ms: f64,
+    result: ScheduleResult,
+    pass_p50_us: f64,
+    pass_p99_us: f64,
+}
+
+fn run_once(
+    cfg: &BenchConfig,
+    requests: &[JobRequest],
+    tuning: EngineTuning,
+    seed: u64,
+) -> RunMeasurement {
+    let machine = machine_for(cfg.nodes, seed);
+    let sched_config = SchedulerConfig {
+        tuning,
+        ..SchedulerConfig::default()
+    };
+    let mut engine = SchedulerEngine::new(machine, sched_config, Box::new(NeverVaries), seed);
+    obs_profile::reset();
+    obs_profile::set_enabled(true);
+    let start = Instant::now();
+    let result = engine.run(requests);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    obs_profile::set_enabled(false);
+    let pass_p50_us =
+        obs_profile::percentile_nanos(ProfileScope::SchedulePass, 50.0).map_or(0.0, |ns| ns / 1e3);
+    let pass_p99_us =
+        obs_profile::percentile_nanos(ProfileScope::SchedulePass, 99.0).map_or(0.0, |ns| ns / 1e3);
+    RunMeasurement {
+        wall_ms,
+        result,
+        pass_p50_us,
+        pass_p99_us,
+    }
+}
+
+/// The outcome fingerprint that must match between tunings: every job's
+/// placement and timing, completed and failed alike.
+fn outcome_key(result: &ScheduleResult) -> Vec<(u64, u64, u64, Vec<u32>)> {
+    let mut key: Vec<(u64, u64, u64, Vec<u32>)> = result
+        .completed
+        .iter()
+        .map(|c| {
+            (
+                c.job.id.0,
+                c.start_at.as_micros(),
+                c.end_at.as_micros(),
+                c.nodes.iter().map(|n| n.0).collect(),
+            )
+        })
+        .chain(result.failed.iter().map(|f| {
+            (
+                f.job.id.0,
+                u64::MAX,
+                f.last_killed_at.as_micros(),
+                vec![f.attempts],
+            )
+        }))
+        .collect();
+    key.sort();
+    key
+}
+
+fn side_json(m: &RunMeasurement) -> String {
+    let q = m.result.event_queue;
+    JsonObject::new()
+        .f64("wall_ms", m.wall_ms)
+        .u64("events_scheduled", q.scheduled)
+        .u64("events_delivered", q.delivered)
+        .u64("events_cancelled", q.cancelled)
+        .u64("peak_heap", q.peak_heap as u64)
+        .u64("compactions", q.compactions)
+        .f64("schedule_pass_p50_us", m.pass_p50_us)
+        .f64("schedule_pass_p99_us", m.pass_p99_us)
+        .f64("makespan_s", m.result.makespan().as_secs_f64())
+        .u64("completed", m.result.completed.len() as u64)
+        .finish()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed: u64 = 2026;
+    let mut trials: u32 = 2;
+    let mut out = String::from("BENCH_sched.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed requires a value")
+                    .parse()
+                    .expect("--seed: integer")
+            }
+            "--trials" => {
+                trials = args
+                    .next()
+                    .expect("--trials requires a value")
+                    .parse()
+                    .expect("--trials: integer")
+            }
+            "--out" => out = args.next().expect("--out requires a value"),
+            other => panic!("unknown argument {other} (expected --quick/--seed/--trials/--out)"),
+        }
+    }
+
+    let configs: &[BenchConfig] = if quick { &CONFIGS[..1] } else { &CONFIGS[..] };
+    let mut config_objects: Vec<String> = Vec::new();
+    let mut all_identical = true;
+
+    for cfg in configs {
+        eprintln!("[bench_sched] {}: generating workload...", cfg.name);
+        let requests = workload_for(cfg, seed);
+        eprintln!("[bench_sched] {}: legacy engine...", cfg.name);
+        let mut legacy = run_once(cfg, &requests, EngineTuning::legacy(), seed);
+        eprintln!("[bench_sched] {}: optimized engine...", cfg.name);
+        let mut optimized = run_once(cfg, &requests, EngineTuning::default(), seed);
+        // Extra trials are interleaved (legacy, optimized, legacy, ...) so
+        // neither side systematically benefits from a warmed-up CPU; the
+        // simulation is deterministic, so only the minimum wall time is kept.
+        for trial in 1..trials.max(1) {
+            eprintln!("[bench_sched] {}: timing trial {}...", cfg.name, trial + 1);
+            let l = run_once(cfg, &requests, EngineTuning::legacy(), seed);
+            legacy.wall_ms = legacy.wall_ms.min(l.wall_ms);
+            let o = run_once(cfg, &requests, EngineTuning::default(), seed);
+            optimized.wall_ms = optimized.wall_ms.min(o.wall_ms);
+        }
+
+        let identical = outcome_key(&legacy.result) == outcome_key(&optimized.result);
+        all_identical &= identical;
+        let heap_ratio = legacy.result.event_queue.peak_heap as f64
+            / optimized.result.event_queue.peak_heap.max(1) as f64;
+        eprintln!(
+            "[bench_sched] {}: wall {:.0} -> {:.0} ms, peak heap {} -> {} ({:.1}x), outcomes identical: {}",
+            cfg.name,
+            legacy.wall_ms,
+            optimized.wall_ms,
+            legacy.result.event_queue.peak_heap,
+            optimized.result.event_queue.peak_heap,
+            heap_ratio,
+            identical,
+        );
+
+        config_objects.push(
+            JsonObject::new()
+                .str("name", cfg.name)
+                .u64("nodes", cfg.nodes as u64)
+                .u64("jobs", cfg.jobs as u64)
+                .raw("legacy", &side_json(&legacy))
+                .raw("optimized", &side_json(&optimized))
+                .f64("peak_heap_ratio", heap_ratio)
+                .f64("wall_speedup", legacy.wall_ms / optimized.wall_ms.max(1e-9))
+                .raw(
+                    "outcomes_identical",
+                    if identical { "true" } else { "false" },
+                )
+                .finish(),
+        );
+    }
+
+    let report = JsonObject::new()
+        .str("bench", "bench_sched")
+        .u64("seed", seed)
+        .u64("trials", trials as u64)
+        .raw("configs", &format!("[{}]", config_objects.join(",")))
+        .finish();
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    eprintln!("[bench_sched] wrote {out}");
+
+    if !all_identical {
+        eprintln!("[bench_sched] FATAL: legacy and optimized outcomes diverged");
+        std::process::exit(1);
+    }
+}

@@ -10,9 +10,11 @@
 
 use crate::counters::{synthesize_table, CounterTable, NodeObservation};
 use crate::lustre::{IoDemand, LustreConfig, LustreState};
-use crate::network::{BackgroundScope, NetworkState, TrafficPattern, TrafficSource};
+use crate::network::{
+    traversed_links, BackgroundScope, NetworkState, TrafficPattern, TrafficSource,
+};
 use crate::noise::{NoiseWalk, OsNoise, RegimeOverride, RegimeProcess};
-use crate::topology::{FatTree, FatTreeConfig, NodeId};
+use crate::topology::{FatTree, FatTreeConfig, LinkId, NodeId};
 use rand::rngs::SmallRng;
 use rush_obs::MetricsRegistry;
 use rush_simkit::rng::RngStreams;
@@ -213,6 +215,19 @@ struct NoiseJob {
     walk: NoiseWalk,
 }
 
+/// Cached congestion for one traffic source's fixed allocation.
+///
+/// The link set a node allocation traverses depends only on the (static)
+/// topology, so it is computed once per allocation; the congestion *value*
+/// is revalidated against [`NetworkState::version`], making repeated
+/// queries between network changes O(1) instead of O(nodes).
+#[derive(Debug, Clone)]
+struct CongestionCacheEntry {
+    links: Vec<LinkId>,
+    valid_at: Option<u64>,
+    value: f64,
+}
+
 /// The simulated machine.
 ///
 /// ```
@@ -238,6 +253,7 @@ pub struct Machine {
     regime: RegimeProcess,
     noise_job: Option<NoiseJob>,
     loads: HashMap<SourceId, RegisteredLoad>,
+    congestion_cache: HashMap<SourceId, CongestionCacheEntry>,
     health: Vec<NodeHealth>,
     health_stats: HealthStats,
     os_noise: OsNoise,
@@ -269,6 +285,7 @@ impl Machine {
             regime,
             noise_job: None,
             loads: HashMap::new(),
+            congestion_cache: HashMap::new(),
             health: vec![NodeHealth::Up; tree_nodes as usize],
             health_stats: HealthStats::default(),
             rng_regime,
@@ -385,6 +402,9 @@ impl Machine {
             },
         );
         self.loads.insert(id, RegisteredLoad { nodes, intensity });
+        // The allocation behind `id` may have changed; its link set must be
+        // re-derived on the next cached query.
+        self.congestion_cache.remove(&id);
     }
 
     /// Removes a finished job's load; unknown ids are ignored.
@@ -392,6 +412,7 @@ impl Machine {
         self.net.remove_source(id.0);
         self.fs.remove_demand(id.0);
         self.loads.remove(&id);
+        self.congestion_cache.remove(&id);
     }
 
     /// Number of registered job loads (noise job excluded).
@@ -403,6 +424,39 @@ impl Machine {
     /// [`NetworkState::congestion`]).
     pub fn congestion(&mut self, nodes: &[NodeId]) -> f64 {
         self.net.congestion(&self.tree, nodes)
+    }
+
+    /// Congestion for source `id`'s fixed allocation `nodes`, memoized.
+    ///
+    /// Returns exactly what [`Machine::congestion`] would (both maximize
+    /// utilization over the same [`traversed_links`] set), but the link set
+    /// is derived once per allocation and the value is reused while the
+    /// network is unchanged ([`NetworkState::version`]). The entry is
+    /// invalidated when `id`'s own load is (re)registered or removed; other
+    /// sources' changes are caught by the version check. Callers must pass
+    /// the same `nodes` for a given `id` for as long as the load is
+    /// registered.
+    pub fn congestion_cached(&mut self, id: SourceId, nodes: &[NodeId]) -> f64 {
+        let version = self.net.version();
+        let tree = &self.tree;
+        let net = &mut self.net;
+        let entry = self
+            .congestion_cache
+            .entry(id)
+            .or_insert_with(|| CongestionCacheEntry {
+                links: traversed_links(tree, nodes),
+                valid_at: None,
+                value: 0.0,
+            });
+        if entry.valid_at != Some(version) {
+            let mut worst: f64 = 0.0;
+            for &link in &entry.links {
+                worst = worst.max(net.utilization(tree, link));
+            }
+            entry.value = worst;
+            entry.valid_at = Some(version);
+        }
+        entry.value
     }
 
     /// Filesystem saturation (demand / capacity).
@@ -635,6 +689,56 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn cached_congestion_matches_direct_computation() {
+        let mut m = Machine::new(MachineConfig::tiny(11));
+        m.enable_noise_job(nodes(12..16), 8.0);
+        let a = nodes(0..8);
+        let b = nodes(8..12);
+        m.register_load(
+            SourceId(1),
+            a.clone(),
+            WorkloadIntensity::new(0.1, 0.9, 0.1),
+        );
+        m.register_load(
+            SourceId(2),
+            b.clone(),
+            WorkloadIntensity::new(0.2, 0.7, 0.0),
+        );
+        for minute in 0..30u64 {
+            m.advance_to(SimTime::from_mins(minute));
+            assert_eq!(m.congestion_cached(SourceId(1), &a), m.congestion(&a));
+            assert_eq!(m.congestion_cached(SourceId(2), &b), m.congestion(&b));
+            // Repeated query between changes returns the same value.
+            assert_eq!(m.congestion_cached(SourceId(1), &a), m.congestion(&a));
+        }
+        // Removing one load invalidates the other's value via the version.
+        m.remove_load(SourceId(2));
+        assert_eq!(m.congestion_cached(SourceId(1), &a), m.congestion(&a));
+    }
+
+    #[test]
+    fn cached_congestion_tracks_reregistered_allocation() {
+        let mut m = Machine::new(MachineConfig::tiny(12));
+        let a = nodes(0..8);
+        let b = nodes(8..16);
+        m.register_load(
+            SourceId(1),
+            a.clone(),
+            WorkloadIntensity::new(0.1, 0.9, 0.1),
+        );
+        assert_eq!(m.congestion_cached(SourceId(1), &a), m.congestion(&a));
+        // Same id, new allocation (e.g. a retried job): the stale link set
+        // must not survive.
+        m.remove_load(SourceId(1));
+        m.register_load(
+            SourceId(1),
+            b.clone(),
+            WorkloadIntensity::new(0.1, 0.9, 0.1),
+        );
+        assert_eq!(m.congestion_cached(SourceId(1), &b), m.congestion(&b));
     }
 
     #[test]

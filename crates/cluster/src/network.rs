@@ -66,6 +66,9 @@ pub struct NetworkState {
     background_util: f64,
     background_scope: BackgroundScope,
     dirty: bool,
+    /// Bumped on every observable change (source set, background level or
+    /// scope). Consumers cache derived quantities keyed by this counter.
+    version: u64,
 }
 
 impl NetworkState {
@@ -77,24 +80,36 @@ impl NetworkState {
             background_util: 0.0,
             background_scope: BackgroundScope::AllLinks,
             dirty: false,
+            version: 0,
         }
+    }
+
+    /// Monotonic change counter: unchanged between two calls means every
+    /// [`utilization`](Self::utilization) result is unchanged too.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Sets which links the background utilization applies to.
     pub fn set_background_scope(&mut self, scope: BackgroundScope) {
-        self.background_scope = scope;
+        if self.background_scope != scope {
+            self.background_scope = scope;
+            self.version += 1;
+        }
     }
 
     /// Registers (or replaces) source `id`.
     pub fn add_source(&mut self, id: u64, source: TrafficSource) {
         self.sources.insert(id, source);
         self.dirty = true;
+        self.version += 1;
     }
 
     /// Removes source `id`; ignores unknown ids.
     pub fn remove_source(&mut self, id: u64) {
         if self.sources.remove(&id).is_some() {
             self.dirty = true;
+            self.version += 1;
         }
     }
 
@@ -105,7 +120,11 @@ impl NetworkState {
 
     /// Sets the background utilization added to every uplink.
     pub fn set_background_util(&mut self, util: f64) {
-        self.background_util = util.max(0.0);
+        let util = util.max(0.0);
+        if util != self.background_util {
+            self.background_util = util;
+            self.version += 1;
+        }
     }
 
     /// Current background utilization.
@@ -151,33 +170,8 @@ impl NetworkState {
     pub fn congestion(&mut self, tree: &FatTree, nodes: &[NodeId]) -> f64 {
         self.refresh(tree);
         let mut worst: f64 = 0.0;
-        let mut seen_switches: Vec<SwitchId> = Vec::new();
-        let mut seen_pods: Vec<u32> = Vec::new();
-        for &n in nodes {
-            worst = worst.max(self.utilization(tree, LinkId::NodeAccess(n)));
-            let e = tree.edge_of(n);
-            if !seen_switches.contains(&e) {
-                seen_switches.push(e);
-            }
-            let p = tree.pod_of(n);
-            if !seen_pods.contains(&p) {
-                seen_pods.push(p);
-            }
-        }
-        // Uplinks only matter when the allocation spans them.
-        if seen_switches.len() > 1 {
-            for &sw in &seen_switches {
-                worst = worst.max(self.utilization(tree, LinkId::EdgeUplink(sw)));
-            }
-            // Cross-edge traffic transits the shared pod fabric.
-            for &p in &seen_pods {
-                worst = worst.max(self.utilization(tree, LinkId::PodFabric(p)));
-            }
-        }
-        if seen_pods.len() > 1 {
-            for &p in &seen_pods {
-                worst = worst.max(self.utilization(tree, LinkId::PodUplink(p)));
-            }
+        for link in traversed_links(tree, nodes) {
+            worst = worst.max(self.utilization(tree, link));
         }
         worst
     }
@@ -212,6 +206,43 @@ impl Default for NetworkState {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The links an all-to-all exchange among `nodes` traverses — the set
+/// [`NetworkState::congestion`] maximizes over. The set depends only on the
+/// (static) tree and the node set, so callers holding a fixed allocation can
+/// compute it once and revalidate only the utilization values.
+pub fn traversed_links(tree: &FatTree, nodes: &[NodeId]) -> Vec<LinkId> {
+    let mut links: Vec<LinkId> = Vec::with_capacity(nodes.len() + 4);
+    let mut seen_switches: Vec<SwitchId> = Vec::new();
+    let mut seen_pods: Vec<u32> = Vec::new();
+    for &n in nodes {
+        links.push(LinkId::NodeAccess(n));
+        let e = tree.edge_of(n);
+        if !seen_switches.contains(&e) {
+            seen_switches.push(e);
+        }
+        let p = tree.pod_of(n);
+        if !seen_pods.contains(&p) {
+            seen_pods.push(p);
+        }
+    }
+    // Uplinks only matter when the allocation spans them.
+    if seen_switches.len() > 1 {
+        for &sw in &seen_switches {
+            links.push(LinkId::EdgeUplink(sw));
+        }
+        // Cross-edge traffic transits the shared pod fabric.
+        for &p in &seen_pods {
+            links.push(LinkId::PodFabric(p));
+        }
+    }
+    if seen_pods.len() > 1 {
+        for &p in &seen_pods {
+            links.push(LinkId::PodUplink(p));
+        }
+    }
+    links
 }
 
 /// Adds one source's traffic to the link-load map.
@@ -453,6 +484,53 @@ mod tests {
         net.add_source(2, src);
         let two = net.congestion(&tree, &ids(0..8));
         assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn version_bumps_only_on_observable_change() {
+        let mut net = NetworkState::new();
+        let v0 = net.version();
+        net.set_background_util(0.0); // unchanged value
+        assert_eq!(net.version(), v0);
+        net.set_background_util(0.25);
+        assert_eq!(net.version(), v0 + 1);
+        net.set_background_util(0.25); // same again
+        assert_eq!(net.version(), v0 + 1);
+        net.remove_source(99); // unknown id, no change
+        assert_eq!(net.version(), v0 + 1);
+        net.add_source(
+            1,
+            TrafficSource {
+                nodes: ids(0..4),
+                per_node_gbps: 1.0,
+                pattern: TrafficPattern::AllToAll,
+            },
+        );
+        assert_eq!(net.version(), v0 + 2);
+        net.remove_source(1);
+        assert_eq!(net.version(), v0 + 3);
+        net.set_background_scope(BackgroundScope::CoreOnly);
+        assert_eq!(net.version(), v0 + 4);
+        net.set_background_scope(BackgroundScope::CoreOnly);
+        assert_eq!(net.version(), v0 + 4);
+    }
+
+    #[test]
+    fn traversed_links_matches_congestion_levels() {
+        let tree = tiny();
+        // Single switch: access links only.
+        let links = traversed_links(&tree, &ids(0..4));
+        assert_eq!(links.len(), 4);
+        assert!(links.iter().all(|l| matches!(l, LinkId::NodeAccess(_))));
+        // Cross-switch, single pod: adds edge uplinks + pod fabric.
+        let links = traversed_links(&tree, &ids(0..8));
+        assert!(links.contains(&LinkId::EdgeUplink(SwitchId(0))));
+        assert!(links.contains(&LinkId::PodFabric(0)));
+        assert!(!links.iter().any(|l| matches!(l, LinkId::PodUplink(_))));
+        // Cross-pod: adds pod uplinks.
+        let links = traversed_links(&tree, &ids(0..16));
+        assert!(links.contains(&LinkId::PodUplink(0)));
+        assert!(links.contains(&LinkId::PodUplink(1)));
     }
 
     #[test]

@@ -70,18 +70,38 @@ impl ProfileScope {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Histogram buckets per scope: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also absorbs 0 ns). 40 buckets
+/// reach ~18 minutes, far beyond any single scope entry.
+const BUCKETS: usize = 40;
+
 struct ScopeCell {
     calls: AtomicU64,
     nanos: AtomicU64,
+    hist: [AtomicU64; BUCKETS],
 }
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_COUNT: AtomicU64 = AtomicU64::new(0);
 
 #[allow(clippy::declare_interior_mutable_const)]
 const ZERO_CELL: ScopeCell = ScopeCell {
     calls: AtomicU64::new(0),
     nanos: AtomicU64::new(0),
+    hist: [ZERO_COUNT; BUCKETS],
 };
 
 static CELLS: [ScopeCell; SCOPE_COUNT] = [ZERO_CELL; SCOPE_COUNT];
+
+fn bucket_index(nanos: u64) -> usize {
+    (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Geometric midpoint of a bucket, the value reported for samples in it.
+fn bucket_mid(index: usize) -> f64 {
+    let lo = (1u64 << index) as f64;
+    lo * std::f64::consts::SQRT_2
+}
 
 /// Turns profiling on or off process-wide.
 pub fn set_enabled(on: bool) {
@@ -93,11 +113,14 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Zeroes all accumulated counts and times.
+/// Zeroes all accumulated counts, times and histograms.
 pub fn reset() {
     for cell in &CELLS {
         cell.calls.store(0, Ordering::Relaxed);
         cell.nanos.store(0, Ordering::Relaxed);
+        for bucket in &cell.hist {
+            bucket.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -123,10 +146,8 @@ pub struct ScopeGuard {
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
         if let Some((scope, start)) = self.scope.take() {
-            let cell = &CELLS[scope.index()];
-            cell.calls.fetch_add(1, Ordering::Relaxed);
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            cell.nanos.fetch_add(ns, Ordering::Relaxed);
+            record_sample(scope, ns);
         }
     }
 }
@@ -138,9 +159,42 @@ pub fn record_external(scope: ProfileScope, nanos: u64) {
     if !is_enabled() {
         return;
     }
+    record_sample(scope, nanos);
+}
+
+fn record_sample(scope: ProfileScope, nanos: u64) {
     let cell = &CELLS[scope.index()];
     cell.calls.fetch_add(1, Ordering::Relaxed);
     cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+    cell.hist[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of a scope's recorded
+/// durations, in nanoseconds, or `None` if the scope has no samples.
+/// Resolution is one power-of-two bucket: the value returned is the
+/// geometric midpoint of the bucket holding the requested rank.
+pub fn percentile_nanos(scope: ProfileScope, p: f64) -> Option<f64> {
+    let cell = &CELLS[scope.index()];
+    let counts: Vec<u64> = cell
+        .hist
+        .iter()
+        .map(|b| b.load(Ordering::Relaxed))
+        .collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((p.clamp(0.0, 100.0) / 100.0) * total as f64)
+        .ceil()
+        .max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(bucket_mid(i));
+        }
+    }
+    Some(bucket_mid(BUCKETS - 1))
 }
 
 /// Accumulated totals for one scope.
@@ -245,6 +299,46 @@ mod tests {
         assert!(!rep.contains("engine_tick"), "idle scopes omitted: {rep}");
         set_enabled(false);
         reset();
+    }
+
+    #[test]
+    fn percentiles_follow_recorded_samples() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        // 99 fast samples (~1 µs) and one slow outlier (~1 ms).
+        for _ in 0..99 {
+            record_external(ProfileScope::SchedulePass, 1_000);
+        }
+        record_external(ProfileScope::SchedulePass, 1_000_000);
+        let p50 = percentile_nanos(ProfileScope::SchedulePass, 50.0).unwrap();
+        let p99 = percentile_nanos(ProfileScope::SchedulePass, 99.0).unwrap();
+        let p100 = percentile_nanos(ProfileScope::SchedulePass, 100.0).unwrap();
+        assert!(
+            (500.0..4_000.0).contains(&p50),
+            "p50 should sit in the fast bucket, got {p50}"
+        );
+        assert!(
+            (500.0..4_000.0).contains(&p99),
+            "p99 rank 99/100 is still a fast sample, got {p99}"
+        );
+        assert!(
+            p100 > 500_000.0,
+            "p100 must land in the outlier bucket, got {p100}"
+        );
+        assert_eq!(percentile_nanos(ProfileScope::Train, 50.0), None);
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
 use crate::job::{CompletedJob, FailedJob, Job, JobId};
-use crate::policy::QueueOrder;
+use crate::policy::{QueueItem, QueueOrder};
 use crate::predictor::{PredictorCtx, VariabilityPredictor};
 use crate::profile::AvailabilityProfile;
 use crate::retry::RetryPolicy;
@@ -28,7 +28,7 @@ use rush_cluster::topology::NodeId;
 use rush_obs::metrics::{CounterId, GaugeId, HistogramId};
 use rush_obs::profile as obs_profile;
 use rush_obs::{EventRecord, EventTracer, FallbackReason, MetricsRegistry, ObsEvent, ProfileScope};
-use rush_simkit::event::EventQueue;
+use rush_simkit::event::{EventKey, EventQueue, QueueStats};
 use rush_simkit::fault::{FaultConfig, FaultKind, FaultSchedule};
 use rush_simkit::histogram::Histogram;
 use rush_simkit::rng::RngStreams;
@@ -51,6 +51,47 @@ pub enum BackfillPolicy {
     /// Conservative: every queued job holds a reservation; early starts can
     /// delay nothing ahead of them.
     Conservative,
+}
+
+/// Hot-path engine optimizations. All on by default; [`EngineTuning::legacy`]
+/// turns every toggle off so benchmarks can A/B the optimized engine against
+/// the original algorithms on identical workloads. Each toggle preserves
+/// schedule outcomes on equal seeds (asserted by `bench_sched`); they change
+/// how much work the engine does, not what it decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Cancel superseded finish events (with periodic heap compaction)
+    /// instead of leaving generation-stale entries to be skipped at pop, and
+    /// skip rescheduling entirely when a refresh lands on the identical
+    /// finish microsecond.
+    pub event_compaction: bool,
+    /// Cache each job's congestion keyed on the network-state version
+    /// instead of re-walking its topology links on every refresh.
+    pub congestion_cache: bool,
+    /// Keep the queue R1-sorted via sorted inserts instead of re-sorting it
+    /// from scratch on every scheduling pass.
+    pub incremental_queue: bool,
+}
+
+impl EngineTuning {
+    /// Every optimization disabled: the engine as originally written.
+    pub fn legacy() -> Self {
+        EngineTuning {
+            event_compaction: false,
+            congestion_cache: false,
+            incremental_queue: false,
+        }
+    }
+}
+
+impl Default for EngineTuning {
+    fn default() -> Self {
+        EngineTuning {
+            event_compaction: true,
+            congestion_cache: true,
+            incremental_queue: true,
+        }
+    }
 }
 
 /// Scheduler parameters.
@@ -90,6 +131,8 @@ pub struct SchedulerConfig {
     /// Minimum coverage fraction of the predictor window below which the
     /// engine skips prediction and falls back to plain EASY.
     pub min_telemetry_coverage: f64,
+    /// Hot-path optimization toggles (default: all enabled).
+    pub tuning: EngineTuning,
 }
 
 impl Default for SchedulerConfig {
@@ -109,6 +152,7 @@ impl Default for SchedulerConfig {
             faults: FaultConfig::none(),
             predictor_window: SimDuration::from_mins(5),
             min_telemetry_coverage: 0.5,
+            tuning: EngineTuning::default(),
         }
     }
 }
@@ -133,6 +177,9 @@ struct SchedCounters {
     node_recoveries: CounterId,
     nodes_trusted: CounterId,
     max_queue_len: GaugeId,
+    events_delivered: GaugeId,
+    event_heap_peak: GaugeId,
+    event_compactions: GaugeId,
     wait_s: HistogramId,
     run_s: HistogramId,
     retry_backoff_s: HistogramId,
@@ -156,6 +203,9 @@ impl SchedCounters {
             node_recoveries: reg.register_counter("sched.node_recoveries"),
             nodes_trusted: reg.register_counter("sched.nodes_trusted"),
             max_queue_len: reg.register_gauge("sched.max_queue_len"),
+            events_delivered: reg.register_gauge("sched.events_delivered"),
+            event_heap_peak: reg.register_gauge("sched.event_heap_peak"),
+            event_compactions: reg.register_gauge("sched.event_compactions"),
             wait_s: reg.register_histogram("sched.wait_s", Histogram::for_seconds()),
             run_s: reg.register_histogram("sched.run_s", Histogram::for_seconds()),
             retry_backoff_s: reg
@@ -195,12 +245,43 @@ struct RunningJob {
     last_update: SimTime,
     generation: u64,
     skips: u32,
+    /// Cancellation handle for the currently pending finish event.
+    finish_key: EventKey,
+    /// When that pending finish event fires. A refresh that recomputes the
+    /// identical microsecond skips rescheduling (under
+    /// [`EngineTuning::event_compaction`]).
+    finish_at: SimTime,
+}
+
+/// The fields backfilling needs from a queued job: its R2 sort keys plus
+/// the admission inputs. Snapshotting these instead of cloning whole
+/// [`Job`]s keeps the backfill scan allocation-light.
+#[derive(Debug, Clone, Copy)]
+struct BackfillCand {
+    id: JobId,
+    nodes_requested: u32,
+    submit_at: SimTime,
+    est_runtime: SimDuration,
+}
+
+impl QueueItem for BackfillCand {
+    fn submit_at(&self) -> SimTime {
+        self.submit_at
+    }
+    fn est_runtime(&self) -> SimDuration {
+        self.est_runtime
+    }
+    fn id(&self) -> JobId {
+        self.id
+    }
 }
 
 /// Events driving the run loop.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    /// The job at this index of the request list arrives.
+    /// The k-th job in arrival order arrives. Submissions are chained —
+    /// handling `Submit(k)` schedules `Submit(k+1)` — so the heap holds one
+    /// pending submission at a time instead of the whole job stream.
     Submit(usize),
     /// A running job's finish fires (valid only at its generation).
     Finish(JobId, u64),
@@ -248,6 +329,9 @@ pub struct ScheduleResult {
     pub events: Vec<EventRecord>,
     /// Registry-backed metrics for this run (`sched.*` namespace).
     pub metrics: MetricsRegistry,
+    /// Event-heap lifetime statistics (scheduled/delivered/cancelled counts,
+    /// peak physical heap size, compaction sweeps).
+    pub event_queue: QueueStats,
 }
 
 impl ScheduleResult {
@@ -291,6 +375,9 @@ pub struct SchedulerEngine {
     rng_pred: SmallRng,
     max_queue_len: usize,
     pending_submits: usize,
+    /// Whether `queue` may be out of R1 order (incremental mode re-sorts
+    /// only when this is set; legacy mode re-sorts every pass regardless).
+    queue_dirty: bool,
     /// Globally unique finish-event generation counter. Never reused, so a
     /// stale finish event from before a kill can never match a restarted
     /// job's fresh generation.
@@ -339,6 +426,7 @@ impl SchedulerEngine {
             rng_pred: streams.stream("sched/predict"),
             max_queue_len: 0,
             pending_submits: 0,
+            queue_dirty: false,
             next_gen: 0,
             trace: ScheduleTrace::new(),
             tracer: EventTracer::disabled(),
@@ -386,9 +474,15 @@ impl SchedulerEngine {
             .collect();
         let first_submit = jobs.iter().map(|j| j.submit_at).min().expect("non-empty");
 
-        for (i, job) in jobs.iter().enumerate() {
-            self.events.schedule(job.submit_at, Ev::Submit(i));
-        }
+        // Submissions are chained: only the next arrival lives in the heap
+        // at any moment, keeping the heap O(live events) instead of
+        // O(total jobs). `submit_order[k]` is the request index of the k-th
+        // arrival (ties by request order, matching the old all-upfront
+        // scheduling, whose seq numbers followed request order).
+        let mut submit_order: Vec<usize> = (0..jobs.len()).collect();
+        submit_order.sort_by_key(|&i| (jobs[i].submit_at, i));
+        self.events
+            .schedule(jobs[submit_order[0]].submit_at, Ev::Submit(0));
         self.pending_submits = jobs.len();
         self.events.schedule(SimTime::ZERO, Ev::Tick);
 
@@ -405,15 +499,21 @@ impl SchedulerEngine {
             let _tick_scope = obs_profile::scope(ProfileScope::EngineTick);
             let now = entry.time;
             match entry.event {
-                Ev::Submit(i) => {
+                Ev::Submit(k) => {
+                    // Chain the next arrival before anything else so the
+                    // heap never runs dry while submissions remain.
+                    if let Some(&next) = submit_order.get(k + 1) {
+                        self.events
+                            .schedule(jobs[next].submit_at, Ev::Submit(k + 1));
+                    }
+                    let i = submit_order[k];
                     self.advance_world(now);
                     self.pending_submits -= 1;
                     self.record(now, TraceEvent::Submitted(jobs[i].id));
                     self.registry.inc(self.counters.jobs_submitted);
                     self.tracer
                         .emit(now, ObsEvent::JobSubmitted { job: jobs[i].id.0 });
-                    self.queue.push(jobs[i].clone());
-                    self.max_queue_len = self.max_queue_len.max(self.queue.len());
+                    self.enqueue_job(jobs[i].clone());
                     self.schedule_pass(now);
                 }
                 Ev::Finish(id, generation) => {
@@ -427,11 +527,16 @@ impl SchedulerEngine {
                     }
                     self.advance_world(now);
                     self.finish_job(id, now);
+                    // The finished job's released load changes contention
+                    // for every survivor; refresh their speeds *now* rather
+                    // than letting them coast at stale contended speeds
+                    // until the next tick.
+                    self.refresh_running_speeds(now, None);
                     self.schedule_pass(now);
                 }
                 Ev::Tick => {
                     self.advance_world(now);
-                    self.update_progress(now);
+                    self.refresh_running_speeds(now, None);
                     self.schedule_pass(now);
                     let work_remains = !self.queue.is_empty()
                         || !self.running.is_empty()
@@ -487,6 +592,15 @@ impl SchedulerEngine {
             .unwrap_or(first_submit);
         self.registry
             .set_gauge(self.counters.max_queue_len, self.max_queue_len as f64);
+        let queue_stats = self.events.stats();
+        self.registry
+            .set_gauge(self.counters.events_delivered, queue_stats.delivered as f64);
+        self.registry
+            .set_gauge(self.counters.event_heap_peak, queue_stats.peak_heap as f64);
+        self.registry.set_gauge(
+            self.counters.event_compactions,
+            queue_stats.compactions as f64,
+        );
         self.sampler.export_metrics(&mut self.registry);
         self.machine.export_metrics(&mut self.registry);
         // The legacy scalar fields are views over the registry now — one
@@ -507,6 +621,7 @@ impl SchedulerEngine {
             trace: std::mem::take(&mut self.trace),
             events: self.tracer.take_records(),
             metrics: self.registry.clone(),
+            event_queue: queue_stats,
         }
     }
 
@@ -527,8 +642,13 @@ impl SchedulerEngine {
                     .filter(|(_, r)| r.nodes.contains(&node))
                     .map(|(&id, _)| id)
                     .collect();
+                let any_killed = !victims.is_empty();
                 for id in victims {
                     self.kill_job(id, now);
+                }
+                if any_killed {
+                    // Killed jobs released load: survivors speed up now.
+                    self.refresh_running_speeds(now, None);
                 }
                 // Freed survivor-side capacity may admit queued work.
                 self.schedule_pass(now);
@@ -556,6 +676,9 @@ impl SchedulerEngine {
     /// it failed. Either way the job is accounted for — never lost.
     fn kill_job(&mut self, id: JobId, now: SimTime) {
         let r = self.running.remove(&id).expect("killing unknown job");
+        if self.config.tuning.event_compaction {
+            self.events.cancel(r.finish_key);
+        }
         self.machine.remove_load(SourceId(id.0));
         // Release returns healthy nodes to the pool; the crashed node stays
         // quarantined (Down with its pending-release flag cleared).
@@ -598,10 +721,9 @@ impl SchedulerEngine {
             },
         );
         self.delayed_until.insert(id, now + backoff);
-        // FCFS re-sorts by original submit time, so the retried job regains
+        // FCFS orders by original submit time, so the retried job regains
         // its place at the front of the queue once the backoff expires.
-        self.queue.push(r.job);
-        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        self.enqueue_job(r.job);
         self.events.schedule(now + backoff, Ev::Retry(id));
     }
 
@@ -621,11 +743,46 @@ impl SchedulerEngine {
             .retain_from(now.saturating_sub(self.config.retention));
     }
 
+    /// One job's current congestion, through the per-job link cache when
+    /// [`EngineTuning::congestion_cache`] is on.
+    fn job_congestion(&mut self, id: JobId, nodes: &[NodeId]) -> f64 {
+        if self.config.tuning.congestion_cache {
+            self.machine.congestion_cached(SourceId(id.0), nodes)
+        } else {
+            self.machine.congestion(nodes)
+        }
+    }
+
+    /// Inserts `job` into the wait queue. Incremental mode places it at its
+    /// R1 position directly (exactly where the next stable sort would);
+    /// legacy mode appends and lets `schedule_pass` re-sort.
+    fn enqueue_job(&mut self, job: Job) {
+        if self.config.tuning.incremental_queue && !self.queue_dirty {
+            let at = self.config.r1.insertion_point(&self.queue, &job);
+            self.queue.insert(at, job);
+        } else {
+            self.queue.push(job);
+            self.queue_dirty = true;
+        }
+        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+    }
+
     /// Settles each running job's work at its previous speed over the
     /// elapsed interval, recomputes speeds from current machine state, and
-    /// reschedules finish events.
-    fn update_progress(&mut self, now: SimTime) {
-        let ids: Vec<JobId> = self.running.keys().copied().collect();
+    /// reschedules finish events. `except` skips a job that was already
+    /// evaluated at `now` (the one that just started).
+    ///
+    /// Ids are visited in sorted order: per-job refreshes are independent,
+    /// but a fixed order keeps event seq numbers (and thus exact-time tie
+    /// breaks) reproducible across processes.
+    fn refresh_running_speeds(&mut self, now: SimTime, except: Option<JobId>) {
+        let mut ids: Vec<JobId> = self
+            .running
+            .keys()
+            .copied()
+            .filter(|&id| Some(id) != except)
+            .collect();
+        ids.sort_unstable();
         for id in ids {
             // Settle elapsed work.
             let (nodes, app) = {
@@ -637,17 +794,34 @@ impl SchedulerEngine {
             };
             // Recompute speed under current contention, at the job's
             // current phase.
-            let congestion = self.machine.congestion(&nodes);
+            let congestion = self.job_congestion(id, &nodes);
             let fs = self.machine.fs_saturation();
+            let (finish_at, old_key, unchanged) = {
+                let r = self.running.get_mut(&id).expect("running job");
+                let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
+                let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
+                r.speed = 1.0 / slowdown;
+                let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
+                let finish_at = now + finish_in;
+                // If the recomputed finish lands on the identical
+                // microsecond, the pending event is already correct — skip
+                // the cancel + reschedule churn entirely.
+                let unchanged = self.config.tuning.event_compaction && finish_at == r.finish_at;
+                (finish_at, r.finish_key, unchanged)
+            };
+            if unchanged {
+                continue;
+            }
             let gen = self.next_gen;
             self.next_gen += 1;
+            if self.config.tuning.event_compaction {
+                self.events.cancel(old_key);
+            }
+            let key = self.events.schedule(finish_at, Ev::Finish(id, gen));
             let r = self.running.get_mut(&id).expect("running job");
-            let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
-            let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
-            r.speed = 1.0 / slowdown;
             r.generation = gen;
-            let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
-            self.events.schedule(now + finish_in, Ev::Finish(id, gen));
+            r.finish_key = key;
+            r.finish_at = finish_at;
         }
     }
 
@@ -683,7 +857,15 @@ impl SchedulerEngine {
     /// Algorithm 1: one scheduling pass over the queue.
     fn schedule_pass(&mut self, now: SimTime) {
         let _scope = obs_profile::scope(ProfileScope::SchedulePass);
-        self.config.r1.clone().sort(&mut self.queue);
+        // Incremental mode keeps the queue sorted at insertion; a full
+        // re-sort is needed only after an out-of-order insert (RUSH delay
+        // re-queues after the front). Keys are unique, so sorting a dirty
+        // queue lands on the identical order a legacy always-sort produces.
+        if !self.config.tuning.incremental_queue || self.queue_dirty {
+            let r1 = self.config.r1;
+            r1.sort(&mut self.queue);
+            self.queue_dirty = false;
+        }
         if self.config.backfill == BackfillPolicy::Conservative {
             self.conservative_pass(now);
             return;
@@ -725,39 +907,54 @@ impl SchedulerEngine {
     /// reservation is *now*. A RUSH-delayed job keeps its reservation, so
     /// nothing can slide into its slot.
     fn conservative_pass(&mut self, now: SimTime) {
+        // A job running past its estimate has not released its nodes, so
+        // its profile release time is clamped to `now` (never the past).
+        // `AvailabilityProfile::new` applies the same clamp internally;
+        // clamping here too keeps the invariant visible at the call site.
         let running: Vec<(SimTime, u32)> = self
             .running
             .values()
-            .map(|r| (r.start_at + r.job.est_runtime, r.job.nodes_requested))
+            .map(|r| {
+                (
+                    (r.start_at + r.job.est_runtime).max(now),
+                    r.job.nodes_requested,
+                )
+            })
             .collect();
         let mut profile = AvailabilityProfile::new(now, self.pool.free_count() as u32, &running);
         let mut delayed_this_pass: HashSet<JobId> = HashSet::new();
 
-        let snapshot: Vec<Job> = self.queue.clone();
-        for job in snapshot {
-            if profile.never_fits(job.nodes_requested) {
+        // Walk a lightweight (id, nodes, estimate) snapshot instead of
+        // cloning every queued Job.
+        let snapshot: Vec<(JobId, u32, SimDuration)> = self
+            .queue
+            .iter()
+            .map(|j| (j.id, j.nodes_requested, j.est_runtime))
+            .collect();
+        for (id, nodes_requested, est_runtime) in snapshot {
+            if profile.never_fits(nodes_requested) {
                 continue;
             }
-            let start = profile.earliest_fit(job.nodes_requested, job.est_runtime);
-            profile.reserve(start, job.est_runtime, job.nodes_requested);
+            let start = profile.earliest_fit(nodes_requested, est_runtime);
+            profile.reserve(start, est_runtime, nodes_requested);
             if start > now {
                 continue;
             }
             let cooling_down = self
                 .delayed_until
-                .get(&job.id)
+                .get(&id)
                 .map(|&until| now < until)
                 .unwrap_or(false);
-            if cooling_down || delayed_this_pass.contains(&job.id) {
+            if cooling_down || delayed_this_pass.contains(&id) {
                 continue; // keeps its reservation; nothing may take the slot
             }
-            if !self.pool.can_allocate(job.nodes_requested as usize) {
+            if !self.pool.can_allocate(nodes_requested as usize) {
                 continue;
             }
             let pos = self
                 .queue
                 .iter()
-                .position(|j| j.id == job.id)
+                .position(|j| j.id == id)
                 .expect("snapshot job still queued");
             let job = self.queue.remove(pos);
             self.try_start(job, now, &mut delayed_this_pass);
@@ -775,7 +972,7 @@ impl SchedulerEngine {
                 nodes: r.job.nodes_requested,
             })
             .collect();
-        let reservation = match compute_reservation(
+        let mut reservation = match compute_reservation(
             now,
             self.pool.free_count() as u32,
             blocked.nodes_requested,
@@ -795,14 +992,22 @@ impl SchedulerEngine {
             },
         );
 
-        // Candidates: everything except the blocked job, in R2 order.
-        let mut candidates: Vec<Job> = self
+        // Candidates: everything except the blocked job, in R2 order, as
+        // lightweight key snapshots rather than cloned Jobs. BackfillCand
+        // implements QueueItem, so R2 sorts it exactly as it sorts Jobs.
+        let mut candidates: Vec<BackfillCand> = self
             .queue
             .iter()
             .filter(|j| j.id != blocked_id)
-            .cloned()
+            .map(|j| BackfillCand {
+                id: j.id,
+                nodes_requested: j.nodes_requested,
+                submit_at: j.submit_at,
+                est_runtime: j.est_runtime,
+            })
             .collect();
-        self.config.r2.clone().sort(&mut candidates);
+        let r2 = self.config.r2;
+        r2.sort(&mut candidates);
 
         for cand in candidates {
             let cooling_down = self
@@ -827,7 +1032,13 @@ impl SchedulerEngine {
                 .position(|j| j.id == cand.id)
                 .expect("candidate still queued");
             let job = self.queue.remove(pos);
-            self.try_start(job, now, delayed);
+            if self.try_start(job, now, delayed) && est_end > reservation.shadow_start {
+                // The admitted job outlives the shadow window, so it holds
+                // its nodes out of the blocked job's launch headroom: spend
+                // that headroom so later candidates can't over-commit it.
+                reservation.extra_nodes =
+                    reservation.extra_nodes.saturating_sub(cand.nodes_requested);
+            }
         }
     }
 
@@ -874,6 +1085,7 @@ impl SchedulerEngine {
             None => {
                 debug_assert!(false, "caller checked availability");
                 self.queue.insert(0, job);
+                self.queue_dirty = true;
                 return false;
             }
         };
@@ -932,6 +1144,9 @@ impl SchedulerEngine {
             delayed.insert(job.id);
             let pos = 1.min(self.queue.len());
             self.queue.insert(pos, job);
+            // Deliberately out of R1 order ("push after the front"): the
+            // next pass starts with a full re-sort.
+            self.queue_dirty = true;
             return false;
         }
 
@@ -951,7 +1166,7 @@ impl SchedulerEngine {
         let base = job.base_runtime().as_secs_f64();
         let work = base * os * intrinsic;
 
-        let congestion = self.machine.congestion(&nodes);
+        let congestion = self.job_congestion(job.id, &nodes);
         let fs = self.machine.fs_saturation();
         let speed = 1.0 / app.slowdown_at(0.0, congestion, fs);
 
@@ -972,8 +1187,8 @@ impl SchedulerEngine {
         let generation = self.next_gen;
         self.next_gen += 1;
         let finish_in = SimDuration::from_secs_f64(work / speed);
-        self.events
-            .schedule(now + finish_in, Ev::Finish(id, generation));
+        let finish_at = now + finish_in;
+        let finish_key = self.events.schedule(finish_at, Ev::Finish(id, generation));
         self.running.insert(
             id,
             RunningJob {
@@ -987,42 +1202,13 @@ impl SchedulerEngine {
                 last_update: now,
                 generation,
                 skips: self.skip_table.get(&id).copied().unwrap_or(0),
+                finish_key,
+                finish_at,
             },
         );
         // A job starting changes contention for everyone else.
-        self.update_progress_others(id, now);
+        self.refresh_running_speeds(now, Some(id));
         true
-    }
-
-    /// Re-evaluates every running job except `except` (which was just
-    /// updated at start).
-    fn update_progress_others(&mut self, except: JobId, now: SimTime) {
-        let ids: Vec<JobId> = self
-            .running
-            .keys()
-            .copied()
-            .filter(|&id| id != except)
-            .collect();
-        for id in ids {
-            let (nodes, app) = {
-                let r = self.running.get_mut(&id).expect("running job");
-                let elapsed = now.since(r.last_update).as_secs_f64();
-                r.remaining_work = (r.remaining_work - elapsed * r.speed).max(0.0);
-                r.last_update = now;
-                (r.nodes.clone(), r.job.app)
-            };
-            let congestion = self.machine.congestion(&nodes);
-            let fs = self.machine.fs_saturation();
-            let gen = self.next_gen;
-            self.next_gen += 1;
-            let r = self.running.get_mut(&id).expect("running job");
-            let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
-            let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
-            r.speed = 1.0 / slowdown;
-            r.generation = gen;
-            let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
-            self.events.schedule(now + finish_in, Ev::Finish(id, gen));
-        }
     }
 }
 
@@ -1658,6 +1844,160 @@ mod tests {
         for c in &result.completed {
             assert_eq!(c.launch_prediction, None, "no prediction on fallback");
         }
+    }
+
+    /// Bugfix regression: a survivor's speed must be refreshed when its
+    /// neighbor finishes, not only at the next tick. Two 8-node jobs share
+    /// the oversubscribed pod fabric; when the short one (swfft) finishes,
+    /// the long one (laghos) decongests and must speed up *at that event*.
+    /// With `CoreOnly` background, single-pod jobs see congestion changes
+    /// only at job start/finish, so a run with a tick far longer than the
+    /// makespan must agree with a fine-tick run — unless the finish-time
+    /// refresh is missing, in which case the coarse run's survivor coasts
+    /// at its contended speed to the end and lands minutes late.
+    #[test]
+    fn finish_refreshes_surviving_speeds() {
+        let run = |tick: SimDuration| {
+            let mut cfg = oversubscribed_single_pod(3);
+            cfg.background_scope = rush_cluster::network::BackgroundScope::CoreOnly;
+            let machine = Machine::new(cfg);
+            let config = SchedulerConfig {
+                tick,
+                ..SchedulerConfig::default()
+            };
+            let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 1);
+            let result = eng.run(&[
+                JobRequest {
+                    id: 0,
+                    app: AppId::Swfft,
+                    nodes: 8,
+                    submit_at: SimTime::ZERO,
+                    scaling: ScalingMode::Reference,
+                },
+                JobRequest {
+                    id: 1,
+                    app: AppId::Laghos,
+                    nodes: 8,
+                    submit_at: SimTime::ZERO,
+                    scaling: ScalingMode::Reference,
+                },
+            ]);
+            result
+                .completed
+                .iter()
+                .find(|c| c.job.id.0 == 1)
+                .expect("laghos completes")
+                .end_at
+        };
+        let fine = run(SimDuration::from_secs(1));
+        let coarse = run(SimDuration::from_hours(12));
+        let gap = fine.max(coarse).since(fine.min(coarse)).as_secs_f64();
+        assert!(
+            gap < 30.0,
+            "survivor must speed up at its neighbor's finish: \
+             fine-tick end {fine}, coarse-tick end {coarse} ({gap:.1}s apart)"
+        );
+    }
+
+    /// Bugfix regression: one EASY backfill pass must debit the
+    /// reservation's spare-node headroom as it admits jobs. Two long
+    /// 4-node jobs face `extra_nodes: 4`; only one may jump the blocked
+    /// 12-node head, or the head's reservation start is pushed back.
+    #[test]
+    fn backfill_decrements_reservation_extra_nodes() {
+        // t=0: amg(8n, est 270s) + swfft(8n, est 225s) fill the machine.
+        // Both lbann jobs are queued before swfft finishes (~150s), so a
+        // single backfill pass at that finish sees both candidates with a
+        // reservation of shadow ≈ 270s (amg's est end), extra_nodes = 4.
+        // Each lbann (est 540s) runs far past the shadow, so admitting one
+        // must spend the whole headroom and block the other.
+        let reqs = vec![
+            JobRequest {
+                id: 0,
+                app: AppId::Amg,
+                nodes: 8,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 1,
+                app: AppId::Swfft,
+                nodes: 8,
+                submit_at: SimTime::ZERO,
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 2,
+                app: AppId::Amg,
+                nodes: 12,
+                submit_at: SimTime::from_secs(1),
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 3,
+                app: AppId::Lbann,
+                nodes: 4,
+                submit_at: SimTime::from_secs(2),
+                scaling: ScalingMode::Reference,
+            },
+            JobRequest {
+                id: 4,
+                app: AppId::Lbann,
+                nodes: 4,
+                submit_at: SimTime::from_secs(3),
+                scaling: ScalingMode::Reference,
+            },
+        ];
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&reqs);
+        assert_eq!(result.completed.len(), 5);
+        let start = |id: u64| {
+            result
+                .completed
+                .iter()
+                .find(|c| c.job.id.0 == id)
+                .unwrap()
+                .start_at
+        };
+        let jumped = [3u64, 4].iter().filter(|&&id| start(id) < start(2)).count();
+        assert_eq!(
+            jumped,
+            1,
+            "exactly one long 4-node job may backfill into extra_nodes=4 \
+             (starts: head={}, lbann3={}, lbann4={})",
+            start(2),
+            start(3),
+            start(4)
+        );
+    }
+
+    /// Conservative backfilling with jobs running past their estimates:
+    /// the availability profile must treat an overrun job's nodes as
+    /// releasing *now*, never in the past. `AvailabilityProfile::new`
+    /// clamps internally and `conservative_pass` clamps at the call site;
+    /// this test pins the behavior — every job completes and the overrun
+    /// head never deadlocks the queue.
+    #[test]
+    fn conservative_clamps_overrunning_estimates() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            backfill: BackfillPolicy::Conservative,
+            // est = 0.5 × nominal: every job overruns its estimate.
+            est_factor: 0.5,
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let result = eng.run(&requests(6, 12));
+        assert_eq!(
+            result.completed.len(),
+            6,
+            "overrunning estimates must not wedge the conservative pass"
+        );
+        // 12-node jobs on 16 nodes serialize; starts must stay FCFS.
+        let mut by_start = result.completed.clone();
+        by_start.sort_by_key(|c| c.start_at);
+        let ids: Vec<u64> = by_start.iter().map(|c| c.job.id.0).collect();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
     }
 
     #[test]

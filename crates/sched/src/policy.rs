@@ -6,8 +6,33 @@
 //! queue ordering policies assuming they work by statically re-ordering
 //! the queue."
 
-use crate::job::Job;
+use crate::job::{Job, JobId};
+use rush_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Anything orderable by a [`QueueOrder`]: the fields the R1/R2 sort keys
+/// read. Implemented by [`Job`] and by the engine's lightweight backfill
+/// snapshots, so both necessarily sort identically.
+pub trait QueueItem {
+    /// Submission time (FCFS primary key).
+    fn submit_at(&self) -> SimTime;
+    /// User run-time estimate (SJF primary key).
+    fn est_runtime(&self) -> SimDuration;
+    /// Job id (final tie-break, unique).
+    fn id(&self) -> JobId;
+}
+
+impl QueueItem for Job {
+    fn submit_at(&self) -> SimTime {
+        self.submit_at
+    }
+    fn est_runtime(&self) -> SimDuration {
+        self.est_runtime
+    }
+    fn id(&self) -> JobId {
+        self.id
+    }
+}
 
 /// A static queue-ordering policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -21,10 +46,28 @@ pub enum QueueOrder {
 
 impl QueueOrder {
     /// Sorts `queue` in dispatch order under this policy.
-    pub fn sort(&self, queue: &mut [Job]) {
+    pub fn sort<T: QueueItem>(&self, queue: &mut [T]) {
         match self {
-            QueueOrder::Fcfs => queue.sort_by_key(|j| (j.submit_at, j.id)),
-            QueueOrder::Sjf => queue.sort_by_key(|j| (j.est_runtime, j.submit_at, j.id)),
+            QueueOrder::Fcfs => queue.sort_by_key(|j| (j.submit_at(), j.id())),
+            QueueOrder::Sjf => queue.sort_by_key(|j| (j.est_runtime(), j.submit_at(), j.id())),
+        }
+    }
+
+    /// Index at which inserting `item` into the (already sorted) `queue`
+    /// keeps it sorted, placed after every equal-or-smaller key — exactly
+    /// where a stable [`sort`](Self::sort) of `queue ++ [item]` would put
+    /// it. Keys include the unique job id, so ties cannot actually occur
+    /// between distinct jobs.
+    pub fn insertion_point<T: QueueItem>(&self, queue: &[T], item: &T) -> usize {
+        match self {
+            QueueOrder::Fcfs => {
+                let key = (item.submit_at(), item.id());
+                queue.partition_point(|j| (j.submit_at(), j.id()) <= key)
+            }
+            QueueOrder::Sjf => {
+                let key = (item.est_runtime(), item.submit_at(), item.id());
+                queue.partition_point(|j| (j.est_runtime(), j.submit_at(), j.id()) <= key)
+            }
         }
     }
 
@@ -87,6 +130,26 @@ mod tests {
         QueueOrder::Sjf.sort(&mut q);
         let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn insertion_point_matches_stable_sort() {
+        for order in [QueueOrder::Fcfs, QueueOrder::Sjf] {
+            // A deliberately tie-heavy pool of jobs.
+            let pool: Vec<Job> = (0..24)
+                .map(|i| job(i, (i % 4) * 10, (i % 3) * 100 + 50))
+                .collect();
+            let mut incremental: Vec<Job> = Vec::new();
+            for j in &pool {
+                let at = order.insertion_point(&incremental, j);
+                incremental.insert(at, j.clone());
+            }
+            let mut sorted = pool.clone();
+            order.sort(&mut sorted);
+            let a: Vec<u64> = incremental.iter().map(|j| j.id.0).collect();
+            let b: Vec<u64> = sorted.iter().map(|j| j.id.0).collect();
+            assert_eq!(a, b, "{order:?}");
+        }
     }
 
     #[test]

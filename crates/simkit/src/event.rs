@@ -1,14 +1,27 @@
-//! A deterministic timestamped event queue.
+//! A deterministic timestamped event queue with indexed cancellation.
 //!
 //! The queue is a binary min-heap ordered by `(time, sequence)`. The sequence
 //! number is assigned at insertion, so events scheduled for the same instant
 //! pop in insertion order. This stability is what makes a whole simulation
 //! replayable: given the same seed and the same schedule calls, the event
 //! trace is identical on every run and platform.
+//!
+//! # Cancellation and compaction
+//!
+//! [`EventQueue::schedule`] returns an [`EventKey`] that can later be passed
+//! to [`EventQueue::cancel`]. Cancellation is *lazy*: the entry stays in the
+//! heap, and [`EventQueue::pop`] silently discards it when its turn comes.
+//! Once cancelled entries outnumber live ones the heap is *compacted* —
+//! rebuilt without the dead wood — so a workload that cancels heavily (the
+//! scheduler engine superseding finish events every progress update) keeps
+//! the heap at O(live) instead of O(all ever scheduled). Compaction never
+//! changes the pop order: entries are totally ordered by `(time, seq)`, so
+//! rebuilding the heap from any permutation of the survivors yields the
+//! same pop sequence.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// An event with its scheduled firing time and tie-break sequence number.
 #[derive(Debug, Clone)]
@@ -44,12 +57,50 @@ impl<E> Ord for EventEntry<E> {
     }
 }
 
+/// Handle to one scheduled event, returned by [`EventQueue::schedule`].
+///
+/// Pass it to [`EventQueue::cancel`] to retract the event before it fires.
+/// A key is only meaningful for a *pending* event: cancelling an event that
+/// already popped (or was already cancelled) is a caller bug — the queue
+/// cannot detect it and the bookkeeping that drives compaction would drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+/// Lifetime counters of one [`EventQueue`], for benchmarks and capacity
+/// planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Events scheduled over the queue's lifetime.
+    pub scheduled: u64,
+    /// Events actually delivered by [`EventQueue::pop`] (cancelled entries
+    /// are discarded, not delivered).
+    pub delivered: u64,
+    /// Events retracted via [`EventQueue::cancel`].
+    pub cancelled: u64,
+    /// Largest *physical* heap size ever reached (live + not-yet-collected
+    /// cancelled entries).
+    pub peak_heap: usize,
+    /// Times the heap was compacted.
+    pub compactions: u64,
+}
+
+/// Minimum physical heap size before compaction is considered; below this
+/// the dead entries are cheaper to carry than to collect.
+const COMPACT_MIN_LEN: usize = 64;
+
 /// A stable priority queue of future events.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<EventEntry<E>>,
+    /// Sequence numbers of pending entries that were cancelled and not yet
+    /// physically removed (lazy deletion).
+    dead: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
+    delivered: u64,
+    cancelled_total: u64,
+    peak_heap: usize,
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -63,8 +114,13 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            dead: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            delivered: 0,
+            cancelled_total: 0,
+            peak_heap: 0,
+            compactions: 0,
         }
     }
 
@@ -73,22 +129,29 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending *live* events (cancelled-but-uncollected entries
+    /// are excluded).
     pub fn len(&self) -> usize {
+        self.heap.len() - self.dead.len()
+    }
+
+    /// Physical heap size, counting cancelled entries not yet collected.
+    pub fn physical_len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True if no events are pending.
+    /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at`, returning a key
+    /// that can later [`cancel`](Self::cancel) it.
     ///
     /// Scheduling in the past is a logic error in the caller; the queue
     /// clamps such events to the current clock so time never runs backwards,
     /// and debug builds panic to surface the bug early.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventKey {
         debug_assert!(
             at >= self.now,
             "scheduled event at {at} before current time {}",
@@ -98,23 +161,86 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(EventEntry { time, seq, event });
+        self.peak_heap = self.peak_heap.max(self.heap.len());
+        EventKey(seq)
     }
 
-    /// Time of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// Retracts the pending event behind `key` so it will never be
+    /// delivered. The entry is removed lazily; when dead entries outnumber
+    /// live ones the heap is compacted.
+    ///
+    /// Contract: `key` must belong to a *pending* event. Cancelling a key
+    /// twice is a detected no-op (returns `false`); cancelling a key whose
+    /// event already fired is an undetectable caller bug.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        debug_assert!(key.0 < self.next_seq, "cancelling a key never issued");
+        if !self.dead.insert(key.0) {
+            return false; // already cancelled
+        }
+        self.cancelled_total += 1;
+        if self.heap.len() >= COMPACT_MIN_LEN && self.dead.len() * 2 > self.heap.len() {
+            self.compact();
+        }
+        true
     }
 
-    /// Pops the next event, advancing the clock to its firing time.
+    /// Physically removes every cancelled entry, rebuilding the heap from
+    /// the survivors. Pop order is unaffected: `(time, seq)` is a total
+    /// order, so heapifying any permutation of the survivors pops
+    /// identically.
+    pub fn compact(&mut self) {
+        if self.dead.is_empty() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| !self.dead.contains(&e.seq));
+        self.dead.clear();
+        self.heap = BinaryHeap::from(entries);
+        self.compactions += 1;
+    }
+
+    /// Time of the next pending live event, if any. Cancelled entries at
+    /// the head are collected on the way.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(head) = self.heap.peek() {
+            if self.dead.remove(&head.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(head.time);
+        }
+        None
+    }
+
+    /// Pops the next live event, advancing the clock to its firing time.
+    /// Cancelled entries are discarded silently.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        let entry = self.heap.pop()?;
-        self.now = entry.time;
-        Some(entry)
+        while let Some(entry) = self.heap.pop() {
+            if self.dead.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.time;
+            self.delivered += 1;
+            return Some(entry);
+        }
+        None
     }
 
     /// Drops all pending events without advancing the clock.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.dead.clear();
+    }
+
+    /// Lifetime counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.next_seq,
+            delivered: self.delivered,
+            cancelled: self.cancelled_total,
+            peak_heap: self.peak_heap,
+            compactions: self.compactions,
+        }
     }
 }
 
@@ -192,5 +318,68 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancelled_event_never_pops() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_secs(1), "dead");
+        q.schedule(SimTime::from_secs(2), "live");
+        assert!(q.cancel(k));
+        assert!(!q.cancel(k), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, "live");
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().delivered, 1);
+        assert_eq!(q.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(5), ());
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        // The clock must not have advanced past the discarded entry.
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn compaction_keeps_pop_order_and_shrinks_heap() {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for i in 0..200u64 {
+            keys.push(q.schedule(SimTime::from_secs(i), i));
+        }
+        // Cancel three quarters; past the 50% dead threshold the heap
+        // compacts automatically.
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 4 != 0 {
+                q.cancel(k);
+            }
+        }
+        assert!(q.stats().compactions >= 1, "compaction must have fired");
+        assert!(q.physical_len() <= 100, "dead entries must be collected");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        let expected: Vec<u64> = (0..200).filter(|i| i % 4 == 0).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn peak_heap_tracks_physical_size() {
+        let mut q = EventQueue::new();
+        let keys: Vec<EventKey> = (0..10)
+            .map(|i| q.schedule(SimTime::from_secs(i), ()))
+            .collect();
+        for k in keys {
+            q.cancel(k);
+        }
+        let stats = q.stats();
+        assert_eq!(stats.peak_heap, 10);
+        assert_eq!(stats.scheduled, 10);
+        assert_eq!(stats.cancelled, 10);
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().delivered, 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Property-based tests for the simulation kernel.
 
 use proptest::prelude::*;
+use rush_simkit::event::EventKey;
 use rush_simkit::histogram::Histogram;
 use rush_simkit::stats::{percentile, OnlineStats, Summary};
 use rush_simkit::time::{SimDuration, SimTime};
@@ -25,6 +26,81 @@ proptest! {
             prop_assert_eq!(*at, SimTime::from_secs(*orig));
         }
         prop_assert_eq!(popped.len(), times.len());
+    }
+
+    /// Cancellation + compaction must be invisible to delivery: whatever
+    /// interleaving of schedules, cancels, explicit compactions and pops is
+    /// played against the queue, the popped sequence equals a plain sorted
+    /// reference model of the live (never-cancelled) events.
+    #[test]
+    fn event_queue_compaction_preserves_pop_order(
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u64..500, 0..24),   // schedule delays
+                proptest::collection::vec(0usize..1000, 0..10), // cancel picks
+                any::<bool>(),                                  // explicit compact?
+                0usize..12,                                     // pops
+            ),
+            1..10,
+        ),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        // Live events the queue must still deliver, in insertion order:
+        // (time, insertion index, key). Pop order is (time, insertion).
+        let mut model: Vec<(SimTime, usize, EventKey)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0usize;
+        for (delays, cancels, do_compact, pops) in rounds {
+            for d in delays {
+                let at = now + SimDuration::from_micros(d);
+                let key = q.schedule(at, next_id);
+                model.push((at, next_id, key));
+                next_id += 1;
+            }
+            for pick in cancels {
+                if model.is_empty() {
+                    continue;
+                }
+                let at = pick % model.len();
+                let (_, _, key) = model.remove(at);
+                prop_assert!(q.cancel(key), "first cancel of a pending event");
+                prop_assert!(!q.cancel(key), "double cancel must report false");
+            }
+            if do_compact {
+                q.compact();
+                prop_assert_eq!(q.physical_len(), q.len(), "compaction purges all dead");
+            }
+            prop_assert_eq!(q.len(), model.len());
+            for _ in 0..pops {
+                let best = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, id, _))| (t, id))
+                    .map(|(i, _)| i);
+                match best {
+                    None => {
+                        prop_assert!(q.pop().is_none());
+                        break;
+                    }
+                    Some(i) => {
+                        let (t, id, _) = model.remove(i);
+                        let entry = q.pop().expect("model says an event is pending");
+                        prop_assert_eq!(entry.time, t);
+                        prop_assert_eq!(entry.event, id);
+                        now = entry.time;
+                    }
+                }
+            }
+        }
+        // Drain: the tail must come out in model order too.
+        model.sort_by_key(|&(t, id, _)| (t, id));
+        for (t, id, _) in model {
+            let entry = q.pop().expect("drain");
+            prop_assert_eq!(entry.time, t);
+            prop_assert_eq!(entry.event, id);
+        }
+        prop_assert!(q.pop().is_none());
+        prop_assert_eq!(q.len(), 0);
     }
 
     #[test]
