@@ -13,8 +13,7 @@
 //! I/O call volumes), each corrupted by multiplicative lognormal noise. This
 //! keeps the learning problem honest.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// What one node can observe about the machine at a sampling instant.
@@ -297,7 +296,11 @@ pub fn basis_value(basis: Basis, obs: &NodeObservation) -> f64 {
 }
 
 /// Synthesizes one counter value: `scale * basis * lognormal_noise`.
-pub fn synthesize_counter(spec: &CounterSpec, obs: &NodeObservation, rng: &mut SmallRng) -> f64 {
+pub fn synthesize_counter<R: RngCore>(
+    spec: &CounterSpec,
+    obs: &NodeObservation,
+    rng: &mut R,
+) -> f64 {
     let base = basis_value(spec.basis, obs) * spec.scale;
     if spec.noise == 0.0 {
         return base;
@@ -314,10 +317,10 @@ pub fn synthesize_counter(spec: &CounterSpec, obs: &NodeObservation, rng: &mut S
 
 /// Synthesizes all counters of `table` for one node observation, in schema
 /// order.
-pub fn synthesize_table(
+pub fn synthesize_table<R: RngCore>(
     table: CounterTable,
     obs: &NodeObservation,
-    rng: &mut SmallRng,
+    rng: &mut R,
 ) -> Vec<f64> {
     table
         .counters()
@@ -329,6 +332,7 @@ pub fn synthesize_table(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn rng() -> SmallRng {

@@ -15,9 +15,9 @@ use crate::network::{
 };
 use crate::noise::{NoiseWalk, OsNoise, RegimeOverride, RegimeProcess};
 use crate::topology::{FatTree, FatTreeConfig, LinkId, NodeId};
-use rand::rngs::SmallRng;
 use rush_obs::MetricsRegistry;
-use rush_simkit::rng::RngStreams;
+use rush_simkit::rng::{CountedRng, RngStreams};
+use rush_simkit::snapshot::{SnapshotError, Val};
 use rush_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -257,10 +257,10 @@ pub struct Machine {
     health: Vec<NodeHealth>,
     health_stats: HealthStats,
     os_noise: OsNoise,
-    rng_regime: SmallRng,
-    rng_noise_job: SmallRng,
-    rng_counters: SmallRng,
-    rng_os: SmallRng,
+    rng_regime: CountedRng,
+    rng_noise_job: CountedRng,
+    rng_counters: CountedRng,
+    rng_os: CountedRng,
     now: SimTime,
     last_noise_update: SimTime,
 }
@@ -273,7 +273,7 @@ impl Machine {
         let tree_nodes = tree.node_count();
         let fs = LustreState::new(config.lustre);
         let os_noise = OsNoise::new(config.os_noise_sigma, config.os_noise_cap);
-        let mut rng_regime = streams.stream("machine/regime");
+        let mut rng_regime = streams.counted_stream("machine/regime");
         let regime = RegimeProcess::random_start(&mut rng_regime);
         let mut net = NetworkState::new();
         net.set_background_scope(config.background_scope);
@@ -289,9 +289,9 @@ impl Machine {
             health: vec![NodeHealth::Up; tree_nodes as usize],
             health_stats: HealthStats::default(),
             rng_regime,
-            rng_noise_job: streams.stream("machine/noise-job"),
-            rng_counters: streams.stream("machine/counters"),
-            rng_os: streams.stream("machine/os-noise"),
+            rng_noise_job: streams.counted_stream("machine/noise-job"),
+            rng_counters: streams.counted_stream("machine/counters"),
+            rng_os: streams.counted_stream("machine/os-noise"),
             now: SimTime::ZERO,
             last_noise_update: SimTime::ZERO,
             config,
@@ -571,6 +571,174 @@ impl Machine {
         self.health_stats
     }
 
+    /// Captures all dynamic machine state as a snapshot value.
+    ///
+    /// The network and filesystem rebuild their link/OST loads from the
+    /// current source set on every change, so only the *registered* loads
+    /// are captured; link-load maps and the congestion cache are derived
+    /// state and are reconstructed on restore.
+    pub fn snapshot_state(&self) -> Val {
+        let rng_val = |r: &CountedRng| {
+            Val::map()
+                .with("seed", Val::U64(r.seed()))
+                .with("draws", Val::U64(r.draws()))
+        };
+        let mut loads: Vec<(&SourceId, &RegisteredLoad)> = self.loads.iter().collect();
+        loads.sort_by_key(|(id, _)| **id);
+        let loads_val = Val::List(
+            loads
+                .iter()
+                .map(|(id, l)| {
+                    Val::map()
+                        .with("id", Val::U64(id.0))
+                        .with(
+                            "nodes",
+                            Val::List(l.nodes.iter().map(|n| Val::U64(u64::from(n.0))).collect()),
+                        )
+                        .with("compute", Val::from_f64(l.intensity.compute))
+                        .with("network", Val::from_f64(l.intensity.network))
+                        .with("io", Val::from_f64(l.intensity.io))
+                })
+                .collect(),
+        );
+        // `noise` is a zero-or-one element list standing in for Option.
+        let noise = Val::List(
+            self.noise_job
+                .iter()
+                .map(|nj| {
+                    Val::map()
+                        .with(
+                            "nodes",
+                            Val::List(nj.nodes.iter().map(|n| Val::U64(u64::from(n.0))).collect()),
+                        )
+                        .with("max_gbps", Val::from_f64(nj.max_gbps))
+                        .with("level", Val::from_f64(nj.walk.level()))
+                        .with("base", Val::from_f64(nj.walk.base()))
+                })
+                .collect(),
+        );
+        let health = Val::List(
+            self.health
+                .iter()
+                .map(|h| {
+                    Val::U64(match h {
+                        NodeHealth::Up => 0,
+                        NodeHealth::Down => 1,
+                        NodeHealth::Suspect => 2,
+                    })
+                })
+                .collect(),
+        );
+        Val::map()
+            .with("now_us", Val::U64(self.now.as_micros()))
+            .with(
+                "last_noise_update_us",
+                Val::U64(self.last_noise_update.as_micros()),
+            )
+            .with("regime_index", Val::U64(self.regime.current_index()))
+            .with("regime_wobble", Val::from_f64(self.regime.wobble()))
+            .with("noise", noise)
+            .with("loads", loads_val)
+            .with("health", health)
+            .with("failures", Val::U64(self.health_stats.failures))
+            .with("recoveries", Val::U64(self.health_stats.recoveries))
+            .with("trusts", Val::U64(self.health_stats.trusts))
+            .with("rng_regime", rng_val(&self.rng_regime))
+            .with("rng_noise_job", rng_val(&self.rng_noise_job))
+            .with("rng_counters", rng_val(&self.rng_counters))
+            .with("rng_os", rng_val(&self.rng_os))
+    }
+
+    /// Restores dynamic state captured by [`Machine::snapshot_state`] into a
+    /// machine freshly built with the *same* [`MachineConfig`].
+    ///
+    /// After restore, RNG streams sit at the exact draw the snapshot was
+    /// taken at, loads and the noise job are re-registered (rebuilding the
+    /// derived network/filesystem loads), and the regime-driven backgrounds
+    /// are re-applied for the restored clock.
+    pub fn restore_state(&mut self, v: &Val) -> Result<(), SnapshotError> {
+        let restore_rng = |v: &Val| -> Result<CountedRng, SnapshotError> {
+            Ok(CountedRng::restore(v.u("seed")?, v.u("draws")?))
+        };
+        let health_val = v.l("health")?;
+        if health_val.len() != self.health.len() {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        self.rng_regime = restore_rng(v.get("rng_regime")?)?;
+        self.rng_noise_job = restore_rng(v.get("rng_noise_job")?)?;
+        self.rng_counters = restore_rng(v.get("rng_counters")?)?;
+        self.rng_os = restore_rng(v.get("rng_os")?)?;
+        self.regime
+            .restore_state(v.u("regime_index")?, v.f("regime_wobble")?);
+
+        // Drop whatever loads this (possibly pre-used) machine carries, then
+        // re-register the snapshotted set: net and fs rebuild from scratch.
+        let stale: Vec<SourceId> = self.loads.keys().copied().collect();
+        for id in stale {
+            self.remove_load(id);
+        }
+        self.disable_noise_job();
+        for load in v.l("loads")? {
+            let nodes: Vec<NodeId> = load
+                .l("nodes")?
+                .iter()
+                .map(|n| Ok(NodeId(n.as_u64()? as u32)))
+                .collect::<Result<_, SnapshotError>>()?;
+            self.register_load(
+                SourceId(load.u("id")?),
+                nodes,
+                WorkloadIntensity {
+                    compute: load.f("compute")?,
+                    network: load.f("network")?,
+                    io: load.f("io")?,
+                },
+            );
+        }
+        if let Some(nj) = v.l("noise")?.first() {
+            let nodes: Vec<NodeId> = nj
+                .l("nodes")?
+                .iter()
+                .map(|n| Ok(NodeId(n.as_u64()? as u32)))
+                .collect::<Result<_, SnapshotError>>()?;
+            let mut walk = NoiseWalk::experiment_default();
+            walk.restore_state(nj.f("level")?, nj.f("base")?);
+            self.noise_job = Some(NoiseJob {
+                nodes,
+                max_gbps: nj.f("max_gbps")?,
+                walk,
+            });
+            self.apply_noise_job();
+        }
+
+        for (slot, code) in self.health.iter_mut().zip(health_val) {
+            *slot = match code.as_u64()? {
+                0 => NodeHealth::Up,
+                1 => NodeHealth::Down,
+                2 => NodeHealth::Suspect,
+                other => {
+                    return Err(SnapshotError::Schema(format!("node health code {other}")));
+                }
+            };
+        }
+        self.health_stats = HealthStats {
+            failures: v.u("failures")?,
+            recoveries: v.u("recoveries")?,
+            trusts: v.u("trusts")?,
+        };
+
+        self.now = SimTime::from_micros(v.u("now_us")?);
+        self.last_noise_update = SimTime::from_micros(v.u("last_noise_update_us")?);
+        // `advance_to` early-returns for t <= now, so the regime backgrounds
+        // must be pushed explicitly for the restored clock.
+        self.net
+            .set_background_util(self.regime.network_util(self.now));
+        self.fs.set_background_gbps(
+            self.regime.fs_fraction(self.now) * self.fs.config().aggregate_gbps,
+        );
+        self.congestion_cache.clear();
+        Ok(())
+    }
+
     /// Registers (or updates) this machine's health-transition counters in
     /// `reg` under the `cluster.*` namespace, plus a gauge of currently
     /// crashed nodes. Idempotent: re-exporting overwrites.
@@ -788,6 +956,61 @@ mod tests {
         assert_eq!(w.compute, 0.0);
         assert_eq!(w.network, 1.0);
         assert_eq!(w.io, 0.5);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Drive a machine through noise, loads, health churn and counter
+        // draws; snapshot mid-flight; restore into a fresh machine; the two
+        // must then produce bit-identical trajectories.
+        let mut m = Machine::new(MachineConfig::tiny(42));
+        m.enable_noise_job(nodes(12..16), 8.0);
+        m.register_load(
+            SourceId(3),
+            nodes(0..4),
+            WorkloadIntensity::new(0.1, 0.8, 0.2),
+        );
+        m.register_load(
+            SourceId(9),
+            nodes(4..8),
+            WorkloadIntensity::new(0.5, 0.2, 0.7),
+        );
+        m.fail_node(NodeId(2));
+        m.recover_node(NodeId(2));
+        m.advance_to(SimTime::from_mins(17));
+        let _ = m.sample_counters(NodeId(0));
+        let _ = m.draw_os_noise();
+
+        let snap = m.snapshot_state();
+        let mut r = Machine::new(MachineConfig::tiny(42));
+        r.restore_state(&snap).unwrap();
+
+        assert_eq!(r.now(), m.now());
+        assert_eq!(r.node_health(NodeId(2)), NodeHealth::Suspect);
+        assert_eq!(r.health_stats(), m.health_stats());
+        assert_eq!(r.background_util(), m.background_util());
+        assert_eq!(r.noise_level_gbps(), m.noise_level_gbps());
+        assert_eq!(r.fs_saturation(), m.fs_saturation());
+        assert_eq!(r.congestion(&nodes(0..4)), m.congestion(&nodes(0..4)));
+        for minute in 18..40 {
+            m.advance_to(SimTime::from_mins(minute));
+            r.advance_to(SimTime::from_mins(minute));
+            assert_eq!(r.background_util(), m.background_util());
+            assert_eq!(r.noise_level_gbps(), m.noise_level_gbps());
+            assert_eq!(r.sample_counters(NodeId(1)), m.sample_counters(NodeId(1)));
+            assert_eq!(r.draw_os_noise(), m.draw_os_noise());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_node_count() {
+        let m = Machine::new(MachineConfig::tiny(1));
+        let snap = m.snapshot_state();
+        let mut other = Machine::new(MachineConfig::experiment_pod(1));
+        assert!(matches!(
+            other.restore_state(&snap),
+            Err(SnapshotError::ConfigMismatch)
+        ));
     }
 
     #[test]

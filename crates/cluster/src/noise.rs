@@ -14,8 +14,7 @@
 //! * [`OsNoise`] — small per-run multiplicative jitter from OS interference,
 //!   drawn once per job execution.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rand_distr::{Distribution, LogNormal};
 use rush_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -113,7 +112,7 @@ impl RegimeProcess {
 
     /// Starts from a random stationary-ish state, so short simulations
     /// (the 30–50 minute scheduling experiments) don't all begin calm.
-    pub fn random_start(rng: &mut SmallRng) -> Self {
+    pub fn random_start<R: RngCore>(rng: &mut R) -> Self {
         let draw: f64 = rng.gen();
         let current = if draw < 0.50 {
             Regime::Calm
@@ -147,7 +146,7 @@ impl RegimeProcess {
     /// Advances the chain by `dt`. Transition probability over the step is
     /// `1 - exp(-dt / mean_dwell)`; the wobble multiplier follows a gentle
     /// AR(1) walk.
-    pub fn step(&mut self, now: SimTime, dt: SimDuration, rng: &mut SmallRng) {
+    pub fn step<R: RngCore>(&mut self, now: SimTime, dt: SimDuration, rng: &mut R) {
         let dwell = self.current.mean_dwell().as_secs_f64();
         let p_leave = 1.0 - (-dt.as_secs_f64() / dwell).exp();
         if rng.gen::<f64>() < p_leave {
@@ -180,6 +179,29 @@ impl RegimeProcess {
     /// Background filesystem demand at `now`, as a fraction of capacity.
     pub fn fs_fraction(&self, now: SimTime) -> f64 {
         self.regime_at(now).fs_fraction() * self.wobble
+    }
+
+    /// Index of the chain's current (non-override) regime, for snapshots.
+    pub fn current_index(&self) -> u64 {
+        match self.current {
+            Regime::Calm => 0,
+            Regime::Busy => 1,
+            Regime::Storm => 2,
+        }
+    }
+
+    /// The wobble multiplier, for snapshots.
+    pub fn wobble(&self) -> f64 {
+        self.wobble
+    }
+
+    /// Restores the dynamic chain state captured by
+    /// [`current_index`](Self::current_index)/[`wobble`](Self::wobble).
+    /// Overrides are configuration, not state: they are rebuilt by
+    /// reconstruction, not restored.
+    pub fn restore_state(&mut self, current_index: u64, wobble: f64) {
+        self.current = Regime::from_index(current_index as usize);
+        self.wobble = wobble;
     }
 }
 
@@ -244,7 +266,7 @@ impl NoiseWalk {
     }
 
     /// Randomizes the starting base level within the base range.
-    pub fn with_random_level(mut self, rng: &mut SmallRng) -> Self {
+    pub fn with_random_level<R: RngCore>(mut self, rng: &mut R) -> Self {
         self.base = rng.gen_range(self.min..=self.base_max);
         self.level = self.base;
         self
@@ -260,8 +282,15 @@ impl NoiseWalk {
         self.base
     }
 
+    /// Restores the dynamic walk state (level and base); the range
+    /// parameters are configuration and stay as constructed.
+    pub fn restore_state(&mut self, level: f64, base: f64) {
+        self.level = level;
+        self.base = base;
+    }
+
     /// Advances the walk one update.
-    pub fn step(&mut self, rng: &mut SmallRng) -> f64 {
+    pub fn step<R: RngCore>(&mut self, rng: &mut R) -> f64 {
         // Base walk: sum of two uniforms approximates a triangular kick.
         let kick = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * self.step;
         self.base = reflect(self.base + kick, self.min, self.base_max);
@@ -314,7 +343,7 @@ impl OsNoise {
     }
 
     /// Draws a multiplicative slowdown factor ≥ 1.
-    pub fn draw(&self, rng: &mut SmallRng) -> f64 {
+    pub fn draw<R: RngCore>(&self, rng: &mut R) -> f64 {
         if self.sigma == 0.0 {
             return 1.0;
         }
@@ -329,6 +358,7 @@ impl OsNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn rng() -> SmallRng {

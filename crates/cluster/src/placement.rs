@@ -13,8 +13,9 @@
 //! it failed.
 
 use crate::topology::NodeId;
-use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use rand::RngCore;
+use rush_simkit::snapshot::{SnapshotError, Val};
 use serde::{Deserialize, Serialize};
 
 /// How free nodes are chosen for a job.
@@ -181,7 +182,7 @@ impl NodePool {
     /// Allocates `n` nodes according to the policy; `None` if not enough
     /// are free. `rng` is only consulted by [`PlacementPolicy::Random`].
     /// Quarantined nodes are never chosen.
-    pub fn allocate(&mut self, n: usize, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
+    pub fn allocate<R: RngCore>(&mut self, n: usize, rng: &mut R) -> Option<Vec<NodeId>> {
         if !self.can_allocate(n) {
             return None;
         }
@@ -323,11 +324,52 @@ impl NodePool {
             }
         }
     }
+
+    /// Captures per-slot allocation state for snapshots. Policy and
+    /// topology are configuration; only the slot states are dynamic.
+    pub fn snapshot_state(&self) -> Val {
+        let codes: Vec<Val> = self
+            .slots
+            .iter()
+            .map(|s| {
+                Val::U64(match s {
+                    Slot::Free => 0,
+                    Slot::Busy => 1,
+                    Slot::Down { held: false } => 2,
+                    Slot::Down { held: true } => 3,
+                })
+            })
+            .collect();
+        Val::map().with("slots", Val::List(codes))
+    }
+
+    /// Restores the slot states captured by
+    /// [`snapshot_state`](Self::snapshot_state); `free_count` is recomputed.
+    pub fn restore_state(&mut self, v: &Val) -> Result<(), SnapshotError> {
+        let codes = v.l("slots")?;
+        if codes.len() != self.slots.len() {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        for (slot, code) in self.slots.iter_mut().zip(codes) {
+            *slot = match code.as_u64()? {
+                0 => Slot::Free,
+                1 => Slot::Busy,
+                2 => Slot::Down { held: false },
+                3 => Slot::Down { held: true },
+                other => {
+                    return Err(SnapshotError::Schema(format!("bad slot code {other}")));
+                }
+            };
+        }
+        self.free_count = self.slots.iter().filter(|s| **s == Slot::Free).count();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     fn rng() -> SmallRng {

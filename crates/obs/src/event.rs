@@ -8,6 +8,7 @@
 //! byte-identical JSONL across runs and platforms.
 
 use crate::json::JsonObject;
+use rush_simkit::snapshot::{SnapshotError, Val};
 use rush_simkit::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -117,6 +118,14 @@ pub enum ObsEvent {
         /// Node index.
         node: u32,
     },
+    /// The runtime auditor found an invariant violation.
+    AuditViolation {
+        /// Index of the violated invariant (see `rush_sched::audit`).
+        invariant: u32,
+        /// Invariant-specific context (a job id, node count, or time in
+        /// microseconds, depending on the invariant).
+        detail: u64,
+    },
 }
 
 impl ObsEvent {
@@ -136,6 +145,7 @@ impl ObsEvent {
             ObsEvent::NodeDown { .. } => "node_down",
             ObsEvent::NodeUp { .. } => "node_up",
             ObsEvent::NodeTrusted { .. } => "node_trusted",
+            ObsEvent::AuditViolation { .. } => "audit_violation",
         }
     }
 
@@ -152,10 +162,116 @@ impl ObsEvent {
             | ObsEvent::PredictorVerdict { job, .. }
             | ObsEvent::PredictorFallback { job, .. }
             | ObsEvent::BackfillReservation { job, .. } => Some(job),
-            ObsEvent::NodeDown { .. } | ObsEvent::NodeUp { .. } | ObsEvent::NodeTrusted { .. } => {
-                None
+            ObsEvent::NodeDown { .. }
+            | ObsEvent::NodeUp { .. }
+            | ObsEvent::NodeTrusted { .. }
+            | ObsEvent::AuditViolation { .. } => None,
+        }
+    }
+
+    /// Encodes the event as a compact integer list `[tag, fields...]` for
+    /// snapshots. The tag values are part of the snapshot format and must
+    /// never be renumbered.
+    pub fn to_val(&self) -> Val {
+        let v = |items: Vec<u64>| Val::List(items.into_iter().map(Val::U64).collect());
+        match *self {
+            ObsEvent::JobSubmitted { job } => v(vec![0, job]),
+            ObsEvent::JobStarted { job, nodes, skips } => {
+                v(vec![1, job, u64::from(nodes), u64::from(skips)])
+            }
+            ObsEvent::JobSkipped { job, skips } => v(vec![2, job, u64::from(skips)]),
+            ObsEvent::JobKilled { job } => v(vec![3, job]),
+            ObsEvent::JobRequeued { job, attempt } => v(vec![4, job, u64::from(attempt)]),
+            ObsEvent::JobFailed { job, attempts } => v(vec![5, job, u64::from(attempts)]),
+            ObsEvent::JobFinished { job } => v(vec![6, job]),
+            ObsEvent::PredictorVerdict { job, class } => v(vec![7, job, u64::from(class)]),
+            ObsEvent::PredictorFallback { job, reason } => {
+                let r = match reason {
+                    FallbackReason::TelemetryGap => 0,
+                    FallbackReason::ModelError => 1,
+                };
+                v(vec![8, job, r])
+            }
+            ObsEvent::BackfillReservation {
+                job,
+                shadow_start_us,
+                extra_nodes,
+            } => v(vec![9, job, shadow_start_us, u64::from(extra_nodes)]),
+            ObsEvent::NodeDown { node } => v(vec![10, u64::from(node)]),
+            ObsEvent::NodeUp { node } => v(vec![11, u64::from(node)]),
+            ObsEvent::NodeTrusted { node } => v(vec![12, u64::from(node)]),
+            ObsEvent::AuditViolation { invariant, detail } => {
+                v(vec![13, u64::from(invariant), detail])
             }
         }
+    }
+
+    /// Decodes an event encoded by [`ObsEvent::to_val`].
+    pub fn from_val(v: &Val) -> Result<Self, SnapshotError> {
+        let items = v.as_list()?;
+        let field = |i: usize| -> Result<u64, SnapshotError> {
+            items
+                .get(i)
+                .ok_or_else(|| SnapshotError::Schema("short event".to_string()))?
+                .as_u64()
+        };
+        Ok(match field(0)? {
+            0 => ObsEvent::JobSubmitted { job: field(1)? },
+            1 => ObsEvent::JobStarted {
+                job: field(1)?,
+                nodes: field(2)? as u32,
+                skips: field(3)? as u32,
+            },
+            2 => ObsEvent::JobSkipped {
+                job: field(1)?,
+                skips: field(2)? as u32,
+            },
+            3 => ObsEvent::JobKilled { job: field(1)? },
+            4 => ObsEvent::JobRequeued {
+                job: field(1)?,
+                attempt: field(2)? as u32,
+            },
+            5 => ObsEvent::JobFailed {
+                job: field(1)?,
+                attempts: field(2)? as u32,
+            },
+            6 => ObsEvent::JobFinished { job: field(1)? },
+            7 => ObsEvent::PredictorVerdict {
+                job: field(1)?,
+                class: field(2)? as u32,
+            },
+            8 => ObsEvent::PredictorFallback {
+                job: field(1)?,
+                reason: match field(2)? {
+                    0 => FallbackReason::TelemetryGap,
+                    1 => FallbackReason::ModelError,
+                    other => {
+                        return Err(SnapshotError::Schema(format!("fallback reason {other}")));
+                    }
+                },
+            },
+            9 => ObsEvent::BackfillReservation {
+                job: field(1)?,
+                shadow_start_us: field(2)?,
+                extra_nodes: field(3)? as u32,
+            },
+            10 => ObsEvent::NodeDown {
+                node: field(1)? as u32,
+            },
+            11 => ObsEvent::NodeUp {
+                node: field(1)? as u32,
+            },
+            12 => ObsEvent::NodeTrusted {
+                node: field(1)? as u32,
+            },
+            13 => ObsEvent::AuditViolation {
+                invariant: field(1)? as u32,
+                detail: field(2)?,
+            },
+            other => {
+                return Err(SnapshotError::Schema(format!("event tag {other}")));
+            }
+        })
     }
 }
 
@@ -213,6 +329,9 @@ impl EventRecord {
             ObsEvent::NodeDown { node }
             | ObsEvent::NodeUp { node }
             | ObsEvent::NodeTrusted { node } => base.u64("node", node as u64),
+            ObsEvent::AuditViolation { invariant, detail } => base
+                .u64("invariant", invariant as u64)
+                .u64("detail", detail),
         };
         obj.finish()
     }
@@ -297,6 +416,10 @@ mod tests {
             ObsEvent::NodeDown { node: 0 },
             ObsEvent::NodeUp { node: 0 },
             ObsEvent::NodeTrusted { node: 0 },
+            ObsEvent::AuditViolation {
+                invariant: 2,
+                detail: 99,
+            },
         ];
         for e in variants {
             let line = record(e).to_json_line();
@@ -304,6 +427,50 @@ mod tests {
                 line.contains(&format!("\"kind\":\"{}\"", e.kind())),
                 "{line}"
             );
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_val() {
+        let variants = [
+            ObsEvent::JobSubmitted { job: 3 },
+            ObsEvent::JobStarted {
+                job: 1,
+                nodes: 64,
+                skips: 2,
+            },
+            ObsEvent::JobSkipped { job: 5, skips: 1 },
+            ObsEvent::JobKilled { job: 8 },
+            ObsEvent::JobRequeued { job: 8, attempt: 1 },
+            ObsEvent::JobFailed {
+                job: 8,
+                attempts: 3,
+            },
+            ObsEvent::JobFinished { job: 1 },
+            ObsEvent::PredictorVerdict { job: 2, class: 2 },
+            ObsEvent::PredictorFallback {
+                job: 2,
+                reason: FallbackReason::TelemetryGap,
+            },
+            ObsEvent::PredictorFallback {
+                job: 2,
+                reason: FallbackReason::ModelError,
+            },
+            ObsEvent::BackfillReservation {
+                job: 4,
+                shadow_start_us: 123_456,
+                extra_nodes: 7,
+            },
+            ObsEvent::NodeDown { node: 12 },
+            ObsEvent::NodeUp { node: 12 },
+            ObsEvent::NodeTrusted { node: 12 },
+            ObsEvent::AuditViolation {
+                invariant: 4,
+                detail: 17,
+            },
+        ];
+        for e in variants {
+            assert_eq!(ObsEvent::from_val(&e.to_val()).unwrap(), e);
         }
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::json::{fmt_f64, JsonObject};
 use rush_simkit::histogram::Histogram;
+use rush_simkit::snapshot::{Restorable, Snapshot, SnapshotError, Val};
 
 /// Handle to a registered counter (monotone `u64`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -295,9 +296,97 @@ impl MetricsRegistry {
     }
 }
 
+impl Snapshot for MetricsRegistry {
+    fn to_val(&self) -> Val {
+        // Registration order is preserved so restored handles (plain Vec
+        // indices) stay valid for code that registered in the same order.
+        Val::map()
+            .with(
+                "counters",
+                Val::List(
+                    self.counters
+                        .iter()
+                        .map(|n| Val::List(vec![Val::Str(n.name.clone()), Val::U64(n.value)]))
+                        .collect(),
+                ),
+            )
+            .with(
+                "gauges",
+                Val::List(
+                    self.gauges
+                        .iter()
+                        .map(|n| Val::List(vec![Val::Str(n.name.clone()), Val::from_f64(n.value)]))
+                        .collect(),
+                ),
+            )
+            .with(
+                "histograms",
+                Val::List(
+                    self.histograms
+                        .iter()
+                        .map(|n| Val::List(vec![Val::Str(n.name.clone()), n.value.to_val()]))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+impl Restorable for MetricsRegistry {
+    fn from_val(v: &Val) -> Result<Self, SnapshotError> {
+        let pair = |item: &Val| -> Result<(String, Val), SnapshotError> {
+            let p = item.as_list()?;
+            if p.len() != 2 {
+                return Err(SnapshotError::Schema("metric pair".to_string()));
+            }
+            Ok((p[0].as_str()?.to_string(), p[1].clone()))
+        };
+        let mut reg = MetricsRegistry::new();
+        for item in v.l("counters")? {
+            let (name, val) = pair(item)?;
+            reg.counters.push(Named {
+                name,
+                value: val.as_u64()?,
+            });
+        }
+        for item in v.l("gauges")? {
+            let (name, val) = pair(item)?;
+            reg.gauges.push(Named {
+                name,
+                value: val.as_f64()?,
+            });
+        }
+        for item in v.l("histograms")? {
+            let (name, val) = pair(item)?;
+            reg.histograms.push(Named {
+                name,
+                value: Histogram::from_val(&val)?,
+            });
+        }
+        Ok(reg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_round_trip_preserves_order_and_values() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.register_counter("z.counter");
+        reg.add(c, 7);
+        let g = reg.register_gauge("a.gauge");
+        reg.set_gauge(g, -2.5);
+        let h = reg.register_histogram("m.hist", Histogram::for_seconds());
+        reg.record(h, 3.25);
+        let back = MetricsRegistry::from_val(&reg.to_val()).unwrap();
+        // Handles (indices) from the original registration order stay valid.
+        assert_eq!(back.counter(c), 7);
+        assert_eq!(back.gauge(g), -2.5);
+        assert_eq!(back.histogram(h).count(), 1);
+        assert_eq!(back.to_json(), reg.to_json());
+        assert_eq!(back.to_csv(), reg.to_csv());
+    }
 
     #[test]
     fn counters_increment_through_handles() {

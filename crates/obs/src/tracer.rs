@@ -8,6 +8,7 @@
 //! complete.
 
 use crate::event::{EventRecord, ObsEvent};
+use rush_simkit::snapshot::{Restorable, Snapshot, SnapshotError, Val};
 use rush_simkit::time::SimTime;
 use std::collections::VecDeque;
 
@@ -122,6 +123,55 @@ impl EventTracer {
             out.push('\n');
         }
         out
+    }
+}
+
+impl Snapshot for EventTracer {
+    fn to_val(&self) -> Val {
+        Val::map()
+            .with("enabled", Val::U64(u64::from(self.enabled)))
+            .with("capacity", Val::U64(self.capacity as u64))
+            .with("next_seq", Val::U64(self.next_seq))
+            .with("evicted", Val::U64(self.evicted))
+            .with(
+                "records",
+                Val::List(
+                    self.buf
+                        .iter()
+                        .map(|r| {
+                            Val::List(vec![
+                                Val::U64(r.seq),
+                                Val::U64(r.at.as_micros()),
+                                r.event.to_val(),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+impl Restorable for EventTracer {
+    fn from_val(v: &Val) -> Result<Self, SnapshotError> {
+        let mut buf = VecDeque::new();
+        for r in v.l("records")? {
+            let triple = r.as_list()?;
+            if triple.len() != 3 {
+                return Err(SnapshotError::Schema("event record".to_string()));
+            }
+            buf.push_back(EventRecord {
+                seq: triple[0].as_u64()?,
+                at: SimTime::from_micros(triple[1].as_u64()?),
+                event: ObsEvent::from_val(&triple[2])?,
+            });
+        }
+        Ok(EventTracer {
+            enabled: v.u("enabled")? != 0,
+            capacity: v.u("capacity")? as usize,
+            next_seq: v.u("next_seq")?,
+            evicted: v.u("evicted")?,
+            buf,
+        })
     }
 }
 

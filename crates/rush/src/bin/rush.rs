@@ -15,10 +15,11 @@
 //! Every command is deterministic given `--seed`.
 
 use rush_core::campaign_io;
+use rush_core::checkpoint::CheckpointManager;
 use rush_core::collect::{run_campaign, CampaignData};
 use rush_core::config::CampaignConfig;
 use rush_core::experiments::{
-    run_comparison, run_trial_raw, Experiment, ExperimentSettings, PolicyKind,
+    build_trial_engine, run_comparison, run_trial_raw, Experiment, ExperimentSettings, PolicyKind,
 };
 use rush_core::labels::{build_dataset, LabelScheme, NodeScope};
 use rush_core::pipeline::{build_reference, train_final_with_scheme};
@@ -26,9 +27,11 @@ use rush_core::report::{fmt, robustness_table, TextTable};
 use rush_ml::codec;
 use rush_ml::model::{Classifier, ModelKind};
 use rush_ml::select::{compare_models, select_best};
+use rush_sched::audit::{AuditConfig, AuditPolicy};
 use rush_simkit::fault::FaultConfig;
-use rush_simkit::time::SimDuration;
+use rush_simkit::time::{SimDuration, SimTime};
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -67,11 +70,29 @@ COMMANDS:
                                          anything else JSON)
                --profile                 print per-scope wall-time totals
                                          to stderr after the run
+               crash-safe campaigns (any of these selects a single
+               checkpointed RUSH trial instead of the comparison):
+               --checkpoint-every SECS   snapshot the engine every SECS of
+                                         simulated time (atomic write+rename)
+               --checkpoint-dir DIR      checkpoint directory (checkpoints)
+               --checkpoint-keep K (3)   checkpoints retained
+               --resume PATH             resume from a snapshot file, or from
+                                         the newest valid checkpoint when
+                                         PATH is a directory (corrupted or
+                                         truncated files fall back to the
+                                         previous good one)
+               --stop-after SECS         stop (and checkpoint) once the sim
+                                         clock passes SECS, for later resume
+               --audit POLICY            runtime invariant auditor at
+                                         checkpoint boundaries:
+                                         off|log|fail-fast|repair
+               --audit-every-event       audit after every event, not just
+                                         at checkpoints
     help       print this message
 ";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["profile"];
+const BOOLEAN_FLAGS: &[&str] = &["profile", "audit-every-event"];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -316,6 +337,16 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
     }
     let trace_out = options.get("trace-out");
     let metrics_out = options.get("metrics-out");
+    let audit = AuditConfig {
+        policy: match options.get("audit").map(String::as_str) {
+            None | Some("off") => AuditPolicy::Off,
+            Some("log") => AuditPolicy::Log,
+            Some("fail-fast") => AuditPolicy::FailFast,
+            Some("repair") => AuditPolicy::Repair,
+            Some(other) => return Err(format!("unknown audit policy '{other}'")),
+        },
+        every_event: options.contains_key("audit-every-event"),
+    };
     let settings = ExperimentSettings {
         trials,
         base_seed: seed,
@@ -323,8 +354,15 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
         faults,
         trace_capacity: (trace_out.is_some() || metrics_out.is_some())
             .then_some(rush_obs::tracer::DEFAULT_CAPACITY),
+        audit,
         ..ExperimentSettings::default()
     };
+    let checkpointed = ["checkpoint-every", "checkpoint-dir", "resume", "stop-after"]
+        .iter()
+        .any(|k| options.contains_key(*k));
+    if checkpointed {
+        return run_checkpointed(&campaign, experiment, &settings, options);
+    }
     eprintln!(
         "running {experiment}: {} jobs x {trials} trials x 2 policies...",
         jobs.unwrap_or(experiment.job_count())
@@ -388,5 +426,134 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
     if profile {
         eprint!("{}", rush_obs::profile::report());
     }
+    Ok(())
+}
+
+/// The crash-safe campaign path: a single RUSH trial driven event by event,
+/// snapshotting the engine at simulated-time boundaries, optionally resuming
+/// from an earlier snapshot, optionally stopping early for a later resume.
+///
+/// Resumption is exact: the engine rejects snapshots from a different seed
+/// or configuration, and a resumed run's remaining event trace is identical
+/// to the uninterrupted run's.
+fn run_checkpointed(
+    campaign: &CampaignData,
+    experiment: Experiment,
+    settings: &ExperimentSettings,
+    options: &Options,
+) -> Result<(), String> {
+    let every = options
+        .get("checkpoint-every")
+        .map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&s| s > 0)
+                .ok_or_else(|| format!("--checkpoint-every: expected positive seconds, got '{v}'"))
+        })
+        .transpose()?
+        .map(SimDuration::from_secs);
+    let keep = get_u64(options, "checkpoint-keep", 3)? as usize;
+    let dir = options
+        .get("checkpoint-dir")
+        .cloned()
+        .unwrap_or_else(|| "checkpoints".to_string());
+    let stop_at = options
+        .get("stop-after")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(SimTime::from_secs)
+                .map_err(|_| format!("--stop-after: expected seconds as integer, got '{v}'"))
+        })
+        .transpose()?;
+
+    let (mut engine, requests) =
+        build_trial_engine(experiment, PolicyKind::Rush, campaign, settings, 0);
+    engine.prepare(&requests);
+
+    if let Some(path) = options.get("resume") {
+        let bytes = if Path::new(path).is_dir() {
+            let mgr = CheckpointManager::new(path, keep).map_err(|e| e.to_string())?;
+            let (found, bytes) = mgr
+                .load_latest_valid()
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("no valid checkpoint in {path}"))?;
+            eprintln!("resuming from {}", found.display());
+            bytes
+        } else {
+            std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        engine
+            .resume(&bytes)
+            .map_err(|e| format!("cannot resume: {e}"))?;
+        let (settled, total) = engine.progress();
+        eprintln!(
+            "resumed at {} ({settled}/{total} jobs settled)",
+            engine.now()
+        );
+    }
+
+    let manager = every
+        .map(|_| CheckpointManager::new(&dir, keep))
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let audit_at_checkpoints = settings.audit.enabled() && !settings.audit.every_event;
+    let mut next_ckpt = every.map(|d| engine.now() + d);
+
+    let checkpoint =
+        |engine: &mut rush_sched::SchedulerEngine, mgr: &CheckpointManager| -> Result<(), String> {
+            let now = engine.now();
+            if audit_at_checkpoints {
+                engine.audit_now(now);
+            }
+            let bytes = engine.snapshot();
+            let path = mgr
+                .write(now.as_micros(), &bytes)
+                .map_err(|e| e.to_string())?;
+            let (settled, total) = engine.progress();
+            eprintln!(
+                "checkpoint at {now} ({settled}/{total} jobs settled) -> {}",
+                path.display()
+            );
+            Ok(())
+        };
+
+    while let Some(now) = engine.step() {
+        if let (Some(mgr), Some(next)) = (&manager, next_ckpt) {
+            if now >= next {
+                checkpoint(&mut engine, mgr)?;
+                next_ckpt = Some(now + every.expect("manager implies interval"));
+            }
+        }
+        if stop_at.is_some_and(|stop| now >= stop) && !engine.is_done() {
+            if let Some(mgr) = &manager {
+                checkpoint(&mut engine, mgr)?;
+            }
+            let (settled, total) = engine.progress();
+            println!(
+                "stopped at {} with {settled}/{total} jobs settled; resume with --resume",
+                engine.now()
+            );
+            return Ok(());
+        }
+    }
+
+    let result = engine.finalize();
+    let mut table = TextTable::new(["metric", "value"]);
+    table.row(["completed".to_string(), result.completed.len().to_string()]);
+    table.row(["failed".to_string(), result.failed.len().to_string()]);
+    table.row([
+        "makespan (s)".to_string(),
+        fmt(result.makespan().as_secs_f64(), 0),
+    ]);
+    table.row(["rush delays".to_string(), result.total_skips.to_string()]);
+    table.row(["requeues".to_string(), result.requeues.to_string()]);
+    table.row([
+        "node failures".to_string(),
+        result.node_failures.to_string(),
+    ]);
+    if let Some(v) = result.metrics.counter_by_name("audit.violations") {
+        table.row(["audit violations".to_string(), v.to_string()]);
+    }
+    println!("{}", table.render());
     Ok(())
 }

@@ -1,0 +1,233 @@
+//! On-disk checkpoint management for long scheduling campaigns.
+//!
+//! The engine produces self-validating snapshot blobs
+//! ([`rush_simkit::snapshot`]); this module owns their life on disk:
+//!
+//! * **Atomic writes** — each checkpoint is written to a `.tmp` sibling and
+//!   renamed into place, so a crash mid-write can never leave a truncated
+//!   file under the final name. (Rename is atomic on POSIX filesystems;
+//!   the worst case is a stray `.tmp` that the next prune sweeps away.)
+//! * **Retention** — only the newest `keep` checkpoints survive; older ones
+//!   are pruned after every successful write.
+//! * **Recovery** — [`CheckpointManager::load_latest_valid`] scans newest to
+//!   oldest and returns the first blob whose envelope and CRC check out,
+//!   skipping (and reporting) corrupted or truncated files. A bit-flipped
+//!   latest checkpoint therefore degrades to the previous good one instead
+//!   of aborting the resume.
+//!
+//! File naming embeds the simulated clock zero-padded to 20 digits
+//! (`ckpt_00000000000123456789.rushsnap`), so lexicographic order equals
+//! chronological order and "newest" needs no metadata.
+
+use rush_simkit::snapshot;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Extension of finished checkpoint files.
+pub const CKPT_EXT: &str = "rushsnap";
+
+/// Manages a directory of engine snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointManager {
+    /// Creates the manager, creating `dir` if needed. `keep` is the number
+    /// of checkpoints retained (minimum 1).
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointManager {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The managed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(sim_clock_us: u64) -> String {
+        format!("ckpt_{sim_clock_us:020}.{CKPT_EXT}")
+    }
+
+    /// Writes `bytes` as the checkpoint for simulated time `sim_clock_us`,
+    /// atomically (tmp + rename), then prunes past the retention limit.
+    /// Returns the final path.
+    pub fn write(&self, sim_clock_us: u64, bytes: &[u8]) -> io::Result<PathBuf> {
+        let final_path = self.dir.join(Self::file_name(sim_clock_us));
+        let tmp_path = final_path.with_extension("tmp");
+        fs::write(&tmp_path, bytes)?;
+        fs::rename(&tmp_path, &final_path)?;
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// All finished checkpoint paths, oldest first.
+    pub fn list(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let is_ckpt = path.extension().is_some_and(|e| e == CKPT_EXT)
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("ckpt_"));
+            if is_ckpt {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Deletes everything but the newest `keep` checkpoints, plus any stray
+    /// `.tmp` leftovers from interrupted writes.
+    fn prune(&self) -> io::Result<()> {
+        let files = self.list()?;
+        if files.len() > self.keep {
+            for stale in &files[..files.len() - self.keep] {
+                fs::remove_file(stale)?;
+            }
+        }
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest checkpoint that passes envelope + CRC validation.
+    ///
+    /// Returns `Ok(None)` when the directory holds no usable checkpoint.
+    /// Corrupted candidates are reported on stderr and skipped, so recovery
+    /// falls back to the previous good snapshot automatically.
+    pub fn load_latest_valid(&self) -> io::Result<Option<(PathBuf, Vec<u8>)>> {
+        for path in self.list()?.into_iter().rev() {
+            let bytes = fs::read(&path)?;
+            match snapshot::validate(&bytes) {
+                Ok(()) => return Ok(Some((path, bytes))),
+                Err(e) => {
+                    eprintln!("checkpoint: skipping corrupted {} ({e})", path.display());
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rush_simkit::snapshot::Val;
+
+    fn blob(clock: u64) -> Vec<u8> {
+        let body = Val::map().with("clock", Val::U64(clock));
+        snapshot::encode(7, clock, 99, &body)
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rush-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let mgr = CheckpointManager::new(&dir, 3).unwrap();
+        let bytes = blob(1_000_000);
+        let path = mgr.write(1_000_000, &bytes).unwrap();
+        assert!(path
+            .to_str()
+            .unwrap()
+            .ends_with("ckpt_00000000000001000000.rushsnap"));
+        let (loaded_path, loaded) = mgr.load_latest_valid().unwrap().unwrap();
+        assert_eq!(loaded_path, path);
+        assert_eq!(loaded, bytes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_only_the_newest_k() {
+        let dir = tmp_dir("retention");
+        let mgr = CheckpointManager::new(&dir, 2).unwrap();
+        for clock in [10, 20, 30, 40] {
+            mgr.write(clock, &blob(clock)).unwrap();
+        }
+        let files = mgr.list().unwrap();
+        assert_eq!(files.len(), 2);
+        assert!(files[0]
+            .to_str()
+            .unwrap()
+            .contains("ckpt_00000000000000000030"));
+        assert!(files[1]
+            .to_str()
+            .unwrap()
+            .contains("ckpt_00000000000000000040"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_newest_falls_back_to_previous_good() {
+        let dir = tmp_dir("fallback");
+        let mgr = CheckpointManager::new(&dir, 3).unwrap();
+        let good = blob(100);
+        mgr.write(100, &good).unwrap();
+        // Newest checkpoint takes a bit flip mid-body.
+        let mut bad = blob(200);
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        mgr.write(200, &bad).unwrap();
+        let (path, bytes) = mgr.load_latest_valid().unwrap().unwrap();
+        assert!(path.to_str().unwrap().contains("ckpt_00000000000000000100"));
+        assert_eq!(bytes, good);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_newest_falls_back_too() {
+        let dir = tmp_dir("truncated");
+        let mgr = CheckpointManager::new(&dir, 3).unwrap();
+        let good = blob(100);
+        mgr.write(100, &good).unwrap();
+        let long = blob(200);
+        mgr.write(200, &long[..long.len() / 2]).unwrap();
+        let (path, bytes) = mgr.load_latest_valid().unwrap().unwrap();
+        assert!(path.to_str().unwrap().contains("00000000000000000100"));
+        assert_eq!(bytes, good);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_all_bad_directory_yields_none() {
+        let dir = tmp_dir("empty");
+        let mgr = CheckpointManager::new(&dir, 3).unwrap();
+        assert!(mgr.load_latest_valid().unwrap().is_none());
+        mgr.write(10, b"definitely not a snapshot").unwrap();
+        assert!(mgr.load_latest_valid().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_tmp_files_are_swept() {
+        let dir = tmp_dir("straytmp");
+        let mgr = CheckpointManager::new(&dir, 2).unwrap();
+        // Simulate a crash mid-write: a .tmp left behind.
+        fs::write(dir.join("ckpt_00000000000000000005.tmp"), b"partial").unwrap();
+        mgr.write(10, &blob(10)).unwrap();
+        let leftover: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect();
+        assert!(leftover.is_empty(), "{leftover:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -259,6 +259,9 @@ pub struct ExperimentSettings {
     /// off; `Some(cap)` makes each trial's `ScheduleResult.events` carry up
     /// to `cap` records for `--trace-out`-style exports.
     pub trace_capacity: Option<usize>,
+    /// Runtime invariant auditor (default: off). Enabled by the CLI's
+    /// `--audit` flag for long checkpointed campaigns.
+    pub audit: rush_sched::audit::AuditConfig,
 }
 
 impl Default for ExperimentSettings {
@@ -276,6 +279,7 @@ impl Default for ExperimentSettings {
             backfill: BackfillPolicy::Easy,
             faults: FaultConfig::none(),
             trace_capacity: None,
+            audit: rush_sched::audit::AuditConfig::default(),
         }
     }
 }
@@ -292,17 +296,18 @@ fn noise_nodes(machine: &Machine) -> Vec<NodeId> {
     (total - count..total).map(NodeId).collect()
 }
 
-/// Runs one trial of one policy, returning the raw schedule result along
-/// with the evaluated outcome (the result carries the trace and per-job
-/// launch predictions for deeper analyses).
-pub fn run_trial_raw(
+/// Builds the fully-configured engine and workload for one trial of one
+/// policy **without running it**. `run_trial_raw` drives the returned pair
+/// to completion in one call; the CLI's checkpoint loop instead calls
+/// [`SchedulerEngine::prepare`]/[`SchedulerEngine::step`] itself so it can
+/// snapshot at sim-time boundaries and resume after a crash.
+pub fn build_trial_engine(
     experiment: Experiment,
     policy: PolicyKind,
     campaign: &CampaignData,
-    reference: &RuntimeReference,
     settings: &ExperimentSettings,
     trial: usize,
-) -> (rush_sched::engine::ScheduleResult, TrialOutcome) {
+) -> (SchedulerEngine, Vec<rush_workloads::jobgen::JobRequest>) {
     let seed = settings.base_seed + trial as u64;
     let machine = trial_machine(seed);
     let noise = noise_nodes(&machine);
@@ -351,6 +356,7 @@ pub fn run_trial_raw(
         r1: settings.r1,
         placement: settings.placement,
         backfill: settings.backfill,
+        audit: settings.audit,
         faults: FaultConfig {
             seed: settings.faults.seed.wrapping_add(trial as u64),
             ..settings.faults
@@ -362,6 +368,21 @@ pub fn run_trial_raw(
     if let Some(cap) = settings.trace_capacity {
         engine = engine.with_tracing(cap);
     }
+    (engine, requests)
+}
+
+/// Runs one trial of one policy, returning the raw schedule result along
+/// with the evaluated outcome (the result carries the trace and per-job
+/// launch predictions for deeper analyses).
+pub fn run_trial_raw(
+    experiment: Experiment,
+    policy: PolicyKind,
+    campaign: &CampaignData,
+    reference: &RuntimeReference,
+    settings: &ExperimentSettings,
+    trial: usize,
+) -> (rush_sched::engine::ScheduleResult, TrialOutcome) {
+    let (mut engine, requests) = build_trial_engine(experiment, policy, campaign, settings, trial);
     let result = engine.run(&requests);
     let metrics = ScheduleMetrics::compute(&result.completed, reference, SimTime::ZERO);
     let outcome = TrialOutcome {

@@ -21,9 +21,12 @@
 //!    FCFS+EASY over repeated trials.
 //!
 //! [`report`] renders the figures' data as text tables for the bench
-//! harness; [`config`] holds the paper-matching defaults.
+//! harness; [`config`] holds the paper-matching defaults; [`checkpoint`]
+//! manages the on-disk engine snapshots behind crash-safe long campaigns
+//! (atomic writes, retention, corruption fallback).
 
 pub mod campaign_io;
+pub mod checkpoint;
 pub mod collect;
 pub mod config;
 pub mod experiments;
@@ -32,6 +35,7 @@ pub mod pipeline;
 pub mod predictor;
 pub mod report;
 
+pub use checkpoint::CheckpointManager;
 pub use collect::{run_campaign, CampaignData, ControlRun};
 pub use config::CampaignConfig;
 pub use experiments::{Experiment, ExperimentComparison, PolicyKind};

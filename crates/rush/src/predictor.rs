@@ -130,12 +130,11 @@ impl VariabilityPredictor for MlPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use rush_cluster::machine::{Machine, MachineConfig};
     use rush_ml::dataset::Dataset;
     use rush_ml::model::ModelKind;
     use rush_sched::job::JobId;
+    use rush_simkit::rng::CountedRng;
     use rush_simkit::time::SimTime;
     use rush_telemetry::store::MetricStore;
     use rush_workloads::apps::AppId;
@@ -172,7 +171,7 @@ mod tests {
         let predictor = MlPredictor::new(model, LabelScheme::Binary, None);
         let mut machine = Machine::new(MachineConfig::tiny(1));
         let store = MetricStore::new(16, 90);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = CountedRng::seeded(1);
         let mut ctx = PredictorCtx {
             machine: &mut machine,
             store: &store,
@@ -194,7 +193,7 @@ mod tests {
         let mut predictor = MlPredictor::new(model, LabelScheme::Binary, None);
         let mut machine = Machine::new(MachineConfig::tiny(2));
         let store = MetricStore::new(16, 90);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = CountedRng::seeded(2);
         let mut ctx = PredictorCtx {
             machine: &mut machine,
             store: &store,
@@ -215,7 +214,7 @@ mod tests {
         let mut predictor = MlPredictor::new(model, LabelScheme::ThreeClass, None);
         let mut machine = Machine::new(MachineConfig::tiny(3));
         let store = MetricStore::new(16, 90);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = CountedRng::seeded(3);
         let mut ctx = PredictorCtx {
             machine: &mut machine,
             store: &store,
@@ -241,7 +240,7 @@ mod tests {
         let predictor = MlPredictor::new(model, LabelScheme::Binary, Some(vec![0, 281]));
         let mut machine = Machine::new(MachineConfig::tiny(4));
         let store = MetricStore::new(16, 90);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = CountedRng::seeded(4);
         let mut ctx = PredictorCtx {
             machine: &mut machine,
             store: &store,

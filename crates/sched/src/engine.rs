@@ -13,14 +13,14 @@
 //! the job's generation, and finish events carry the generation they were
 //! scheduled under; stale events are ignored.
 
+use crate::audit::{AuditConfig, AuditPolicy, Invariant, Violation};
 use crate::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
 use crate::job::{CompletedJob, FailedJob, Job, JobId};
 use crate::policy::{QueueItem, QueueOrder};
-use crate::predictor::{PredictorCtx, VariabilityPredictor};
+use crate::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
 use crate::profile::AvailabilityProfile;
 use crate::retry::RetryPolicy;
 use crate::trace::{ScheduleTrace, TraceEvent};
-use rand::rngs::SmallRng;
 use rand::Rng;
 use rush_cluster::machine::{Machine, NodeHealth, SourceId};
 use rush_cluster::placement::{NodePool, PlacementPolicy};
@@ -28,10 +28,11 @@ use rush_cluster::topology::NodeId;
 use rush_obs::metrics::{CounterId, GaugeId, HistogramId};
 use rush_obs::profile as obs_profile;
 use rush_obs::{EventRecord, EventTracer, FallbackReason, MetricsRegistry, ObsEvent, ProfileScope};
-use rush_simkit::event::{EventKey, EventQueue, QueueStats};
+use rush_simkit::event::{EventEntry, EventKey, EventQueue, QueueStats};
 use rush_simkit::fault::{FaultConfig, FaultKind, FaultSchedule};
 use rush_simkit::histogram::Histogram;
-use rush_simkit::rng::RngStreams;
+use rush_simkit::rng::{CountedRng, RngStreams};
+use rush_simkit::snapshot::{self, Restorable, Snapshot, SnapshotError, Val};
 use rush_simkit::time::{SimDuration, SimTime};
 use rush_telemetry::aggregate::window_quality;
 use rush_telemetry::collector::Sampler;
@@ -94,6 +95,55 @@ impl Default for EngineTuning {
     }
 }
 
+/// Circuit breaker over predictor consultations. A predictor that fails
+/// persistently (model service down, feature pipeline wedged) would
+/// otherwise be re-consulted — and re-fail — on every `Start()` decision;
+/// the breaker opens after `threshold` *consecutive* model errors and
+/// short-circuits consultations straight to the EASY fallback until a
+/// cooldown expires, after which one half-open probe decides whether to
+/// close it again. Telemetry-gap fallbacks never count: a hollow window is
+/// the environment's fault, not the model's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive model errors that open the breaker. Zero disables the
+    /// breaker entirely (the default — and the paper's behavior).
+    pub threshold: u32,
+    /// How long an open breaker suppresses consultations before the
+    /// half-open probe.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 0,
+            cooldown: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// Live circuit-breaker state (exported as the
+/// `sched.predictor_breaker_state` gauge: closed 0, open 1, half-open 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Consultations flow normally.
+    Closed,
+    /// Consultations are suppressed until the embedded deadline.
+    Open(SimTime),
+    /// The cooldown expired; the next consultation is a probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn gauge_value(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open(_) => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        }
+    }
+}
+
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
@@ -133,6 +183,10 @@ pub struct SchedulerConfig {
     pub min_telemetry_coverage: f64,
     /// Hot-path optimization toggles (default: all enabled).
     pub tuning: EngineTuning,
+    /// Runtime invariant auditing (default: off).
+    pub audit: AuditConfig,
+    /// Predictor-consultation circuit breaker (default: disabled).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -153,6 +207,8 @@ impl Default for SchedulerConfig {
             predictor_window: SimDuration::from_mins(5),
             min_telemetry_coverage: 0.5,
             tuning: EngineTuning::default(),
+            audit: AuditConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -183,6 +239,9 @@ struct SchedCounters {
     wait_s: HistogramId,
     run_s: HistogramId,
     retry_backoff_s: HistogramId,
+    audit_checks: CounterId,
+    audit_violations: CounterId,
+    breaker_state: GaugeId,
 }
 
 impl SchedCounters {
@@ -210,6 +269,9 @@ impl SchedCounters {
             run_s: reg.register_histogram("sched.run_s", Histogram::for_seconds()),
             retry_backoff_s: reg
                 .register_histogram("sched.retry_backoff_s", Histogram::for_seconds()),
+            audit_checks: reg.register_counter("audit.checks"),
+            audit_violations: reg.register_counter("audit.violations"),
+            breaker_state: reg.register_gauge("sched.predictor_breaker_state"),
         }
     }
 }
@@ -295,6 +357,60 @@ enum Ev {
     Trust(u32),
 }
 
+impl Ev {
+    /// Snapshot encoding: `[tag, args...]` with stable integer tags.
+    fn to_val(self) -> Val {
+        Val::List(match self {
+            Ev::Submit(k) => vec![Val::U64(0), Val::U64(k as u64)],
+            Ev::Finish(id, gen) => vec![Val::U64(1), Val::U64(id.0), Val::U64(gen)],
+            Ev::Tick => vec![Val::U64(2)],
+            Ev::Fault(kind) => {
+                let (code, arg) = match kind {
+                    FaultKind::NodeDown(n) => (0, n),
+                    FaultKind::NodeUp(n) => (1, n),
+                    FaultKind::BlackoutStart => (2, 0),
+                    FaultKind::BlackoutEnd => (3, 0),
+                    FaultKind::CorruptionStart => (4, 0),
+                    FaultKind::CorruptionEnd => (5, 0),
+                };
+                vec![Val::U64(3), Val::U64(code), Val::U64(arg as u64)]
+            }
+            Ev::Retry(id) => vec![Val::U64(4), Val::U64(id.0)],
+            Ev::Trust(n) => vec![Val::U64(5), Val::U64(n as u64)],
+        })
+    }
+
+    /// Inverse of [`Ev::to_val`].
+    fn from_val(v: &Val) -> Result<Ev, SnapshotError> {
+        let items = v.as_list()?;
+        let arg = |i: usize| -> Result<u64, SnapshotError> {
+            items
+                .get(i)
+                .ok_or_else(|| SnapshotError::Schema("short event".to_string()))?
+                .as_u64()
+        };
+        Ok(match arg(0)? {
+            0 => Ev::Submit(arg(1)? as usize),
+            1 => Ev::Finish(JobId(arg(1)?), arg(2)?),
+            2 => Ev::Tick,
+            3 => Ev::Fault(match arg(1)? {
+                0 => FaultKind::NodeDown(arg(2)? as u32),
+                1 => FaultKind::NodeUp(arg(2)? as u32),
+                2 => FaultKind::BlackoutStart,
+                3 => FaultKind::BlackoutEnd,
+                4 => FaultKind::CorruptionStart,
+                5 => FaultKind::CorruptionEnd,
+                other => {
+                    return Err(SnapshotError::Schema(format!("bad fault code {other}")));
+                }
+            }),
+            4 => Ev::Retry(JobId(arg(1)?)),
+            5 => Ev::Trust(arg(1)? as u32),
+            other => return Err(SnapshotError::Schema(format!("bad event tag {other}"))),
+        })
+    }
+}
+
 /// The outcome of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ScheduleResult {
@@ -370,9 +486,26 @@ pub struct SchedulerEngine {
     completed: Vec<CompletedJob>,
     failed: Vec<FailedJob>,
     events: EventQueue<Ev>,
-    rng_place: SmallRng,
-    rng_run: SmallRng,
-    rng_pred: SmallRng,
+    rng_place: CountedRng,
+    rng_run: CountedRng,
+    rng_pred: CountedRng,
+    /// The master seed the RNG streams were derived from; snapshots embed
+    /// it so a resume into a differently-seeded engine is rejected.
+    master_seed: u64,
+    /// The job set, built by [`SchedulerEngine::prepare`]. Jobs are a pure
+    /// function of the requests and config, so snapshots reference them by
+    /// id instead of serializing them.
+    jobs: Vec<Job>,
+    /// `submit_order[k]` = index into `jobs` of the k-th arrival.
+    submit_order: Vec<usize>,
+    first_submit: SimTime,
+    request_count: usize,
+    /// Nodes permanently held by the experiment's noise job: the audit's
+    /// node-conservation bound must not count them as leaked.
+    reserved_nodes: usize,
+    breaker: BreakerState,
+    /// Consecutive predictor model errors (resets on any success).
+    breaker_failures: u32,
     max_queue_len: usize,
     pending_submits: usize,
     /// Whether `queue` may be out of R1 order (incremental mode re-sorts
@@ -421,9 +554,17 @@ impl SchedulerEngine {
             completed: Vec::new(),
             failed: Vec::new(),
             events: EventQueue::new(),
-            rng_place: streams.stream("sched/place"),
-            rng_run: streams.stream("sched/run"),
-            rng_pred: streams.stream("sched/predict"),
+            rng_place: streams.counted_stream("sched/place"),
+            rng_run: streams.counted_stream("sched/run"),
+            rng_pred: streams.counted_stream("sched/predict"),
+            master_seed: seed,
+            jobs: Vec::new(),
+            submit_order: Vec::new(),
+            first_submit: SimTime::ZERO,
+            request_count: 0,
+            reserved_nodes: 0,
+            breaker: BreakerState::Closed,
+            breaker_failures: 0,
             max_queue_len: 0,
             pending_submits: 0,
             queue_dirty: false,
@@ -445,6 +586,7 @@ impl SchedulerEngine {
     /// Starts the experiment's noise job on `nodes` (removed from the
     /// schedulable pool, per Section VI-A's 1/16th reservation).
     pub fn with_noise_job(mut self, nodes: Vec<NodeId>, max_gbps: f64) -> Self {
+        self.reserved_nodes += nodes.len();
         self.pool.reserve_permanently(&nodes);
         self.machine.enable_noise_job(nodes, max_gbps);
         self
@@ -456,8 +598,23 @@ impl SchedulerEngine {
     }
 
     /// Runs the whole job stream to completion and returns the result.
+    ///
+    /// Equivalent to [`prepare`](Self::prepare), stepping every event, then
+    /// [`finalize`](Self::finalize) — the decomposed form exists so a
+    /// checkpointing driver can pause between events.
     pub fn run(&mut self, requests: &[JobRequest]) -> ScheduleResult {
+        self.prepare(requests);
+        while self.step().is_some() {}
+        self.finalize()
+    }
+
+    /// Builds the job set and seeds the event heap. Must be called exactly
+    /// once before [`step`](Self::step) — or before
+    /// [`resume`](Self::resume), which needs the identical `requests` to
+    /// reconstruct the jobs a snapshot references by id.
+    pub fn prepare(&mut self, requests: &[JobRequest]) {
         assert!(!requests.is_empty(), "no jobs to schedule");
+        assert!(self.jobs.is_empty(), "prepare called twice");
         let capacity = self.pool.capacity() as u32;
         for req in requests {
             assert!(
@@ -468,22 +625,29 @@ impl SchedulerEngine {
             );
         }
 
-        let jobs: Vec<Job> = requests
+        self.jobs = requests
             .iter()
             .map(|r| Job::from_request(r, self.config.est_factor, self.config.skip_threshold))
             .collect();
-        let first_submit = jobs.iter().map(|j| j.submit_at).min().expect("non-empty");
+        self.request_count = requests.len();
+        self.first_submit = self
+            .jobs
+            .iter()
+            .map(|j| j.submit_at)
+            .min()
+            .expect("non-empty");
 
         // Submissions are chained: only the next arrival lives in the heap
         // at any moment, keeping the heap O(live events) instead of
         // O(total jobs). `submit_order[k]` is the request index of the k-th
         // arrival (ties by request order, matching the old all-upfront
         // scheduling, whose seq numbers followed request order).
-        let mut submit_order: Vec<usize> = (0..jobs.len()).collect();
-        submit_order.sort_by_key(|&i| (jobs[i].submit_at, i));
+        let mut submit_order: Vec<usize> = (0..self.jobs.len()).collect();
+        submit_order.sort_by_key(|&i| (self.jobs[i].submit_at, i));
+        self.submit_order = submit_order;
         self.events
-            .schedule(jobs[submit_order[0]].submit_at, Ev::Submit(0));
-        self.pending_submits = jobs.len();
+            .schedule(self.jobs[self.submit_order[0]].submit_at, Ev::Submit(0));
+        self.pending_submits = self.jobs.len();
         self.events.schedule(SimTime::ZERO, Ev::Tick);
 
         // Inject the reproducible fault timeline. The schedule is a pure
@@ -494,37 +658,43 @@ impl SchedulerEngine {
         for fault in fault_schedule.events() {
             self.events.schedule(fault.at, Ev::Fault(fault.kind));
         }
+    }
 
-        while let Some(entry) = self.events.pop() {
-            let _tick_scope = obs_profile::scope(ProfileScope::EngineTick);
-            let now = entry.time;
-            match entry.event {
-                Ev::Submit(k) => {
-                    // Chain the next arrival before anything else so the
-                    // heap never runs dry while submissions remain.
-                    if let Some(&next) = submit_order.get(k + 1) {
-                        self.events
-                            .schedule(jobs[next].submit_at, Ev::Submit(k + 1));
-                    }
-                    let i = submit_order[k];
-                    self.advance_world(now);
-                    self.pending_submits -= 1;
-                    self.record(now, TraceEvent::Submitted(jobs[i].id));
-                    self.registry.inc(self.counters.jobs_submitted);
-                    self.tracer
-                        .emit(now, ObsEvent::JobSubmitted { job: jobs[i].id.0 });
-                    self.enqueue_job(jobs[i].clone());
-                    self.schedule_pass(now);
+    /// Delivers the next event. Returns its firing time, or `None` when the
+    /// run is complete (the heap is empty).
+    pub fn step(&mut self) -> Option<SimTime> {
+        let entry = self.events.pop()?;
+        let _tick_scope = obs_profile::scope(ProfileScope::EngineTick);
+        let now = entry.time;
+        match entry.event {
+            Ev::Submit(k) => {
+                // Chain the next arrival before anything else so the
+                // heap never runs dry while submissions remain.
+                if let Some(&next) = self.submit_order.get(k + 1) {
+                    self.events
+                        .schedule(self.jobs[next].submit_at, Ev::Submit(k + 1));
                 }
-                Ev::Finish(id, generation) => {
-                    let valid = self
-                        .running
-                        .get(&id)
-                        .map(|r| r.generation == generation)
-                        .unwrap_or(false);
-                    if !valid {
-                        continue; // superseded by a progress update
-                    }
+                let i = self.submit_order[k];
+                self.advance_world(now);
+                self.pending_submits -= 1;
+                self.record(now, TraceEvent::Submitted(self.jobs[i].id));
+                self.registry.inc(self.counters.jobs_submitted);
+                self.tracer.emit(
+                    now,
+                    ObsEvent::JobSubmitted {
+                        job: self.jobs[i].id.0,
+                    },
+                );
+                self.enqueue_job(self.jobs[i].clone());
+                self.schedule_pass(now);
+            }
+            Ev::Finish(id, generation) => {
+                let valid = self
+                    .running
+                    .get(&id)
+                    .map(|r| r.generation == generation)
+                    .unwrap_or(false);
+                if valid {
                     self.advance_world(now);
                     self.finish_job(id, now);
                     // The finished job's released load changes contention
@@ -534,54 +704,83 @@ impl SchedulerEngine {
                     self.refresh_running_speeds(now, None);
                     self.schedule_pass(now);
                 }
-                Ev::Tick => {
+                // else: superseded by a progress update
+            }
+            Ev::Tick => {
+                self.advance_world(now);
+                self.refresh_running_speeds(now, None);
+                self.schedule_pass(now);
+                let work_remains =
+                    !self.queue.is_empty() || !self.running.is_empty() || self.pending_submits > 0;
+                if work_remains {
+                    self.events.schedule(now + self.config.tick, Ev::Tick);
+                }
+            }
+            Ev::Fault(kind) => {
+                self.advance_world(now);
+                self.handle_fault(kind, now);
+            }
+            Ev::Retry(id) => {
+                // The job's backoff expired; it is already queued, so
+                // one scheduling pass is all a retry needs.
+                if self.queue.iter().any(|j| j.id == id) {
                     self.advance_world(now);
-                    self.refresh_running_speeds(now, None);
                     self.schedule_pass(now);
-                    let work_remains = !self.queue.is_empty()
-                        || !self.running.is_empty()
-                        || self.pending_submits > 0;
-                    if work_remains {
-                        self.events.schedule(now + self.config.tick, Ev::Tick);
-                    }
                 }
-                Ev::Fault(kind) => {
+            }
+            Ev::Trust(node) => {
+                // Probation over — unless the node crashed again while
+                // suspect, in which case its next NodeUp restarts the
+                // cycle and this event is stale.
+                let node = NodeId(node);
+                if self.machine.node_health(node) == NodeHealth::Suspect {
                     self.advance_world(now);
-                    self.handle_fault(kind, now);
-                }
-                Ev::Retry(id) => {
-                    // The job's backoff expired; it is already queued, so
-                    // one scheduling pass is all a retry needs.
-                    if self.queue.iter().any(|j| j.id == id) {
-                        self.advance_world(now);
-                        self.schedule_pass(now);
-                    }
-                }
-                Ev::Trust(node) => {
-                    // Probation over — unless the node crashed again while
-                    // suspect, in which case its next NodeUp restarts the
-                    // cycle and this event is stale.
-                    let node = NodeId(node);
-                    if self.machine.node_health(node) == NodeHealth::Suspect {
-                        self.advance_world(now);
-                        self.machine.trust_node(node);
-                        self.pool.mark_up(node);
-                        self.registry.inc(self.counters.nodes_trusted);
-                        self.tracer
-                            .emit(now, ObsEvent::NodeTrusted { node: node.0 });
-                        self.schedule_pass(now);
-                    }
+                    self.machine.trust_node(node);
+                    self.pool.mark_up(node);
+                    self.registry.inc(self.counters.nodes_trusted);
+                    self.tracer
+                        .emit(now, ObsEvent::NodeTrusted { node: node.0 });
+                    self.schedule_pass(now);
                 }
             }
         }
+        if self.config.audit.enabled() && self.config.audit.every_event {
+            self.audit_now(now);
+        }
+        Some(now)
+    }
 
+    /// Simulation clock: the firing time of the last delivered event.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// True once the event heap has drained ([`step`](Self::step) would
+    /// return `None`).
+    pub fn is_done(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `(jobs settled, jobs submitted)` — a cheap progress indicator for
+    /// checkpointing drivers.
+    pub fn progress(&self) -> (usize, usize) {
+        (self.completed.len() + self.failed.len(), self.request_count)
+    }
+
+    /// Collects the run's outcome. Call only after [`step`](Self::step)
+    /// returns `None`; a paused run has live jobs and must be snapshotted
+    /// instead.
+    pub fn finalize(&mut self) -> ScheduleResult {
+        if self.config.audit.enabled() {
+            self.audit_now(self.events.now());
+        }
         assert!(
             self.queue.is_empty() && self.running.is_empty(),
             "run loop ended with unfinished jobs"
         );
         assert_eq!(
             self.completed.len() + self.failed.len(),
-            requests.len(),
+            self.request_count,
             "every submitted job must end completed or failed"
         );
         let last_end = self
@@ -589,7 +788,7 @@ impl SchedulerEngine {
             .iter()
             .map(|c| c.end_at)
             .max()
-            .unwrap_or(first_submit);
+            .unwrap_or(self.first_submit);
         self.registry
             .set_gauge(self.counters.max_queue_len, self.max_queue_len as f64);
         let queue_stats = self.events.stats();
@@ -613,7 +812,7 @@ impl SchedulerEngine {
             total_skips: self.registry.counter(self.counters.skips),
             max_queue_len: self.max_queue_len,
             predictor_name: self.predictor.name().to_string(),
-            first_submit,
+            first_submit: self.first_submit,
             last_end,
             fallback_decisions,
             requeues: self.registry.counter(self.counters.requeues),
@@ -1053,6 +1252,21 @@ impl SchedulerEngine {
         if skips >= job.skip_threshold {
             return StartConsult::BudgetExhausted;
         }
+        // Circuit breaker: while open, the model is not consulted at all
+        // (no predictor RNG draw, no model call) and the decision falls
+        // back exactly as a model error would. An expired deadline flips to
+        // half-open: this consultation proceeds as the probe.
+        if self.config.breaker.threshold > 0 {
+            match self.breaker {
+                BreakerState::Open(until) if now < until => {
+                    return StartConsult::Fallback(FallbackReason::ModelError);
+                }
+                BreakerState::Open(_) => {
+                    self.set_breaker(BreakerState::HalfOpen);
+                }
+                BreakerState::Closed | BreakerState::HalfOpen => {}
+            }
+        }
         let _scope = obs_profile::scope(ProfileScope::PredictorEval);
         let window_start = now.saturating_sub(self.config.predictor_window);
         let quality = window_quality(&self.store, nodes, window_start, now);
@@ -1060,6 +1274,8 @@ impl SchedulerEngine {
             self.config.min_telemetry_coverage,
             self.config.predictor_window,
         ) {
+            // A hollow telemetry window says nothing about the model's
+            // health, so it neither trips the breaker nor closes it.
             return StartConsult::Fallback(FallbackReason::TelemetryGap);
         }
         let mut ctx = PredictorCtx {
@@ -1069,9 +1285,36 @@ impl SchedulerEngine {
             rng: &mut self.rng_pred,
         };
         match self.predictor.predict(job, nodes, &mut ctx) {
-            Ok(class) => StartConsult::Verdict(class),
-            Err(_) => StartConsult::Fallback(FallbackReason::ModelError),
+            Ok(class) => {
+                if self.config.breaker.threshold > 0
+                    && (self.breaker != BreakerState::Closed || self.breaker_failures > 0)
+                {
+                    self.breaker_failures = 0;
+                    self.set_breaker(BreakerState::Closed);
+                }
+                StartConsult::Verdict(class)
+            }
+            Err(_) => {
+                if self.config.breaker.threshold > 0 {
+                    self.breaker_failures += 1;
+                    // A failed half-open probe re-opens immediately; a
+                    // closed breaker waits for the threshold.
+                    if self.breaker == BreakerState::HalfOpen
+                        || self.breaker_failures >= self.config.breaker.threshold
+                    {
+                        self.set_breaker(BreakerState::Open(now + self.config.breaker.cooldown));
+                    }
+                }
+                StartConsult::Fallback(FallbackReason::ModelError)
+            }
         }
+    }
+
+    /// Transitions the breaker and mirrors it onto its gauge.
+    fn set_breaker(&mut self, state: BreakerState) {
+        self.breaker = state;
+        self.registry
+            .set_gauge(self.counters.breaker_state, state.gauge_value());
     }
 
     /// Algorithm 2: the modified `Start()`. Returns `true` if the job
@@ -1209,6 +1452,605 @@ impl SchedulerEngine {
         // A job starting changes contention for everyone else.
         self.refresh_running_speeds(now, Some(id));
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / resume
+    // ------------------------------------------------------------------
+
+    /// Configuration fingerprint embedded in snapshots. Covers everything
+    /// that shapes the deterministic trajectory: the scheduler config, the
+    /// machine topology, the schedulable pool size and the job count.
+    fn fingerprint(&self) -> u64 {
+        snapshot::fingerprint_str(&format!(
+            "{:?}|{:?}|{}|{}",
+            self.config,
+            self.machine.tree().config(),
+            self.pool.capacity(),
+            self.request_count
+        ))
+    }
+
+    /// Captures the complete dynamic state as a versioned, CRC-protected
+    /// snapshot. The engine must be [`prepare`](Self::prepare)d; jobs are
+    /// referenced by id (they are a pure function of the requests), RNG
+    /// streams by their draw counts (they are a pure function of the master
+    /// seed), so a resumed engine replays the remaining trajectory
+    /// byte-identically to an uninterrupted one.
+    pub fn snapshot(&self) -> Vec<u8> {
+        assert!(!self.jobs.is_empty(), "snapshot before prepare");
+        let t = |at: SimTime| Val::U64(at.as_micros());
+        let nodes_val =
+            |nodes: &[NodeId]| Val::List(nodes.iter().map(|n| Val::U64(n.0 as u64)).collect());
+        let class_val =
+            |c: Option<VariabilityClass>| Val::I64(c.map(|c| c.index() as i64).unwrap_or(-1));
+
+        let mut run_ids: Vec<JobId> = self.running.keys().copied().collect();
+        run_ids.sort_unstable();
+        let running: Vec<Val> = run_ids
+            .iter()
+            .map(|id| {
+                let r = &self.running[id];
+                Val::List(vec![
+                    Val::U64(r.job.id.0),
+                    nodes_val(&r.nodes),
+                    t(r.start_at),
+                    class_val(r.launch_prediction),
+                    Val::from_f64(r.total_work),
+                    Val::from_f64(r.remaining_work),
+                    Val::from_f64(r.speed),
+                    t(r.last_update),
+                    Val::U64(r.generation),
+                    Val::U64(r.skips as u64),
+                    Val::U64(r.finish_key.raw()),
+                    t(r.finish_at),
+                ])
+            })
+            .collect();
+
+        let sorted_pairs = |m: &HashMap<JobId, u32>| {
+            let mut kv: Vec<(u64, u32)> = m.iter().map(|(k, &v)| (k.0, v)).collect();
+            kv.sort_unstable();
+            Val::List(
+                kv.into_iter()
+                    .map(|(k, v)| Val::List(vec![Val::U64(k), Val::U64(v as u64)]))
+                    .collect(),
+            )
+        };
+        let delayed = {
+            let mut kv: Vec<(u64, u64)> = self
+                .delayed_until
+                .iter()
+                .map(|(k, v)| (k.0, v.as_micros()))
+                .collect();
+            kv.sort_unstable();
+            Val::List(
+                kv.into_iter()
+                    .map(|(k, v)| Val::List(vec![Val::U64(k), Val::U64(v)]))
+                    .collect(),
+            )
+        };
+
+        let completed: Vec<Val> = self
+            .completed
+            .iter()
+            .map(|c| {
+                Val::List(vec![
+                    Val::U64(c.job.id.0),
+                    t(c.start_at),
+                    t(c.end_at),
+                    nodes_val(&c.nodes),
+                    Val::U64(c.skips as u64),
+                    class_val(c.launch_prediction),
+                ])
+            })
+            .collect();
+        let failed: Vec<Val> = self
+            .failed
+            .iter()
+            .map(|f| {
+                Val::List(vec![
+                    Val::U64(f.job.id.0),
+                    Val::U64(f.attempts as u64),
+                    t(f.last_killed_at),
+                ])
+            })
+            .collect();
+
+        // Physical heap entries sorted by insertion seq: (time, seq) is a
+        // total order, so the restored heap pops identically regardless of
+        // the captured layout — sorting just makes the bytes canonical.
+        let mut entries: Vec<&EventEntry<Ev>> = self.events.entries().collect();
+        entries.sort_unstable_by_key(|e| e.seq);
+        let stats = self.events.stats();
+        let events_val = Val::map()
+            .with(
+                "entries",
+                Val::List(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Val::List(vec![
+                                Val::U64(e.time.as_micros()),
+                                Val::U64(e.seq),
+                                e.event.to_val(),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "dead",
+                Val::List(self.events.dead_seqs().into_iter().map(Val::U64).collect()),
+            )
+            .with("next_seq", Val::U64(stats.scheduled))
+            .with("delivered", Val::U64(stats.delivered))
+            .with("cancelled", Val::U64(stats.cancelled))
+            .with("peak_heap", Val::U64(stats.peak_heap as u64))
+            .with("compactions", Val::U64(stats.compactions));
+
+        let breaker = match self.breaker {
+            BreakerState::Closed => Val::List(vec![Val::U64(0), Val::U64(0)]),
+            BreakerState::Open(until) => Val::List(vec![Val::U64(1), t(until)]),
+            BreakerState::HalfOpen => Val::List(vec![Val::U64(2), Val::U64(0)]),
+        };
+
+        let body = Val::map()
+            .with(
+                "queue",
+                Val::List(self.queue.iter().map(|j| Val::U64(j.id.0)).collect()),
+            )
+            .with("running", Val::List(running))
+            .with("skip_table", sorted_pairs(&self.skip_table))
+            .with("delayed_until", delayed)
+            .with("attempts", sorted_pairs(&self.attempts))
+            .with("completed", Val::List(completed))
+            .with("failed", Val::List(failed))
+            .with("events", events_val)
+            .with("rng_place", Val::U64(self.rng_place.draws()))
+            .with("rng_run", Val::U64(self.rng_run.draws()))
+            .with("rng_pred", Val::U64(self.rng_pred.draws()))
+            .with("breaker", breaker)
+            .with("breaker_failures", Val::U64(self.breaker_failures as u64))
+            .with("max_queue_len", Val::U64(self.max_queue_len as u64))
+            .with("pending_submits", Val::U64(self.pending_submits as u64))
+            .with("queue_dirty", Val::U64(u64::from(self.queue_dirty)))
+            .with("next_gen", Val::U64(self.next_gen))
+            .with("machine", self.machine.snapshot_state())
+            .with("pool", self.pool.snapshot_state())
+            .with("store", self.store.to_val())
+            .with("sampler", self.sampler.snapshot_state())
+            .with("tracer", self.tracer.to_val())
+            .with("registry", self.registry.to_val())
+            .with("trace", self.trace.to_val());
+
+        snapshot::encode(
+            self.master_seed,
+            self.events.now().as_micros(),
+            self.fingerprint(),
+            &body,
+        )
+    }
+
+    /// Restores the engine to a snapshotted state. [`prepare`](Self::prepare)
+    /// must have run first with the *identical* requests — the snapshot
+    /// references jobs by id and validates the configuration fingerprint;
+    /// a mismatched seed, config, topology or job count is rejected with
+    /// [`SnapshotError::ConfigMismatch`]. On any error the engine is left
+    /// untouched (parse first, commit last).
+    pub fn resume(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        assert!(
+            !self.jobs.is_empty(),
+            "resume before prepare: call prepare(requests) first"
+        );
+        let env = snapshot::decode(bytes)?;
+        if env.master_seed != self.master_seed || env.fingerprint != self.fingerprint() {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        let b = &env.body;
+        let now = SimTime::from_micros(env.sim_clock_us);
+
+        let by_id: HashMap<JobId, usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.id, i))
+            .collect();
+        let job_of = |id: u64| -> Result<Job, SnapshotError> {
+            by_id
+                .get(&JobId(id))
+                .map(|&i| self.jobs[i].clone())
+                .ok_or_else(|| SnapshotError::Schema(format!("unknown job id {id}")))
+        };
+        let nodes_of = |v: &Val| -> Result<Vec<NodeId>, SnapshotError> {
+            v.as_list()?
+                .iter()
+                .map(|n| Ok(NodeId(n.as_u64()? as u32)))
+                .collect()
+        };
+        let class_of = |v: &Val| -> Result<Option<VariabilityClass>, SnapshotError> {
+            let i = v.as_i64()?;
+            Ok(if i < 0 {
+                None
+            } else {
+                Some(VariabilityClass::from_index(i as u32))
+            })
+        };
+        let item = |l: &[Val], i: usize| -> Result<Val, SnapshotError> {
+            l.get(i)
+                .cloned()
+                .ok_or_else(|| SnapshotError::Schema("short record".to_string()))
+        };
+
+        // Parse everything into locals first so a malformed body can never
+        // leave the engine half-restored.
+        let mut queue = Vec::new();
+        for id in b.l("queue")? {
+            queue.push(job_of(id.as_u64()?)?);
+        }
+
+        let mut running = HashMap::new();
+        for rv in b.l("running")? {
+            let l = rv.as_list()?;
+            if l.len() != 12 {
+                return Err(SnapshotError::Schema("running record".to_string()));
+            }
+            let job = job_of(l[0].as_u64()?)?;
+            let id = job.id;
+            running.insert(
+                id,
+                RunningJob {
+                    job,
+                    nodes: nodes_of(&l[1])?,
+                    start_at: SimTime::from_micros(l[2].as_u64()?),
+                    launch_prediction: class_of(&l[3])?,
+                    total_work: l[4].as_f64()?,
+                    remaining_work: l[5].as_f64()?,
+                    speed: l[6].as_f64()?,
+                    last_update: SimTime::from_micros(l[7].as_u64()?),
+                    generation: l[8].as_u64()?,
+                    skips: l[9].as_u64()? as u32,
+                    finish_key: EventKey::from_raw(l[10].as_u64()?),
+                    finish_at: SimTime::from_micros(l[11].as_u64()?),
+                },
+            );
+        }
+
+        let pairs_of = |v: &[Val]| -> Result<Vec<(u64, u64)>, SnapshotError> {
+            v.iter()
+                .map(|p| {
+                    let l = p.as_list()?;
+                    Ok((item(l, 0)?.as_u64()?, item(l, 1)?.as_u64()?))
+                })
+                .collect()
+        };
+        let skip_table: HashMap<JobId, u32> = pairs_of(b.l("skip_table")?)?
+            .into_iter()
+            .map(|(k, v)| (JobId(k), v as u32))
+            .collect();
+        let delayed_until: HashMap<JobId, SimTime> = pairs_of(b.l("delayed_until")?)?
+            .into_iter()
+            .map(|(k, v)| (JobId(k), SimTime::from_micros(v)))
+            .collect();
+        let attempts: HashMap<JobId, u32> = pairs_of(b.l("attempts")?)?
+            .into_iter()
+            .map(|(k, v)| (JobId(k), v as u32))
+            .collect();
+
+        let mut completed = Vec::new();
+        for cv in b.l("completed")? {
+            let l = cv.as_list()?;
+            if l.len() != 6 {
+                return Err(SnapshotError::Schema("completed record".to_string()));
+            }
+            let job = job_of(l[0].as_u64()?)?;
+            completed.push(CompletedJob {
+                base_runtime: job.base_runtime(),
+                job,
+                start_at: SimTime::from_micros(l[1].as_u64()?),
+                end_at: SimTime::from_micros(l[2].as_u64()?),
+                nodes: nodes_of(&l[3])?,
+                skips: l[4].as_u64()? as u32,
+                launch_prediction: class_of(&l[5])?,
+            });
+        }
+        let mut failed = Vec::new();
+        for fv in b.l("failed")? {
+            let l = fv.as_list()?;
+            if l.len() != 3 {
+                return Err(SnapshotError::Schema("failed record".to_string()));
+            }
+            failed.push(FailedJob {
+                job: job_of(l[0].as_u64()?)?,
+                attempts: l[1].as_u64()? as u32,
+                last_killed_at: SimTime::from_micros(l[2].as_u64()?),
+            });
+        }
+
+        let ev = b.get("events")?;
+        let mut entries: Vec<EventEntry<Ev>> = Vec::new();
+        for e in ev.l("entries")? {
+            let l = e.as_list()?;
+            if l.len() != 3 {
+                return Err(SnapshotError::Schema("event entry".to_string()));
+            }
+            entries.push(EventEntry {
+                time: SimTime::from_micros(l[0].as_u64()?),
+                seq: l[1].as_u64()?,
+                event: Ev::from_val(&l[2])?,
+            });
+        }
+        let dead: Vec<u64> = ev
+            .l("dead")?
+            .iter()
+            .map(|d| d.as_u64())
+            .collect::<Result<_, _>>()?;
+        let events = EventQueue::restore(
+            entries,
+            dead,
+            ev.u("next_seq")?,
+            now,
+            ev.u("delivered")?,
+            ev.u("cancelled")?,
+            ev.u("peak_heap")? as usize,
+            ev.u("compactions")?,
+        );
+
+        let bl = b.l("breaker")?;
+        let breaker = match (item(bl, 0)?.as_u64()?, item(bl, 1)?.as_u64()?) {
+            (0, _) => BreakerState::Closed,
+            (1, until) => BreakerState::Open(SimTime::from_micros(until)),
+            (2, _) => BreakerState::HalfOpen,
+            (other, _) => {
+                return Err(SnapshotError::Schema(format!("bad breaker state {other}")));
+            }
+        };
+
+        let store = MetricStore::from_val(b.get("store")?)?;
+        let tracer = EventTracer::from_val(b.get("tracer")?)?;
+        let registry = MetricsRegistry::from_val(b.get("registry")?)?;
+        let trace = ScheduleTrace::from_val(b.get("trace")?)?;
+
+        // Components that restore in place validate their own shape; they
+        // run after all pure parsing so their mutations are the commit.
+        self.machine.restore_state(b.get("machine")?)?;
+        self.pool.restore_state(b.get("pool")?)?;
+        self.sampler.restore_state(b.get("sampler")?)?;
+
+        let streams = RngStreams::new(self.master_seed);
+        self.rng_place = CountedRng::restore(streams.stream_seed("sched/place"), b.u("rng_place")?);
+        self.rng_run = CountedRng::restore(streams.stream_seed("sched/run"), b.u("rng_run")?);
+        self.rng_pred = CountedRng::restore(streams.stream_seed("sched/predict"), b.u("rng_pred")?);
+
+        self.queue = queue;
+        self.running = running;
+        self.skip_table = skip_table;
+        self.delayed_until = delayed_until;
+        self.attempts = attempts;
+        self.completed = completed;
+        self.failed = failed;
+        self.events = events;
+        self.breaker = breaker;
+        self.breaker_failures = b.u("breaker_failures")? as u32;
+        self.max_queue_len = b.u("max_queue_len")? as usize;
+        self.pending_submits = b.u("pending_submits")? as usize;
+        self.queue_dirty = b.u("queue_dirty")? != 0;
+        self.next_gen = b.u("next_gen")?;
+        self.store = store;
+        self.tracer = tracer;
+        self.registry = registry;
+        self.trace = trace;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant auditing
+    // ------------------------------------------------------------------
+
+    /// Current circuit-breaker state (for tests and reports).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker
+    }
+
+    /// Runs the full invariant catalog now, applying the configured
+    /// [`AuditPolicy`] to anything found. Called automatically after every
+    /// event under [`AuditConfig::every_event`]; checkpointing drivers call
+    /// it at snapshot boundaries. Returns the violations (before repair)
+    /// so callers can report them.
+    pub fn audit_now(&mut self, now: SimTime) -> Vec<Violation> {
+        if !self.config.audit.enabled() {
+            return Vec::new();
+        }
+        self.registry
+            .add(self.counters.audit_checks, Invariant::COUNT);
+        let violations = self.check_invariants();
+        if violations.is_empty() {
+            return violations;
+        }
+        for v in &violations {
+            self.registry.inc(self.counters.audit_violations);
+            self.tracer.emit(
+                now,
+                ObsEvent::AuditViolation {
+                    invariant: v.invariant.index(),
+                    detail: v.detail,
+                },
+            );
+        }
+        match self.config.audit.policy {
+            AuditPolicy::Off => {}
+            AuditPolicy::Log => {
+                for v in &violations {
+                    eprintln!("audit[{now}]: {v}");
+                }
+            }
+            AuditPolicy::FailFast => panic!("audit failure at {now}: {}", violations[0]),
+            AuditPolicy::Repair => self.repair(&violations, now),
+        }
+        violations
+    }
+
+    /// Evaluates every invariant against live state, reporting all failures
+    /// (never stopping at the first: a corruption's *pattern* is the
+    /// diagnostic).
+    fn check_invariants(&mut self) -> Vec<Violation> {
+        let mut out = Vec::new();
+
+        // I0: pool slots partition the machine; running jobs' nodes are
+        // disjoint, healthy, and (with the permanent noise reservation)
+        // account for every busy slot.
+        let capacity = self.pool.capacity();
+        let free = self.pool.free_count();
+        let busy = self.pool.busy_count();
+        let down = (0..capacity as u32)
+            .filter(|&n| self.pool.is_down(NodeId(n)))
+            .count();
+        if free + busy + down != capacity {
+            out.push(Violation::new(
+                Invariant::NodeConservation,
+                capacity as u64,
+                format!("free {free} + busy {busy} + down {down} != capacity {capacity}"),
+            ));
+        }
+        let mut held: HashSet<NodeId> = HashSet::new();
+        for r in self.running.values() {
+            for &n in &r.nodes {
+                if !held.insert(n) {
+                    out.push(Violation::new(
+                        Invariant::NodeConservation,
+                        n.0 as u64,
+                        format!("node {} held by two running jobs", n.0),
+                    ));
+                }
+                if self.pool.is_down(n) {
+                    out.push(Violation::new(
+                        Invariant::NodeConservation,
+                        n.0 as u64,
+                        format!("job {} runs on quarantined node {}", r.job.id, n.0),
+                    ));
+                }
+            }
+        }
+        // Crashed noise nodes move from busy to down, so the reservation is
+        // an upper bound on busy slots beyond the running jobs', not exact.
+        if busy < held.len() || busy > held.len() + self.reserved_nodes {
+            out.push(Violation::new(
+                Invariant::NodeConservation,
+                busy as u64,
+                format!(
+                    "busy count {busy} outside [{}, {}] (running nodes + noise reservation)",
+                    held.len(),
+                    held.len() + self.reserved_nodes
+                ),
+            ));
+        }
+
+        // I1: every job is in exactly one lifecycle state.
+        let mut seen: HashSet<JobId> = HashSet::new();
+        for j in &self.queue {
+            if !seen.insert(j.id) {
+                out.push(Violation::new(
+                    Invariant::JobConservation,
+                    j.id.0,
+                    format!("job {} queued twice", j.id),
+                ));
+            }
+            if self.running.contains_key(&j.id) {
+                out.push(Violation::new(
+                    Invariant::JobConservation,
+                    j.id.0,
+                    format!("job {} simultaneously queued and running", j.id),
+                ));
+            }
+        }
+        if self.request_count > 0 {
+            let total = self.pending_submits
+                + self.queue.len()
+                + self.running.len()
+                + self.completed.len()
+                + self.failed.len();
+            if total != self.request_count {
+                out.push(Violation::new(
+                    Invariant::JobConservation,
+                    total as u64,
+                    format!(
+                        "{total} jobs across all states != {} submitted",
+                        self.request_count
+                    ),
+                ));
+            }
+        }
+
+        // I2: the next live event never fires before the clock.
+        let clock = self.events.now();
+        if let Some(next) = self.events.peek_time() {
+            if next < clock {
+                out.push(Violation::new(
+                    Invariant::EventMonotonicity,
+                    next.as_micros(),
+                    format!("next event at {next} is before the clock {clock}"),
+                ));
+            }
+        }
+
+        // I3: skip counts respect the starvation threshold.
+        for (&id, &skips) in &self.skip_table {
+            if skips > self.config.skip_threshold {
+                out.push(Violation::new(
+                    Invariant::SkipBound,
+                    id.0,
+                    format!(
+                        "job {id} skipped {skips} > threshold {}",
+                        self.config.skip_threshold
+                    ),
+                ));
+            }
+        }
+
+        // I4: running-job progress state is numerically sane.
+        for r in self.running.values() {
+            let bad = !r.remaining_work.is_finite()
+                || r.remaining_work < 0.0
+                || !r.speed.is_finite()
+                || r.speed <= 0.0
+                || r.finish_at < r.last_update;
+            if bad {
+                out.push(Violation::new(
+                    Invariant::RunningSanity,
+                    r.job.id.0,
+                    format!(
+                        "job {}: remaining {} speed {} finish {} last-update {}",
+                        r.job.id, r.remaining_work, r.speed, r.finish_at, r.last_update
+                    ),
+                ));
+            }
+        }
+
+        out
+    }
+
+    /// Applies the safe repairs: clamp runaway skip counts, drop duplicate
+    /// or already-running queue entries. Everything else is logged.
+    fn repair(&mut self, violations: &[Violation], now: SimTime) {
+        for v in violations {
+            match v.invariant {
+                Invariant::SkipBound => {
+                    let threshold = self.config.skip_threshold;
+                    if let Some(s) = self.skip_table.get_mut(&JobId(v.detail)) {
+                        *s = (*s).min(threshold);
+                    }
+                    eprintln!("audit[{now}]: repaired {v}");
+                }
+                Invariant::JobConservation => {
+                    let running: HashSet<JobId> = self.running.keys().copied().collect();
+                    let mut seen: HashSet<JobId> = HashSet::new();
+                    self.queue
+                        .retain(|j| !running.contains(&j.id) && seen.insert(j.id));
+                    eprintln!("audit[{now}]: repaired {v}");
+                }
+                _ => eprintln!("audit[{now}]: unrepairable {v}"),
+            }
+        }
     }
 }
 
@@ -2039,5 +2881,429 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ----- checkpoint / resume ------------------------------------------
+
+    /// Everything observable about a finished run, flattened to text so two
+    /// runs can be compared byte for byte: completion records, failure
+    /// records, counters, the schedule trace, the obs event stream, and the
+    /// full metrics dump.
+    fn run_fingerprint(r: &ScheduleResult) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for c in &r.completed {
+            writeln!(
+                s,
+                "C {} {} {} {:?} {} {:?}",
+                c.job.id, c.start_at, c.end_at, c.nodes, c.skips, c.launch_prediction
+            )
+            .unwrap();
+        }
+        for f in &r.failed {
+            writeln!(s, "F {} {} {}", f.job.id, f.attempts, f.last_killed_at).unwrap();
+        }
+        writeln!(
+            s,
+            "skips={} maxq={} fb={} rq={} nf={}",
+            r.total_skips, r.max_queue_len, r.fallback_decisions, r.requeues, r.node_failures
+        )
+        .unwrap();
+        for &(at, e) in r.trace.events() {
+            writeln!(s, "T {at} {e:?}").unwrap();
+        }
+        s.push_str(&rush_obs::tracer::records_to_jsonl(&r.events));
+        s.push_str(&r.metrics.to_json());
+        s
+    }
+
+    fn crashy_engine() -> SchedulerEngine {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        SchedulerEngine::new(machine, crashy_config(13), Box::new(NeverVaries), 42)
+            .with_tracing(1 << 14)
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let reqs = requests(8, 4);
+
+        // Uninterrupted baseline, with kills and requeues in play.
+        let mut base = crashy_engine();
+        base.prepare(&reqs);
+        while base.step().is_some() {}
+        let baseline = base.finalize();
+        assert!(
+            baseline.requeues > 0,
+            "fixture must exercise the fault path"
+        );
+
+        // Interrupted run: stop at the midpoint, snapshot, throw the
+        // engine away (the "crash").
+        let cut = SimTime::from_micros(
+            (baseline.first_submit.as_micros() + baseline.last_end.as_micros()) / 2,
+        );
+        let mut victim = crashy_engine();
+        victim.prepare(&reqs);
+        while victim.now() < cut && victim.step().is_some() {}
+        assert!(!victim.is_done(), "the cut must land mid-run");
+        let bytes = victim.snapshot();
+        drop(victim);
+
+        // Fresh-process stand-in: a brand-new engine, same inputs, resume
+        // from the snapshot and run to the end.
+        let mut fresh = crashy_engine();
+        fresh.prepare(&reqs);
+        fresh.resume(&bytes).expect("snapshot must restore");
+        while fresh.step().is_some() {}
+        let restored = fresh.finalize();
+
+        assert_eq!(
+            run_fingerprint(&baseline),
+            run_fingerprint(&restored),
+            "a resumed run must be indistinguishable from an uninterrupted one"
+        );
+    }
+
+    /// Regression (robustness satellite): a job that was killed by a node
+    /// failure and requeued carries its accumulated RUSH skip count; a
+    /// checkpoint taken after the requeue must preserve that count, or the
+    /// resumed run re-delays the job and the timeline diverges.
+    #[test]
+    fn requeue_after_kill_preserves_skips_across_checkpoint_resume() {
+        struct AlwaysVaries;
+        impl VariabilityPredictor for AlwaysVaries {
+            fn predict(
+                &mut self,
+                _j: &Job,
+                _n: &[NodeId],
+                _c: &mut PredictorCtx<'_>,
+            ) -> Result<VariabilityClass, crate::predictor::PredictError> {
+                Ok(VariabilityClass::Variation)
+            }
+            fn name(&self) -> &str {
+                "always-varies"
+            }
+        }
+        let reqs = requests(8, 4);
+        let build = || {
+            let machine = Machine::new(MachineConfig::tiny(7));
+            SchedulerEngine::new(machine, crashy_config(13), Box::new(AlwaysVaries), 42)
+                .with_tracing(1 << 14)
+        };
+
+        let mut base = build();
+        base.prepare(&reqs);
+        while base.step().is_some() {}
+        let baseline = base.finalize();
+        assert!(baseline.requeues > 0, "fixture must requeue");
+        assert!(
+            baseline.completed.iter().any(|c| {
+                c.skips > 0
+                    && baseline
+                        .trace
+                        .events_of(c.job.id)
+                        .iter()
+                        .any(|(_, e)| matches!(e, TraceEvent::Killed(_)))
+            }),
+            "fixture must complete a job that was both delayed and killed"
+        );
+
+        // Checkpoint just after the first requeue, so the snapshot carries
+        // a killed job's skip history.
+        let first_requeue = baseline
+            .trace
+            .events()
+            .iter()
+            .find(|(_, e)| matches!(e, TraceEvent::Requeued(_, _)))
+            .map(|&(at, _)| at)
+            .unwrap();
+        let cut = first_requeue + SimDuration::from_secs(1);
+        let mut victim = build();
+        victim.prepare(&reqs);
+        while victim.now() < cut && victim.step().is_some() {}
+        assert!(!victim.is_done());
+        let bytes = victim.snapshot();
+        drop(victim);
+
+        let mut fresh = build();
+        fresh.prepare(&reqs);
+        fresh.resume(&bytes).expect("snapshot must restore");
+        while fresh.step().is_some() {}
+        let restored = fresh.finalize();
+
+        assert_eq!(run_fingerprint(&baseline), run_fingerprint(&restored));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_seed_or_config() {
+        let reqs = requests(4, 4);
+        let mut eng = engine(Box::new(NeverVaries));
+        eng.prepare(&reqs);
+        for _ in 0..20 {
+            eng.step();
+        }
+        let bytes = eng.snapshot();
+
+        // Different master seed.
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let mut other = SchedulerEngine::new(
+            machine,
+            SchedulerConfig::default(),
+            Box::new(NeverVaries),
+            43,
+        );
+        other.prepare(&reqs);
+        assert!(matches!(
+            other.resume(&bytes),
+            Err(SnapshotError::ConfigMismatch)
+        ));
+
+        // Different scheduler configuration.
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            skip_threshold: 9,
+            ..SchedulerConfig::default()
+        };
+        let mut other = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        other.prepare(&reqs);
+        assert!(matches!(
+            other.resume(&bytes),
+            Err(SnapshotError::ConfigMismatch)
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_corrupted_or_truncated_snapshots() {
+        let reqs = requests(4, 4);
+        let mut eng = engine(Box::new(NeverVaries));
+        eng.prepare(&reqs);
+        for _ in 0..20 {
+            eng.step();
+        }
+        let bytes = eng.snapshot();
+        let fresh = || {
+            let mut e = engine(Box::new(NeverVaries));
+            e.prepare(&reqs);
+            e
+        };
+
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            fresh().resume(&flipped),
+            Err(SnapshotError::CrcMismatch)
+        ));
+
+        assert!(matches!(
+            fresh().resume(&bytes[..bytes.len() - 9]),
+            Err(SnapshotError::Truncated)
+        ));
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            fresh().resume(&bad_magic),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        // The pristine bytes still restore.
+        fresh().resume(&bytes).expect("pristine snapshot restores");
+    }
+
+    // ----- invariant auditor --------------------------------------------
+
+    #[test]
+    fn audit_fail_fast_every_event_stays_clean_on_faulted_run() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            audit: AuditConfig {
+                policy: AuditPolicy::FailFast,
+                every_event: true,
+            },
+            ..crashy_config(13)
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let result = eng.run(&requests(8, 4));
+        assert_eq!(result.completed.len() + result.failed.len(), 8);
+        let checks = result.metrics.counter_by_name("audit.checks").unwrap();
+        assert!(checks >= Invariant::COUNT, "auditor must actually run");
+        assert_eq!(result.metrics.counter_by_name("audit.violations"), Some(0));
+    }
+
+    #[test]
+    fn audit_repairs_a_corrupted_skip_table() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            audit: AuditConfig {
+                policy: AuditPolicy::Repair,
+                every_event: false,
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        eng.prepare(&requests(2, 4));
+        // Corrupt: a skip count past the starvation bound.
+        let bad = eng.config.skip_threshold + 7;
+        eng.skip_table.insert(JobId(0), bad);
+        let now = eng.now();
+        let violations = eng.audit_now(now);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == Invariant::SkipBound),
+            "{violations:?}"
+        );
+        // Repair clamped the count; a second pass is clean.
+        assert!(eng.audit_now(now).is_empty());
+        assert_eq!(eng.skip_table[&JobId(0)], eng.config.skip_threshold);
+        // The run still finishes normally afterwards.
+        while eng.step().is_some() {}
+        assert_eq!(eng.finalize().completed.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "audit failure")]
+    fn audit_fail_fast_panics_on_corrupted_state() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            audit: AuditConfig {
+                policy: AuditPolicy::FailFast,
+                every_event: false,
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        eng.prepare(&requests(2, 4));
+        eng.skip_table.insert(JobId(0), u32::MAX);
+        let now = eng.now();
+        eng.audit_now(now);
+    }
+
+    // ----- predictor circuit breaker ------------------------------------
+
+    #[test]
+    fn breaker_opens_after_consecutive_predictor_failures() {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            breaker: BreakerConfig {
+                threshold: 2,
+                cooldown: SimDuration::from_hours(5),
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut eng =
+            SchedulerEngine::new(machine, config, Box::new(crate::predictor::AlwaysFails), 42);
+        let result = eng.run(&requests(6, 4));
+        assert_eq!(result.completed.len(), 6, "breaker must not lose jobs");
+        assert!(result.fallback_decisions >= 6, "every start falls back");
+        assert!(matches!(eng.breaker_state(), BreakerState::Open(_)));
+        assert_eq!(
+            result
+                .metrics
+                .gauge_by_name("sched.predictor_breaker_state"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probe() {
+        struct FailsThenCalm {
+            failures_left: u32,
+        }
+        impl VariabilityPredictor for FailsThenCalm {
+            fn predict(
+                &mut self,
+                _j: &Job,
+                _n: &[NodeId],
+                _c: &mut PredictorCtx<'_>,
+            ) -> Result<VariabilityClass, crate::predictor::PredictError> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    Err(crate::predictor::PredictError::ModelFailure("flaky".into()))
+                } else {
+                    Ok(VariabilityClass::NoVariation)
+                }
+            }
+            fn name(&self) -> &str {
+                "fails-then-calm"
+            }
+        }
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            breaker: BreakerConfig {
+                threshold: 2,
+                cooldown: SimDuration::from_secs(30),
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(
+            machine,
+            config,
+            Box::new(FailsThenCalm { failures_left: 2 }),
+            42,
+        );
+        // 4-node jobs on 16 nodes: the first wave of starts trips the
+        // breaker; the second wave (one app runtime later, past the 30 s
+        // cooldown) probes half-open and closes it again.
+        let result = eng.run(&requests(8, 4));
+        assert_eq!(result.completed.len(), 8);
+        assert!(
+            matches!(eng.breaker_state(), BreakerState::Closed),
+            "probe success must close the breaker: {:?}",
+            eng.breaker_state()
+        );
+        assert_eq!(
+            result
+                .metrics
+                .gauge_by_name("sched.predictor_breaker_state"),
+            Some(0.0)
+        );
+        assert!(result.fallback_decisions >= 2, "open window falls back");
+        assert!(
+            result
+                .completed
+                .iter()
+                .any(|c| c.launch_prediction.is_some()),
+            "post-recovery starts consult the predictor again"
+        );
+    }
+
+    #[test]
+    fn telemetry_gap_does_not_trip_the_breaker() {
+        // Same near-permanent blackout as `blackout_degrades_rush_to_plain_easy`:
+        // every decision is a TelemetryGap fallback, which must count
+        // against neither the failure streak nor the breaker state.
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let config = SchedulerConfig {
+            breaker: BreakerConfig {
+                threshold: 1,
+                cooldown: SimDuration::from_secs(30),
+            },
+            faults: FaultConfig {
+                seed: 3,
+                horizon: SimDuration::from_hours(2),
+                blackout_mtbf: Some(SimDuration::from_mins(1)),
+                blackout_duration: SimDuration::from_hours(2),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let reqs: Vec<JobRequest> = (0..4)
+            .map(|i| JobRequest {
+                id: i,
+                app: AppId::Amg,
+                nodes: 4,
+                submit_at: SimTime::from_mins(20) + SimDuration::from_secs(i),
+                scaling: ScalingMode::Reference,
+            })
+            .collect();
+        let result = eng.run(&reqs);
+        assert!(result.fallback_decisions >= 4);
+        assert!(
+            matches!(eng.breaker_state(), BreakerState::Closed),
+            "telemetry gaps are not model failures"
+        );
     }
 }

@@ -25,11 +25,15 @@
 //!   run time, not just contention at its start.
 //! * [`retry`] — the requeue policy for jobs killed by node failures:
 //!   capped exponential backoff and a bounded retry budget.
+//! * [`audit`] — the runtime invariant auditor: a catalog of global
+//!   consistency checks (node/job conservation, event monotonicity, skip
+//!   bounds) evaluated at checkpoint boundaries or after every event.
 //! * [`metrics`] — makespan, wait times, and variation counts (the
 //!   quantities of Figs. 5–11).
 //! * [`trace`] — event timeline, queue/busy series, and a text Gantt
 //!   renderer.
 
+pub mod audit;
 pub mod easy;
 pub mod engine;
 pub mod job;
@@ -40,7 +44,8 @@ pub mod profile;
 pub mod retry;
 pub mod trace;
 
-pub use engine::{ScheduleResult, SchedulerConfig, SchedulerEngine};
+pub use audit::{AuditConfig, AuditPolicy, Invariant, Violation};
+pub use engine::{BreakerConfig, BreakerState, ScheduleResult, SchedulerConfig, SchedulerEngine};
 pub use job::{CompletedJob, FailedJob, Job, JobId};
 pub use metrics::{RuntimeReference, ScheduleMetrics};
 pub use policy::QueueOrder;

@@ -8,9 +8,9 @@
 //! in `rush-core` next to the feature pipeline it shares with training.
 
 use crate::job::Job;
-use rand::rngs::SmallRng;
 use rush_cluster::machine::Machine;
 use rush_cluster::topology::NodeId;
+use rush_simkit::rng::CountedRng;
 use rush_simkit::time::SimTime;
 use rush_telemetry::store::MetricStore;
 use serde::{Deserialize, Serialize};
@@ -95,8 +95,9 @@ pub struct PredictorCtx<'a> {
     pub store: &'a MetricStore,
     /// Current time.
     pub now: SimTime,
-    /// Decision-local randomness.
-    pub rng: &'a mut SmallRng,
+    /// Decision-local randomness. Draw-counted so checkpoint/resume can
+    /// reconstruct the stream position exactly.
+    pub rng: &'a mut CountedRng,
 }
 
 /// A variability oracle consulted in `Start()`.
@@ -252,7 +253,6 @@ impl VariabilityPredictor for Scripted {
 mod tests {
     use super::*;
     use crate::job::JobId;
-    use rand::SeedableRng;
     use rush_cluster::machine::{MachineConfig, SourceId, WorkloadIntensity};
     use rush_simkit::time::SimDuration;
     use rush_workloads::apps::AppId;
@@ -270,10 +270,10 @@ mod tests {
         }
     }
 
-    fn ctx_parts() -> (Machine, MetricStore, SmallRng) {
+    fn ctx_parts() -> (Machine, MetricStore, CountedRng) {
         let machine = Machine::new(MachineConfig::tiny(1));
         let store = MetricStore::new(machine.tree().node_count(), 90);
-        (machine, store, SmallRng::seed_from_u64(4))
+        (machine, store, CountedRng::seeded(4))
     }
 
     #[test]

@@ -81,6 +81,45 @@ mod tests {
         assert_eq!(policy.backoff_for(64), policy.max_backoff);
     }
 
+    /// Regression: the doubling backoff must saturate, not overflow, at
+    /// high attempt counts. `30s × 2^62` overflows u64 microseconds; a
+    /// wrapping multiply would produce a *tiny* backoff and turn a flapping
+    /// node into a kill/restart hot loop. Every attempt count — including
+    /// the shift-width boundary at 64 and far beyond — must stay capped.
+    #[test]
+    fn regression_backoff_never_overflows_u64_at_high_attempts() {
+        // A cap high enough that saturation (not the cap) is what protects
+        // the arithmetic below it.
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: SimDuration::from_secs(30),
+            max_backoff: SimDuration::from_micros(u64::MAX),
+        };
+        let mut prev = SimDuration::ZERO;
+        for attempt in [1u32, 2, 31, 32, 62, 63, 64, 65, 100, 1_000, u32::MAX] {
+            let b = policy.backoff_for(attempt);
+            assert!(
+                b >= prev,
+                "backoff regressed at attempt {attempt}: {b} < {prev}"
+            );
+            assert!(
+                b >= policy.base_backoff,
+                "overflow wrapped attempt {attempt} below the base backoff"
+            );
+            prev = b;
+        }
+        assert_eq!(
+            policy.backoff_for(u32::MAX),
+            SimDuration::from_micros(u64::MAX),
+            "unbounded policy saturates at the representable maximum"
+        );
+        // With a realistic cap, the same attempts all land exactly on it.
+        let capped = RetryPolicy::default();
+        for attempt in [64u32, 65, 1_000, u32::MAX] {
+            assert_eq!(capped.backoff_for(attempt), capped.max_backoff);
+        }
+    }
+
     #[test]
     fn exhaustion_is_strictly_past_the_budget() {
         let policy = RetryPolicy {

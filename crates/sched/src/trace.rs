@@ -8,6 +8,7 @@
 
 use crate::job::{CompletedJob, JobId};
 use rush_simkit::series::TimeSeries;
+use rush_simkit::snapshot::{Restorable, Snapshot, SnapshotError, Val};
 use rush_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,47 @@ impl TraceEvent {
             | TraceEvent::Failed(j) => Some(j),
             TraceEvent::NodeDown(_) | TraceEvent::NodeUp(_) => None,
         }
+    }
+
+    /// Snapshot encoding: `[tag, arg0, arg1]` with stable integer tags.
+    fn to_val(self) -> Val {
+        let (tag, a, b) = match self {
+            TraceEvent::Submitted(j) => (0, j.0, 0),
+            TraceEvent::Started(j) => (1, j.0, 0),
+            TraceEvent::Delayed(j, n) => (2, j.0, n as u64),
+            TraceEvent::Finished(j) => (3, j.0, 0),
+            TraceEvent::Killed(j) => (4, j.0, 0),
+            TraceEvent::Requeued(j, n) => (5, j.0, n as u64),
+            TraceEvent::Failed(j) => (6, j.0, 0),
+            TraceEvent::NodeDown(n) => (7, n as u64, 0),
+            TraceEvent::NodeUp(n) => (8, n as u64, 0),
+        };
+        Val::List(vec![Val::U64(tag), Val::U64(a), Val::U64(b)])
+    }
+
+    /// Inverse of [`TraceEvent::to_val`].
+    fn from_val(v: &Val) -> Result<TraceEvent, SnapshotError> {
+        let l = v.as_list()?;
+        if l.len() != 3 {
+            return Err(SnapshotError::Schema("trace event".to_string()));
+        }
+        let (tag, a, b) = (l[0].as_u64()?, l[1].as_u64()?, l[2].as_u64()?);
+        Ok(match tag {
+            0 => TraceEvent::Submitted(JobId(a)),
+            1 => TraceEvent::Started(JobId(a)),
+            2 => TraceEvent::Delayed(JobId(a), b as u32),
+            3 => TraceEvent::Finished(JobId(a)),
+            4 => TraceEvent::Killed(JobId(a)),
+            5 => TraceEvent::Requeued(JobId(a), b as u32),
+            6 => TraceEvent::Failed(JobId(a)),
+            7 => TraceEvent::NodeDown(a as u32),
+            8 => TraceEvent::NodeUp(a as u32),
+            other => {
+                return Err(SnapshotError::Schema(format!(
+                    "bad trace event tag {other}"
+                )))
+            }
+        })
     }
 
     /// Short label for rendering.
@@ -122,6 +164,44 @@ impl ScheduleTrace {
     /// this event-weighted mean is the standard quick estimate.
     pub fn mean_busy_nodes(&self, from: SimTime, to: SimTime) -> f64 {
         self.busy_nodes.aggregate(from, to).mean
+    }
+}
+
+impl Snapshot for ScheduleTrace {
+    fn to_val(&self) -> Val {
+        Val::map()
+            .with(
+                "events",
+                Val::List(
+                    self.events
+                        .iter()
+                        .map(|&(at, e)| Val::List(vec![Val::U64(at.as_micros()), e.to_val()]))
+                        .collect(),
+                ),
+            )
+            .with("queue_len", self.queue_len.to_val())
+            .with("busy_nodes", self.busy_nodes.to_val())
+    }
+}
+
+impl Restorable for ScheduleTrace {
+    fn from_val(v: &Val) -> Result<Self, SnapshotError> {
+        let mut events = Vec::new();
+        for pair in v.l("events")? {
+            let l = pair.as_list()?;
+            if l.len() != 2 {
+                return Err(SnapshotError::Schema("trace record".to_string()));
+            }
+            events.push((
+                SimTime::from_micros(l[0].as_u64()?),
+                TraceEvent::from_val(&l[1])?,
+            ));
+        }
+        Ok(ScheduleTrace {
+            events,
+            queue_len: TimeSeries::from_val(v.get("queue_len")?)?,
+            busy_nodes: TimeSeries::from_val(v.get("busy_nodes")?)?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! Buckets are logarithmic: each spans a fixed ratio, so relative error is
 //! uniform across the range (HDR-histogram style, simplified).
 
+use crate::snapshot::{Restorable, Snapshot, SnapshotError, Val};
 use serde::{Deserialize, Serialize};
 
 /// A histogram over `(0, ∞)` with logarithmic buckets.
@@ -142,6 +143,57 @@ impl Histogram {
     }
 }
 
+impl Snapshot for Histogram {
+    fn to_val(&self) -> Val {
+        // Counts are stored sparsely as (index, count) pairs: long-run
+        // histograms are wide but mostly empty.
+        let mut buckets = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                buckets.push(Val::List(vec![Val::U64(i as u64), Val::U64(c)]));
+            }
+        }
+        Val::map()
+            .with("min_value", Val::from_f64(self.min_value))
+            .with("log_ratio", Val::from_f64(self.log_ratio))
+            .with("len", Val::U64(self.counts.len() as u64))
+            .with("buckets", Val::List(buckets))
+            .with("underflow", Val::U64(self.underflow))
+            .with("total", Val::U64(self.total))
+            .with("min_seen", Val::from_f64(self.min_seen))
+            .with("max_seen", Val::from_f64(self.max_seen))
+    }
+}
+
+impl Restorable for Histogram {
+    fn from_val(v: &Val) -> Result<Self, SnapshotError> {
+        let len = v.u("len")? as usize;
+        let mut counts = vec![0u64; len];
+        for pair in v.l("buckets")? {
+            let pair = pair.as_list()?;
+            if pair.len() != 2 {
+                return Err(SnapshotError::Schema("bucket pair".to_string()));
+            }
+            let idx = pair[0].as_u64()? as usize;
+            if idx >= len {
+                return Err(SnapshotError::Schema(format!(
+                    "bucket index {idx} out of range {len}"
+                )));
+            }
+            counts[idx] = pair[1].as_u64()?;
+        }
+        Ok(Histogram {
+            min_value: v.f("min_value")?,
+            log_ratio: v.f("log_ratio")?,
+            counts,
+            underflow: v.u("underflow")?,
+            total: v.u("total")?,
+            min_seen: v.f("min_seen")?,
+            max_seen: v.f("max_seen")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +278,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_min_rejected() {
         Histogram::new(0.0, 2.0, 4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let mut h = Histogram::for_seconds();
+        for v in [0.0001, 0.5, 1.0, 2.0, 100.0, 1e9, f64::NAN] {
+            h.record(v);
+        }
+        let val = h.to_val();
+        let back = Histogram::from_val(&val).unwrap();
+        assert_eq!(back, h);
+        // An empty histogram (infinite extrema) round-trips too.
+        let empty = Histogram::for_seconds();
+        assert_eq!(Histogram::from_val(&empty.to_val()).unwrap(), empty);
     }
 }

@@ -21,6 +21,8 @@
 //!   distributions over long runs.
 //! * [`series`] — timestamped scalar series with window queries, the storage
 //!   primitive behind the telemetry store.
+//! * [`snapshot`] — the versioned, CRC-guarded snapshot codec behind
+//!   crash-safe checkpoint/resume.
 //!
 //! Everything here is deliberately free of I/O and wall-clock dependencies:
 //! a simulation is a pure function `(config, seed) -> results`.
@@ -42,6 +44,7 @@ pub mod fault;
 pub mod histogram;
 pub mod rng;
 pub mod series;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
@@ -49,7 +52,8 @@ pub use engine::{Engine, EventHandler, StepOutcome};
 pub use event::{EventEntry, EventQueue};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};
 pub use histogram::Histogram;
-pub use rng::RngStreams;
+pub use rng::{CountedRng, RngStreams};
 pub use series::TimeSeries;
+pub use snapshot::{Restorable, Snapshot, SnapshotError, Val};
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -9,7 +9,7 @@
 //! stream's draws depend only on the master seed and its own usage.
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Derives independent [`SmallRng`] streams from a master seed.
 #[derive(Debug, Clone)]
@@ -43,6 +43,74 @@ impl RngStreams {
         SmallRng::seed_from_u64(splitmix64(
             base ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         ))
+    }
+
+    /// The derived seed for `name` — the value [`stream`](Self::stream)
+    /// seeds its generator with. Exposed so checkpointing can record a
+    /// stream as `(seed, draw_count)` and later reconstruct it with
+    /// [`CountedRng::restore`].
+    pub fn stream_seed(&self, name: &str) -> u64 {
+        derive_seed(self.master, name)
+    }
+
+    /// Returns the draw-counting stream for `name`: identical draws to
+    /// [`stream`](Self::stream), but snapshot-restorable.
+    pub fn counted_stream(&self, name: &str) -> CountedRng {
+        CountedRng::seeded(derive_seed(self.master, name))
+    }
+}
+
+/// A [`SmallRng`] that counts its draws, making it snapshot-restorable.
+///
+/// Every derived `rand` method (`gen`, `gen_range`, `fill_bytes`,
+/// distribution sampling, shuffling) funnels through `next_u64`, so counting
+/// there captures the generator's exact position in its stream. A stream is
+/// then fully described by `(seed, draws)`: [`CountedRng::restore`] reseeds
+/// and burns `draws` values to land on the identical state, which is what
+/// makes a resumed run's remaining random draws byte-for-byte identical to
+/// the uninterrupted run's.
+#[derive(Debug, Clone)]
+pub struct CountedRng {
+    seed: u64,
+    draws: u64,
+    inner: SmallRng,
+}
+
+impl CountedRng {
+    /// A fresh stream at position zero.
+    pub fn seeded(seed: u64) -> Self {
+        CountedRng {
+            seed,
+            draws: 0,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Reconstructs the stream at position `draws`.
+    pub fn restore(seed: u64, draws: u64) -> Self {
+        let mut rng = CountedRng::seeded(seed);
+        for _ in 0..draws {
+            rng.inner.next_u64();
+        }
+        rng.draws = draws;
+        rng
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of `u64` values drawn so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl RngCore for CountedRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
     }
 }
 
@@ -110,6 +178,42 @@ mod tests {
         let a2: u64 = streams.indexed_stream("node", 0).gen();
         assert_ne!(a, b);
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn counted_stream_matches_plain_stream() {
+        let streams = RngStreams::new(0xA5);
+        let mut plain = streams.stream("sched/place");
+        let mut counted = streams.counted_stream("sched/place");
+        for _ in 0..64 {
+            assert_eq!(plain.gen::<u64>(), counted.gen::<u64>());
+        }
+        // Derived methods count too: gen::<f64> and gen_range draw u64s.
+        let _: f64 = counted.gen();
+        let _ = counted.gen_range(0.25..0.75);
+        assert!(counted.draws() >= 66);
+    }
+
+    #[test]
+    fn restore_lands_on_the_identical_state() {
+        let mut a = CountedRng::seeded(17);
+        for _ in 0..100 {
+            let _: u64 = a.gen();
+        }
+        let mut b = CountedRng::restore(a.seed(), a.draws());
+        assert_eq!(b.draws(), a.draws());
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn stream_seed_matches_counted_stream() {
+        let streams = RngStreams::new(3);
+        let seed = streams.stream_seed("x");
+        let mut via_seed = CountedRng::seeded(seed);
+        let mut via_name = streams.counted_stream("x");
+        assert_eq!(via_seed.gen::<u64>(), via_name.gen::<u64>());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! reduction the paper applies to each LDMS counter over the five minutes
 //! before a job runs (Section III-A).
 
+use crate::snapshot::{Restorable, Snapshot, SnapshotError, Val};
 use crate::stats::OnlineStats;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -140,6 +141,39 @@ impl TimeSeries {
             self.times.drain(..lo);
             self.values.drain(..lo);
         }
+    }
+}
+
+impl Snapshot for TimeSeries {
+    fn to_val(&self) -> Val {
+        Val::map()
+            .with(
+                "t",
+                Val::List(self.times.iter().map(|t| Val::U64(t.as_micros())).collect()),
+            )
+            .with(
+                "v",
+                Val::List(self.values.iter().map(|&v| Val::from_f64(v)).collect()),
+            )
+    }
+}
+
+impl Restorable for TimeSeries {
+    fn from_val(v: &Val) -> Result<Self, SnapshotError> {
+        let times: Vec<SimTime> = v
+            .l("t")?
+            .iter()
+            .map(|t| t.as_u64().map(SimTime::from_micros))
+            .collect::<Result<_, _>>()?;
+        let values: Vec<f64> = v
+            .l("v")?
+            .iter()
+            .map(Val::as_f64)
+            .collect::<Result<_, _>>()?;
+        if times.len() != values.len() {
+            return Err(SnapshotError::Schema("series length mismatch".to_string()));
+        }
+        Ok(TimeSeries { times, values })
     }
 }
 

@@ -8,12 +8,13 @@
 //! event granularity.
 
 use crate::store::{GapReason, MetricStore};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rush_cluster::machine::{Machine, NodeHealth};
 use rush_cluster::topology::NodeId;
 use rush_obs::profile as obs_profile;
 use rush_obs::{MetricsRegistry, ProfileScope};
+use rush_simkit::rng::CountedRng;
+use rush_simkit::snapshot::{SnapshotError, Val};
 use rush_simkit::time::{SimDuration, SimTime};
 
 /// Samples machine counters into a store on a fixed interval.
@@ -40,7 +41,7 @@ pub struct Sampler {
     gaps_blackout: u64,
     /// Per-node samples lost because the node was down.
     gaps_node_down: u64,
-    rng: SmallRng,
+    rng: CountedRng,
 }
 
 impl Sampler {
@@ -60,7 +61,7 @@ impl Sampler {
             corrupted: 0,
             gaps_blackout: 0,
             gaps_node_down: 0,
-            rng: SmallRng::seed_from_u64(0),
+            rng: CountedRng::seeded(0),
         }
     }
 
@@ -71,7 +72,7 @@ impl Sampler {
     pub fn with_dropout(mut self, prob: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&prob), "dropout must be in [0, 1)");
         self.dropout = prob;
-        self.rng = SmallRng::seed_from_u64(seed);
+        self.rng = CountedRng::seeded(seed);
         self
     }
 
@@ -162,6 +163,42 @@ impl Sampler {
         self.next_due
     }
 
+    /// Captures the sampler's dynamic state (cursor, counters, fault flags,
+    /// RNG position). The node list, interval and probabilities are
+    /// configuration and must match at restore time.
+    pub fn snapshot_state(&self) -> Val {
+        Val::map()
+            .with("node_count", Val::U64(self.nodes.len() as u64))
+            .with("next_due_us", Val::U64(self.next_due.as_micros()))
+            .with("samples_taken", Val::U64(self.samples_taken))
+            .with("dropped", Val::U64(self.dropped))
+            .with("blackout", Val::U64(u64::from(self.blackout)))
+            .with("corruption", Val::U64(u64::from(self.corruption)))
+            .with("corrupted", Val::U64(self.corrupted))
+            .with("gaps_blackout", Val::U64(self.gaps_blackout))
+            .with("gaps_node_down", Val::U64(self.gaps_node_down))
+            .with("rng_seed", Val::U64(self.rng.seed()))
+            .with("rng_draws", Val::U64(self.rng.draws()))
+    }
+
+    /// Restores state captured by [`Sampler::snapshot_state`] into a sampler
+    /// built with the same configuration.
+    pub fn restore_state(&mut self, v: &Val) -> Result<(), SnapshotError> {
+        if v.u("node_count")? != self.nodes.len() as u64 {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        self.next_due = SimTime::from_micros(v.u("next_due_us")?);
+        self.samples_taken = v.u("samples_taken")?;
+        self.dropped = v.u("dropped")?;
+        self.blackout = v.u("blackout")? != 0;
+        self.corruption = v.u("corruption")? != 0;
+        self.corrupted = v.u("corrupted")?;
+        self.gaps_blackout = v.u("gaps_blackout")?;
+        self.gaps_node_down = v.u("gaps_node_down")?;
+        self.rng = CountedRng::restore(v.u("rng_seed")?, v.u("rng_draws")?);
+        Ok(())
+    }
+
     /// Advances to `t`, taking every sampling round due in `(prev, t]`.
     /// The machine is advanced to each round's timestamp first so counters
     /// reflect the machine state *at* the sample time.
@@ -210,6 +247,7 @@ impl Sampler {
 mod tests {
     use super::*;
     use rush_cluster::machine::MachineConfig;
+    use rush_simkit::snapshot::{Restorable, Snapshot};
 
     fn setup() -> (Machine, MetricStore, Sampler) {
         let machine = Machine::new(MachineConfig::tiny(11));
@@ -407,6 +445,44 @@ mod tests {
         sampler.advance_to(SimTime::from_secs(90), &mut machine, &mut store);
         sampler.export_metrics(&mut reg);
         assert_eq!(reg.counter_by_name("telemetry.sampling_rounds"), Some(4));
+    }
+
+    #[test]
+    fn sampler_snapshot_restore_resumes_identically() {
+        let run_to = |t_secs: u64| {
+            let (mut machine, mut store, _) = setup();
+            let nodes: Vec<NodeId> = (0..machine.tree().node_count()).map(NodeId).collect();
+            let mut sampler = Sampler::new(nodes, SimDuration::from_secs(30)).with_dropout(0.25, 9);
+            sampler.advance_to(SimTime::from_secs(t_secs), &mut machine, &mut store);
+            (machine, store, sampler)
+        };
+        // Uninterrupted run to t=600.
+        let (_, store_a, sampler_a) = run_to(600);
+        // Run to t=240, snapshot everything, restore into fresh objects,
+        // continue to t=600.
+        let (machine_b, store_b, sampler_b) = run_to(240);
+        let m_snap = machine_b.snapshot_state();
+        let s_snap = sampler_b.snapshot_state();
+        let st_snap = store_b.to_val();
+        let mut machine_c = Machine::new(MachineConfig::tiny(11));
+        machine_c.restore_state(&m_snap).unwrap();
+        let nodes: Vec<NodeId> = (0..machine_c.tree().node_count()).map(NodeId).collect();
+        let mut sampler_c = Sampler::new(nodes, SimDuration::from_secs(30)).with_dropout(0.25, 9);
+        sampler_c.restore_state(&s_snap).unwrap();
+        let mut store_c = MetricStore::from_val(&st_snap).unwrap();
+        sampler_c.advance_to(SimTime::from_secs(600), &mut machine_c, &mut store_c);
+
+        assert_eq!(sampler_c.samples_taken(), sampler_a.samples_taken());
+        assert_eq!(sampler_c.dropped(), sampler_a.dropped());
+        assert_eq!(store_c.point_count(), store_a.point_count());
+        assert_eq!(store_c.gap_count(), store_a.gap_count());
+        for &node in &[NodeId(0), NodeId(7)] {
+            assert_eq!(
+                store_c.window(node, 3, SimTime::ZERO, SimTime::from_secs(601)),
+                store_a.window(node, 3, SimTime::ZERO, SimTime::from_secs(601)),
+                "resumed samples must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use rush_cluster::topology::NodeId;
 use rush_simkit::series::TimeSeries;
+use rush_simkit::snapshot::{Restorable, Snapshot, SnapshotError, Val};
 use rush_simkit::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -182,6 +183,89 @@ impl MetricStore {
     }
 }
 
+impl Snapshot for MetricStore {
+    fn to_val(&self) -> Val {
+        let gaps = Val::List(
+            self.gaps
+                .iter()
+                .map(|per_node| {
+                    Val::List(
+                        per_node
+                            .iter()
+                            .map(|g| {
+                                let reason = match g.reason {
+                                    GapReason::Dropout => 0,
+                                    GapReason::Blackout => 1,
+                                    GapReason::Corrupt => 2,
+                                    GapReason::NodeDown => 3,
+                                };
+                                Val::List(vec![Val::U64(g.at.as_micros()), Val::U64(reason)])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        Val::map()
+            .with("node_count", Val::U64(u64::from(self.node_count)))
+            .with("counter_count", Val::U64(self.counter_count as u64))
+            .with(
+                "series",
+                Val::List(self.series.iter().map(Snapshot::to_val).collect()),
+            )
+            .with("gaps", gaps)
+    }
+}
+
+impl Restorable for MetricStore {
+    fn from_val(v: &Val) -> Result<Self, SnapshotError> {
+        let node_count = v.u("node_count")? as u32;
+        let counter_count = v.u("counter_count")? as usize;
+        let series_vals = v.l("series")?;
+        if series_vals.len() != node_count as usize * counter_count {
+            return Err(SnapshotError::Schema("store series count".to_string()));
+        }
+        let series: Vec<TimeSeries> = series_vals
+            .iter()
+            .map(TimeSeries::from_val)
+            .collect::<Result<_, _>>()?;
+        let gap_vals = v.l("gaps")?;
+        if gap_vals.len() != node_count as usize {
+            return Err(SnapshotError::Schema("store gap rows".to_string()));
+        }
+        let mut gaps = Vec::with_capacity(gap_vals.len());
+        for per_node in gap_vals {
+            let mut row = Vec::new();
+            for g in per_node.as_list()? {
+                let pair = g.as_list()?;
+                if pair.len() != 2 {
+                    return Err(SnapshotError::Schema("gap pair".to_string()));
+                }
+                let reason = match pair[1].as_u64()? {
+                    0 => GapReason::Dropout,
+                    1 => GapReason::Blackout,
+                    2 => GapReason::Corrupt,
+                    3 => GapReason::NodeDown,
+                    other => {
+                        return Err(SnapshotError::Schema(format!("gap reason {other}")));
+                    }
+                };
+                row.push(Gap {
+                    at: SimTime::from_micros(pair[0].as_u64()?),
+                    reason,
+                });
+            }
+            gaps.push(row);
+        }
+        Ok(MetricStore {
+            node_count,
+            counter_count,
+            series,
+            gaps,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +369,22 @@ mod tests {
         // inclusive upper bound
         assert_eq!(store.latest_sample_at(&both, t(25)), Some(t(25)));
         assert_eq!(store.latest_sample_at(&both, t(5)), None);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_points_and_gaps() {
+        let mut store = MetricStore::new(3, 2);
+        store.record(NodeId(0), t(0), &[1.0, 2.0]);
+        store.record(NodeId(2), t(10), &[3.5, -0.25]);
+        store.record_gap(NodeId(1), t(5), GapReason::Blackout);
+        store.record_gap(NodeId(1), t(15), GapReason::NodeDown);
+        let back = MetricStore::from_val(&store.to_val()).unwrap();
+        assert_eq!(back.node_count(), 3);
+        assert_eq!(back.counter_count(), 2);
+        assert_eq!(back.point_count(), store.point_count());
+        assert_eq!(back.window(NodeId(2), 1, t(0), t(20)), &[-0.25]);
+        assert_eq!(back.gaps(NodeId(1)), store.gaps(NodeId(1)));
+        assert_eq!(back.gap_count(), 2);
     }
 
     #[test]

@@ -13,8 +13,7 @@
 //! the base transfer time of the message volume, inflated by congestion on
 //! the nodes' paths, with per-node measurement noise.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rush_cluster::machine::Machine;
 use rush_cluster::topology::NodeId;
 use serde::{Deserialize, Serialize};
@@ -105,11 +104,11 @@ impl ProbeMeasurement {
 
 /// Runs both probe benchmarks on `nodes` against the machine's current
 /// fabric state.
-pub fn run_probes(
+pub fn run_probes<R: RngCore>(
     machine: &mut Machine,
     nodes: &[NodeId],
     config: &ProbeConfig,
-    rng: &mut SmallRng,
+    rng: &mut R,
 ) -> ProbeMeasurement {
     assert!(!nodes.is_empty(), "probes need at least one node");
     let congestion = machine.congestion(nodes);
@@ -144,6 +143,7 @@ pub fn run_probes(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use rush_cluster::machine::{MachineConfig, SourceId, WorkloadIntensity};
 

@@ -57,57 +57,99 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
-/// Parses SWF text. Comment (`;`) and blank lines are skipped; jobs with
-/// no usable processor count or non-positive run time are dropped (failed
-/// and cancelled jobs, per SWF conventions).
+/// Parses one non-comment, non-blank SWF line. `Ok(None)` is a record that
+/// is well-formed but unusable (failed/cancelled jobs, no processor count —
+/// dropped per SWF conventions); `Err` is a malformed line.
+fn parse_line(line_no: usize, trimmed: &str) -> Result<Option<SwfJob>, SwfError> {
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 8 {
+        return Err(SwfError {
+            line: line_no,
+            message: format!("expected >= 8 fields, found {}", fields.len()),
+        });
+    }
+    let int = |i: usize, what: &str| -> Result<i64, SwfError> {
+        fields[i].parse().map_err(|_| SwfError {
+            line: line_no,
+            message: format!("bad {what} '{}'", fields[i]),
+        })
+    };
+    let id = int(0, "job number")? as u64;
+    let submit = int(1, "submit time")?;
+    let runtime = fields[3].parse::<f64>().map_err(|_| SwfError {
+        line: line_no,
+        message: format!("bad run time '{}'", fields[3]),
+    })?;
+    let alloc = int(4, "allocated processors")?;
+    let requested = int(7, "requested processors")?;
+
+    let processors = if alloc > 0 {
+        alloc
+    } else if requested > 0 {
+        requested
+    } else {
+        return Ok(None); // unusable record
+    } as u32;
+    if runtime <= 0.0 || submit < 0 {
+        return Ok(None); // failed/cancelled jobs carry -1
+    }
+    Ok(Some(SwfJob {
+        id,
+        submit_secs: submit as u64,
+        runtime_secs: Some(runtime),
+        processors,
+    }))
+}
+
+/// Parses SWF text strictly: the first malformed line aborts the parse.
+/// Comment (`;`) and blank lines are skipped; jobs with no usable processor
+/// count or non-positive run time are dropped (failed and cancelled jobs,
+/// per SWF conventions). Real archive traces are often slightly dirty —
+/// [`parse_lenient`] skips bad lines instead of failing.
 pub fn parse(text: &str) -> Result<Vec<SwfJob>, SwfError> {
     let mut jobs = Vec::new();
     for (idx, line) in text.lines().enumerate() {
-        let line_no = idx + 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with(';') {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 8 {
-            return Err(SwfError {
-                line: line_no,
-                message: format!("expected >= 8 fields, found {}", fields.len()),
-            });
+        if let Some(job) = parse_line(idx + 1, trimmed)? {
+            jobs.push(job);
         }
-        let int = |i: usize, what: &str| -> Result<i64, SwfError> {
-            fields[i].parse().map_err(|_| SwfError {
-                line: line_no,
-                message: format!("bad {what} '{}'", fields[i]),
-            })
-        };
-        let id = int(0, "job number")? as u64;
-        let submit = int(1, "submit time")?;
-        let runtime = fields[3].parse::<f64>().map_err(|_| SwfError {
-            line: line_no,
-            message: format!("bad run time '{}'", fields[3]),
-        })?;
-        let alloc = int(4, "allocated processors")?;
-        let requested = int(7, "requested processors")?;
-
-        let processors = if alloc > 0 {
-            alloc
-        } else if requested > 0 {
-            requested
-        } else {
-            continue; // unusable record
-        } as u32;
-        if runtime <= 0.0 || submit < 0 {
-            continue; // failed/cancelled jobs carry -1
-        }
-        jobs.push(SwfJob {
-            id,
-            submit_secs: submit as u64,
-            runtime_secs: Some(runtime),
-            processors,
-        });
     }
     Ok(jobs)
+}
+
+/// Parses SWF text leniently: malformed lines are skipped and returned as
+/// line-numbered [`SwfError`]s alongside the jobs that did parse, with a
+/// one-line summary count on stderr when anything was dropped. Use this for
+/// real archive traces with stray headers or truncated tails; [`parse`]
+/// stays the strict default.
+pub fn parse_lenient(text: &str) -> (Vec<SwfJob>, Vec<SwfError>) {
+    let mut jobs = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        match parse_line(idx + 1, trimmed) {
+            Ok(Some(job)) => jobs.push(job),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("swf: skipping {e}");
+                errors.push(e);
+            }
+        }
+    }
+    if !errors.is_empty() {
+        eprintln!(
+            "swf: skipped {} malformed line(s), kept {} job(s)",
+            errors.len(),
+            jobs.len()
+        );
+    }
+    (jobs, errors)
 }
 
 /// The proxy application whose nominal 16-node run time is closest to
@@ -184,6 +226,53 @@ mod tests {
         let err = parse("x 0 0 100 4 -1 -1 4\n").unwrap_err();
         assert!(err.message.contains("job number"));
         assert!(err.to_string().contains("SWF line 1"));
+    }
+
+    /// A dirty corpus: good records interleaved with a truncated line, a
+    /// non-numeric field, and a stray header — the shapes real archive
+    /// traces actually contain.
+    const DIRTY: &str = "\
+; Computer: test
+1 0 5 180 32 -1 -1 32 3600 -1 1 1 1 1 -1 -1 -1 -1
+UserID JobID Procs
+2 60 0 350 64 -1 -1 64 3600 -1 1 1 1 1 -1 -1 -1 -1
+3 90 5
+4 120 0 abc 32 -1 -1 32 3600 -1 1 1 1 1 -1 -1 -1 -1
+5 180 0 150 -1 -1 -1 128 3600 -1 1 1 1 1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn lenient_parse_skips_malformed_lines_and_reports_them() {
+        let (jobs, errors) = parse_lenient(DIRTY);
+        assert_eq!(
+            jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![1, 2, 5],
+            "the three clean records survive"
+        );
+        assert_eq!(errors.len(), 3);
+        // Errors carry the 1-based position of each bad line.
+        assert_eq!(
+            errors.iter().map(|e| e.line).collect::<Vec<_>>(),
+            vec![3, 5, 6]
+        );
+        assert!(errors[0].message.contains("fields"), "{}", errors[0]);
+        assert!(errors[2].message.contains("run time"), "{}", errors[2]);
+        // The strict parser refuses the same corpus at the first bad line.
+        assert_eq!(parse(DIRTY).unwrap_err().line, 3);
+    }
+
+    #[test]
+    fn lenient_parse_agrees_with_strict_on_clean_input() {
+        let (jobs, errors) = parse_lenient(SAMPLE);
+        assert!(errors.is_empty());
+        assert_eq!(jobs, parse(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn lenient_parse_on_garbage_keeps_nothing() {
+        let (jobs, errors) = parse_lenient("not swf at all\nstill not\n");
+        assert!(jobs.is_empty());
+        assert_eq!(errors.len(), 2);
     }
 
     #[test]
