@@ -1,0 +1,54 @@
+//! Ablation: binary vs three-class deployed model.
+//!
+//! The paper selects models on binary labels but deploys a three-class
+//! model (none / little / variation) and delays only on the third class.
+//! Expected shape: both reduce variation; the three-class model is less
+//! trigger-happy (the "little variation" band absorbs borderline states),
+//! costing less makespan/wait.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{
+    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
+};
+use rush_core::labels::LabelScheme;
+use rush_core::report::{fmt, TextTable};
+
+/// Renders the label-scheme sweep.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+
+    outln!(out, "# Ablation — deployed label scheme (ADAA)\n");
+    let mut table = TextTable::new([
+        "scheme",
+        "rush_variation_runs",
+        "rush_makespan_s",
+        "rush_mean_wait_s",
+        "delays_per_trial",
+    ]);
+    for (label, scheme) in [
+        ("binary", LabelScheme::Binary),
+        ("three-class", LabelScheme::ThreeClass),
+    ] {
+        eprintln!("[ablation] scheme = {label}...");
+        let settings = ExperimentSettings {
+            label_scheme: scheme,
+            ..ctx.settings()
+        };
+        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+        let (_, var) = comparison.mean_variation_runs();
+        let (_, mk) = comparison.mean_makespan();
+        let wait = ExperimentComparison::mean_of(&comparison.rush, |t| t.metrics.mean_wait_secs);
+        let delays = ExperimentComparison::mean_of(&comparison.rush, |t| t.total_skips as f64);
+        table.row([
+            label.to_string(),
+            fmt(var, 1),
+            fmt(mk, 0),
+            fmt(wait, 1),
+            fmt(delays, 1),
+        ]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    out
+}

@@ -1,0 +1,53 @@
+//! Ablation: node placement policy.
+//!
+//! The paper notes RUSH "can be utilized with any resource mapping
+//! algorithm" (Section V-B). This sweep compares contiguous (lowest-id),
+//! topology-compact (Flux-graph-style fewest-switches) and random
+//! placement under both policies. Expected shape: random placement
+//! fragments allocations across more switches, raising fabric exposure and
+//! variation for *both* policies, while RUSH's relative benefit persists
+//! under every mapping.
+
+use super::ArtifactCtx;
+use rush_cluster::placement::PlacementPolicy;
+use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
+use rush_core::report::{fmt, TextTable};
+
+/// Renders the placement-policy sweep.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+
+    outln!(out, "# Ablation — placement policy (ADAA)\n");
+    let mut table = TextTable::new([
+        "placement",
+        "fcfs_variation",
+        "rush_variation",
+        "fcfs_makespan_s",
+        "rush_makespan_s",
+    ]);
+    for (label, placement) in [
+        ("lowest-id", PlacementPolicy::LowestId),
+        ("compact", PlacementPolicy::Compact),
+        ("random", PlacementPolicy::Random),
+    ] {
+        eprintln!("[ablation] placement = {label}...");
+        let settings = ExperimentSettings {
+            placement,
+            ..ctx.settings()
+        };
+        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+        let (fv, rv) = comparison.mean_variation_runs();
+        let (fm, rm) = comparison.mean_makespan();
+        table.row([
+            label.to_string(),
+            fmt(fv, 1),
+            fmt(rv, 1),
+            fmt(fm, 0),
+            fmt(rm, 0),
+        ]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    out
+}

@@ -1,0 +1,52 @@
+//! Ablation: R1 queue policy under RUSH (Section IV-B: "The main and
+//! backfilling policies can be replaced with other queue ordering
+//! policies. One common example is Shortest Job First").
+//!
+//! Expected shape: RUSH reduces variation under both FCFS and SJF; SJF
+//! trades wait-time profile for the same variation mitigation, confirming
+//! the modification is policy-agnostic.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{
+    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
+};
+use rush_core::report::{fmt, TextTable};
+use rush_sched::policy::QueueOrder;
+
+/// Renders the R1-ordering sweep.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+
+    outln!(out, "# Ablation — R1 ordering policy (ADAA)\n");
+    let mut table = TextTable::new([
+        "r1",
+        "fcfs_variation",
+        "rush_variation",
+        "fcfs_makespan_s",
+        "rush_makespan_s",
+        "rush_mean_wait_s",
+    ]);
+    for (label, r1) in [("FCFS", QueueOrder::Fcfs), ("SJF", QueueOrder::Sjf)] {
+        eprintln!("[ablation] R1 = {label}...");
+        let settings = ExperimentSettings {
+            r1,
+            ..ctx.settings()
+        };
+        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+        let (fv, rv) = comparison.mean_variation_runs();
+        let (fm, rm) = comparison.mean_makespan();
+        let wait = ExperimentComparison::mean_of(&comparison.rush, |t| t.metrics.mean_wait_secs);
+        table.row([
+            label.to_string(),
+            fmt(fv, 1),
+            fmt(rv, 1),
+            fmt(fm, 0),
+            fmt(rm, 0),
+            fmt(wait, 1),
+        ]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    out
+}

@@ -1,0 +1,49 @@
+//! Ablation: the RUSH skip threshold (paper default: 10, "never met").
+//!
+//! Sweeps the starvation bound and reports variation runs, makespan and
+//! total delays. Expected shape: 0 reduces RUSH to the baseline; small
+//! thresholds leave variation on the table; large thresholds converge
+//! (episodes end before the budget does) without runaway wait times.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{
+    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
+};
+use rush_core::report::{fmt, TextTable};
+
+/// Renders the skip-threshold sweep.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+
+    outln!(out, "# Ablation — RUSH skip threshold (ADAA)\n");
+    let mut table = TextTable::new([
+        "skip_threshold",
+        "rush_variation_runs",
+        "rush_makespan_s",
+        "rush_mean_wait_s",
+        "delays_per_trial",
+    ]);
+    for threshold in [0u32, 2, 5, 10, 20, 32] {
+        eprintln!("[ablation] skip_threshold = {threshold}...");
+        let settings = ExperimentSettings {
+            skip_threshold: threshold,
+            ..ctx.settings()
+        };
+        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+        let (_, var) = comparison.mean_variation_runs();
+        let (_, mk) = comparison.mean_makespan();
+        let wait = ExperimentComparison::mean_of(&comparison.rush, |t| t.metrics.mean_wait_secs);
+        let delays = ExperimentComparison::mean_of(&comparison.rush, |t| t.total_skips as f64);
+        table.row([
+            threshold.to_string(),
+            fmt(var, 1),
+            fmt(mk, 0),
+            fmt(wait, 1),
+            fmt(delays, 1),
+        ]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    out
+}

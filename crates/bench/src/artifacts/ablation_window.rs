@@ -1,0 +1,33 @@
+//! Ablation: the counter-aggregation window (paper default: 5 minutes).
+//!
+//! Sweeps the window the predictor aggregates counters over. Expected
+//! shape: very short windows are noisy, very long ones stale; the paper's
+//! 5 minutes sits in the flat middle.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
+use rush_core::report::{fmt, TextTable};
+use rush_simkit::time::SimDuration;
+
+/// Renders the predictor-window sweep.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+
+    outln!(out, "# Ablation — predictor counter window (ADAA)\n");
+    let mut table = TextTable::new(["window_min", "rush_variation_runs", "rush_makespan_s"]);
+    for mins in [1u64, 2, 5, 10, 15] {
+        eprintln!("[ablation] window = {mins} min...");
+        let settings = ExperimentSettings {
+            predictor_window: SimDuration::from_mins(mins),
+            ..ctx.settings()
+        };
+        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+        let (_, var) = comparison.mean_variation_runs();
+        let (_, mk) = comparison.mean_makespan();
+        table.row([mins.to_string(), fmt(var, 1), fmt(mk, 0)]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    out
+}

@@ -1,0 +1,40 @@
+//! Fig. 4: runs with variation for the ADPA (left) and PDPA (right)
+//! experiments — the model-generalization comparison.
+//!
+//! Paper's findings this should reproduce: RUSH reduces variation in both,
+//! with "only a slight increase" in variation when the model was trained on
+//! *different* applications (PDPA) than the ones running.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment};
+use rush_core::report::{fmt, variation_table};
+
+/// Renders the ADPA and PDPA variation tables.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let settings = ctx.settings();
+
+    for exp in [Experiment::Adpa, Experiment::Pdpa] {
+        eprintln!("[fig04] running {exp}...");
+        let comparison = run_comparison(exp, &campaign, &settings);
+        outln!(
+            out,
+            "# Fig. 4 ({exp}) — model trained on {}\n",
+            match exp.train_apps() {
+                None => "all applications".to_string(),
+                Some(a) => a.iter().map(|x| x.name()).collect::<Vec<_>>().join("+"),
+            }
+        );
+        let table = variation_table(&comparison);
+        outln!(out, "{}", table.render());
+        let (f, r) = comparison.mean_variation_runs();
+        outln!(
+            out,
+            "total variation runs ({exp}): FCFS+EASY {} -> RUSH {}\n",
+            fmt(f, 1),
+            fmt(r, 1)
+        );
+    }
+    out
+}

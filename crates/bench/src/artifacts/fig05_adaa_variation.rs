@@ -1,0 +1,55 @@
+//! Fig. 5: number of runs experiencing variation per application, ADAA
+//! experiment, FCFS+EASY vs RUSH.
+//!
+//! Paper's findings this should reproduce: FCFS+EASY averages 1.5–3.5
+//! variation runs per application (≈17 total); RUSH reduces that to 0–1.5
+//! per application (≈4 total), with the most variation-prone applications
+//! (Laghos, LBANN) nearly eliminated.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment};
+use rush_core::report::{fmt, variation_table};
+
+/// Renders the Fig.-5 per-app variation table.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let settings = ctx.settings();
+    eprintln!(
+        "[fig05] running ADAA: {} jobs x {} trials x 2 policies...",
+        ctx.args().jobs.unwrap_or(Experiment::Adaa.job_count()),
+        settings.trials
+    );
+    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+
+    outln!(
+        out,
+        "# Fig. 5 — runs with variation per app (ADAA, mean over trials)\n"
+    );
+    let table = variation_table(&comparison);
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+
+    let (f, r) = comparison.mean_variation_runs();
+    outln!(
+        out,
+        "total variation runs: FCFS+EASY {} -> RUSH {}",
+        fmt(f, 1),
+        fmt(r, 1)
+    );
+    let skips: f64 = comparison
+        .rush
+        .iter()
+        .map(|t| t.total_skips as f64)
+        .sum::<f64>()
+        / comparison.rush.len() as f64;
+    outln!(out, "mean RUSH delays per trial: {}", fmt(skips, 1));
+    let (fm, rm) = comparison.mean_makespan();
+    outln!(
+        out,
+        "mean makespan: FCFS+EASY {}s -> RUSH {}s",
+        fmt(fm, 0),
+        fmt(rm, 0)
+    );
+    out
+}

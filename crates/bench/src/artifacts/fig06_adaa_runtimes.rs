@@ -1,0 +1,28 @@
+//! Fig. 6: run-time distributions per application, ADAA experiment.
+//!
+//! Paper's findings this should reproduce: RUSH reduces the maximum run
+//! time and the range of run times; Laghos, LBANN and sw4lite improve the
+//! most; the paper reports up to 5.8% improvement in maximum run time and
+//! no regressions.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment};
+use rush_core::report::{max_runtime_improvement_table, runtime_table};
+
+/// Renders the Fig.-6 per-app run-time tables.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let settings = ctx.settings();
+    eprintln!("[fig06] running ADAA...");
+    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+
+    outln!(out, "# Fig. 6 — run-time distributions per app (ADAA)\n");
+    let table = runtime_table(&comparison);
+    outln!(out, "{}", table.render());
+    outln!(out, "# maximum run-time improvement\n");
+    let imp = max_runtime_improvement_table(&comparison);
+    outln!(out, "{}", imp.render());
+    outln!(out, "csv:\n{}", imp.to_csv());
+    out
+}

@@ -1,0 +1,30 @@
+//! Fig. 7: run-time distributions per application, PDPA experiment.
+//!
+//! Paper's findings this should reproduce: "the scheduler still performs
+//! well for applications where its ML model has never seen their data" —
+//! the PDPA max-run-time improvements resemble ADAA's.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment};
+use rush_core::report::{max_runtime_improvement_table, runtime_table};
+
+/// Renders the Fig.-7 per-app run-time tables.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let settings = ctx.settings();
+    eprintln!("[fig07] running PDPA...");
+    let comparison = run_comparison(Experiment::Pdpa, &campaign, &settings);
+
+    outln!(
+        out,
+        "# Fig. 7 — run-time distributions per app (PDPA: model never saw these apps)\n"
+    );
+    let table = runtime_table(&comparison);
+    outln!(out, "{}", table.render());
+    outln!(out, "# maximum run-time improvement\n");
+    let imp = max_runtime_improvement_table(&comparison);
+    outln!(out, "{}", imp.render());
+    outln!(out, "csv:\n{}", imp.to_csv());
+    out
+}

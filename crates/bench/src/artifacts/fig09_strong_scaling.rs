@@ -1,0 +1,30 @@
+//! Fig. 9: percent improvement in maximum run time under strong scaling.
+//!
+//! Paper's findings this should reproduce: every application's maximum run
+//! time improves (no negatives); sw4lite and LBANN improve the most.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment};
+use rush_core::report::{fmt, max_runtime_improvement_table};
+
+/// Renders the Fig.-9 strong-scaling improvement table.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let settings = ctx.settings();
+    eprintln!("[fig09] running SS (strong scaling, 8/16/32 nodes)...");
+    let comparison = run_comparison(Experiment::Ss, &campaign, &settings);
+
+    outln!(out, "# Fig. 9 — % improvement in maximum run time (SS)\n");
+    let table = max_runtime_improvement_table(&comparison);
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    let (f, r) = comparison.mean_variation_runs();
+    outln!(
+        out,
+        "total variation runs: FCFS+EASY {} -> RUSH {}",
+        fmt(f, 1),
+        fmt(r, 1)
+    );
+    out
+}

@@ -1,0 +1,40 @@
+//! Fig. 10: makespan per experiment, both policies.
+//!
+//! Paper's findings this should reproduce: RUSH does not burden the
+//! makespan — the paper reports improvements of 18–66 s on 30–50 minute
+//! workloads (≲3%); differences should be within a few percent either way.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment};
+use rush_core::report::{fmt, TextTable};
+
+/// Renders the Fig.-10 makespan table over all five experiments.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let settings = ctx.settings();
+
+    outln!(out, "# Fig. 10 — mean makespan per experiment (seconds)\n");
+    let mut table = TextTable::new([
+        "experiment",
+        "fcfs_easy_s",
+        "rush_s",
+        "delta_s",
+        "delta_pct",
+    ]);
+    for exp in Experiment::ALL {
+        eprintln!("[fig10] running {exp}...");
+        let comparison = run_comparison(exp, &campaign, &settings);
+        let (f, r) = comparison.mean_makespan();
+        table.row([
+            exp.code().to_string(),
+            fmt(f, 0),
+            fmt(r, 0),
+            fmt(r - f, 0),
+            fmt((r - f) / f * 100.0, 2),
+        ]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    out
+}

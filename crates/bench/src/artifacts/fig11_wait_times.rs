@@ -1,0 +1,38 @@
+//! Fig. 11: mean wait time per application, ADAA experiment, restricted to
+//! the 80% of jobs submitted after the start.
+//!
+//! Paper's findings this should reproduce: RUSH's wait times spread both
+//! ways; variation-prone applications (Laghos, sw4lite, LBANN) wait
+//! longer; differences stay within about a minute.
+
+use super::ArtifactCtx;
+use rush_core::experiments::{run_comparison, Experiment};
+use rush_core::report::{fmt, wait_table};
+
+/// Renders the Fig.-11 wait-time table.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let settings = ctx.settings();
+    eprintln!("[fig11] running ADAA...");
+    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
+
+    outln!(
+        out,
+        "# Fig. 11 — mean wait time of late-submitted jobs per app (ADAA)\n"
+    );
+    let table = wait_table(&comparison);
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+
+    let mean_wait = |outs: &[rush_core::experiments::TrialOutcome]| {
+        outs.iter().map(|t| t.metrics.mean_wait_secs).sum::<f64>() / outs.len() as f64
+    };
+    outln!(
+        out,
+        "overall mean wait: FCFS+EASY {}s -> RUSH {}s",
+        fmt(mean_wait(&comparison.fcfs), 1),
+        fmt(mean_wait(&comparison.rush), 1)
+    );
+    out
+}

@@ -1,0 +1,356 @@
+//! One render function per table/figure of the paper.
+//!
+//! Every artifact used to be a standalone binary with its own `main`; the
+//! logic now lives here as `render(&ArtifactCtx) -> String` functions so
+//! that both entry points share it:
+//!
+//! * the thin per-figure binaries (`fig05_adaa_variation`, …) print one
+//!   artifact to stdout, exactly as before;
+//! * the `run_all` orchestrator executes all of them as a dependency DAG
+//!   ([`rush_core::campaign`]), writing each result to `results/`.
+//!
+//! [`ArtifactCtx`] carries the shared expensive state: the campaign is
+//! materialized once (`OnceLock`) and handed out as an `Arc`, and one
+//! [`ModelCache`] serves every artifact's trials, so concurrent artifacts
+//! reuse a single training pass instead of each retraining the same model.
+//! Rendering is deterministic — the returned text is byte-identical to the
+//! old binaries' stdout.
+//!
+//! [`ALL`] is the registry: name, output file, DAG dependencies and render
+//! function for each artifact, in `run_all.sh`'s historical order.
+
+use crate::cache::campaign_cached_in;
+use crate::cli::HarnessArgs;
+use rush_core::collect::CampaignData;
+use rush_core::experiments::ExperimentSettings;
+use rush_core::pipeline::ModelCache;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// Appends a line to a `String` buffer (the `println!` of render
+/// functions; writing to a `String` cannot fail).
+macro_rules! outln {
+    ($out:expr) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out);
+    }};
+    ($out:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out, $($arg)*);
+    }};
+}
+
+mod ablation_backfill;
+mod ablation_labels;
+mod ablation_placement;
+mod ablation_policy;
+mod ablation_skip_threshold;
+mod ablation_window;
+mod fig01_variability_timeline;
+mod fig02_pipeline;
+mod fig03_model_f1;
+mod fig04_adpa_pdpa;
+mod fig05_adaa_variation;
+mod fig06_adaa_runtimes;
+mod fig07_pdpa_runtimes;
+mod fig08_weak_scaling;
+mod fig09_strong_scaling;
+mod fig10_makespan;
+mod fig11_wait_times;
+mod online_accuracy;
+mod pipeline_rfe;
+mod table1_dataset;
+mod table2_experiments;
+
+pub use ablation_backfill::render as render_ablation_backfill;
+pub use ablation_labels::render as render_ablation_labels;
+pub use ablation_placement::render as render_ablation_placement;
+pub use ablation_policy::render as render_ablation_policy;
+pub use ablation_skip_threshold::render as render_ablation_skip_threshold;
+pub use ablation_window::render as render_ablation_window;
+pub use fig01_variability_timeline::render as render_fig01_variability_timeline;
+pub use fig02_pipeline::render as render_fig02_pipeline;
+pub use fig03_model_f1::render as render_fig03_model_f1;
+pub use fig04_adpa_pdpa::render as render_fig04_adpa_pdpa;
+pub use fig05_adaa_variation::render as render_fig05_adaa_variation;
+pub use fig06_adaa_runtimes::render as render_fig06_adaa_runtimes;
+pub use fig07_pdpa_runtimes::render as render_fig07_pdpa_runtimes;
+pub use fig08_weak_scaling::render as render_fig08_weak_scaling;
+pub use fig09_strong_scaling::render as render_fig09_strong_scaling;
+pub use fig10_makespan::render as render_fig10_makespan;
+pub use fig11_wait_times::render as render_fig11_wait_times;
+pub use online_accuracy::render as render_online_accuracy;
+pub use pipeline_rfe::render as render_pipeline_rfe;
+pub use table1_dataset::render as render_table1_dataset;
+pub use table2_experiments::render as render_table2_experiments;
+
+/// Shared state every artifact renders against.
+///
+/// Cheap to construct; the campaign is only collected (or loaded from the
+/// disk cache) on first use, and trained models are memoized across all
+/// artifacts that share the context.
+pub struct ArtifactCtx {
+    args: HarnessArgs,
+    cache_dir: PathBuf,
+    campaign: OnceLock<Arc<CampaignData>>,
+    model_cache: ModelCache,
+}
+
+impl ArtifactCtx {
+    /// A context over the default campaign cache directory.
+    pub fn new(args: HarnessArgs) -> Self {
+        Self::with_cache_dir(args, crate::cache::default_cache_dir())
+    }
+
+    /// A context with an explicit campaign cache directory (tests).
+    pub fn with_cache_dir(args: HarnessArgs, cache_dir: PathBuf) -> Self {
+        ArtifactCtx {
+            args,
+            cache_dir,
+            campaign: OnceLock::new(),
+            model_cache: ModelCache::new(),
+        }
+    }
+
+    /// The harness arguments.
+    pub fn args(&self) -> &HarnessArgs {
+        &self.args
+    }
+
+    /// The campaign cache directory.
+    pub fn cache_dir(&self) -> &PathBuf {
+        &self.cache_dir
+    }
+
+    /// The campaign, materialized once per context (disk cache → collect)
+    /// and shared by reference after that.
+    pub fn campaign(&self) -> Arc<CampaignData> {
+        Arc::clone(self.campaign.get_or_init(|| {
+            Arc::new(campaign_cached_in(
+                &self.cache_dir,
+                &self.args.campaign_config(),
+                self.args.no_cache,
+            ))
+        }))
+    }
+
+    /// The shared trained-model cache.
+    pub fn model_cache(&self) -> &ModelCache {
+        &self.model_cache
+    }
+
+    /// Experiment settings under these arguments, wired to the shared
+    /// model cache.
+    pub fn settings(&self) -> ExperimentSettings {
+        ExperimentSettings {
+            trials: self.args.trials,
+            job_count_override: self.args.jobs,
+            model_cache: self.model_cache.clone(),
+            ..ExperimentSettings::default()
+        }
+    }
+}
+
+/// Names of the orchestrator's resource nodes (built by `run_all`, not
+/// part of [`ALL`]): the materialized campaign and the two pre-trained
+/// models.
+pub const CAMPAIGN_NODE: &str = "campaign_data";
+/// The default deployed model (all apps, AdaBoost, three-class).
+pub const MODEL_DEFAULT_NODE: &str = "model_default";
+/// The PDPA model (trained on the four held-out applications).
+pub const MODEL_PDPA_NODE: &str = "model_pdpa";
+
+/// One artifact's registry row.
+#[derive(Clone, Copy)]
+pub struct ArtifactDef {
+    /// Node/binary name (`fig05_adaa_variation`).
+    pub name: &'static str,
+    /// Output file under `results/` (`fig05.txt`).
+    pub output: &'static str,
+    /// Direct DAG dependencies (resource-node names).
+    pub deps: &'static [&'static str],
+    /// The render function.
+    pub render: fn(&ArtifactCtx) -> String,
+}
+
+/// Every artifact, in `run_all.sh`'s historical order.
+pub const ALL: &[ArtifactDef] = &[
+    ArtifactDef {
+        name: "table1_dataset",
+        output: "table1.txt",
+        deps: &[CAMPAIGN_NODE],
+        render: render_table1_dataset,
+    },
+    ArtifactDef {
+        name: "table2_experiments",
+        output: "table2.txt",
+        deps: &[],
+        render: render_table2_experiments,
+    },
+    ArtifactDef {
+        name: "fig01_variability_timeline",
+        output: "fig01.txt",
+        deps: &[CAMPAIGN_NODE],
+        render: render_fig01_variability_timeline,
+    },
+    ArtifactDef {
+        name: "fig02_pipeline",
+        output: "fig02.txt",
+        deps: &[],
+        render: render_fig02_pipeline,
+    },
+    ArtifactDef {
+        name: "fig03_model_f1",
+        output: "fig03.txt",
+        deps: &[CAMPAIGN_NODE],
+        render: render_fig03_model_f1,
+    },
+    ArtifactDef {
+        name: "fig04_adpa_pdpa",
+        output: "fig04.txt",
+        deps: &[MODEL_DEFAULT_NODE, MODEL_PDPA_NODE],
+        render: render_fig04_adpa_pdpa,
+    },
+    ArtifactDef {
+        name: "fig05_adaa_variation",
+        output: "fig05.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_fig05_adaa_variation,
+    },
+    ArtifactDef {
+        name: "fig06_adaa_runtimes",
+        output: "fig06.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_fig06_adaa_runtimes,
+    },
+    ArtifactDef {
+        name: "fig07_pdpa_runtimes",
+        output: "fig07.txt",
+        deps: &[MODEL_PDPA_NODE],
+        render: render_fig07_pdpa_runtimes,
+    },
+    ArtifactDef {
+        name: "fig08_weak_scaling",
+        output: "fig08.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_fig08_weak_scaling,
+    },
+    ArtifactDef {
+        name: "fig09_strong_scaling",
+        output: "fig09.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_fig09_strong_scaling,
+    },
+    ArtifactDef {
+        name: "fig10_makespan",
+        output: "fig10.txt",
+        deps: &[MODEL_DEFAULT_NODE, MODEL_PDPA_NODE],
+        render: render_fig10_makespan,
+    },
+    ArtifactDef {
+        name: "fig11_wait_times",
+        output: "fig11.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_fig11_wait_times,
+    },
+    ArtifactDef {
+        name: "pipeline_rfe",
+        output: "rfe.txt",
+        deps: &[CAMPAIGN_NODE],
+        render: render_pipeline_rfe,
+    },
+    ArtifactDef {
+        name: "ablation_skip_threshold",
+        output: "ablation_skip.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_ablation_skip_threshold,
+    },
+    ArtifactDef {
+        name: "ablation_window",
+        output: "ablation_window.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_ablation_window,
+    },
+    ArtifactDef {
+        name: "ablation_policy",
+        output: "ablation_policy.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_ablation_policy,
+    },
+    ArtifactDef {
+        name: "ablation_labels",
+        output: "ablation_labels.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_ablation_labels,
+    },
+    ArtifactDef {
+        name: "ablation_placement",
+        output: "ablation_placement.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_ablation_placement,
+    },
+    ArtifactDef {
+        name: "ablation_backfill",
+        output: "ablation_backfill.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_ablation_backfill,
+    },
+    ArtifactDef {
+        name: "online_accuracy",
+        output: "online_accuracy.txt",
+        deps: &[MODEL_DEFAULT_NODE],
+        render: render_online_accuracy,
+    },
+];
+
+/// Looks up an artifact by name.
+pub fn find(name: &str) -> Option<&'static ArtifactDef> {
+    ALL.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_artifact_uniquely() {
+        assert_eq!(ALL.len(), 21);
+        let mut names: Vec<&str> = ALL.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21, "duplicate artifact names");
+        let mut outputs: Vec<&str> = ALL.iter().map(|a| a.output).collect();
+        outputs.sort_unstable();
+        outputs.dedup();
+        assert_eq!(outputs.len(), 21, "duplicate output files");
+        assert!(find("fig05_adaa_variation").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn deps_reference_known_resource_nodes() {
+        for a in ALL {
+            for d in a.deps {
+                assert!(
+                    [CAMPAIGN_NODE, MODEL_DEFAULT_NODE, MODEL_PDPA_NODE].contains(d),
+                    "{} depends on unknown node {d}",
+                    a.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_artifacts_render_without_a_campaign() {
+        // fig02/table2 must not touch the campaign: they are the CI smoke
+        // artifacts and have no DAG dependencies.
+        let ctx = ArtifactCtx::new(HarnessArgs::default());
+        let fig02 = render_fig02_pipeline(&ctx);
+        assert!(fig02.contains("282"));
+        assert!(fig02.contains("all shapes match the paper."));
+        let table2 = render_table2_experiments(&ctx);
+        assert!(table2.contains("ADAA"));
+        assert!(table2.contains("csv:"));
+        assert!(ctx.campaign.get().is_none(), "campaign was materialized");
+    }
+}

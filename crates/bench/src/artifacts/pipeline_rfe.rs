@@ -1,0 +1,53 @@
+//! Feature selection: recursive feature elimination (Section IV-A).
+//!
+//! Runs RFE for the selected model family and prints the F1-vs-feature-count
+//! curve plus the surviving features. Expected shape: F1 holds (or
+//! slightly improves) while most of the 282 features are eliminated; the
+//! survivors are congestion-wait counters and probe timings.
+
+use super::ArtifactCtx;
+use rush_core::labels::{build_dataset, LabelScheme, NodeScope};
+use rush_core::report::{fmt, TextTable};
+use rush_ml::rfe::{rfe, RfeConfig};
+use rush_ml::select::{compare_models, select_best};
+
+/// Renders the RFE curve and surviving-feature list.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let campaign = ctx.campaign();
+    let data = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::Binary);
+
+    let scores = compare_models(&data, ctx.args().seed);
+    let best = select_best(&scores);
+    eprintln!("[rfe] eliminating features for {best}...");
+    let result = rfe(
+        best,
+        &data,
+        &RfeConfig {
+            min_features: 8,
+            seed: ctx.args().seed,
+            ..RfeConfig::default()
+        },
+    );
+
+    outln!(out, "# Feature selection — RFE curve for {best}\n");
+    let mut table = TextTable::new(["n_features", "cv_f1"]);
+    for (n, f1) in &result.history {
+        table.row([n.to_string(), fmt(*f1, 3)]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(
+        out,
+        "best set: {} features, F1 {}",
+        result.kept.len(),
+        fmt(result.best_f1, 3)
+    );
+    let names: Vec<&str> = result
+        .kept
+        .iter()
+        .take(24)
+        .map(|&i| data.feature_names[i].as_str())
+        .collect();
+    outln!(out, "surviving features (first 24): {names:?}");
+    out
+}

@@ -1,0 +1,45 @@
+//! Table II: the five scheduling experiments and their configurations.
+
+use super::ArtifactCtx;
+use rush_core::experiments::Experiment;
+use rush_core::report::TextTable;
+
+/// Renders Table II. Needs no campaign.
+pub fn render(_ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    outln!(
+        out,
+        "# Table II — experiments run in a 512-node reservation\n"
+    );
+    let mut table = TextTable::new([
+        "experiment",
+        "name",
+        "applications",
+        "jobs",
+        "node_counts",
+        "model_trained_on",
+    ]);
+    for exp in Experiment::ALL {
+        let apps: Vec<&str> = exp.run_apps().iter().map(|a| a.name()).collect();
+        let train = match exp.train_apps() {
+            None => "all applications".to_string(),
+            Some(apps) => apps.iter().map(|a| a.name()).collect::<Vec<_>>().join("+"),
+        };
+        let nodes: Vec<String> = exp.node_counts().iter().map(|n| n.to_string()).collect();
+        table.row([
+            exp.code().to_string(),
+            exp.name().to_string(),
+            if apps.len() == 7 {
+                "all".to_string()
+            } else {
+                apps.join("+")
+            },
+            exp.job_count().to_string(),
+            nodes.join("/"),
+            train,
+        ]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    out
+}

@@ -1,52 +1,12 @@
 //! Ablation: backfilling discipline under both policies.
 //!
-//! The paper uses FCFS+EASY; this sweep adds strict FCFS (no backfilling)
-//! and conservative backfilling. Expected shape: no-backfill wastes the
-//! holes around blocked wide jobs (worst makespan); conservative is close
-//! to EASY on this workload mix (uniform 16-node jobs leave few
-//! order-violating holes); RUSH's variation benefit persists under every
-//! discipline.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::ablation_backfill` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, TextTable};
-use rush_sched::engine::BackfillPolicy;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-
-    println!("# Ablation — backfilling discipline (ADAA)\n");
-    let mut table = TextTable::new([
-        "backfill",
-        "fcfs_variation",
-        "rush_variation",
-        "fcfs_makespan_s",
-        "rush_makespan_s",
-    ]);
-    for (label, backfill) in [
-        ("none", BackfillPolicy::None),
-        ("easy", BackfillPolicy::Easy),
-        ("conservative", BackfillPolicy::Conservative),
-    ] {
-        eprintln!("[ablation] backfill = {label}...");
-        let settings = ExperimentSettings {
-            trials: args.trials,
-            job_count_override: args.jobs,
-            backfill,
-            ..ExperimentSettings::default()
-        };
-        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-        let (fv, rv) = comparison.mean_variation_runs();
-        let (fm, rm) = comparison.mean_makespan();
-        table.row([
-            label.to_string(),
-            fmt(fv, 1),
-            fmt(rv, 1),
-            fmt(fm, 0),
-            fmt(rm, 0),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_ablation_backfill(&ctx));
 }

@@ -1,53 +1,12 @@
 //! Ablation: node placement policy.
 //!
-//! The paper notes RUSH "can be utilized with any resource mapping
-//! algorithm" (Section V-B). This sweep compares contiguous (lowest-id),
-//! topology-compact (Flux-graph-style fewest-switches) and random
-//! placement under both policies. Expected shape: random placement
-//! fragments allocations across more switches, raising fabric exposure and
-//! variation for *both* policies, while RUSH's relative benefit persists
-//! under every mapping.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::ablation_placement` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_cluster::placement::PlacementPolicy;
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, TextTable};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-
-    println!("# Ablation — placement policy (ADAA)\n");
-    let mut table = TextTable::new([
-        "placement",
-        "fcfs_variation",
-        "rush_variation",
-        "fcfs_makespan_s",
-        "rush_makespan_s",
-    ]);
-    for (label, placement) in [
-        ("lowest-id", PlacementPolicy::LowestId),
-        ("compact", PlacementPolicy::Compact),
-        ("random", PlacementPolicy::Random),
-    ] {
-        eprintln!("[ablation] placement = {label}...");
-        let settings = ExperimentSettings {
-            trials: args.trials,
-            job_count_override: args.jobs,
-            placement,
-            ..ExperimentSettings::default()
-        };
-        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-        let (fv, rv) = comparison.mean_variation_runs();
-        let (fm, rm) = comparison.mean_makespan();
-        table.row([
-            label.to_string(),
-            fmt(fv, 1),
-            fmt(rv, 1),
-            fmt(fm, 0),
-            fmt(rm, 0),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_ablation_placement(&ctx));
 }

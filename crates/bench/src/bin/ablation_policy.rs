@@ -1,52 +1,12 @@
 //! Ablation: R1 queue policy under RUSH (Section IV-B: "The main and
-//! backfilling policies can be replaced with other queue ordering
-//! policies. One common example is Shortest Job First").
 //!
-//! Expected shape: RUSH reduces variation under both FCFS and SJF; SJF
-//! trades wait-time profile for the same variation mitigation, confirming
-//! the modification is policy-agnostic.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::ablation_policy` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{
-    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
-};
-use rush_core::report::{fmt, TextTable};
-use rush_sched::policy::QueueOrder;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-
-    println!("# Ablation — R1 ordering policy (ADAA)\n");
-    let mut table = TextTable::new([
-        "r1",
-        "fcfs_variation",
-        "rush_variation",
-        "fcfs_makespan_s",
-        "rush_makespan_s",
-        "rush_mean_wait_s",
-    ]);
-    for (label, r1) in [("FCFS", QueueOrder::Fcfs), ("SJF", QueueOrder::Sjf)] {
-        eprintln!("[ablation] R1 = {label}...");
-        let settings = ExperimentSettings {
-            trials: args.trials,
-            job_count_override: args.jobs,
-            r1,
-            ..ExperimentSettings::default()
-        };
-        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-        let (fv, rv) = comparison.mean_variation_runs();
-        let (fm, rm) = comparison.mean_makespan();
-        let wait = ExperimentComparison::mean_of(&comparison.rush, |t| t.metrics.mean_wait_secs);
-        table.row([
-            label.to_string(),
-            fmt(fv, 1),
-            fmt(rv, 1),
-            fmt(fm, 0),
-            fmt(rm, 0),
-            fmt(wait, 1),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_ablation_policy(&ctx));
 }

@@ -1,49 +1,12 @@
 //! Ablation: the RUSH skip threshold (paper default: 10, "never met").
 //!
-//! Sweeps the starvation bound and reports variation runs, makespan and
-//! total delays. Expected shape: 0 reduces RUSH to the baseline; small
-//! thresholds leave variation on the table; large thresholds converge
-//! (episodes end before the budget does) without runaway wait times.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::ablation_skip_threshold` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{
-    run_comparison, Experiment, ExperimentComparison, ExperimentSettings,
-};
-use rush_core::report::{fmt, TextTable};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-
-    println!("# Ablation — RUSH skip threshold (ADAA)\n");
-    let mut table = TextTable::new([
-        "skip_threshold",
-        "rush_variation_runs",
-        "rush_makespan_s",
-        "rush_mean_wait_s",
-        "delays_per_trial",
-    ]);
-    for threshold in [0u32, 2, 5, 10, 20, 32] {
-        eprintln!("[ablation] skip_threshold = {threshold}...");
-        let settings = ExperimentSettings {
-            trials: args.trials,
-            job_count_override: args.jobs,
-            skip_threshold: threshold,
-            ..ExperimentSettings::default()
-        };
-        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-        let (_, var) = comparison.mean_variation_runs();
-        let (_, mk) = comparison.mean_makespan();
-        let wait = ExperimentComparison::mean_of(&comparison.rush, |t| t.metrics.mean_wait_secs);
-        let delays = ExperimentComparison::mean_of(&comparison.rush, |t| t.total_skips as f64);
-        table.row([
-            threshold.to_string(),
-            fmt(var, 1),
-            fmt(mk, 0),
-            fmt(wait, 1),
-            fmt(delays, 1),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_ablation_skip_threshold(&ctx));
 }

@@ -1,33 +1,12 @@
 //! Ablation: the counter-aggregation window (paper default: 5 minutes).
 //!
-//! Sweeps the window the predictor aggregates counters over. Expected
-//! shape: very short windows are noisy, very long ones stale; the paper's
-//! 5 minutes sits in the flat middle.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::ablation_window` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, TextTable};
-use rush_simkit::time::SimDuration;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-
-    println!("# Ablation — predictor counter window (ADAA)\n");
-    let mut table = TextTable::new(["window_min", "rush_variation_runs", "rush_makespan_s"]);
-    for mins in [1u64, 2, 5, 10, 15] {
-        eprintln!("[ablation] window = {mins} min...");
-        let settings = ExperimentSettings {
-            trials: args.trials,
-            job_count_override: args.jobs,
-            predictor_window: SimDuration::from_mins(mins),
-            ..ExperimentSettings::default()
-        };
-        let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-        let (_, var) = comparison.mean_variation_runs();
-        let (_, mk) = comparison.mean_makespan();
-        table.row([mins.to_string(), fmt(var, 1), fmt(mk, 0)]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_ablation_window(&ctx));
 }

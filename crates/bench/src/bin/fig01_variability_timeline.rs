@@ -1,79 +1,12 @@
 //! Fig. 1: run-time variation of each proxy application over a campaign
-//! window, relative to that application's minimum run time.
 //!
-//! Paper's findings this should reproduce: all applications vary to some
-//! degree; a mid-campaign congestion spike (mid-December in the paper)
-//! lifts every application's relative run time at once; the
-//! communication-heavy codes (Laghos, LBANN, sw4lite) swing hardest.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig01_variability_timeline` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::report::{fmt, TextTable};
-use rush_workloads::apps::AppId;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let (storm_from, storm_to) = campaign
-        .config
-        .storm_window()
-        .map(|(a, b)| (a.as_secs_f64() / 86400.0, b.as_secs_f64() / 86400.0))
-        .unwrap_or((f64::NAN, f64::NAN));
-    println!(
-        "# Fig. 1 — relative run time (runtime / per-app min) per campaign week\n\
-         # scripted congestion spike: days {storm_from:.0}-{storm_to:.0}\n"
-    );
-
-    // Weekly mean of runtime relative to each app's campaign minimum.
-    let weeks = (campaign.config.days as usize).div_ceil(7);
-    let mut header = vec!["app".to_string(), "min_runtime_s".to_string()];
-    header.extend((0..weeks).map(|w| format!("week{w}")));
-    let mut table = TextTable::new(header);
-
-    for app in AppId::ALL {
-        let runs = campaign.runs_of(app);
-        if runs.is_empty() {
-            continue;
-        }
-        let min = runs
-            .iter()
-            .map(|r| r.runtime_secs)
-            .fold(f64::INFINITY, f64::min);
-        let mut row = vec![app.name().to_string(), fmt(min, 1)];
-        for w in 0..weeks {
-            let lo = w as f64 * 7.0 * 86400.0;
-            let hi = lo + 7.0 * 86400.0;
-            let in_week: Vec<f64> = runs
-                .iter()
-                .filter(|r| {
-                    let t = r.start.as_secs_f64();
-                    t >= lo && t < hi
-                })
-                .map(|r| r.runtime_secs / min)
-                .collect();
-            if in_week.is_empty() {
-                row.push("-".to_string());
-            } else {
-                row.push(fmt(in_week.iter().sum::<f64>() / in_week.len() as f64, 3));
-            }
-        }
-        table.row(row);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
-
-    // Peak relative run time per app — the spike magnitude.
-    let mut peaks = TextTable::new(["app", "max_relative_runtime"]);
-    for app in AppId::ALL {
-        let runs = campaign.runs_of(app);
-        if runs.is_empty() {
-            continue;
-        }
-        let min = runs
-            .iter()
-            .map(|r| r.runtime_secs)
-            .fold(f64::INFINITY, f64::min);
-        let max = runs.iter().map(|r| r.runtime_secs).fold(0.0f64, f64::max);
-        peaks.row([app.name().to_string(), fmt(max / min, 2)]);
-    }
-    println!("{}", peaks.render());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig01_variability_timeline(&ctx));
 }

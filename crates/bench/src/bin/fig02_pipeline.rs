@@ -1,53 +1,12 @@
 //! Fig. 2: the RUSH pipeline architecture.
 //!
-//! The paper's Fig. 2 is a block diagram, not a data plot; this binary
-//! prints the reproduced pipeline's components, their inputs/outputs, and
-//! where each lives in this workspace — and verifies the advertised data
-//! shapes against the live code.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig02_pipeline` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_cluster::counters::CounterTable;
-use rush_telemetry::schema::FeatureSchema;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let schema = FeatureSchema::table_one();
-    let counters: usize = CounterTable::ALL.iter().map(|t| t.counter_count()).sum();
-    println!(
-        "\
-# Fig. 2 — the RUSH pipeline (architecture)
-
-  [cluster]                [variability predictor]          [scheduler]
-  ---------                -----------------------          -----------
-  proxy app runs     --->  model & feature selection  --->  queue + ML model
-  (rush-workloads,         (rush-ml::select, ::rfe)         (rush-sched::engine,
-   rush-core::collect)          |                            Algorithm 1)
-       |                        v                                |
-  LDMS counters    --->   train 3-class model   --->   Start() gate with
-  90 counters              (rush-core::pipeline)        SkipTable (Algorithm 2)
-  x min/max/mean                |                                |
-  (rush-telemetry)              v                                v
-       |                  exported model              delayed or launched jobs
-  MPI probes  ------>     (rush-ml::codec,            (rush-core::predictor
-  ring + AllReduce         282-feature input)           reads counters + probes)
-  (rush-workloads::probes)
-
-data contracts verified against the code:
-"
-    );
-    println!("  counters per node:            {counters} (sysclassib 22 + opa_info 34 + lustre_client 34)");
-    println!("  features in the model input:  {} (Table I)", schema.len());
-    println!(
-        "  counter aggregates:           {:?}",
-        rush_telemetry::schema::AGG_PREFIXES
-    );
-    println!(
-        "  probe features:               {:?}",
-        rush_telemetry::schema::MPI_BENCH_NAMES
-    );
-    println!(
-        "  intensity one-hots:           {:?}",
-        rush_telemetry::schema::INTENSITY_NAMES
-    );
-    assert_eq!(counters, 90);
-    assert_eq!(schema.len(), 282);
-    println!("\nall shapes match the paper.");
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig02_pipeline(&ctx));
 }

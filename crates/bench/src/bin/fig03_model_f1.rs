@@ -1,57 +1,12 @@
 //! Fig. 3: F1 scores of the four classifier families under
-//! leave-one-application-out cross-validation, for both counter-aggregation
-//! scopes (all nodes vs job-exclusive nodes).
 //!
-//! Paper's findings this should reproduce: all four families score high
-//! (the paper's binary CV F1 reaches ≈0.95), AdaBoost is the best, and the
-//! job-exclusive scope performs comparably to the all-nodes scope.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig03_model_f1` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::labels::{build_dataset, LabelScheme, NodeScope};
-use rush_core::report::{fmt, TextTable};
-use rush_ml::select::compare_models;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    println!(
-        "# Fig. 3 — model F1 under leave-one-application-out CV ({} runs, {} days)\n",
-        campaign.runs.len(),
-        campaign.config.days
-    );
-
-    let mut table = TextTable::new([
-        "model",
-        "f1_all_nodes",
-        "f1_job_nodes",
-        "acc_all",
-        "acc_job",
-    ]);
-    let all = build_dataset(&campaign, NodeScope::AllNodes, LabelScheme::Binary);
-    let job = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::Binary);
-    let positives = job.class_counts().get(1).copied().unwrap_or(0);
-    println!(
-        "dataset: {} samples x {} features, {} with variation ({:.1}%)\n",
-        job.len(),
-        job.n_features(),
-        positives,
-        100.0 * positives as f64 / job.len() as f64
-    );
-
-    let scores_all = compare_models(&all, args.seed);
-    let scores_job = compare_models(&job, args.seed);
-    for (sa, sj) in scores_all.iter().zip(&scores_job) {
-        table.row([
-            sa.kind.name().to_string(),
-            fmt(sa.mean_f1(), 3),
-            fmt(sj.mean_f1(), 3),
-            fmt(sa.mean_accuracy(), 3),
-            fmt(sj.mean_accuracy(), 3),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
-
-    let best = rush_ml::select::select_best(&scores_job);
-    println!("selected model (best job-scope F1): {best}");
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig03_model_f1(&ctx));
 }

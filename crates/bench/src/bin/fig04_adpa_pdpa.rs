@@ -1,40 +1,12 @@
 //! Fig. 4: runs with variation for the ADPA (left) and PDPA (right)
-//! experiments — the model-generalization comparison.
 //!
-//! Paper's findings this should reproduce: RUSH reduces variation in both,
-//! with "only a slight increase" in variation when the model was trained on
-//! *different* applications (PDPA) than the ones running.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig04_adpa_pdpa` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, variation_table};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-
-    for exp in [Experiment::Adpa, Experiment::Pdpa] {
-        eprintln!("[fig04] running {exp}...");
-        let comparison = run_comparison(exp, &campaign, &settings);
-        println!(
-            "# Fig. 4 ({exp}) — model trained on {}\n",
-            match exp.train_apps() {
-                None => "all applications".to_string(),
-                Some(a) => a.iter().map(|x| x.name()).collect::<Vec<_>>().join("+"),
-            }
-        );
-        let table = variation_table(&comparison);
-        println!("{}", table.render());
-        let (f, r) = comparison.mean_variation_runs();
-        println!(
-            "total variation runs ({exp}): FCFS+EASY {} -> RUSH {}\n",
-            fmt(f, 1),
-            fmt(r, 1)
-        );
-    }
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig04_adpa_pdpa(&ctx));
 }

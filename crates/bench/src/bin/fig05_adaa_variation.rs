@@ -1,52 +1,12 @@
 //! Fig. 5: number of runs experiencing variation per application, ADAA
-//! experiment, FCFS+EASY vs RUSH.
 //!
-//! Paper's findings this should reproduce: FCFS+EASY averages 1.5–3.5
-//! variation runs per application (≈17 total); RUSH reduces that to 0–1.5
-//! per application (≈4 total), with the most variation-prone applications
-//! (Laghos, LBANN) nearly eliminated.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig05_adaa_variation` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, variation_table};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-    eprintln!(
-        "[fig05] running ADAA: {} jobs x {} trials x 2 policies...",
-        args.jobs.unwrap_or(Experiment::Adaa.job_count()),
-        settings.trials
-    );
-    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-
-    println!("# Fig. 5 — runs with variation per app (ADAA, mean over trials)\n");
-    let table = variation_table(&comparison);
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
-
-    let (f, r) = comparison.mean_variation_runs();
-    println!(
-        "total variation runs: FCFS+EASY {} -> RUSH {}",
-        fmt(f, 1),
-        fmt(r, 1)
-    );
-    let skips: f64 = comparison
-        .rush
-        .iter()
-        .map(|t| t.total_skips as f64)
-        .sum::<f64>()
-        / comparison.rush.len() as f64;
-    println!("mean RUSH delays per trial: {}", fmt(skips, 1));
-    let (fm, rm) = comparison.mean_makespan();
-    println!(
-        "mean makespan: FCFS+EASY {}s -> RUSH {}s",
-        fmt(fm, 0),
-        fmt(rm, 0)
-    );
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig05_adaa_variation(&ctx));
 }

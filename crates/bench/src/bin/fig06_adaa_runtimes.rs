@@ -1,30 +1,12 @@
 //! Fig. 6: run-time distributions per application, ADAA experiment.
 //!
-//! Paper's findings this should reproduce: RUSH reduces the maximum run
-//! time and the range of run times; Laghos, LBANN and sw4lite improve the
-//! most; the paper reports up to 5.8% improvement in maximum run time and
-//! no regressions.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig06_adaa_runtimes` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{max_runtime_improvement_table, runtime_table};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-    eprintln!("[fig06] running ADAA...");
-    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-
-    println!("# Fig. 6 — run-time distributions per app (ADAA)\n");
-    let table = runtime_table(&comparison);
-    println!("{}", table.render());
-    println!("# maximum run-time improvement\n");
-    let imp = max_runtime_improvement_table(&comparison);
-    println!("{}", imp.render());
-    println!("csv:\n{}", imp.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig06_adaa_runtimes(&ctx));
 }

@@ -1,29 +1,12 @@
 //! Fig. 7: run-time distributions per application, PDPA experiment.
 //!
-//! Paper's findings this should reproduce: "the scheduler still performs
-//! well for applications where its ML model has never seen their data" —
-//! the PDPA max-run-time improvements resemble ADAA's.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig07_pdpa_runtimes` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{max_runtime_improvement_table, runtime_table};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-    eprintln!("[fig07] running PDPA...");
-    let comparison = run_comparison(Experiment::Pdpa, &campaign, &settings);
-
-    println!("# Fig. 7 — run-time distributions per app (PDPA: model never saw these apps)\n");
-    let table = runtime_table(&comparison);
-    println!("{}", table.render());
-    println!("# maximum run-time improvement\n");
-    let imp = max_runtime_improvement_table(&comparison);
-    println!("{}", imp.render());
-    println!("csv:\n{}", imp.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig07_pdpa_runtimes(&ctx));
 }

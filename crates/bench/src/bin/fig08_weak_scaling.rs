@@ -1,74 +1,12 @@
 //! Fig. 8: run-time distributions under weak scaling (8/16/32 nodes).
 //!
-//! Paper's findings this should reproduce: RUSH reduces the spread and the
-//! maximum run time, more so at the 8- and 16-node counts than at 32
-//! (where communication grows and the model saw only 16-node training
-//! runs); no node count regresses.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig08_weak_scaling` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings, TrialOutcome};
-use rush_core::report::{fmt, TextTable};
-use rush_workloads::apps::AppId;
-
-fn per_node_count_table(fcfs: &[TrialOutcome], rush: &[TrialOutcome]) -> TextTable {
-    // One row per (app, node count), as Fig. 8's box groups.
-    let mut table = TextTable::new([
-        "app",
-        "nodes",
-        "fcfs_max_s",
-        "rush_max_s",
-        "fcfs_range_s",
-        "rush_range_s",
-    ]);
-    for app in AppId::ALL {
-        for nodes in [8u32, 16, 32] {
-            let stat = |outs: &[TrialOutcome]| -> Option<(f64, f64)> {
-                let mut max = f64::NEG_INFINITY;
-                let mut min = f64::INFINITY;
-                let mut seen = false;
-                for t in outs {
-                    if let Some(m) = t.metrics.app_at_scale(app, nodes) {
-                        max = max.max(m.runtime.max);
-                        min = min.min(m.runtime.min);
-                        seen = true;
-                    }
-                }
-                seen.then_some((max, max - min))
-            };
-            if let (Some((fm, fr)), Some((rm, rr))) = (stat(fcfs), stat(rush)) {
-                table.row([
-                    app.name().to_string(),
-                    nodes.to_string(),
-                    fmt(fm, 1),
-                    fmt(rm, 1),
-                    fmt(fr, 1),
-                    fmt(rr, 1),
-                ]);
-            }
-        }
-    }
-    table
-}
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-    eprintln!("[fig08] running WS (weak scaling, 8/16/32 nodes)...");
-    let comparison = run_comparison(Experiment::Ws, &campaign, &settings);
-
-    println!("# Fig. 8 — run-time spread under weak scaling (jobs on 8/16/32 nodes)\n");
-    let table = per_node_count_table(&comparison.fcfs, &comparison.rush);
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
-    let (f, r) = comparison.mean_variation_runs();
-    println!(
-        "total variation runs: FCFS+EASY {} -> RUSH {}",
-        fmt(f, 1),
-        fmt(r, 1)
-    );
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig08_weak_scaling(&ctx));
 }

@@ -1,31 +1,12 @@
 //! Fig. 9: percent improvement in maximum run time under strong scaling.
 //!
-//! Paper's findings this should reproduce: every application's maximum run
-//! time improves (no negatives); sw4lite and LBANN improve the most.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig09_strong_scaling` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, max_runtime_improvement_table};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-    eprintln!("[fig09] running SS (strong scaling, 8/16/32 nodes)...");
-    let comparison = run_comparison(Experiment::Ss, &campaign, &settings);
-
-    println!("# Fig. 9 — % improvement in maximum run time (SS)\n");
-    let table = max_runtime_improvement_table(&comparison);
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
-    let (f, r) = comparison.mean_variation_runs();
-    println!(
-        "total variation runs: FCFS+EASY {} -> RUSH {}",
-        fmt(f, 1),
-        fmt(r, 1)
-    );
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig09_strong_scaling(&ctx));
 }

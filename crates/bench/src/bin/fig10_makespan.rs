@@ -1,42 +1,12 @@
 //! Fig. 10: makespan per experiment, both policies.
 //!
-//! Paper's findings this should reproduce: RUSH does not burden the
-//! makespan — the paper reports improvements of 18–66 s on 30–50 minute
-//! workloads (≲3%); differences should be within a few percent either way.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig10_makespan` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, TextTable};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-
-    println!("# Fig. 10 — mean makespan per experiment (seconds)\n");
-    let mut table = TextTable::new([
-        "experiment",
-        "fcfs_easy_s",
-        "rush_s",
-        "delta_s",
-        "delta_pct",
-    ]);
-    for exp in Experiment::ALL {
-        eprintln!("[fig10] running {exp}...");
-        let comparison = run_comparison(exp, &campaign, &settings);
-        let (f, r) = comparison.mean_makespan();
-        table.row([
-            exp.code().to_string(),
-            fmt(f, 0),
-            fmt(r, 0),
-            fmt(r - f, 0),
-            fmt((r - f) / f * 100.0, 2),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig10_makespan(&ctx));
 }

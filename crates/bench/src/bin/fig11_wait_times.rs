@@ -1,36 +1,12 @@
 //! Fig. 11: mean wait time per application, ADAA experiment, restricted to
-//! the 80% of jobs submitted after the start.
 //!
-//! Paper's findings this should reproduce: RUSH's wait times spread both
-//! ways; variation-prone applications (Laghos, sw4lite, LBANN) wait
-//! longer; differences stay within about a minute.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::fig11_wait_times` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::experiments::{run_comparison, Experiment, ExperimentSettings};
-use rush_core::report::{fmt, wait_table};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let settings = ExperimentSettings {
-        trials: args.trials,
-        job_count_override: args.jobs,
-        ..ExperimentSettings::default()
-    };
-    eprintln!("[fig11] running ADAA...");
-    let comparison = run_comparison(Experiment::Adaa, &campaign, &settings);
-
-    println!("# Fig. 11 — mean wait time of late-submitted jobs per app (ADAA)\n");
-    let table = wait_table(&comparison);
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
-
-    let mean_wait = |outs: &[rush_core::experiments::TrialOutcome]| {
-        outs.iter().map(|t| t.metrics.mean_wait_secs).sum::<f64>() / outs.len() as f64
-    };
-    println!(
-        "overall mean wait: FCFS+EASY {}s -> RUSH {}s",
-        fmt(mean_wait(&comparison.fcfs), 1),
-        fmt(mean_wait(&comparison.rush), 1)
-    );
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_fig11_wait_times(&ctx));
 }

@@ -1,50 +1,12 @@
 //! Feature selection: recursive feature elimination (Section IV-A).
 //!
-//! Runs RFE for the selected model family and prints the F1-vs-feature-count
-//! curve plus the surviving features. Expected shape: F1 holds (or
-//! slightly improves) while most of the 282 features are eliminated; the
-//! survivors are congestion-wait counters and probe timings.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::pipeline_rfe` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_core::labels::{build_dataset, LabelScheme, NodeScope};
-use rush_core::report::{fmt, TextTable};
-use rush_ml::rfe::{rfe, RfeConfig};
-use rush_ml::select::{compare_models, select_best};
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let data = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::Binary);
-
-    let scores = compare_models(&data, args.seed);
-    let best = select_best(&scores);
-    eprintln!("[rfe] eliminating features for {best}...");
-    let result = rfe(
-        best,
-        &data,
-        &RfeConfig {
-            min_features: 8,
-            seed: args.seed,
-            ..RfeConfig::default()
-        },
-    );
-
-    println!("# Feature selection — RFE curve for {best}\n");
-    let mut table = TextTable::new(["n_features", "cv_f1"]);
-    for (n, f1) in &result.history {
-        table.row([n.to_string(), fmt(*f1, 3)]);
-    }
-    println!("{}", table.render());
-    println!(
-        "best set: {} features, F1 {}",
-        result.kept.len(),
-        fmt(result.best_f1, 3)
-    );
-    let names: Vec<&str> = result
-        .kept
-        .iter()
-        .take(24)
-        .map(|&i| data.feature_names[i].as_str())
-        .collect();
-    println!("surviving features (first 24): {names:?}");
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_pipeline_rfe(&ctx));
 }

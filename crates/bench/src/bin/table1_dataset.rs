@@ -1,62 +1,12 @@
 //! Table I: the dataset inventory — input sources, counter counts and
-//! feature counts.
 //!
-//! Paper's numbers this must match exactly: sysclassib 22→66, opa_info
-//! 34→102, lustre_client 34→102, MPI benchmarks 3→9, three intensity
-//! one-hots; 282 features total.
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::table1_dataset` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_bench::{campaign_cached, HarnessArgs};
-use rush_cluster::counters::CounterTable;
-use rush_core::labels::{build_dataset, LabelScheme, NodeScope};
-use rush_core::report::TextTable;
-use rush_telemetry::schema::FeatureSchema;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    println!("# Table I — dataset inventory\n");
-    let mut table = TextTable::new(["input_source", "counters", "features", "description"]);
-    for t in CounterTable::ALL {
-        let counters = t.counter_count();
-        table.row([
-            t.name().to_string(),
-            counters.to_string(),
-            (counters * 3).to_string(),
-            match t {
-                CounterTable::SysClassIb => "InfiniBand endpoint counters".to_string(),
-                CounterTable::OpaInfo => "Omni-Path switch counters".to_string(),
-                CounterTable::LustreClient => "Lustre client metrics".to_string(),
-            },
-        ]);
-    }
-    table.row([
-        "mpi_benchmarks".into(),
-        "3".into(),
-        "9".into(),
-        "ring/AllReduce wait times".to_string(),
-    ]);
-    table.row([
-        "proxy_applications".into(),
-        "-".into(),
-        "3".into(),
-        "compute/network/io one-hot".to_string(),
-    ]);
-    println!("{}", table.render());
-
-    let schema = FeatureSchema::table_one();
-    println!("total features: {}\n", schema.len());
-    assert_eq!(schema.len(), 282, "Table I requires 282 features");
-
-    // Materialize the dataset itself to show the table is real, not just a
-    // schema.
-    let campaign = campaign_cached(&args.campaign_config(), args.no_cache);
-    let ds = build_dataset(&campaign, NodeScope::JobNodes, LabelScheme::ThreeClass);
-    let counts = ds.class_counts();
-    println!(
-        "materialized dataset: {} samples x {} features; class counts (none/little/variation): {:?}",
-        ds.len(),
-        ds.n_features(),
-        counts
-    );
-    println!("first 6 feature names: {:?}", &ds.feature_names[..6]);
-    println!("last 4 feature names: {:?}", &ds.feature_names[278..]);
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_table1_dataset(&ctx));
 }

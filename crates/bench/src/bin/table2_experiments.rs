@@ -1,38 +1,12 @@
 //! Table II: the five scheduling experiments and their configurations.
+//!
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::table2_experiments` so the `run_all` orchestrator can run
+//! it as a DAG node; this binary prints the same bytes to stdout.
 
-use rush_core::experiments::Experiment;
-use rush_core::report::TextTable;
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
 
 fn main() {
-    println!("# Table II — experiments run in a 512-node reservation\n");
-    let mut table = TextTable::new([
-        "experiment",
-        "name",
-        "applications",
-        "jobs",
-        "node_counts",
-        "model_trained_on",
-    ]);
-    for exp in Experiment::ALL {
-        let apps: Vec<&str> = exp.run_apps().iter().map(|a| a.name()).collect();
-        let train = match exp.train_apps() {
-            None => "all applications".to_string(),
-            Some(apps) => apps.iter().map(|a| a.name()).collect::<Vec<_>>().join("+"),
-        };
-        let nodes: Vec<String> = exp.node_counts().iter().map(|n| n.to_string()).collect();
-        table.row([
-            exp.code().to_string(),
-            exp.name().to_string(),
-            if apps.len() == 7 {
-                "all".to_string()
-            } else {
-                apps.join("+")
-            },
-            exp.job_count().to_string(),
-            nodes.join("/"),
-            train,
-        ]);
-    }
-    println!("{}", table.render());
-    println!("csv:\n{}", table.to_csv());
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_table2_experiments(&ctx));
 }

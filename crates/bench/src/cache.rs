@@ -2,8 +2,34 @@
 //!
 //! Collecting a 60-day campaign takes real time; every figure binary needs
 //! the same one. The cache stores [`CampaignData`] as a line-based text
-//! file keyed by a hash of the campaign configuration, so the first binary
-//! collects and the rest reload.
+//! file keyed by [`config_fingerprint`], so the first run collects and the
+//! rest reload.
+//!
+//! Stores are atomic (unique tmp + rename, the [`rush_core::checkpoint`]
+//! discipline), so concurrent cold-cache writers — the orchestrator runs
+//! artifacts in parallel — race to a single complete file rather than
+//! interleaving partial writes. Collection is deterministic, so both
+//! racers produce identical bytes and either rename winning is correct.
+//!
+//! A cache file is never trusted blindly: [`rush_core::campaign_io::decode`]
+//! re-validates it against the requested config and a corrupt or mismatched
+//! file falls back to recollection.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rush_bench::cache::{campaign_cached_in, config_fingerprint};
+//! use rush_core::config::CampaignConfig;
+//!
+//! let config = CampaignConfig::test_sized();
+//! let dir = std::env::temp_dir().join("my-cache");
+//! let first = campaign_cached_in(&dir, &config, false); // collects + stores
+//! let again = campaign_cached_in(&dir, &config, false); // loads from disk
+//! assert_eq!(first, again);
+//! assert!(dir
+//!     .join(format!("campaign-{:016x}.txt", config_fingerprint(&config)))
+//!     .exists());
+//! ```
 
 use rush_core::campaign_io::{decode, encode};
 use rush_core::collect::CampaignData;
@@ -20,23 +46,29 @@ pub fn default_cache_dir() -> PathBuf {
     target.join("rush-cache")
 }
 
-/// FNV-1a over the config's debug rendering — stable enough for a cache
-/// key within one build.
-fn config_key(config: &CampaignConfig) -> u64 {
-    let s = format!("{config:?}");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+/// The cache key: FNV-1a over the config's *canonical snapshot encoding*
+/// ([`CampaignConfig::to_val`]), not its `Debug` rendering — so the
+/// fingerprint only moves when a field's value changes, never when a
+/// derive's formatting or a field's name does.
+pub fn config_fingerprint(config: &CampaignConfig) -> u64 {
+    config.fingerprint()
 }
 
-/// Returns the campaign for `config`, loading from cache when possible and
-/// collecting + storing otherwise. `no_cache` forces recollection.
+/// The cache file path for `config` under `dir`.
+pub fn cache_path(dir: &Path, config: &CampaignConfig) -> PathBuf {
+    dir.join(format!("campaign-{:016x}.txt", config_fingerprint(config)))
+}
+
+/// Returns the campaign for `config` from the default cache directory,
+/// loading when possible and collecting + storing otherwise. `no_cache`
+/// forces recollection.
 pub fn campaign_cached(config: &CampaignConfig, no_cache: bool) -> CampaignData {
-    let dir = default_cache_dir();
-    let path = dir.join(format!("campaign-{:016x}.txt", config_key(config)));
+    campaign_cached_in(&default_cache_dir(), config, no_cache)
+}
+
+/// [`campaign_cached`] against an explicit cache directory.
+pub fn campaign_cached_in(dir: &Path, config: &CampaignConfig, no_cache: bool) -> CampaignData {
+    let path = cache_path(dir, config);
     if !no_cache {
         if let Some(data) = try_load(&path, config) {
             eprintln!("[cache] loaded campaign from {}", path.display());
@@ -67,11 +99,14 @@ fn try_load(path: &Path, config: &CampaignConfig) -> Option<CampaignData> {
     }
 }
 
+/// Atomic store: write a tmp sibling unique to this thread, then rename.
+/// Concurrent writers of the same key each complete their own tmp file and
+/// the renames settle the race with a whole file either way.
 fn store(path: &Path, data: &CampaignData) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    fs::write(path, encode(data))
+    rush_core::campaign::write_atomic(path, encode(data).as_bytes())
 }
 
 #[cfg(test)]
@@ -92,11 +127,49 @@ mod tests {
     }
 
     #[test]
-    fn config_keys_differ() {
+    fn config_fingerprints_differ() {
         let a = CampaignConfig::test_sized();
         let mut b = a.clone();
         b.seed += 1;
-        assert_ne!(config_key(&a), config_key(&b));
-        assert_eq!(config_key(&a), config_key(&a.clone()));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+    }
+
+    /// Pins the default config's fingerprint. This value is allowed to
+    /// change only when a default *value* changes — if this test fails
+    /// after a refactor that didn't touch defaults, the canonical encoding
+    /// regressed and every user's campaign cache would silently recollect.
+    #[test]
+    fn default_config_fingerprint_is_pinned() {
+        assert_eq!(
+            config_fingerprint(&CampaignConfig::default()),
+            0xe36d_98d4_b768_d3cd,
+            "canonical config encoding changed — see CampaignConfig::to_val"
+        );
+    }
+
+    /// Two threads racing a cold cache (the orchestrator's concurrent
+    /// artifact nodes) must both come back with identical data and leave
+    /// exactly one valid cache file — the atomic-write guarantee.
+    #[test]
+    fn concurrent_cold_cache_race_is_safe() {
+        let config = CampaignConfig::test_sized();
+        let dir = std::env::temp_dir().join(format!("rush-cache-race-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let (a, b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| campaign_cached_in(&dir, &config, false));
+            let tb = s.spawn(|| campaign_cached_in(&dir, &config, false));
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert_eq!(a, b, "racers observed different campaigns");
+        let entries: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(entries.len(), 1, "stray files after race: {entries:?}");
+        assert_eq!(entries[0], cache_path(&dir, &config));
+        let reloaded = try_load(&entries[0], &config).expect("cache file valid");
+        assert_eq!(reloaded, a);
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,126 @@
+//! Wires the artifact registry into an executable campaign DAG.
+//!
+//! The `run_all` binary is a thin CLI over two functions here:
+//! [`build_dag`] turns [`crate::artifacts::ALL`] plus the three shared
+//! resource nodes (campaign dataset, default model, PDPA model) into a
+//! [`rush_core::campaign::Dag`], and [`run_fingerprint`] computes the
+//! configuration fingerprint recorded in `results/manifest.json` that
+//! decides whether a previous run's artifacts can be skipped. Living in
+//! the library keeps the full orchestration path under integration test
+//! (`tests/orchestrator.rs`) without shelling out to the binary.
+
+use crate::artifacts::{self, ArtifactCtx};
+use crate::cache;
+use crate::cli::HarnessArgs;
+use rush_core::campaign::{ArtifactNode, Dag};
+use rush_core::experiments::ExperimentSettings;
+use rush_simkit::snapshot::{fingerprint_str, Val};
+use rush_workloads::apps::AppId;
+use std::sync::Arc;
+
+/// Fingerprint of everything that shapes artifact content: the canonical
+/// campaign config plus the experiment-scale knobs.
+pub fn run_fingerprint(args: &HarnessArgs) -> u64 {
+    let jobs = match args.jobs {
+        Some(n) => Val::List(vec![Val::U64(n as u64)]),
+        None => Val::List(vec![]),
+    };
+    let val = Val::map()
+        .with("config", args.campaign_config().to_val())
+        .with("trials", Val::U64(args.trials as u64))
+        .with("jobs", jobs)
+        .with("seed", Val::U64(args.seed));
+    fingerprint_str(&val.render())
+}
+
+/// Builds the full artifact DAG over a shared context.
+pub fn build_dag(ctx: &Arc<ArtifactCtx>) -> Dag {
+    let mut nodes = Vec::new();
+
+    // Resource layer: the campaign, then the two deployed models. These
+    // carry no output file — they exist to materialize shared state early
+    // and to sequence everything downstream.
+    {
+        let ctx = Arc::clone(ctx);
+        let cache_file = cache::cache_path(ctx.cache_dir(), &ctx.args().campaign_config());
+        nodes.push(
+            ArtifactNode::resource(artifacts::CAMPAIGN_NODE, &[], move || {
+                ctx.campaign();
+                Ok(())
+            })
+            // Skipping is only sound while the disk cache the dependents
+            // will lazily load from still exists.
+            .with_check(move || cache_file.exists()),
+        );
+    }
+    let defaults = ExperimentSettings::default();
+    for (name, train_apps) in [
+        (artifacts::MODEL_DEFAULT_NODE, None),
+        (
+            artifacts::MODEL_PDPA_NODE,
+            Some(AppId::PARTIAL_TRAIN.to_vec()),
+        ),
+    ] {
+        let ctx = Arc::clone(ctx);
+        let (kind, scheme, seed) = (
+            defaults.model_kind,
+            defaults.label_scheme,
+            defaults.base_seed,
+        );
+        nodes.push(ArtifactNode::resource(
+            name,
+            &[artifacts::CAMPAIGN_NODE],
+            move || {
+                ctx.model_cache().train_with_scheme(
+                    &ctx.campaign(),
+                    train_apps.as_deref(),
+                    kind,
+                    scheme,
+                    seed,
+                );
+                Ok(())
+            },
+        ));
+    }
+
+    // Artifact layer: one node per table/figure.
+    for def in artifacts::ALL {
+        let ctx = Arc::clone(ctx);
+        let render = def.render;
+        nodes.push(ArtifactNode::artifact(
+            def.name,
+            def.output,
+            def.deps,
+            move || Ok(render(&ctx)),
+        ));
+    }
+    Dag::new(nodes).expect("artifact registry forms a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_contains_every_artifact_and_resource() {
+        let ctx = Arc::new(ArtifactCtx::new(HarnessArgs::default()));
+        let dag = build_dag(&ctx);
+        assert_eq!(dag.nodes().len(), artifacts::ALL.len() + 3);
+        for def in artifacts::ALL {
+            assert!(dag.index_of(def.name).is_some(), "missing {}", def.name);
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_scale_knobs() {
+        let base = HarnessArgs::default();
+        let quick = HarnessArgs {
+            days: 8,
+            trials: 1,
+            jobs: Some(24),
+            ..base.clone()
+        };
+        assert_ne!(run_fingerprint(&base), run_fingerprint(&quick));
+        assert_eq!(run_fingerprint(&base), run_fingerprint(&base.clone()));
+    }
+}

@@ -9,8 +9,22 @@
 //!   for training and one for validation. This is performed over every
 //!   possible partitioning" — the generalization test behind Fig. 3.
 //!
-//! [`cross_validate`] runs a model family over any split list (folds in
-//! parallel via rayon) and reports per-fold and mean F1/accuracy.
+//! [`cross_validate`] runs a model family over any split list (folds fan
+//! out via rayon — sequential under the vendored stub) and reports
+//! per-fold and mean F1/accuracy.
+//!
+//! ```
+//! use rush_ml::cv::stratified_kfold;
+//!
+//! // 8 samples with a 3:1 class imbalance: every fold keeps the ratio.
+//! let labels = [0, 0, 0, 1, 0, 0, 0, 1];
+//! let folds = stratified_kfold(&labels, 2, 7);
+//! assert_eq!(folds.len(), 2);
+//! for split in &folds {
+//!     assert_eq!(split.test.iter().filter(|&&i| labels[i] == 1).count(), 1);
+//!     assert_eq!(split.train.len() + split.test.len(), labels.len());
+//! }
+//! ```
 
 use crate::dataset::Dataset;
 use crate::metrics::ConfusionMatrix;
@@ -113,7 +127,8 @@ fn mean(v: &[f64]) -> f64 {
 }
 
 /// Trains `kind` on each split's training rows and scores its predictions
-/// on the validation rows. Folds run in parallel.
+/// on the validation rows. Folds fan out via rayon (sequential under the
+/// vendored stub).
 ///
 /// Folds whose validation set is empty are skipped. The F1 positive class
 /// is label 1, per the paper's binary variation-vs-not formulation.

@@ -8,8 +8,11 @@
 //! * **Extra Trees** — each tree trains on the full sample and draws one
 //!   *random* threshold per candidate feature.
 //!
-//! Trees are independent, so training parallelizes with rayon — the
-//! embarrassing parallelism the hpc-parallel guides prescribe.
+//! Trees are independent, so training fans out through rayon's
+//! `par_iter` with per-tree seeds derived up front. Note the vendored
+//! rayon (see `vendor/README.md`) is a sequential stub, so today this is
+//! a determinism-safe parallelism *seam*, not a speedup; the real rayon
+//! drops in without code changes.
 
 use crate::tree::{DecisionTree, MaxFeatures, SplitMode, TreeConfig};
 use rand::rngs::SmallRng;
@@ -66,7 +69,7 @@ pub struct Forest {
 }
 
 impl Forest {
-    /// Fits `config.n_trees` trees in parallel.
+    /// Fits `config.n_trees` trees (fanned out via rayon).
     ///
     /// # Panics
     /// Panics on empty input or zero trees.

@@ -14,7 +14,7 @@
 //! * [`tree`] — weighted CART decision trees (gini), with best-split and
 //!   random-threshold modes and gini feature importances.
 //! * [`forest`] — bagged Decision Forests and Extra Trees ensembles
-//!   (rayon-parallel training).
+//!   (per-tree training fans out via rayon).
 //! * [`adaboost`] — SAMME AdaBoost over shallow trees.
 //! * [`knn`] — standardized-Euclidean K-Nearest Neighbors.
 //! * [`metrics`] — confusion matrices, precision/recall, and the paper's

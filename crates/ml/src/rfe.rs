@@ -10,6 +10,25 @@
 //! importances where the family defines them, otherwise permutation
 //! importance), drops the weakest `step_fraction`, and scores the survivor
 //! set with stratified-CV F1. The best-scoring set over all rounds wins.
+//!
+//! ```
+//! use rush_ml::dataset::Dataset;
+//! use rush_ml::model::ModelKind;
+//! use rush_ml::rfe::{rfe, RfeConfig};
+//!
+//! // Feature 1 separates the classes; features 0 and 2 are noise.
+//! let mut data = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+//! for i in 0..24u32 {
+//!     let label = u32::from(i >= 12);
+//!     let noise = ((i * 7) % 5) as f64 / 5.0;
+//!     let row = vec![noise, f64::from(label) * 2.0 + noise * 0.1, 1.0 - noise];
+//!     data.push(row, label, i % 3);
+//! }
+//! let config = RfeConfig { min_features: 1, ..RfeConfig::default() };
+//! let result = rfe(ModelKind::DecisionForest, &data, &config);
+//! assert!(result.kept.contains(&1), "kept {:?}", result.kept);
+//! assert!(result.best_f1 > 0.9);
+//! ```
 
 use crate::cv::{cross_validate, stratified_kfold};
 use crate::dataset::Dataset;

@@ -66,8 +66,8 @@ fn score_candidate(candidate: &Candidate, data: &Dataset, splits: &[Split]) -> f
 }
 
 /// Evaluates every candidate under `folds`-fold stratified CV (candidates
-/// in parallel) and returns the best by mean F1, ties to the earlier
-/// candidate.
+/// fan out via rayon; sequential under the vendored stub) and returns the
+/// best by mean F1, ties to the earlier candidate.
 ///
 /// # Panics
 /// Panics if `candidates` is empty.

@@ -1,6 +1,7 @@
 //! Paper-matching defaults for the campaign and pipeline.
 
 use rush_cluster::machine::MachineConfig;
+use rush_simkit::snapshot::{self, Val};
 use rush_simkit::time::{SimDuration, SimTime};
 use rush_workloads::apps::AppId;
 use serde::{Deserialize, Serialize};
@@ -83,6 +84,49 @@ impl CampaignConfig {
     pub fn duration(&self) -> SimDuration {
         SimDuration::from_days(u64::from(self.days))
     }
+
+    /// Canonical snapshot-codec encoding of the config (fixed key order,
+    /// durations in microseconds, apps by name). This — not the `Debug`
+    /// rendering — is what cache keys and campaign fingerprints hash, so
+    /// they only change when a field's *value* changes, never when a
+    /// derive's formatting does.
+    pub fn to_val(&self) -> Val {
+        let apps = Val::List(
+            self.apps
+                .iter()
+                .map(|a| Val::Str(a.name().to_string()))
+                .collect(),
+        );
+        let storm = match self.storm_days {
+            Some((a, b)) => Val::List(vec![Val::U64(u64::from(a)), Val::U64(u64::from(b))]),
+            None => Val::List(vec![]),
+        };
+        Val::map()
+            .with("days", Val::U64(u64::from(self.days)))
+            .with(
+                "min_runs_per_day",
+                Val::U64(u64::from(self.min_runs_per_day)),
+            )
+            .with(
+                "max_runs_per_day",
+                Val::U64(u64::from(self.max_runs_per_day)),
+            )
+            .with("apps", apps)
+            .with("job_nodes", Val::U64(u64::from(self.job_nodes)))
+            .with("window_us", Val::U64(self.window.as_micros()))
+            .with(
+                "sample_interval_us",
+                Val::U64(self.sample_interval.as_micros()),
+            )
+            .with("monitor_nodes", Val::U64(u64::from(self.monitor_nodes)))
+            .with("seed", Val::U64(self.seed))
+            .with("storm_days", storm)
+    }
+
+    /// FNV-1a fingerprint of [`CampaignConfig::to_val`]'s canonical text.
+    pub fn fingerprint(&self) -> u64 {
+        snapshot::fingerprint_str(&self.to_val().render())
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +153,26 @@ mod tests {
         let mut no_storm = c;
         no_storm.storm_days = None;
         assert!(no_storm.storm_window().is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_values_not_rendering() {
+        let base = CampaignConfig::default();
+        assert_eq!(base.fingerprint(), CampaignConfig::default().fingerprint());
+        let mut tweaked = CampaignConfig::default();
+        tweaked.days += 1;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+        let no_storm = CampaignConfig {
+            storm_days: None,
+            ..CampaignConfig::default()
+        };
+        assert_ne!(base.fingerprint(), no_storm.fingerprint());
+        // The canonical text names every field, so reordering-sensitive
+        // mistakes show up as test failures here.
+        let text = base.to_val().render();
+        for field in ["days", "apps", "window_us", "seed", "storm_days"] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::collect::CampaignData;
 use crate::labels::LabelScheme;
-use crate::pipeline::{build_reference, train_final_with_scheme};
+use crate::pipeline::{build_reference, ModelCache};
 use crate::predictor::MlPredictor;
 use rayon::prelude::*;
 use rush_cluster::machine::{Machine, MachineConfig};
@@ -262,6 +262,13 @@ pub struct ExperimentSettings {
     /// Runtime invariant auditor (default: off). Enabled by the CLI's
     /// `--audit` flag for long checkpointed campaigns.
     pub audit: rush_sched::audit::AuditConfig,
+    /// Shared trained-model cache. Every Rush trial deploys a model
+    /// trained from the same campaign with the same settings; the cache
+    /// trains it once and hands out `Arc` clones. The default is a private
+    /// empty cache; the orchestrator injects one cache across all
+    /// artifacts. Training is deterministic, so caching never changes
+    /// results.
+    pub model_cache: ModelCache,
 }
 
 impl Default for ExperimentSettings {
@@ -280,6 +287,7 @@ impl Default for ExperimentSettings {
             faults: FaultConfig::none(),
             trace_capacity: None,
             audit: rush_sched::audit::AuditConfig::default(),
+            model_cache: ModelCache::new(),
         }
     }
 }
@@ -322,7 +330,7 @@ pub fn build_trial_engine(
     let predictor: Box<dyn VariabilityPredictor> = match policy {
         PolicyKind::FcfsEasy => Box::new(NeverVaries),
         PolicyKind::Rush => {
-            let model = train_final_with_scheme(
+            let model = settings.model_cache.train_with_scheme(
                 campaign,
                 experiment.train_apps().as_deref(),
                 settings.model_kind,
@@ -330,7 +338,7 @@ pub fn build_trial_engine(
                 settings.base_seed,
             );
             Box::new(
-                MlPredictor::new(model, settings.label_scheme, None)
+                MlPredictor::new((*model).clone(), settings.label_scheme, None)
                     .with_window(settings.predictor_window),
             )
         }

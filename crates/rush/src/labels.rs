@@ -14,7 +14,7 @@ use rush_telemetry::schema::FeatureSchema;
 use serde::{Deserialize, Serialize};
 
 /// Which label scheme a dataset carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LabelScheme {
     /// 0 = no variation, 1 = variation (1.5 σ threshold).
     Binary,

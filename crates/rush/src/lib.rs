@@ -23,8 +23,11 @@
 //! [`report`] renders the figures' data as text tables for the bench
 //! harness; [`config`] holds the paper-matching defaults; [`checkpoint`]
 //! manages the on-disk engine snapshots behind crash-safe long campaigns
-//! (atomic writes, retention, corruption fallback).
+//! (atomic writes, retention, corruption fallback); [`campaign`] is the
+//! artifact orchestrator that regenerates every table/figure of the
+//! evaluation as a parallel, resumable DAG run.
 
+pub mod campaign;
 pub mod campaign_io;
 pub mod checkpoint;
 pub mod collect;
@@ -35,10 +38,11 @@ pub mod pipeline;
 pub mod predictor;
 pub mod report;
 
+pub use campaign::{ArtifactNode, Dag, Manifest, NodeStatus, RunOptions, RunReport};
 pub use checkpoint::CheckpointManager;
 pub use collect::{run_campaign, CampaignData, ControlRun};
 pub use config::CampaignConfig;
 pub use experiments::{Experiment, ExperimentComparison, PolicyKind};
 pub use labels::LabelScheme;
-pub use pipeline::{Pipeline, PipelineOutput};
+pub use pipeline::{ModelCache, Pipeline, PipelineOutput};
 pub use predictor::MlPredictor;

@@ -15,6 +15,8 @@ use rush_ml::select::{compare_models, select_best, ModelScore};
 use rush_sched::metrics::RuntimeReference;
 use rush_workloads::apps::AppId;
 use rush_workloads::scaling::ScalingMode;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Pipeline parameters.
 #[derive(Debug, Clone)]
@@ -100,6 +102,76 @@ impl Pipeline {
             exported,
             reference,
         }
+    }
+}
+
+/// What distinguishes one trained model from another: the campaign it was
+/// trained on (by config fingerprint — `run_campaign` is deterministic),
+/// the training-app restriction, the family, the label scheme, the seed.
+type ModelKey = (u64, Option<Vec<u8>>, ModelKind, LabelScheme, u64);
+
+/// A shared, thread-safe cache of trained models.
+///
+/// Experiment trials retrain the deployed predictor from the same campaign
+/// with the same settings ([`crate::experiments::build_trial_engine`]); the
+/// orchestrator runs many such artifacts concurrently. Cloning a
+/// `ModelCache` shares the underlying store (`Arc`), so one training pass
+/// serves every trial of every artifact in the process. Training is
+/// deterministic, so a cache hit returns bit-identical models and the
+/// artifact outputs don't change.
+///
+/// The lock is dropped during training: two threads missing the same key
+/// at once both train (identical results) and the second insert wins —
+/// wasted work, never wrong answers, and no lock held across a multi-second
+/// train.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCache {
+    store: Arc<Mutex<HashMap<ModelKey, Arc<TrainedModel>>>>,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct models currently cached.
+    pub fn len(&self) -> usize {
+        self.store.lock().unwrap().len()
+    }
+
+    /// True when nothing has been trained through this cache yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// [`train_final_with_scheme`], memoized.
+    pub fn train_with_scheme(
+        &self,
+        campaign: &CampaignData,
+        train_apps: Option<&[AppId]>,
+        kind: ModelKind,
+        scheme: LabelScheme,
+        seed: u64,
+    ) -> Arc<TrainedModel> {
+        let apps_key = train_apps.map(|apps| {
+            let mut v: Vec<u8> = apps.iter().map(|a| a.index() as u8).collect();
+            v.sort_unstable();
+            v
+        });
+        let key: ModelKey = (campaign.config.fingerprint(), apps_key, kind, scheme, seed);
+        if let Some(model) = self.store.lock().unwrap().get(&key) {
+            return Arc::clone(model);
+        }
+        let model = Arc::new(train_final_with_scheme(
+            campaign, train_apps, kind, scheme, seed,
+        ));
+        self.store
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(model)
+            .clone()
     }
 }
 
@@ -259,6 +331,48 @@ mod tests {
             1,
         );
         assert_eq!(model.n_features(), 282);
+    }
+
+    #[test]
+    fn model_cache_trains_once_and_shares() {
+        let campaign = run_campaign(&CampaignConfig::test_sized());
+        let cache = ModelCache::new();
+        let shared = cache.clone(); // clones share the store
+        let a = cache.train_with_scheme(
+            &campaign,
+            None,
+            ModelKind::AdaBoost,
+            LabelScheme::ThreeClass,
+            1,
+        );
+        let b = shared.train_with_scheme(
+            &campaign,
+            None,
+            ModelKind::AdaBoost,
+            LabelScheme::ThreeClass,
+            1,
+        );
+        assert!(Arc::ptr_eq(&a, &b), "second call is a cache hit");
+        assert_eq!(cache.len(), 1);
+        // A cached model equals a fresh uncached train (determinism).
+        let fresh = train_final_with_scheme(
+            &campaign,
+            None,
+            ModelKind::AdaBoost,
+            LabelScheme::ThreeClass,
+            1,
+        );
+        assert_eq!(*a, fresh);
+        // Different key → different entry.
+        let c = cache.train_with_scheme(
+            &campaign,
+            None,
+            ModelKind::AdaBoost,
+            LabelScheme::ThreeClass,
+            2,
+        );
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

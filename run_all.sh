@@ -1,27 +1,5 @@
 #!/bin/bash
 # Regenerates every table and figure at paper scale into results/.
-set -x
-cd "$(dirname "$0")"
-ARGS="--days 60 --trials 5"
-./target/release/table1_dataset $ARGS > results/table1.txt 2>results/table1.log
-./target/release/table2_experiments > results/table2.txt
-./target/release/fig02_pipeline > results/fig02.txt
-./target/release/fig01_variability_timeline $ARGS > results/fig01.txt
-./target/release/fig03_model_f1 $ARGS > results/fig03.txt
-./target/release/fig05_adaa_variation $ARGS > results/fig05.txt
-./target/release/fig04_adpa_pdpa $ARGS > results/fig04.txt
-./target/release/fig06_adaa_runtimes $ARGS > results/fig06.txt
-./target/release/fig07_pdpa_runtimes $ARGS > results/fig07.txt
-./target/release/fig08_weak_scaling $ARGS > results/fig08.txt
-./target/release/fig09_strong_scaling $ARGS > results/fig09.txt
-./target/release/fig10_makespan $ARGS > results/fig10.txt
-./target/release/fig11_wait_times $ARGS > results/fig11.txt
-./target/release/pipeline_rfe $ARGS > results/rfe.txt
-./target/release/ablation_skip_threshold $ARGS > results/ablation_skip.txt
-./target/release/ablation_window $ARGS > results/ablation_window.txt
-./target/release/ablation_policy $ARGS > results/ablation_policy.txt
-./target/release/ablation_labels $ARGS > results/ablation_labels.txt
-./target/release/ablation_placement $ARGS > results/ablation_placement.txt
-./target/release/ablation_backfill $ARGS > results/ablation_backfill.txt
-./target/release/online_accuracy $ARGS > results/online_accuracy.txt
-echo ALL_DONE
+# All orchestration lives in the run_all binary (DAG-parallel, resumable;
+# see DESIGN.md §12). Pass --quick for smoke scale, --only a,b for a subset.
+cd "$(dirname "$0")" && exec ./target/release/run_all "$@"

@@ -45,7 +45,7 @@ pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     min: usize,
