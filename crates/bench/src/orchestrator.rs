@@ -33,6 +33,23 @@ pub fn run_fingerprint(args: &HarnessArgs) -> u64 {
     fingerprint_str(&val.render())
 }
 
+/// Version fingerprint of the deployed predictor model: everything that
+/// decides which classifier the scheduler consults. Stamped on the model
+/// resource nodes and every artifact downstream of one, and recorded per
+/// entry in `results/manifest.json`, so reruns after the deployed model
+/// changes — a different family, label scheme, training seed, or an
+/// online-service configuration whose hot-swaps alter decisions —
+/// invalidate those artifacts even when the campaign fingerprint alone
+/// matches.
+pub fn predictor_model_version(settings: &ExperimentSettings) -> u64 {
+    let val = Val::map()
+        .with("kind", Val::Str(format!("{:?}", settings.model_kind)))
+        .with("scheme", Val::Str(format!("{:?}", settings.label_scheme)))
+        .with("seed", Val::U64(settings.base_seed))
+        .with("service", Val::Str(format!("{:?}", settings.service)));
+    fingerprint_str(&val.render())
+}
+
 /// Builds the full artifact DAG over a shared context.
 pub fn build_dag(ctx: &Arc<ArtifactCtx>) -> Dag {
     let mut nodes = Vec::new();
@@ -54,6 +71,7 @@ pub fn build_dag(ctx: &Arc<ArtifactCtx>) -> Dag {
         );
     }
     let defaults = ExperimentSettings::default();
+    let model_version = predictor_model_version(&defaults);
     for (name, train_apps) in [
         (artifacts::MODEL_DEFAULT_NODE, None),
         (
@@ -67,10 +85,8 @@ pub fn build_dag(ctx: &Arc<ArtifactCtx>) -> Dag {
             defaults.label_scheme,
             defaults.base_seed,
         );
-        nodes.push(ArtifactNode::resource(
-            name,
-            &[artifacts::CAMPAIGN_NODE],
-            move || {
+        nodes.push(
+            ArtifactNode::resource(name, &[artifacts::CAMPAIGN_NODE], move || {
                 ctx.model_cache().train_with_scheme(
                     &ctx.campaign(),
                     train_apps.as_deref(),
@@ -79,20 +95,24 @@ pub fn build_dag(ctx: &Arc<ArtifactCtx>) -> Dag {
                     seed,
                 );
                 Ok(())
-            },
-        ));
+            })
+            .with_model_version(model_version),
+        );
     }
 
-    // Artifact layer: one node per table/figure.
+    // Artifact layer: one node per table/figure. Nodes downstream of a
+    // trained model carry its version fingerprint for provenance.
     for def in artifacts::ALL {
         let ctx = Arc::clone(ctx);
         let render = def.render;
-        nodes.push(ArtifactNode::artifact(
-            def.name,
-            def.output,
-            def.deps,
-            move || Ok(render(&ctx)),
-        ));
+        let uses_model = def
+            .deps
+            .iter()
+            .any(|d| *d == artifacts::MODEL_DEFAULT_NODE || *d == artifacts::MODEL_PDPA_NODE);
+        nodes.push(
+            ArtifactNode::artifact(def.name, def.output, def.deps, move || Ok(render(&ctx)))
+                .with_model_version(if uses_model { model_version } else { 0 }),
+        );
     }
     Dag::new(nodes).expect("artifact registry forms a valid DAG")
 }
@@ -109,6 +129,58 @@ mod tests {
         for def in artifacts::ALL {
             assert!(dag.index_of(def.name).is_some(), "missing {}", def.name);
         }
+    }
+
+    #[test]
+    fn model_version_tracks_predictor_configuration() {
+        let base = ExperimentSettings::default();
+        assert_eq!(
+            predictor_model_version(&base),
+            predictor_model_version(&ExperimentSettings::default())
+        );
+        let reseeded = ExperimentSettings {
+            base_seed: base.base_seed + 1,
+            ..ExperimentSettings::default()
+        };
+        assert_ne!(
+            predictor_model_version(&base),
+            predictor_model_version(&reseeded)
+        );
+        let online = ExperimentSettings {
+            service: rush_sched::service::ServiceConfig {
+                retrain_every: rush_simkit::time::SimDuration::from_secs(600),
+                ..rush_sched::service::ServiceConfig::default()
+            },
+            ..ExperimentSettings::default()
+        };
+        assert_ne!(
+            predictor_model_version(&base),
+            predictor_model_version(&online),
+            "enabling the online service changes the deployed-model version"
+        );
+    }
+
+    #[test]
+    fn model_dependent_nodes_carry_the_version() {
+        let ctx = Arc::new(ArtifactCtx::new(HarnessArgs::default()));
+        let dag = build_dag(&ctx);
+        let version = predictor_model_version(&ExperimentSettings::default());
+        let mut tagged = 0;
+        for node in dag.nodes() {
+            let uses_model = node.name.starts_with("model_")
+                || node
+                    .deps
+                    .iter()
+                    .any(|d| d == artifacts::MODEL_DEFAULT_NODE || d == artifacts::MODEL_PDPA_NODE);
+            assert_eq!(
+                node.model_version,
+                if uses_model { version } else { 0 },
+                "node {}",
+                node.name
+            );
+            tagged += u32::from(uses_model);
+        }
+        assert!(tagged > 2, "model nodes plus downstream artifacts tagged");
     }
 
     #[test]

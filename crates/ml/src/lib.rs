@@ -27,6 +27,8 @@
 //! * [`tune`] — within-family hyperparameter grid search under CV.
 //! * [`model`] — the [`model::Classifier`] trait, the [`model::TrainedModel`]
 //!   enum, and a line-based export codec (the pickle stand-in).
+//! * [`online`] — incremental window retraining for the scheduler's
+//!   drift-aware online predictor service.
 
 pub mod adaboost;
 pub mod codec;
@@ -38,6 +40,7 @@ pub mod knn;
 pub mod logistic;
 pub mod metrics;
 pub mod model;
+pub mod online;
 pub mod rfe;
 pub mod scale;
 pub mod select;

@@ -126,6 +126,40 @@ pub enum ObsEvent {
         /// microseconds, depending on the invariant).
         detail: u64,
     },
+    /// The predictor service's drift detector fired: rolling accuracy fell
+    /// more than the configured threshold below the reference accuracy.
+    PredictorDrift {
+        /// Drift score (reference − rolling accuracy) in milli-units.
+        score_milli: u32,
+    },
+    /// The predictor service trained a candidate model on its window.
+    PredictorRetrain {
+        /// Version the candidate will take if it is promoted.
+        version: u32,
+        /// Labeled samples the candidate trained on.
+        samples: u32,
+    },
+    /// A candidate model began shadow evaluation alongside the live model.
+    PredictorShadowStart {
+        /// Candidate version under evaluation.
+        version: u32,
+        /// Decisions the shadow phase will observe.
+        decisions: u32,
+    },
+    /// The candidate beat the incumbent and was atomically hot-swapped in.
+    PredictorSwap {
+        /// Version that was serving before the swap.
+        from_version: u32,
+        /// Version now serving.
+        to_version: u32,
+    },
+    /// A post-swap regression was detected; the previous version is back.
+    PredictorRollback {
+        /// The regressed version being evicted.
+        from_version: u32,
+        /// Version now serving (a fresh number, restoring the old model).
+        to_version: u32,
+    },
 }
 
 impl ObsEvent {
@@ -146,6 +180,11 @@ impl ObsEvent {
             ObsEvent::NodeUp { .. } => "node_up",
             ObsEvent::NodeTrusted { .. } => "node_trusted",
             ObsEvent::AuditViolation { .. } => "audit_violation",
+            ObsEvent::PredictorDrift { .. } => "predictor_drift",
+            ObsEvent::PredictorRetrain { .. } => "predictor_retrain",
+            ObsEvent::PredictorShadowStart { .. } => "predictor_shadow_start",
+            ObsEvent::PredictorSwap { .. } => "predictor_swap",
+            ObsEvent::PredictorRollback { .. } => "predictor_rollback",
         }
     }
 
@@ -165,7 +204,12 @@ impl ObsEvent {
             ObsEvent::NodeDown { .. }
             | ObsEvent::NodeUp { .. }
             | ObsEvent::NodeTrusted { .. }
-            | ObsEvent::AuditViolation { .. } => None,
+            | ObsEvent::AuditViolation { .. }
+            | ObsEvent::PredictorDrift { .. }
+            | ObsEvent::PredictorRetrain { .. }
+            | ObsEvent::PredictorShadowStart { .. }
+            | ObsEvent::PredictorSwap { .. }
+            | ObsEvent::PredictorRollback { .. } => None,
         }
     }
 
@@ -203,6 +247,21 @@ impl ObsEvent {
             ObsEvent::AuditViolation { invariant, detail } => {
                 v(vec![13, u64::from(invariant), detail])
             }
+            ObsEvent::PredictorDrift { score_milli } => v(vec![14, u64::from(score_milli)]),
+            ObsEvent::PredictorRetrain { version, samples } => {
+                v(vec![15, u64::from(version), u64::from(samples)])
+            }
+            ObsEvent::PredictorShadowStart { version, decisions } => {
+                v(vec![16, u64::from(version), u64::from(decisions)])
+            }
+            ObsEvent::PredictorSwap {
+                from_version,
+                to_version,
+            } => v(vec![17, u64::from(from_version), u64::from(to_version)]),
+            ObsEvent::PredictorRollback {
+                from_version,
+                to_version,
+            } => v(vec![18, u64::from(from_version), u64::from(to_version)]),
         }
     }
 
@@ -268,6 +327,25 @@ impl ObsEvent {
                 invariant: field(1)? as u32,
                 detail: field(2)?,
             },
+            14 => ObsEvent::PredictorDrift {
+                score_milli: field(1)? as u32,
+            },
+            15 => ObsEvent::PredictorRetrain {
+                version: field(1)? as u32,
+                samples: field(2)? as u32,
+            },
+            16 => ObsEvent::PredictorShadowStart {
+                version: field(1)? as u32,
+                decisions: field(2)? as u32,
+            },
+            17 => ObsEvent::PredictorSwap {
+                from_version: field(1)? as u32,
+                to_version: field(2)? as u32,
+            },
+            18 => ObsEvent::PredictorRollback {
+                from_version: field(1)? as u32,
+                to_version: field(2)? as u32,
+            },
             other => {
                 return Err(SnapshotError::Schema(format!("event tag {other}")));
             }
@@ -332,6 +410,25 @@ impl EventRecord {
             ObsEvent::AuditViolation { invariant, detail } => base
                 .u64("invariant", invariant as u64)
                 .u64("detail", detail),
+            ObsEvent::PredictorDrift { score_milli } => base.u64("score_milli", score_milli as u64),
+            ObsEvent::PredictorRetrain { version, samples } => base
+                .u64("version", version as u64)
+                .u64("samples", samples as u64),
+            ObsEvent::PredictorShadowStart { version, decisions } => base
+                .u64("version", version as u64)
+                .u64("decisions", decisions as u64),
+            ObsEvent::PredictorSwap {
+                from_version,
+                to_version,
+            } => base
+                .u64("from_version", from_version as u64)
+                .u64("to_version", to_version as u64),
+            ObsEvent::PredictorRollback {
+                from_version,
+                to_version,
+            } => base
+                .u64("from_version", from_version as u64)
+                .u64("to_version", to_version as u64),
         };
         obj.finish()
     }
@@ -420,6 +517,23 @@ mod tests {
                 invariant: 2,
                 detail: 99,
             },
+            ObsEvent::PredictorDrift { score_milli: 180 },
+            ObsEvent::PredictorRetrain {
+                version: 2,
+                samples: 64,
+            },
+            ObsEvent::PredictorShadowStart {
+                version: 2,
+                decisions: 32,
+            },
+            ObsEvent::PredictorSwap {
+                from_version: 1,
+                to_version: 2,
+            },
+            ObsEvent::PredictorRollback {
+                from_version: 2,
+                to_version: 3,
+            },
         ];
         for e in variants {
             let line = record(e).to_json_line();
@@ -467,6 +581,23 @@ mod tests {
             ObsEvent::AuditViolation {
                 invariant: 4,
                 detail: 17,
+            },
+            ObsEvent::PredictorDrift { score_milli: 250 },
+            ObsEvent::PredictorRetrain {
+                version: 3,
+                samples: 128,
+            },
+            ObsEvent::PredictorShadowStart {
+                version: 3,
+                decisions: 16,
+            },
+            ObsEvent::PredictorSwap {
+                from_version: 2,
+                to_version: 3,
+            },
+            ObsEvent::PredictorRollback {
+                from_version: 3,
+                to_version: 4,
             },
         ];
         for e in variants {

@@ -61,6 +61,20 @@ COMMANDS:
                --node-mttr MINS (5)      repair time of a crashed node
                --telemetry-blackout MINS enable telemetry blackouts, mean
                                          time between windows
+               online predictor service (off unless enabled; Rush trials):
+               --retrain-every SECS      enable the drift-aware service:
+                                         retrain the deployed model on the
+                                         completed-job label window every
+                                         SECS of simulated time
+               --drift-window N (64)     labeled decisions in the drift
+                                         detector's rolling accuracy window
+               --drift-threshold F (0.15) accuracy degradation that triggers
+                                         an off-schedule retrain
+               --shadow-decisions N (32) decisions a candidate shadows
+                                         before the swap gate is judged
+               --shift-at SECS           pin the congestion regime to Storm
+                                         from SECS onward (seeded mid-
+                                         campaign distribution shift)
                observability (off unless enabled):
                --trace-out FILE          write the RUSH trial-0 structured
                                          event trace as JSON lines; byte-
@@ -160,6 +174,15 @@ fn get_u64(options: &Options, key: &str, default: u64) -> Result<u64, String> {
         Some(v) => v
             .parse()
             .map_err(|_| format!("--{key}: expected integer, got '{v}'")),
+    }
+}
+
+fn get_f64(options: &Options, key: &str, default: f64) -> Result<f64, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: expected number, got '{v}'")),
     }
 }
 
@@ -347,6 +370,26 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
         },
         every_event: options.contains_key("audit-every-event"),
     };
+    let mut service = rush_sched::service::ServiceConfig {
+        retrain_every: SimDuration::from_secs(get_u64(options, "retrain-every", 0)?),
+        drift_threshold: get_f64(options, "drift-threshold", 0.15)?,
+        ..rush_sched::service::ServiceConfig::default()
+    };
+    service.drift_window =
+        get_u64(options, "drift-window", u64::from(service.drift_window))? as u32;
+    service.shadow_decisions = get_u64(
+        options,
+        "shadow-decisions",
+        u64::from(service.shadow_decisions),
+    )? as u32;
+    let shift_at = options
+        .get("shift-at")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(SimTime::from_secs)
+                .map_err(|_| format!("--shift-at: expected seconds as integer, got '{v}'"))
+        })
+        .transpose()?;
     let settings = ExperimentSettings {
         trials,
         base_seed: seed,
@@ -355,6 +398,8 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
         trace_capacity: (trace_out.is_some() || metrics_out.is_some())
             .then_some(rush_obs::tracer::DEFAULT_CAPACITY),
         audit,
+        service,
+        shift_at,
         ..ExperimentSettings::default()
     };
     let checkpointed = ["checkpoint-every", "checkpoint-dir", "resume", "stop-after"]
@@ -538,6 +583,24 @@ fn run_checkpointed(
     }
 
     let result = engine.finalize();
+    // Trace/metrics exports mirror the plain path: the tracer rides in
+    // every snapshot, so a resumed run's full export is byte-identical to
+    // the uninterrupted run's — which is exactly what the CI drift lane
+    // compares.
+    if let Some(path) = options.get("trace-out") {
+        let body = rush_obs::tracer::records_to_jsonl(&result.events);
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {} trace events to {path}", result.events.len());
+    }
+    if let Some(path) = options.get("metrics-out") {
+        let body = if path.ends_with(".csv") {
+            result.metrics.to_csv()
+        } else {
+            result.metrics.to_json()
+        };
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote metrics registry to {path}");
+    }
     let mut table = TextTable::new(["metric", "value"]);
     table.row(["completed".to_string(), result.completed.len().to_string()]);
     table.row(["failed".to_string(), result.failed.len().to_string()]);

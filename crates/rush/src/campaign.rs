@@ -64,6 +64,13 @@ pub struct ArtifactNode {
     /// campaign node to demand that its disk cache still exists). `None`
     /// means no extra condition.
     pub check: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    /// Version fingerprint of the predictor model this node's output
+    /// depends on (0 when the node is model-independent). Recorded in the
+    /// manifest so a rerun after the deployed model changed — a different
+    /// training seed, label scheme, or online-service configuration whose
+    /// hot-swaps produce different decisions — invalidates the cached
+    /// artifact even when the campaign fingerprint alone is unchanged.
+    pub model_version: u64,
 }
 
 impl ArtifactNode {
@@ -80,6 +87,7 @@ impl ArtifactNode {
             deps: deps.iter().map(|d| d.to_string()).collect(),
             run: Box::new(move || run().map(Some)),
             check: None,
+            model_version: 0,
         }
     }
 
@@ -95,12 +103,20 @@ impl ArtifactNode {
             deps: deps.iter().map(|d| d.to_string()).collect(),
             run: Box::new(move || run().map(|()| None)),
             check: None,
+            model_version: 0,
         }
     }
 
     /// Attaches an extra skip-validity predicate (builder style).
     pub fn with_check(mut self, check: impl Fn() -> bool + Send + Sync + 'static) -> Self {
         self.check = Some(Box::new(check));
+        self
+    }
+
+    /// Tags the node with the predictor model version its output depends
+    /// on (builder style).
+    pub fn with_model_version(mut self, version: u64) -> Self {
+        self.model_version = version;
         self
     }
 }
@@ -111,6 +127,7 @@ impl std::fmt::Debug for ArtifactNode {
             .field("name", &self.name)
             .field("output", &self.output)
             .field("deps", &self.deps)
+            .field("model_version", &self.model_version)
             .finish_non_exhaustive()
     }
 }
@@ -256,6 +273,11 @@ pub struct ManifestEntry {
     pub fingerprint: u64,
     /// FNV-1a hash of the artifact text (0 for resource nodes).
     pub content_hash: u64,
+    /// Version fingerprint of the predictor model the node ran under
+    /// (0 for model-independent nodes, and for manifests written before
+    /// the field existed — those never match a versioned node, forcing a
+    /// rerun once, which is the safe direction).
+    pub model_version: u64,
     /// Wall time of the run in milliseconds (0 when skipped).
     pub wall_ms: u64,
     /// How the node resolved.
@@ -303,6 +325,7 @@ impl Manifest {
                     .str("output", e.output.as_deref().unwrap_or(""))
                     .str("fingerprint", &format!("{:016x}", e.fingerprint))
                     .str("content_hash", &format!("{:016x}", e.content_hash))
+                    .str("model_version", &format!("{:016x}", e.model_version))
                     .u64("wall_ms", e.wall_ms)
                     .str("status", e.status.as_str());
                 if let Some(err) = &e.error {
@@ -337,6 +360,13 @@ impl Manifest {
                 },
                 fingerprint: parse_hex(item.str_field("fingerprint")?)?,
                 content_hash: parse_hex(item.str_field("content_hash")?)?,
+                // Absent in manifests written before the field existed;
+                // default 0 so they still parse (and force a rerun of any
+                // node that now carries a version).
+                model_version: match item.opt_str_field("model_version") {
+                    Some(hex) => parse_hex(hex)?,
+                    None => 0,
+                },
                 wall_ms: item.u64_field("wall_ms")?,
                 status: NodeStatus::parse(item.str_field("status")?)
                     .ok_or_else(|| "bad status".to_string())?,
@@ -666,6 +696,7 @@ fn block_node(dag: &Dag, d: usize, dep_name: &str, st: &mut ExecState) {
             output: node.output.clone(),
             fingerprint: 0,
             content_hash: 0,
+            model_version: node.model_version,
             wall_ms: 0,
             status: NodeStatus::Blocked,
             error: Some(error),
@@ -710,6 +741,7 @@ fn resolve_node(
                     output: node.output.clone(),
                     fingerprint: prev.fingerprint,
                     content_hash: prev.content_hash,
+                    model_version: node.model_version,
                     wall_ms: 0,
                     status: NodeStatus::Skipped,
                     error: None,
@@ -766,6 +798,7 @@ fn resolve_node(
                     output: node.output.clone(),
                     fingerprint: opts.fingerprint,
                     content_hash,
+                    model_version: node.model_version,
                     wall_ms,
                     status: NodeStatus::Fresh,
                     error: None,
@@ -801,6 +834,7 @@ fn failure(
             output: node.output.clone(),
             fingerprint: 0,
             content_hash: 0,
+            model_version: node.model_version,
             wall_ms,
             status: NodeStatus::Failed,
             error: Some(error),
@@ -810,8 +844,9 @@ fn failure(
 }
 
 /// A node may be skipped when its previous entry ran under the same
-/// fingerprint, its recorded output is still on disk and unmodified, every
-/// dependency resolved unchanged, and its extra `check` (if any) holds.
+/// fingerprint and predictor model version, its recorded output is still
+/// on disk and unmodified, every dependency resolved unchanged, and its
+/// extra `check` (if any) holds.
 fn can_skip(
     node: &ArtifactNode,
     prev: &ManifestEntry,
@@ -820,6 +855,7 @@ fn can_skip(
     state: &Mutex<ExecState>,
 ) -> bool {
     if prev.fingerprint != opts.fingerprint
+        || prev.model_version != node.model_version
         || !matches!(prev.status, NodeStatus::Fresh | NodeStatus::Skipped)
         || prev.deps != node.deps
     {
@@ -1358,6 +1394,7 @@ mod tests {
                     output: Some("fig05.txt".into()),
                     fingerprint: 0xDEAD_BEEF,
                     content_hash: 0x1234,
+                    model_version: 0xFACE,
                     wall_ms: 420,
                     status: NodeStatus::Fresh,
                     error: None,
@@ -1368,6 +1405,7 @@ mod tests {
                     output: None,
                     fingerprint: 0xDEAD_BEEF,
                     content_hash: 0,
+                    model_version: 0,
                     wall_ms: 0,
                     status: NodeStatus::Skipped,
                     error: None,
@@ -1378,6 +1416,7 @@ mod tests {
                     output: Some("x.txt".into()),
                     fingerprint: 1,
                     content_hash: 2,
+                    model_version: 0,
                     wall_ms: 3,
                     status: NodeStatus::Failed,
                     error: Some("boom\nline2".into()),
@@ -1390,6 +1429,39 @@ mod tests {
         assert_eq!(back, manifest);
         assert!(Manifest::from_json("garbage").is_err());
         assert!(Manifest::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn manifest_without_model_version_still_parses() {
+        // A manifest written before the field existed: every entry parses
+        // with model_version 0.
+        let legacy = r#"{"version":1,"seed":7,"fingerprint":"000000000000abcd","artifacts":[{"name":"a","output":"a.txt","fingerprint":"000000000000abcd","content_hash":"0000000000000001","wall_ms":5,"status":"fresh","deps":[]}]}"#;
+        let manifest = Manifest::from_json(legacy).unwrap();
+        assert_eq!(manifest.entry("a").unwrap().model_version, 0);
+    }
+
+    #[test]
+    fn changed_model_version_invalidates_node() {
+        let dir = tmp_dir("modelver");
+        let make = |version: u64| {
+            Dag::new(vec![ArtifactNode::artifact("a", "a.txt", &[], || {
+                Ok("alpha\n".to_string())
+            })
+            .with_model_version(version)])
+            .unwrap()
+        };
+        execute(&make(1), &opts(&dir)).unwrap();
+        // Same model version: skip.
+        let report = execute(&make(1), &opts(&dir)).unwrap();
+        assert_eq!(report.count(NodeStatus::Skipped), 1);
+        assert_eq!(report.manifest.entry("a").unwrap().model_version, 1);
+        // Deployed predictor model changed (hot-swap producing a different
+        // version fingerprint): the cached artifact is stale even though
+        // the campaign fingerprint and output bytes are unchanged.
+        let report = execute(&make(2), &opts(&dir)).unwrap();
+        assert_eq!(report.count(NodeStatus::Fresh), 1);
+        assert_eq!(report.manifest.entry("a").unwrap().model_version, 2);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::collect::CampaignData;
 use crate::labels::LabelScheme;
 use crate::pipeline::{build_reference, ModelCache};
-use crate::predictor::MlPredictor;
+use crate::predictor::{MlPredictor, OnlineMlHost};
 use rayon::prelude::*;
 use rush_cluster::machine::{Machine, MachineConfig};
 use rush_cluster::topology::NodeId;
@@ -25,6 +25,7 @@ use rush_sched::engine::{BackfillPolicy, SchedulerConfig, SchedulerEngine};
 use rush_sched::metrics::{RuntimeReference, ScheduleMetrics};
 use rush_sched::policy::QueueOrder;
 use rush_sched::predictor::{NeverVaries, VariabilityPredictor};
+use rush_sched::service::ServiceConfig;
 use rush_simkit::fault::FaultConfig;
 use rush_simkit::time::{SimDuration, SimTime};
 use rush_workloads::apps::AppId;
@@ -269,6 +270,15 @@ pub struct ExperimentSettings {
     /// artifacts. Training is deterministic, so caching never changes
     /// results.
     pub model_cache: ModelCache,
+    /// Online predictor service knobs. Disabled by default
+    /// (`retrain_every` zero = the paper's static deployment); the CLI's
+    /// `--retrain-every` / `--drift-window` / `--shadow-decisions` flags
+    /// enable and shape it for Rush trials.
+    pub service: ServiceConfig,
+    /// Seeded mid-campaign distribution shift: from this sim time onward
+    /// the machine's congestion regime is pinned to Storm, which degrades
+    /// the deployed model's labels and exercises drift → retrain → swap.
+    pub shift_at: Option<SimTime>,
 }
 
 impl Default for ExperimentSettings {
@@ -288,6 +298,8 @@ impl Default for ExperimentSettings {
             trace_capacity: None,
             audit: rush_sched::audit::AuditConfig::default(),
             model_cache: ModelCache::new(),
+            service: ServiceConfig::default(),
+            shift_at: None,
         }
     }
 }
@@ -327,6 +339,11 @@ pub fn build_trial_engine(
     let mut job_rng = rush_simkit::rng::RngStreams::new(seed).stream("experiment/jobs");
     let requests = generate_jobs(&workload, &mut job_rng);
 
+    // When the online service is enabled for a Rush trial, the same cached
+    // model becomes the service's initial live artifact and the predictor
+    // box is bypassed (consultations route through the service).
+    let online = policy == PolicyKind::Rush && settings.service.enabled();
+    let mut initial_artifact = None;
     let predictor: Box<dyn VariabilityPredictor> = match policy {
         PolicyKind::FcfsEasy => Box::new(NeverVaries),
         PolicyKind::Rush => {
@@ -337,6 +354,9 @@ pub fn build_trial_engine(
                 settings.label_scheme,
                 settings.base_seed,
             );
+            if online {
+                initial_artifact = Some(rush_ml::codec::encode(&model));
+            }
             Box::new(
                 MlPredictor::new((*model).clone(), settings.label_scheme, None)
                     .with_window(settings.predictor_window),
@@ -369,10 +389,37 @@ pub fn build_trial_engine(
             seed: settings.faults.seed.wrapping_add(trial as u64),
             ..settings.faults
         },
+        service: if online {
+            settings.service
+        } else {
+            ServiceConfig::default()
+        },
         ..SchedulerConfig::default()
     };
     let mut engine = SchedulerEngine::new(machine, config, predictor, seed)
         .with_noise_job(noise, NOISE_MAX_GBPS);
+    if let Some(artifact) = initial_artifact {
+        let host = OnlineMlHost::new(
+            settings
+                .model_cache
+                .train_with_scheme(
+                    campaign,
+                    experiment.train_apps().as_deref(),
+                    settings.model_kind,
+                    settings.label_scheme,
+                    settings.base_seed,
+                )
+                .as_ref()
+                .clone(),
+            settings.label_scheme,
+            settings.model_kind,
+        )
+        .with_window(settings.predictor_window);
+        engine = engine.with_online_predictor(Box::new(host), build_reference(campaign), artifact);
+    }
+    if let Some(at) = settings.shift_at {
+        engine = engine.with_regime_shift(at, SimTime::MAX, rush_cluster::noise::Regime::Storm);
+    }
     if let Some(cap) = settings.trace_capacity {
         engine = engine.with_tracing(cap);
     }

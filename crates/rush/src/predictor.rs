@@ -10,7 +10,7 @@
 
 use crate::labels::LabelScheme;
 use rush_cluster::topology::NodeId;
-use rush_ml::model::{Classifier, TrainedModel};
+use rush_ml::model::{Classifier, ModelKind, TrainedModel};
 use rush_obs::profile as obs_profile;
 use rush_obs::ProfileScope;
 use rush_sched::job::Job;
@@ -89,6 +89,115 @@ impl MlPredictor {
             Some(kept) => kept.iter().map(|&i| row[i]).collect(),
             None => row,
         }
+    }
+}
+
+/// The scheduler service's bridge to the real ML stack: Table-I feature
+/// assembly through [`MlPredictor`], window retraining through
+/// [`rush_ml::online::retrain_window`], and the `RUSHMODEL v1` text codec
+/// as the portable artifact format. The scheduler engine only ever sees
+/// feature rows and artifact strings, which is what lets the service's
+/// snapshot carry its models as plain text.
+pub struct OnlineMlHost {
+    /// Used solely for feature assembly (its embedded model never predicts
+    /// here; live/candidate classification goes through loaded artifacts).
+    assembler: MlPredictor,
+    scheme: LabelScheme,
+    kind: ModelKind,
+    names: Vec<String>,
+}
+
+impl OnlineMlHost {
+    /// Builds a host that retrains `kind` models under `scheme`.
+    /// `assembly_model` only anchors the feature-width assertion — pass the
+    /// initial live model.
+    pub fn new(assembly_model: TrainedModel, scheme: LabelScheme, kind: ModelKind) -> Self {
+        let names = FeatureSchema::table_one().names().to_vec();
+        OnlineMlHost {
+            assembler: MlPredictor::new(assembly_model, scheme, None),
+            scheme,
+            kind,
+            names,
+        }
+    }
+
+    /// Overrides the counter-aggregation window (must match the predictor's).
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.assembler = self.assembler.with_window(window);
+        self
+    }
+}
+
+/// A decoded artifact wrapped for the service: pure row classification
+/// under the host's label scheme.
+struct OnlineLoadedModel {
+    model: TrainedModel,
+    scheme: LabelScheme,
+}
+
+impl rush_sched::service::LoadedModel for OnlineLoadedModel {
+    fn classify(&self, row: &[f64]) -> VariabilityClass {
+        let label = self.model.predict(row);
+        match self.scheme {
+            LabelScheme::Binary => {
+                if label == 1 {
+                    VariabilityClass::Variation
+                } else {
+                    VariabilityClass::NoVariation
+                }
+            }
+            LabelScheme::ThreeClass => VariabilityClass::from_index(label),
+        }
+    }
+}
+
+impl rush_sched::service::OnlineModelHost for OnlineMlHost {
+    fn assemble(
+        &mut self,
+        job: &Job,
+        nodes: &[NodeId],
+        ctx: &mut PredictorCtx<'_>,
+    ) -> Result<Vec<f64>, PredictError> {
+        let row = self.assembler.assemble_features(job, nodes, ctx);
+        if let Some(bad) = row.iter().position(|v| !v.is_finite()) {
+            return Err(PredictError::ModelFailure(format!(
+                "non-finite feature at column {bad}"
+            )));
+        }
+        Ok(row)
+    }
+
+    fn train(
+        &mut self,
+        samples: &[rush_sched::service::LabeledSample],
+        seed: u64,
+    ) -> Result<String, String> {
+        let rows: Vec<Vec<f64>> = samples.iter().map(|s| s.row.clone()).collect();
+        // Window labels are three-class; binary models collapse them the
+        // same way the offline pipeline does (≥ variation ⇒ 1).
+        let labels: Vec<u32> = samples
+            .iter()
+            .map(|s| match self.scheme {
+                LabelScheme::Binary => u32::from(s.label >= 2),
+                LabelScheme::ThreeClass => s.label,
+            })
+            .collect();
+        let groups: Vec<u32> = samples.iter().map(|s| s.app).collect();
+        let model =
+            rush_ml::online::retrain_window(&self.names, &rows, &labels, &groups, self.kind, seed)?;
+        Ok(rush_ml::codec::encode(&model))
+    }
+
+    fn load(&self, artifact: &str) -> Result<Box<dyn rush_sched::service::LoadedModel>, String> {
+        let model = rush_ml::codec::decode(artifact).map_err(|e| e.to_string())?;
+        Ok(Box::new(OnlineLoadedModel {
+            model,
+            scheme: self.scheme,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        "rush-ml-online"
     }
 }
 

@@ -20,9 +20,11 @@ use crate::policy::{QueueItem, QueueOrder};
 use crate::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
 use crate::profile::AvailabilityProfile;
 use crate::retry::RetryPolicy;
+use crate::service::{OnlineModelHost, PredictorService, ServiceConfig, ServiceEvent};
 use crate::trace::{ScheduleTrace, TraceEvent};
 use rand::Rng;
 use rush_cluster::machine::{Machine, NodeHealth, SourceId};
+use rush_cluster::noise::{Regime, RegimeOverride};
 use rush_cluster::placement::{NodePool, PlacementPolicy};
 use rush_cluster::topology::NodeId;
 use rush_obs::metrics::{CounterId, GaugeId, HistogramId};
@@ -187,6 +189,10 @@ pub struct SchedulerConfig {
     pub audit: AuditConfig,
     /// Predictor-consultation circuit breaker (default: disabled).
     pub breaker: BreakerConfig,
+    /// Online predictor service: drift detection, periodic retraining,
+    /// shadow evaluation, hot-swap and rollback (default: disabled, the
+    /// paper's static deployment).
+    pub service: ServiceConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -209,6 +215,7 @@ impl Default for SchedulerConfig {
             tuning: EngineTuning::default(),
             audit: AuditConfig::default(),
             breaker: BreakerConfig::default(),
+            service: ServiceConfig::default(),
         }
     }
 }
@@ -242,6 +249,12 @@ struct SchedCounters {
     audit_checks: CounterId,
     audit_violations: CounterId,
     breaker_state: GaugeId,
+    predictor_version: GaugeId,
+    predictor_drift: GaugeId,
+    predictor_agreement: GaugeId,
+    predictor_retrains: CounterId,
+    predictor_swaps: CounterId,
+    predictor_rollbacks: CounterId,
 }
 
 impl SchedCounters {
@@ -272,6 +285,12 @@ impl SchedCounters {
             audit_checks: reg.register_counter("audit.checks"),
             audit_violations: reg.register_counter("audit.violations"),
             breaker_state: reg.register_gauge("sched.predictor_breaker_state"),
+            predictor_version: reg.register_gauge("sched.predictor.version"),
+            predictor_drift: reg.register_gauge("sched.predictor.drift_score"),
+            predictor_agreement: reg.register_gauge("sched.predictor.shadow_agreement"),
+            predictor_retrains: reg.register_counter("sched.predictor.retrains"),
+            predictor_swaps: reg.register_counter("sched.predictor.swaps"),
+            predictor_rollbacks: reg.register_counter("sched.predictor.rollbacks"),
         }
     }
 }
@@ -506,6 +525,10 @@ pub struct SchedulerEngine {
     breaker: BreakerState,
     /// Consecutive predictor model errors (resets on any success).
     breaker_failures: u32,
+    /// The online predictor service, when enabled via
+    /// [`SchedulerEngine::with_online_predictor`]. When present, predictor
+    /// consultations route through it instead of `predictor`.
+    service: Option<PredictorService>,
     max_queue_len: usize,
     pending_submits: usize,
     /// Whether `queue` may be out of R1 order (incremental mode re-sorts
@@ -565,6 +588,7 @@ impl SchedulerEngine {
             reserved_nodes: 0,
             breaker: BreakerState::Closed,
             breaker_failures: 0,
+            service: None,
             max_queue_len: 0,
             pending_submits: 0,
             queue_dirty: false,
@@ -592,9 +616,52 @@ impl SchedulerEngine {
         self
     }
 
+    /// Enables the online predictor service: consultations route through a
+    /// [`PredictorService`] built from `config.service`, which retrains on
+    /// the completed-job label window, shadow-evaluates candidates, and
+    /// hot-swaps or rolls back. `initial_artifact` is the live model's
+    /// portable encoding; the service seeds retraining from the engine's
+    /// master seed. No-op (keeps the plain predictor) when
+    /// `config.service.retrain_every` is zero.
+    pub fn with_online_predictor(
+        mut self,
+        host: Box<dyn OnlineModelHost>,
+        reference: crate::metrics::RuntimeReference,
+        initial_artifact: String,
+    ) -> Self {
+        if self.config.service.enabled() {
+            let svc = PredictorService::new(
+                self.config.service,
+                host,
+                reference,
+                initial_artifact,
+                self.master_seed,
+            );
+            self.registry
+                .set_gauge(self.counters.predictor_version, f64::from(svc.version()));
+            self.service = Some(svc);
+        }
+        self
+    }
+
+    /// Schedules a machine-wide congestion-regime override for
+    /// `[from, to)` — the lever CI's drift scenario uses to inject a
+    /// seeded mid-campaign distribution shift. Config-time, so a resumed
+    /// process reconstructs the identical timeline.
+    pub fn with_regime_shift(mut self, from: SimTime, to: SimTime, regime: Regime) -> Self {
+        self.machine
+            .add_regime_override(RegimeOverride { from, to, regime });
+        self
+    }
+
     /// Immutable access to the machine (for tests and reports).
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// The online predictor service, when enabled.
+    pub fn service(&self) -> Option<&PredictorService> {
+        self.service.as_ref()
     }
 
     /// Runs the whole job stream to completion and returns the result.
@@ -885,6 +952,11 @@ impl SchedulerEngine {
         self.record(now, TraceEvent::Killed(id));
         self.registry.inc(self.counters.jobs_killed);
         self.tracer.emit(now, ObsEvent::JobKilled { job: id.0 });
+        // A killed job yields no label; its pending decision is dropped.
+        if let Some(svc) = self.service.as_mut() {
+            svc.observe_kill(id, now);
+            self.drain_service_events(now);
+        }
 
         let attempts = self.attempts.entry(id).or_insert(0);
         *attempts += 1;
@@ -1042,6 +1114,12 @@ impl SchedulerEngine {
         self.registry
             .record(self.counters.run_s, now.since(r.start_at).as_secs_f64());
         self.tracer.emit(now, ObsEvent::JobFinished { job: id.0 });
+        // The completed job is a labeled outcome for the online service:
+        // its actual runtime grades the prediction made at launch.
+        if let Some(svc) = self.service.as_mut() {
+            svc.observe_completion(&r.job, now.since(r.start_at), now);
+            self.drain_service_events(now);
+        }
         self.completed.push(CompletedJob {
             base_runtime: r.job.base_runtime(),
             job: r.job,
@@ -1248,6 +1326,12 @@ impl SchedulerEngine {
     /// hollowed out by blackouts/corruption (or a failing predictor) must
     /// degrade RUSH to plain EASY, not poison its decisions.
     fn consult_predictor(&mut self, job: &Job, nodes: &[NodeId], now: SimTime) -> StartConsult {
+        // Advance the service's retraining clock first: a due retrain must
+        // start shadowing from this very decision.
+        if let Some(svc) = self.service.as_mut() {
+            svc.tick(now);
+            self.drain_service_events(now);
+        }
         let skips = self.skip_table.get(&job.id).copied().unwrap_or(0);
         if skips >= job.skip_threshold {
             return StartConsult::BudgetExhausted;
@@ -1278,13 +1362,22 @@ impl SchedulerEngine {
             // health, so it neither trips the breaker nor closes it.
             return StartConsult::Fallback(FallbackReason::TelemetryGap);
         }
-        let mut ctx = PredictorCtx {
-            machine: &mut self.machine,
-            store: &self.store,
-            now,
-            rng: &mut self.rng_pred,
+        let outcome = {
+            let mut ctx = PredictorCtx {
+                machine: &mut self.machine,
+                store: &self.store,
+                now,
+                rng: &mut self.rng_pred,
+            };
+            match self.service.as_mut() {
+                Some(svc) => svc.predict(job, nodes, &mut ctx),
+                None => self.predictor.predict(job, nodes, &mut ctx),
+            }
         };
-        match self.predictor.predict(job, nodes, &mut ctx) {
+        if self.service.is_some() {
+            self.drain_service_events(now);
+        }
+        match outcome {
             Ok(class) => {
                 if self.config.breaker.threshold > 0
                     && (self.breaker != BreakerState::Closed || self.breaker_failures > 0)
@@ -1315,6 +1408,64 @@ impl SchedulerEngine {
         self.breaker = state;
         self.registry
             .set_gauge(self.counters.breaker_state, state.gauge_value());
+    }
+
+    /// Surfaces the service's accumulated transitions as counters and
+    /// trace events, and refreshes its gauges.
+    fn drain_service_events(&mut self, now: SimTime) {
+        let Some(svc) = self.service.as_mut() else {
+            return;
+        };
+        let events = svc.drain_events();
+        let version = svc.version();
+        let drift = svc.drift_score();
+        let agreement = svc.shadow_agreement();
+        self.registry
+            .set_gauge(self.counters.predictor_version, f64::from(version));
+        self.registry
+            .set_gauge(self.counters.predictor_drift, drift);
+        self.registry
+            .set_gauge(self.counters.predictor_agreement, agreement);
+        for ev in events {
+            match ev {
+                ServiceEvent::DriftDetected { score_milli } => {
+                    self.tracer
+                        .emit(now, ObsEvent::PredictorDrift { score_milli });
+                }
+                ServiceEvent::Retrained { version, samples } => {
+                    self.registry.inc(self.counters.predictor_retrains);
+                    self.tracer
+                        .emit(now, ObsEvent::PredictorRetrain { version, samples });
+                }
+                ServiceEvent::ShadowStarted { version, decisions } => {
+                    self.tracer
+                        .emit(now, ObsEvent::PredictorShadowStart { version, decisions });
+                }
+                ServiceEvent::Swapped { from, to } => {
+                    self.registry.inc(self.counters.predictor_swaps);
+                    self.tracer.emit(
+                        now,
+                        ObsEvent::PredictorSwap {
+                            from_version: from,
+                            to_version: to,
+                        },
+                    );
+                }
+                ServiceEvent::RolledBack { from, to } => {
+                    self.registry.inc(self.counters.predictor_rollbacks);
+                    self.tracer.emit(
+                        now,
+                        ObsEvent::PredictorRollback {
+                            from_version: from,
+                            to_version: to,
+                        },
+                    );
+                }
+                // A discarded candidate and a failed training leave the
+                // live model serving; no dedicated trace event.
+                ServiceEvent::Discarded { .. } | ServiceEvent::TrainFailed => {}
+            }
+        }
     }
 
     /// Algorithm 2: the modified `Start()`. Returns `true` if the job
@@ -1595,7 +1746,7 @@ impl SchedulerEngine {
             BreakerState::HalfOpen => Val::List(vec![Val::U64(2), Val::U64(0)]),
         };
 
-        let body = Val::map()
+        let mut body = Val::map()
             .with(
                 "queue",
                 Val::List(self.queue.iter().map(|j| Val::U64(j.id.0)).collect()),
@@ -1623,6 +1774,9 @@ impl SchedulerEngine {
             .with("tracer", self.tracer.to_val())
             .with("registry", self.registry.to_val())
             .with("trace", self.trace.to_val());
+        if let Some(svc) = &self.service {
+            body = body.with("service", svc.to_val());
+        }
 
         snapshot::encode(
             self.master_seed,
@@ -1811,8 +1965,33 @@ impl SchedulerEngine {
         let registry = MetricsRegistry::from_val(b.get("registry")?)?;
         let trace = ScheduleTrace::from_val(b.get("trace")?)?;
 
+        // The snapshot's online-service state and the engine's wiring must
+        // agree: a service snapshot can only restore into an engine built
+        // with `with_online_predictor`, and vice versa.
+        let service_val = match b.get("service") {
+            Ok(v) => Some(v.clone()),
+            Err(_) => None,
+        };
+        match (&self.service, &service_val) {
+            (Some(_), None) => {
+                return Err(SnapshotError::Schema(
+                    "engine has an online predictor service but the snapshot has none".to_string(),
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(SnapshotError::Schema(
+                    "snapshot has online predictor service state but the engine has none"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+
         // Components that restore in place validate their own shape; they
         // run after all pure parsing so their mutations are the commit.
+        if let (Some(svc), Some(v)) = (self.service.as_mut(), &service_val) {
+            svc.restore(v)?;
+        }
         self.machine.restore_state(b.get("machine")?)?;
         self.pool.restore_state(b.get("pool")?)?;
         self.sampler.restore_state(b.get("sampler")?)?;
@@ -3304,6 +3483,274 @@ mod tests {
         assert!(
             matches!(eng.breaker_state(), BreakerState::Closed),
             "telemetry gaps are not model failures"
+        );
+    }
+
+    /// Regression (robustness satellite): the breaker's state is part of
+    /// the snapshot, so a resume while it is Open must come back Open with
+    /// the same deadline — not silently reset to Closed, which would let a
+    /// resumed run hammer a failing model mid-cooldown and diverge from
+    /// the uninterrupted timeline.
+    #[test]
+    fn breaker_open_state_survives_snapshot_resume() {
+        let config = SchedulerConfig {
+            breaker: BreakerConfig {
+                threshold: 2,
+                cooldown: SimDuration::from_hours(5),
+            },
+            ..SchedulerConfig::default()
+        };
+        let reqs = requests(6, 4);
+        let mut eng = SchedulerEngine::new(
+            Machine::new(MachineConfig::tiny(7)),
+            config,
+            Box::new(crate::predictor::AlwaysFails),
+            42,
+        );
+        eng.prepare(&reqs);
+        while !matches!(eng.breaker_state(), BreakerState::Open(_)) && eng.step().is_some() {}
+        let open = eng.breaker_state();
+        assert!(
+            matches!(open, BreakerState::Open(_)),
+            "fixture must trip the breaker mid-run"
+        );
+        assert!(!eng.is_done(), "the snapshot must land mid-run");
+        let bytes = eng.snapshot();
+        drop(eng);
+
+        let mut fresh = SchedulerEngine::new(
+            Machine::new(MachineConfig::tiny(7)),
+            config,
+            Box::new(crate::predictor::AlwaysFails),
+            42,
+        );
+        fresh.prepare(&reqs);
+        fresh.resume(&bytes).expect("snapshot must restore");
+        assert_eq!(
+            fresh.breaker_state(),
+            open,
+            "resume while Open must not reset the breaker"
+        );
+        // The resumed run still completes, with the open window falling back.
+        while fresh.step().is_some() {}
+        let result = fresh.finalize();
+        assert_eq!(result.completed.len(), 6);
+    }
+
+    // ----- online predictor service -------------------------------------
+
+    /// Engine-level fake of the ML stack: artifacts are threshold strings,
+    /// rows are a single zero, so a "9.9" model always says NoVariation.
+    /// Training always returns the same artifact as the live model —
+    /// candidate and incumbent tie on every label, and ties promote.
+    struct TieHost;
+
+    struct Threshold {
+        cut: f64,
+    }
+
+    impl crate::service::LoadedModel for Threshold {
+        fn classify(&self, row: &[f64]) -> VariabilityClass {
+            if row.first().copied().unwrap_or(0.0) >= self.cut {
+                VariabilityClass::Variation
+            } else {
+                VariabilityClass::NoVariation
+            }
+        }
+    }
+
+    impl OnlineModelHost for TieHost {
+        fn assemble(
+            &mut self,
+            _job: &Job,
+            _nodes: &[NodeId],
+            _ctx: &mut PredictorCtx<'_>,
+        ) -> Result<Vec<f64>, crate::predictor::PredictError> {
+            Ok(vec![0.0])
+        }
+
+        fn train(
+            &mut self,
+            _samples: &[crate::service::LabeledSample],
+            _seed: u64,
+        ) -> Result<String, String> {
+            Ok("9.9".to_string())
+        }
+
+        fn load(&self, artifact: &str) -> Result<Box<dyn crate::service::LoadedModel>, String> {
+            let cut: f64 = artifact.parse().map_err(|_| "bad artifact".to_string())?;
+            Ok(Box::new(Threshold { cut }))
+        }
+
+        fn name(&self) -> &str {
+            "tie-host"
+        }
+    }
+
+    fn online_engine() -> SchedulerEngine {
+        let config = SchedulerConfig {
+            service: ServiceConfig {
+                retrain_every: SimDuration::from_secs(60),
+                drift_window: 4,
+                shadow_decisions: 2,
+                shadow_quorum: 1,
+                min_train_samples: 2,
+                watch_samples: 2,
+                ..ServiceConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut reference = crate::metrics::RuntimeReference::new();
+        reference.insert(AppId::Amg, 4, ScalingMode::Reference, 185.0, 20.0);
+        SchedulerEngine::new(
+            Machine::new(MachineConfig::tiny(7)),
+            config,
+            Box::new(NeverVaries),
+            42,
+        )
+        .with_online_predictor(Box::new(TieHost), reference, "9.9".to_string())
+        .with_tracing(1 << 16)
+    }
+
+    #[test]
+    fn online_service_retrains_shadows_and_swaps() {
+        let mut eng = online_engine();
+        let result = eng.run(&requests(12, 4));
+        assert_eq!(result.completed.len(), 12);
+        let svc = eng.service().expect("service enabled");
+        assert!(svc.retrains() >= 1, "the retrain period must fire");
+        assert!(svc.swaps() >= 1, "a tying candidate must promote");
+        assert!(svc.version() >= 2);
+        assert_eq!(svc.rollbacks(), 0, "the identical model cannot regress");
+        assert!(
+            result
+                .metrics
+                .counter_by_name("sched.predictor.retrains")
+                .unwrap()
+                >= 1
+        );
+        assert!(
+            result
+                .metrics
+                .counter_by_name("sched.predictor.swaps")
+                .unwrap()
+                >= 1
+        );
+        assert!(
+            result
+                .metrics
+                .gauge_by_name("sched.predictor.version")
+                .unwrap()
+                >= 2.0
+        );
+        for kind in [
+            "predictor_retrain",
+            "predictor_shadow_start",
+            "predictor_swap",
+        ] {
+            assert!(
+                result.events.iter().any(|r| r.event.kind() == kind),
+                "trace must contain a {kind} event"
+            );
+        }
+    }
+
+    /// The tentpole's crash-safety obligation: a checkpoint taken *inside a
+    /// shadow phase* (candidate in flight, pending decisions unresolved)
+    /// must resume to the identical trajectory, swap included.
+    #[test]
+    fn online_service_mid_shadow_resume_matches_uninterrupted_run() {
+        use crate::service::ServicePhase;
+        let reqs = requests(12, 4);
+
+        let mut base = online_engine();
+        base.prepare(&reqs);
+        while base.step().is_some() {}
+        let baseline = base.finalize();
+        assert!(
+            base.service().unwrap().swaps() >= 1,
+            "fixture must exercise a swap"
+        );
+
+        let mut victim = online_engine();
+        victim.prepare(&reqs);
+        while victim.service().unwrap().phase() == ServicePhase::Live && victim.step().is_some() {}
+        assert!(
+            matches!(
+                victim.service().unwrap().phase(),
+                ServicePhase::Shadow | ServicePhase::Deciding
+            ),
+            "the cut must land inside the shadow trial, got {:?}",
+            victim.service().unwrap().phase()
+        );
+        assert!(!victim.is_done());
+        let bytes = victim.snapshot();
+        drop(victim);
+
+        let mut fresh = online_engine();
+        fresh.prepare(&reqs);
+        fresh.resume(&bytes).expect("snapshot must restore");
+        assert!(matches!(
+            fresh.service().unwrap().phase(),
+            ServicePhase::Shadow | ServicePhase::Deciding
+        ));
+        while fresh.step().is_some() {}
+        let restored = fresh.finalize();
+        assert!(fresh.service().unwrap().swaps() >= 1);
+
+        assert_eq!(
+            run_fingerprint(&baseline),
+            run_fingerprint(&restored),
+            "a mid-shadow resume must be indistinguishable from an uninterrupted run"
+        );
+    }
+
+    /// The engine's service wiring and the snapshot's service state must
+    /// agree — a service snapshot silently restoring into a plain engine
+    /// (or vice versa) would drop the whole online trajectory.
+    #[test]
+    fn resume_rejects_online_service_mismatch() {
+        let reqs = requests(12, 4);
+        let mut eng = online_engine();
+        eng.prepare(&reqs);
+        for _ in 0..64 {
+            if eng.step().is_none() {
+                break;
+            }
+        }
+        let with_service = eng.snapshot();
+
+        // Identical config, but built without `with_online_predictor`.
+        let mut plain = SchedulerEngine::new(
+            Machine::new(MachineConfig::tiny(7)),
+            SchedulerConfig {
+                service: ServiceConfig {
+                    retrain_every: SimDuration::from_secs(60),
+                    drift_window: 4,
+                    shadow_decisions: 2,
+                    shadow_quorum: 1,
+                    min_train_samples: 2,
+                    watch_samples: 2,
+                    ..ServiceConfig::default()
+                },
+                ..SchedulerConfig::default()
+            },
+            Box::new(NeverVaries),
+            42,
+        )
+        .with_tracing(1 << 16);
+        plain.prepare(&reqs);
+        assert!(
+            plain.resume(&with_service).is_err(),
+            "service snapshot must not restore into a service-less engine"
+        );
+
+        let plain_snapshot = plain.snapshot();
+        let mut serviced = online_engine();
+        serviced.prepare(&reqs);
+        assert!(
+            serviced.resume(&plain_snapshot).is_err(),
+            "service-less snapshot must not restore into a serviced engine"
         );
     }
 }

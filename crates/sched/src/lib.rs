@@ -23,6 +23,9 @@
 //! * [`engine`] — the discrete-event scheduler run loop with piecewise
 //!   job-progress integration: contention *during* a run determines its
 //!   run time, not just contention at its start.
+//! * [`service`] — the drift-aware online predictor service: sliding-window
+//!   label store, periodic retraining, shadow evaluation, hot-swap, and
+//!   post-swap regression rollback.
 //! * [`retry`] — the requeue policy for jobs killed by node failures:
 //!   capped exponential backoff and a bounded retry budget.
 //! * [`audit`] — the runtime invariant auditor: a catalog of global
@@ -42,6 +45,7 @@ pub mod policy;
 pub mod predictor;
 pub mod profile;
 pub mod retry;
+pub mod service;
 pub mod trace;
 
 pub use audit::{AuditConfig, AuditPolicy, Invariant, Violation};
@@ -51,4 +55,8 @@ pub use metrics::{RuntimeReference, ScheduleMetrics};
 pub use policy::QueueOrder;
 pub use predictor::{PredictError, PredictorCtx, VariabilityClass, VariabilityPredictor};
 pub use retry::RetryPolicy;
+pub use service::{
+    DriftDetector, LabeledSample, LoadedModel, OnlineModelHost, PredictorService, ServiceConfig,
+    ServiceEvent, ServicePhase,
+};
 pub use trace::{ScheduleTrace, TraceEvent};

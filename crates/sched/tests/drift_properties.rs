@@ -1,0 +1,105 @@
+//! Property-based tests pinning the drift detector's two contractual
+//! behaviors: it stays quiet on a stationary outcome stream, and it fires
+//! within one window of an injected distribution flip.
+//!
+//! Streams are generated with a Bresenham spread — sample `i` is a hit iff
+//! `floor((i + 1) * p) > floor(i * p)` — so hits are distributed as evenly
+//! as possible and *every* length-`w` slice of the stream has an accuracy
+//! within `1/w` of `p`. That bound is what turns the statistical claims
+//! ("never fires", "always fires") into deterministic ones: a stationary
+//! stream can never move reference and rolling accuracy further apart than
+//! `2/w`, and a flip of more than `threshold + 2/w` must push the score
+//! over the threshold once the rolling window drains onto the new regime.
+
+use proptest::prelude::*;
+use rush_sched::service::DriftDetector;
+
+/// Deterministic evenly-spread hit stream: hit rate `p`, sample index `i`.
+fn bresenham_hit(p: f64, i: u64) -> bool {
+    ((i + 1) as f64 * p).floor() > (i as f64 * p).floor()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stationary stream: as long as the threshold exceeds the worst-case
+    /// window-to-window wobble of `2/window`, the detector never fires, no
+    /// matter the hit rate or how long the stream runs.
+    #[test]
+    fn never_fires_on_a_stationary_stream(
+        window in 4u32..=128,
+        // Hit rate in thousandths, full range.
+        p_milli in 0u32..=1000,
+        samples in 1u64..2048,
+    ) {
+        let slack = 2.0 / f64::from(window);
+        let threshold = slack + 0.001;
+        let p = f64::from(p_milli) / 1000.0;
+        let mut detector = DriftDetector::new(window, threshold);
+        for i in 0..samples {
+            prop_assert!(
+                !detector.observe(bresenham_hit(p, i)),
+                "fired at sample {i} (p={p}, window={window}, score={})",
+                detector.score()
+            );
+        }
+        prop_assert!(detector.score() <= threshold);
+    }
+
+    /// Distribution flip: after `p_high` drops to `p_low` by more than
+    /// `threshold + 2/window`, the detector fires within one window of the
+    /// flip — the rolling ring only needs to drain onto the new regime.
+    #[test]
+    fn fires_within_one_window_of_a_flip(
+        window in 4u32..=128,
+        // Gap in thousandths beyond the deterministic wobble bound.
+        gap_milli in 1u32..=300,
+        threshold_milli in 50u32..=400,
+    ) {
+        let w = f64::from(window);
+        let threshold = f64::from(threshold_milli) / 1000.0;
+        let gap = threshold + 2.0 / w + f64::from(gap_milli) / 1000.0;
+        let p_high = 1.0;
+        let p_low = (p_high - gap).max(0.0);
+        prop_assume!(p_high - p_low > threshold + 2.0 / w);
+
+        let mut detector = DriftDetector::new(window, threshold);
+        // Fill reference and rolling windows on the high regime.
+        for i in 0..u64::from(window) {
+            prop_assert!(!detector.observe(bresenham_hit(p_high, i)));
+        }
+        // Flip. The detector must fire within one window of post-flip
+        // samples: by then the ring holds only the low regime.
+        let mut fired_at = None;
+        for i in 0..u64::from(window) {
+            if detector.observe(bresenham_hit(p_low, i)) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        prop_assert!(
+            fired_at.is_some(),
+            "no fire within {window} post-flip samples (p {p_high}->{p_low}, \
+             threshold {threshold}, final score {})",
+            detector.score()
+        );
+    }
+
+    /// Reset forgets everything: a detector that just fired goes quiet
+    /// again after reset until both windows refill on the new regime.
+    #[test]
+    fn reset_requires_windows_to_refill(window in 2u32..=64) {
+        let mut detector = DriftDetector::new(window, 0.4);
+        for i in 0..u64::from(window) {
+            detector.observe(bresenham_hit(1.0, i));
+        }
+        let fired = (0..u64::from(window)).any(|_| detector.observe(false));
+        prop_assert!(fired, "sanity: full miss run must fire");
+        detector.reset();
+        prop_assert!(!detector.is_full());
+        // Fewer than `window` samples can never fire post-reset.
+        for _ in 0..u64::from(window) - 1 {
+            prop_assert!(!detector.observe(false));
+        }
+    }
+}
