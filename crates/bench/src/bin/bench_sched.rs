@@ -1,17 +1,26 @@
 //! Scheduler hot-path benchmark: A/Bs the optimized engine (event-heap
-//! compaction, congestion caching, incremental queue) against the same
-//! engine with every optimization disabled ([`EngineTuning::legacy`]) on
-//! identical seeded workloads, and asserts the two produce byte-identical
-//! schedule outcomes while reporting how much work each did.
+//! compaction, congestion caching, incremental queue, deferred retention,
+//! batched row-major telemetry) against the same engine with every
+//! optimization disabled ([`EngineTuning::legacy`]) on identical seeded
+//! workloads, and holds the two to byte-identical schedule outcomes through
+//! the differential harness ([`rush_sched::difftest`]) while reporting how
+//! much work each did.
+//!
+//! Beyond the single-engine scales, two pod-sharded configs push to full
+//! Quartz size (2988 nodes) and beyond (10000 nodes): the machine is split
+//! into independent pods run as a [`ShardedCampaign`], with the legacy side
+//! executing serially and the optimized side in parallel — so the A/B also
+//! certifies that sharded execution is schedule-invariant.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p rush-bench --bin bench_sched -- [--quick] \
-//!     [--seed N] [--out PATH]
+//!     [--seed N] [--only NAME] [--out PATH]
 //! ```
 //!
 //! * `--quick` — run only the smallest (64-node / 200-job) config.
+//! * `--only NAME` — run only the named config (e.g. `256n_1000j`).
 //! * `--seed N` — workload + engine master seed (default 2026).
 //! * `--trials N` — wall-clock trials per side; the minimum is reported
 //!   (default 2; the simulation is deterministic, so extra trials only
@@ -30,14 +39,16 @@ use rush_cluster::topology::FatTreeConfig;
 use rush_obs::json::JsonObject;
 use rush_obs::profile as obs_profile;
 use rush_obs::ProfileScope;
+use rush_sched::difftest::diff_results;
 use rush_sched::engine::{EngineTuning, ScheduleResult, SchedulerConfig, SchedulerEngine};
-use rush_sched::predictor::NeverVaries;
+use rush_sched::predictor::{NeverVaries, VariabilityPredictor};
+use rush_sched::shard::{shard_seed, CampaignResult, ShardExecution, ShardSpec, ShardedCampaign};
 use rush_simkit::time::SimDuration;
 use rush_workloads::apps::AppId;
 use rush_workloads::jobgen::{generate_jobs, JobRequest, WorkloadSpec};
 use std::time::Instant;
 
-/// One benchmark scale: machine shape × job count.
+/// One single-engine benchmark scale: machine shape × job count.
 struct BenchConfig {
     name: &'static str,
     nodes: u32,
@@ -59,6 +70,45 @@ const CONFIGS: [BenchConfig; 3] = [
         name: "512n_5000j",
         nodes: 512,
         jobs: 5000,
+    },
+];
+
+/// One pod-sharded benchmark scale: `shards` independent pods of
+/// `edge_per_pod * nodes_per_edge` nodes each.
+struct ShardedBenchConfig {
+    name: &'static str,
+    shards: usize,
+    edge_per_pod: u32,
+    nodes_per_edge: u32,
+    jobs_per_shard: usize,
+}
+
+impl ShardedBenchConfig {
+    fn nodes(&self) -> u32 {
+        self.shards as u32 * self.edge_per_pod * self.nodes_per_edge
+    }
+
+    fn jobs(&self) -> usize {
+        self.shards * self.jobs_per_shard
+    }
+}
+
+const SHARDED_CONFIGS: [ShardedBenchConfig; 2] = [
+    // Full Quartz: 2988 nodes (6 pods x 83 edge switches x 6 nodes).
+    ShardedBenchConfig {
+        name: "2988n_1800j",
+        shards: 6,
+        edge_per_pod: 83,
+        nodes_per_edge: 6,
+        jobs_per_shard: 300,
+    },
+    // Beyond Quartz: 10000 nodes (20 pods x 50 edge switches x 10 nodes).
+    ShardedBenchConfig {
+        name: "10000n_4000j",
+        shards: 20,
+        edge_per_pod: 50,
+        nodes_per_edge: 10,
+        jobs_per_shard: 200,
     },
 ];
 
@@ -100,6 +150,47 @@ fn workload_for(cfg: &BenchConfig, seed: u64) -> Vec<JobRequest> {
     generate_jobs(&spec, &mut rng)
 }
 
+fn never() -> Box<dyn VariabilityPredictor> {
+    Box::new(NeverVaries)
+}
+
+/// The shard set for one sharded config under one tuning. Every shard is a
+/// self-contained pod with its own decorrelated seed stream; the tuning is
+/// the only thing that differs between the legacy and optimized sides.
+fn shard_specs(cfg: &ShardedBenchConfig, seed: u64, tuning: EngineTuning) -> Vec<ShardSpec> {
+    (0..cfg.shards)
+        .map(|i| {
+            let shard_master = shard_seed(seed, i);
+            let machine = MachineConfig {
+                tree: FatTreeConfig {
+                    pods: 1,
+                    edge_per_pod: cfg.edge_per_pod,
+                    nodes_per_edge: cfg.nodes_per_edge,
+                    ..FatTreeConfig::tiny()
+                },
+                ..MachineConfig::tiny(shard_master ^ 0xC1A5)
+            };
+            let spec = WorkloadSpec {
+                node_counts: vec![4, 8, 16, 32],
+                submit_window: SimDuration::from_mins(cfg.jobs_per_shard as u64 / 10),
+                ..WorkloadSpec::standard(AppId::ALL.to_vec(), cfg.jobs_per_shard)
+            };
+            let mut rng = SmallRng::seed_from_u64(shard_master ^ cfg.jobs_per_shard as u64);
+            ShardSpec {
+                name: format!("pod{i}"),
+                seed: shard_master,
+                machine,
+                sched: SchedulerConfig {
+                    tuning,
+                    ..SchedulerConfig::default()
+                },
+                requests: generate_jobs(&spec, &mut rng),
+                predictor: never,
+            }
+        })
+        .collect()
+}
+
 /// Everything measured for one (config, tuning) run.
 struct RunMeasurement {
     wall_ms: f64,
@@ -126,6 +217,9 @@ fn run_once(
     let result = engine.run(requests);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     obs_profile::set_enabled(false);
+    if std::env::var_os("BENCH_SCHED_PROFILE").is_some() {
+        eprint!("{}", obs_profile::report());
+    }
     let pass_p50_us =
         obs_profile::percentile_nanos(ProfileScope::SchedulePass, 50.0).map_or(0.0, |ns| ns / 1e3);
     let pass_p99_us =
@@ -138,31 +232,15 @@ fn run_once(
     }
 }
 
-/// The outcome fingerprint that must match between tunings: every job's
-/// placement and timing, completed and failed alike.
-fn outcome_key(result: &ScheduleResult) -> Vec<(u64, u64, u64, Vec<u32>)> {
-    let mut key: Vec<(u64, u64, u64, Vec<u32>)> = result
-        .completed
-        .iter()
-        .map(|c| {
-            (
-                c.job.id.0,
-                c.start_at.as_micros(),
-                c.end_at.as_micros(),
-                c.nodes.iter().map(|n| n.0).collect(),
-            )
-        })
-        .chain(result.failed.iter().map(|f| {
-            (
-                f.job.id.0,
-                u64::MAX,
-                f.last_killed_at.as_micros(),
-                vec![f.attempts],
-            )
-        }))
-        .collect();
-    key.sort();
-    key
+/// One timed campaign run. The process-global profiler is kept off here:
+/// parallel shards would interleave their samples into one stream.
+fn run_campaign_once(
+    campaign: &ShardedCampaign,
+    execution: ShardExecution,
+) -> (f64, CampaignResult) {
+    let start = Instant::now();
+    let result = campaign.run(execution);
+    (start.elapsed().as_secs_f64() * 1e3, result)
 }
 
 fn side_json(m: &RunMeasurement) -> String {
@@ -181,8 +259,47 @@ fn side_json(m: &RunMeasurement) -> String {
         .finish()
 }
 
+fn campaign_side_json(wall_ms: f64, campaign: &CampaignResult) -> String {
+    let mut scheduled = 0u64;
+    let mut delivered = 0u64;
+    let mut cancelled = 0u64;
+    let mut peak_heap = 0usize;
+    let mut compactions = 0u64;
+    for shard in &campaign.shards {
+        let q = shard.event_queue;
+        scheduled += q.scheduled;
+        delivered += q.delivered;
+        cancelled += q.cancelled;
+        peak_heap = peak_heap.max(q.peak_heap);
+        compactions += q.compactions;
+    }
+    JsonObject::new()
+        .f64("wall_ms", wall_ms)
+        .u64("events_scheduled", scheduled)
+        .u64("events_delivered", delivered)
+        .u64("events_cancelled", cancelled)
+        .u64("peak_heap", peak_heap as u64)
+        .u64("compactions", compactions)
+        .f64("makespan_s", campaign.summary.makespan().as_secs_f64())
+        .u64("completed", campaign.summary.completed as u64)
+        .finish()
+}
+
+/// Compares a legacy/optimized result pair through the differential
+/// harness, printing every divergence it reports.
+fn check_identical(label: &str, legacy: &ScheduleResult, optimized: &ScheduleResult) -> bool {
+    let outcome = diff_results(legacy, optimized);
+    if let rush_sched::difftest::DiffOutcome::Diverged(diffs) = &outcome {
+        for d in diffs {
+            eprintln!("[bench_sched] {label}: DIVERGED: {d}");
+        }
+    }
+    outcome.is_identical()
+}
+
 fn main() {
     let mut quick = false;
+    let mut only: Option<String> = None;
     let mut seed: u64 = 2026;
     let mut trials: u32 = 2;
     let mut out = String::from("BENCH_sched.json");
@@ -190,6 +307,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--only" => only = Some(args.next().expect("--only requires a config name")),
             "--seed" => {
                 seed = args
                     .next()
@@ -205,15 +323,30 @@ fn main() {
                     .expect("--trials: integer")
             }
             "--out" => out = args.next().expect("--out requires a value"),
-            other => panic!("unknown argument {other} (expected --quick/--seed/--trials/--out)"),
+            other => {
+                panic!("unknown argument {other} (expected --quick/--only/--seed/--trials/--out)")
+            }
         }
     }
 
-    let configs: &[BenchConfig] = if quick { &CONFIGS[..1] } else { &CONFIGS[..] };
+    let selected = |name: &str| match (&only, quick) {
+        (Some(pick), _) => pick == name,
+        (None, true) => name == CONFIGS[0].name,
+        (None, false) => true,
+    };
+    if let Some(pick) = &only {
+        let known = CONFIGS
+            .iter()
+            .map(|c| c.name)
+            .chain(SHARDED_CONFIGS.iter().map(|c| c.name))
+            .any(|name| name == pick);
+        assert!(known, "--only {pick}: no such config");
+    }
+
     let mut config_objects: Vec<String> = Vec::new();
     let mut all_identical = true;
 
-    for cfg in configs {
+    for cfg in CONFIGS.iter().filter(|c| selected(c.name)) {
         eprintln!("[bench_sched] {}: generating workload...", cfg.name);
         let requests = workload_for(cfg, seed);
         eprintln!("[bench_sched] {}: legacy engine...", cfg.name);
@@ -231,7 +364,7 @@ fn main() {
             optimized.wall_ms = optimized.wall_ms.min(o.wall_ms);
         }
 
-        let identical = outcome_key(&legacy.result) == outcome_key(&optimized.result);
+        let identical = check_identical(cfg.name, &legacy.result, &optimized.result);
         all_identical &= identical;
         let heap_ratio = legacy.result.event_queue.peak_heap as f64
             / optimized.result.event_queue.peak_heap.max(1) as f64;
@@ -263,6 +396,71 @@ fn main() {
         );
     }
 
+    for cfg in SHARDED_CONFIGS.iter().filter(|c| selected(c.name)) {
+        eprintln!(
+            "[bench_sched] {}: generating {} shard workloads...",
+            cfg.name, cfg.shards
+        );
+        let legacy_campaign = ShardedCampaign::new(shard_specs(cfg, seed, EngineTuning::legacy()));
+        let optimized_campaign =
+            ShardedCampaign::new(shard_specs(cfg, seed, EngineTuning::default()));
+        eprintln!("[bench_sched] {}: legacy engines (serial)...", cfg.name);
+        let (mut legacy_wall, legacy) = run_campaign_once(&legacy_campaign, ShardExecution::Serial);
+        eprintln!(
+            "[bench_sched] {}: optimized engines (parallel)...",
+            cfg.name
+        );
+        let (mut optimized_wall, optimized) =
+            run_campaign_once(&optimized_campaign, ShardExecution::Parallel);
+        for trial in 1..trials.max(1) {
+            eprintln!("[bench_sched] {}: timing trial {}...", cfg.name, trial + 1);
+            let (l, _) = run_campaign_once(&legacy_campaign, ShardExecution::Serial);
+            legacy_wall = legacy_wall.min(l);
+            let (o, _) = run_campaign_once(&optimized_campaign, ShardExecution::Parallel);
+            optimized_wall = optimized_wall.min(o);
+        }
+
+        // Per-shard equivalence: the optimized, parallel-executed shard must
+        // match its serial legacy twin exactly — one check certifying both
+        // the tuning flags and the sharded execution model.
+        let mut identical = legacy.shards.len() == optimized.shards.len();
+        for (i, (l, o)) in legacy.shards.iter().zip(&optimized.shards).enumerate() {
+            identical &= check_identical(&format!("{} shard {i}", cfg.name), l, o);
+        }
+        all_identical &= identical;
+        eprintln!(
+            "[bench_sched] {}: wall {:.0} -> {:.0} ms ({} shards, {} jobs), outcomes identical: {}",
+            cfg.name,
+            legacy_wall,
+            optimized_wall,
+            cfg.shards,
+            cfg.jobs(),
+            identical,
+        );
+
+        config_objects.push(
+            JsonObject::new()
+                .str("name", cfg.name)
+                .u64("nodes", cfg.nodes() as u64)
+                .u64("jobs", cfg.jobs() as u64)
+                .u64("shards", cfg.shards as u64)
+                .str("legacy_execution", "serial")
+                .str("optimized_execution", "parallel")
+                .raw("legacy", &campaign_side_json(legacy_wall, &legacy))
+                .raw("optimized", &campaign_side_json(optimized_wall, &optimized))
+                .f64("wall_speedup", legacy_wall / optimized_wall.max(1e-9))
+                .raw(
+                    "outcomes_identical",
+                    if identical { "true" } else { "false" },
+                )
+                .finish(),
+        );
+    }
+
+    assert!(
+        !config_objects.is_empty(),
+        "no config selected (check --only/--quick)"
+    );
     let report = JsonObject::new()
         .str("bench", "bench_sched")
         .u64("seed", seed)

@@ -329,6 +329,21 @@ pub fn synthesize_table<R: RngCore>(
         .collect()
 }
 
+/// Appends all counters of `table` to `out` instead of allocating a fresh
+/// vector — same schema order, same RNG draw sequence as
+/// [`synthesize_table`], for callers that reuse one buffer across a whole
+/// sampling sweep.
+pub fn synthesize_table_into<R: RngCore>(
+    table: CounterTable,
+    obs: &NodeObservation,
+    rng: &mut R,
+    out: &mut Vec<f64>,
+) {
+    for spec in table.counters() {
+        out.push(synthesize_counter(spec, obs, rng));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

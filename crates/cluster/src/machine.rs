@@ -8,7 +8,7 @@
 //! sources; the experiment noise job and the background regime process are
 //! managed internally.
 
-use crate::counters::{synthesize_table, CounterTable, NodeObservation};
+use crate::counters::{synthesize_table, synthesize_table_into, CounterTable, NodeObservation};
 use crate::lustre::{IoDemand, LustreConfig, LustreState};
 use crate::network::{
     traversed_links, BackgroundScope, NetworkState, TrafficPattern, TrafficSource,
@@ -228,6 +228,20 @@ struct CongestionCacheEntry {
     value: f64,
 }
 
+/// One full-machine observation sweep in SoA layout, revalidated against
+/// [`NetworkState::version`]: per-node access loads, per-edge-switch uplink
+/// utilizations, per-pod upper-fabric utilizations. Between network changes
+/// every `observe` call is then three array reads instead of three link-map
+/// walks — and the network changes at most once per noise update plus once
+/// per job start/finish, while a sampling round observes every node.
+#[derive(Debug, Clone, Default)]
+struct ObsSweep {
+    valid_at: Option<u64>,
+    access: Vec<f64>,
+    edge: Vec<f64>,
+    pod: Vec<f64>,
+}
+
 /// The simulated machine.
 ///
 /// ```
@@ -253,7 +267,16 @@ pub struct Machine {
     regime: RegimeProcess,
     noise_job: Option<NoiseJob>,
     loads: HashMap<SourceId, RegisteredLoad>,
+    /// Owner map: which registered loads run on each node. Maintained by
+    /// `register_load`/`remove_load`; turns per-node IO attribution from an
+    /// O(loads) scan into an O(owners-of-node) lookup (the scheduler's node
+    /// allocations are exclusive, so that is at most one).
+    node_loads: Vec<Vec<SourceId>>,
     congestion_cache: HashMap<SourceId, CongestionCacheEntry>,
+    /// Batched observation sweep; consulted by `observe` only when
+    /// [`Machine::set_observation_caching`] enabled it.
+    obs_sweep: ObsSweep,
+    obs_caching: bool,
     health: Vec<NodeHealth>,
     health_stats: HealthStats,
     os_noise: OsNoise,
@@ -285,7 +308,10 @@ impl Machine {
             regime,
             noise_job: None,
             loads: HashMap::new(),
+            node_loads: vec![Vec::new(); tree_nodes as usize],
             congestion_cache: HashMap::new(),
+            obs_sweep: ObsSweep::default(),
+            obs_caching: false,
             health: vec![NodeHealth::Up; tree_nodes as usize],
             health_stats: HealthStats::default(),
             rng_regime,
@@ -376,6 +402,27 @@ impl Machine {
         self.now = t;
     }
 
+    /// Enables or disables batched observation: the per-version network
+    /// sweep ([`ObsSweep`]) and the per-node owner map replace per-call
+    /// link-map walks and full-load scans in [`Machine::observe`]. Values
+    /// are identical either way — the sweep calls the very same network
+    /// queries, once per version instead of once per observation — so this
+    /// is a pure throughput toggle (the engine wires it to
+    /// `EngineTuning::batched_telemetry`).
+    pub fn set_observation_caching(&mut self, enabled: bool) {
+        self.obs_caching = enabled;
+        self.obs_sweep.valid_at = None;
+    }
+
+    /// Removes `id` from the owner map (no-op if not registered).
+    fn detach_owner(&mut self, id: SourceId) {
+        if let Some(old) = self.loads.get(&id) {
+            for &n in &old.nodes {
+                self.node_loads[n.0 as usize].retain(|&s| s != id);
+            }
+        }
+    }
+
     /// Registers the shared-resource load of a starting job.
     pub fn register_load(
         &mut self,
@@ -383,6 +430,10 @@ impl Machine {
         nodes: Vec<NodeId>,
         intensity: WorkloadIntensity,
     ) {
+        self.detach_owner(id);
+        for &n in &nodes {
+            self.node_loads[n.0 as usize].push(id);
+        }
         let s = &self.config.load_scales;
         self.net.add_source(
             id.0,
@@ -409,6 +460,7 @@ impl Machine {
 
     /// Removes a finished job's load; unknown ids are ignored.
     pub fn remove_load(&mut self, id: SourceId) {
+        self.detach_owner(id);
         self.net.remove_source(id.0);
         self.fs.remove_demand(id.0);
         self.loads.remove(&id);
@@ -477,17 +529,35 @@ impl Machine {
     /// Assembles what `node` can observe right now; input to counter
     /// synthesis.
     pub fn observe(&mut self, node: NodeId) -> NodeObservation {
-        let xmit = self.net.node_access_load(&self.tree, node);
-        let edge_util = self.net.edge_uplink_util(&self.tree, node);
-        let pod_util = self.net.upper_fabric_util(&self.tree, node);
+        let (xmit, edge_util, pod_util) = if self.obs_caching {
+            self.swept_network_view(node)
+        } else {
+            (
+                self.net.node_access_load(&self.tree, node),
+                self.net.edge_uplink_util(&self.tree, node),
+                self.net.upper_fabric_util(&self.tree, node),
+            )
+        };
         // Attribute I/O demand to the node through whichever job runs on it.
+        // Cached mode walks the owner map instead of every registered load;
+        // the scheduler allocates nodes exclusively, so the sum has at most
+        // one term and the iteration order cannot affect the result.
         let (mut read, mut write, mut meta) = (0.0, 0.0, 0.0);
-        for load in self.loads.values() {
-            if load.nodes.contains(&node) {
-                let s = &self.config.load_scales;
+        let s = &self.config.load_scales;
+        if self.obs_caching {
+            for id in &self.node_loads[node.0 as usize] {
+                let load = &self.loads[id];
                 read += load.intensity.io * s.read_gbps;
                 write += load.intensity.io * s.write_gbps;
                 meta += load.intensity.io * s.meta_kops;
+            }
+        } else {
+            for load in self.loads.values() {
+                if load.nodes.contains(&node) {
+                    read += load.intensity.io * s.read_gbps;
+                    write += load.intensity.io * s.write_gbps;
+                    meta += load.intensity.io * s.meta_kops;
+                }
             }
         }
         let delivered = self.fs.delivered_fraction();
@@ -503,6 +573,51 @@ impl Machine {
         }
     }
 
+    /// `(access load, edge uplink util, upper fabric util)` for `node` from
+    /// the [`ObsSweep`], refreshing the sweep if the network changed since
+    /// it was built. The sweep evaluates the same three queries the
+    /// uncached path would — once per (version, node/switch/pod) instead of
+    /// per observation — so the returned values are bit-identical.
+    fn swept_network_view(&mut self, node: NodeId) -> (f64, f64, f64) {
+        let version = self.net.version();
+        if self.obs_sweep.valid_at != Some(version) {
+            let node_count = self.tree.node_count();
+            let nodes_per_edge = self.tree.config().nodes_per_edge;
+            let edges = self.tree.edge_switch_count();
+            let pods = self.tree.config().pods;
+            self.obs_sweep.access.clear();
+            self.obs_sweep.edge.clear();
+            self.obs_sweep.pod.clear();
+            for n in 0..node_count {
+                let v = self.net.node_access_load(&self.tree, NodeId(n));
+                self.obs_sweep.access.push(v);
+            }
+            // All nodes under one edge switch (one pod) share the switch
+            // (fabric) utilization, so one representative node per switch
+            // (pod) covers them all.
+            for sw in 0..edges {
+                let first = NodeId(sw * nodes_per_edge);
+                let v = self.net.edge_uplink_util(&self.tree, first);
+                self.obs_sweep.edge.push(v);
+            }
+            for pod in 0..pods {
+                let first = self
+                    .tree
+                    .nodes_of_pod(pod)
+                    .next()
+                    .expect("pods are non-empty");
+                let v = self.net.upper_fabric_util(&self.tree, first);
+                self.obs_sweep.pod.push(v);
+            }
+            self.obs_sweep.valid_at = Some(version);
+        }
+        (
+            self.obs_sweep.access[node.0 as usize],
+            self.obs_sweep.edge[self.tree.edge_of(node).0 as usize],
+            self.obs_sweep.pod[self.tree.pod_of(node) as usize],
+        )
+    }
+
     /// Synthesizes the three counter tables for `node`, flattened in
     /// Table-I order (`sysclassib` 22, `opa_info` 34, `lustre_client` 34).
     pub fn sample_counters(&mut self, node: NodeId) -> Vec<f64> {
@@ -512,6 +627,18 @@ impl Machine {
             out.extend(synthesize_table(table, &obs, &mut self.rng_counters));
         }
         out
+    }
+
+    /// Allocation-free variant of [`Machine::sample_counters`]: clears and
+    /// fills `out` in the same schema order, drawing the same RNG sequence,
+    /// so a caller-owned buffer can be reused across a whole sampling round.
+    pub fn sample_counters_into(&mut self, node: NodeId, out: &mut Vec<f64>) {
+        let obs = self.observe(node);
+        out.clear();
+        out.reserve(90);
+        for table in CounterTable::ALL {
+            synthesize_table_into(table, &obs, &mut self.rng_counters, out);
+        }
     }
 
     /// Current noise-job injection level in GB/s per node (0 when disabled).
@@ -736,6 +863,9 @@ impl Machine {
             self.regime.fs_fraction(self.now) * self.fs.config().aggregate_gbps,
         );
         self.congestion_cache.clear();
+        // Derived caches must not survive a restore: the rebuilt network's
+        // version counter restarts, so a stale sweep could alias it.
+        self.obs_sweep.valid_at = None;
         Ok(())
     }
 
@@ -907,6 +1037,71 @@ mod tests {
             WorkloadIntensity::new(0.1, 0.9, 0.1),
         );
         assert_eq!(m.congestion_cached(SourceId(1), &b), m.congestion(&b));
+    }
+
+    /// Regression: a node fault kills its jobs, and each kill's
+    /// `remove_load` bumps `NetworkState::version` — that bump must
+    /// invalidate *every other* source's cached congestion, not just the
+    /// victim's own entry. A survivor serving a stale cached value would
+    /// keep the engine pricing congestion that left with the dead job.
+    #[test]
+    fn fault_removal_invalidates_all_cached_congestion_sources() {
+        let mut m = Machine::new(MachineConfig::tiny(13));
+        // Survivor A spans both pod-0 edges and shares the victim's pod-0
+        // links, so its congestion value visibly changes; survivor B sits
+        // in pod 1 where its own edge dominates, pinning the subtler case
+        // of a version-invalidated entry whose recomputed value happens to
+        // stay equal to a direct query.
+        let a = nodes(0..8);
+        let b = nodes(12..16);
+        let victim = nodes(4..12);
+        m.register_load(
+            SourceId(1),
+            a.clone(),
+            WorkloadIntensity::new(0.1, 0.8, 0.1),
+        );
+        m.register_load(
+            SourceId(2),
+            b.clone(),
+            WorkloadIntensity::new(0.1, 0.6, 0.0),
+        );
+        m.register_load(
+            SourceId(3),
+            victim.clone(),
+            WorkloadIntensity::new(0.1, 1.0, 0.2),
+        );
+        m.advance_to(SimTime::from_mins(1));
+        let warm_a = m.congestion_cached(SourceId(1), &a);
+        let warm_b = m.congestion_cached(SourceId(2), &b);
+        assert_eq!(warm_a, m.congestion(&a));
+        assert_eq!(warm_b, m.congestion(&b));
+
+        // The fault path: node 8 crashes, the scheduler kills the job and
+        // removes its load (health first, like the engine does).
+        let version_before = m.net.version();
+        m.fail_node(NodeId(8));
+        m.remove_load(SourceId(3));
+        assert!(
+            m.net.version() > version_before,
+            "removing the victim's traffic must bump the network version"
+        );
+
+        let after_a = m.congestion_cached(SourceId(1), &a);
+        let after_b = m.congestion_cached(SourceId(2), &b);
+        assert_eq!(
+            after_a,
+            m.congestion(&a),
+            "survivor A must not serve stale cache"
+        );
+        assert_eq!(
+            after_b,
+            m.congestion(&b),
+            "survivor B must not serve stale cache"
+        );
+        assert!(
+            after_a < warm_a,
+            "A shared the victim's pod-0 links: its congestion must drop ({warm_a} -> {after_a})"
+        );
     }
 
     #[test]

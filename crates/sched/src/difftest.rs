@@ -1,0 +1,423 @@
+//! Differential equivalence harness.
+//!
+//! Every engine optimization behind [`EngineTuning`] and the pod-sharded
+//! execution of [`crate::shard`] carry the same contract: they change how
+//! much work the simulator does, never what it decides. This module makes
+//! that contract mechanically checkable — build one seeded scenario, run
+//! it through two engine configurations (legacy vs. optimized tuning,
+//! serial vs. parallel shards, with or without faults or the online
+//! predictor service), and compare the results *byte for byte*: the
+//! encoded schedule trace, every completed and failed job's placement and
+//! timing, and the outcome scalars. On mismatch the harness names the
+//! first diverging trace event — the actionable datum when bisecting a
+//! determinism regression — instead of a bare `assert_eq` dump of two
+//! multi-megabyte structures.
+//!
+//! The harness is library code (not `#[cfg(test)]`) so the proptest
+//! satellite, the bench binary and CI lanes all drive the same comparison.
+//!
+//! [`EngineTuning`]: crate::engine::EngineTuning
+
+use crate::engine::{EngineTuning, ScheduleResult, SchedulerConfig, SchedulerEngine};
+use crate::job::Job;
+use crate::metrics::RuntimeReference;
+use crate::predictor::{NeverVaries, PredictError, PredictorCtx, VariabilityClass};
+use crate::service::{LabeledSample, LoadedModel, OnlineModelHost, ServiceConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rush_cluster::machine::{Machine, MachineConfig};
+use rush_cluster::topology::{FatTreeConfig, NodeId};
+use rush_simkit::fault::FaultConfig;
+use rush_simkit::snapshot::{self, Snapshot};
+use rush_simkit::time::SimDuration;
+use rush_workloads::apps::AppId;
+use rush_workloads::jobgen::{generate_jobs, WorkloadSpec};
+use rush_workloads::scaling::ScalingMode;
+
+/// One randomized-but-seeded scenario: everything that parameterizes an
+/// engine run, small enough for proptest to shrink over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffScenario {
+    /// Master seed for workload, machine, engine and fault streams.
+    pub seed: u64,
+    /// Node count; must be a multiple of 8 (the scenario's edge width).
+    pub nodes: u32,
+    /// Jobs in the stream.
+    pub jobs: usize,
+    /// Inject node crashes (MTBF 20 min over a 2 h horizon) so the
+    /// kill/requeue/retry path is exercised.
+    pub faults: bool,
+    /// Route predictor consultations through the online service (retrain,
+    /// shadow evaluation, hot-swap) instead of a static predictor.
+    pub online_predictor: bool,
+}
+
+impl DiffScenario {
+    /// The machine under test: one pod of `nodes / 8` edge switches.
+    pub fn machine_config(&self) -> MachineConfig {
+        assert!(
+            self.nodes >= 8 && self.nodes.is_multiple_of(8),
+            "scenario nodes must be a positive multiple of 8, got {}",
+            self.nodes
+        );
+        MachineConfig {
+            tree: FatTreeConfig {
+                pods: 1,
+                edge_per_pod: self.nodes / 8,
+                nodes_per_edge: 8,
+                ..FatTreeConfig::tiny()
+            },
+            ..MachineConfig::tiny(self.seed ^ 0xC1A5)
+        }
+    }
+
+    /// Scheduler parameters under `tuning`, with the scenario's fault and
+    /// service dimensions applied.
+    pub fn sched_config(&self, tuning: EngineTuning) -> SchedulerConfig {
+        let mut config = SchedulerConfig {
+            tuning,
+            ..SchedulerConfig::default()
+        };
+        if self.faults {
+            config.faults = FaultConfig {
+                seed: self.seed ^ 0xFA17,
+                horizon: SimDuration::from_hours(2),
+                node_mtbf: Some(SimDuration::from_mins(20)),
+                node_mttr: SimDuration::from_mins(3),
+                ..FaultConfig::default()
+            };
+        }
+        if self.online_predictor {
+            config.service = ServiceConfig {
+                retrain_every: SimDuration::from_secs(60),
+                drift_window: 4,
+                shadow_decisions: 2,
+                shadow_quorum: 1,
+                min_train_samples: 2,
+                watch_samples: 2,
+                ..ServiceConfig::default()
+            };
+        }
+        config
+    }
+
+    /// The scenario's seeded job stream (jobs of 2/4/8 nodes so several
+    /// run concurrently even on the smallest machine).
+    pub fn workload(&self) -> Vec<rush_workloads::jobgen::JobRequest> {
+        let spec = WorkloadSpec {
+            node_counts: vec![2, 4, 8],
+            submit_window: SimDuration::from_mins(10),
+            ..WorkloadSpec::standard(AppId::ALL.to_vec(), self.jobs)
+        };
+        generate_jobs(&spec, &mut SmallRng::seed_from_u64(self.seed ^ 0x10B5))
+    }
+
+    /// Builds the scenario's engine under `tuning`.
+    pub fn build_engine(&self, tuning: EngineTuning) -> SchedulerEngine {
+        let machine = Machine::new(self.machine_config());
+        let mut engine = SchedulerEngine::new(
+            machine,
+            self.sched_config(tuning),
+            Box::new(NeverVaries),
+            self.seed,
+        );
+        if self.online_predictor {
+            let mut reference = RuntimeReference::new();
+            for &nodes in &[2u32, 4, 8] {
+                for app in AppId::ALL {
+                    reference.insert(app, nodes, ScalingMode::Reference, 185.0, 20.0);
+                }
+            }
+            engine =
+                engine.with_online_predictor(Box::new(ThresholdHost), reference, "9.9".to_string());
+        }
+        engine
+    }
+
+    /// Runs the scenario to completion under `tuning`.
+    pub fn run(&self, tuning: EngineTuning) -> ScheduleResult {
+        self.build_engine(tuning).run(&self.workload())
+    }
+}
+
+/// Minimal [`OnlineModelHost`]: the artifact is a threshold string, every
+/// feature row is a single zero, so a `"9.9"` model always predicts
+/// NoVariation and retraining reproduces the incumbent. The service's
+/// retrain/shadow/swap machinery runs for real — with deterministic
+/// decisions — without dragging the ML stack into the harness.
+pub struct ThresholdHost;
+
+struct ThresholdModel {
+    cut: f64,
+}
+
+impl LoadedModel for ThresholdModel {
+    fn classify(&self, row: &[f64]) -> VariabilityClass {
+        if row.first().copied().unwrap_or(0.0) >= self.cut {
+            VariabilityClass::Variation
+        } else {
+            VariabilityClass::NoVariation
+        }
+    }
+}
+
+impl OnlineModelHost for ThresholdHost {
+    fn assemble(
+        &mut self,
+        _job: &Job,
+        _nodes: &[NodeId],
+        _ctx: &mut PredictorCtx<'_>,
+    ) -> Result<Vec<f64>, PredictError> {
+        Ok(vec![0.0])
+    }
+
+    fn train(&mut self, _samples: &[LabeledSample], _seed: u64) -> Result<String, String> {
+        Ok("9.9".to_string())
+    }
+
+    fn load(&self, artifact: &str) -> Result<Box<dyn LoadedModel>, String> {
+        let cut: f64 = artifact.parse().map_err(|_| "bad artifact".to_string())?;
+        Ok(Box::new(ThresholdModel { cut }))
+    }
+
+    fn name(&self) -> &str {
+        "threshold-host"
+    }
+}
+
+/// One observed difference between two runs of the same scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which comparison failed (`trace[i]`, `outcomes`, a scalar name...).
+    pub what: String,
+    /// The two sides, rendered.
+    pub left: String,
+    pub right: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: left = {}, right = {}",
+            self.what, self.left, self.right
+        )
+    }
+}
+
+/// The verdict of [`diff_results`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// Traces byte-identical, outcomes equal.
+    Identical,
+    /// At least one difference; ordered most-diagnostic first (first
+    /// diverging trace event, then outcome set, then scalars).
+    Diverged(Vec<Divergence>),
+}
+
+impl DiffOutcome {
+    /// True when the two runs were equivalent.
+    pub fn is_identical(&self) -> bool {
+        matches!(self, DiffOutcome::Identical)
+    }
+}
+
+/// The sortable placement-and-timing fingerprint of one run's outcome —
+/// identical to the key `bench_sched` compares.
+pub fn outcome_key(result: &ScheduleResult) -> Vec<(u64, u64, u64, Vec<u32>)> {
+    let mut key: Vec<(u64, u64, u64, Vec<u32>)> = result
+        .completed
+        .iter()
+        .map(|c| {
+            (
+                c.job.id.0,
+                c.start_at.as_micros(),
+                c.end_at.as_micros(),
+                c.nodes.iter().map(|n| n.0).collect(),
+            )
+        })
+        .chain(result.failed.iter().map(|f| {
+            (
+                f.job.id.0,
+                u64::MAX,
+                f.last_killed_at.as_micros(),
+                vec![f.attempts],
+            )
+        }))
+        .collect();
+    key.sort();
+    key
+}
+
+/// Compares two runs of the same scenario.
+///
+/// The schedule traces are compared twice: element-wise, to name the first
+/// diverging event by index (the bisection handle), and as encoded bytes
+/// (`snapshot::encode` of the full trace including queue-length and
+/// busy-node series), so a divergence in the load series alone cannot hide
+/// behind an identical event list. Outcome sets and scalars follow.
+pub fn diff_results(left: &ScheduleResult, right: &ScheduleResult) -> DiffOutcome {
+    let mut diffs = Vec::new();
+
+    let le = left.trace.events();
+    let re = right.trace.events();
+    if let Some(i) = (0..le.len().min(re.len())).find(|&i| le[i] != re[i]) {
+        diffs.push(Divergence {
+            what: format!(
+                "trace[{i}] (first diverging event of {} vs {})",
+                le.len(),
+                re.len()
+            ),
+            left: format!("{:?} @ {}", le[i].1, le[i].0),
+            right: format!("{:?} @ {}", re[i].1, re[i].0),
+        });
+    } else if le.len() != re.len() {
+        let (longer, at) = if le.len() > re.len() {
+            (le, re.len())
+        } else {
+            (re, le.len())
+        };
+        diffs.push(Divergence {
+            what: format!("trace length (common prefix of {at} events matches)"),
+            left: format!("{} events", le.len()),
+            right: format!(
+                "{} events (next unmatched: {:?} @ {})",
+                re.len(),
+                longer[at].1,
+                longer[at].0
+            ),
+        });
+    }
+
+    let lb = snapshot::encode(0, 0, 0, &left.trace.to_val());
+    let rb = snapshot::encode(0, 0, 0, &right.trace.to_val());
+    if lb != rb && diffs.is_empty() {
+        diffs.push(Divergence {
+            what: "encoded trace bytes (event lists match; load series differ)".to_string(),
+            left: format!("{} bytes", lb.len()),
+            right: format!("{} bytes", rb.len()),
+        });
+    }
+
+    if outcome_key(left) != outcome_key(right) {
+        let (lk, rk) = (outcome_key(left), outcome_key(right));
+        let i = (0..lk.len().min(rk.len()))
+            .find(|&i| lk[i] != rk[i])
+            .unwrap_or(lk.len().min(rk.len()));
+        diffs.push(Divergence {
+            what: format!("outcome key[{i}]"),
+            left: format!("{:?}", lk.get(i)),
+            right: format!("{:?}", rk.get(i)),
+        });
+    }
+
+    let scalars: [(&str, u64, u64); 7] = [
+        (
+            "completed",
+            left.completed.len() as u64,
+            right.completed.len() as u64,
+        ),
+        (
+            "failed",
+            left.failed.len() as u64,
+            right.failed.len() as u64,
+        ),
+        ("total_skips", left.total_skips, right.total_skips),
+        (
+            "fallback_decisions",
+            left.fallback_decisions,
+            right.fallback_decisions,
+        ),
+        ("requeues", left.requeues, right.requeues),
+        ("node_failures", left.node_failures, right.node_failures),
+        (
+            "last_end_us",
+            left.last_end.as_micros(),
+            right.last_end.as_micros(),
+        ),
+    ];
+    for (name, l, r) in scalars {
+        if l != r {
+            diffs.push(Divergence {
+                what: name.to_string(),
+                left: l.to_string(),
+                right: r.to_string(),
+            });
+        }
+    }
+
+    if diffs.is_empty() {
+        DiffOutcome::Identical
+    } else {
+        DiffOutcome::Diverged(diffs)
+    }
+}
+
+/// Runs `scenario` under legacy and optimized tuning and diffs the results.
+pub fn diff_tunings(scenario: &DiffScenario) -> DiffOutcome {
+    let legacy = scenario.run(EngineTuning::legacy());
+    let optimized = scenario.run(EngineTuning::default());
+    diff_results(&legacy, &optimized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(seed: u64) -> DiffScenario {
+        DiffScenario {
+            seed,
+            nodes: 16,
+            jobs: 12,
+            faults: false,
+            online_predictor: false,
+        }
+    }
+
+    #[test]
+    fn identical_runs_diff_clean() {
+        let s = scenario(3);
+        let a = s.run(EngineTuning::default());
+        let b = s.run(EngineTuning::default());
+        assert!(diff_results(&a, &b).is_identical());
+    }
+
+    #[test]
+    fn legacy_and_optimized_agree_on_a_plain_scenario() {
+        assert_eq!(diff_tunings(&scenario(11)), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn legacy_and_optimized_agree_under_faults() {
+        let s = DiffScenario {
+            faults: true,
+            ..scenario(12)
+        };
+        assert_eq!(diff_tunings(&s), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn legacy_and_optimized_agree_with_the_online_service() {
+        let s = DiffScenario {
+            online_predictor: true,
+            ..scenario(13)
+        };
+        assert_eq!(diff_tunings(&s), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn divergent_seeds_name_the_first_differing_event() {
+        let a = scenario(1).run(EngineTuning::default());
+        let b = scenario(2).run(EngineTuning::default());
+        match diff_results(&a, &b) {
+            DiffOutcome::Diverged(diffs) => {
+                assert!(
+                    diffs[0].what.starts_with("trace["),
+                    "first divergence should be a trace event, got {}",
+                    diffs[0].what
+                );
+            }
+            DiffOutcome::Identical => panic!("different seeds must diverge"),
+        }
+    }
+}

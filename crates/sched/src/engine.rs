@@ -74,6 +74,21 @@ pub struct EngineTuning {
     /// Keep the queue R1-sorted via sorted inserts instead of re-sorting it
     /// from scratch on every scheduling pass.
     pub incremental_queue: bool,
+    /// Prune telemetry retention only at tick boundaries instead of after
+    /// every event. Tick times are a pure function of the event stream, so
+    /// pruning there is deterministic and snapshot-safe; outcomes cannot
+    /// change because retention exceeds the predictor window — no query
+    /// ever reaches the prunable region.
+    pub deferred_retention: bool,
+    /// Batched telemetry: sweep the network once per `NetworkState`
+    /// version (per-node access loads, per-switch and per-pod utilizations
+    /// in flat arrays) instead of re-deriving them node by node, attribute
+    /// IO load through a per-node owner map instead of scanning every
+    /// registered load, synthesize counters into a reused buffer instead
+    /// of fresh allocations per node per round, and store samples in
+    /// row-major per-node blocks (one streaming append per sweep) instead
+    /// of one heap series per `(node, counter)` pair.
+    pub batched_telemetry: bool,
 }
 
 impl EngineTuning {
@@ -83,6 +98,8 @@ impl EngineTuning {
             event_compaction: false,
             congestion_cache: false,
             incremental_queue: false,
+            deferred_retention: false,
+            batched_telemetry: false,
         }
     }
 }
@@ -93,6 +110,8 @@ impl Default for EngineTuning {
             event_compaction: true,
             congestion_cache: true,
             incremental_queue: true,
+            deferred_retention: true,
+            batched_telemetry: true,
         }
     }
 }
@@ -550,7 +569,7 @@ impl SchedulerEngine {
     /// `seed` controls placement, run-time noise and predictor randomness
     /// independently of the machine's own seed.
     pub fn new(
-        machine: Machine,
+        mut machine: Machine,
         config: SchedulerConfig,
         predictor: Box<dyn VariabilityPredictor>,
         seed: u64,
@@ -561,11 +580,17 @@ impl SchedulerEngine {
         let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
         let mut registry = MetricsRegistry::new();
         let counters = SchedCounters::register(&mut registry);
+        machine.set_observation_caching(config.tuning.batched_telemetry);
         SchedulerEngine {
             pool: NodePool::with_topology(node_count, nodes_per_edge, config.placement),
-            store: MetricStore::new(node_count, 90),
+            store: if config.tuning.batched_telemetry {
+                MetricStore::new_row_major(node_count, 90)
+            } else {
+                MetricStore::new(node_count, 90)
+            },
             sampler: Sampler::new(nodes, config.sampling_interval)
-                .with_corruption_prob(config.faults.corruption_prob),
+                .with_corruption_prob(config.faults.corruption_prob)
+                .with_batched(config.tuning.batched_telemetry),
             machine,
             config,
             predictor,
@@ -775,6 +800,13 @@ impl SchedulerEngine {
             }
             Ev::Tick => {
                 self.advance_world(now);
+                if self.config.tuning.deferred_retention && self.retention_prune_due(now) {
+                    // Tick times are a pure function of the event stream, so
+                    // pruning here (instead of per event) is deterministic
+                    // across runs and across snapshot/resume boundaries.
+                    self.store
+                        .retain_from(now.saturating_sub(self.config.retention));
+                }
                 self.refresh_running_speeds(now, None);
                 self.schedule_pass(now);
                 let work_remains =
@@ -1005,13 +1037,40 @@ impl SchedulerEngine {
     }
 
     /// Advances machine time and telemetry sampling to `now`, then settles
-    /// running-job progress at the *new* machine state.
+    /// running-job progress at the *new* machine state. Retention pruning
+    /// runs here per event in legacy mode; with
+    /// [`EngineTuning::deferred_retention`] it moves to tick boundaries
+    /// (the store scan over every series dominated the per-event path at
+    /// 512 nodes). Queries never see the difference: retention exceeds the
+    /// predictor window, so the at-most-one extra sample per series that
+    /// lingers between ticks sits outside every window the engine reads.
     fn advance_world(&mut self, now: SimTime) {
         self.sampler
             .advance_to(now, &mut self.machine, &mut self.store);
         self.machine.advance_to(now);
-        self.store
-            .retain_from(now.saturating_sub(self.config.retention));
+        if !self.config.tuning.deferred_retention {
+            self.store
+                .retain_from(now.saturating_sub(self.config.retention));
+        }
+    }
+
+    /// Whether the tick firing at `now` should prune telemetry retention.
+    ///
+    /// Pruning every tick still scans every `(node, counter)` series —
+    /// tens of thousands at full scale — so deferred mode prunes only on
+    /// ticks that cross a `retention / 2` boundary. The rule is a pure
+    /// function of the tick's timestamp and config constants: no mutable
+    /// state, so an uninterrupted run and a snapshot/resume run prune at
+    /// exactly the same ticks. Correctness is unchanged — the store merely
+    /// holds up to `retention / 2` of extra history between prunes, all of
+    /// it older than any window the engine queries (`predictor_window` ≤
+    /// `retention`).
+    fn retention_prune_due(&self, now: SimTime) -> bool {
+        let period = (self.config.retention.as_micros() / 2)
+            .max(self.config.tick.as_micros())
+            .max(1);
+        let prev = now.saturating_sub(self.config.tick).as_micros();
+        now.as_micros() / period != prev / period
     }
 
     /// One job's current congestion, through the per-job link cache when

@@ -35,8 +35,14 @@
 //!   quantities of Figs. 5–11).
 //! * [`trace`] — event timeline, queue/busy series, and a text Gantt
 //!   renderer.
+//! * [`shard`] — pod-sharded campaign execution: full-machine runs split
+//!   into independent per-pod engines, serial or one-thread-per-shard.
+//! * [`difftest`] — the differential equivalence harness: runs one
+//!   scenario through two engine configurations and reports the first
+//!   diverging trace event.
 
 pub mod audit;
+pub mod difftest;
 pub mod easy;
 pub mod engine;
 pub mod job;
@@ -46,9 +52,11 @@ pub mod predictor;
 pub mod profile;
 pub mod retry;
 pub mod service;
+pub mod shard;
 pub mod trace;
 
 pub use audit::{AuditConfig, AuditPolicy, Invariant, Violation};
+pub use difftest::{diff_results, DiffOutcome, DiffScenario, Divergence};
 pub use engine::{BreakerConfig, BreakerState, ScheduleResult, SchedulerConfig, SchedulerEngine};
 pub use job::{CompletedJob, FailedJob, Job, JobId};
 pub use metrics::{RuntimeReference, ScheduleMetrics};
@@ -58,5 +66,8 @@ pub use retry::RetryPolicy;
 pub use service::{
     DriftDetector, LabeledSample, LoadedModel, OnlineModelHost, PredictorService, ServiceConfig,
     ServiceEvent, ServicePhase,
+};
+pub use shard::{
+    shard_seed, CampaignResult, CampaignSummary, ShardExecution, ShardSpec, ShardedCampaign,
 };
 pub use trace::{ScheduleTrace, TraceEvent};

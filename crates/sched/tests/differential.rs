@@ -1,0 +1,100 @@
+//! Differential equivalence proptest: randomized seeded scenarios through
+//! the legacy and optimized engines — and through serial vs. parallel
+//! sharded execution — must produce byte-identical traces and identical
+//! outcome structs. On failure the harness's [`Divergence`] report names
+//! the first diverging trace event, so a shrunk counterexample points
+//! straight at the earliest decision where the engines disagreed.
+
+use proptest::prelude::*;
+use rush_sched::difftest::{diff_results, DiffOutcome, DiffScenario};
+use rush_sched::engine::EngineTuning;
+use rush_sched::predictor::{NeverVaries, VariabilityPredictor};
+use rush_sched::shard::{shard_seed, ShardExecution, ShardSpec, ShardedCampaign};
+use rush_sched::SchedulerConfig;
+
+/// Asserts a clean diff, rendering every divergence on failure (the
+/// vendored proptest stub reports failures as `Err(String)`).
+fn assert_identical(outcome: DiffOutcome, label: &str) -> Result<(), String> {
+    match outcome {
+        DiffOutcome::Identical => Ok(()),
+        DiffOutcome::Diverged(diffs) => {
+            let rendered: Vec<String> = diffs.iter().map(|d| d.to_string()).collect();
+            Err(format!(
+                "{label}: engines diverged:\n  {}",
+                rendered.join("\n  ")
+            ))
+        }
+    }
+}
+
+fn never() -> Box<dyn VariabilityPredictor> {
+    Box::new(NeverVaries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole contract: every EngineTuning optimization is
+    /// outcome-neutral across the scenario space — node counts, job
+    /// counts, fault injection on/off, online predictor on/off.
+    #[test]
+    fn legacy_and_optimized_engines_are_equivalent(
+        seed in 0u64..1_000_000,
+        nodes in prop_oneof![Just(16u32), Just(32), Just(64)],
+        jobs in 8usize..40,
+        faults in any::<bool>(),
+        online_predictor in any::<bool>(),
+    ) {
+        let scenario = DiffScenario { seed, nodes, jobs, faults, online_predictor };
+        let legacy = scenario.run(EngineTuning::legacy());
+        let optimized = scenario.run(EngineTuning::default());
+        assert_identical(
+            diff_results(&legacy, &optimized),
+            &format!("{scenario:?}"),
+        )?;
+        // The totals line up with the submitted stream on both sides.
+        prop_assert_eq!(legacy.completed.len() + legacy.failed.len(), jobs);
+        prop_assert_eq!(optimized.completed.len() + optimized.failed.len(), jobs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded execution is schedule-invariant: running the same shard set
+    /// serially and in parallel yields identical per-shard results.
+    #[test]
+    fn serial_and_parallel_campaigns_are_equivalent(
+        master in 0u64..1_000_000,
+        shard_count in 2usize..4,
+        jobs in 6usize..18,
+        faults in any::<bool>(),
+    ) {
+        let specs: Vec<ShardSpec> = (0..shard_count)
+            .map(|i| {
+                let scenario = DiffScenario {
+                    seed: shard_seed(master, i),
+                    nodes: 16,
+                    jobs,
+                    faults,
+                    online_predictor: false,
+                };
+                ShardSpec {
+                    name: format!("pod{i}"),
+                    seed: scenario.seed,
+                    machine: scenario.machine_config(),
+                    sched: scenario.sched_config(SchedulerConfig::default().tuning),
+                    requests: scenario.workload(),
+                    predictor: never,
+                }
+            })
+            .collect();
+        let campaign = ShardedCampaign::new(specs);
+        let serial = campaign.run(ShardExecution::Serial);
+        let parallel = campaign.run(ShardExecution::Parallel);
+        prop_assert_eq!(&serial.summary, &parallel.summary);
+        for (i, (a, b)) in serial.shards.iter().zip(&parallel.shards).enumerate() {
+            assert_identical(diff_results(a, b), &format!("shard {i}"))?;
+        }
+    }
+}

@@ -1,27 +1,32 @@
-//! A deterministic timestamped event queue with indexed cancellation.
+//! A deterministic timestamped event queue with indexed cancellation and
+//! pooled payload storage.
 //!
-//! The queue is a binary min-heap ordered by `(time, sequence)`. The sequence
-//! number is assigned at insertion, so events scheduled for the same instant
-//! pop in insertion order. This stability is what makes a whole simulation
+//! The queue is a binary min-heap of lightweight *keys* ordered by
+//! `(time, sequence)`; payloads live in a slab whose freed slots are reused
+//! (pooled allocation), so a long simulation stops allocating per event
+//! once the slab has grown to the peak concurrent size. The sequence number
+//! is assigned at insertion, so events scheduled for the same instant pop
+//! in insertion order. This stability is what makes a whole simulation
 //! replayable: given the same seed and the same schedule calls, the event
 //! trace is identical on every run and platform.
 //!
 //! # Cancellation and compaction
 //!
 //! [`EventQueue::schedule`] returns an [`EventKey`] that can later be passed
-//! to [`EventQueue::cancel`]. Cancellation is *lazy*: the entry stays in the
-//! heap, and [`EventQueue::pop`] silently discards it when its turn comes.
+//! to [`EventQueue::cancel`]. Cancellation is *lazy*: the key stays in the
+//! heap and the payload in its slot, and [`EventQueue::pop`] silently
+//! discards the entry (returning its slot to the pool) when its turn comes.
 //! Once cancelled entries outnumber live ones the heap is *compacted* —
-//! rebuilt without the dead wood — so a workload that cancels heavily (the
-//! scheduler engine superseding finish events every progress update) keeps
-//! the heap at O(live) instead of O(all ever scheduled). Compaction never
-//! changes the pop order: entries are totally ordered by `(time, seq)`, so
-//! rebuilding the heap from any permutation of the survivors yields the
-//! same pop sequence.
+//! rebuilt without the dead wood, freeing their slots in bulk — so a
+//! workload that cancels heavily (the scheduler engine superseding finish
+//! events every progress update) keeps the heap at O(live) instead of
+//! O(all ever scheduled). Compaction never changes the pop order: keys are
+//! totally ordered by `(time, seq)`, so rebuilding the heap from any
+//! permutation of the survivors yields the same pop sequence.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 /// An event with its scheduled firing time and tie-break sequence number.
 #[derive(Debug, Clone)]
@@ -57,12 +62,41 @@ impl<E> Ord for EventEntry<E> {
     }
 }
 
+/// A heap key: the `(time, seq)` total order plus the slab slot holding the
+/// payload. The slot is *not* part of the order — it is the indirection
+/// that lets payloads live in pooled storage while the heap sifts dense
+/// 24-byte keys instead of whole entries. A slot is freed (and can be
+/// reused) only once its key leaves the heap, so a key's slot reference is
+/// always valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// Handle to one scheduled event, returned by [`EventQueue::schedule`].
 ///
 /// Pass it to [`EventQueue::cancel`] to retract the event before it fires.
-/// A key is only meaningful for a *pending* event: cancelling an event that
-/// already popped (or was already cancelled) is a caller bug — the queue
-/// cannot detect it and the bookkeeping that drives compaction would drift.
+/// A key is only meaningful for a *pending* event: cancelling a key whose
+/// event already fired (or was already cancelled) is detected and returns
+/// `false`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventKey(u64);
 
@@ -101,13 +135,23 @@ pub struct QueueStats {
 /// the dead entries are cheaper to carry than to collect.
 const COMPACT_MIN_LEN: usize = 64;
 
-/// A stable priority queue of future events.
+/// A stable priority queue of future events with pooled payload slots.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<EventEntry<E>>,
-    /// Sequence numbers of pending entries that were cancelled and not yet
-    /// physically removed (lazy deletion).
-    dead: HashSet<u64>,
+    /// Min-heap of `(time, seq, slot)` keys; cancelled keys are collected
+    /// lazily.
+    heap: BinaryHeap<HeapKey>,
+    /// Payload slab indexed by slot. `None` marks a free slot (its index is
+    /// on the `free` list) — freed slots are reused before the slab grows.
+    slab: Vec<Option<EventEntry<E>>>,
+    /// Free slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// *Live* pending `seq → slot` (cancelled entries are removed here
+    /// first), for cancellation, liveness checks and snapshot capture.
+    index: HashMap<u64, u32>,
+    /// Heap keys whose event was cancelled; purged lazily by pop/peek and
+    /// in bulk by compaction.
+    stale: usize,
     next_seq: u64,
     now: SimTime,
     delivered: u64,
@@ -127,7 +171,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            dead: HashSet::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            stale: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             delivered: 0,
@@ -145,7 +192,7 @@ impl<E> EventQueue<E> {
     /// Number of pending *live* events (cancelled-but-uncollected entries
     /// are excluded).
     pub fn len(&self) -> usize {
-        self.heap.len() - self.dead.len()
+        self.heap.len() - self.stale
     }
 
     /// Physical heap size, counting cancelled entries not yet collected.
@@ -156,6 +203,29 @@ impl<E> EventQueue<E> {
     /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Frees the slot behind a heap key whose entry will never deliver.
+    fn release_slot(&mut self, slot: u32) {
+        debug_assert!(self.slab[slot as usize].is_some());
+        self.slab[slot as usize] = None;
+        self.free.push(slot);
+    }
+
+    /// Takes a slot from the pool, growing the slab only when none is free.
+    fn alloc_slot(&mut self, entry: EventEntry<E>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slab[slot as usize].is_none());
+                self.slab[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
+                self.slab.push(Some(entry));
+                slot
+            }
+        }
     }
 
     /// Schedules `event` to fire at absolute time `at`, returning a key
@@ -173,42 +243,52 @@ impl<E> EventQueue<E> {
         let time = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(EventEntry { time, seq, event });
+        let slot = self.alloc_slot(EventEntry { time, seq, event });
+        self.index.insert(seq, slot);
+        self.heap.push(HeapKey { time, seq, slot });
         self.peak_heap = self.peak_heap.max(self.heap.len());
         EventKey(seq)
     }
 
     /// Retracts the pending event behind `key` so it will never be
-    /// delivered. The entry is removed lazily; when dead entries outnumber
-    /// live ones the heap is compacted.
+    /// delivered. The entry is removed lazily; when cancelled entries
+    /// outnumber live ones the heap is compacted.
     ///
-    /// Contract: `key` must belong to a *pending* event. Cancelling a key
-    /// twice is a detected no-op (returns `false`); cancelling a key whose
-    /// event already fired is an undetectable caller bug.
+    /// Returns `false` — and changes nothing — if `key` does not refer to a
+    /// pending event (already cancelled, or already fired).
     pub fn cancel(&mut self, key: EventKey) -> bool {
         debug_assert!(key.0 < self.next_seq, "cancelling a key never issued");
-        if !self.dead.insert(key.0) {
-            return false; // already cancelled
+        if self.index.remove(&key.0).is_none() {
+            return false; // already cancelled or already delivered
         }
+        self.stale += 1;
         self.cancelled_total += 1;
-        if self.heap.len() >= COMPACT_MIN_LEN && self.dead.len() * 2 > self.heap.len() {
+        if self.heap.len() >= COMPACT_MIN_LEN && self.stale * 2 > self.heap.len() {
             self.compact();
         }
         true
     }
 
-    /// Physically removes every cancelled entry, rebuilding the heap from
-    /// the survivors. Pop order is unaffected: `(time, seq)` is a total
-    /// order, so heapifying any permutation of the survivors pops
-    /// identically.
+    /// Physically removes every cancelled entry — freeing their payload
+    /// slots — and rebuilds the heap from the survivors. Pop order is
+    /// unaffected: `(time, seq)` is a total order, so heapifying any
+    /// permutation of the survivors pops identically.
     pub fn compact(&mut self) {
-        if self.dead.is_empty() {
+        if self.stale == 0 {
             return;
         }
-        let mut entries = std::mem::take(&mut self.heap).into_vec();
-        entries.retain(|e| !self.dead.contains(&e.seq));
-        self.dead.clear();
-        self.heap = BinaryHeap::from(entries);
+        let mut keys = std::mem::take(&mut self.heap).into_vec();
+        keys.retain(|k| {
+            if self.index.contains_key(&k.seq) {
+                return true;
+            }
+            debug_assert!(self.slab[k.slot as usize].is_some());
+            self.slab[k.slot as usize] = None;
+            self.free.push(k.slot);
+            false
+        });
+        self.stale = 0;
+        self.heap = BinaryHeap::from(keys);
         self.compactions += 1;
     }
 
@@ -216,21 +296,29 @@ impl<E> EventQueue<E> {
     /// the head are collected on the way.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(head) = self.heap.peek() {
-            if self.dead.remove(&head.seq) {
-                self.heap.pop();
-                continue;
+            if self.index.contains_key(&head.seq) {
+                return Some(head.time);
             }
-            return Some(head.time);
+            let slot = head.slot;
+            self.heap.pop();
+            self.release_slot(slot);
+            self.stale -= 1;
         }
         None
     }
 
     /// Pops the next live event, advancing the clock to its firing time.
-    /// Cancelled entries are discarded silently.
+    /// Cancelled entries are discarded silently; every collected slot —
+    /// delivered or cancelled — returns to the pool.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        while let Some(entry) = self.heap.pop() {
-            if self.dead.remove(&entry.seq) {
-                continue;
+        while let Some(key) = self.heap.pop() {
+            let entry = self.slab[key.slot as usize]
+                .take()
+                .expect("heap key must have a payload");
+            self.free.push(key.slot);
+            if self.index.remove(&key.seq).is_none() {
+                self.stale -= 1;
+                continue; // cancelled
             }
             self.now = entry.time;
             self.delivered += 1;
@@ -242,7 +330,10 @@ impl<E> EventQueue<E> {
     /// Drops all pending events without advancing the clock.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.dead.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.index.clear();
+        self.stale = 0;
     }
 
     /// Lifetime counters (see [`QueueStats`]).
@@ -256,17 +347,24 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// All physical heap entries — live *and* cancelled-but-uncollected —
-    /// in an unspecified order, for snapshot capture. Pair with
-    /// [`dead_seqs`](Self::dead_seqs) to reconstruct the exact queue.
+    /// All physical entries — live *and* cancelled-but-uncollected — in an
+    /// unspecified order, for snapshot capture. Pair with
+    /// [`dead_seqs`](Self::dead_seqs) to reconstruct the exact queue:
+    /// restoring the cancelled entries too (not just the live frontier)
+    /// keeps post-resume compaction behaviour and queue-stats gauges
+    /// byte-identical to the uninterrupted run.
     pub fn entries(&self) -> impl Iterator<Item = &EventEntry<E>> {
-        self.heap.iter()
+        self.slab.iter().flatten()
     }
 
     /// Sequence numbers of cancelled-but-uncollected entries, sorted, for
     /// snapshot capture.
     pub fn dead_seqs(&self) -> Vec<u64> {
-        let mut seqs: Vec<u64> = self.dead.iter().copied().collect();
+        let mut seqs: Vec<u64> = self
+            .entries()
+            .filter(|e| !self.index.contains_key(&e.seq))
+            .map(|e| e.seq)
+            .collect();
         seqs.sort_unstable();
         seqs
     }
@@ -277,10 +375,7 @@ impl<E> EventQueue<E> {
     /// [`entries`](Self::entries) (any order — `(time, seq)` is a total
     /// order so pop order is independent of heap layout), `dead` the
     /// cancelled-but-uncollected sequence set, and the counters the values
-    /// reported by [`stats`](Self::stats) at capture time. Restoring the
-    /// dead set and lifetime counters too — not just the live frontier —
-    /// keeps post-resume compaction behaviour and exported queue-stats
-    /// gauges byte-identical to the uninterrupted run.
+    /// reported by [`stats`](Self::stats) at capture time.
     #[allow(clippy::too_many_arguments)]
     pub fn restore(
         entries: Vec<EventEntry<E>>,
@@ -292,16 +387,35 @@ impl<E> EventQueue<E> {
         peak_heap: usize,
         compactions: u64,
     ) -> Self {
-        EventQueue {
-            heap: BinaryHeap::from(entries),
-            dead: dead.into_iter().collect(),
+        let mut q = EventQueue {
+            heap: BinaryHeap::with_capacity(entries.len()),
+            slab: Vec::with_capacity(entries.len()),
+            free: Vec::new(),
+            index: HashMap::with_capacity(entries.len()),
+            stale: 0,
             next_seq,
             now,
             delivered,
             cancelled_total,
             peak_heap,
             compactions,
+        };
+        let dead: std::collections::HashSet<u64> = dead.into_iter().collect();
+        for entry in entries {
+            let key = HeapKey {
+                time: entry.time,
+                seq: entry.seq,
+                slot: u32::try_from(q.slab.len()).expect("event slab exceeds u32 slots"),
+            };
+            if dead.contains(&entry.seq) {
+                q.stale += 1;
+            } else {
+                q.index.insert(entry.seq, key.slot);
+            }
+            q.slab.push(Some(entry));
+            q.heap.push(key);
         }
+        q
     }
 }
 
@@ -396,6 +510,15 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_delivery_is_detected() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_secs(1), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(k), "cancelling a fired key must be a no-op");
+        assert_eq!(q.stats().cancelled, 0);
+    }
+
+    #[test]
     fn peek_skips_cancelled_head() {
         let mut q = EventQueue::new();
         let k = q.schedule(SimTime::from_secs(1), ());
@@ -404,6 +527,18 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
         // The clock must not have advanced past the discarded entry.
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn freed_slots_are_reused_before_the_slab_grows() {
+        let mut q = EventQueue::new();
+        // Steady state: one pending event at a time, many generations.
+        q.schedule(SimTime::from_secs(0), 0u64);
+        for i in 1..1000u64 {
+            assert!(q.pop().is_some());
+            q.schedule(SimTime::from_secs(i), i);
+        }
+        assert_eq!(q.slab.len(), 1, "pool must recycle the single hot slot");
     }
 
     #[test]
@@ -428,6 +563,23 @@ mod tests {
     }
 
     #[test]
+    fn compaction_frees_cancelled_slots_for_reuse() {
+        let mut q = EventQueue::new();
+        let keys: Vec<EventKey> = (0..100u64)
+            .map(|i| q.schedule(SimTime::from_secs(i), i))
+            .collect();
+        for &k in &keys[..60] {
+            q.cancel(k); // crosses the 50% threshold -> compaction
+        }
+        assert!(q.stats().compactions >= 1);
+        let slab_before = q.slab.len();
+        for i in 100..150u64 {
+            q.schedule(SimTime::from_secs(i), i);
+        }
+        assert_eq!(q.slab.len(), slab_before, "freed slots must be reused");
+    }
+
+    #[test]
     fn restore_reproduces_pop_order_and_stats() {
         let mut q = EventQueue::new();
         let mut keys = Vec::new();
@@ -443,6 +595,7 @@ mod tests {
         let stats = q.stats();
         let entries: Vec<EventEntry<u64>> = q.entries().cloned().collect();
         let dead = q.dead_seqs();
+        assert_eq!(dead.len(), 10, "cancelled entries stay capturable");
         let mut restored = EventQueue::restore(
             entries,
             dead,
@@ -456,6 +609,7 @@ mod tests {
         assert_eq!(restored.stats(), stats);
         assert_eq!(restored.now(), q.now());
         assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.physical_len(), q.physical_len());
         let a: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
         let b: Vec<u64> = std::iter::from_fn(|| restored.pop().map(|e| e.event)).collect();
         assert_eq!(a, b);

@@ -103,6 +103,84 @@ proptest! {
         prop_assert_eq!(q.len(), 0);
     }
 
+    /// The pooled allocator must be invisible in the queue's accounting:
+    /// across any interleaving of schedules, cancels, explicit compactions
+    /// and pops, `scheduled = delivered + cancelled + live-pending` holds
+    /// at every step, the physical heap never exceeds the recorded peak,
+    /// and a snapshot taken at the end restores to a queue that drains
+    /// identically with identical final stats.
+    #[test]
+    fn event_queue_stats_and_pool_stay_consistent(
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u64..300, 0..16),   // schedule delays
+                proptest::collection::vec(0usize..1000, 0..8), // cancel picks
+                any::<bool>(),                                 // explicit compact?
+                0usize..8,                                     // pops
+            ),
+            1..12,
+        ),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let mut keys: Vec<EventKey> = Vec::new(); // still-pending keys
+        let mut next_id = 0usize;
+        for (delays, cancels, do_compact, pops) in rounds {
+            for d in delays {
+                keys.push(q.schedule(q.now() + SimDuration::from_micros(d), next_id));
+                next_id += 1;
+            }
+            for pick in cancels {
+                if keys.is_empty() {
+                    continue;
+                }
+                let key = keys.remove(pick % keys.len());
+                prop_assert!(q.cancel(key));
+            }
+            if do_compact {
+                q.compact();
+            }
+            for _ in 0..pops {
+                if let Some(e) = q.pop() {
+                    keys.retain(|k| k.raw() != e.seq);
+                } else {
+                    break;
+                }
+            }
+            // Conservation: every event ever scheduled is delivered,
+            // cancelled, or still pending — at every step, not just at
+            // quiescence.
+            let s = q.stats();
+            prop_assert_eq!(
+                s.scheduled,
+                s.delivered + s.cancelled + q.len() as u64,
+                "scheduled = delivered + cancelled + pending"
+            );
+            prop_assert!(q.physical_len() >= q.len());
+            prop_assert!(q.physical_len() <= s.peak_heap);
+        }
+
+        // Snapshot round-trip at an arbitrary interleaving point.
+        let stats = q.stats();
+        let entries: Vec<_> = q.entries().cloned().collect();
+        let dead = q.dead_seqs();
+        prop_assert_eq!(entries.len(), q.physical_len());
+        prop_assert_eq!(dead.len(), q.physical_len() - q.len());
+        let mut restored: EventQueue<usize> = EventQueue::restore(
+            entries,
+            dead,
+            stats.scheduled,
+            q.now(),
+            stats.delivered,
+            stats.cancelled,
+            stats.peak_heap,
+            stats.compactions,
+        );
+        let a: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        let b: Vec<usize> = std::iter::from_fn(|| restored.pop().map(|e| e.event)).collect();
+        prop_assert_eq!(a, b, "restored queue must drain identically");
+        prop_assert_eq!(q.stats(), restored.stats());
+    }
+
     #[test]
     fn online_stats_matches_batch(values in proptest::collection::vec(-1e6f64..1e6, 1..256)) {
         let mut o = OnlineStats::new();

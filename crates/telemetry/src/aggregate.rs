@@ -50,26 +50,45 @@ pub fn aggregate_counters(
     to: SimTime,
 ) -> Vec<CounterAggregate> {
     let width = store.counter_count();
-    let mut out = Vec::with_capacity(width);
-    for counter in 0..width {
-        let mut stats = OnlineStats::new();
-        for &node in nodes {
-            for &v in store.window(node, counter, from, to) {
-                stats.push(v);
+    // Row-major stores are walked block-at-a-time instead of
+    // binary-searching per (node, counter) pair. Each counter still sees
+    // its samples in the same order as the per-counter scan below (nodes in
+    // caller order, time ascending within a node), so the pooled stats are
+    // bit-identical across both paths.
+    let mut stats: Vec<OnlineStats> = (0..width).map(|_| OnlineStats::new()).collect();
+    for &node in nodes {
+        match store.rows(node, from, to) {
+            Some((_, rows)) => {
+                for row in rows.chunks_exact(width) {
+                    for (st, &v) in stats.iter_mut().zip(row) {
+                        st.push(v);
+                    }
+                }
+            }
+            None => {
+                for (counter, st) in stats.iter_mut().enumerate() {
+                    for v in store.window(node, counter, from, to) {
+                        st.push(v);
+                    }
+                }
             }
         }
-        if stats.count() == 0 {
-            out.push(CounterAggregate::EMPTY);
-        } else {
-            out.push(CounterAggregate {
-                count: stats.count() as usize,
-                min: stats.min(),
-                max: stats.max(),
-                mean: stats.mean(),
-            });
-        }
     }
-    out
+    stats
+        .iter()
+        .map(|st| {
+            if st.count() == 0 {
+                CounterAggregate::EMPTY
+            } else {
+                CounterAggregate {
+                    count: st.count() as usize,
+                    min: st.min(),
+                    max: st.max(),
+                    mean: st.mean(),
+                }
+            }
+        })
+        .collect()
 }
 
 /// How trustworthy an aggregation window is under telemetry faults.

@@ -25,8 +25,10 @@ use rush_repro::cluster::machine::{Machine, MachineConfig};
 use rush_repro::cluster::topology::{FatTreeConfig, NodeId};
 use rush_repro::core::checkpoint::CheckpointManager;
 use rush_repro::obs::tracer::records_to_jsonl;
+use rush_repro::sched::difftest::diff_results;
 use rush_repro::sched::engine::{SchedulerConfig, SchedulerEngine};
-use rush_repro::sched::predictor::CongestionOracle;
+use rush_repro::sched::predictor::{CongestionOracle, VariabilityPredictor};
+use rush_repro::sched::shard::{shard_seed, ShardExecution, ShardSpec, ShardedCampaign};
 use rush_repro::simkit::fault::FaultConfig;
 use rush_repro::simkit::snapshot::SnapshotError;
 use rush_repro::simkit::time::{SimDuration, SimTime};
@@ -174,6 +176,106 @@ fn resumed_process_trace_is_byte_identical() {
         dir.display()
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ----- sharded full-Quartz scale ----------------------------------------
+
+fn oracle() -> Box<dyn VariabilityPredictor> {
+    Box::new(CongestionOracle::default())
+}
+
+/// The full-Quartz campaign as six pod shards of 498 nodes (6 × 498 =
+/// 2988, the machine's compute partition), each with its own seeded fault
+/// timeline and job stream. Sampling is pinned coarse, as in
+/// [`build_engine`], so the trace comparison dominates the runtime instead
+/// of counter synthesis.
+fn quartz_shards() -> Vec<ShardSpec> {
+    (0..6)
+        .map(|i| {
+            let seed = shard_seed(0x2988, i);
+            let spec = WorkloadSpec {
+                node_counts: vec![8, 16, 32],
+                submit_window: SimDuration::from_mins(10),
+                ..WorkloadSpec::standard(AppId::ALL.to_vec(), 24)
+            };
+            let requests = generate_jobs(
+                &spec,
+                &mut rand::rngs::SmallRng::seed_from_u64(seed ^ 0x10B5),
+            );
+            ShardSpec {
+                name: format!("pod{i}"),
+                seed,
+                machine: MachineConfig {
+                    tree: FatTreeConfig {
+                        pods: 1,
+                        edge_per_pod: 83,
+                        nodes_per_edge: 6,
+                        ..FatTreeConfig::tiny()
+                    },
+                    ..MachineConfig::tiny(seed ^ 0xC1A5)
+                },
+                sched: SchedulerConfig {
+                    sampling_interval: SimDuration::from_days(365),
+                    predictor_window: SimDuration::from_days(365),
+                    retention: SimDuration::from_days(400),
+                    faults: FaultConfig {
+                        seed: seed ^ 0xFA17,
+                        node_mtbf: Some(SimDuration::from_mins(240)),
+                        ..FaultConfig::none()
+                    },
+                    ..SchedulerConfig::default()
+                },
+                requests,
+                predictor: oracle,
+            }
+        })
+        .collect()
+}
+
+/// Checkpoint/resume at full-Quartz scale: every shard of the 2988-node
+/// campaign, snapshotted at its own midpoint and resumed into a fresh
+/// engine, must produce a result byte-identical (encoded trace, outcome
+/// key, scalars) to its uninterrupted baseline from the parallel campaign
+/// run.
+#[test]
+fn sharded_full_quartz_checkpoint_resumes_byte_identical() {
+    let campaign = ShardedCampaign::new(quartz_shards());
+    let baseline = campaign.run(ShardExecution::Parallel);
+    assert_eq!(
+        baseline.summary.completed + baseline.summary.failed,
+        6 * 24,
+        "every shard's jobs must be accounted for"
+    );
+
+    for (spec, base) in campaign.specs().iter().zip(&baseline.shards) {
+        let cut =
+            SimTime::from_micros((base.first_submit.as_micros() + base.last_end.as_micros()) / 2);
+
+        let mut eng = spec.build_engine();
+        eng.prepare(&spec.requests);
+        while eng.now() < cut && eng.step().is_some() {}
+        assert!(
+            !eng.is_done(),
+            "{}: the midpoint must land mid-run",
+            spec.name
+        );
+        let snapshot = eng.snapshot();
+        drop(eng);
+
+        let mut resumed = spec.build_engine();
+        resumed.prepare(&spec.requests);
+        resumed.resume(&snapshot).expect("snapshot must restore");
+        while resumed.step().is_some() {}
+        let result = resumed.finalize();
+
+        let diff = diff_results(base, &result);
+        assert!(
+            diff.is_identical(),
+            "{}: resumed run diverged from baseline: {:?}",
+            spec.name,
+            diff
+        );
+    }
 }
 
 /// A bit-flipped newest checkpoint is detected (CRC) and recovery falls
