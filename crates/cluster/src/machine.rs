@@ -403,7 +403,7 @@ impl Machine {
     }
 
     /// Enables or disables batched observation: the per-version network
-    /// sweep ([`ObsSweep`]) and the per-node owner map replace per-call
+    /// sweep (`ObsSweep`) and the per-node owner map replace per-call
     /// link-map walks and full-load scans in [`Machine::observe`]. Values
     /// are identical either way — the sweep calls the very same network
     /// queries, once per version instead of once per observation — so this

@@ -29,6 +29,9 @@
 //!   enum, and a line-based export codec (the pickle stand-in).
 //! * [`online`] — incremental window retraining for the scheduler's
 //!   drift-aware online predictor service.
+//! * [`runtime`] — variance-reduction regression tree predicting job run
+//!   times from submit-time metadata (learned backfill estimates for
+//!   trace replay).
 
 pub mod adaboost;
 pub mod codec;
@@ -42,6 +45,7 @@ pub mod metrics;
 pub mod model;
 pub mod online;
 pub mod rfe;
+pub mod runtime;
 pub mod scale;
 pub mod select;
 pub mod tree;
@@ -50,3 +54,4 @@ pub mod tune;
 pub use dataset::Dataset;
 pub use metrics::{f1_binary, ConfusionMatrix};
 pub use model::{Classifier, ModelKind, TrainedModel};
+pub use runtime::{submit_features, RuntimeModel, RuntimeModelConfig};

@@ -80,6 +80,17 @@ pub enum ObsEvent {
         /// Job id.
         job: u64,
     },
+    /// A job was rejected at submission: its node demand exceeds the
+    /// schedulable pool, so it can never start. Rejection is an explicit
+    /// outcome — one dirty record must not abort a million-job replay.
+    JobRejected {
+        /// Job id.
+        job: u64,
+        /// Nodes the job asked for.
+        nodes: u32,
+        /// The schedulable pool's capacity it exceeded.
+        capacity: u32,
+    },
     /// The predictor produced a class for a prospective launch.
     PredictorVerdict {
         /// Job id.
@@ -173,6 +184,7 @@ impl ObsEvent {
             ObsEvent::JobRequeued { .. } => "job_requeued",
             ObsEvent::JobFailed { .. } => "job_failed",
             ObsEvent::JobFinished { .. } => "job_finished",
+            ObsEvent::JobRejected { .. } => "job_rejected",
             ObsEvent::PredictorVerdict { .. } => "predictor_verdict",
             ObsEvent::PredictorFallback { .. } => "predictor_fallback",
             ObsEvent::BackfillReservation { .. } => "backfill_reservation",
@@ -198,6 +210,7 @@ impl ObsEvent {
             | ObsEvent::JobRequeued { job, .. }
             | ObsEvent::JobFailed { job, .. }
             | ObsEvent::JobFinished { job }
+            | ObsEvent::JobRejected { job, .. }
             | ObsEvent::PredictorVerdict { job, .. }
             | ObsEvent::PredictorFallback { job, .. }
             | ObsEvent::BackfillReservation { job, .. } => Some(job),
@@ -262,6 +275,11 @@ impl ObsEvent {
                 from_version,
                 to_version,
             } => v(vec![18, u64::from(from_version), u64::from(to_version)]),
+            ObsEvent::JobRejected {
+                job,
+                nodes,
+                capacity,
+            } => v(vec![19, job, u64::from(nodes), u64::from(capacity)]),
         }
     }
 
@@ -346,6 +364,11 @@ impl ObsEvent {
                 from_version: field(1)? as u32,
                 to_version: field(2)? as u32,
             },
+            19 => ObsEvent::JobRejected {
+                job: field(1)?,
+                nodes: field(2)? as u32,
+                capacity: field(3)? as u32,
+            },
             other => {
                 return Err(SnapshotError::Schema(format!("event tag {other}")));
             }
@@ -396,6 +419,14 @@ impl EventRecord {
             ObsEvent::PredictorFallback { job, reason } => {
                 base.u64("job", job).str("reason", reason.label())
             }
+            ObsEvent::JobRejected {
+                job,
+                nodes,
+                capacity,
+            } => base
+                .u64("job", job)
+                .u64("nodes", nodes as u64)
+                .u64("capacity", capacity as u64),
             ObsEvent::BackfillReservation {
                 job,
                 shadow_start_us,
@@ -500,6 +531,11 @@ mod tests {
                 attempts: 2,
             },
             ObsEvent::JobFinished { job: 0 },
+            ObsEvent::JobRejected {
+                job: 0,
+                nodes: 4096,
+                capacity: 64,
+            },
             ObsEvent::PredictorVerdict { job: 0, class: 2 },
             ObsEvent::PredictorFallback {
                 job: 0,
@@ -561,6 +597,11 @@ mod tests {
                 attempts: 3,
             },
             ObsEvent::JobFinished { job: 1 },
+            ObsEvent::JobRejected {
+                job: 6,
+                nodes: 100_000,
+                capacity: 480,
+            },
             ObsEvent::PredictorVerdict { job: 2, class: 2 },
             ObsEvent::PredictorFallback {
                 job: 2,

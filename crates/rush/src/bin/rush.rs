@@ -102,11 +102,37 @@ COMMANDS:
                                          off|log|fail-fast|repair
                --audit-every-event       audit after every event, not just
                                          at checkpoints
+    replay     stream an SWF archive trace (or a synthesized stream tiled
+               from it) through the FCFS+EASY engine in bounded memory and
+               report utilization + bounded slowdown per estimate source
+               --trace FILE              SWF trace to replay
+               --lenient                 drop and count malformed trace
+                                         lines instead of aborting on the
+                                         first (diagnostics to stderr)
+               --synthesize N            tile the trace (or the built-in
+                                         seed when --trace is absent) into
+                                         an N-job stream
+               --arrival-scale F (1.0)   compress inter-arrival times by F
+               --gap SECS (60)           idle gap between tiles
+               --estimates MODE (factor) factor|user|learned|compare
+                                         (compare runs all three)
+               --train-jobs N (5000)     head-of-stream sample fitting the
+                                         learned run-time estimator
+               --window SECS (600)       out-of-order submit tolerance
+               --cores-per-node N (36)   SWF processors mapped per node
+               --max-nodes N (4096)      conversion ceiling; jobs larger
+                                         than the machine reject at submit
+               --est-factor F (1.5)      global over-estimation factor
+               --seed N (7)              machine + engine seed
+               --verify-prefix N         first check streaming ≡
+                                         materialized on the first N
+                                         requests (byte-identical traces)
+               --max-rss-mib N           fail if peak RSS exceeds N MiB
     help       print this message
 ";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["profile", "audit-every-event"];
+const BOOLEAN_FLAGS: &[&str] = &["profile", "audit-every-event", "lenient"];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -131,6 +157,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&options),
         "info" => cmd_info(&options),
         "schedule" => cmd_schedule(&options),
+        "replay" => cmd_replay(&options),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -470,6 +497,195 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
     }
     if profile {
         eprint!("{}", rush_obs::profile::report());
+    }
+    Ok(())
+}
+
+/// Streaming trace replay (see [`rush_core::replay`]): SWF file and/or
+/// synthesized stream → reorder window → streaming engine, with per-job
+/// result folding so memory tracks the live-job population. Ingest
+/// diagnostics are printed here — the library stays silent.
+fn cmd_replay(options: &Options) -> Result<(), String> {
+    use rush_core::replay::{self, EstimatesMode, JobStream, ReplaySettings, REPLAY_MACHINE_NODES};
+    use rush_workloads::swf::SwfReader;
+    use rush_workloads::synth::{synthesize, SynthSpec};
+    use std::io::BufReader;
+
+    let trace = options.get("trace").cloned();
+    let lenient = options.contains_key("lenient");
+    let target = match options.get("synthesize") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--synthesize: expected job count, got '{v}'"))?,
+        ),
+    };
+    if trace.is_none() && target.is_none() {
+        return Err("replay needs --trace FILE, --synthesize N, or both".into());
+    }
+    let spec = SynthSpec {
+        target_jobs: target.unwrap_or(0),
+        arrival_scale: get_f64(options, "arrival-scale", 1.0)?,
+        gap_secs: get_u64(options, "gap", 60)?,
+    };
+    if spec.arrival_scale <= 0.0 || !spec.arrival_scale.is_finite() {
+        return Err("--arrival-scale must be a positive factor".into());
+    }
+    let settings = ReplaySettings {
+        seed: get_u64(options, "seed", 7)?,
+        est_factor: get_f64(options, "est-factor", 1.5)?,
+        cores_per_node: get_u64(options, "cores-per-node", 36)? as u32,
+        max_nodes: get_u64(options, "max-nodes", 4096)? as u32,
+        reorder_window: SimDuration::from_secs(get_u64(options, "window", 600)?),
+        train_jobs: get_u64(options, "train-jobs", 5_000)? as usize,
+        fold: true,
+    };
+    let modes: Vec<EstimatesMode> = match options.get("estimates").map(String::as_str) {
+        None | Some("factor") => vec![EstimatesMode::Factor],
+        Some("user") => vec![EstimatesMode::User],
+        Some("learned") => vec![EstimatesMode::Learned],
+        Some("compare") => vec![
+            EstimatesMode::Factor,
+            EstimatesMode::User,
+            EstimatesMode::Learned,
+        ],
+        Some(other) => return Err(format!("unknown estimates mode '{other}'")),
+    };
+
+    // Ingest pass: validate the trace once, surface diagnostics here (the
+    // parser never prints), and materialize the synthesis seed if tiling.
+    let seed_jobs: Option<Vec<rush_workloads::swf::SwfJob>> = match &trace {
+        None => target.map(|_| replay::builtin_seed()),
+        Some(path) => {
+            let open = || -> Result<_, String> {
+                let file =
+                    std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+                Ok(BufReader::new(file))
+            };
+            let mut jobs = Vec::new();
+            if lenient {
+                let mut reader = SwfReader::lenient(open()?);
+                for item in &mut reader {
+                    jobs.push(item.expect("lenient readers never yield Err"));
+                }
+                let summary = reader.into_summary();
+                eprintln!(
+                    "ingest: kept {} jobs, dropped {} malformed + {} unusable",
+                    summary.kept, summary.dropped_malformed, summary.dropped_unusable
+                );
+                for e in &summary.errors {
+                    eprintln!("  {e}");
+                }
+                if summary.errors_truncated() {
+                    eprintln!(
+                        "  ... and {} more",
+                        summary.dropped_malformed - summary.errors.len() as u64
+                    );
+                }
+            } else {
+                for item in SwfReader::strict(open()?) {
+                    jobs.push(item.map_err(|e| format!("{e} (use --lenient to continue)"))?);
+                }
+            }
+            if jobs.is_empty() {
+                return Err(format!("{path}: no usable jobs"));
+            }
+            Some(jobs)
+        }
+    };
+
+    let make_stream = || -> JobStream {
+        let seed = seed_jobs.clone().expect("validated above");
+        match target {
+            Some(_) => Box::new(synthesize(seed, spec)),
+            None => Box::new(seed.into_iter()),
+        }
+    };
+
+    if let Some(prefix) = options.get("verify-prefix") {
+        let prefix: usize = prefix
+            .parse()
+            .map_err(|_| format!("--verify-prefix: expected count, got '{prefix}'"))?;
+        let checked = replay::verify_prefix(make_stream(), &settings, prefix)?;
+        println!("verified streaming ≡ materialized on a {checked}-request prefix");
+    }
+
+    let summaries = replay::compare_estimates(make_stream, &settings, &modes);
+
+    let mut table = TextTable::new([
+        "estimates",
+        "settled",
+        "completed",
+        "rejected",
+        "utilization",
+        "mean_wait_s",
+        "mean_bsld",
+        "max_bsld",
+    ]);
+    for s in &summaries {
+        table.row([
+            s.mode.name().to_string(),
+            s.stats.settled().to_string(),
+            s.stats.completed.to_string(),
+            s.stats.rejected.to_string(),
+            fmt(s.utilization, 4),
+            fmt(s.stats.mean_wait_secs(), 1),
+            fmt(s.stats.mean_bounded_slowdown(), 3),
+            fmt(s.stats.bounded_slowdown_max, 2),
+        ]);
+    }
+    println!("{}", table.render());
+    for s in &summaries {
+        if s.clamped_submits > 0 || s.dropped_no_runtime > 0 {
+            eprintln!(
+                "{}: {} submits clamped by the reorder window, {} jobs dropped (no run time)",
+                s.mode.name(),
+                s.clamped_submits,
+                s.dropped_no_runtime
+            );
+        }
+        if let Some(mae) = s.model_mae_secs {
+            println!(
+                "learned estimator: trained on {} jobs, in-sample MAE {}s",
+                settings.train_jobs.min(s.stats.settled() as usize),
+                fmt(mae, 1)
+            );
+        }
+    }
+
+    let by_mode = |m: EstimatesMode| summaries.iter().find(|s| s.mode == m);
+    if let (Some(user), Some(learned)) = (
+        by_mode(EstimatesMode::User),
+        by_mode(EstimatesMode::Learned),
+    ) {
+        println!(
+            "learned vs user estimates: utilization {:+.4}, mean wait {:+.1}s, \
+             mean bounded slowdown {:+.3}",
+            learned.utilization - user.utilization,
+            learned.stats.mean_wait_secs() - user.stats.mean_wait_secs(),
+            learned.stats.mean_bounded_slowdown() - user.stats.mean_bounded_slowdown(),
+        );
+    }
+    println!(
+        "machine: {REPLAY_MACHINE_NODES} nodes; makespan {}s; peak queue {}",
+        fmt(summaries[0].makespan_secs, 0),
+        summaries.iter().map(|s| s.max_queue_len).max().unwrap_or(0)
+    );
+
+    if let Some(rss) = replay::peak_rss_mib() {
+        println!("peak rss: {rss} MiB");
+        if let Some(limit) = options.get("max-rss-mib") {
+            let limit: u64 = limit
+                .parse()
+                .map_err(|_| format!("--max-rss-mib: expected MiB, got '{limit}'"))?;
+            if rss > limit {
+                return Err(format!(
+                    "peak RSS {rss} MiB exceeds the {limit} MiB ceiling"
+                ));
+            }
+        }
+    } else if options.contains_key("max-rss-mib") {
+        return Err("--max-rss-mib: /proc/self/status is unavailable".into());
     }
     Ok(())
 }

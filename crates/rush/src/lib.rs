@@ -36,6 +36,7 @@ pub mod experiments;
 pub mod labels;
 pub mod pipeline;
 pub mod predictor;
+pub mod replay;
 pub mod report;
 
 pub use campaign::{ArtifactNode, Dag, Manifest, NodeStatus, RunOptions, RunReport};
@@ -46,3 +47,4 @@ pub use experiments::{Experiment, ExperimentComparison, PolicyKind};
 pub use labels::LabelScheme;
 pub use pipeline::{ModelCache, Pipeline, PipelineOutput};
 pub use predictor::MlPredictor;
+pub use replay::{EstimatesMode, ReplaySettings, ReplaySummary};

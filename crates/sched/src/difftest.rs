@@ -360,6 +360,21 @@ pub fn diff_tunings(scenario: &DiffScenario) -> DiffOutcome {
     diff_results(&legacy, &optimized)
 }
 
+/// Runs `scenario` through materialized `prepare` and through streaming
+/// `prepare_streaming` over the same requests, and diffs the results. The
+/// engine-seeding contract: the two paths deliver the identical event
+/// sequence — same seq numbers, same trace bytes, same outcomes.
+pub fn diff_seeding(scenario: &DiffScenario) -> DiffOutcome {
+    let requests = scenario.workload();
+    let materialized = scenario
+        .build_engine(EngineTuning::default())
+        .run(&requests);
+    let streaming = scenario
+        .build_engine(EngineTuning::default())
+        .run_streaming(Box::new(crate::source::SliceSource::new(&requests)));
+    diff_results(&materialized, &streaming)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +418,20 @@ mod tests {
             ..scenario(13)
         };
         assert_eq!(diff_tunings(&s), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn streaming_and_materialized_seeding_agree() {
+        assert_eq!(diff_seeding(&scenario(21)), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn streaming_and_materialized_seeding_agree_under_faults() {
+        let s = DiffScenario {
+            faults: true,
+            ..scenario(22)
+        };
+        assert_eq!(diff_seeding(&s), DiffOutcome::Identical);
     }
 
     #[test]

@@ -15,12 +15,13 @@
 
 use crate::audit::{AuditConfig, AuditPolicy, Invariant, Violation};
 use crate::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
-use crate::job::{CompletedJob, FailedJob, Job, JobId};
+use crate::job::{CompletedJob, EstimateSource, FailedJob, Job, JobId, BOUNDED_SLOWDOWN_TAU_SECS};
 use crate::policy::{QueueItem, QueueOrder};
 use crate::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
 use crate::profile::AvailabilityProfile;
 use crate::retry::RetryPolicy;
 use crate::service::{OnlineModelHost, PredictorService, ServiceConfig, ServiceEvent};
+use crate::source::JobSource;
 use crate::trace::{ScheduleTrace, TraceEvent};
 use rand::Rng;
 use rush_cluster::machine::{Machine, NodeHealth, SourceId};
@@ -178,6 +179,11 @@ pub struct SchedulerConfig {
     pub skip_threshold: u32,
     /// User over-estimation factor: estimate = nominal × factor.
     pub est_factor: f64,
+    /// Where the estimates backfill plans with come from: the global
+    /// factor, or per-job user estimates carried on the requests (SWF
+    /// field 9 / learned predictions), falling back to the factor for
+    /// requests without one.
+    pub estimates: EstimateSource,
     /// Progress/telemetry re-evaluation cadence.
     pub tick: SimDuration,
     /// Counter sampling cadence (drives the predictor's feature window).
@@ -222,6 +228,7 @@ impl Default for SchedulerConfig {
             backfill: BackfillPolicy::Easy,
             skip_threshold: 10,
             est_factor: 1.5,
+            estimates: EstimateSource::Factor,
             tick: SimDuration::from_secs(30),
             sampling_interval: SimDuration::from_secs(30),
             skip_cooldown: SimDuration::from_secs(45),
@@ -245,6 +252,7 @@ impl Default for SchedulerConfig {
 #[derive(Debug, Clone, Copy)]
 struct SchedCounters {
     jobs_submitted: CounterId,
+    jobs_rejected: CounterId,
     jobs_started: CounterId,
     jobs_finished: CounterId,
     jobs_killed: CounterId,
@@ -280,6 +288,7 @@ impl SchedCounters {
     fn register(reg: &mut MetricsRegistry) -> Self {
         SchedCounters {
             jobs_submitted: reg.register_counter("sched.jobs_submitted"),
+            jobs_rejected: reg.register_counter("sched.jobs_rejected"),
             jobs_started: reg.register_counter("sched.jobs_started"),
             jobs_finished: reg.register_counter("sched.jobs_finished"),
             jobs_killed: reg.register_counter("sched.jobs_killed"),
@@ -449,6 +458,97 @@ impl Ev {
     }
 }
 
+/// Aggregate replay outcomes, folded incrementally as jobs settle. Always
+/// maintained; under [`SchedulerEngine::with_completion_folding`] it is the
+/// *only* outcome record, so a million-job streaming replay reports
+/// utilization and bounded slowdown without retaining per-job vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayStats {
+    /// Jobs that finished.
+    pub completed: u64,
+    /// Jobs that exhausted their retry budget.
+    pub failed: u64,
+    /// Jobs rejected at submission (request exceeds pool capacity).
+    pub rejected: u64,
+    /// Σ nodes × observed runtime over completed jobs, node-seconds — the
+    /// numerator of machine utilization.
+    pub node_seconds: f64,
+    /// Σ queue wait over completed jobs, seconds.
+    pub wait_sum_secs: f64,
+    /// Σ observed runtime over completed jobs, seconds.
+    pub run_sum_secs: f64,
+    /// Σ bounded slowdown over completed jobs.
+    pub bounded_slowdown_sum: f64,
+    /// Worst single bounded slowdown.
+    pub bounded_slowdown_max: f64,
+    /// Latest completion time.
+    pub last_end: SimTime,
+}
+
+impl Default for ReplayStats {
+    fn default() -> Self {
+        ReplayStats {
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            node_seconds: 0.0,
+            wait_sum_secs: 0.0,
+            run_sum_secs: 0.0,
+            bounded_slowdown_sum: 0.0,
+            bounded_slowdown_max: 0.0,
+            last_end: SimTime::ZERO,
+        }
+    }
+}
+
+impl ReplayStats {
+    /// Folds one completion in (same float-op order on a live run and on a
+    /// resumed one rebuilding from the snapshot's completion list).
+    fn observe_completion(&mut self, wait: SimDuration, run: SimDuration, nodes: usize) {
+        let wait_s = wait.as_secs_f64();
+        let run_s = run.as_secs_f64();
+        self.completed += 1;
+        self.node_seconds += nodes as f64 * run_s;
+        self.wait_sum_secs += wait_s;
+        self.run_sum_secs += run_s;
+        let bsld = ((wait_s + run_s) / run_s.max(BOUNDED_SLOWDOWN_TAU_SECS)).max(1.0);
+        self.bounded_slowdown_sum += bsld;
+        self.bounded_slowdown_max = self.bounded_slowdown_max.max(bsld);
+    }
+
+    /// Jobs settled so far (completed, failed, or rejected).
+    pub fn settled(&self) -> u64 {
+        self.completed + self.failed + self.rejected
+    }
+
+    /// Mean queue wait across completed jobs, seconds.
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.wait_sum_secs / self.completed as f64
+    }
+
+    /// Mean bounded slowdown across completed jobs (≥ 1 when any
+    /// completed).
+    pub fn mean_bounded_slowdown(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.bounded_slowdown_sum / self.completed as f64
+    }
+
+    /// Machine utilization: completed node-seconds over `nodes` ×
+    /// `makespan` (Section VI-C's denominator).
+    pub fn utilization(&self, nodes: usize, makespan: SimDuration) -> f64 {
+        let denom = nodes as f64 * makespan.as_secs_f64();
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.node_seconds / denom
+    }
+}
+
 /// The outcome of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ScheduleResult {
@@ -486,6 +586,10 @@ pub struct ScheduleResult {
     /// Event-heap lifetime statistics (scheduled/delivered/cancelled counts,
     /// peak physical heap size, compaction sweeps).
     pub event_queue: QueueStats,
+    /// Aggregate outcomes folded incrementally during the run. Under
+    /// completion folding this is the only record (`completed`/`failed`
+    /// come back empty).
+    pub replay: ReplayStats,
 }
 
 impl ScheduleResult {
@@ -532,8 +636,23 @@ pub struct SchedulerEngine {
     master_seed: u64,
     /// The job set, built by [`SchedulerEngine::prepare`]. Jobs are a pure
     /// function of the requests and config, so snapshots reference them by
-    /// id instead of serializing them.
+    /// id instead of serializing them. Empty in streaming mode, where jobs
+    /// exist only between their pull and their settlement.
     jobs: Vec<Job>,
+    /// Streaming job source (`None` under materialized
+    /// [`prepare`](SchedulerEngine::prepare)).
+    source: Option<Box<dyn JobSource>>,
+    /// The one pulled-but-not-yet-submitted arrival in streaming mode —
+    /// the lookahead that mirrors the chained `Submit` events.
+    next_stream_job: Option<Job>,
+    /// Guards double-preparation and premature snapshot/resume now that an
+    /// empty job table after `prepare` is legal.
+    prepared: bool,
+    /// Drop per-job completion records after folding them into `replay`
+    /// (bounded-memory streaming replays).
+    fold_completions: bool,
+    /// Aggregate outcomes, folded as jobs settle (always maintained).
+    replay: ReplayStats,
     /// `submit_order[k]` = index into `jobs` of the k-th arrival.
     submit_order: Vec<usize>,
     first_submit: SimTime,
@@ -607,6 +726,11 @@ impl SchedulerEngine {
             rng_pred: streams.counted_stream("sched/predict"),
             master_seed: seed,
             jobs: Vec::new(),
+            source: None,
+            next_stream_job: None,
+            prepared: false,
+            fold_completions: false,
+            replay: ReplayStats::default(),
             submit_order: Vec::new(),
             first_submit: SimTime::ZERO,
             request_count: 0,
@@ -704,22 +828,26 @@ impl SchedulerEngine {
     /// once before [`step`](Self::step) — or before
     /// [`resume`](Self::resume), which needs the identical `requests` to
     /// reconstruct the jobs a snapshot references by id.
+    ///
+    /// An empty request set prepares trivially (the run completes with no
+    /// outcomes); a request larger than the schedulable pool is *not* an
+    /// error here — it is rejected at its submission instant, with a
+    /// [`TraceEvent::Rejected`] event and the `sched.jobs_rejected`
+    /// counter, so both this path and the streaming one account for it
+    /// identically.
     pub fn prepare(&mut self, requests: &[JobRequest]) {
-        assert!(!requests.is_empty(), "no jobs to schedule");
-        assert!(self.jobs.is_empty(), "prepare called twice");
-        let capacity = self.pool.capacity() as u32;
-        for req in requests {
-            assert!(
-                req.nodes <= capacity,
-                "job {} wants {} nodes but the schedulable pool has {capacity}",
-                req.id,
-                req.nodes
-            );
-        }
-
+        assert!(!self.prepared, "prepare called twice");
+        self.prepared = true;
         self.jobs = requests
             .iter()
-            .map(|r| Job::from_request(r, self.config.est_factor, self.config.skip_threshold))
+            .map(|r| {
+                Job::from_request_with(
+                    r,
+                    self.config.est_factor,
+                    self.config.estimates,
+                    self.config.skip_threshold,
+                )
+            })
             .collect();
         self.request_count = requests.len();
         self.first_submit = self
@@ -727,7 +855,7 @@ impl SchedulerEngine {
             .iter()
             .map(|j| j.submit_at)
             .min()
-            .expect("non-empty");
+            .unwrap_or(SimTime::ZERO);
 
         // Submissions are chained: only the next arrival lives in the heap
         // at any moment, keeping the heap O(live events) instead of
@@ -737,19 +865,100 @@ impl SchedulerEngine {
         let mut submit_order: Vec<usize> = (0..self.jobs.len()).collect();
         submit_order.sort_by_key(|&i| (self.jobs[i].submit_at, i));
         self.submit_order = submit_order;
-        self.events
-            .schedule(self.jobs[self.submit_order[0]].submit_at, Ev::Submit(0));
+        if let Some(&first) = self.submit_order.first() {
+            self.events
+                .schedule(self.jobs[first].submit_at, Ev::Submit(0));
+        }
         self.pending_submits = self.jobs.len();
-        self.events.schedule(SimTime::ZERO, Ev::Tick);
+        self.seed_clock_events();
+    }
 
-        // Inject the reproducible fault timeline. The schedule is a pure
-        // function of (fault config, node count), so the whole faulty run
-        // remains a deterministic function of its seeds.
+    /// Streaming counterpart of [`prepare`](Self::prepare): instead of a
+    /// materialized job table, the engine pulls one request at a time from
+    /// `source` as its chained `Submit` events fire, so memory is bounded
+    /// by *live* jobs. On the same request sequence the two paths deliver
+    /// the identical event sequence (same event seq numbers, same trace
+    /// bytes) — asserted by the `diff_seeding` difftest.
+    ///
+    /// Snapshot/resume is unavailable in this mode: a stream position
+    /// cannot be re-seeded from a snapshot.
+    pub fn prepare_streaming(&mut self, source: Box<dyn JobSource>) {
+        assert!(!self.prepared, "prepare called twice");
+        self.prepared = true;
+        self.source = Some(source);
+        self.pull_next_arrival(0);
+        self.first_submit = self
+            .next_stream_job
+            .as_ref()
+            .map(|j| j.submit_at)
+            .unwrap_or(SimTime::ZERO);
+        self.seed_clock_events();
+    }
+
+    /// Runs a streaming source to completion:
+    /// [`prepare_streaming`](Self::prepare_streaming), step every event,
+    /// [`finalize`](Self::finalize).
+    pub fn run_streaming(&mut self, source: Box<dyn JobSource>) -> ScheduleResult {
+        self.prepare_streaming(source);
+        while self.step().is_some() {}
+        self.finalize()
+    }
+
+    /// Discards per-job completion records as they fold into the aggregate
+    /// [`ReplayStats`], bounding memory on million-job replays. The
+    /// result's `completed`/`failed` vectors come back empty; snapshotting
+    /// is unavailable in this mode.
+    pub fn with_completion_folding(mut self) -> Self {
+        self.fold_completions = true;
+        self
+    }
+
+    /// The aggregate outcomes folded so far (live during a run).
+    pub fn replay_stats(&self) -> &ReplayStats {
+        &self.replay
+    }
+
+    /// Schedules the clock-driven events both preparation modes share: the
+    /// first tick and the reproducible fault timeline (a pure function of
+    /// (fault config, node count), so a faulty run stays a deterministic
+    /// function of its seeds).
+    fn seed_clock_events(&mut self) {
+        self.events.schedule(SimTime::ZERO, Ev::Tick);
         let fault_schedule =
             FaultSchedule::generate(&self.config.faults, self.machine.tree().node_count());
         for fault in fault_schedule.events() {
             self.events.schedule(fault.at, Ev::Fault(fault.kind));
         }
+    }
+
+    /// Streaming mode: pulls the next request, builds its job, and chains
+    /// its `Submit(k)` event. The event time is clamped to the clock so a
+    /// source that violates its ordering contract degrades to immediate
+    /// submission instead of corrupting event monotonicity.
+    fn pull_next_arrival(&mut self, k: usize) {
+        let req = match self
+            .source
+            .as_mut()
+            .expect("pull_next_arrival outside streaming mode")
+            .next_request()
+        {
+            Some(req) => req,
+            None => {
+                self.next_stream_job = None;
+                return;
+            }
+        };
+        let job = Job::from_request_with(
+            &req,
+            self.config.est_factor,
+            self.config.estimates,
+            self.config.skip_threshold,
+        );
+        self.request_count += 1;
+        self.pending_submits += 1;
+        self.events
+            .schedule(job.submit_at.max(self.events.now()), Ev::Submit(k));
+        self.next_stream_job = Some(job);
     }
 
     /// Delivers the next event. Returns its firing time, or `None` when the
@@ -761,24 +970,51 @@ impl SchedulerEngine {
         match entry.event {
             Ev::Submit(k) => {
                 // Chain the next arrival before anything else so the
-                // heap never runs dry while submissions remain.
-                if let Some(&next) = self.submit_order.get(k + 1) {
-                    self.events
-                        .schedule(self.jobs[next].submit_at, Ev::Submit(k + 1));
-                }
-                let i = self.submit_order[k];
+                // heap never runs dry while submissions remain. Streaming
+                // pulls one request; materialized reads the job table —
+                // either way exactly one event is scheduled here, keeping
+                // event seq numbers identical across the two paths.
+                let job = if self.source.is_some() {
+                    let job = self
+                        .next_stream_job
+                        .take()
+                        .expect("streaming submit without a pulled job");
+                    self.pull_next_arrival(k + 1);
+                    job
+                } else {
+                    if let Some(&next) = self.submit_order.get(k + 1) {
+                        self.events
+                            .schedule(self.jobs[next].submit_at, Ev::Submit(k + 1));
+                    }
+                    self.jobs[self.submit_order[k]].clone()
+                };
                 self.advance_world(now);
                 self.pending_submits -= 1;
-                self.record(now, TraceEvent::Submitted(self.jobs[i].id));
-                self.registry.inc(self.counters.jobs_submitted);
-                self.tracer.emit(
-                    now,
-                    ObsEvent::JobSubmitted {
-                        job: self.jobs[i].id.0,
-                    },
-                );
-                self.enqueue_job(self.jobs[i].clone());
-                self.schedule_pass(now);
+                let capacity = self.pool.capacity() as u32;
+                if job.nodes_requested > capacity {
+                    // Can never fit: reject at the submission instant —
+                    // counted, traced, and conserved, in both preparation
+                    // modes — instead of wedging the queue head forever
+                    // (or panicking at prepare, as this engine once did).
+                    self.replay.rejected += 1;
+                    self.record(now, TraceEvent::Rejected(job.id));
+                    self.registry.inc(self.counters.jobs_rejected);
+                    self.tracer.emit(
+                        now,
+                        ObsEvent::JobRejected {
+                            job: job.id.0,
+                            nodes: job.nodes_requested,
+                            capacity,
+                        },
+                    );
+                } else {
+                    self.record(now, TraceEvent::Submitted(job.id));
+                    self.registry.inc(self.counters.jobs_submitted);
+                    self.tracer
+                        .emit(now, ObsEvent::JobSubmitted { job: job.id.0 });
+                    self.enqueue_job(job);
+                    self.schedule_pass(now);
+                }
             }
             Ev::Finish(id, generation) => {
                 let valid = self
@@ -860,10 +1096,11 @@ impl SchedulerEngine {
         self.events.is_empty()
     }
 
-    /// `(jobs settled, jobs submitted)` — a cheap progress indicator for
-    /// checkpointing drivers.
+    /// `(jobs settled, jobs seen)` — a cheap progress indicator for
+    /// checkpointing and replay drivers. In streaming mode the second
+    /// component grows as requests are pulled.
     pub fn progress(&self) -> (usize, usize) {
-        (self.completed.len() + self.failed.len(), self.request_count)
+        (self.replay.settled() as usize, self.request_count)
     }
 
     /// Collects the run's outcome. Call only after [`step`](Self::step)
@@ -878,16 +1115,15 @@ impl SchedulerEngine {
             "run loop ended with unfinished jobs"
         );
         assert_eq!(
-            self.completed.len() + self.failed.len(),
+            self.replay.settled() as usize,
             self.request_count,
-            "every submitted job must end completed or failed"
+            "every submitted job must end completed, failed, or rejected"
         );
-        let last_end = self
-            .completed
-            .iter()
-            .map(|c| c.end_at)
-            .max()
-            .unwrap_or(self.first_submit);
+        let last_end = if self.replay.completed == 0 {
+            self.first_submit
+        } else {
+            self.replay.last_end
+        };
         self.registry
             .set_gauge(self.counters.max_queue_len, self.max_queue_len as f64);
         let queue_stats = self.events.stats();
@@ -920,6 +1156,7 @@ impl SchedulerEngine {
             events: self.tracer.take_records(),
             metrics: self.registry.clone(),
             event_queue: queue_stats,
+            replay: self.replay,
         }
     }
 
@@ -1004,11 +1241,14 @@ impl SchedulerEngine {
                     attempts,
                 },
             );
-            self.failed.push(FailedJob {
-                job: r.job,
-                attempts,
-                last_killed_at: now,
-            });
+            self.replay.failed += 1;
+            if !self.fold_completions {
+                self.failed.push(FailedJob {
+                    job: r.job,
+                    attempts,
+                    last_killed_at: now,
+                });
+            }
             return;
         }
         let backoff = self.config.retry.backoff_for(attempts);
@@ -1179,15 +1419,23 @@ impl SchedulerEngine {
             svc.observe_completion(&r.job, now.since(r.start_at), now);
             self.drain_service_events(now);
         }
-        self.completed.push(CompletedJob {
-            base_runtime: r.job.base_runtime(),
-            job: r.job,
-            start_at: r.start_at,
-            end_at: now,
-            nodes: r.nodes,
-            skips: r.skips,
-            launch_prediction: r.launch_prediction,
-        });
+        self.replay.observe_completion(
+            r.start_at.since(r.job.submit_at),
+            now.since(r.start_at),
+            r.nodes.len(),
+        );
+        self.replay.last_end = self.replay.last_end.max(now);
+        if !self.fold_completions {
+            self.completed.push(CompletedJob {
+                base_runtime: r.job.base_runtime(),
+                job: r.job,
+                start_at: r.start_at,
+                end_at: now,
+                nodes: r.nodes,
+                skips: r.skips,
+                launch_prediction: r.launch_prediction,
+            });
+        }
     }
 
     /// Algorithm 1: one scheduling pass over the queue.
@@ -1688,7 +1936,15 @@ impl SchedulerEngine {
     /// seed), so a resumed engine replays the remaining trajectory
     /// byte-identically to an uninterrupted one.
     pub fn snapshot(&self) -> Vec<u8> {
-        assert!(!self.jobs.is_empty(), "snapshot before prepare");
+        assert!(self.prepared, "snapshot before prepare");
+        assert!(
+            self.source.is_none(),
+            "snapshot of a streaming run is unsupported: a stream position cannot be re-seeded"
+        );
+        assert!(
+            !self.fold_completions,
+            "snapshot with completion folding would lose per-job records"
+        );
         let t = |at: SimTime| Val::U64(at.as_micros());
         let nodes_val =
             |nodes: &[NodeId]| Val::List(nodes.iter().map(|n| Val::U64(n.0 as u64)).collect());
@@ -1823,6 +2079,7 @@ impl SchedulerEngine {
             .with("breaker", breaker)
             .with("breaker_failures", Val::U64(self.breaker_failures as u64))
             .with("max_queue_len", Val::U64(self.max_queue_len as u64))
+            .with("rejected", Val::U64(self.replay.rejected))
             .with("pending_submits", Val::U64(self.pending_submits as u64))
             .with("queue_dirty", Val::U64(u64::from(self.queue_dirty)))
             .with("next_gen", Val::U64(self.next_gen))
@@ -1853,8 +2110,12 @@ impl SchedulerEngine {
     /// untouched (parse first, commit last).
     pub fn resume(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         assert!(
-            !self.jobs.is_empty(),
+            self.prepared,
             "resume before prepare: call prepare(requests) first"
+        );
+        assert!(
+            self.source.is_none(),
+            "resume into a streaming engine is unsupported"
         );
         let env = snapshot::decode(bytes)?;
         if env.master_seed != self.master_seed || env.fingerprint != self.fingerprint() {
@@ -2060,6 +2321,17 @@ impl SchedulerEngine {
         self.rng_run = CountedRng::restore(streams.stream_seed("sched/run"), b.u("rng_run")?);
         self.rng_pred = CountedRng::restore(streams.stream_seed("sched/predict"), b.u("rng_pred")?);
 
+        // Rebuild the folded aggregates from the restored completion list
+        // in its recorded (completion) order, so every float accumulation
+        // replays in the same order as the uninterrupted run's.
+        let mut replay = ReplayStats::default();
+        for c in &completed {
+            replay.observe_completion(c.wait(), c.runtime(), c.nodes.len());
+            replay.last_end = replay.last_end.max(c.end_at);
+        }
+        replay.failed = failed.len() as u64;
+        replay.rejected = b.u("rejected").unwrap_or(0);
+
         self.queue = queue;
         self.running = running;
         self.skip_table = skip_table;
@@ -2067,6 +2339,7 @@ impl SchedulerEngine {
         self.attempts = attempts;
         self.completed = completed;
         self.failed = failed;
+        self.replay = replay;
         self.events = events;
         self.breaker = breaker;
         self.breaker_failures = b.u("breaker_failures")? as u32;
@@ -2202,11 +2475,13 @@ impl SchedulerEngine {
             }
         }
         if self.request_count > 0 {
+            // Holds in both preparation modes: streaming counts requests as
+            // they are pulled, and a pulled request is always the pending
+            // lookahead, queued, running, or settled.
             let total = self.pending_submits
                 + self.queue.len()
                 + self.running.len()
-                + self.completed.len()
-                + self.failed.len();
+                + self.replay.settled() as usize;
             if total != self.request_count {
                 out.push(Violation::new(
                     Invariant::JobConservation,
@@ -2308,6 +2583,7 @@ mod tests {
                 nodes,
                 submit_at: SimTime::from_secs(i),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect()
     }
@@ -2422,6 +2698,7 @@ mod tests {
                 nodes: 12,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 1,
@@ -2429,6 +2706,7 @@ mod tests {
                 nodes: 16,
                 submit_at: SimTime::from_secs(1),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 2,
@@ -2436,6 +2714,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_secs(2),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
         ];
         let mut eng = engine(Box::new(NeverVaries));
@@ -2465,6 +2744,7 @@ mod tests {
                 nodes: 12,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 1,
@@ -2472,6 +2752,7 @@ mod tests {
                 nodes: 16,
                 submit_at: SimTime::from_secs(1),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 2,
@@ -2479,6 +2760,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_secs(2),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
         ];
         let machine = Machine::new(MachineConfig::tiny(7));
@@ -2506,6 +2788,7 @@ mod tests {
                 nodes: 12,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 1,
@@ -2513,6 +2796,7 @@ mod tests {
                 nodes: 16,
                 submit_at: SimTime::from_secs(1),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 2,
@@ -2520,6 +2804,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_secs(2),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
         ];
         let machine = Machine::new(MachineConfig::tiny(7));
@@ -2548,6 +2833,7 @@ mod tests {
                 nodes: 12,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 1,
@@ -2555,6 +2841,7 @@ mod tests {
                 nodes: 16,
                 submit_at: SimTime::from_secs(1),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 2,
@@ -2562,6 +2849,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_secs(2),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
         ];
         let machine = Machine::new(MachineConfig::tiny(7));
@@ -2590,6 +2878,7 @@ mod tests {
                 nodes: 12,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 1,
@@ -2597,6 +2886,7 @@ mod tests {
                 nodes: 16,
                 submit_at: SimTime::from_secs(1),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 2,
@@ -2604,6 +2894,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_secs(2),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
         ];
         let mut eng = engine(Box::new(NeverVaries));
@@ -2653,6 +2944,7 @@ mod tests {
             nodes: 8,
             submit_at: SimTime::ZERO,
             scaling: ScalingMode::Reference,
+            user_est_secs: None,
         }]);
 
         let machine2 = Machine::new(oversubscribed_single_pod(3));
@@ -2669,6 +2961,7 @@ mod tests {
                 nodes: 8,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 1,
@@ -2676,6 +2969,7 @@ mod tests {
                 nodes: 8,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
         ]);
         let solo_rt = solo.completed[0].runtime().as_secs_f64();
@@ -2707,10 +3001,79 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "schedulable pool")]
     fn oversized_job_rejected() {
+        // 16-node machine: a 17-node request can never fit. It must be
+        // rejected at its submission instant — counted and traced, never
+        // a panic or a wedged queue head.
         let mut eng = engine(Box::new(NeverVaries));
-        eng.run(&requests(1, 17));
+        let result = eng.run(&requests(1, 17));
+        assert!(result.completed.is_empty() && result.failed.is_empty());
+        assert_eq!(result.replay.rejected, 1);
+        assert!(result
+            .trace
+            .events()
+            .iter()
+            .any(|&(_, e)| e == TraceEvent::Rejected(JobId(0))));
+    }
+
+    #[test]
+    fn oversized_job_does_not_block_the_rest() {
+        // One impossible request among feasible ones: the rest of the
+        // stream schedules normally around the rejection.
+        let mut reqs = requests(3, 4);
+        reqs[1].nodes = 64;
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&reqs);
+        assert_eq!(result.completed.len(), 2);
+        assert_eq!(result.replay.rejected, 1);
+        assert_eq!(result.replay.completed, 2);
+    }
+
+    #[test]
+    fn empty_request_set_completes_trivially() {
+        let mut eng = engine(Box::new(NeverVaries));
+        let result = eng.run(&[]);
+        assert!(result.completed.is_empty() && result.failed.is_empty());
+        assert_eq!(result.replay.settled(), 0);
+        assert_eq!(result.makespan(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn streaming_run_matches_materialized() {
+        let reqs = requests(8, 4);
+        let mut mat = engine(Box::new(NeverVaries));
+        let ra = mat.run(&reqs);
+        let mut stream = engine(Box::new(NeverVaries));
+        let rb = stream.run_streaming(Box::new(crate::source::SliceSource::new(&reqs)));
+        assert_eq!(
+            ra.trace.events(),
+            rb.trace.events(),
+            "streaming and materialized seeding must deliver identical event timelines"
+        );
+        let key = |r: &ScheduleResult| {
+            let mut k: Vec<_> = r
+                .completed
+                .iter()
+                .map(|c| (c.job.id, c.start_at, c.end_at))
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&ra), key(&rb));
+        assert_eq!(ra.replay, rb.replay);
+    }
+
+    #[test]
+    fn completion_folding_preserves_aggregates() {
+        let reqs = requests(8, 4);
+        let mut full = engine(Box::new(NeverVaries));
+        let ra = full.run(&reqs);
+        let mut folded = engine(Box::new(NeverVaries)).with_completion_folding();
+        let rb = folded.run_streaming(Box::new(crate::source::SliceSource::new(&reqs)));
+        assert!(rb.completed.is_empty() && rb.failed.is_empty());
+        assert_eq!(ra.replay, rb.replay);
+        assert_eq!(ra.makespan(), rb.makespan());
+        assert!(rb.replay.utilization(16, rb.makespan()) > 0.0);
     }
 
     #[test]
@@ -2902,6 +3265,7 @@ mod tests {
                 // Arrive well after the blackout started.
                 submit_at: SimTime::from_mins(20) + SimDuration::from_secs(i),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let result = eng.run(&reqs);
@@ -2953,6 +3317,7 @@ mod tests {
                     nodes: 8,
                     submit_at: SimTime::ZERO,
                     scaling: ScalingMode::Reference,
+                    user_est_secs: None,
                 },
                 JobRequest {
                     id: 1,
@@ -2960,6 +3325,7 @@ mod tests {
                     nodes: 8,
                     submit_at: SimTime::ZERO,
                     scaling: ScalingMode::Reference,
+                    user_est_secs: None,
                 },
             ]);
             result
@@ -2998,6 +3364,7 @@ mod tests {
                 nodes: 8,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 1,
@@ -3005,6 +3372,7 @@ mod tests {
                 nodes: 8,
                 submit_at: SimTime::ZERO,
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 2,
@@ -3012,6 +3380,7 @@ mod tests {
                 nodes: 12,
                 submit_at: SimTime::from_secs(1),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 3,
@@ -3019,6 +3388,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_secs(2),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
             JobRequest {
                 id: 4,
@@ -3026,6 +3396,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_secs(3),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             },
         ];
         let mut eng = engine(Box::new(NeverVaries));
@@ -3535,6 +3906,7 @@ mod tests {
                 nodes: 4,
                 submit_at: SimTime::from_mins(20) + SimDuration::from_secs(i),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let result = eng.run(&reqs);

@@ -20,6 +20,25 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// Where the run-time estimate that backfill reservations plan with comes
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EstimateSource {
+    /// The paper's model: estimate = nominal run time × a global
+    /// over-estimation factor.
+    #[default]
+    Factor,
+    /// The per-job estimate the request carries (SWF field 9 on trace
+    /// replays, or a learned prediction written into the request). Requests
+    /// without one fall back to the global factor.
+    Request,
+}
+
+/// Denominator floor for bounded slowdown, seconds. The standard metric
+/// clamps very short jobs so a 2-second job waiting a minute does not
+/// dominate the mean (Feitelson's τ = 10 s convention).
+pub const BOUNDED_SLOWDOWN_TAU_SECS: f64 = 10.0;
+
 /// A job known to the scheduler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Job {
@@ -48,14 +67,30 @@ impl Job {
     /// (over-estimation factor); `skip_threshold` is the RUSH starvation
     /// bound.
     pub fn from_request(req: &JobRequest, est_factor: f64, skip_threshold: u32) -> Job {
+        Self::from_request_with(req, est_factor, EstimateSource::Factor, skip_threshold)
+    }
+
+    /// [`Job::from_request`], with the estimate source explicit. Under
+    /// [`EstimateSource::Request`] a request carrying its own estimate
+    /// plans with it verbatim; everything else falls back to the factor.
+    pub fn from_request_with(
+        req: &JobRequest,
+        est_factor: f64,
+        estimates: EstimateSource,
+        skip_threshold: u32,
+    ) -> Job {
         let base = req.app.descriptor().base_runtime(req.nodes, req.scaling);
+        let est_runtime = match (estimates, req.user_est_secs) {
+            (EstimateSource::Request, Some(secs)) if secs > 0.0 => SimDuration::from_secs_f64(secs),
+            _ => base.mul_f64(est_factor),
+        };
         Job {
             id: JobId(req.id),
             app: req.app,
             nodes_requested: req.nodes,
             submit_at: req.submit_at,
             scaling: req.scaling,
-            est_runtime: base.mul_f64(est_factor),
+            est_runtime,
             skip_threshold,
         }
     }
@@ -121,6 +156,15 @@ impl CompletedJob {
         }
         self.runtime().as_secs_f64() / base
     }
+
+    /// Bounded slowdown: `(wait + run) / max(run, τ)` with τ =
+    /// [`BOUNDED_SLOWDOWN_TAU_SECS`] — the replay literature's standard
+    /// responsiveness metric, robust to near-zero runtimes.
+    pub fn bounded_slowdown(&self) -> f64 {
+        let run = self.runtime().as_secs_f64();
+        let wait = self.wait().as_secs_f64();
+        ((wait + run) / run.max(BOUNDED_SLOWDOWN_TAU_SECS)).max(1.0)
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +178,7 @@ mod tests {
             nodes: 16,
             submit_at: SimTime::from_secs(10),
             scaling: ScalingMode::Reference,
+            user_est_secs: None,
         }
     }
 
@@ -147,6 +192,46 @@ mod tests {
         // laghos base 300s -> estimate 450s
         assert!((job.est_runtime.as_secs_f64() - 450.0).abs() < 1e-9);
         assert!((job.base_runtime().as_secs_f64() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_estimate_used_when_configured() {
+        let mut carrying = request();
+        carrying.user_est_secs = Some(1200.0);
+        let job = Job::from_request_with(&carrying, 1.5, EstimateSource::Request, 10);
+        assert!((job.est_runtime.as_secs_f64() - 1200.0).abs() < 1e-9);
+        // No estimate on the request: fall back to the factor.
+        let fallback = Job::from_request_with(&request(), 1.5, EstimateSource::Request, 10);
+        assert!((fallback.est_runtime.as_secs_f64() - 450.0).abs() < 1e-9);
+        // Factor mode ignores the per-job estimate entirely.
+        let factor = Job::from_request_with(&carrying, 1.5, EstimateSource::Factor, 10);
+        assert!((factor.est_runtime.as_secs_f64() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_slowdown_clamps_short_jobs() {
+        let job = Job::from_request(&request(), 1.5, 10);
+        let short = CompletedJob {
+            base_runtime: job.base_runtime(),
+            job: job.clone(),
+            start_at: SimTime::from_secs(70), // 60s wait
+            end_at: SimTime::from_secs(72),   // 2s run
+            nodes: vec![NodeId(0)],
+            skips: 0,
+            launch_prediction: None,
+        };
+        // τ = 10 bounds the denominator: (60 + 2) / 10, not (60 + 2) / 2.
+        assert!((short.bounded_slowdown() - 6.2).abs() < 1e-9);
+        let idleless = CompletedJob {
+            base_runtime: job.base_runtime(),
+            job,
+            start_at: SimTime::from_secs(10), // zero wait
+            end_at: SimTime::from_secs(310),
+            nodes: vec![NodeId(0)],
+            skips: 0,
+            launch_prediction: None,
+        };
+        assert_eq!(idleless.bounded_slowdown(), 1.0);
     }
 
     #[test]

@@ -37,6 +37,9 @@
 //!   renderer.
 //! * [`shard`] — pod-sharded campaign execution: full-machine runs split
 //!   into independent per-pod engines, serial or one-thread-per-shard.
+//! * [`source`] — streaming job sources: the engine can pull arrivals one
+//!   at a time (with an out-of-order tolerance window) instead of holding
+//!   the whole trace in memory.
 //! * [`difftest`] — the differential equivalence harness: runs one
 //!   scenario through two engine configurations and reports the first
 //!   diverging trace event.
@@ -53,12 +56,15 @@ pub mod profile;
 pub mod retry;
 pub mod service;
 pub mod shard;
+pub mod source;
 pub mod trace;
 
 pub use audit::{AuditConfig, AuditPolicy, Invariant, Violation};
 pub use difftest::{diff_results, DiffOutcome, DiffScenario, Divergence};
-pub use engine::{BreakerConfig, BreakerState, ScheduleResult, SchedulerConfig, SchedulerEngine};
-pub use job::{CompletedJob, FailedJob, Job, JobId};
+pub use engine::{
+    BreakerConfig, BreakerState, ReplayStats, ScheduleResult, SchedulerConfig, SchedulerEngine,
+};
+pub use job::{CompletedJob, EstimateSource, FailedJob, Job, JobId};
 pub use metrics::{RuntimeReference, ScheduleMetrics};
 pub use policy::QueueOrder;
 pub use predictor::{PredictError, PredictorCtx, VariabilityClass, VariabilityPredictor};
@@ -70,4 +76,5 @@ pub use service::{
 pub use shard::{
     shard_seed, CampaignResult, CampaignSummary, ShardExecution, ShardSpec, ShardedCampaign,
 };
+pub use source::{IterSource, JobSource, ReorderWindow, SliceSource};
 pub use trace::{ScheduleTrace, TraceEvent};

@@ -18,7 +18,7 @@
 //! so the parallel schedule is trivially safe and the merged outcome is
 //! byte-identical to the serial one (asserted by the differential tests).
 //!
-//! [`BackgroundScope::CoreOnly`]: rush_cluster::machine::BackgroundScope
+//! [`BackgroundScope::CoreOnly`]: rush_cluster::network::BackgroundScope
 
 use crate::engine::{ScheduleResult, SchedulerConfig, SchedulerEngine};
 use crate::predictor::VariabilityPredictor;

@@ -33,6 +33,9 @@ pub enum TraceEvent {
     NodeDown(u32),
     /// A node finished its post-repair probation and rejoined the pool.
     NodeUp(u32),
+    /// A job was rejected at submission: its node demand exceeds the
+    /// schedulable pool and it can never start.
+    Rejected(JobId),
 }
 
 impl TraceEvent {
@@ -45,7 +48,8 @@ impl TraceEvent {
             | TraceEvent::Finished(j)
             | TraceEvent::Killed(j)
             | TraceEvent::Requeued(j, _)
-            | TraceEvent::Failed(j) => Some(j),
+            | TraceEvent::Failed(j)
+            | TraceEvent::Rejected(j) => Some(j),
             TraceEvent::NodeDown(_) | TraceEvent::NodeUp(_) => None,
         }
     }
@@ -62,6 +66,7 @@ impl TraceEvent {
             TraceEvent::Failed(j) => (6, j.0, 0),
             TraceEvent::NodeDown(n) => (7, n as u64, 0),
             TraceEvent::NodeUp(n) => (8, n as u64, 0),
+            TraceEvent::Rejected(j) => (9, j.0, 0),
         };
         Val::List(vec![Val::U64(tag), Val::U64(a), Val::U64(b)])
     }
@@ -83,6 +88,7 @@ impl TraceEvent {
             6 => TraceEvent::Failed(JobId(a)),
             7 => TraceEvent::NodeDown(a as u32),
             8 => TraceEvent::NodeUp(a as u32),
+            9 => TraceEvent::Rejected(JobId(a)),
             other => {
                 return Err(SnapshotError::Schema(format!(
                     "bad trace event tag {other}"
@@ -103,6 +109,7 @@ impl TraceEvent {
             TraceEvent::Failed(_) => "fail",
             TraceEvent::NodeDown(_) => "node-down",
             TraceEvent::NodeUp(_) => "node-up",
+            TraceEvent::Rejected(_) => "reject",
         }
     }
 }

@@ -59,6 +59,27 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Engine-seeding equivalence: pulling the request stream one job at a
+    /// time through a `JobSource` must replay the identical trajectory the
+    /// materialized job table produces — same trace bytes, same outcomes —
+    /// across job counts and fault injection.
+    #[test]
+    fn streaming_and_materialized_seeding_are_equivalent(
+        seed in 0u64..1_000_000,
+        jobs in 4usize..30,
+        faults in any::<bool>(),
+    ) {
+        let scenario = DiffScenario { seed, nodes: 16, jobs, faults, online_predictor: false };
+        assert_identical(
+            rush_sched::difftest::diff_seeding(&scenario),
+            &format!("{scenario:?}"),
+        )?;
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Sharded execution is schedule-invariant: running the same shard set

@@ -107,6 +107,7 @@ proptest! {
                 nodes,
                 submit_at: SimTime::from_secs(submit),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let machine = Machine::new(MachineConfig::tiny(seed));
@@ -176,6 +177,7 @@ proptest! {
                 nodes,
                 submit_at: SimTime::from_secs(submit),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let run = |backfill: BackfillPolicy| {
@@ -264,6 +266,7 @@ proptest! {
                 nodes: 4,
                 submit_at: SimTime::from_secs(i),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let run = || {
@@ -335,6 +338,7 @@ proptest! {
                 nodes: 4,
                 submit_at: SimTime::from_secs(i * 30),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let machine = Machine::new(MachineConfig::tiny(seed));
@@ -452,6 +456,7 @@ fn fallback_starts_never_count_as_skips() {
             nodes: 4,
             submit_at: SimTime::from_secs(i * 60),
             scaling: ScalingMode::Reference,
+            user_est_secs: None,
         })
         .collect();
     let machine = Machine::new(MachineConfig::tiny(9));
@@ -495,6 +500,7 @@ fn telemetry_gap_fallbacks_do_not_double_count_skips() {
             nodes: 4,
             submit_at: SimTime::from_mins(i * 5),
             scaling: ScalingMode::Reference,
+            user_est_secs: None,
         })
         .collect();
     let machine = Machine::new(MachineConfig::tiny(3));
@@ -588,6 +594,7 @@ proptest! {
                 nodes,
                 submit_at: SimTime::from_secs(submit),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let build = || {
@@ -659,6 +666,7 @@ proptest! {
                 nodes,
                 submit_at: SimTime::from_secs(submit),
                 scaling: ScalingMode::Reference,
+                user_est_secs: None,
             })
             .collect();
         let config = SchedulerConfig {

@@ -30,6 +30,12 @@ pub struct JobRequest {
     pub submit_at: SimTime,
     /// Input-deck scaling for this node count.
     pub scaling: ScalingMode,
+    /// The user's own wall-time estimate in seconds (SWF field 9), when
+    /// the workload carries one. `None` falls back to the scheduler's
+    /// global over-estimation factor; trace replays populate it so backfill
+    /// reservations can plan with real (wildly inaccurate, learnable)
+    /// user estimates.
+    pub user_est_secs: Option<f64>,
 }
 
 /// Parameters of a job stream.
@@ -126,6 +132,7 @@ pub fn generate_jobs(spec: &WorkloadSpec, rng: &mut SmallRng) -> Vec<JobRequest>
                 nodes,
                 submit_at,
                 scaling,
+                user_est_secs: None,
             }
         })
         .collect();

@@ -20,12 +20,15 @@
 //!   experiments.
 //! * [`swf`] — Standard Workload Format trace import, so archived
 //!   production traces can drive the scheduler comparison.
+//! * [`synth`] — trace synthesis: tile/scale a seed trace to millions of
+//!   jobs for heavy-traffic replay without materializing them.
 
 pub mod apps;
 pub mod jobgen;
 pub mod probes;
 pub mod scaling;
 pub mod swf;
+pub mod synth;
 
 pub use apps::{AppId, ProxyApp, APPS};
 pub use jobgen::{generate_jobs, JobRequest, WorkloadSpec};

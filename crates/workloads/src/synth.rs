@@ -1,0 +1,202 @@
+//! Trace synthesis: tile and scale a seed trace to stress heavy-traffic
+//! regimes.
+//!
+//! Archive excerpts are small; heavy-traffic experiments need millions of
+//! jobs. [`synthesize`] stretches a seed [`SwfJob`] set to any target count
+//! by tiling it end-to-end — repetition `r` is the whole seed shifted by
+//! `r × (span + gap)` — and compressing inter-arrival times by an arrival
+//! scale factor, so the replay sees a denser arrival process with the seed's
+//! own job-shape mix. The result is an iterator: memory stays O(seed) no
+//! matter how many jobs are generated, which is what lets CI replay a
+//! million-job stream on a small machine.
+
+use crate::swf::SwfJob;
+
+/// Parameters of a synthesized stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthSpec {
+    /// How many jobs to generate.
+    pub target_jobs: u64,
+    /// Arrival-rate multiplier: 2.0 compresses inter-arrival times to
+    /// half, doubling offered load. 1.0 preserves the seed's process.
+    pub arrival_scale: f64,
+    /// Idle seconds inserted between repetitions of the seed (before
+    /// arrival scaling). Zero butt-joins them.
+    pub gap_secs: u64,
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            target_jobs: 0,
+            arrival_scale: 1.0,
+            gap_secs: 60,
+        }
+    }
+}
+
+/// Tiles `seed` into a stream of `spec.target_jobs` jobs (see the module
+/// docs). Ids are renumbered densely; submit times are normalized so the
+/// stream starts where the seed's earliest submission starts, and are
+/// nondecreasing whenever the seed's are.
+///
+/// # Panics
+///
+/// When `seed` is empty or `arrival_scale` is not finite and positive —
+/// there is nothing to tile and no honest way to continue.
+pub fn synthesize(seed: Vec<SwfJob>, spec: SynthSpec) -> SynthStream {
+    assert!(!seed.is_empty(), "synthesis needs a non-empty seed trace");
+    assert!(
+        spec.arrival_scale.is_finite() && spec.arrival_scale > 0.0,
+        "arrival scale must be a positive factor"
+    );
+    let start = seed.iter().map(|j| j.submit_secs).min().expect("non-empty");
+    let span = seed.iter().map(|j| j.submit_secs).max().expect("non-empty") - start;
+    SynthStream {
+        seed,
+        spec,
+        start,
+        period: span + spec.gap_secs,
+        emitted: 0,
+    }
+}
+
+/// Iterator of synthesized [`SwfJob`]s (see [`synthesize`]).
+pub struct SynthStream {
+    seed: Vec<SwfJob>,
+    spec: SynthSpec,
+    /// Earliest seed submission (subtracted so the stream starts at 0).
+    start: u64,
+    /// Unscaled seconds between repetition starts.
+    period: u64,
+    emitted: u64,
+}
+
+impl Iterator for SynthStream {
+    type Item = SwfJob;
+
+    fn next(&mut self) -> Option<SwfJob> {
+        if self.emitted >= self.spec.target_jobs {
+            return None;
+        }
+        let rep = self.emitted / self.seed.len() as u64;
+        let pos = (self.emitted % self.seed.len() as u64) as usize;
+        let template = self.seed[pos];
+        let raw = rep * self.period + (template.submit_secs - self.start);
+        let submit_secs = (raw as f64 / self.spec.arrival_scale).round() as u64;
+        let job = SwfJob {
+            id: self.emitted,
+            submit_secs,
+            ..template
+        };
+        self.emitted += 1;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.spec.target_jobs - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SynthStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> Vec<SwfJob> {
+        vec![
+            SwfJob {
+                id: 10,
+                submit_secs: 100,
+                runtime_secs: Some(180.0),
+                processors: 32,
+                req_time_secs: Some(600.0),
+                req_mem_kb: None,
+            },
+            SwfJob {
+                id: 11,
+                submit_secs: 160,
+                runtime_secs: Some(350.0),
+                processors: 64,
+                req_time_secs: None,
+                req_mem_kb: Some(1024.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn tiles_seed_with_dense_ids_and_normalized_submits() {
+        let spec = SynthSpec {
+            target_jobs: 5,
+            arrival_scale: 1.0,
+            gap_secs: 40,
+        };
+        let jobs: Vec<SwfJob> = synthesize(seed(), spec).collect();
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(
+            jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+        // span 60 + gap 40 = 100s period; seed normalized to start at 0
+        assert_eq!(
+            jobs.iter().map(|j| j.submit_secs).collect::<Vec<_>>(),
+            [0, 60, 100, 160, 200]
+        );
+        // shapes repeat from the seed
+        assert_eq!(jobs[2].processors, 32);
+        assert_eq!(jobs[3].processors, 64);
+        assert_eq!(jobs[2].req_time_secs, Some(600.0));
+    }
+
+    #[test]
+    fn arrival_scale_compresses_interarrivals() {
+        let spec = SynthSpec {
+            target_jobs: 4,
+            arrival_scale: 2.0,
+            gap_secs: 40,
+        };
+        let jobs: Vec<SwfJob> = synthesize(seed(), spec).collect();
+        assert_eq!(
+            jobs.iter().map(|j| j.submit_secs).collect::<Vec<_>>(),
+            [0, 30, 50, 80]
+        );
+    }
+
+    #[test]
+    fn submits_are_nondecreasing_at_scale() {
+        let spec = SynthSpec {
+            target_jobs: 10_000,
+            arrival_scale: 3.0,
+            gap_secs: 0,
+        };
+        let mut last = 0;
+        let mut count = 0u64;
+        for job in synthesize(seed(), spec) {
+            assert!(job.submit_secs >= last);
+            last = job.submit_secs;
+            count += 1;
+        }
+        assert_eq!(count, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty seed")]
+    fn empty_seed_rejected() {
+        synthesize(vec![], SynthSpec::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival scale")]
+    fn bad_scale_rejected() {
+        synthesize(
+            seed(),
+            SynthSpec {
+                target_jobs: 1,
+                arrival_scale: 0.0,
+                gap_secs: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Golden ingest test over the committed PWA-style excerpt.
+//!
+//! `data/pwa_excerpt.swf` is shaped like a real Parallel Workloads Archive
+//! trace and deliberately carries every edge the ingest path must survive:
+//! a negative job number, a processor count below the `-1` sentinel, a
+//! truncated tail line, cancelled/failed records, an out-of-order submit,
+//! and an oversized job. The expectations here are exact — if ingest
+//! accounting drifts, this test names the line that moved.
+
+use rush_workloads::swf::{self, SwfReader};
+use std::io::BufReader;
+
+const EXCERPT: &str = include_str!("data/pwa_excerpt.swf");
+
+#[test]
+fn lenient_ingest_accounts_for_every_line() {
+    let (jobs, summary) = swf::parse_lenient(EXCERPT);
+
+    // 14 job records: 8 usable, 3 malformed, 3 well-formed-but-unusable.
+    assert_eq!(summary.kept, 8);
+    assert_eq!(summary.dropped_malformed, 3);
+    assert_eq!(summary.dropped_unusable, 3);
+    assert_eq!(summary.kept + summary.dropped(), 14);
+    assert!(!summary.errors_truncated());
+
+    let kept_ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+    assert_eq!(kept_ids, vec![1, 2, 4, 5, 6, 9, 10, 13]);
+
+    // Malformed lines are named precisely, with 1-based line numbers that
+    // count the header comments.
+    let rendered: Vec<String> = summary.errors.iter().map(|e| e.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "SWF line 10: negative job number '-3'".to_string(),
+            "SWF line 15: negative allocated processors '-4'".to_string(),
+            "SWF line 19: expected >= 8 fields, found 3".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn strict_ingest_stops_at_the_negative_id() {
+    let err = swf::parse(EXCERPT).expect_err("the excerpt is dirty");
+    assert_eq!(err.line, 10);
+    assert!(err.message.contains("negative job number"));
+}
+
+#[test]
+fn streaming_ingest_matches_in_memory_on_the_excerpt() {
+    let (inmem_jobs, inmem_summary) = swf::parse_lenient(EXCERPT);
+    // A 7-byte buffer forces every record across buffer boundaries.
+    let mut reader = SwfReader::lenient(BufReader::with_capacity(7, EXCERPT.as_bytes()));
+    let stream_jobs: Vec<_> = (&mut reader).map(|r| r.expect("lenient")).collect();
+    assert_eq!(inmem_jobs, stream_jobs);
+    assert_eq!(inmem_summary, reader.into_summary());
+}
+
+#[test]
+fn excerpt_requests_preserve_estimates_and_clamp_nodes() {
+    let (jobs, _) = swf::parse_lenient(EXCERPT);
+    let mut stream = swf::request_stream(jobs.into_iter(), 36, 4096);
+    let requests: Vec<_> = (&mut stream).collect();
+    assert_eq!(stream.dropped_no_runtime(), 0);
+    assert_eq!(requests.len(), 8);
+
+    // Dense ids in stream order; submit times carried through, including
+    // the out-of-order pair (job 6 submitted before job 5 but recorded
+    // after it).
+    let order: Vec<(u64, u64)> = requests
+        .iter()
+        .map(|r| (r.id, r.submit_at.as_secs_f64() as u64))
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            (0, 0),
+            (1, 120),
+            (2, 300),
+            (3, 900),
+            (4, 840), // out-of-order submit survives conversion untouched
+            (5, 1080),
+            (6, 1140),
+            (7, 1320),
+        ]
+    );
+
+    // SWF field 9 becomes the per-job user estimate; `-1` stays missing.
+    assert_eq!(requests[0].user_est_secs, Some(7200.0));
+    assert_eq!(requests[6].user_est_secs, None);
+
+    // 72 procs on 36-core nodes → 2 nodes; the 165 888-proc job clamps to
+    // the conversion ceiling (rejection happens later, at submit time, if
+    // the target machine is smaller).
+    assert_eq!(requests[0].nodes, 2);
+    assert_eq!(requests[3].nodes, 4);
+    assert_eq!(requests[4].nodes, 1);
+    assert_eq!(requests[5].nodes, 4096);
+}

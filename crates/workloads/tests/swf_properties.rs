@@ -1,0 +1,121 @@
+//! SWF ingest property tests: the incremental [`SwfReader`] over a
+//! small-buffer `BufRead` (lines crossing buffer boundaries) must agree
+//! with the in-memory `parse`/`parse_lenient` wrappers on arbitrary
+//! corpora — clean records, comments, directives, blank lines, and every
+//! malformed shape the lenient path counts — job for job, error for error.
+//!
+//! [`SwfReader`]: rush_workloads::swf::SwfReader
+
+use proptest::prelude::*;
+use rush_workloads::swf::{self, SwfJob, SwfReader};
+use std::io::BufReader;
+
+/// One syntactically clean 18-field record (values may still make it
+/// unusable, e.g. all runtimes missing — that is the interesting part).
+fn clean_line() -> impl Strategy<Value = String> {
+    (
+        (
+            0u64..100_000,   // job number
+            0u64..1_000_000, // submit
+            -1i64..100_000,  // run time
+        ),
+        (
+            -1i64..512,       // allocated procs
+            -1i64..512,       // requested procs
+            -1i64..100_000,   // requested time
+            -1i64..4_000_000, // requested memory
+        ),
+    )
+        .prop_map(|((id, submit, run), (alloc, req, req_time, mem))| {
+            format!(
+                "{id} {submit} 3 {run} {alloc} -1 -1 {req} {req_time} {mem} 1 1 1 1 -1 -1 -1 -1"
+            )
+        })
+}
+
+/// Lines the parser must tolerate (lenient) or report precisely (strict).
+fn dirty_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // negative job number — must be rejected, never wrapped
+        Just("-7 100 0 60 4 -1 -1 4 120 -1 1 1 1 1 -1 -1 -1 -1".to_string()),
+        // negative allocated-processor count below the -1 sentinel
+        Just("9 100 0 60 -4 -1 -1 4 120 -1 1 1 1 1 -1 -1 -1 -1".to_string()),
+        // non-numeric field
+        Just("5 abc 0 60 4 -1 -1 4 120 -1 1 1 1 1 -1 -1 -1 -1".to_string()),
+        // too few fields
+        Just("5 100 0".to_string()),
+        // comments, directives, and blanks (never errors in either mode)
+        Just("; UnixStartTime: 0".to_string()),
+        Just(";".to_string()),
+        Just(String::new()),
+        Just("   ".to_string()),
+    ]
+}
+
+fn corpus() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![clean_line(), clean_line(), dirty_line()], 0..40)
+        .prop_map(|lines| lines.join("\n"))
+}
+
+/// Drains a reader built over a deliberately tiny buffered reader, so
+/// record boundaries and buffer boundaries interleave.
+fn stream_lenient(text: &str) -> (Vec<SwfJob>, swf::IngestSummary) {
+    let reader = BufReader::with_capacity(7, text.as_bytes());
+    let mut r = SwfReader::lenient(reader);
+    let mut jobs = Vec::new();
+    for item in &mut r {
+        jobs.push(item.expect("lenient mode never yields Err"));
+    }
+    let summary = r.into_summary();
+    (jobs, summary)
+}
+
+fn stream_strict(text: &str) -> Result<Vec<SwfJob>, String> {
+    let reader = BufReader::with_capacity(7, text.as_bytes());
+    SwfReader::strict(reader)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming ≡ in-memory on arbitrary mixed corpora: identical kept
+    /// jobs, identical error accounting, regardless of where the reader's
+    /// buffer boundaries fall.
+    #[test]
+    fn streaming_reader_matches_in_memory_parse(text in corpus()) {
+        let (inmem_jobs, inmem_summary) = swf::parse_lenient(&text);
+        let (stream_jobs, stream_summary) = stream_lenient(&text);
+        prop_assert_eq!(&inmem_jobs, &stream_jobs);
+        prop_assert_eq!(&inmem_summary, &stream_summary);
+
+        let inmem_strict = swf::parse(&text).map_err(|e| e.to_string());
+        let stream_strict = stream_strict(&text);
+        prop_assert_eq!(inmem_strict, stream_strict);
+
+        // Conservation: every input record is kept or counted dropped.
+        let records = text
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with(';')
+            })
+            .count() as u64;
+        prop_assert_eq!(stream_summary.kept + stream_summary.dropped(), records);
+    }
+
+    /// Clean corpora parse identically in both modes and drop nothing as
+    /// malformed (unusable records — no runtime anywhere — may drop).
+    #[test]
+    fn clean_corpora_have_no_malformed_drops(
+        lines in proptest::collection::vec(clean_line(), 1..30),
+    ) {
+        let text = lines.join("\n");
+        let (jobs, summary) = swf::parse_lenient(&text);
+        prop_assert_eq!(summary.dropped_malformed, 0);
+        prop_assert!(summary.errors.is_empty());
+        let strict = swf::parse(&text).expect("clean corpus parses strictly");
+        prop_assert_eq!(jobs, strict);
+    }
+}

@@ -18,6 +18,7 @@ fn requests(n: u64) -> Vec<JobRequest> {
             nodes: 4,
             submit_at: SimTime::from_secs(i * 5),
             scaling: ScalingMode::Reference,
+            user_est_secs: None,
         })
         .collect()
 }
