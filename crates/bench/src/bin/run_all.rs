@@ -11,7 +11,8 @@
 //! everything up to date. See DESIGN.md §12.
 //!
 //! Usage: `run_all [--quick] [--only a,b] [--workers N] [--force]
-//! [--results-dir DIR] [--list] [--quiet] [harness flags...]`
+//! [--results-dir DIR] [--list] [--quiet] [--node-timeout SECS]
+//! [harness flags...]`
 
 use rush_bench::artifacts::{self, ArtifactCtx};
 use rush_bench::cli::HarnessArgs;
@@ -28,6 +29,7 @@ struct OrchestratorArgs {
     list: bool,
     results_dir: PathBuf,
     verbose: bool,
+    node_timeout: Option<std::time::Duration>,
 }
 
 fn parse_args() -> OrchestratorArgs {
@@ -37,6 +39,7 @@ fn parse_args() -> OrchestratorArgs {
     let mut list = false;
     let mut results_dir = PathBuf::from("results");
     let mut verbose = true;
+    let mut node_timeout = None;
     let mut rest = Vec::new();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -59,6 +62,12 @@ fn parse_args() -> OrchestratorArgs {
             "--list" => list = true,
             "--results-dir" => results_dir = PathBuf::from(grab("--results-dir")),
             "--quiet" => verbose = false,
+            "--node-timeout" => {
+                let secs: u64 = grab("--node-timeout")
+                    .parse()
+                    .expect("--node-timeout: seconds as integer");
+                node_timeout = Some(std::time::Duration::from_secs(secs));
+            }
             other => rest.push(other.to_string()),
         }
     }
@@ -70,6 +79,7 @@ fn parse_args() -> OrchestratorArgs {
         list,
         results_dir,
         verbose,
+        node_timeout,
     }
 }
 
@@ -113,6 +123,7 @@ fn main() {
         seed: args.harness.seed,
         only,
         verbose: args.verbose,
+        node_timeout: args.node_timeout,
     };
     eprintln!(
         "[campaign] {} workers, results in {}, fingerprint {:016x}",
@@ -136,6 +147,7 @@ fn main() {
     let fresh_id = metrics.register_counter("campaign.nodes_fresh");
     let skipped_id = metrics.register_counter("campaign.nodes_skipped");
     let failed_id = metrics.register_counter("campaign.nodes_failed");
+    let timed_out_id = metrics.register_counter("campaign.nodes_timed_out");
     let blocked_id = metrics.register_counter("campaign.nodes_blocked");
     let wall_id = metrics.register_histogram(
         "campaign.node_wall_s",
@@ -146,6 +158,7 @@ fn main() {
             NodeStatus::Fresh => fresh_id,
             NodeStatus::Skipped => skipped_id,
             NodeStatus::Failed => failed_id,
+            NodeStatus::TimedOut => timed_out_id,
             NodeStatus::Blocked => blocked_id,
         });
         if node.status == NodeStatus::Fresh {
@@ -166,7 +179,9 @@ fn main() {
                 if node.retried { " (retried)" } else { "" }
             ),
             NodeStatus::Skipped => "up to date".to_string(),
-            NodeStatus::Failed | NodeStatus::Blocked => node.error.clone().unwrap_or_default(),
+            NodeStatus::Failed | NodeStatus::TimedOut | NodeStatus::Blocked => {
+                node.error.clone().unwrap_or_default()
+            }
         };
         eprintln!(
             "[campaign] {:<28} {:<8} {detail}",
@@ -175,16 +190,18 @@ fn main() {
                 NodeStatus::Fresh => "fresh",
                 NodeStatus::Skipped => "skipped",
                 NodeStatus::Failed => "FAILED",
+                NodeStatus::TimedOut => "TIMEOUT",
                 NodeStatus::Blocked => "BLOCKED",
             }
         );
     }
     eprintln!(
-        "[campaign] done in {:.1}s: {} fresh, {} skipped, {} failed, {} blocked; manifest: {}",
+        "[campaign] done in {:.1}s: {} fresh, {} skipped, {} failed, {} timed out, {} blocked; manifest: {}",
         started.elapsed().as_secs_f64(),
         report.count(NodeStatus::Fresh),
         report.count(NodeStatus::Skipped),
         report.count(NodeStatus::Failed),
+        report.count(NodeStatus::TimedOut),
         report.count(NodeStatus::Blocked),
         args.results_dir.join("manifest.json").display()
     );

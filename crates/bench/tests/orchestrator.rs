@@ -29,6 +29,7 @@ fn opts(ctx: &Arc<ArtifactCtx>, dag: &rush_core::campaign::Dag, dir: &Path) -> R
         seed: ctx.args().seed,
         only: Some(dag.closure_of(&ONLY).expect("known artifacts")),
         verbose: false,
+        node_timeout: None,
     }
 }
 

@@ -279,6 +279,10 @@ pub struct Machine {
     obs_caching: bool,
     health: Vec<NodeHealth>,
     health_stats: HealthStats,
+    /// Per-node straggler speed factor in milli-units (1000 = nominal).
+    /// Integer so degrade/restore pairs cancel exactly and snapshots
+    /// round-trip byte-identically.
+    node_speed_milli: Vec<u32>,
     os_noise: OsNoise,
     rng_regime: CountedRng,
     rng_noise_job: CountedRng,
@@ -314,6 +318,7 @@ impl Machine {
             obs_caching: false,
             health: vec![NodeHealth::Up; tree_nodes as usize],
             health_stats: HealthStats::default(),
+            node_speed_milli: vec![1000; tree_nodes as usize],
             rng_regime,
             rng_noise_job: streams.counted_stream("machine/noise-job"),
             rng_counters: streams.counted_stream("machine/counters"),
@@ -685,6 +690,59 @@ impl Machine {
         self.health[node.0 as usize] = NodeHealth::Up;
     }
 
+    /// Marks a node a straggler: everything running on it executes at
+    /// `factor_milli / 1000` of nominal speed. Factors outside `(0, 1000]`
+    /// are clamped into range.
+    pub fn degrade_node(&mut self, node: NodeId, factor_milli: u32) {
+        self.node_speed_milli[node.0 as usize] = factor_milli.clamp(1, 1000);
+    }
+
+    /// Restores a straggler to nominal speed.
+    pub fn restore_node_speed(&mut self, node: NodeId) {
+        self.node_speed_milli[node.0 as usize] = 1000;
+    }
+
+    /// Current straggler speed factor of one node, in milli-units.
+    pub fn node_speed_milli(&self, node: NodeId) -> u32 {
+        self.node_speed_milli[node.0 as usize]
+    }
+
+    /// Speed factor of an allocation: the slowest member node's factor,
+    /// because a tightly coupled parallel job runs at its straggler's pace.
+    /// `1.0` when no allocated node is degraded.
+    pub fn allocation_speed_factor(&self, nodes: &[NodeId]) -> f64 {
+        let min_milli = nodes
+            .iter()
+            .map(|n| self.node_speed_milli[n.0 as usize])
+            .min()
+            .unwrap_or(1000);
+        f64::from(min_milli) / 1000.0
+    }
+
+    /// Number of nodes currently running degraded.
+    pub fn degraded_node_count(&self) -> usize {
+        self.node_speed_milli.iter().filter(|&&m| m < 1000).count()
+    }
+
+    /// Starts (or retunes) an injected congestion storm in `region`. Regions
+    /// map onto pods modulo the pod count, so any region id is valid on any
+    /// machine.
+    pub fn start_storm(&mut self, region: u32, intensity_milli: u32) {
+        let pod = region % self.config.tree.pods.max(1);
+        self.net.set_storm(pod, intensity_milli);
+    }
+
+    /// Clears the injected storm in `region`.
+    pub fn end_storm(&mut self, region: u32) {
+        let pod = region % self.config.tree.pods.max(1);
+        self.net.set_storm(pod, 0);
+    }
+
+    /// Number of pods currently under an injected storm.
+    pub fn active_storm_count(&self) -> usize {
+        self.net.storms().len()
+    }
+
     /// Number of nodes currently crashed.
     pub fn down_node_count(&self) -> usize {
         self.health
@@ -756,6 +814,30 @@ impl Machine {
                 })
                 .collect(),
         );
+        // Sparse straggler map: only degraded nodes appear, ascending.
+        let node_speed = Val::List(
+            self.node_speed_milli
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m != 1000)
+                .map(|(n, &m)| {
+                    Val::map()
+                        .with("node", Val::U64(n as u64))
+                        .with("milli", Val::U64(u64::from(m)))
+                })
+                .collect(),
+        );
+        let storms = Val::List(
+            self.net
+                .storms()
+                .iter()
+                .map(|&(pod, milli)| {
+                    Val::map()
+                        .with("pod", Val::U64(u64::from(pod)))
+                        .with("milli", Val::U64(u64::from(milli)))
+                })
+                .collect(),
+        );
         Val::map()
             .with("now_us", Val::U64(self.now.as_micros()))
             .with(
@@ -770,6 +852,8 @@ impl Machine {
             .with("failures", Val::U64(self.health_stats.failures))
             .with("recoveries", Val::U64(self.health_stats.recoveries))
             .with("trusts", Val::U64(self.health_stats.trusts))
+            .with("node_speed", node_speed)
+            .with("storms", storms)
             .with("rng_regime", rng_val(&self.rng_regime))
             .with("rng_noise_job", rng_val(&self.rng_noise_job))
             .with("rng_counters", rng_val(&self.rng_counters))
@@ -853,6 +937,26 @@ impl Machine {
             trusts: v.u("trusts")?,
         };
 
+        // Straggler factors and storms: wipe this machine's, then re-apply
+        // the snapshot's so the rebuilt network sees the same injected
+        // contention (mid-storm resumes must be byte-identical).
+        self.node_speed_milli.fill(1000);
+        for entry in v.l("node_speed")? {
+            let node = entry.u("node")? as usize;
+            if node >= self.node_speed_milli.len() {
+                return Err(SnapshotError::ConfigMismatch);
+            }
+            self.node_speed_milli[node] = entry.u("milli")? as u32;
+        }
+        let stale_storms: Vec<u32> = self.net.storms().iter().map(|&(p, _)| p).collect();
+        for pod in stale_storms {
+            self.net.set_storm(pod, 0);
+        }
+        for entry in v.l("storms")? {
+            self.net
+                .set_storm(entry.u("pod")? as u32, entry.u("milli")? as u32);
+        }
+
         self.now = SimTime::from_micros(v.u("now_us")?);
         self.last_noise_update = SimTime::from_micros(v.u("last_noise_update_us")?);
         // `advance_to` early-returns for t <= now, so the regime backgrounds
@@ -890,6 +994,10 @@ impl Machine {
             .gauge_id("cluster.nodes_down")
             .unwrap_or_else(|| reg.register_gauge("cluster.nodes_down"));
         reg.set_gauge(gauge, self.down_node_count() as f64);
+        let gauge = reg
+            .gauge_id("cluster.nodes_degraded")
+            .unwrap_or_else(|| reg.register_gauge("cluster.nodes_degraded"));
+        reg.set_gauge(gauge, self.degraded_node_count() as f64);
     }
 }
 
@@ -1172,6 +1280,8 @@ mod tests {
         );
         m.fail_node(NodeId(2));
         m.recover_node(NodeId(2));
+        m.degrade_node(NodeId(5), 400);
+        m.start_storm(0, 650);
         m.advance_to(SimTime::from_mins(17));
         let _ = m.sample_counters(NodeId(0));
         let _ = m.draw_os_noise();
@@ -1182,6 +1292,10 @@ mod tests {
 
         assert_eq!(r.now(), m.now());
         assert_eq!(r.node_health(NodeId(2)), NodeHealth::Suspect);
+        assert_eq!(r.node_speed_milli(NodeId(5)), 400);
+        assert_eq!(r.active_storm_count(), 1);
+        // The restored machine must re-emit byte-identical snapshots.
+        assert_eq!(r.snapshot_state(), snap);
         assert_eq!(r.health_stats(), m.health_stats());
         assert_eq!(r.background_util(), m.background_util());
         assert_eq!(r.noise_level_gbps(), m.noise_level_gbps());
@@ -1195,6 +1309,49 @@ mod tests {
             assert_eq!(r.sample_counters(NodeId(1)), m.sample_counters(NodeId(1)));
             assert_eq!(r.draw_os_noise(), m.draw_os_noise());
         }
+    }
+
+    #[test]
+    fn allocation_speed_tracks_slowest_member() {
+        let mut m = Machine::new(MachineConfig::tiny(7));
+        assert_eq!(m.allocation_speed_factor(&nodes(0..4)), 1.0);
+        m.degrade_node(NodeId(2), 300);
+        m.degrade_node(NodeId(3), 800);
+        assert_eq!(m.allocation_speed_factor(&nodes(0..4)), 0.3);
+        assert_eq!(m.allocation_speed_factor(&nodes(3..4)), 0.8);
+        assert_eq!(m.allocation_speed_factor(&nodes(0..2)), 1.0);
+        assert_eq!(m.degraded_node_count(), 2);
+        m.restore_node_speed(NodeId(2));
+        assert_eq!(m.allocation_speed_factor(&nodes(0..4)), 0.8);
+        // Out-of-range factors clamp instead of zeroing speed.
+        m.degrade_node(NodeId(0), 0);
+        assert_eq!(m.node_speed_milli(NodeId(0)), 1);
+        m.degrade_node(NodeId(0), 5000);
+        assert_eq!(m.node_speed_milli(NodeId(0)), 1000);
+    }
+
+    #[test]
+    fn storms_raise_congestion_and_clear_exactly() {
+        let mut m = Machine::new(MachineConfig::tiny(11));
+        // tiny() has two pods; a cross-switch allocation in pod 0 crosses
+        // the pod fabric and feels the storm.
+        let alloc = nodes(0..8);
+        let calm = m.congestion(&alloc);
+        m.start_storm(0, 700);
+        let stormy = m.congestion(&alloc);
+        assert!(
+            stormy > calm + 0.5,
+            "storm must raise congestion: {calm} -> {stormy}"
+        );
+        // Region ids wrap onto pods, so region == pod count hits pod 0 too.
+        m.end_storm(0);
+        assert_eq!(m.congestion(&alloc), calm);
+        assert_eq!(m.active_storm_count(), 0);
+        m.start_storm(2, 500);
+        assert_eq!(m.active_storm_count(), 1);
+        assert!(m.congestion(&alloc) > calm);
+        m.end_storm(2);
+        assert_eq!(m.congestion(&alloc), calm);
     }
 
     #[test]

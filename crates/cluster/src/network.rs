@@ -65,6 +65,11 @@ pub struct NetworkState {
     /// traffic from the rest of the machine; see [`crate::noise`]).
     background_util: f64,
     background_scope: BackgroundScope,
+    /// Injected fabric-contention storms: `(pod, intensity_milli)` sorted by
+    /// pod, added to the pod's fabric links on top of load and background.
+    /// Intensities are integer milli-units so start/end pairs cancel exactly
+    /// and snapshots round-trip byte-identically.
+    storms: Vec<(u32, u32)>,
     dirty: bool,
     /// Bumped on every observable change (source set, background level or
     /// scope). Consumers cache derived quantities keyed by this counter.
@@ -79,6 +84,7 @@ impl NetworkState {
             loads: HashMap::new(),
             background_util: 0.0,
             background_scope: BackgroundScope::AllLinks,
+            storms: Vec::new(),
             dirty: false,
             version: 0,
         }
@@ -132,6 +138,42 @@ impl NetworkState {
         self.background_util
     }
 
+    /// Sets the injected storm contention on `pod`'s fabric links;
+    /// `intensity_milli == 0` clears it. Bumps the version only on an
+    /// observable change so congestion caches stay valid across no-ops.
+    pub fn set_storm(&mut self, pod: u32, intensity_milli: u32) {
+        match self.storms.binary_search_by_key(&pod, |&(p, _)| p) {
+            Ok(i) => {
+                if intensity_milli == 0 {
+                    self.storms.remove(i);
+                    self.version += 1;
+                } else if self.storms[i].1 != intensity_milli {
+                    self.storms[i].1 = intensity_milli;
+                    self.version += 1;
+                }
+            }
+            Err(i) => {
+                if intensity_milli != 0 {
+                    self.storms.insert(i, (pod, intensity_milli));
+                    self.version += 1;
+                }
+            }
+        }
+    }
+
+    /// Storm intensity currently injected on `pod`, in milli-units.
+    pub fn storm_milli(&self, pod: u32) -> u32 {
+        self.storms
+            .binary_search_by_key(&pod, |&(p, _)| p)
+            .map(|i| self.storms[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Active storms as `(pod, intensity_milli)`, sorted by pod.
+    pub fn storms(&self) -> &[(u32, u32)] {
+        &self.storms
+    }
+
     /// Rebuilds the per-link load map if any source changed.
     fn refresh(&mut self, tree: &FatTree) {
         if !self.dirty {
@@ -155,10 +197,21 @@ impl NetworkState {
             (BackgroundScope::CoreOnly, LinkId::PodUplink(_)) => true,
             (BackgroundScope::CoreOnly, _) => false,
         };
-        if with_background {
+        let base = if with_background {
             base + self.background_util
         } else {
             base
+        };
+        // Storm contention hits every fabric link of the afflicted pod
+        // (edge uplinks included) but never the node access links.
+        let storm_pod = match link {
+            LinkId::NodeAccess(_) => None,
+            LinkId::EdgeUplink(sw) => Some(tree.pod_of_switch(sw)),
+            LinkId::PodFabric(p) | LinkId::PodUplink(p) => Some(p),
+        };
+        match storm_pod {
+            Some(pod) => base + f64::from(self.storm_milli(pod)) / 1000.0,
+            None => base,
         }
     }
 
@@ -513,6 +566,45 @@ mod tests {
         assert_eq!(net.version(), v0 + 4);
         net.set_background_scope(BackgroundScope::CoreOnly);
         assert_eq!(net.version(), v0 + 4);
+    }
+
+    #[test]
+    fn storms_load_the_afflicted_pods_fabric_only() {
+        let tree = tiny();
+        let mut net = NetworkState::new();
+        let v0 = net.version();
+        net.set_storm(0, 600);
+        assert_eq!(net.version(), v0 + 1);
+        assert_eq!(net.storm_milli(0), 600);
+        // Pod 0's fabric carries the storm; node access links and pod 1 do
+        // not.
+        assert!((net.utilization(&tree, LinkId::PodFabric(0)) - 0.6).abs() < 1e-9);
+        assert!((net.utilization(&tree, LinkId::EdgeUplink(SwitchId(0))) - 0.6).abs() < 1e-9);
+        assert!((net.utilization(&tree, LinkId::PodUplink(0)) - 0.6).abs() < 1e-9);
+        assert_eq!(net.utilization(&tree, LinkId::NodeAccess(NodeId(0))), 0.0);
+        assert_eq!(net.utilization(&tree, LinkId::PodFabric(1)), 0.0);
+        // A cross-switch allocation inside pod 0 sees the storm as
+        // congestion; a single-switch one does not (access links only).
+        assert!(net.congestion(&tree, &ids(0..8)) > 0.5);
+        assert_eq!(net.congestion(&tree, &ids(0..4)), 0.0);
+    }
+
+    #[test]
+    fn storm_set_and_clear_are_exact_and_version_gated() {
+        let mut net = NetworkState::new();
+        let v0 = net.version();
+        net.set_storm(3, 0); // clearing a non-storm is a no-op
+        assert_eq!(net.version(), v0);
+        net.set_storm(3, 450);
+        net.set_storm(3, 450); // same intensity, no observable change
+        assert_eq!(net.version(), v0 + 1);
+        net.set_storm(1, 200);
+        assert_eq!(net.storms(), &[(1, 200), (3, 450)]);
+        net.set_storm(3, 0);
+        assert_eq!(net.storms(), &[(1, 200)]);
+        net.set_storm(1, 0);
+        assert_eq!(net.version(), v0 + 4);
+        assert!(net.storms().is_empty());
     }
 
     #[test]

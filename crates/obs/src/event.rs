@@ -171,6 +171,38 @@ pub enum ObsEvent {
         /// Version now serving (a fresh number, restoring the old model).
         to_version: u32,
     },
+    /// A node became a straggler: still in service, running slow.
+    NodeDegraded {
+        /// Node index.
+        node: u32,
+        /// Speed factor while degraded, milli-units of nominal.
+        factor_milli: u32,
+    },
+    /// A straggler node recovered nominal speed.
+    NodeRestored {
+        /// Node index.
+        node: u32,
+    },
+    /// An injected fabric-contention storm began in a region (pod).
+    StormStarted {
+        /// Region (pod) index.
+        region: u32,
+        /// Added link utilization, milli-units.
+        intensity_milli: u32,
+    },
+    /// The contention storm in a region subsided.
+    StormEnded {
+        /// Region (pod) index.
+        region: u32,
+    },
+    /// A node started a crash/repair flap burst (each cycle also emits its
+    /// own `node_down`/`node_up` pair).
+    NodeFlapped {
+        /// Node index.
+        node: u32,
+        /// Remaining down/up cycles including this one.
+        cycles: u32,
+    },
 }
 
 impl ObsEvent {
@@ -197,6 +229,11 @@ impl ObsEvent {
             ObsEvent::PredictorShadowStart { .. } => "predictor_shadow_start",
             ObsEvent::PredictorSwap { .. } => "predictor_swap",
             ObsEvent::PredictorRollback { .. } => "predictor_rollback",
+            ObsEvent::NodeDegraded { .. } => "node_degraded",
+            ObsEvent::NodeRestored { .. } => "node_restored",
+            ObsEvent::StormStarted { .. } => "storm_started",
+            ObsEvent::StormEnded { .. } => "storm_ended",
+            ObsEvent::NodeFlapped { .. } => "node_flapped",
         }
     }
 
@@ -222,7 +259,12 @@ impl ObsEvent {
             | ObsEvent::PredictorRetrain { .. }
             | ObsEvent::PredictorShadowStart { .. }
             | ObsEvent::PredictorSwap { .. }
-            | ObsEvent::PredictorRollback { .. } => None,
+            | ObsEvent::PredictorRollback { .. }
+            | ObsEvent::NodeDegraded { .. }
+            | ObsEvent::NodeRestored { .. }
+            | ObsEvent::StormStarted { .. }
+            | ObsEvent::StormEnded { .. }
+            | ObsEvent::NodeFlapped { .. } => None,
         }
     }
 
@@ -280,6 +322,18 @@ impl ObsEvent {
                 nodes,
                 capacity,
             } => v(vec![19, job, u64::from(nodes), u64::from(capacity)]),
+            ObsEvent::NodeDegraded { node, factor_milli } => {
+                v(vec![20, u64::from(node), u64::from(factor_milli)])
+            }
+            ObsEvent::NodeRestored { node } => v(vec![21, u64::from(node)]),
+            ObsEvent::StormStarted {
+                region,
+                intensity_milli,
+            } => v(vec![22, u64::from(region), u64::from(intensity_milli)]),
+            ObsEvent::StormEnded { region } => v(vec![23, u64::from(region)]),
+            ObsEvent::NodeFlapped { node, cycles } => {
+                v(vec![24, u64::from(node), u64::from(cycles)])
+            }
         }
     }
 
@@ -368,6 +422,24 @@ impl ObsEvent {
                 job: field(1)?,
                 nodes: field(2)? as u32,
                 capacity: field(3)? as u32,
+            },
+            20 => ObsEvent::NodeDegraded {
+                node: field(1)? as u32,
+                factor_milli: field(2)? as u32,
+            },
+            21 => ObsEvent::NodeRestored {
+                node: field(1)? as u32,
+            },
+            22 => ObsEvent::StormStarted {
+                region: field(1)? as u32,
+                intensity_milli: field(2)? as u32,
+            },
+            23 => ObsEvent::StormEnded {
+                region: field(1)? as u32,
+            },
+            24 => ObsEvent::NodeFlapped {
+                node: field(1)? as u32,
+                cycles: field(2)? as u32,
             },
             other => {
                 return Err(SnapshotError::Schema(format!("event tag {other}")));
@@ -460,6 +532,20 @@ impl EventRecord {
             } => base
                 .u64("from_version", from_version as u64)
                 .u64("to_version", to_version as u64),
+            ObsEvent::NodeDegraded { node, factor_milli } => base
+                .u64("node", node as u64)
+                .u64("factor_milli", factor_milli as u64),
+            ObsEvent::NodeRestored { node } => base.u64("node", node as u64),
+            ObsEvent::StormStarted {
+                region,
+                intensity_milli,
+            } => base
+                .u64("region", region as u64)
+                .u64("intensity_milli", intensity_milli as u64),
+            ObsEvent::StormEnded { region } => base.u64("region", region as u64),
+            ObsEvent::NodeFlapped { node, cycles } => {
+                base.u64("node", node as u64).u64("cycles", cycles as u64)
+            }
         };
         obj.finish()
     }
@@ -570,6 +656,17 @@ mod tests {
                 from_version: 2,
                 to_version: 3,
             },
+            ObsEvent::NodeDegraded {
+                node: 4,
+                factor_milli: 500,
+            },
+            ObsEvent::NodeRestored { node: 4 },
+            ObsEvent::StormStarted {
+                region: 1,
+                intensity_milli: 700,
+            },
+            ObsEvent::StormEnded { region: 1 },
+            ObsEvent::NodeFlapped { node: 6, cycles: 3 },
         ];
         for e in variants {
             let line = record(e).to_json_line();
@@ -639,6 +736,20 @@ mod tests {
             ObsEvent::PredictorRollback {
                 from_version: 3,
                 to_version: 4,
+            },
+            ObsEvent::NodeDegraded {
+                node: 9,
+                factor_milli: 250,
+            },
+            ObsEvent::NodeRestored { node: 9 },
+            ObsEvent::StormStarted {
+                region: 2,
+                intensity_milli: 900,
+            },
+            ObsEvent::StormEnded { region: 2 },
+            ObsEvent::NodeFlapped {
+                node: 15,
+                cycles: 5,
             },
         ];
         for e in variants {

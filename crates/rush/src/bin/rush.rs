@@ -128,6 +128,16 @@ COMMANDS:
                                          materialized on the first N
                                          requests (byte-identical traces)
                --max-rss-mib N           fail if peak RSS exceeds N MiB
+    chaos      run a seeded chaos campaign: randomized performance-fault
+               scenarios (crashes, stragglers, congestion storms, flaps)
+               across the FCFS / FCFS+EASY / RUSH schemes, every run under
+               the invariant auditor and the legacy-vs-optimized
+               differential check, folded into a resilience report
+               --scenarios N (8)  --seed N (42)  --nodes N (64)
+               --jobs N (500)     --out FILE (results/chaos_report.json)
+               identical invocations write byte-identical reports; exits
+               nonzero when the auditor records a violation or the
+               tunings diverge
     help       print this message
 ";
 
@@ -158,6 +168,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&options),
         "schedule" => cmd_schedule(&options),
         "replay" => cmd_replay(&options),
+        "chaos" => cmd_chaos(&options),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -497,6 +508,81 @@ fn cmd_schedule(options: &Options) -> Result<(), String> {
     }
     if profile {
         eprint!("{}", rush_obs::profile::report());
+    }
+    Ok(())
+}
+
+/// Seeded chaos campaign (see [`rush_sched::chaos`]): samples randomized
+/// performance-fault scenarios, runs each across the three scheduling
+/// schemes under the invariant auditor and the differential tuning check,
+/// and writes the canonical-JSON resilience report atomically. A pure
+/// function of the options: identical invocations produce byte-identical
+/// report files.
+fn cmd_chaos(options: &Options) -> Result<(), String> {
+    use rush_core::campaign::write_atomic;
+    use rush_sched::chaos::{run_chaos, ChaosConfig};
+
+    let config = ChaosConfig {
+        seed: get_u64(options, "seed", 42)?,
+        scenarios: get_u64(options, "scenarios", 8)? as u32,
+        nodes: get_u64(options, "nodes", 64)? as u32,
+        jobs: get_u64(options, "jobs", 500)? as usize,
+    };
+    if config.nodes < 8 || !config.nodes.is_multiple_of(8) {
+        return Err(format!(
+            "--nodes must be a positive multiple of 8, got {}",
+            config.nodes
+        ));
+    }
+    if config.scenarios == 0 || config.jobs == 0 {
+        return Err("--scenarios and --jobs must be positive".into());
+    }
+    let out = options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/chaos_report.json".to_string());
+    eprintln!(
+        "chaos: {} scenarios x 3 schemes x 2 tunings, {} nodes, {} jobs (seed {})...",
+        config.scenarios, config.nodes, config.jobs, config.seed
+    );
+    let report = run_chaos(&config);
+    let json = report.to_json();
+    write_atomic(Path::new(&out), json.as_bytes())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    let mut table = TextTable::new([
+        "scheme",
+        "base_bsld",
+        "mean_ratio",
+        "worst_ratio",
+        "worst_seed",
+        "util_drop",
+        "violations",
+        "agree",
+    ]);
+    for s in &report.summaries {
+        table.row([
+            s.scheme.name().to_string(),
+            fmt(s.baseline.mean_bounded_slowdown, 3),
+            fmt(s.mean_slowdown_ratio, 3),
+            fmt(s.worst_slowdown_ratio, 3),
+            format!("{:#x}", s.worst_fault_seed),
+            fmt(s.worst_utilization_drop, 4),
+            s.audit_violations.to_string(),
+            if s.tunings_agree { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("wrote {} bytes to {out}", json.len());
+
+    let violations = report.total_violations();
+    if violations > 0 {
+        return Err(format!(
+            "auditor recorded {violations} invariant violations"
+        ));
+    }
+    if !report.all_tunings_agree() {
+        return Err("legacy and optimized tunings diverged under faults".into());
     }
     Ok(())
 }

@@ -36,8 +36,9 @@ use std::fs;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// What a node's work function produces: `Some(text)` for artifact nodes
 /// (written to `results/<output>`), `None` for resource nodes that only
@@ -45,8 +46,9 @@ use std::time::Instant;
 pub type NodeOutput = Option<String>;
 
 /// A node's work function. Runs on a worker thread; panics are caught and
-/// treated as failures.
-pub type NodeFn = Box<dyn Fn() -> Result<NodeOutput, String> + Send + Sync>;
+/// treated as failures. Shared (`Arc`) so the watchdog can hand a clone to
+/// a detached thread when [`RunOptions::node_timeout`] is set.
+pub type NodeFn = Arc<dyn Fn() -> Result<NodeOutput, String> + Send + Sync>;
 
 /// One node of the artifact DAG.
 pub struct ArtifactNode {
@@ -85,7 +87,7 @@ impl ArtifactNode {
             name: name.to_string(),
             output: Some(output.to_string()),
             deps: deps.iter().map(|d| d.to_string()).collect(),
-            run: Box::new(move || run().map(Some)),
+            run: Arc::new(move || run().map(Some)),
             check: None,
             model_version: 0,
         }
@@ -101,7 +103,7 @@ impl ArtifactNode {
             name: name.to_string(),
             output: None,
             deps: deps.iter().map(|d| d.to_string()).collect(),
-            run: Box::new(move || run().map(|()| None)),
+            run: Arc::new(move || run().map(|()| None)),
             check: None,
             model_version: 0,
         }
@@ -235,6 +237,9 @@ pub enum NodeStatus {
     Skipped,
     /// Ran (including the retry) and failed.
     Failed,
+    /// Exceeded [`RunOptions::node_timeout`]; the hung work thread was
+    /// abandoned and the node failed without a retry.
+    TimedOut,
     /// Not run because a dependency failed or was blocked.
     Blocked,
 }
@@ -246,6 +251,7 @@ impl NodeStatus {
             NodeStatus::Fresh => "fresh",
             NodeStatus::Skipped => "skipped",
             NodeStatus::Failed => "failed",
+            NodeStatus::TimedOut => "timed_out",
             NodeStatus::Blocked => "blocked",
         }
     }
@@ -256,6 +262,7 @@ impl NodeStatus {
             "fresh" => Some(NodeStatus::Fresh),
             "skipped" => Some(NodeStatus::Skipped),
             "failed" => Some(NodeStatus::Failed),
+            "timed_out" => Some(NodeStatus::TimedOut),
             "blocked" => Some(NodeStatus::Blocked),
             _ => None,
         }
@@ -457,6 +464,15 @@ pub struct RunOptions {
     pub only: Option<Vec<usize>>,
     /// Print per-node progress lines to stderr.
     pub verbose: bool,
+    /// Per-node wall-clock budget. When set, each work function runs under
+    /// a watchdog: a node that has not finished within the budget resolves
+    /// [`NodeStatus::TimedOut`] (no retry — a hang is not transient), its
+    /// dependents are blocked, and the DAG keeps draining instead of
+    /// wedging `run_all`. The hung thread is abandoned, not killed: it
+    /// must not hold the results directory hostage, which artifact nodes
+    /// never do (the orchestrator owns all I/O). `None` disables the
+    /// watchdog.
+    pub node_timeout: Option<Duration>,
 }
 
 /// One node's outcome in a [`RunReport`].
@@ -645,7 +661,7 @@ fn worker_loop(
         };
         let failed = matches!(
             resolution.0.status,
-            NodeStatus::Failed | NodeStatus::Blocked
+            NodeStatus::Failed | NodeStatus::TimedOut | NodeStatus::Blocked
         );
         st.slots[i] = Slot::Done {
             status: resolution.0.status,
@@ -756,22 +772,33 @@ fn resolve_node(
     }
     let started = Instant::now();
     let mut retried = false;
-    let mut attempt = run_guarded(node);
-    if attempt.is_err() {
+    let mut attempt = run_guarded(node, opts.node_timeout);
+    if let Attempt::Err(e) = &attempt {
         retried = true;
         if opts.verbose {
-            eprintln!(
-                "[campaign] {:<28} failed ({}), retrying once",
-                node.name,
-                attempt.as_ref().err().unwrap()
-            );
+            eprintln!("[campaign] {:<28} failed ({e}), retrying once", node.name);
         }
-        attempt = run_guarded(node);
+        attempt = run_guarded(node, opts.node_timeout);
     }
     let wall_ms = started.elapsed().as_millis() as u64;
 
     match attempt {
-        Ok(content) => {
+        Attempt::TimedOut => {
+            // A hang is not transient: no retry, and the manifest records
+            // the distinct status so `run_all` output names the wedge.
+            let error = format!(
+                "timed out after {:.1}s",
+                opts.node_timeout.unwrap_or_default().as_secs_f64()
+            );
+            if opts.verbose {
+                eprintln!("[campaign] {:<28} TIMED OUT ({error})", node.name);
+            }
+            let (mut report, mut entry) = failure(node, wall_ms, retried, error);
+            report.status = NodeStatus::TimedOut;
+            entry.status = NodeStatus::TimedOut;
+            (report, entry)
+        }
+        Attempt::Ok(content) => {
             let content_hash = match (&node.output, &content) {
                 (Some(file), Some(text)) => {
                     let hash = fnv1a(text.as_bytes());
@@ -806,7 +833,7 @@ fn resolve_node(
                 },
             )
         }
-        Err(e) => {
+        Attempt::Err(e) => {
             if opts.verbose {
                 eprintln!("[campaign] {:<28} FAILED: {e}", node.name);
             }
@@ -888,16 +915,49 @@ fn can_skip(
     })
 }
 
-fn run_guarded(node: &ArtifactNode) -> Result<NodeOutput, String> {
-    match catch_unwind(AssertUnwindSafe(|| (node.run)())) {
-        Ok(result) => result,
+/// How one guarded attempt of a node's work function resolved.
+enum Attempt {
+    Ok(NodeOutput),
+    Err(String),
+    /// The watchdog expired; the work thread may still be running, but the
+    /// orchestrator has moved on.
+    TimedOut,
+}
+
+fn run_guarded(node: &ArtifactNode, timeout: Option<Duration>) -> Attempt {
+    let Some(timeout) = timeout else {
+        return attempt_of(catch_unwind(AssertUnwindSafe(|| (node.run)())));
+    };
+    // Watchdog: run the work function on a detached thread and wait with a
+    // deadline. On timeout the thread is abandoned — it holds only a clone
+    // of the `Arc`'d work closure, so dropping our side leaks nothing the
+    // node doesn't own, and a later process exit reaps it.
+    let run = node.run.clone();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| run()));
+        let _ = tx.send(result); // receiver gone = watchdog already fired
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(result) => attempt_of(result),
+        Err(mpsc::RecvTimeoutError::Timeout) => Attempt::TimedOut,
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Attempt::Err("work thread vanished without a result".to_string())
+        }
+    }
+}
+
+fn attempt_of(caught: std::thread::Result<Result<NodeOutput, String>>) -> Attempt {
+    match caught {
+        Ok(Ok(output)) => Attempt::Ok(output),
+        Ok(Err(e)) => Attempt::Err(e),
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "panic".to_string());
-            Err(format!("panicked: {msg}"))
+            Attempt::Err(format!("panicked: {msg}"))
         }
     }
 }
@@ -1109,6 +1169,7 @@ mod tests {
             seed: 7,
             only: None,
             verbose: false,
+            node_timeout: None,
         }
     }
 
@@ -1267,6 +1328,59 @@ mod tests {
             .unwrap()
             .contains("'bad' failed"));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hung_node_times_out_without_wedging_the_dag() {
+        let dir = tmp_dir("watchdog");
+        let dag = Dag::new(vec![
+            ArtifactNode::artifact("hung", "hung.txt", &[], || {
+                std::thread::sleep(Duration::from_secs(60));
+                Ok("never\n".to_string())
+            }),
+            const_node("child", &["hung"], "never\n"),
+            const_node("independent", &[], "fine\n"),
+        ])
+        .unwrap();
+        let mut o = opts(&dir);
+        o.node_timeout = Some(Duration::from_millis(100));
+        let started = Instant::now();
+        let report = execute(&dag, &o).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the watchdog must not wait for the hung node"
+        );
+        assert_eq!(report.count(NodeStatus::TimedOut), 1);
+        assert_eq!(report.count(NodeStatus::Blocked), 1);
+        assert_eq!(report.count(NodeStatus::Fresh), 1);
+        assert!(!report.all_ok());
+        let timed_out = report.nodes.iter().find(|n| n.name == "hung").unwrap();
+        assert!(!timed_out.retried, "a hang is not retried");
+        assert!(timed_out.error.as_deref().unwrap().contains("timed out"));
+        let manifest = Manifest::load(&dir).unwrap();
+        assert_eq!(manifest.entry("hung").unwrap().status, NodeStatus::TimedOut);
+        assert!(!dir.join("hung.txt").exists());
+        assert!(dir.join("independent.txt").exists());
+        // A timed-out entry never satisfies a later skip check: the node
+        // re-runs (and succeeds) once the timeout allows it.
+        let quick = Dag::new(vec![
+            ArtifactNode::artifact("hung", "hung.txt", &[], || Ok("done\n".to_string())),
+            const_node("child", &["hung"], "ok\n"),
+            const_node("independent", &[], "fine\n"),
+        ])
+        .unwrap();
+        let report = execute(&quick, &opts(&dir)).unwrap();
+        assert_eq!(
+            report.manifest.entry("hung").unwrap().status,
+            NodeStatus::Fresh
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timed_out_status_round_trips_in_the_manifest() {
+        assert_eq!(NodeStatus::parse("timed_out"), Some(NodeStatus::TimedOut));
+        assert_eq!(NodeStatus::TimedOut.as_str(), "timed_out");
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct DiffScenario {
     /// Inject node crashes (MTBF 20 min over a 2 h horizon) so the
     /// kill/requeue/retry path is exercised.
     pub faults: bool,
+    /// Inject performance faults (straggler degradations, congestion
+    /// storms, node flaps) so survivor-speed refresh and flap requeue
+    /// bookkeeping are exercised too.
+    pub perf_faults: bool,
     /// Route predictor consultations through the online service (retrain,
     /// shadow evaluation, hot-swap) instead of a static predictor.
     pub online_predictor: bool,
@@ -85,6 +89,18 @@ impl DiffScenario {
                 node_mtbf: Some(SimDuration::from_mins(20)),
                 node_mttr: SimDuration::from_mins(3),
                 ..FaultConfig::default()
+            };
+        }
+        if self.perf_faults {
+            config.faults = FaultConfig {
+                seed: self.seed ^ 0xFA17,
+                horizon: SimDuration::from_hours(2),
+                degrade_mtbf: Some(SimDuration::from_mins(15)),
+                degrade_factor_milli: 400,
+                storm_mtbf: Some(SimDuration::from_mins(10)),
+                storm_intensity_milli: 700,
+                flap_mtbf: Some(SimDuration::from_mins(25)),
+                ..config.faults
             };
         }
         if self.online_predictor {
@@ -385,6 +401,7 @@ mod tests {
             nodes: 16,
             jobs: 12,
             faults: false,
+            perf_faults: false,
             online_predictor: false,
         }
     }
@@ -407,6 +424,16 @@ mod tests {
         let s = DiffScenario {
             faults: true,
             ..scenario(12)
+        };
+        assert_eq!(diff_tunings(&s), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn legacy_and_optimized_agree_under_performance_faults() {
+        let s = DiffScenario {
+            faults: true,
+            perf_faults: true,
+            ..scenario(14)
         };
         assert_eq!(diff_tunings(&s), DiffOutcome::Identical);
     }

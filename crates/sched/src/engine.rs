@@ -266,6 +266,11 @@ struct SchedCounters {
     node_failures: CounterId,
     node_recoveries: CounterId,
     nodes_trusted: CounterId,
+    node_degrades: CounterId,
+    node_restores: CounterId,
+    storms: CounterId,
+    node_flaps: CounterId,
+    fault_noop: CounterId,
     max_queue_len: GaugeId,
     events_delivered: GaugeId,
     event_heap_peak: GaugeId,
@@ -302,6 +307,11 @@ impl SchedCounters {
             node_failures: reg.register_counter("sched.node_failures"),
             node_recoveries: reg.register_counter("sched.node_recoveries"),
             nodes_trusted: reg.register_counter("sched.nodes_trusted"),
+            node_degrades: reg.register_counter("sched.node_degrades"),
+            node_restores: reg.register_counter("sched.node_restores"),
+            storms: reg.register_counter("sched.storms"),
+            node_flaps: reg.register_counter("sched.node_flaps"),
+            fault_noop: reg.register_counter("sched.fault_noop"),
             max_queue_len: reg.register_gauge("sched.max_queue_len"),
             events_delivered: reg.register_gauge("sched.events_delivered"),
             event_heap_peak: reg.register_gauge("sched.event_heap_peak"),
@@ -412,15 +422,36 @@ impl Ev {
             Ev::Finish(id, gen) => vec![Val::U64(1), Val::U64(id.0), Val::U64(gen)],
             Ev::Tick => vec![Val::U64(2)],
             Ev::Fault(kind) => {
-                let (code, arg) = match kind {
-                    FaultKind::NodeDown(n) => (0, n),
-                    FaultKind::NodeUp(n) => (1, n),
-                    FaultKind::BlackoutStart => (2, 0),
-                    FaultKind::BlackoutEnd => (3, 0),
-                    FaultKind::CorruptionStart => (4, 0),
-                    FaultKind::CorruptionEnd => (5, 0),
+                // Codes and arg lists are part of the snapshot format; new
+                // kinds append codes, existing ones are never renumbered.
+                let (code, args): (u64, Vec<u64>) = match kind {
+                    FaultKind::NodeDown(n) => (0, vec![u64::from(n)]),
+                    FaultKind::NodeUp(n) => (1, vec![u64::from(n)]),
+                    FaultKind::BlackoutStart => (2, vec![0]),
+                    FaultKind::BlackoutEnd => (3, vec![0]),
+                    FaultKind::CorruptionStart => (4, vec![0]),
+                    FaultKind::CorruptionEnd => (5, vec![0]),
+                    FaultKind::NodeDegrade { node, factor_milli } => {
+                        (6, vec![u64::from(node), u64::from(factor_milli)])
+                    }
+                    FaultKind::NodeRestore(n) => (7, vec![u64::from(n)]),
+                    FaultKind::CongestionStorm {
+                        region,
+                        intensity_milli,
+                    } => (8, vec![u64::from(region), u64::from(intensity_milli)]),
+                    FaultKind::StormEnd { region } => (9, vec![u64::from(region)]),
+                    FaultKind::NodeFlap {
+                        node,
+                        period,
+                        count,
+                    } => (
+                        10,
+                        vec![u64::from(node), period.as_micros(), u64::from(count)],
+                    ),
                 };
-                vec![Val::U64(3), Val::U64(code), Val::U64(arg as u64)]
+                let mut items = vec![Val::U64(3), Val::U64(code)];
+                items.extend(args.into_iter().map(Val::U64));
+                items
             }
             Ev::Retry(id) => vec![Val::U64(4), Val::U64(id.0)],
             Ev::Trust(n) => vec![Val::U64(5), Val::U64(n as u64)],
@@ -447,6 +478,23 @@ impl Ev {
                 3 => FaultKind::BlackoutEnd,
                 4 => FaultKind::CorruptionStart,
                 5 => FaultKind::CorruptionEnd,
+                6 => FaultKind::NodeDegrade {
+                    node: arg(2)? as u32,
+                    factor_milli: arg(3)? as u32,
+                },
+                7 => FaultKind::NodeRestore(arg(2)? as u32),
+                8 => FaultKind::CongestionStorm {
+                    region: arg(2)? as u32,
+                    intensity_milli: arg(3)? as u32,
+                },
+                9 => FaultKind::StormEnd {
+                    region: arg(2)? as u32,
+                },
+                10 => FaultKind::NodeFlap {
+                    node: arg(2)? as u32,
+                    period: SimDuration::from_micros(arg(3)?),
+                    count: arg(4)? as u32,
+                },
                 other => {
                     return Err(SnapshotError::Schema(format!("bad fault code {other}")));
                 }
@@ -1161,10 +1209,22 @@ impl SchedulerEngine {
     }
 
     /// Applies one injected fault at `now`.
+    ///
+    /// `NodeDown`/`NodeUp` are idempotent: overlapping fault processes (a
+    /// flap burst racing the crash process, say) can deliver a Down for an
+    /// already-quarantined node or an Up for a healthy one, and
+    /// double-applying either would double-count transitions or double-release
+    /// capacity. Such deliveries count `sched.fault_noop` and do nothing.
     fn handle_fault(&mut self, kind: FaultKind, now: SimTime) {
         match kind {
             FaultKind::NodeDown(n) => {
                 let node = NodeId(n);
+                if self.machine.node_health(node) == NodeHealth::Down {
+                    // Pool and machine must agree that the node is out.
+                    debug_assert!(self.pool.is_down(node), "machine/pool disagree on {node:?}");
+                    self.registry.inc(self.counters.fault_noop);
+                    return;
+                }
                 self.registry.inc(self.counters.node_failures);
                 self.machine.fail_node(node);
                 self.pool.mark_down(node);
@@ -1190,6 +1250,17 @@ impl SchedulerEngine {
             }
             FaultKind::NodeUp(n) => {
                 let node = NodeId(n);
+                if self.machine.node_health(node) != NodeHealth::Down {
+                    // Already repaired (or never crashed): re-applying would
+                    // re-quarantine a serving node and queue a spurious
+                    // probation pass.
+                    debug_assert!(
+                        !self.pool.is_down(node)
+                            || self.machine.node_health(node) == NodeHealth::Suspect
+                    );
+                    self.registry.inc(self.counters.fault_noop);
+                    return;
+                }
                 // Repair done: telemetry resumes (Suspect), but placement
                 // stays quarantined until the probation ends.
                 self.machine.recover_node(node);
@@ -1198,6 +1269,77 @@ impl SchedulerEngine {
                 self.tracer.emit(now, ObsEvent::NodeUp { node: n });
                 self.events
                     .schedule(now + self.config.faults.suspect_probation, Ev::Trust(n));
+            }
+            FaultKind::NodeDegrade { node, factor_milli } => {
+                let id = NodeId(node);
+                self.machine.degrade_node(id, factor_milli);
+                self.registry.inc(self.counters.node_degrades);
+                self.tracer
+                    .emit(now, ObsEvent::NodeDegraded { node, factor_milli });
+                // The straggler slows every job sharing it from this instant.
+                self.refresh_running_speeds(now, None);
+            }
+            FaultKind::NodeRestore(node) => {
+                self.machine.restore_node_speed(NodeId(node));
+                self.registry.inc(self.counters.node_restores);
+                self.tracer.emit(now, ObsEvent::NodeRestored { node });
+                self.refresh_running_speeds(now, None);
+            }
+            FaultKind::CongestionStorm {
+                region,
+                intensity_milli,
+            } => {
+                self.machine.start_storm(region, intensity_milli);
+                self.registry.inc(self.counters.storms);
+                self.tracer.emit(
+                    now,
+                    ObsEvent::StormStarted {
+                        region,
+                        intensity_milli,
+                    },
+                );
+                // Injected contention raises congestion for everything whose
+                // links cross the stormed pod.
+                self.refresh_running_speeds(now, None);
+            }
+            FaultKind::StormEnd { region } => {
+                self.machine.end_storm(region);
+                self.tracer.emit(now, ObsEvent::StormEnded { region });
+                self.refresh_running_speeds(now, None);
+            }
+            FaultKind::NodeFlap {
+                node,
+                period,
+                count,
+            } => {
+                // Expand one cycle here and chain the rest through the event
+                // queue: crash now, repair half a period later, next cycle a
+                // full period out. The Down/Up deliveries go through the
+                // idempotent arms above, so a flap overlapping the regular
+                // crash process degrades to counted no-ops instead of
+                // double-releasing capacity.
+                self.registry.inc(self.counters.node_flaps);
+                self.tracer.emit(
+                    now,
+                    ObsEvent::NodeFlapped {
+                        node,
+                        cycles: count,
+                    },
+                );
+                self.handle_fault(FaultKind::NodeDown(node), now);
+                let half = SimDuration::from_micros(period.as_micros() / 2);
+                self.events
+                    .schedule(now + half, Ev::Fault(FaultKind::NodeUp(node)));
+                if count > 1 {
+                    self.events.schedule(
+                        now + period,
+                        Ev::Fault(FaultKind::NodeFlap {
+                            node,
+                            period,
+                            count: count - 1,
+                        }),
+                    );
+                }
             }
             FaultKind::BlackoutStart => self.sampler.set_blackout(true),
             FaultKind::BlackoutEnd => self.sampler.set_blackout(false),
@@ -1363,14 +1505,15 @@ impl SchedulerEngine {
                 (r.nodes.clone(), r.job.app)
             };
             // Recompute speed under current contention, at the job's
-            // current phase.
+            // current phase. Straggler nodes gate the whole allocation.
             let congestion = self.job_congestion(id, &nodes);
             let fs = self.machine.fs_saturation();
+            let node_factor = self.machine.allocation_speed_factor(&nodes);
             let (finish_at, old_key, unchanged) = {
                 let r = self.running.get_mut(&id).expect("running job");
                 let progress = 1.0 - r.remaining_work / r.total_work.max(1e-9);
                 let slowdown = app.descriptor().slowdown_at(progress, congestion, fs);
-                r.speed = 1.0 / slowdown;
+                r.speed = node_factor / slowdown;
                 let finish_in = SimDuration::from_secs_f64(r.remaining_work / r.speed);
                 let finish_at = now + finish_in;
                 // If the recomputed finish lands on the identical
@@ -1869,7 +2012,9 @@ impl SchedulerEngine {
 
         let congestion = self.job_congestion(job.id, &nodes);
         let fs = self.machine.fs_saturation();
-        let speed = 1.0 / app.slowdown_at(0.0, congestion, fs);
+        // Straggler nodes gate the whole allocation's speed.
+        let node_factor = self.machine.allocation_speed_factor(&nodes);
+        let speed = node_factor / app.slowdown_at(0.0, congestion, fs);
 
         let id = job.id;
         let skips = self.skip_table.get(&id).copied().unwrap_or(0);
@@ -4182,6 +4327,228 @@ mod tests {
         assert!(
             serviced.resume(&plain_snapshot).is_err(),
             "service-less snapshot must not restore into a serviced engine"
+        );
+    }
+
+    // ---- performance faults: codec round-trips, mid-storm resume,
+    //      idempotent flap deliveries ----
+
+    use proptest::prelude::*;
+
+    /// Every [`FaultKind`] variant, old and new, with payloads spanning
+    /// the full encodable range.
+    fn any_fault_kind() -> impl Strategy<Value = FaultKind> {
+        prop_oneof![
+            any::<u32>().prop_map(FaultKind::NodeDown),
+            any::<u32>().prop_map(FaultKind::NodeUp),
+            Just(FaultKind::BlackoutStart),
+            Just(FaultKind::BlackoutEnd),
+            Just(FaultKind::CorruptionStart),
+            Just(FaultKind::CorruptionEnd),
+            (any::<u32>(), 1..=1000u32)
+                .prop_map(|(node, factor_milli)| FaultKind::NodeDegrade { node, factor_milli }),
+            any::<u32>().prop_map(FaultKind::NodeRestore),
+            (any::<u32>(), any::<u32>()).prop_map(|(region, intensity_milli)| {
+                FaultKind::CongestionStorm {
+                    region,
+                    intensity_milli,
+                }
+            }),
+            any::<u32>().prop_map(|region| FaultKind::StormEnd { region }),
+            (any::<u32>(), 1u64..86_400_000_000, 1..=64u32).prop_map(|(node, us, count)| {
+                FaultKind::NodeFlap {
+                    node,
+                    period: SimDuration::from_micros(us),
+                    count,
+                }
+            }),
+        ]
+    }
+
+    proptest! {
+        /// Satellite: every fault kind survives the snapshot event codec
+        /// byte-identically — decode(encode(x)) == x and the re-encoded
+        /// tree equals the original encoding.
+        #[test]
+        fn every_fault_kind_round_trips_the_snapshot_codec(kind in any_fault_kind()) {
+            let val = Ev::Fault(kind).to_val();
+            let decoded = Ev::from_val(&val).expect("fault event must decode");
+            let Ev::Fault(back) = decoded else {
+                panic!("decoded to non-fault {decoded:?}");
+            };
+            prop_assert_eq!(back, kind);
+            prop_assert_eq!(Ev::Fault(back).to_val(), val.clone());
+            // And through the full byte codec, not just the Val tree.
+            let bytes = rush_simkit::snapshot::encode(0, 0, 0, &val);
+            let envelope = rush_simkit::snapshot::decode(&bytes).expect("bytes must decode");
+            prop_assert_eq!(envelope.body, val);
+        }
+    }
+
+    /// A fault process heavy on performance faults: degradations, storms
+    /// and flaps all fire within the first simulated hour.
+    fn perf_fault_config(seed: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            faults: FaultConfig {
+                seed,
+                horizon: SimDuration::from_hours(2),
+                degrade_mtbf: Some(SimDuration::from_mins(15)),
+                degrade_duration: SimDuration::from_mins(5),
+                degrade_factor_milli: 400,
+                storm_mtbf: Some(SimDuration::from_mins(8)),
+                storm_duration: SimDuration::from_mins(5),
+                storm_intensity_milli: 700,
+                flap_mtbf: Some(SimDuration::from_mins(25)),
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        }
+    }
+
+    fn perf_faulty_engine() -> SchedulerEngine {
+        let machine = Machine::new(MachineConfig::tiny(7));
+        SchedulerEngine::new(machine, perf_fault_config(13), Box::new(NeverVaries), 42)
+            .with_tracing(1 << 14)
+    }
+
+    #[test]
+    fn performance_faults_slow_jobs_but_lose_none() {
+        let mut eng = perf_faulty_engine();
+        let result = eng.run(&requests(8, 4));
+        assert_eq!(
+            result.completed.len() + result.failed.len(),
+            8,
+            "no job may be lost to a performance fault"
+        );
+        let counter = |name: &str| result.metrics.counter_by_name(name).unwrap_or(0);
+        assert!(
+            counter("sched.node_degrades") > 0,
+            "degrade process must fire"
+        );
+        assert!(counter("sched.storms") > 0, "storm process must fire");
+        assert!(counter("sched.node_flaps") > 0, "flap process must fire");
+
+        // The same workload without faults finishes sooner: stragglers and
+        // storms only ever slow execution down.
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let mut clean = SchedulerEngine::new(
+            machine,
+            SchedulerConfig::default(),
+            Box::new(NeverVaries),
+            42,
+        );
+        let baseline = clean.run(&requests(8, 4));
+        assert!(
+            result.last_end > baseline.last_end,
+            "perf faults must stretch the makespan: faulty {} vs clean {}",
+            result.last_end,
+            baseline.last_end
+        );
+    }
+
+    #[test]
+    fn flap_cycles_are_idempotent_against_the_crash_process() {
+        // Flaps race the regular crash process on the same nodes; the
+        // idempotent Down/Up arms must absorb the overlap as counted
+        // no-ops rather than double-releasing capacity.
+        let config = SchedulerConfig {
+            faults: FaultConfig {
+                seed: 13,
+                horizon: SimDuration::from_hours(2),
+                node_mtbf: Some(SimDuration::from_mins(12)),
+                node_mttr: SimDuration::from_mins(4),
+                flap_mtbf: Some(SimDuration::from_mins(10)),
+                flap_period: SimDuration::from_mins(2),
+                flap_count: 3,
+                ..FaultConfig::default()
+            },
+            ..SchedulerConfig::default()
+        };
+        let machine = Machine::new(MachineConfig::tiny(7));
+        let mut eng = SchedulerEngine::new(machine, config, Box::new(NeverVaries), 42);
+        let result = eng.run(&requests(8, 4));
+        assert_eq!(result.completed.len() + result.failed.len(), 8);
+        let counter = |name: &str| result.metrics.counter_by_name(name).unwrap_or(0);
+        assert!(counter("sched.node_flaps") > 0, "flap process must fire");
+        assert!(
+            counter("sched.fault_noop") > 0,
+            "overlapping down/up deliveries must be counted no-ops"
+        );
+        // Transition bookkeeping stays balanced: every counted failure has
+        // a matching recovery or is still down at the end of the run.
+        let failures = counter("sched.node_failures");
+        let recoveries = counter("sched.node_recoveries");
+        assert!(
+            recoveries <= failures,
+            "recoveries ({recoveries}) cannot exceed failures ({failures})"
+        );
+    }
+
+    #[test]
+    fn redundant_fault_deliveries_are_counted_noops() {
+        let mut eng = engine(Box::new(NeverVaries));
+        eng.prepare(&requests(1, 4));
+        let now = SimTime::ZERO;
+
+        // NodeUp for a node that never went down: no-op.
+        eng.handle_fault(FaultKind::NodeUp(3), now);
+        assert_eq!(eng.registry.counter(eng.counters.fault_noop), 1);
+        assert_eq!(eng.registry.counter(eng.counters.node_recoveries), 0);
+
+        // First NodeDown applies; the second is absorbed.
+        eng.handle_fault(FaultKind::NodeDown(3), now);
+        eng.handle_fault(FaultKind::NodeDown(3), now);
+        assert_eq!(eng.registry.counter(eng.counters.node_failures), 1);
+        assert_eq!(eng.registry.counter(eng.counters.fault_noop), 2);
+        assert_eq!(eng.pool.down_count(), 1, "capacity released exactly once");
+
+        // First NodeUp repairs; the second is absorbed.
+        eng.handle_fault(FaultKind::NodeUp(3), now);
+        eng.handle_fault(FaultKind::NodeUp(3), now);
+        assert_eq!(eng.registry.counter(eng.counters.node_recoveries), 1);
+        assert_eq!(eng.registry.counter(eng.counters.fault_noop), 3);
+    }
+
+    /// Acceptance criterion: a checkpoint taken mid-`CongestionStorm`
+    /// resumes byte-identically — storm state, degraded node speeds and
+    /// pending StormEnd/NodeRestore events all survive the codec.
+    #[test]
+    fn snapshot_resume_mid_storm_matches_uninterrupted_run() {
+        let reqs = requests(8, 4);
+
+        let mut base = perf_faulty_engine();
+        base.prepare(&reqs);
+        while base.step().is_some() {}
+        let baseline = base.finalize();
+
+        // Step the victim until a storm is actually raging, then cut.
+        let mut victim = perf_faulty_engine();
+        victim.prepare(&reqs);
+        while victim.machine().active_storm_count() == 0 && victim.step().is_some() {}
+        assert!(
+            victim.machine().active_storm_count() > 0,
+            "the cut must land mid-storm"
+        );
+        assert!(!victim.is_done(), "the cut must land mid-run");
+        let bytes = victim.snapshot();
+        drop(victim);
+
+        let mut fresh = perf_faulty_engine();
+        fresh.prepare(&reqs);
+        fresh
+            .resume(&bytes)
+            .expect("mid-storm snapshot must restore");
+        assert!(
+            fresh.machine().active_storm_count() > 0,
+            "restored engine must still be mid-storm"
+        );
+        while fresh.step().is_some() {}
+        let restored = fresh.finalize();
+
+        assert_eq!(
+            run_fingerprint(&baseline),
+            run_fingerprint(&restored),
+            "a mid-storm resume must be indistinguishable from an uninterrupted run"
         );
     }
 }

@@ -43,8 +43,12 @@
 //! * [`difftest`] — the differential equivalence harness: runs one
 //!   scenario through two engine configurations and reports the first
 //!   diverging trace event.
+//! * [`chaos`] — the seeded chaos campaign: randomized performance-fault
+//!   scenarios run across FCFS/EASY/RUSH under the auditor and the
+//!   differential harness, folded into a per-scheme resilience report.
 
 pub mod audit;
+pub mod chaos;
 pub mod difftest;
 pub mod easy;
 pub mod engine;
@@ -60,6 +64,7 @@ pub mod source;
 pub mod trace;
 
 pub use audit::{AuditConfig, AuditPolicy, Invariant, Violation};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosScenario, Scheme};
 pub use difftest::{diff_results, DiffOutcome, DiffScenario, Divergence};
 pub use engine::{
     BreakerConfig, BreakerState, ReplayStats, ScheduleResult, SchedulerConfig, SchedulerEngine,

@@ -75,6 +75,28 @@ impl ShardSpec {
     pub fn run(&self) -> ScheduleResult {
         self.build_engine().run(&self.requests)
     }
+
+    /// Runs this shard with panics caught and re-raised carrying the shard
+    /// name and seed, so a crash deep inside one worker of a thousand-shard
+    /// campaign names the exact `--seed` that reproduces it standalone.
+    pub fn run_reporting_panics(&self) -> ScheduleResult {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run())) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".to_string());
+                panic!(
+                    "shard '{}' (seed {:#x}, {} jobs) panicked: {msg}",
+                    self.name,
+                    self.seed,
+                    self.requests.len()
+                );
+            }
+        }
+    }
 }
 
 /// Derives shard `index`'s engine seed from the campaign master seed, via
@@ -158,18 +180,38 @@ impl ShardedCampaign {
     /// in spec order either way.
     pub fn run(&self, execution: ShardExecution) -> CampaignResult {
         let shards: Vec<ScheduleResult> = match execution {
-            ShardExecution::Serial => self.specs.iter().map(ShardSpec::run).collect(),
+            ShardExecution::Serial => self
+                .specs
+                .iter()
+                .map(ShardSpec::run_reporting_panics)
+                .collect(),
             ShardExecution::Parallel => std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .specs
                     .iter()
                     // The engine (predictor, RNG streams) is constructed
                     // *inside* the worker thread; only the spec crosses.
-                    .map(|spec| scope.spawn(move || spec.run()))
+                    // Panics are caught per worker and re-raised with the
+                    // shard's name and seed attached.
+                    .map(|spec| scope.spawn(move || spec.run_reporting_panics()))
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard thread panicked"))
+                    .zip(&self.specs)
+                    .map(|(h, spec)| match h.join() {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "panic".to_string());
+                            panic!(
+                                "shard '{}' (seed {:#x}) worker died: {msg}",
+                                spec.name, spec.seed
+                            );
+                        }
+                    })
                     .collect()
             }),
         };
@@ -266,6 +308,44 @@ mod tests {
         assert_eq!(out.summary.completed + out.summary.failed, 16);
         assert!(out.summary.last_end >= out.summary.first_submit);
         assert!(out.summary.makespan() > SimDuration::from_secs(0));
+    }
+
+    #[test]
+    fn shard_panic_carries_name_and_seed() {
+        fn exploding() -> Box<dyn VariabilityPredictor> {
+            struct Exploding;
+            impl VariabilityPredictor for Exploding {
+                fn predict(
+                    &mut self,
+                    _j: &crate::job::Job,
+                    _n: &[rush_cluster::topology::NodeId],
+                    _c: &mut crate::predictor::PredictorCtx<'_>,
+                ) -> Result<crate::predictor::VariabilityClass, crate::predictor::PredictError>
+                {
+                    panic!("synthetic predictor crash")
+                }
+                fn name(&self) -> &str {
+                    "exploding"
+                }
+            }
+            Box::new(Exploding)
+        }
+        // A predictor panic only fires when the engine consults it, which
+        // RUSH does on every head-of-queue Start() decision.
+        let mut s = spec(0, 4);
+        s.predictor = exploding;
+        let seed = s.seed;
+        let campaign = ShardedCampaign::new(vec![s]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            campaign.run(ShardExecution::Parallel)
+        }))
+        .expect_err("the shard must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("pod0"), "panic must name the shard: {msg}");
+        assert!(
+            msg.contains(&format!("{seed:#x}")),
+            "panic must carry the repro seed: {msg}"
+        );
     }
 
     #[test]

@@ -43,9 +43,10 @@ proptest! {
         nodes in prop_oneof![Just(16u32), Just(32), Just(64)],
         jobs in 8usize..40,
         faults in any::<bool>(),
+        perf_faults in any::<bool>(),
         online_predictor in any::<bool>(),
     ) {
-        let scenario = DiffScenario { seed, nodes, jobs, faults, online_predictor };
+        let scenario = DiffScenario { seed, nodes, jobs, faults, perf_faults, online_predictor };
         let legacy = scenario.run(EngineTuning::legacy());
         let optimized = scenario.run(EngineTuning::default());
         assert_identical(
@@ -70,8 +71,9 @@ proptest! {
         seed in 0u64..1_000_000,
         jobs in 4usize..30,
         faults in any::<bool>(),
+        perf_faults in any::<bool>(),
     ) {
-        let scenario = DiffScenario { seed, nodes: 16, jobs, faults, online_predictor: false };
+        let scenario = DiffScenario { seed, nodes: 16, jobs, faults, perf_faults, online_predictor: false };
         assert_identical(
             rush_sched::difftest::diff_seeding(&scenario),
             &format!("{scenario:?}"),
@@ -98,6 +100,7 @@ proptest! {
                     nodes: 16,
                     jobs,
                     faults,
+                    perf_faults: false,
                     online_predictor: false,
                 };
                 ShardSpec {

@@ -1,22 +1,33 @@
 //! Deterministic fault injection.
 //!
 //! A [`FaultSchedule`] is a reproducible timeline of infrastructure faults
-//! — node crashes and recoveries, telemetry blackout windows, and counter
-//! corruption windows — generated up front from a [`FaultConfig`] and a
-//! seed. Schedules are pure functions of `(config, node_count)`: two
-//! schedules built from the same inputs are identical event for event,
-//! which is what lets a faulty simulation stay a deterministic function of
-//! its seed (the crate's core contract).
+//! — node crashes and recoveries, telemetry blackout windows, counter
+//! corruption windows, and *performance* faults (straggler nodes,
+//! fabric-contention storms, crash/repair flap bursts) — generated up front
+//! from a [`FaultConfig`] and a seed. Schedules are pure functions of
+//! `(config, node_count)`: two schedules built from the same inputs are
+//! identical event for event, which is what lets a faulty simulation stay a
+//! deterministic function of its seed (the crate's core contract).
 //!
-//! The generator knows nothing about schedulers or telemetry: it emits a
-//! sorted event list and the consumer (the scheduler engine) decides what a
-//! crash or blackout *means*. Node identities are plain `u32` indices so
-//! this module does not depend on any topology type.
+//! Fail-stop faults remove capacity outright; performance faults leave the
+//! capacity in place but degrade it, which is the regime the RUSH policy is
+//! actually designed for. The generator knows nothing about schedulers or
+//! telemetry: it emits a sorted event list and the consumer (the scheduler
+//! engine) decides what a crash, blackout, or storm *means*. Node
+//! identities are plain `u32` indices so this module does not depend on any
+//! topology type.
+//!
+//! Hand-built timelines (tests, chaos scenarios) go through
+//! [`FaultSchedule::from_events`], which rejects malformed schedules —
+//! out-of-range nodes, recoveries without failures, overlapping windows —
+//! with a typed [`FaultScheduleError`] instead of leaving the consumer to
+//! hit a silent no-op or panic at sim time.
 
 use crate::rng::RngStreams;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::fmt;
 
 /// What kind of fault fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +46,44 @@ pub enum FaultKind {
     CorruptionStart,
     /// Counter corruption subsides.
     CorruptionEnd,
+    /// The node becomes a straggler: it stays in service but everything on
+    /// it runs at `factor_milli / 1000` of nominal speed until the matching
+    /// [`FaultKind::NodeRestore`]. Factors are integer milli-units so the
+    /// kind stays `Copy + Eq` and round-trips snapshots exactly.
+    NodeDegrade {
+        /// The straggler node.
+        node: u32,
+        /// Speed factor in milli-units, in `(0, 1000]`.
+        factor_milli: u32,
+    },
+    /// The straggler recovers its nominal speed.
+    NodeRestore(u32),
+    /// Injected fabric contention: `intensity_milli / 1000` extra
+    /// utilization on one region's (pod's) fabric links until the matching
+    /// [`FaultKind::StormEnd`].
+    CongestionStorm {
+        /// Region (pod) index the storm hits.
+        region: u32,
+        /// Added link utilization in milli-units.
+        intensity_milli: u32,
+    },
+    /// The contention storm subsides.
+    StormEnd {
+        /// Region (pod) index the storm leaves.
+        region: u32,
+    },
+    /// The node starts a crash/repair flap burst: down now, back up half a
+    /// `period` later, the whole cycle repeated `count` times `period`
+    /// apart. Flaps stress requeue/backoff and reservation bookkeeping in a
+    /// way isolated crashes do not.
+    NodeFlap {
+        /// The flapping node.
+        node: u32,
+        /// Length of one down/up cycle.
+        period: SimDuration,
+        /// Remaining cycles, at least 1.
+        count: u32,
+    },
 }
 
 /// One timestamped fault.
@@ -76,6 +125,28 @@ pub struct FaultConfig {
     pub corruption_duration: SimDuration,
     /// Per-node-sample corruption probability inside a corruption window.
     pub corruption_prob: f64,
+    /// Mean time between straggler episodes of one node. `None` disables
+    /// degradation.
+    pub degrade_mtbf: Option<SimDuration>,
+    /// Length of one straggler episode (fixed).
+    pub degrade_duration: SimDuration,
+    /// Straggler speed factor in milli-units, in `(0, 1000]`.
+    pub degrade_factor_milli: u32,
+    /// Mean time between congestion storms. `None` disables storms.
+    pub storm_mtbf: Option<SimDuration>,
+    /// Length of one storm (fixed).
+    pub storm_duration: SimDuration,
+    /// Storm intensity: added fabric-link utilization in milli-units.
+    pub storm_intensity_milli: u32,
+    /// Number of regions (pods) a storm may pick from; the hit region is
+    /// sampled uniformly per storm.
+    pub storm_regions: u32,
+    /// Mean time between flap bursts of one node. `None` disables flaps.
+    pub flap_mtbf: Option<SimDuration>,
+    /// Length of one down/up cycle inside a flap burst.
+    pub flap_period: SimDuration,
+    /// Cycles per flap burst.
+    pub flap_count: u32,
 }
 
 impl Default for FaultConfig {
@@ -91,6 +162,16 @@ impl Default for FaultConfig {
             corruption_mtbf: None,
             corruption_duration: SimDuration::from_mins(2),
             corruption_prob: 0.5,
+            degrade_mtbf: None,
+            degrade_duration: SimDuration::from_mins(5),
+            degrade_factor_milli: 500,
+            storm_mtbf: None,
+            storm_duration: SimDuration::from_mins(4),
+            storm_intensity_milli: 600,
+            storm_regions: 1,
+            flap_mtbf: None,
+            flap_period: SimDuration::from_mins(2),
+            flap_count: 3,
         }
     }
 }
@@ -103,7 +184,12 @@ impl FaultConfig {
 
     /// True if no fault process is enabled.
     pub fn is_inert(&self) -> bool {
-        self.node_mtbf.is_none() && self.blackout_mtbf.is_none() && self.corruption_mtbf.is_none()
+        self.node_mtbf.is_none()
+            && self.blackout_mtbf.is_none()
+            && self.corruption_mtbf.is_none()
+            && self.degrade_mtbf.is_none()
+            && self.storm_mtbf.is_none()
+            && self.flap_mtbf.is_none()
     }
 }
 
@@ -114,8 +200,123 @@ fn exp_interval(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
     SimDuration::from_secs_f64(-(1.0 - u).ln() * mean.as_secs_f64())
 }
 
+/// Why a fault timeline was rejected by [`FaultSchedule::from_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScheduleError {
+    /// An event names a node outside `0..node_count`.
+    NodeOutOfRange {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The out-of-range node id.
+        node: u32,
+        /// The machine's node count.
+        node_count: u32,
+    },
+    /// `NodeUp` for a node that was never taken down (or already repaired).
+    UpWithoutDown {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The node the spurious recovery names.
+        node: u32,
+    },
+    /// `NodeRestore` for a node that is not degraded at that point.
+    RestoreWithoutDegrade {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The node the spurious restore names.
+        node: u32,
+    },
+    /// A window starts while the previous one of the same kind (and, for
+    /// per-node/per-region windows, the same target) is still open.
+    OverlappingWindow {
+        /// Which window process overlaps ("blackout", "corruption",
+        /// "storm", "crash", "degrade").
+        window: &'static str,
+        /// When the overlapping start fires.
+        at: SimTime,
+    },
+    /// A window end with no matching start.
+    UnmatchedWindowEnd {
+        /// Which window process is unbalanced.
+        window: &'static str,
+        /// When the unmatched end fires.
+        at: SimTime,
+    },
+    /// A degrade factor or storm intensity outside its valid range (degrade
+    /// factors must be in `(0, 1000]` milli; storm intensities non-zero).
+    BadIntensity {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The rejected milli-unit value.
+        milli: u32,
+    },
+    /// A flap with a zero period or zero cycle count.
+    BadFlap {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The flapping node.
+        node: u32,
+    },
+    /// Events are not sorted by time.
+    Unsorted {
+        /// Timestamp of the first event that goes backwards.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultScheduleError::NodeOutOfRange {
+                at,
+                node,
+                node_count,
+            } => write!(
+                f,
+                "fault at t={}us names node {node} outside 0..{node_count}",
+                at.as_micros()
+            ),
+            FaultScheduleError::UpWithoutDown { at, node } => write!(
+                f,
+                "NodeUp({node}) at t={}us without a preceding NodeDown",
+                at.as_micros()
+            ),
+            FaultScheduleError::RestoreWithoutDegrade { at, node } => write!(
+                f,
+                "NodeRestore({node}) at t={}us without a preceding NodeDegrade",
+                at.as_micros()
+            ),
+            FaultScheduleError::OverlappingWindow { window, at } => write!(
+                f,
+                "{window} window starting at t={}us overlaps the previous one",
+                at.as_micros()
+            ),
+            FaultScheduleError::UnmatchedWindowEnd { window, at } => write!(
+                f,
+                "{window} window end at t={}us has no matching start",
+                at.as_micros()
+            ),
+            FaultScheduleError::BadIntensity { at, milli } => write!(
+                f,
+                "fault at t={}us has out-of-range intensity {milli} milli",
+                at.as_micros()
+            ),
+            FaultScheduleError::BadFlap { at, node } => write!(
+                f,
+                "NodeFlap({node}) at t={}us needs a positive period and count",
+                at.as_micros()
+            ),
+            FaultScheduleError::Unsorted { at } => {
+                write!(f, "fault timeline goes backwards at t={}us", at.as_micros())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultScheduleError {}
+
 /// A reproducible, time-sorted fault timeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultSchedule {
     events: Vec<FaultEvent>,
     config: FaultConfig,
@@ -125,8 +326,8 @@ impl FaultSchedule {
     /// Generates the timeline for a machine of `node_count` nodes.
     ///
     /// Each fault process draws from its own named RNG stream derived from
-    /// `config.seed` (per-node crash processes use indexed streams), so
-    /// enabling one process never perturbs another.
+    /// `config.seed` (per-node crash/degrade/flap processes use indexed
+    /// streams), so enabling one process never perturbs another.
     pub fn generate(config: &FaultConfig, node_count: u32) -> Self {
         let streams = RngStreams::new(config.seed);
         let mut events = Vec::new();
@@ -150,6 +351,98 @@ impl FaultSchedule {
                         at: t,
                         kind: FaultKind::NodeUp(node),
                     });
+                }
+            }
+        }
+
+        if let Some(mtbf) = config.degrade_mtbf {
+            assert!(!mtbf.is_zero(), "degrade MTBF must be positive");
+            assert!(
+                config.degrade_factor_milli > 0 && config.degrade_factor_milli <= 1000,
+                "degrade factor must be in (0, 1000] milli"
+            );
+            for node in 0..node_count {
+                let mut rng = streams.indexed_stream("fault/degrade", u64::from(node));
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += exp_interval(&mut rng, mtbf);
+                    if t.since(SimTime::ZERO) >= config.horizon {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        at: t,
+                        kind: FaultKind::NodeDegrade {
+                            node,
+                            factor_milli: config.degrade_factor_milli,
+                        },
+                    });
+                    t += config.degrade_duration;
+                    events.push(FaultEvent {
+                        at: t,
+                        kind: FaultKind::NodeRestore(node),
+                    });
+                }
+            }
+        }
+
+        if let Some(mtbf) = config.storm_mtbf {
+            assert!(!mtbf.is_zero(), "storm MTBF must be positive");
+            assert!(config.storm_intensity_milli > 0, "storm needs intensity");
+            let regions = config.storm_regions.max(1);
+            let mut rng = streams.stream("fault/storm");
+            let mut t = SimTime::ZERO;
+            // Storms are sequential windows on one stream, so two storms
+            // never overlap — not even in the same region — and each
+            // StormEnd unambiguously clears the injected contention.
+            loop {
+                t += exp_interval(&mut rng, mtbf);
+                if t.since(SimTime::ZERO) >= config.horizon {
+                    break;
+                }
+                let region = rng.gen_range(0..regions);
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::CongestionStorm {
+                        region,
+                        intensity_milli: config.storm_intensity_milli,
+                    },
+                });
+                t += config.storm_duration;
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::StormEnd { region },
+                });
+            }
+        }
+
+        if let Some(mtbf) = config.flap_mtbf {
+            assert!(!mtbf.is_zero(), "flap MTBF must be positive");
+            assert!(
+                !config.flap_period.is_zero(),
+                "flap period must be positive"
+            );
+            assert!(config.flap_count > 0, "flap burst needs cycles");
+            for node in 0..node_count {
+                let mut rng = streams.indexed_stream("fault/flap", u64::from(node));
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += exp_interval(&mut rng, mtbf);
+                    if t.since(SimTime::ZERO) >= config.horizon {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        at: t,
+                        kind: FaultKind::NodeFlap {
+                            node,
+                            period: config.flap_period,
+                            count: config.flap_count,
+                        },
+                    });
+                    // Skip the burst's own span so one node's bursts never
+                    // interleave with themselves.
+                    t += SimDuration::from_micros(
+                        config.flap_period.as_micros() * u64::from(config.flap_count),
+                    );
                 }
             }
         }
@@ -200,10 +493,177 @@ impl FaultSchedule {
         // Stable order: by time, ties broken by a deterministic kind/node
         // key so the schedule is identical across runs and platforms.
         events.sort_by_key(|e| (e.at, sort_key(e.kind)));
-        FaultSchedule {
+        let schedule = FaultSchedule {
             events,
             config: *config,
+        };
+        debug_assert_eq!(schedule.validate(node_count), Ok(()));
+        schedule
+    }
+
+    /// Wraps a hand-built timeline after validating it against a machine of
+    /// `node_count` nodes. This is the constructor for chaos scenarios and
+    /// tests; [`FaultSchedule::generate`] always produces valid timelines.
+    pub fn from_events(
+        events: Vec<FaultEvent>,
+        config: FaultConfig,
+        node_count: u32,
+    ) -> Result<Self, FaultScheduleError> {
+        let schedule = FaultSchedule { events, config };
+        schedule.validate(node_count)?;
+        Ok(schedule)
+    }
+
+    /// Checks the timeline is sorted and internally consistent: nodes in
+    /// range, every recovery/restore preceded by its failure/degrade, no
+    /// overlapping windows of the same kind. Flap bursts are self-contained
+    /// (the consumer expands them through its idempotent fault handler), so
+    /// only their parameters are checked.
+    pub fn validate(&self, node_count: u32) -> Result<(), FaultScheduleError> {
+        let in_range = |at: SimTime, node: u32| {
+            if node >= node_count {
+                Err(FaultScheduleError::NodeOutOfRange {
+                    at,
+                    node,
+                    node_count,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let mut last = SimTime::ZERO;
+        let mut down = vec![false; node_count as usize];
+        let mut degraded = vec![false; node_count as usize];
+        let mut stormy: Vec<u32> = Vec::new();
+        let mut blackout = false;
+        let mut corruption = false;
+        for e in &self.events {
+            if e.at < last {
+                return Err(FaultScheduleError::Unsorted { at: e.at });
+            }
+            last = e.at;
+            match e.kind {
+                FaultKind::NodeDown(n) => {
+                    in_range(e.at, n)?;
+                    if down[n as usize] {
+                        return Err(FaultScheduleError::OverlappingWindow {
+                            window: "crash",
+                            at: e.at,
+                        });
+                    }
+                    down[n as usize] = true;
+                }
+                FaultKind::NodeUp(n) => {
+                    in_range(e.at, n)?;
+                    if !down[n as usize] {
+                        return Err(FaultScheduleError::UpWithoutDown { at: e.at, node: n });
+                    }
+                    down[n as usize] = false;
+                }
+                FaultKind::NodeDegrade { node, factor_milli } => {
+                    in_range(e.at, node)?;
+                    if factor_milli == 0 || factor_milli > 1000 {
+                        return Err(FaultScheduleError::BadIntensity {
+                            at: e.at,
+                            milli: factor_milli,
+                        });
+                    }
+                    if degraded[node as usize] {
+                        return Err(FaultScheduleError::OverlappingWindow {
+                            window: "degrade",
+                            at: e.at,
+                        });
+                    }
+                    degraded[node as usize] = true;
+                }
+                FaultKind::NodeRestore(n) => {
+                    in_range(e.at, n)?;
+                    if !degraded[n as usize] {
+                        return Err(FaultScheduleError::RestoreWithoutDegrade {
+                            at: e.at,
+                            node: n,
+                        });
+                    }
+                    degraded[n as usize] = false;
+                }
+                FaultKind::CongestionStorm {
+                    region,
+                    intensity_milli,
+                } => {
+                    if intensity_milli == 0 {
+                        return Err(FaultScheduleError::BadIntensity {
+                            at: e.at,
+                            milli: intensity_milli,
+                        });
+                    }
+                    if stormy.contains(&region) {
+                        return Err(FaultScheduleError::OverlappingWindow {
+                            window: "storm",
+                            at: e.at,
+                        });
+                    }
+                    stormy.push(region);
+                }
+                FaultKind::StormEnd { region } => match stormy.iter().position(|&r| r == region) {
+                    Some(i) => {
+                        stormy.remove(i);
+                    }
+                    None => {
+                        return Err(FaultScheduleError::UnmatchedWindowEnd {
+                            window: "storm",
+                            at: e.at,
+                        })
+                    }
+                },
+                FaultKind::NodeFlap {
+                    node,
+                    period,
+                    count,
+                } => {
+                    in_range(e.at, node)?;
+                    if period.is_zero() || count == 0 {
+                        return Err(FaultScheduleError::BadFlap { at: e.at, node });
+                    }
+                }
+                FaultKind::BlackoutStart => {
+                    if blackout {
+                        return Err(FaultScheduleError::OverlappingWindow {
+                            window: "blackout",
+                            at: e.at,
+                        });
+                    }
+                    blackout = true;
+                }
+                FaultKind::BlackoutEnd => {
+                    if !blackout {
+                        return Err(FaultScheduleError::UnmatchedWindowEnd {
+                            window: "blackout",
+                            at: e.at,
+                        });
+                    }
+                    blackout = false;
+                }
+                FaultKind::CorruptionStart => {
+                    if corruption {
+                        return Err(FaultScheduleError::OverlappingWindow {
+                            window: "corruption",
+                            at: e.at,
+                        });
+                    }
+                    corruption = true;
+                }
+                FaultKind::CorruptionEnd => {
+                    if !corruption {
+                        return Err(FaultScheduleError::UnmatchedWindowEnd {
+                            window: "corruption",
+                            at: e.at,
+                        });
+                    }
+                    corruption = false;
+                }
+            }
         }
+        Ok(())
     }
 
     /// The sorted fault timeline.
@@ -231,19 +691,49 @@ impl FaultSchedule {
             .filter(|e| matches!(e.kind, FaultKind::BlackoutStart))
             .count()
     }
+
+    /// Number of straggler episodes in the timeline.
+    pub fn degrade_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeDegrade { .. }))
+            .count()
+    }
+
+    /// Number of congestion storms in the timeline.
+    pub fn storm_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::CongestionStorm { .. }))
+            .count()
+    }
+
+    /// Number of flap bursts in the timeline (each expands to `count`
+    /// down/up cycles at sim time).
+    pub fn flap_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeFlap { .. }))
+            .count()
+    }
 }
 
-/// Deterministic tie-break ordering: ends before starts at equal times so a
-/// zero-length window never leaves a consumer stuck "inside" it, then by
-/// node id.
+/// Deterministic tie-break ordering: ends/recoveries before starts at equal
+/// times so a zero-length window never leaves a consumer stuck "inside" it,
+/// then by node/region id.
 fn sort_key(kind: FaultKind) -> (u8, u32) {
     match kind {
         FaultKind::NodeUp(n) => (0, n),
-        FaultKind::BlackoutEnd => (1, 0),
-        FaultKind::CorruptionEnd => (2, 0),
-        FaultKind::NodeDown(n) => (3, n),
-        FaultKind::BlackoutStart => (4, 0),
-        FaultKind::CorruptionStart => (5, 0),
+        FaultKind::NodeRestore(n) => (1, n),
+        FaultKind::StormEnd { region } => (2, region),
+        FaultKind::BlackoutEnd => (3, 0),
+        FaultKind::CorruptionEnd => (4, 0),
+        FaultKind::NodeDown(n) => (5, n),
+        FaultKind::NodeDegrade { node, .. } => (6, node),
+        FaultKind::NodeFlap { node, .. } => (7, node),
+        FaultKind::CongestionStorm { region, .. } => (8, region),
+        FaultKind::BlackoutStart => (9, 0),
+        FaultKind::CorruptionStart => (10, 0),
     }
 }
 
@@ -265,6 +755,24 @@ mod tests {
         }
     }
 
+    fn perf_config(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            horizon: SimDuration::from_hours(1),
+            degrade_mtbf: Some(SimDuration::from_mins(25)),
+            degrade_duration: SimDuration::from_mins(6),
+            degrade_factor_milli: 400,
+            storm_mtbf: Some(SimDuration::from_mins(10)),
+            storm_duration: SimDuration::from_mins(4),
+            storm_intensity_milli: 700,
+            storm_regions: 2,
+            flap_mtbf: Some(SimDuration::from_mins(30)),
+            flap_period: SimDuration::from_mins(2),
+            flap_count: 3,
+            ..FaultConfig::default()
+        }
+    }
+
     #[test]
     fn default_config_is_inert() {
         let schedule = FaultSchedule::generate(&FaultConfig::none(), 64);
@@ -273,11 +781,36 @@ mod tests {
     }
 
     #[test]
+    fn perf_processes_break_inertness() {
+        let mutations: [fn(&mut FaultConfig); 3] = [
+            |c| c.storm_mtbf = Some(SimDuration::from_mins(10)),
+            |c| c.degrade_mtbf = Some(SimDuration::from_mins(10)),
+            |c| c.flap_mtbf = Some(SimDuration::from_mins(10)),
+        ];
+        for mutate in mutations {
+            let mut c = FaultConfig::none();
+            mutate(&mut c);
+            assert!(!c.is_inert());
+        }
+    }
+
+    #[test]
     fn same_seed_same_timeline() {
         let a = FaultSchedule::generate(&faulty_config(9), 32);
         let b = FaultSchedule::generate(&faulty_config(9), 32);
         assert_eq!(a.events(), b.events());
         assert!(!a.events().is_empty(), "an hour at these rates must fault");
+    }
+
+    #[test]
+    fn perf_timeline_is_deterministic_and_validates() {
+        let a = FaultSchedule::generate(&perf_config(13), 16);
+        let b = FaultSchedule::generate(&perf_config(13), 16);
+        assert_eq!(a.events(), b.events());
+        assert!(a.degrade_count() > 0, "an hour at these rates must degrade");
+        assert!(a.storm_count() > 0);
+        assert!(a.flap_count() > 0);
+        assert_eq!(a.validate(16), Ok(()));
     }
 
     #[test]
@@ -307,6 +840,26 @@ mod tests {
                 .filter(|e| matches!(e.kind, FaultKind::BlackoutStart | FaultKind::BlackoutEnd))
                 .count()
         );
+    }
+
+    #[test]
+    fn every_degrade_has_its_restore_and_storms_balance() {
+        let schedule = FaultSchedule::generate(&perf_config(21), 16);
+        let mut deg: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+        let mut storms: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+        for e in schedule.events() {
+            match e.kind {
+                FaultKind::NodeDegrade { node, .. } => *deg.entry(node).or_insert(0) += 1,
+                FaultKind::NodeRestore(n) => *deg.entry(n).or_insert(0) -= 1,
+                FaultKind::CongestionStorm { region, .. } => {
+                    *storms.entry(region).or_insert(0) += 1
+                }
+                FaultKind::StormEnd { region } => *storms.entry(region).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        assert!(deg.values().all(|&v| v == 0), "unbalanced: {deg:?}");
+        assert!(storms.values().all(|&v| v == 0), "unbalanced: {storms:?}");
     }
 
     #[test]
@@ -347,5 +900,145 @@ mod tests {
         for node in 0..4 {
             assert_eq!(crashes(&small, node), crashes(&large, node));
         }
+    }
+
+    #[test]
+    fn from_events_accepts_valid_timelines() {
+        let events = vec![
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                kind: FaultKind::NodeDown(2),
+            },
+            FaultEvent {
+                at: SimTime::from_secs(20),
+                kind: FaultKind::CongestionStorm {
+                    region: 0,
+                    intensity_milli: 500,
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(30),
+                kind: FaultKind::NodeUp(2),
+            },
+            FaultEvent {
+                at: SimTime::from_secs(40),
+                kind: FaultKind::StormEnd { region: 0 },
+            },
+        ];
+        let s = FaultSchedule::from_events(events, FaultConfig::none(), 8).unwrap();
+        assert_eq!(s.node_failure_count(), 1);
+        assert_eq!(s.storm_count(), 1);
+    }
+
+    #[test]
+    fn from_events_rejects_up_without_down() {
+        let events = vec![FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: FaultKind::NodeUp(1),
+        }];
+        assert_eq!(
+            FaultSchedule::from_events(events, FaultConfig::none(), 8),
+            Err(FaultScheduleError::UpWithoutDown {
+                at: SimTime::from_secs(5),
+                node: 1
+            })
+        );
+    }
+
+    #[test]
+    fn from_events_rejects_out_of_range_nodes() {
+        let events = vec![FaultEvent {
+            at: SimTime::from_secs(5),
+            kind: FaultKind::NodeDown(8),
+        }];
+        assert_eq!(
+            FaultSchedule::from_events(events, FaultConfig::none(), 8),
+            Err(FaultScheduleError::NodeOutOfRange {
+                at: SimTime::from_secs(5),
+                node: 8,
+                node_count: 8
+            })
+        );
+    }
+
+    #[test]
+    fn from_events_rejects_overlapping_windows() {
+        let overlap = vec![
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::BlackoutStart,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::BlackoutStart,
+            },
+        ];
+        assert_eq!(
+            FaultSchedule::from_events(overlap, FaultConfig::none(), 8),
+            Err(FaultScheduleError::OverlappingWindow {
+                window: "blackout",
+                at: SimTime::from_secs(2)
+            })
+        );
+        let unmatched = vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::CorruptionEnd,
+        }];
+        assert_eq!(
+            FaultSchedule::from_events(unmatched, FaultConfig::none(), 8),
+            Err(FaultScheduleError::UnmatchedWindowEnd {
+                window: "corruption",
+                at: SimTime::from_secs(1)
+            })
+        );
+    }
+
+    #[test]
+    fn from_events_rejects_unsorted_and_bad_params() {
+        let unsorted = vec![
+            FaultEvent {
+                at: SimTime::from_secs(10),
+                kind: FaultKind::NodeDown(0),
+            },
+            FaultEvent {
+                at: SimTime::from_secs(5),
+                kind: FaultKind::NodeUp(0),
+            },
+        ];
+        assert_eq!(
+            FaultSchedule::from_events(unsorted, FaultConfig::none(), 8),
+            Err(FaultScheduleError::Unsorted {
+                at: SimTime::from_secs(5)
+            })
+        );
+        let bad_factor = vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::NodeDegrade {
+                node: 0,
+                factor_milli: 1500,
+            },
+        }];
+        assert_eq!(
+            FaultSchedule::from_events(bad_factor, FaultConfig::none(), 8),
+            Err(FaultScheduleError::BadIntensity {
+                at: SimTime::from_secs(1),
+                milli: 1500
+            })
+        );
+        let bad_flap = vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::NodeFlap {
+                node: 0,
+                period: SimDuration::ZERO,
+                count: 3,
+            },
+        }];
+        assert_eq!(
+            FaultSchedule::from_events(bad_flap, FaultConfig::none(), 8),
+            Err(FaultScheduleError::BadFlap {
+                at: SimTime::from_secs(1),
+                node: 0
+            })
+        );
     }
 }
