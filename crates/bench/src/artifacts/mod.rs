@@ -59,6 +59,7 @@ mod fig10_makespan;
 mod fig11_wait_times;
 mod online_accuracy;
 mod pipeline_rfe;
+mod policy_headtohead;
 mod table1_dataset;
 mod table2_experiments;
 
@@ -81,6 +82,7 @@ pub use fig10_makespan::render as render_fig10_makespan;
 pub use fig11_wait_times::render as render_fig11_wait_times;
 pub use online_accuracy::render as render_online_accuracy;
 pub use pipeline_rfe::render as render_pipeline_rfe;
+pub use policy_headtohead::render as render_policy_headtohead;
 pub use table1_dataset::render as render_table1_dataset;
 pub use table2_experiments::render as render_table2_experiments;
 
@@ -301,6 +303,12 @@ pub const ALL: &[ArtifactDef] = &[
         deps: &[MODEL_DEFAULT_NODE],
         render: render_online_accuracy,
     },
+    ArtifactDef {
+        name: "policy_headtohead",
+        output: "policy_headtohead.txt",
+        deps: &[],
+        render: render_policy_headtohead,
+    },
 ];
 
 /// Looks up an artifact by name.
@@ -314,15 +322,15 @@ mod tests {
 
     #[test]
     fn registry_covers_every_artifact_uniquely() {
-        assert_eq!(ALL.len(), 21);
+        assert_eq!(ALL.len(), 22);
         let mut names: Vec<&str> = ALL.iter().map(|a| a.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "duplicate artifact names");
+        assert_eq!(names.len(), 22, "duplicate artifact names");
         let mut outputs: Vec<&str> = ALL.iter().map(|a| a.output).collect();
         outputs.sort_unstable();
         outputs.dedup();
-        assert_eq!(outputs.len(), 21, "duplicate output files");
+        assert_eq!(outputs.len(), 22, "duplicate output files");
         assert!(find("fig05_adaa_variation").is_some());
         assert!(find("nope").is_none());
     }

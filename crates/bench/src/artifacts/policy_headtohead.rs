@@ -1,0 +1,85 @@
+//! Learned-policy head-to-head: CEM-trained queue ordering vs the three
+//! hand-written schemes (FCFS, FCFS+EASY, RUSH) on the same seeded
+//! workloads.
+//!
+//! Expected shape: the learned policy beats strict FCFS on mean bounded
+//! slowdown (the training objective) and is competitive with EASY/RUSH on
+//! utilization — ordering by learned job features recovers most of what
+//! backfilling alone leaves on the table.
+
+use super::ArtifactCtx;
+use rush_core::report::{fmt, TextTable};
+use rush_sched::env::{head_to_head, train_policy, SchedEnvConfig, TrainConfig};
+
+/// Renders the four-scheme comparison after a short seeded training run.
+/// Independent of the campaign: the environment synthesizes its own
+/// workloads, so this artifact has no DAG dependencies.
+pub fn render(ctx: &ArtifactCtx) -> String {
+    let mut out = String::new();
+    let config = TrainConfig {
+        env: SchedEnvConfig {
+            seed: ctx.args().seed,
+            nodes: 32,
+            jobs: 100,
+            ..SchedEnvConfig::default()
+        },
+        rounds: 6,
+        population: 16,
+        elite: 4,
+        episodes: 2,
+    };
+
+    outln!(
+        out,
+        "# Learned policy — head-to-head (CEM vs FCFS/EASY/RUSH)\n"
+    );
+    eprintln!(
+        "[policy] training: {} rounds x {} candidates x {} episodes...",
+        config.rounds, config.population, config.episodes
+    );
+    let (artifact, outcome) = train_policy(&config);
+    let mut rounds = TextTable::new(["round", "best_bsld", "elite_bsld"]);
+    for r in &outcome.rounds {
+        rounds.row([
+            r.round.to_string(),
+            fmt(-r.best_score, 3),
+            fmt(-r.elite_score, 3),
+        ]);
+    }
+    outln!(out, "{}", rounds.render());
+
+    let mut weights = [0.0; rush_sched::SORT_FACTORS];
+    weights.copy_from_slice(&artifact.weights);
+    eprintln!("[policy] evaluating 4 schemes...");
+    let report = head_to_head(&config.env, weights, config.episodes);
+    let mut table = TextTable::new([
+        "scheme",
+        "makespan_s",
+        "mean_response_s",
+        "mean_wait_s",
+        "mean_bsld",
+        "utilization",
+    ]);
+    for s in &report.schemes {
+        table.row([
+            s.scheme.name().to_string(),
+            fmt(s.stats.makespan_s, 1),
+            fmt(s.stats.mean_response_s, 1),
+            fmt(s.stats.mean_wait_s, 1),
+            fmt(s.stats.mean_bounded_slowdown, 3),
+            fmt(s.stats.utilization, 4),
+        ]);
+    }
+    outln!(out, "{}", table.render());
+    outln!(out, "csv:\n{}", table.to_csv());
+    outln!(
+        out,
+        "learned beats FCFS on mean bounded slowdown: {}",
+        if report.learned_beats_fcfs() {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    out
+}

@@ -1,0 +1,13 @@
+//! Learned-policy head-to-head: CEM-trained queue ordering vs FCFS,
+//! FCFS+EASY, and RUSH on the same seeded workloads.
+//!
+//! Thin wrapper: the rendering logic lives in
+//! `rush_bench::artifacts::policy_headtohead` so the `run_all` orchestrator
+//! can run it as a DAG node; this binary prints the same bytes to stdout.
+
+use rush_bench::{artifacts, ArtifactCtx, HarnessArgs};
+
+fn main() {
+    let ctx = ArtifactCtx::new(HarnessArgs::from_env());
+    print!("{}", artifacts::render_policy_headtohead(&ctx));
+}

@@ -502,6 +502,89 @@ fn decode_logistic(r: &mut Reader<'_>) -> Result<TrainedModel, CodecError> {
     )))
 }
 
+/// A trained scheduling-policy artifact: the CEM-optimized sort-weight
+/// vector plus the provenance needed to reproduce the training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyArtifact {
+    /// The trained sort weights (`rush-sched`'s learned R1/R2 order).
+    pub weights: Vec<f64>,
+    /// Master seed of the training run.
+    pub seed: u64,
+    /// CEM rounds trained.
+    pub rounds: u32,
+    /// CEM population per round.
+    pub population: u32,
+    /// The best objective score observed (negated mean bounded slowdown).
+    pub score: f64,
+}
+
+/// Serializes a policy artifact to the line format. Floats use the
+/// shortest round-trip `Display`, so `decode_policy(encode_policy(a))`
+/// reproduces `a` bit for bit.
+///
+/// ```
+/// use rush_ml::codec::{decode_policy, encode_policy, PolicyArtifact};
+///
+/// let artifact = PolicyArtifact {
+///     weights: vec![0.5, -1.25, 3.0],
+///     seed: 42,
+///     rounds: 12,
+///     population: 32,
+///     score: -4.875,
+/// };
+/// let text = encode_policy(&artifact);
+/// assert_eq!(decode_policy(&text).unwrap(), artifact);
+/// ```
+pub fn encode_policy(artifact: &PolicyArtifact) -> String {
+    let mut out = String::from("RUSHPOLICY v1\n");
+    out.push_str("weights");
+    for w in &artifact.weights {
+        out.push_str(&format!(" {w}"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "trained {} {} {}\n",
+        artifact.seed, artifact.rounds, artifact.population
+    ));
+    out.push_str(&format!("score {}\n", artifact.score));
+    out.push_str("end\n");
+    out
+}
+
+/// Deserializes a policy artifact; any malformed line is a typed
+/// [`CodecError`].
+pub fn decode_policy(text: &str) -> Result<PolicyArtifact, CodecError> {
+    let mut r = Reader::new(text);
+    let header = r.next_line()?;
+    if header.trim() != "RUSHPOLICY v1" {
+        return err(format!("bad policy header '{header}'"));
+    }
+    let weights: Vec<f64> = parse_all(&r.expect_tagged("weights")?, "weight")?;
+    if weights.is_empty() {
+        return err("policy artifact has no weights");
+    }
+    let trained = r.expect_tagged("trained")?;
+    if trained.len() != 3 {
+        return err(format!(
+            "trained line needs 3 fields, got {}",
+            trained.len()
+        ));
+    }
+    let score_line = r.expect_tagged("score")?;
+    let score = match score_line.as_slice() {
+        [s] => parse(s, "score")?,
+        _ => return err("score line needs 1 field"),
+    };
+    r.expect_tagged("end")?;
+    Ok(PolicyArtifact {
+        weights,
+        seed: parse(trained[0], "seed")?,
+        rounds: parse(trained[1], "rounds")?,
+        population: parse(trained[2], "population")?,
+        score,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +673,31 @@ mod tests {
         let text = encode(&ModelKind::Knn.train(&data, 4));
         let without_end = text.replace("end\n", "");
         assert!(decode(&without_end).is_err());
+    }
+
+    #[test]
+    fn policy_artifact_round_trips_bit_exactly() {
+        let artifact = PolicyArtifact {
+            weights: vec![0.1 + 0.2, -1e-300, 3.5, f64::MIN_POSITIVE],
+            seed: u64::MAX,
+            rounds: 40,
+            population: 64,
+            score: -7.062499999999999,
+        };
+        let text = encode_policy(&artifact);
+        assert_eq!(decode_policy(&text).unwrap(), artifact);
+    }
+
+    #[test]
+    fn policy_artifact_rejects_malformed_input() {
+        assert!(decode_policy("BOGUS\n").is_err());
+        assert!(decode_policy("RUSHPOLICY v1\nweights\ntrained 1 2 3\nscore 0\nend\n").is_err());
+        assert!(decode_policy("RUSHPOLICY v1\nweights 1 2\ntrained 1 2\nscore 0\nend\n").is_err());
+        assert!(
+            decode_policy("RUSHPOLICY v1\nweights 1 x\ntrained 1 2 3\nscore 0\nend\n").is_err()
+        );
+        let no_end = "RUSHPOLICY v1\nweights 1\ntrained 1 2 3\nscore 0\n";
+        assert!(decode_policy(no_end).is_err());
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! * [`tune`] — within-family hyperparameter grid search under CV.
 //! * [`model`] — the [`model::Classifier`] trait, the [`model::TrainedModel`]
 //!   enum, and a line-based export codec (the pickle stand-in).
+//! * [`cem`] — from-scratch seeded cross-entropy method policy search
+//!   (trains the learned scheduling policy's sort-weight vector).
 //! * [`online`] — incremental window retraining for the scheduler's
 //!   drift-aware online predictor service.
 //! * [`runtime`] — variance-reduction regression tree predicting job run
@@ -34,6 +36,7 @@
 //!   trace replay).
 
 pub mod adaboost;
+pub mod cem;
 pub mod codec;
 pub mod cv;
 pub mod dataset;

@@ -18,6 +18,19 @@ use crate::model::{ModelKind, TrainedModel};
 /// sample); `names` is the feature schema the rows were assembled under.
 /// The window is validated as a [`Dataset`] first — mismatched widths or
 /// non-finite values are reported as errors, never trained through.
+///
+/// ```
+/// use rush_ml::model::{Classifier, ModelKind};
+/// use rush_ml::online::retrain_window;
+///
+/// let names = vec!["congestion".to_string()];
+/// let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![f64::from(i)]).collect();
+/// let labels: Vec<u32> = (0..8).map(|i| u32::from(i >= 4)).collect();
+/// let groups = vec![0; 8];
+/// let model = retrain_window(&names, &rows, &labels, &groups, ModelKind::Knn, 7).unwrap();
+/// assert_eq!(model.predict(&[0.5]), 0);
+/// assert_eq!(model.predict(&[7.5]), 1);
+/// ```
 pub fn retrain_window(
     names: &[String],
     rows: &[Vec<f64>],

@@ -203,6 +203,27 @@ pub enum ObsEvent {
         /// Remaining down/up cycles including this one.
         cycles: u32,
     },
+    /// The policy trainer finished one CEM round. Scores are mean bounded
+    /// slowdowns in milli-units (the trainer maximizes their negation;
+    /// lower is better here).
+    PolicyTrainRound {
+        /// Round index, from 0.
+        round: u32,
+        /// Best candidate's mean bounded slowdown this round, milli-units.
+        best_bsld_milli: u64,
+        /// Elite-set mean bounded slowdown this round, milli-units.
+        elite_bsld_milli: u64,
+    },
+    /// A head-to-head evaluation scored one scheme.
+    PolicyEvaluated {
+        /// Scheme index in `EvalScheme::ALL` order (0 = FCFS, 1 = EASY,
+        /// 2 = RUSH, 3 = learned).
+        scheme: u32,
+        /// Mean bounded slowdown across episodes, milli-units.
+        bsld_milli: u64,
+        /// Episodes averaged.
+        episodes: u32,
+    },
 }
 
 impl ObsEvent {
@@ -234,6 +255,8 @@ impl ObsEvent {
             ObsEvent::StormStarted { .. } => "storm_started",
             ObsEvent::StormEnded { .. } => "storm_ended",
             ObsEvent::NodeFlapped { .. } => "node_flapped",
+            ObsEvent::PolicyTrainRound { .. } => "policy_train_round",
+            ObsEvent::PolicyEvaluated { .. } => "policy_evaluated",
         }
     }
 
@@ -264,7 +287,9 @@ impl ObsEvent {
             | ObsEvent::NodeRestored { .. }
             | ObsEvent::StormStarted { .. }
             | ObsEvent::StormEnded { .. }
-            | ObsEvent::NodeFlapped { .. } => None,
+            | ObsEvent::NodeFlapped { .. }
+            | ObsEvent::PolicyTrainRound { .. }
+            | ObsEvent::PolicyEvaluated { .. } => None,
         }
     }
 
@@ -334,6 +359,21 @@ impl ObsEvent {
             ObsEvent::NodeFlapped { node, cycles } => {
                 v(vec![24, u64::from(node), u64::from(cycles)])
             }
+            ObsEvent::PolicyTrainRound {
+                round,
+                best_bsld_milli,
+                elite_bsld_milli,
+            } => v(vec![
+                25,
+                u64::from(round),
+                best_bsld_milli,
+                elite_bsld_milli,
+            ]),
+            ObsEvent::PolicyEvaluated {
+                scheme,
+                bsld_milli,
+                episodes,
+            } => v(vec![26, u64::from(scheme), bsld_milli, u64::from(episodes)]),
         }
     }
 
@@ -441,6 +481,16 @@ impl ObsEvent {
                 node: field(1)? as u32,
                 cycles: field(2)? as u32,
             },
+            25 => ObsEvent::PolicyTrainRound {
+                round: field(1)? as u32,
+                best_bsld_milli: field(2)?,
+                elite_bsld_milli: field(3)?,
+            },
+            26 => ObsEvent::PolicyEvaluated {
+                scheme: field(1)? as u32,
+                bsld_milli: field(2)?,
+                episodes: field(3)? as u32,
+            },
             other => {
                 return Err(SnapshotError::Schema(format!("event tag {other}")));
             }
@@ -546,6 +596,22 @@ impl EventRecord {
             ObsEvent::NodeFlapped { node, cycles } => {
                 base.u64("node", node as u64).u64("cycles", cycles as u64)
             }
+            ObsEvent::PolicyTrainRound {
+                round,
+                best_bsld_milli,
+                elite_bsld_milli,
+            } => base
+                .u64("round", round as u64)
+                .u64("best_bsld_milli", best_bsld_milli)
+                .u64("elite_bsld_milli", elite_bsld_milli),
+            ObsEvent::PolicyEvaluated {
+                scheme,
+                bsld_milli,
+                episodes,
+            } => base
+                .u64("scheme", scheme as u64)
+                .u64("bsld_milli", bsld_milli)
+                .u64("episodes", episodes as u64),
         };
         obj.finish()
     }
@@ -667,6 +733,16 @@ mod tests {
             },
             ObsEvent::StormEnded { region: 1 },
             ObsEvent::NodeFlapped { node: 6, cycles: 3 },
+            ObsEvent::PolicyTrainRound {
+                round: 2,
+                best_bsld_milli: 1_250,
+                elite_bsld_milli: 1_900,
+            },
+            ObsEvent::PolicyEvaluated {
+                scheme: 3,
+                bsld_milli: 1_100,
+                episodes: 4,
+            },
         ];
         for e in variants {
             let line = record(e).to_json_line();
@@ -750,6 +826,16 @@ mod tests {
             ObsEvent::NodeFlapped {
                 node: 15,
                 cycles: 5,
+            },
+            ObsEvent::PolicyTrainRound {
+                round: 5,
+                best_bsld_milli: 3_000,
+                elite_bsld_milli: 4_500,
+            },
+            ObsEvent::PolicyEvaluated {
+                scheme: 0,
+                bsld_milli: 9_000,
+                episodes: 2,
             },
         ];
         for e in variants {

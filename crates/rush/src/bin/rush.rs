@@ -138,11 +138,37 @@ COMMANDS:
                identical invocations write byte-identical reports; exits
                nonzero when the auditor records a violation or the
                tunings diverge
+    train-policy  train a learned queue-ordering policy with the seeded
+               cross-entropy method over the gym-style scheduling
+               environment; identical invocations write byte-identical
+               artifacts
+               --seed N (42)      --nodes N (32)   --jobs N (120)
+               --rounds N (10)    --population N (24)  --elite N (6)
+               --episodes N (2)   per-candidate evaluation episodes
+               --out FILE (results/policy.txt)
+               --trace-out FILE   write per-round training events as
+                                  JSON lines
+    policy-eval   head-to-head evaluation: FCFS / EASY / RUSH / learned
+               on the same seeded workloads, written as a canonical-JSON
+               report (makespan, response, bounded slowdown, utilization)
+               --policy FILE      trained artifact from train-policy
+               --seed N (42)      --nodes N (32)   --jobs N (120)
+               --episodes N (2)   --out FILE (results/policy_report.json)
+               --assert-learned-beats-fcfs  exit nonzero unless the
+                                  learned policy's mean bounded slowdown
+                                  beats strict FCFS
+               --trace-out FILE   write per-scheme evaluation events as
+                                  JSON lines
     help       print this message
 ";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["profile", "audit-every-event", "lenient"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "profile",
+    "audit-every-event",
+    "lenient",
+    "assert-learned-beats-fcfs",
+];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -169,6 +195,8 @@ fn main() -> ExitCode {
         "schedule" => cmd_schedule(&options),
         "replay" => cmd_replay(&options),
         "chaos" => cmd_chaos(&options),
+        "train-policy" => cmd_train_policy(&options),
+        "policy-eval" => cmd_policy_eval(&options),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -583,6 +611,214 @@ fn cmd_chaos(options: &Options) -> Result<(), String> {
     }
     if !report.all_tunings_agree() {
         return Err("legacy and optimized tunings diverged under faults".into());
+    }
+    Ok(())
+}
+
+/// Shared environment options of the policy commands.
+fn policy_env_config(options: &Options) -> Result<rush_sched::env::SchedEnvConfig, String> {
+    let config = rush_sched::env::SchedEnvConfig {
+        seed: get_u64(options, "seed", 42)?,
+        nodes: get_u64(options, "nodes", 32)? as u32,
+        jobs: get_u64(options, "jobs", 120)? as usize,
+        ..rush_sched::env::SchedEnvConfig::default()
+    };
+    if config.nodes < 8 || !config.nodes.is_multiple_of(8) {
+        return Err(format!(
+            "--nodes must be a positive multiple of 8, got {}",
+            config.nodes
+        ));
+    }
+    if config.jobs == 0 {
+        return Err("--jobs must be positive".into());
+    }
+    Ok(config)
+}
+
+/// Renders observability events as a JSON-lines file (one canonical line
+/// per event, sequence numbers from zero, timestamps at the epoch — these
+/// are offline pipeline events, not simulation events).
+fn write_event_lines(path: &str, events: &[rush_obs::event::ObsEvent]) -> Result<(), String> {
+    use rush_obs::event::EventRecord;
+    use rush_simkit::time::SimTime;
+    let mut body = String::new();
+    for (seq, event) in events.iter().enumerate() {
+        let record = EventRecord {
+            seq: seq as u64,
+            at: SimTime::ZERO,
+            event: *event,
+        };
+        body.push_str(&record.to_json_line());
+        body.push('\n');
+    }
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Mean bounded slowdown in milli-units for integer-only trace payloads.
+fn bsld_milli(bsld: f64) -> u64 {
+    (bsld.max(0.0) * 1000.0).round() as u64
+}
+
+/// Trains the learned queue-ordering policy (see [`rush_sched::env`]):
+/// seeded CEM over sort-weight vectors, scored by negated mean bounded
+/// slowdown on seeded episodes. Identical invocations write byte-identical
+/// artifacts.
+fn cmd_train_policy(options: &Options) -> Result<(), String> {
+    use rush_core::campaign::write_atomic;
+    use rush_obs::event::ObsEvent;
+    use rush_sched::env::{train_policy, TrainConfig};
+
+    let config = TrainConfig {
+        env: policy_env_config(options)?,
+        rounds: get_u64(options, "rounds", 10)? as u32,
+        population: get_u64(options, "population", 24)? as usize,
+        elite: get_u64(options, "elite", 6)? as usize,
+        episodes: get_u64(options, "episodes", 2)?,
+    };
+    if config.rounds == 0 || config.population == 0 {
+        return Err("--rounds and --population must be positive".into());
+    }
+    if config.elite == 0 || config.elite > config.population {
+        return Err(format!(
+            "--elite must be in 1..=population, got {} of {}",
+            config.elite, config.population
+        ));
+    }
+    let out = options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/policy.txt".to_string());
+    eprintln!(
+        "train-policy: {} rounds x {} candidates x {} episodes, {} nodes, {} jobs (seed {})...",
+        config.rounds,
+        config.population,
+        config.episodes,
+        config.env.nodes,
+        config.env.jobs,
+        config.env.seed
+    );
+    let (artifact, outcome) = train_policy(&config);
+    write_atomic(Path::new(&out), codec::encode_policy(&artifact).as_bytes())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    let mut table = TextTable::new(["round", "best_bsld", "elite_bsld"]);
+    for r in &outcome.rounds {
+        table.row([
+            r.round.to_string(),
+            fmt(-r.best_score, 3),
+            fmt(-r.elite_score, 3),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "best mean bounded slowdown {} after {} evaluations",
+        fmt(-outcome.best_score, 3),
+        outcome.evaluations
+    );
+    println!("wrote policy artifact to {out}");
+
+    if let Some(path) = options.get("trace-out") {
+        let events: Vec<ObsEvent> = outcome
+            .rounds
+            .iter()
+            .map(|r| ObsEvent::PolicyTrainRound {
+                round: r.round,
+                best_bsld_milli: bsld_milli(-r.best_score),
+                elite_bsld_milli: bsld_milli(-r.elite_score),
+            })
+            .collect();
+        write_event_lines(path, &events)?;
+        println!("wrote training trace to {path}");
+    }
+    Ok(())
+}
+
+/// Head-to-head policy evaluation (see [`rush_sched::env::head_to_head`]):
+/// FCFS, EASY, RUSH and the trained learned policy run the same seeded
+/// workloads; the per-scheme service metrics land in a canonical-JSON
+/// report. Identical invocations write byte-identical reports.
+fn cmd_policy_eval(options: &Options) -> Result<(), String> {
+    use rush_core::campaign::write_atomic;
+    use rush_obs::event::ObsEvent;
+    use rush_sched::env::head_to_head;
+    use rush_sched::SORT_FACTORS;
+
+    let env = policy_env_config(options)?;
+    let episodes = get_u64(options, "episodes", 2)?.max(1);
+    let path = options.get("policy").ok_or("--policy FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let artifact = codec::decode_policy(&text).map_err(|e| format!("{path}: {e}"))?;
+    if artifact.weights.len() != SORT_FACTORS {
+        return Err(format!(
+            "{path}: artifact holds {} weights; this build scores {SORT_FACTORS} features",
+            artifact.weights.len()
+        ));
+    }
+    let mut weights = [0.0; SORT_FACTORS];
+    weights.copy_from_slice(&artifact.weights);
+    let out = options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/policy_report.json".to_string());
+    eprintln!(
+        "policy-eval: 4 schemes x {episodes} episodes, {} nodes, {} jobs (seed {})...",
+        env.nodes, env.jobs, env.seed
+    );
+    let report = head_to_head(&env, weights, episodes);
+    let json = report.to_json();
+    write_atomic(Path::new(&out), json.as_bytes())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    let mut table = TextTable::new([
+        "scheme",
+        "makespan_s",
+        "mean_response_s",
+        "mean_bsld",
+        "utilization",
+    ]);
+    for s in &report.schemes {
+        table.row([
+            s.scheme.name().to_string(),
+            fmt(s.stats.makespan_s, 1),
+            fmt(s.stats.mean_response_s, 1),
+            fmt(s.stats.mean_bounded_slowdown, 3),
+            fmt(s.stats.utilization, 4),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("wrote {} bytes to {out}", json.len());
+
+    if let Some(path) = options.get("trace-out") {
+        let events: Vec<ObsEvent> = report
+            .schemes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ObsEvent::PolicyEvaluated {
+                scheme: i as u32,
+                bsld_milli: bsld_milli(s.stats.mean_bounded_slowdown),
+                episodes: episodes as u32,
+            })
+            .collect();
+        write_event_lines(path, &events)?;
+        println!("wrote evaluation trace to {path}");
+    }
+
+    if options.contains_key("assert-learned-beats-fcfs") && !report.learned_beats_fcfs() {
+        return Err(format!(
+            "learned policy did not beat FCFS on mean bounded slowdown ({} vs {})",
+            fmt(
+                report
+                    .scheme(rush_sched::env::EvalScheme::Learned)
+                    .mean_bounded_slowdown,
+                3
+            ),
+            fmt(
+                report
+                    .scheme(rush_sched::env::EvalScheme::Fcfs)
+                    .mean_bounded_slowdown,
+                3
+            )
+        ));
     }
     Ok(())
 }

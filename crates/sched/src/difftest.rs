@@ -21,6 +21,7 @@
 use crate::engine::{EngineTuning, ScheduleResult, SchedulerConfig, SchedulerEngine};
 use crate::job::Job;
 use crate::metrics::RuntimeReference;
+use crate::policy::{LearnedPolicy, PolicySpec};
 use crate::predictor::{NeverVaries, PredictError, PredictorCtx, VariabilityClass};
 use crate::service::{LabeledSample, LoadedModel, OnlineModelHost, ServiceConfig};
 use rand::rngs::SmallRng;
@@ -54,6 +55,10 @@ pub struct DiffScenario {
     /// Route predictor consultations through the online service (retrain,
     /// shadow evaluation, hot-swap) instead of a static predictor.
     pub online_predictor: bool,
+    /// Order R1/R2 by the demo [`LearnedPolicy`] instead of FCFS, so
+    /// parametric policies ride the same legacy-vs-optimized equivalence
+    /// contract as the static orders.
+    pub learned_policy: bool,
 }
 
 impl DiffScenario {
@@ -82,6 +87,10 @@ impl DiffScenario {
             tuning,
             ..SchedulerConfig::default()
         };
+        if self.learned_policy {
+            config.r1 = PolicySpec::Learned(LearnedPolicy::demo());
+            config.r2 = PolicySpec::Learned(LearnedPolicy::demo());
+        }
         if self.faults {
             config.faults = FaultConfig {
                 seed: self.seed ^ 0xFA17,
@@ -403,6 +412,7 @@ mod tests {
             faults: false,
             perf_faults: false,
             online_predictor: false,
+            learned_policy: false,
         }
     }
 
@@ -434,6 +444,15 @@ mod tests {
             faults: true,
             perf_faults: true,
             ..scenario(14)
+        };
+        assert_eq!(diff_tunings(&s), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn legacy_and_optimized_agree_under_the_learned_policy() {
+        let s = DiffScenario {
+            learned_policy: true,
+            ..scenario(15)
         };
         assert_eq!(diff_tunings(&s), DiffOutcome::Identical);
     }

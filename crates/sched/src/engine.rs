@@ -16,7 +16,7 @@
 use crate::audit::{AuditConfig, AuditPolicy, Invariant, Violation};
 use crate::easy::{backfill_allowed, compute_reservation, RunningSnapshot};
 use crate::job::{CompletedJob, EstimateSource, FailedJob, Job, JobId, BOUNDED_SLOWDOWN_TAU_SECS};
-use crate::policy::{QueueItem, QueueOrder};
+use crate::policy::{PolicySpec, QueueItem};
 use crate::predictor::{PredictorCtx, VariabilityClass, VariabilityPredictor};
 use crate::profile::AvailabilityProfile;
 use crate::retry::RetryPolicy;
@@ -169,10 +169,13 @@ impl BreakerState {
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
-    /// Main queue ordering policy (R1).
-    pub r1: QueueOrder,
+    /// Main queue ordering policy (R1). Dynamic state as far as snapshots
+    /// are concerned: the current spec is stored in (and restored from)
+    /// the snapshot body, so an environment that retargets the policy
+    /// mid-run still checkpoint/resumes byte-identically.
+    pub r1: PolicySpec,
     /// Backfill ordering policy (R2).
-    pub r2: QueueOrder,
+    pub r2: PolicySpec,
     /// Backfilling discipline (paper: EASY).
     pub backfill: BackfillPolicy,
     /// RUSH skip limit per job (paper: 10). Zero disables delays entirely.
@@ -223,8 +226,8 @@ pub struct SchedulerConfig {
 impl Default for SchedulerConfig {
     fn default() -> Self {
         SchedulerConfig {
-            r1: QueueOrder::Fcfs,
-            r2: QueueOrder::Fcfs,
+            r1: PolicySpec::Fcfs,
+            r2: PolicySpec::Fcfs,
             backfill: BackfillPolicy::Easy,
             skip_threshold: 10,
             est_factor: 1.5,
@@ -389,6 +392,9 @@ impl QueueItem for BackfillCand {
     }
     fn est_runtime(&self) -> SimDuration {
         self.est_runtime
+    }
+    fn nodes_requested(&self) -> u32 {
+        self.nodes_requested
     }
     fn id(&self) -> JobId {
         self.id
@@ -964,6 +970,57 @@ impl SchedulerEngine {
     /// The aggregate outcomes folded so far (live during a run).
     pub fn replay_stats(&self) -> &ReplayStats {
         &self.replay
+    }
+
+    /// Retargets the R1/R2 queue-ordering policies mid-run (the learned
+    /// environment's continuous action). The queue is marked dirty so the
+    /// next scheduling pass re-sorts it under the new order; determinism
+    /// is unaffected because the call itself is part of the replayed
+    /// decision sequence, and snapshots carry the live specs.
+    pub fn set_queue_policy(&mut self, r1: PolicySpec, r2: PolicySpec) {
+        if self.config.r1 != r1 || self.config.r2 != r2 {
+            self.config.r1 = r1;
+            self.config.r2 = r2;
+            self.queue_dirty = true;
+        }
+    }
+
+    /// Moves a waiting job to the head of the queue (the environment's
+    /// discrete job-pick action). Returns false if the job is not queued.
+    /// The queue is left dirty-free on purpose: the promotion must survive
+    /// until the next scheduling pass consumes it, and a re-sort would
+    /// undo it; subsequent incremental inserts still behave
+    /// deterministically.
+    pub fn promote_job(&mut self, id: JobId) -> bool {
+        match self.queue.iter().position(|j| j.id == id) {
+            Some(pos) => {
+                let job = self.queue.remove(pos);
+                self.queue.insert(0, job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The jobs currently waiting, in queue order (environment
+    /// observations).
+    pub fn queued_jobs(&self) -> &[Job] {
+        &self.queue
+    }
+
+    /// Jobs currently running.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Schedulable nodes currently free.
+    pub fn free_node_count(&self) -> usize {
+        self.pool.free_count()
+    }
+
+    /// Total schedulable nodes.
+    pub fn node_capacity(&self) -> usize {
+        self.pool.capacity()
     }
 
     /// Schedules the clock-driven events both preparation modes share: the
@@ -2064,10 +2121,20 @@ impl SchedulerEngine {
     /// Configuration fingerprint embedded in snapshots. Covers everything
     /// that shapes the deterministic trajectory: the scheduler config, the
     /// machine topology, the schedulable pool size and the job count.
+    ///
+    /// The R1/R2 policy specs are normalized out: they are *dynamic* state
+    /// (an environment may retarget them mid-run via
+    /// [`set_queue_policy`](Self::set_queue_policy)), carried in the
+    /// snapshot body instead and restored on resume — fingerprinting the
+    /// live values would reject every mid-episode checkpoint taken after a
+    /// policy change.
     fn fingerprint(&self) -> u64 {
+        let mut config = self.config;
+        config.r1 = PolicySpec::default();
+        config.r2 = PolicySpec::default();
         snapshot::fingerprint_str(&format!(
             "{:?}|{:?}|{}|{}",
-            self.config,
+            config,
             self.machine.tree().config(),
             self.pool.capacity(),
             self.request_count
@@ -2227,6 +2294,10 @@ impl SchedulerEngine {
             .with("rejected", Val::U64(self.replay.rejected))
             .with("pending_submits", Val::U64(self.pending_submits as u64))
             .with("queue_dirty", Val::U64(u64::from(self.queue_dirty)))
+            .with(
+                "policy",
+                Val::List(vec![self.config.r1.to_val(), self.config.r2.to_val()]),
+            )
             .with("next_gen", Val::U64(self.next_gen))
             .with("machine", self.machine.snapshot_state())
             .with("pool", self.pool.snapshot_state())
@@ -2425,6 +2496,19 @@ impl SchedulerEngine {
             }
         };
 
+        // The R1/R2 policy is dynamic state (see `fingerprint`): decode
+        // the snapshot's specs — an unknown tag is a typed schema error,
+        // never a panic — and restore them at commit.
+        let pl = b.l("policy")?;
+        if pl.len() != 2 {
+            return Err(SnapshotError::Schema(format!(
+                "policy record expects [r1, r2], got {} entries",
+                pl.len()
+            )));
+        }
+        let r1 = PolicySpec::from_val(&pl[0])?;
+        let r2 = PolicySpec::from_val(&pl[1])?;
+
         let store = MetricStore::from_val(b.get("store")?)?;
         let tracer = EventTracer::from_val(b.get("tracer")?)?;
         let registry = MetricsRegistry::from_val(b.get("registry")?)?;
@@ -2491,6 +2575,8 @@ impl SchedulerEngine {
         self.max_queue_len = b.u("max_queue_len")? as usize;
         self.pending_submits = b.u("pending_submits")? as usize;
         self.queue_dirty = b.u("queue_dirty")? != 0;
+        self.config.r1 = r1;
+        self.config.r2 = r2;
         self.next_gen = b.u("next_gen")?;
         self.store = store;
         self.tracer = tracer;

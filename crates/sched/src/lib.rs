@@ -23,6 +23,10 @@
 //! * [`engine`] — the discrete-event scheduler run loop with piecewise
 //!   job-progress integration: contention *during* a run determines its
 //!   run time, not just contention at its start.
+//! * [`mod@env`] — the gym-style episodic environment for learned scheduling
+//!   policies: queue/cluster observations, sort-weight or job-pick
+//!   actions, negative-bounded-slowdown reward, plus the CEM training
+//!   driver and the four-scheme head-to-head evaluation.
 //! * [`service`] — the drift-aware online predictor service: sliding-window
 //!   label store, periodic retraining, shadow evaluation, hot-swap, and
 //!   post-swap regression rollback.
@@ -52,6 +56,7 @@ pub mod chaos;
 pub mod difftest;
 pub mod easy;
 pub mod engine;
+pub mod env;
 pub mod job;
 pub mod metrics;
 pub mod policy;
@@ -69,9 +74,13 @@ pub use difftest::{diff_results, DiffOutcome, DiffScenario, Divergence};
 pub use engine::{
     BreakerConfig, BreakerState, ReplayStats, ScheduleResult, SchedulerConfig, SchedulerEngine,
 };
+pub use env::{
+    head_to_head, train_policy, Action, EvalScheme, Observation, PolicyEvalReport, SchedEnv,
+    SchedEnvConfig, TrainConfig,
+};
 pub use job::{CompletedJob, EstimateSource, FailedJob, Job, JobId};
 pub use metrics::{RuntimeReference, ScheduleMetrics};
-pub use policy::QueueOrder;
+pub use policy::{LearnedPolicy, Policy, PolicySpec, QueueOrder, SORT_FACTORS};
 pub use predictor::{PredictError, PredictorCtx, VariabilityClass, VariabilityPredictor};
 pub use retry::RetryPolicy;
 pub use service::{

@@ -1,16 +1,67 @@
-//! Queue ordering policies (the paper's R1 and R2).
+//! Queue ordering policies (the paper's R1 and R2) behind a first-class
+//! [`Policy`] trait.
 //!
 //! Section IV-B: "The main and backfilling policies can be replaced with
 //! other queue ordering policies. One common example is Shortest Job First
 //! or SJF. This allows RUSH to utilize the benefits from other optimal
 //! queue ordering policies assuming they work by statically re-ordering
 //! the queue."
+//!
+//! The trait takes that sentence literally: a policy is any total,
+//! deterministic order over queue items that is *static per job* — the
+//! sort key may read only fields fixed at submission (submit time,
+//! estimate, node request), never clock- or queue-dependent state. That
+//! restriction is what lets the engine's incremental sorted-insert queue
+//! ([`insertion_point`]) place an arrival exactly where the next full
+//! stable sort would, for *any* policy, learned ones included.
+//!
+//! Three implementations ship:
+//!
+//! * [`FcfsPolicy`] — first-come first-served (the paper's default R1/R2);
+//! * [`SjfPolicy`] — shortest job first by user estimate;
+//! * [`LearnedPolicy`] — a parametric order: each job is scored by a dot
+//!   product of [`SORT_FACTORS`] trained weights with a fixed feature
+//!   vector (the continuous sort-weight action of RLScheduler-style
+//!   policy search), lowest score first.
+//!
+//! [`PolicySpec`] is the closed, copyable configuration enum the engine
+//! stores in [`SchedulerConfig`](crate::engine::SchedulerConfig) and the
+//! snapshot codec round-trips; it dispatches to the trait impls.
+//!
+//! # Example
+//!
+//! ```
+//! use rush_sched::policy::{Policy, PolicySpec, LearnedPolicy};
+//! use rush_sched::job::{Job, JobId};
+//! use rush_simkit::time::{SimDuration, SimTime};
+//! use rush_workloads::apps::AppId;
+//! use rush_workloads::scaling::ScalingMode;
+//!
+//! let job = |id, submit_s, est_s| Job {
+//!     id: JobId(id),
+//!     app: AppId::Amg,
+//!     nodes_requested: 16,
+//!     submit_at: SimTime::from_secs(submit_s),
+//!     scaling: ScalingMode::Reference,
+//!     est_runtime: SimDuration::from_secs(est_s),
+//!     skip_threshold: 10,
+//! };
+//! let mut queue = vec![job(1, 30, 100), job(2, 10, 500)];
+//! PolicySpec::Fcfs.sort(&mut queue);
+//! assert_eq!(queue[0].id, JobId(2));
+//!
+//! // A learned order is just another PolicySpec.
+//! let learned = PolicySpec::Learned(LearnedPolicy::new([0.8, 0.1, 0.0, 0.0, 0.2, 0.0]));
+//! learned.sort(&mut queue);
+//! assert_eq!(learned.label(), "learned");
+//! ```
 
 use crate::job::{Job, JobId};
+use rush_simkit::snapshot::{SnapshotError, Val};
 use rush_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// Anything orderable by a [`QueueOrder`]: the fields the R1/R2 sort keys
+/// Anything orderable by a [`Policy`]: the fields the R1/R2 sort keys
 /// read. Implemented by [`Job`] and by the engine's lightweight backfill
 /// snapshots, so both necessarily sort identically.
 pub trait QueueItem {
@@ -18,6 +69,8 @@ pub trait QueueItem {
     fn submit_at(&self) -> SimTime;
     /// User run-time estimate (SJF primary key).
     fn est_runtime(&self) -> SimDuration;
+    /// Requested node count (a learned-policy feature).
+    fn nodes_requested(&self) -> u32;
     /// Job id (final tie-break, unique).
     fn id(&self) -> JobId;
 }
@@ -29,53 +82,254 @@ impl QueueItem for Job {
     fn est_runtime(&self) -> SimDuration {
         self.est_runtime
     }
+    fn nodes_requested(&self) -> u32 {
+        self.nodes_requested
+    }
     fn id(&self) -> JobId {
         self.id
     }
 }
 
-/// A static queue-ordering policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
-pub enum QueueOrder {
-    /// First-come first-served: by submission time, ties by id.
-    #[default]
-    Fcfs,
-    /// Shortest job first: by user run-time estimate, ties by submission.
-    Sjf,
+/// A queue-ordering policy: a total, deterministic order over
+/// [`QueueItem`]s, expressed as a three-component sort key.
+///
+/// The contract every implementation must honor (the policy proptests
+/// pin it for arbitrary learned weights):
+///
+/// * **total & deterministic** — the key is a pure function of the item;
+///   sorting any permutation of a queue yields the same order.
+/// * **unique-id tie-break** — distinct items never compare equal: the
+///   key's last populated component must be the unique job id (possibly
+///   preceded by coarser components that tie).
+/// * **static per job** — the key reads only submission-time fields, so
+///   an item's key never changes while it waits. This is load-bearing:
+///   the engine inserts arrivals into an already-sorted queue by binary
+///   search and *skips* re-sorting, which is only sound if keys are
+///   immutable.
+///
+/// The trait is object-safe; the engine dispatches through
+/// [`PolicySpec`], and custom experiments can sort with any `&dyn Policy`
+/// via [`sort_queue`] / [`insertion_point`].
+pub trait Policy {
+    /// The item's sort key; ascending lexicographic order is dispatch
+    /// order.
+    fn sort_key(&self, item: &dyn QueueItem) -> (u64, u64, u64);
+    /// Display label (report keys, CLI).
+    fn label(&self) -> &'static str;
 }
 
-impl QueueOrder {
-    /// Sorts `queue` in dispatch order under this policy.
-    pub fn sort<T: QueueItem>(&self, queue: &mut [T]) {
+/// First-come first-served: by submission time, ties by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FcfsPolicy;
+
+impl Policy for FcfsPolicy {
+    fn sort_key(&self, item: &dyn QueueItem) -> (u64, u64, u64) {
+        (item.submit_at().as_micros(), item.id().0, 0)
+    }
+    fn label(&self) -> &'static str {
+        "fcfs"
+    }
+}
+
+/// Shortest job first: by user run-time estimate, ties by submission,
+/// then id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SjfPolicy;
+
+impl Policy for SjfPolicy {
+    fn sort_key(&self, item: &dyn QueueItem) -> (u64, u64, u64) {
+        (
+            item.est_runtime().as_micros(),
+            item.submit_at().as_micros(),
+            item.id().0,
+        )
+    }
+    fn label(&self) -> &'static str {
+        "sjf"
+    }
+}
+
+/// Number of weights in a [`LearnedPolicy`] — one per scoring feature,
+/// mirroring the deep-batch-scheduler `SORTING_FACTORS` continuous
+/// action space.
+pub const SORT_FACTORS: usize = 6;
+
+/// A parametric queue order: score = weights · features, lowest first.
+///
+/// The feature vector is fixed at submission (estimate, node request,
+/// their product, submit time — each log- or sqrt-compressed), so a
+/// learned order satisfies the static-per-job clause of the [`Policy`]
+/// contract and composes with the incremental queue. Scores are mapped
+/// to the IEEE-754 total order ([`f64::total_cmp`]) before keying, so
+/// the order is total even for pathological weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnedPolicy {
+    /// The trained sort weights, applied to [`LearnedPolicy::features`].
+    pub weights: [f64; SORT_FACTORS],
+}
+
+impl LearnedPolicy {
+    /// Wraps a trained weight vector.
+    pub fn new(weights: [f64; SORT_FACTORS]) -> LearnedPolicy {
+        LearnedPolicy { weights }
+    }
+
+    /// A fixed, documented demo vector (mostly-SJF with a node-count
+    /// penalty) used by the differential harness and examples; real
+    /// deployments load CEM-trained weights from the model codec.
+    pub fn demo() -> LearnedPolicy {
+        LearnedPolicy::new([1.0, 0.25, 0.0, 0.05, 0.0, 0.0])
+    }
+
+    /// The scoring features of one item: `ln(1+est_s)`, `ln(1+nodes)`,
+    /// `ln(1+est_s·nodes)`, `ln(1+submit_s)`, `sqrt(est_s)`,
+    /// `sqrt(nodes)`. All are pure functions of submission-time fields.
+    pub fn features(item: &dyn QueueItem) -> [f64; SORT_FACTORS] {
+        let est_s = item.est_runtime().as_secs_f64();
+        let nodes = f64::from(item.nodes_requested());
+        let submit_s = item.submit_at().as_secs_f64();
+        [
+            (1.0 + est_s).ln(),
+            (1.0 + nodes).ln(),
+            (1.0 + est_s * nodes).ln(),
+            (1.0 + submit_s).ln(),
+            est_s.sqrt(),
+            nodes.sqrt(),
+        ]
+    }
+
+    /// The item's scalar score (lower = dispatched earlier).
+    pub fn score(&self, item: &dyn QueueItem) -> f64 {
+        let f = Self::features(item);
+        self.weights.iter().zip(f.iter()).map(|(w, x)| w * x).sum()
+    }
+}
+
+impl Policy for LearnedPolicy {
+    fn sort_key(&self, item: &dyn QueueItem) -> (u64, u64, u64) {
+        (
+            total_order_bits(self.score(item)),
+            item.submit_at().as_micros(),
+            item.id().0,
+        )
+    }
+    fn label(&self) -> &'static str {
+        "learned"
+    }
+}
+
+/// Maps an `f64` to a `u64` whose unsigned order equals
+/// [`f64::total_cmp`]'s: negative floats (sign bit set) are bit-inverted,
+/// positive ones get the sign bit flipped. NaNs and infinities land at
+/// the extremes instead of poisoning the sort.
+fn total_order_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b ^ (1 << 63)
+    }
+}
+
+/// Sorts `queue` into dispatch order under any [`Policy`].
+pub fn sort_queue<T: QueueItem>(policy: &dyn Policy, queue: &mut [T]) {
+    queue.sort_by_key(|j| policy.sort_key(j));
+}
+
+/// Index at which inserting `item` into the (already sorted) `queue`
+/// keeps it sorted, placed after every equal-or-smaller key — exactly
+/// where a stable [`sort_queue`] of `queue ++ [item]` would put it. Keys
+/// include the unique job id, so ties cannot actually occur between
+/// distinct jobs.
+pub fn insertion_point<T: QueueItem>(policy: &dyn Policy, queue: &[T], item: &T) -> usize {
+    let key = policy.sort_key(item);
+    queue.partition_point(|j| policy.sort_key(j) <= key)
+}
+
+/// The closed set of policies the engine can be configured with: what
+/// [`SchedulerConfig`](crate::engine::SchedulerConfig) stores for R1/R2
+/// and the snapshot codec round-trips. `Copy` (a learned policy is just
+/// its weight array), so configs stay plain values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PolicySpec {
+    /// First-come first-served (the paper's default).
+    #[default]
+    Fcfs,
+    /// Shortest job first.
+    Sjf,
+    /// A trained parametric order.
+    Learned(LearnedPolicy),
+}
+
+/// Historical name for [`PolicySpec`], kept so long-lived call sites and
+/// docs referring to "the R1 `QueueOrder`" keep compiling.
+pub type QueueOrder = PolicySpec;
+
+impl PolicySpec {
+    /// Borrows the underlying [`Policy`] implementation.
+    pub fn as_policy(&self) -> &dyn Policy {
         match self {
-            QueueOrder::Fcfs => queue.sort_by_key(|j| (j.submit_at(), j.id())),
-            QueueOrder::Sjf => queue.sort_by_key(|j| (j.est_runtime(), j.submit_at(), j.id())),
+            PolicySpec::Fcfs => &FcfsPolicy,
+            PolicySpec::Sjf => &SjfPolicy,
+            PolicySpec::Learned(l) => l,
         }
     }
 
-    /// Index at which inserting `item` into the (already sorted) `queue`
-    /// keeps it sorted, placed after every equal-or-smaller key — exactly
-    /// where a stable [`sort`](Self::sort) of `queue ++ [item]` would put
-    /// it. Keys include the unique job id, so ties cannot actually occur
-    /// between distinct jobs.
+    /// Sorts `queue` in dispatch order under this policy.
+    pub fn sort<T: QueueItem>(&self, queue: &mut [T]) {
+        sort_queue(self.as_policy(), queue);
+    }
+
+    /// See [`insertion_point`].
     pub fn insertion_point<T: QueueItem>(&self, queue: &[T], item: &T) -> usize {
-        match self {
-            QueueOrder::Fcfs => {
-                let key = (item.submit_at(), item.id());
-                queue.partition_point(|j| (j.submit_at(), j.id()) <= key)
-            }
-            QueueOrder::Sjf => {
-                let key = (item.est_runtime(), item.submit_at(), item.id());
-                queue.partition_point(|j| (j.est_runtime(), j.submit_at(), j.id()) <= key)
-            }
-        }
+        insertion_point(self.as_policy(), queue, item)
     }
 
     /// Display label.
     pub fn label(&self) -> &'static str {
+        self.as_policy().label()
+    }
+
+    /// Snapshot encoding: a tagged list. Tags are part of the snapshot
+    /// format and must never be renumbered (0 = FCFS, 1 = SJF,
+    /// 2 = learned followed by the weight bits).
+    pub fn to_val(&self) -> Val {
         match self {
-            QueueOrder::Fcfs => "fcfs",
-            QueueOrder::Sjf => "sjf",
+            PolicySpec::Fcfs => Val::List(vec![Val::U64(0)]),
+            PolicySpec::Sjf => Val::List(vec![Val::U64(1)]),
+            PolicySpec::Learned(l) => {
+                let mut items = vec![Val::U64(2)];
+                items.extend(l.weights.iter().map(|w| Val::U64(w.to_bits())));
+                Val::List(items)
+            }
+        }
+    }
+
+    /// Snapshot decoding; an unknown tag or malformed weight list is a
+    /// typed [`SnapshotError::Schema`], never a panic.
+    pub fn from_val(v: &Val) -> Result<PolicySpec, SnapshotError> {
+        let l = v.as_list()?;
+        let tag = l
+            .first()
+            .ok_or_else(|| SnapshotError::Schema("empty policy record".to_string()))?
+            .as_u64()?;
+        match tag {
+            0 => Ok(PolicySpec::Fcfs),
+            1 => Ok(PolicySpec::Sjf),
+            2 => {
+                if l.len() != 1 + SORT_FACTORS {
+                    return Err(SnapshotError::Schema(format!(
+                        "learned policy expects {SORT_FACTORS} weights, got {}",
+                        l.len() - 1
+                    )));
+                }
+                let mut weights = [0.0; SORT_FACTORS];
+                for (w, val) in weights.iter_mut().zip(&l[1..]) {
+                    *w = f64::from_bits(val.as_u64()?);
+                }
+                Ok(PolicySpec::Learned(LearnedPolicy::new(weights)))
+            }
+            other => Err(SnapshotError::Schema(format!("bad policy tag {other}"))),
         }
     }
 }
@@ -103,7 +357,7 @@ mod tests {
     #[test]
     fn fcfs_orders_by_submit_time() {
         let mut q = vec![job(1, 30, 100), job(2, 10, 500), job(3, 20, 50)];
-        QueueOrder::Fcfs.sort(&mut q);
+        PolicySpec::Fcfs.sort(&mut q);
         let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![2, 3, 1]);
     }
@@ -111,7 +365,7 @@ mod tests {
     #[test]
     fn fcfs_breaks_ties_by_id() {
         let mut q = vec![job(5, 10, 1), job(2, 10, 2), job(9, 10, 3)];
-        QueueOrder::Fcfs.sort(&mut q);
+        PolicySpec::Fcfs.sort(&mut q);
         let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![2, 5, 9]);
     }
@@ -119,7 +373,7 @@ mod tests {
     #[test]
     fn sjf_orders_by_estimate() {
         let mut q = vec![job(1, 10, 300), job(2, 20, 100), job(3, 30, 200)];
-        QueueOrder::Sjf.sort(&mut q);
+        PolicySpec::Sjf.sort(&mut q);
         let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![2, 3, 1]);
     }
@@ -127,14 +381,43 @@ mod tests {
     #[test]
     fn sjf_ties_fall_back_to_submit_order() {
         let mut q = vec![job(1, 30, 100), job(2, 10, 100)];
-        QueueOrder::Sjf.sort(&mut q);
+        PolicySpec::Sjf.sort(&mut q);
         let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![2, 1]);
     }
 
     #[test]
+    fn learned_with_pure_estimate_weight_matches_sjf_ranking() {
+        // Weight only the ln-estimate feature: monotone in est_runtime, so
+        // the ranking (not the tie-break) must match SJF on distinct
+        // estimates.
+        let w = PolicySpec::Learned(LearnedPolicy::new([1.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        let mut q = vec![job(1, 10, 300), job(2, 20, 100), job(3, 30, 200)];
+        w.sort(&mut q);
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn learned_negative_weight_reverses_the_ranking() {
+        let w = PolicySpec::Learned(LearnedPolicy::new([-1.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        let mut q = vec![job(1, 10, 300), job(2, 20, 100), job(3, 30, 200)];
+        w.sort(&mut q);
+        let ids: Vec<u64> = q.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+    }
+
+    #[test]
     fn insertion_point_matches_stable_sort() {
-        for order in [QueueOrder::Fcfs, QueueOrder::Sjf] {
+        let specs = [
+            PolicySpec::Fcfs,
+            PolicySpec::Sjf,
+            PolicySpec::Learned(LearnedPolicy::demo()),
+            // Zero weights: every score ties at 0.0, exercising the
+            // (submit, id) tie-break path of the learned key.
+            PolicySpec::Learned(LearnedPolicy::new([0.0; SORT_FACTORS])),
+        ];
+        for order in specs {
             // A deliberately tie-heavy pool of jobs.
             let pool: Vec<Job> = (0..24)
                 .map(|i| job(i, (i % 4) * 10, (i % 3) * 100 + 50))
@@ -153,8 +436,65 @@ mod tests {
     }
 
     #[test]
+    fn total_order_bits_matches_total_cmp() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(
+                    total_order_bits(a).cmp(&total_order_bits(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn labels() {
-        assert_eq!(QueueOrder::Fcfs.label(), "fcfs");
-        assert_eq!(QueueOrder::Sjf.label(), "sjf");
+        assert_eq!(PolicySpec::Fcfs.label(), "fcfs");
+        assert_eq!(PolicySpec::Sjf.label(), "sjf");
+        assert_eq!(
+            PolicySpec::Learned(LearnedPolicy::demo()).label(),
+            "learned"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        for spec in [
+            PolicySpec::Fcfs,
+            PolicySpec::Sjf,
+            PolicySpec::Learned(LearnedPolicy::new([0.5, -1.25, 0.0, 3.0, -0.0, 1e-9])),
+        ] {
+            assert_eq!(PolicySpec::from_val(&spec.to_val()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn unknown_policy_tag_is_a_typed_error() {
+        let bad = Val::List(vec![Val::U64(7)]);
+        match PolicySpec::from_val(&bad) {
+            Err(SnapshotError::Schema(msg)) => assert!(msg.contains("bad policy tag 7"), "{msg}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        let empty = Val::List(vec![]);
+        assert!(matches!(
+            PolicySpec::from_val(&empty),
+            Err(SnapshotError::Schema(_))
+        ));
+        let short = Val::List(vec![Val::U64(2), Val::U64(0)]);
+        assert!(matches!(
+            PolicySpec::from_val(&short),
+            Err(SnapshotError::Schema(_))
+        ));
     }
 }

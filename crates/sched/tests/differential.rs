@@ -45,8 +45,9 @@ proptest! {
         faults in any::<bool>(),
         perf_faults in any::<bool>(),
         online_predictor in any::<bool>(),
+        learned_policy in any::<bool>(),
     ) {
-        let scenario = DiffScenario { seed, nodes, jobs, faults, perf_faults, online_predictor };
+        let scenario = DiffScenario { seed, nodes, jobs, faults, perf_faults, online_predictor, learned_policy };
         let legacy = scenario.run(EngineTuning::legacy());
         let optimized = scenario.run(EngineTuning::default());
         assert_identical(
@@ -73,7 +74,7 @@ proptest! {
         faults in any::<bool>(),
         perf_faults in any::<bool>(),
     ) {
-        let scenario = DiffScenario { seed, nodes: 16, jobs, faults, perf_faults, online_predictor: false };
+        let scenario = DiffScenario { seed, nodes: 16, jobs, faults, perf_faults, online_predictor: false, learned_policy: false };
         assert_identical(
             rush_sched::difftest::diff_seeding(&scenario),
             &format!("{scenario:?}"),
@@ -102,6 +103,7 @@ proptest! {
                     faults,
                     perf_faults: false,
                     online_predictor: false,
+                    learned_policy: false,
                 };
                 ShardSpec {
                     name: format!("pod{i}"),

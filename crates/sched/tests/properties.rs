@@ -686,3 +686,180 @@ proptest! {
         prop_assert!(result.metrics.counter_by_name("audit.checks").unwrap_or(0) > 0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Policy trait contract, for every shipped policy including
+    /// arbitrary learned weight vectors: sort keys form a strict total
+    /// order over jobs with unique ids (antisymmetry via distinct keys),
+    /// the order is permutation-invariant, and incremental insertion via
+    /// `insertion_point` reproduces the stable full sort exactly.
+    #[test]
+    fn every_policy_orders_totally_and_deterministically(
+        jobs in proptest::collection::vec(
+            (1u32..64, 0u64..3600, 1u64..7200), 1..24),
+        weights_v in proptest::collection::vec(-1e6f64..1e6, 6),
+        rotate in 0usize..24,
+    ) {
+        use rush_sched::{Job, JobId, LearnedPolicy, PolicySpec, SORT_FACTORS};
+
+        let mut weights = [0.0; SORT_FACTORS];
+        weights.copy_from_slice(&weights_v);
+        let queue: Vec<Job> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(nodes, submit, est))| Job {
+                id: JobId(i as u64),
+                app: AppId::ALL[i % AppId::ALL.len()],
+                nodes_requested: nodes,
+                submit_at: SimTime::from_secs(submit),
+                scaling: ScalingMode::Reference,
+                est_runtime: SimDuration::from_secs(est),
+                skip_threshold: 10,
+            })
+            .collect();
+        let specs = [
+            PolicySpec::Fcfs,
+            PolicySpec::Sjf,
+            PolicySpec::Learned(LearnedPolicy::new(weights)),
+        ];
+        for spec in specs {
+            let policy = spec.as_policy();
+            // Strict total order: unique ids force distinct keys, which
+            // gives antisymmetry (exactly one of a<b, b<a holds).
+            for a in &queue {
+                for b in &queue {
+                    if a.id != b.id {
+                        prop_assert_ne!(policy.sort_key(a), policy.sort_key(b));
+                    }
+                }
+            }
+            // Permutation invariance: sorting any rotation of the queue
+            // lands in the same order.
+            let mut sorted = queue.clone();
+            spec.sort(&mut sorted);
+            let mut rotated = queue.clone();
+            rotated.rotate_left(rotate % queue.len().max(1));
+            spec.sort(&mut rotated);
+            let ids = |q: &[Job]| q.iter().map(|j| j.id).collect::<Vec<_>>();
+            prop_assert_eq!(ids(&sorted), ids(&rotated));
+            // Incremental insertion reproduces the stable sort: keys are
+            // static per job, so inserting in any arrival order converges
+            // to the same sequence.
+            let mut incremental: Vec<Job> = Vec::new();
+            for job in &queue {
+                let at = spec.insertion_point(&incremental, job);
+                incremental.insert(at, job.clone());
+            }
+            prop_assert_eq!(ids(&sorted), ids(&incremental));
+        }
+    }
+
+    /// Mid-episode policy retargeting survives checkpoint/resume byte-
+    /// identically: an engine whose queue order was switched to a learned
+    /// policy while running, snapshotted, and resumed into a fresh engine
+    /// (still configured FCFS) finishes with exactly the schedule of the
+    /// uninterrupted run — the live policy specs travel in the snapshot.
+    #[test]
+    fn learned_policy_checkpoint_resumes_byte_identically_mid_episode(
+        machine_seed in 0u64..500,
+        jobs in proptest::collection::vec((0usize..7, 1u32..12, 0u64..300), 2..8),
+        weights_v in proptest::collection::vec(-10.0f64..10.0, 6),
+        switch_pct in 1u64..60,
+        cut_pct in 40u64..99,
+    ) {
+        use rush_sched::{LearnedPolicy, PolicySpec, SORT_FACTORS};
+
+        let mut weights = [0.0; SORT_FACTORS];
+        weights.copy_from_slice(&weights_v);
+        let requests: Vec<JobRequest> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(app, nodes, submit))| JobRequest {
+                id: i as u64,
+                app: AppId::ALL[app],
+                nodes,
+                submit_at: SimTime::from_secs(submit),
+                scaling: ScalingMode::Reference,
+                user_est_secs: None,
+            })
+            .collect();
+        let build = || {
+            let machine = Machine::new(MachineConfig::tiny(machine_seed));
+            SchedulerEngine::new(
+                machine,
+                SchedulerConfig::default(),
+                Box::new(NeverVaries),
+                23,
+            )
+        };
+        let key = |r: &ScheduleResult| {
+            (
+                r.completed
+                    .iter()
+                    .map(|c| (c.job.id, c.start_at, c.end_at, c.nodes.clone()))
+                    .collect::<Vec<_>>(),
+                format!("{:?}", r.trace.events()),
+                r.metrics.to_json(),
+            )
+        };
+        let learned = PolicySpec::Learned(LearnedPolicy::new(weights));
+
+        // Probe run: find the time span so switch/cut land inside it.
+        let mut probe = build();
+        probe.prepare(&requests);
+        while probe.step().is_some() {}
+        let probed = probe.finalize();
+        let span = probed.last_end.as_micros() - probed.first_submit.as_micros();
+        let at = |pct: u64| {
+            SimTime::from_micros(probed.first_submit.as_micros() + span * pct / 100)
+        };
+        let (switch, cut) = (at(switch_pct), at(cut_pct));
+
+        // Baseline: run straight through, retargeting the policy once the
+        // clock passes `switch`.
+        let run_with_switch = |engine: &mut SchedulerEngine| {
+            let mut switched = false;
+            loop {
+                if !switched && engine.now() >= switch {
+                    engine.set_queue_policy(learned, learned);
+                    switched = true;
+                }
+                if engine.step().is_none() {
+                    break;
+                }
+            }
+        };
+        let mut base = build();
+        base.prepare(&requests);
+        run_with_switch(&mut base);
+        let baseline = base.finalize();
+
+        // Victim: same run, snapshotted somewhere after the switch.
+        let mut victim = build();
+        victim.prepare(&requests);
+        let mut switched = false;
+        loop {
+            if !switched && victim.now() >= switch {
+                victim.set_queue_policy(learned, learned);
+                switched = true;
+            }
+            if victim.now() >= cut || victim.step().is_none() {
+                break;
+            }
+        }
+        let bytes = victim.snapshot();
+        drop(victim);
+
+        // Fresh engine, default (FCFS) config: resume must restore the
+        // learned specs from the snapshot body before continuing.
+        let mut fresh = build();
+        fresh.prepare(&requests);
+        prop_assert!(fresh.resume(&bytes).is_ok());
+        run_with_switch(&mut fresh);
+        let resumed = fresh.finalize();
+
+        prop_assert_eq!(key(&baseline), key(&resumed));
+    }
+}
